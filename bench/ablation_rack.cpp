@@ -1,0 +1,131 @@
+// Rack ablation: a full 5-bay tower under attack.
+//
+// The paper tests one drive in one bay; a deployed tower holds five, and
+// they do not couple to the enclosure field equally. This bench maps the
+// kill pattern across the rack: which bays die at which distances, and
+// the rack's aggregate write capacity under attack.
+#include <cstdio>
+#include <iostream>
+
+#include "core/rack.h"
+#include "storage/raid.h"
+#include "sim/table.h"
+#include "workload/fio.h"
+
+using namespace deepnote;
+
+namespace {
+
+double bay_write_mbps(core::RackTestbed& rack, std::size_t bay) {
+  workload::FioJobConfig job;
+  job.pattern = workload::IoPattern::kSeqWrite;
+  job.submit_overhead = rack.spec().fio_submit_overhead;
+  job.ramp = sim::Duration::from_seconds(3.0);
+  job.duration = sim::Duration::from_seconds(8.0);
+  workload::FioRunner runner(rack.device(bay));
+  return runner.run(sim::SimTime::zero(), job).throughput_mbps;
+}
+
+}  // namespace
+
+int main() {
+  const double distances[] = {0.01, 0.03, 0.05, 0.08, 0.12, 0.20};
+
+  sim::Table t("5-bay tower: per-bay write throughput (MB/s) vs attack "
+               "distance (650 Hz, 140 dB, Scenario 2 enclosure)");
+  std::vector<std::string> headers{"Distance"};
+  core::RackConfig cfg;
+  for (std::size_t bay = 0; bay < cfg.bays; ++bay) {
+    headers.push_back("bay " + std::to_string(bay) + " (" +
+                      sim::format_fixed(core::RackTestbed(cfg).bay_offset_db(bay),
+                                        1) +
+                      " dB)");
+  }
+  headers.push_back("rack total");
+  headers.push_back("parked bays");
+  t.set_columns(headers);
+
+  for (double d : distances) {
+    core::RackTestbed rack(cfg);
+    core::AttackConfig attack;
+    attack.frequency_hz = 650.0;
+    attack.spl_air_db = 140.0;
+    attack.distance_m = d;
+    rack.apply_attack(sim::SimTime::zero(), attack);
+
+    t.row().cell(sim::format_fixed(d * 100, 0) + " cm");
+    double total = 0.0;
+    for (std::size_t bay = 0; bay < rack.bays(); ++bay) {
+      const double mbps = bay_write_mbps(rack, bay);
+      total += mbps;
+      t.cell(mbps, 1);
+    }
+    t.cell(total, 1);
+    t.cell(static_cast<std::int64_t>(rack.parked_bays()));
+  }
+  std::cout << t << "\n";
+
+  // Does mirroring help? A RAID-1 pair inside the same tower vs a mirror
+  // whose second member sits in a different (unattacked) enclosure.
+  {
+    sim::Table rt("RAID-1 under attack (650 Hz, 140 dB, 3 cm): same-rack "
+                  "mirror vs cross-enclosure mirror");
+    rt.set_columns({"Mirror layout", "steady write MB/s",
+                    "degraded writes", "failed I/Os", "members ejected"});
+    core::AttackConfig attack;
+    attack.frequency_hz = 650.0;
+    attack.spl_air_db = 140.0;
+    attack.distance_m = 0.03;
+
+    auto run_mirror = [&](bool second_member_attacked) {
+      core::RackTestbed rack(cfg);
+      rack.apply_attack(sim::SimTime::zero(), attack);
+      // A second rack far away (or unattacked) hosts the remote mirror.
+      core::RackTestbed remote(cfg);
+      storage::BlockDevice* m0 = &rack.device(0);
+      storage::BlockDevice* m1 = second_member_attacked
+                                     ? static_cast<storage::BlockDevice*>(
+                                           &rack.device(1))
+                                     : &remote.device(0);
+      storage::Raid1Device raid({m0, m1});
+      std::vector<std::byte> block(4096, std::byte{0x5a});
+      sim::SimTime now = sim::SimTime::zero();
+      std::uint64_t bytes = 0;
+      // Ejecting the wedged member costs 2 x 75 s of command timeouts;
+      // measure the steady state after the md layer has acted.
+      const sim::SimTime from = sim::SimTime::from_seconds(160);
+      const sim::SimTime to = sim::SimTime::from_seconds(190);
+      std::uint64_t lba = 0;
+      while (now < to) {
+        const storage::BlockIo io = raid.write(
+            now + sim::Duration::from_micros(100), lba, 8, block);
+        if (io.ok() && io.complete >= from && io.complete <= to) {
+          bytes += 4096;
+        }
+        lba += 8;
+        now = io.complete;
+      }
+      rt.row()
+          .cell(second_member_attacked ? "both members in attacked tower"
+                                       : "second member in remote enclosure")
+          .cell(static_cast<double>(bytes) / 1e6 / (to - from).seconds(), 1)
+          .cell(static_cast<std::int64_t>(raid.stats().degraded_writes))
+          .cell(static_cast<std::int64_t>(raid.stats().failed_ios))
+          .cell(static_cast<std::int64_t>(raid.members() -
+                                          raid.active_members()));
+    };
+    run_mirror(true);
+    run_mirror(false);
+    std::cout << rt << "\n";
+  }
+
+  std::printf(
+      "Reading: at point-blank range the whole tower parks; as the\n"
+      "speaker backs off, bays recover wall-first-last — correlated (not\n"
+      "independent!) failures. A same-rack RAID-1 mirror buys nothing:\n"
+      "both members wedge together. Placing the mirror in a different\n"
+      "enclosure restores availability — after the md layer has paid two\n"
+      "75 s command timeouts to eject the wedged member (writes are paced\n"
+      "by the slowest member until then).\n");
+  return 0;
+}

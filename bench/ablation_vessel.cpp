@@ -1,0 +1,122 @@
+// Extension: would a *real* underwater data center be vulnerable?
+//
+// The paper's testbed uses thin plastic/aluminum containers; deployed
+// vessels (Project Natick style) are thick steel pressure hulls in open
+// water. This bench compares the paper's Scenario 2 against the
+// steel-vessel extension: off-track amplitude across frequency, write
+// throughput at point-blank range, and the source level an attacker
+// would need.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "core/scenario.h"
+#include "core/testbed.h"
+#include "sim/table.h"
+#include "workload/fio.h"
+
+using namespace deepnote;
+
+namespace {
+
+double write_mbps(core::ScenarioId id, const core::AttackConfig& attack) {
+  core::ScenarioSpec spec = core::make_scenario(id);
+  spec.hdd.retain_data = false;
+  core::Testbed bed(spec);
+  bed.apply_attack(sim::SimTime::zero(), attack);
+  workload::FioJobConfig job;
+  job.pattern = workload::IoPattern::kSeqWrite;
+  job.submit_overhead = spec.fio_submit_overhead;
+  job.ramp = sim::Duration::from_seconds(3.0);
+  job.duration = sim::Duration::from_seconds(8.0);
+  workload::FioRunner runner(bed.device());
+  return runner.run(sim::SimTime::zero(), job).throughput_mbps;
+}
+
+/// Attacker SPL (air-reference dB, paper convention) needed to park the
+/// drive at 1 cm and the given frequency: the off-track amplitude scales
+/// linearly with pressure, so solve directly.
+double required_spl_air_db(core::ScenarioId id, double frequency_hz) {
+  core::Testbed bed(core::make_scenario(id));
+  core::AttackConfig probe;
+  probe.frequency_hz = frequency_hz;
+  probe.spl_air_db = 140.0;
+  probe.distance_m = 0.01;
+  const double park_nm = bed.drive().servo().config().park_fraction *
+                         bed.drive().servo().config().track_pitch_nm;
+  const double nm = bed.predicted_offtrack_nm(probe);
+  if (nm <= 0.0) return 1e9;
+  return 140.0 + 20.0 * std::log10(park_nm / nm);
+}
+
+}  // namespace
+
+int main() {
+  {
+    sim::Table t("Head off-track amplitude (nm) at 140 dB SPL, 1 cm: "
+                 "paper testbed vs steel vessel (park at 25 nm, write "
+                 "fault at 10 nm)");
+    t.set_columns({"Frequency", "Scenario 2 (plastic tote)",
+                   "Steel pressure vessel"});
+    for (double f : {150.0, 300.0, 520.0, 650.0, 900.0, 1300.0}) {
+      core::AttackConfig attack;
+      attack.frequency_hz = f;
+      attack.distance_m = 0.01;
+      core::Testbed plastic(
+          core::make_scenario(core::ScenarioId::kPlasticTower));
+      core::Testbed vessel(core::make_scenario(core::ScenarioId::kSteelVessel));
+      t.row()
+          .cell(sim::format_fixed(f, 0) + " Hz")
+          .cell(plastic.predicted_offtrack_nm(attack), 1)
+          .cell(vessel.predicted_offtrack_nm(attack), 2);
+    }
+    std::cout << t << "\n";
+  }
+  {
+    sim::Table t("Write throughput (MB/s) under the paper's best attack "
+                 "(650 Hz, 140 dB, 1 cm)");
+    t.set_columns({"Deployment", "baseline", "under attack"});
+    core::AttackConfig attack;
+    core::AttackConfig silent = attack;
+    silent.spl_air_db = -100.0;
+    for (auto id : {core::ScenarioId::kPlasticTower,
+                    core::ScenarioId::kMetalTower,
+                    core::ScenarioId::kSteelVessel}) {
+      t.row()
+          .cell(core::scenario_name(id))
+          .cell(write_mbps(id, silent), 1)
+          .cell(write_mbps(id, attack), 1);
+    }
+    std::cout << t << "\n";
+  }
+  {
+    sim::Table t("Attacker SPL (dB re 20 uPa, the paper's convention) "
+                 "needed to PARK the drive at 1 cm");
+    t.set_columns({"Frequency", "Scenario 2", "Steel vessel",
+                   "feasible underwater source?"});
+    for (double f : {300.0, 520.0, 650.0, 1000.0}) {
+      const double plastic =
+          required_spl_air_db(core::ScenarioId::kPlasticTower, f);
+      const double vessel =
+          required_spl_air_db(core::ScenarioId::kSteelVessel, f);
+      // Our sonar-class projector tops out at 220 dB re 1 uPa = 194 dB
+      // re 20 uPa equivalent.
+      const char* feasible = vessel <= 194.0 ? "yes (sonar-class)"
+                                             : "beyond sonar-class";
+      t.row()
+          .cell(sim::format_fixed(f, 0) + " Hz")
+          .cell(plastic, 1)
+          .cell(vessel, 1)
+          .cell(feasible);
+    }
+    std::cout << t << "\n";
+  }
+  std::printf(
+      "Reading: the thin-walled lab containers understate a real hull —\n"
+      "a 140 dB pool speaker that kills the paper's testbed leaves a\n"
+      "steel vessel's heads well inside tolerance. But the hull is not a\n"
+      "proof of safety: at its own ring modes a sonar-class projector\n"
+      "still reaches park amplitude, supporting the paper's call for\n"
+      "testbeds that represent deployment-grade enclosures (Section 5).\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces Figure 2: HDD sequential write (2a) and read (2b)
+// throughput during the acoustic attack at different frequencies, in all
+// three scenarios (140 dB SPL at 1 cm).
+#include <iostream>
+#include <vector>
+
+#include "core/report.h"
+#include "core/sweep.h"
+
+using namespace deepnote;
+
+int main(int argc, char** argv) {
+  core::SweepConfig config;
+  config.attack.spl_air_db = 140.0;
+  config.attack.distance_m = 0.01;
+  config.ramp = sim::Duration::from_seconds(2.0);
+  config.duration = sim::Duration::from_seconds(10.0);
+  // The paper plots 100 Hz .. 8 kHz; denser below 2 kHz where the action
+  // is, mirroring the 50 Hz narrowing of Section 4.1.
+  for (double f = 100.0; f <= 2000.0; f += 100.0) {
+    config.frequencies_hz.push_back(f);
+  }
+  for (double f = 2250.0; f <= 8000.0; f += 250.0) {
+    config.frequencies_hz.push_back(f);
+  }
+
+  std::vector<std::pair<std::string, std::vector<core::SweepPoint>>> series;
+  for (auto id : {core::ScenarioId::kPlasticFloor,
+                  core::ScenarioId::kPlasticTower,
+                  core::ScenarioId::kMetalTower}) {
+    core::FrequencySweep sweep(id);
+    series.emplace_back(core::scenario_name(id), sweep.run(config));
+  }
+
+  core::print_table(core::format_figure2(series, /*write_side=*/true),
+                    argc, argv);
+  core::print_table(core::format_figure2(series, /*write_side=*/false),
+                    argc, argv);
+  std::cout <<
+      "Paper reference (Fig. 2): write throughput collapses to ~0 between\n"
+      "~300 Hz and 1.3-1.7 kHz depending on scenario; reads collapse over\n"
+      "a narrower band (300-800 Hz in Scenario 3); no effect above ~2 kHz\n"
+      "or below ~300 Hz; writes are hit harder than reads throughout.\n";
+  return 0;
+}

@@ -1,0 +1,206 @@
+// google-benchmark microbenchmarks for the substrates: how fast the
+// simulator itself runs (host wall-clock per simulated operation).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "acoustics/absorption.h"
+#include "core/scenario.h"
+#include "core/testbed.h"
+#include "hdd/drive.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+#include "storage/extfs.h"
+#include "storage/kvdb/db.h"
+#include "storage/kvdb/memtable.h"
+#include "storage/mem_disk.h"
+
+using namespace deepnote;
+
+// ---------------------------------------------------------------------------
+// sim
+
+static void BM_RngNextDouble(benchmark::State& state) {
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_double());
+  }
+}
+BENCHMARK(BM_RngNextDouble);
+
+static void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < 1000; ++i) {
+      q.schedule(sim::SimTime((i * 7919) % 1009), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().time);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+static void BM_LatencyHistogramAdd(benchmark::State& state) {
+  sim::LatencyHistogram h;
+  sim::Rng rng(2);
+  for (auto _ : state) {
+    h.add_ns(static_cast<std::int64_t>(rng.exponential(1e6)));
+  }
+}
+BENCHMARK(BM_LatencyHistogramAdd);
+
+// ---------------------------------------------------------------------------
+// acoustics / structure
+
+static void BM_AbsorptionAinslieMcColm(benchmark::State& state) {
+  const auto water = acoustics::WaterConditions::ocean();
+  double f = 100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acoustics::absorption_db_per_km(
+        acoustics::AbsorptionModel::kAinslieMcColm, f, water));
+    f = f < 50000.0 ? f * 1.01 : 100.0;
+  }
+}
+BENCHMARK(BM_AbsorptionAinslieMcColm);
+
+static void BM_FullAttackChainEvaluation(benchmark::State& state) {
+  core::Testbed bed(core::make_scenario(core::ScenarioId::kPlasticTower));
+  core::AttackConfig attack;
+  double f = 100.0;
+  for (auto _ : state) {
+    attack.frequency_hz = f;
+    benchmark::DoNotOptimize(bed.predicted_offtrack_nm(attack));
+    f = f < 16000.0 ? f + 37.0 : 100.0;
+  }
+}
+BENCHMARK(BM_FullAttackChainEvaluation);
+
+// ---------------------------------------------------------------------------
+// hdd
+
+static void BM_HddSequentialWrite4k(benchmark::State& state) {
+  core::ScenarioSpec spec = core::make_scenario(core::ScenarioId::kPlasticTower);
+  spec.hdd.retain_data = false;
+  hdd::Hdd drive(spec.hdd);
+  std::vector<std::byte> block(4096, std::byte{0x5a});
+  sim::SimTime t = sim::SimTime::zero();
+  std::uint64_t lba = 0;
+  for (auto _ : state) {
+    t = drive.write(t, lba, 8, block).complete;
+    lba += 8;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HddSequentialWrite4k);
+
+static void BM_HddSequentialRead4k(benchmark::State& state) {
+  core::ScenarioSpec spec = core::make_scenario(core::ScenarioId::kPlasticTower);
+  spec.hdd.retain_data = false;
+  hdd::Hdd drive(spec.hdd);
+  std::vector<std::byte> block(4096);
+  sim::SimTime t = sim::SimTime::zero();
+  std::uint64_t lba = 0;
+  for (auto _ : state) {
+    t = drive.read(t, lba, 8, block).complete;
+    lba += 8;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HddSequentialRead4k);
+
+static void BM_HddWriteUnderAttack(benchmark::State& state) {
+  core::ScenarioSpec spec = core::make_scenario(core::ScenarioId::kPlasticTower);
+  spec.hdd.retain_data = false;
+  core::Testbed bed(spec);
+  core::AttackConfig attack;
+  attack.distance_m = 0.15;  // partial degradation: retries sampled
+  bed.apply_attack(sim::SimTime::zero(), attack);
+  std::vector<std::byte> block(4096, std::byte{0x5a});
+  sim::SimTime t = sim::SimTime::zero();
+  std::uint64_t lba = 0;
+  for (auto _ : state) {
+    t = bed.drive().write(t, lba, 8, block).complete;
+    lba += 8;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HddWriteUnderAttack);
+
+// ---------------------------------------------------------------------------
+// storage
+
+static void BM_MemTablePut(benchmark::State& state) {
+  storage::kvdb::MemTable mt;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    mt.put("key" + std::to_string(seq % 100000), "value", ++seq);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemTablePut);
+
+static void BM_MemTableGet(benchmark::State& state) {
+  storage::kvdb::MemTable mt;
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    mt.put("key" + std::to_string(i), "value", i + 1);
+  }
+  std::string v;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mt.get("key" + std::to_string(i++ % 100000), &v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemTableGet);
+
+static void BM_ExtFsBufferedWrite4k(benchmark::State& state) {
+  storage::MemDisk disk((1ull << 30) / 512);
+  sim::SimTime t = sim::SimTime::zero();
+  storage::ExtFs::mkfs(disk, t);
+  auto mount = storage::ExtFs::mount(disk, t);
+  std::uint32_t ino = 0;
+  t = mount.fs->create(mount.done, "/bench", &ino).done;
+  std::vector<std::byte> block(4096, std::byte{0x5a});
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    t = mount.fs->write(t, ino, offset, block).done;
+    offset += 4096;
+    if (offset > (512ull << 20)) {
+      state.PauseTiming();
+      mount.fs->truncate(t, ino, 0);
+      offset = 0;
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExtFsBufferedWrite4k);
+
+static void BM_KvdbPut(benchmark::State& state) {
+  storage::MemDisk disk((2ull << 30) / 512);
+  sim::SimTime t = sim::SimTime::zero();
+  storage::ExtFs::mkfs(disk, t);
+  auto mount = storage::ExtFs::mount(disk, t);
+  storage::kvdb::DbConfig cfg;
+  cfg.write_buffer_bytes = 64ull << 20;
+  auto open = storage::kvdb::Db::open(*mount.fs, mount.done, cfg);
+  storage::kvdb::Db& db = *open.db;
+  t = open.done;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto r = db.put(t, "key" + std::to_string(i++), "value-payload-64b");
+    if (r.err == storage::Errno::kEAGAIN || db.flush_pending()) {
+      state.PauseTiming();
+      t = db.do_flush(t).done;
+      state.ResumeTiming();
+      continue;
+    }
+    t = r.done;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KvdbPut);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,169 @@
+// End-to-end attack on a running "data-center" stack: an Ubuntu-like
+// server with an ext4-like root filesystem and a RocksDB-like store,
+// all living on the victim HDD inside the submerged enclosure.
+//
+// Prints a timeline of the infrastructure dying, reproducing the story
+// of the paper's Section 4.4 in one run.
+//
+//   $ ./examples/datacenter_attack
+#include <cstdio>
+
+#include "core/attack.h"
+#include "core/scenario.h"
+#include "core/testbed.h"
+#include "hdd/smart.h"
+#include "storage/extfs.h"
+#include "storage/kvdb/db.h"
+#include "storage/server_os.h"
+#include "workload/actor.h"
+#include "workload/db_bench.h"
+
+using namespace deepnote;
+using storage::Errno;
+
+int main() {
+  std::printf("Deep Note: attacking a submerged server (Scenario 2)\n\n");
+
+  core::Testbed bed(core::make_scenario(core::ScenarioId::kPlasticTower));
+
+  // --- Provision the machine. ---------------------------------------------
+  sim::SimTime t = sim::SimTime::zero();
+  storage::MkfsOptions mkfs;
+  mkfs.total_blocks = 2u << 18;  // 4 GiB root filesystem
+  if (!storage::ExtFs::mkfs(bed.device(), t, mkfs).ok()) return 1;
+  auto mount = storage::ExtFs::mount(bed.device(), t);
+  if (!mount.ok()) return 1;
+  storage::ExtFs& fs = *mount.fs;
+
+  storage::ServerOs os(fs);
+  auto boot = os.boot(mount.done);
+  if (!boot.ok()) return 1;
+  std::printf("[%7.2f s] server booted, root filesystem mounted\n",
+              boot.done.seconds());
+
+  storage::kvdb::DbConfig db_cfg;
+  db_cfg.root = "/srv/db";
+  db_cfg.write_buffer_bytes = 48ull << 20;
+  if (!fs.mkdir(boot.done, "/srv").ok()) return 1;
+  auto open = storage::kvdb::Db::open(fs, boot.done, db_cfg);
+  if (!open.ok()) return 1;
+  storage::kvdb::Db& db = *open.db;
+  t = open.done;
+
+  // Preload some customer data.
+  workload::DbBench bench(fs, db);
+  workload::DbBenchConfig bench_cfg;
+  t = bench.fillseq(t, 50000, bench_cfg);
+  t = fs.sync(t).done;
+  std::printf("[%7.2f s] database serving (%llu keys loaded)\n",
+              t.seconds(),
+              static_cast<unsigned long long>(db.last_sequence()));
+
+  // --- The attack begins. --------------------------------------------------
+  core::AttackConfig attack;  // 650 Hz, 140 dB SPL, 1 cm
+  const sim::SimTime attack_start = t;
+  bed.apply_attack(attack_start, attack);
+  std::printf("[%7.2f s] *** attack ON: %.0f Hz, %.0f dB SPL, %.0f cm — "
+              "head off-track %.0f nm (park threshold %.0f nm)\n",
+              attack_start.seconds(), attack.frequency_hz, attack.spl_air_db,
+              attack.distance_m * 100, bed.predicted_offtrack_nm(attack),
+              bed.drive().servo().config().park_fraction *
+                  bed.drive().servo().config().track_pitch_nm);
+
+  auto since = [&](sim::SimTime when) {
+    return (when - attack_start).seconds();
+  };
+
+  // --- Actors: db writer, flush thread, fs daemons, system ticks. ----------
+  std::uint64_t key = 50000;
+  bool reported_stall = false;
+  workload::LambdaActor writer(t, [&](sim::SimTime now) -> sim::SimTime {
+    if (db.fatal()) return sim::SimTime::infinity();
+    auto r = db.put(now, workload::DbBench::make_key(key, 16),
+                    workload::DbBench::make_value(key, 64));
+    if (r.err == Errno::kEAGAIN) {
+      if (!reported_stall) {
+        std::printf("[T+%6.1f s] database write stall: flush wedged on "
+                    "the unresponsive drive\n", since(now));
+        reported_stall = true;
+      }
+      return r.done + sim::Duration::from_millis(50);
+    }
+    if (!r.ok()) return sim::SimTime::infinity();
+    ++key;
+    return r.done;
+  });
+  workload::LambdaActor flusher(t, [&](sim::SimTime now) -> sim::SimTime {
+    if (db.fatal()) return sim::SimTime::infinity();
+    if (db.flush_pending()) {
+      auto r = db.do_flush(now);
+      return sim::max(r.done, now + sim::Duration::from_millis(10));
+    }
+    return now + sim::Duration::from_millis(10);
+  });
+  workload::LambdaActor commit_daemon(t, [&](sim::SimTime now) -> sim::SimTime {
+    if (fs.read_only()) return sim::SimTime::infinity();
+    if (fs.commit_due(now)) {
+      return sim::max(fs.commit(now).done,
+                      now + sim::Duration::from_millis(100));
+    }
+    return now + sim::Duration::from_millis(100);
+  });
+  workload::LambdaActor writeback_daemon(t, [&](sim::SimTime now)
+                                                -> sim::SimTime {
+    if (fs.read_only() || fs.dirty_bytes() == 0) {
+      return now + sim::Duration::from_millis(100);
+    }
+    return sim::max(fs.writeback(now, 8ull << 20).done,
+                    now + sim::Duration::from_millis(100));
+  });
+  workload::LambdaActor ticker(os.next_tick(),
+                               [&](sim::SimTime now) -> sim::SimTime {
+    if (os.crashed()) return sim::SimTime::infinity();
+    os.tick(now);
+    return os.crashed() ? sim::SimTime::infinity() : os.next_tick();
+  });
+
+  workload::ActorScheduler sched;
+  sched.add(writer);
+  sched.add(flusher);
+  sched.add(commit_daemon);
+  sched.add(writeback_daemon);
+  sched.add(ticker);
+
+  bool said_fs = false, said_db = false, said_os = false;
+  sim::SimTime cursor = t;
+  const sim::SimTime limit = attack_start + sim::Duration::from_seconds(120);
+  while (cursor < limit && !(said_fs && said_db && said_os)) {
+    cursor = cursor + sim::Duration::from_millis(250);
+    sched.run_until(cursor);
+    if (!said_fs && fs.read_only()) {
+      std::printf("[T+%6.1f s] EXT4 DEAD: journal aborted with error %d; "
+                  "root filesystem remounted read-only\n",
+                  since(fs.abort_time()), fs.error_code());
+      said_fs = true;
+    }
+    if (!said_db && db.fatal()) {
+      std::printf("[T+%6.1f s] ROCKSDB DEAD: %s\n", since(db.fatal_time()),
+                  db.fatal_message().c_str());
+      said_db = true;
+    }
+    if (!said_os && os.crashed()) {
+      std::printf("[T+%6.1f s] UBUNTU DEAD: %s\n", since(os.crash_time()),
+                  os.crash_reason().c_str());
+      said_os = true;
+    }
+  }
+
+  std::printf("\npost-mortem SMART log of the victim drive:\n%s",
+              hdd::smart_log(bed.drive()).to_text().c_str());
+  std::printf("\ndrive forensics: %llu hung commands, %llu device resets, "
+              "%llu buffer I/O errors\n",
+              static_cast<unsigned long long>(bed.drive().stats().hung_commands),
+              static_cast<unsigned long long>(bed.device().stats().device_resets),
+              static_cast<unsigned long long>(
+                  bed.device().stats().buffer_io_errors));
+  std::printf("paper reference (Table 3): Ext4 80.0 s, Ubuntu 81.0 s, "
+              "RocksDB 81.3 s\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Evaluates the Section 5 defense candidates against the best attack.
+//
+// For each defense: run the FIO write job at the paper's best attack
+// parameters and at a sweep of frequencies, and report how much
+// throughput survives — plus the overheating-risk proxy, since Section 5
+// warns that insulating defenses fight the sea-water cooling that
+// motivated underwater data centers in the first place.
+//
+//   $ ./examples/defense_evaluation
+#include <cstdio>
+
+#include "core/defense.h"
+#include "workload/fio.h"
+
+using namespace deepnote;
+
+namespace {
+
+double write_throughput_under(core::DefenseKind kind, double frequency_hz) {
+  core::ScenarioSpec spec = core::with_defense(
+      core::make_scenario(core::ScenarioId::kPlasticTower), kind);
+  spec.hdd.retain_data = false;
+  core::Testbed bed(spec);
+  core::install_defense(bed, kind);
+
+  core::AttackConfig attack;
+  attack.frequency_hz = frequency_hz;
+  attack.spl_air_db = 140.0;
+  attack.distance_m = 0.01;
+  bed.apply_attack(sim::SimTime::zero(), attack);
+
+  workload::FioJobConfig job;
+  job.pattern = workload::IoPattern::kSeqWrite;
+  job.submit_overhead = spec.fio_submit_overhead;
+  job.ramp = sim::Duration::from_seconds(3.0);
+  job.duration = sim::Duration::from_seconds(10.0);
+  workload::FioRunner runner(bed.device());
+  return runner.run(sim::SimTime::zero(), job).throughput_mbps;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Defense evaluation — Scenario 2, 140 dB SPL at 1 cm\n");
+  std::printf("(sequential-write throughput under attack; baseline "
+              "22.7 MB/s)\n\n");
+
+  const double freqs[] = {300.0, 500.0, 650.0, 900.0, 1300.0};
+  std::printf("%-22s", "defense");
+  for (double f : freqs) std::printf("  %6.0fHz", f);
+  std::printf("   overheat-risk\n");
+  std::printf("%s\n", std::string(22 + 5 * 9 + 16, '-').c_str());
+
+  for (auto kind : {core::DefenseKind::kNone,
+                    core::DefenseKind::kAbsorbingLiner,
+                    core::DefenseKind::kVibrationDampener,
+                    core::DefenseKind::kAugmentedController}) {
+    const auto props = core::defense_properties(kind);
+    std::printf("%-22s", props.name.c_str());
+    for (double f : freqs) {
+      std::printf("  %6.1f ", write_throughput_under(kind, f));
+    }
+    std::printf("   %.2f\n", props.overheating_risk);
+  }
+
+  std::printf(
+      "\nreading: the dampener and controller recover most of the band;\n"
+      "the foam liner helps mainly above ~1 kHz (poor low-frequency\n"
+      "absorption) and carries the worst overheating risk — the tradeoff\n"
+      "Section 5 of the paper warns about.\n");
+  return 0;
+}

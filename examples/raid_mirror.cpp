@@ -1,0 +1,92 @@
+// Does RAID protect against acoustic attacks? Only if the mirrors do
+// not share an enclosure.
+//
+// Two deployments of a RAID-1 pair, both attacked at 650 Hz / 140 dB
+// from 3 cm:
+//   (a) both members in the attacked tower  -> the array dies whole;
+//   (b) one member in a remote enclosure    -> the array limps through
+//       two 75 s command timeouts, ejects the wedged member, and then
+//       serves at full speed in degraded mode.
+//
+//   $ ./examples/raid_mirror
+#include <cstdio>
+#include <vector>
+
+#include "core/rack.h"
+#include "storage/raid.h"
+
+using namespace deepnote;
+
+namespace {
+
+void run_deployment(const char* label, bool shared_enclosure) {
+  std::printf("=== %s ===\n", label);
+  core::RackConfig cfg;
+  core::RackTestbed attacked(cfg);
+  core::RackTestbed remote(cfg);
+
+  core::AttackConfig attack;
+  attack.frequency_hz = 650.0;
+  attack.spl_air_db = 140.0;
+  attack.distance_m = 0.03;
+  attacked.apply_attack(sim::SimTime::zero(), attack);
+
+  storage::BlockDevice* m0 = &attacked.device(0);
+  storage::BlockDevice* m1 =
+      shared_enclosure
+          ? static_cast<storage::BlockDevice*>(&attacked.device(1))
+          : &remote.device(0);
+  storage::Raid1Device raid({m0, m1});
+
+  std::vector<std::byte> block(4096, std::byte{0x5a});
+  sim::SimTime t = sim::SimTime::zero();
+  std::uint64_t lba = 0;
+  double window_bytes = 0.0;
+  sim::SimTime window_start = t;
+  int reported_eject = 0;
+  const sim::SimTime end = sim::SimTime::from_seconds(240);
+  while (t < end) {
+    const storage::BlockIo io =
+        raid.write(t + sim::Duration::from_micros(100), lba, 8, block);
+    lba += 8;
+    if (io.ok()) window_bytes += 4096;
+    t = io.complete;
+    const std::size_t ejected = raid.members() - raid.active_members();
+    if (static_cast<int>(ejected) > reported_eject) {
+      reported_eject = static_cast<int>(ejected);
+      std::printf("  [%6.1f s] md: %d member(s) FAILED and ejected "
+                  "(%zu still active)\n",
+                  t.seconds(), reported_eject, raid.active_members());
+    }
+    if ((t - window_start).seconds() >= 30.0) {
+      std::printf("  [%6.1f s] array throughput over last 30 s: %5.1f MB/s"
+                  "  (degraded writes %llu, failed I/Os %llu)\n",
+                  t.seconds(), window_bytes / 1e6 / 30.0,
+                  static_cast<unsigned long long>(
+                      raid.stats().degraded_writes),
+                  static_cast<unsigned long long>(raid.stats().failed_ios));
+      window_bytes = 0.0;
+      window_start = t;
+    }
+    if (raid.active_members() == 0) {
+      std::printf("  [%6.1f s] ARRAY DEAD: all members ejected\n",
+                  t.seconds());
+      break;
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("RAID-1 vs the acoustic attack (650 Hz, 140 dB SPL, 3 cm)\n\n");
+  run_deployment("deployment A: both mirrors in the attacked tower", true);
+  run_deployment("deployment B: second mirror in a remote enclosure", false);
+  std::printf(
+      "Takeaway: redundancy only helps against *independent* failures.\n"
+      "An acoustic attack is a common-mode fault for every spindle in\n"
+      "the insonified enclosure — mirrors must be physically separated\n"
+      "(different vessel, or at least acoustic isolation) to survive.\n");
+  return 0;
+}

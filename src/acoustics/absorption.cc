@@ -1,0 +1,101 @@
+#include "acoustics/absorption.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace deepnote::acoustics {
+namespace {
+
+// Shared relaxation building block: f_rel * f^2 / (f_rel^2 + f^2),
+// frequencies in kHz.
+double relaxation(double f_khz, double f_rel_khz) {
+  return f_rel_khz * f_khz * f_khz / (f_rel_khz * f_rel_khz + f_khz * f_khz);
+}
+
+}  // namespace
+
+double ainslie_mccolm_db_per_km(double frequency_hz, double t, double s,
+                                double depth_m, double ph) {
+  const double f = frequency_hz / 1000.0;  // kHz
+  const double z = depth_m / 1000.0;       // km
+
+  // Boric acid relaxation.
+  const double f1 = 0.78 * std::sqrt(std::max(s, 0.0) / 35.0) *
+                    std::exp(t / 26.0);  // kHz
+  const double boric =
+      0.106 * relaxation(f, f1) * std::exp((ph - 8.0) / 0.56);
+
+  // Magnesium sulfate relaxation.
+  const double f2 = 42.0 * std::exp(t / 17.0);  // kHz
+  const double mgso4 = 0.52 * (1.0 + t / 43.0) * (s / 35.0) *
+                       relaxation(f, f2) * std::exp(-z / 6.0);
+
+  // Viscous (pure water) term.
+  const double viscous =
+      0.00049 * f * f * std::exp(-(t / 27.0 + z / 17.0));
+
+  return boric + mgso4 + viscous;
+}
+
+double fisher_simmons_db_per_km(double frequency_hz, double t, double s,
+                                double depth_m) {
+  // Fisher & Simmons (1977), as commonly tabulated: three terms with
+  // pressure corrections. Frequencies in Hz, pressure in atm; the A_i
+  // carry units such that alpha comes out in dB/km when multiplied by
+  // the relaxation quotient in Hz.
+  const double theta = t + 273.1;
+  const double p_atm = 1.0 + depth_m / 10.0;  // ~1 atm per 10 m
+
+  // Boric acid.
+  const double a1 = 1.03e-8 + 2.36e-10 * t - 5.22e-12 * t * t;
+  const double f1 = 1.32e3 * theta * std::exp(-1700.0 / theta);  // Hz
+  const double p1 = 1.0;
+
+  // Magnesium sulfate.
+  const double a2 = 5.62e-8 + 7.52e-10 * t;
+  const double f2 = 1.55e7 * theta * std::exp(-3052.0 / theta);  // Hz
+  const double p2 = 1.0 - 10.3e-4 * p_atm + 3.7e-7 * p_atm * p_atm;
+
+  // Pure water.
+  const double a3 =
+      (55.9 - 2.37 * t + 4.77e-2 * t * t - 3.48e-4 * t * t * t) * 1e-15;
+  const double p3 = 1.0 - 3.84e-4 * p_atm + 7.57e-8 * p_atm * p_atm;
+
+  const double f = frequency_hz;
+  const double f_sq = f * f;
+  double alpha =
+      a1 * p1 * f1 * f_sq / (f1 * f1 + f_sq) +
+      a2 * p2 * f2 * f_sq / (f2 * f2 + f_sq) * (s / 35.0) +
+      a3 * p3 * f_sq;
+  // The original coefficients produce dB/m at these scales; report dB/km.
+  return alpha * 1000.0;
+}
+
+double freshwater_db_per_km(double frequency_hz, double t, double depth_m) {
+  const double f = frequency_hz / 1000.0;  // kHz
+  const double z = depth_m / 1000.0;       // km
+  return 0.00049 * f * f * std::exp(-(t / 27.0 + z / 17.0));
+}
+
+double absorption_db_per_km(AbsorptionModel model, double frequency_hz,
+                            const WaterConditions& w) {
+  switch (model) {
+    case AbsorptionModel::kAinslieMcColm:
+      return ainslie_mccolm_db_per_km(frequency_hz, w.temperature_c,
+                                      w.salinity_ppt, w.depth_m, w.ph);
+    case AbsorptionModel::kFisherSimmons:
+      return fisher_simmons_db_per_km(frequency_hz, w.temperature_c,
+                                      w.salinity_ppt, w.depth_m);
+    case AbsorptionModel::kFreshwater:
+      return freshwater_db_per_km(frequency_hz, w.temperature_c, w.depth_m);
+  }
+  throw std::invalid_argument("unknown absorption model");
+}
+
+double path_absorption_db(AbsorptionModel model, double frequency_hz,
+                          const WaterConditions& water, double distance_m) {
+  return absorption_db_per_km(model, frequency_hz, water) *
+         (distance_m / 1000.0);
+}
+
+}  // namespace deepnote::acoustics

@@ -1,0 +1,47 @@
+// Sound absorption in water.
+//
+// Two models from the paper's references:
+//  * Ainslie & McColm (1998) — the "simple and accurate formula" evaluated
+//    by van Moll, Ainslie & van Vossen (2009), reference [47].
+//  * Fisher & Simmons (1977), reference [15].
+// Plus a pure-water (freshwater tank) model consisting of the viscous term
+// only, applicable to the paper's laboratory testbed.
+//
+// All models return the absorption coefficient alpha in dB/km.
+#pragma once
+
+#include "acoustics/medium.h"
+
+namespace deepnote::acoustics {
+
+enum class AbsorptionModel {
+  kAinslieMcColm,  ///< seawater, boric acid + MgSO4 + viscous terms
+  kFisherSimmons,  ///< seawater, relaxation formulation
+  kFreshwater,     ///< pure-water viscous term only
+};
+
+/// Absorption coefficient in dB/km at the given frequency.
+double absorption_db_per_km(AbsorptionModel model, double frequency_hz,
+                            const WaterConditions& water);
+
+/// Ainslie & McColm (1998) formula. f in Hz; T Celsius; S ppt; z meters;
+/// pH dimensionless. Returns dB/km.
+double ainslie_mccolm_db_per_km(double frequency_hz, double temperature_c,
+                                double salinity_ppt, double depth_m,
+                                double ph);
+
+/// Fisher & Simmons (1977) formulation (S = 35 ppt assumed by the original
+/// paper; we scale the chemical relaxation terms linearly in S/35 which is
+/// the standard engineering extension). Returns dB/km.
+double fisher_simmons_db_per_km(double frequency_hz, double temperature_c,
+                                double salinity_ppt, double depth_m);
+
+/// Pure-water viscous absorption (the freshwater tank case). Returns dB/km.
+double freshwater_db_per_km(double frequency_hz, double temperature_c,
+                            double depth_m);
+
+/// Total path absorption over `distance_m`, in dB.
+double path_absorption_db(AbsorptionModel model, double frequency_hz,
+                          const WaterConditions& water, double distance_m);
+
+}  // namespace deepnote::acoustics

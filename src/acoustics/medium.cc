@@ -1,0 +1,58 @@
+#include "acoustics/medium.h"
+
+#include <cmath>
+
+namespace deepnote::acoustics {
+
+WaterConditions WaterConditions::tank() {
+  return WaterConditions{.temperature_c = 22.0,
+                         .salinity_ppt = 0.0,
+                         .depth_m = 0.5,
+                         .ph = 7.0};
+}
+
+WaterConditions WaterConditions::ocean(double depth_m) {
+  return WaterConditions{.temperature_c = 10.0,
+                         .salinity_ppt = 35.0,
+                         .depth_m = depth_m,
+                         .ph = 8.0};
+}
+
+WaterConditions WaterConditions::baltic() {
+  return WaterConditions{.temperature_c = 8.0,
+                         .salinity_ppt = 7.0,
+                         .depth_m = 50.0,
+                         .ph = 7.9};
+}
+
+Medium::Medium(WaterConditions conditions) : conditions_(conditions) {}
+
+double Medium::medwin_sound_speed(double t, double s, double z) {
+  // Medwin (1975): c = 1449.2 + 4.6T - 0.055T^2 + 0.00029T^3
+  //                    + (1.34 - 0.010T)(S - 35) + 0.016z
+  return 1449.2 + 4.6 * t - 0.055 * t * t + 0.00029 * t * t * t +
+         (1.34 - 0.010 * t) * (s - 35.0) + 0.016 * z;
+}
+
+double Medium::sound_speed() const {
+  return medwin_sound_speed(conditions_.temperature_c, conditions_.salinity_ppt,
+                            conditions_.depth_m);
+}
+
+double Medium::density() const {
+  // Linearised fit around fresh water at 20 C: +0.77 kg/m^3 per ppt
+  // salinity, -0.2 kg/m^3 per C above 20, +~0.0045 kg/m^3 per meter of
+  // depth (compressibility). Adequate for impedance computation; density
+  // enters the model only through rho*c.
+  const auto& c = conditions_;
+  return 998.2 + 0.77 * c.salinity_ppt - 0.2 * (c.temperature_c - 20.0) +
+         0.0045 * c.depth_m;
+}
+
+double Medium::impedance() const { return density() * sound_speed(); }
+
+double Medium::wavelength(double frequency_hz) const {
+  return sound_speed() / frequency_hz;
+}
+
+}  // namespace deepnote::acoustics

@@ -1,0 +1,55 @@
+// Water medium model: sound speed, density, acoustic impedance.
+//
+// Sound speed uses Medwin's (1975) simple equation, valid for
+// 0<=T<=35 C, 0<=S<=45 ppt, 0<=z<=1000 m — the equation the paper cites
+// ([30]) when discussing how temperature/salinity/depth change the attack.
+#pragma once
+
+namespace deepnote::acoustics {
+
+struct WaterConditions {
+  double temperature_c = 20.0;  ///< water temperature, Celsius
+  double salinity_ppt = 0.0;    ///< salinity, parts per thousand
+  double depth_m = 1.0;         ///< depth of the propagation path, meters
+  double ph = 8.0;              ///< acidity (affects boric-acid absorption)
+
+  /// Lab tank used in the paper: room-temperature fresh water, shallow.
+  static WaterConditions tank();
+  /// Open-ocean defaults (T=10C, S=35ppt, pH=8).
+  static WaterConditions ocean(double depth_m = 36.0);
+  /// Brackish Baltic conditions cited in Section 4.2 (S~7 ppt, 50 m).
+  static WaterConditions baltic();
+};
+
+class Medium {
+ public:
+  explicit Medium(WaterConditions conditions = WaterConditions::tank());
+
+  const WaterConditions& conditions() const { return conditions_; }
+
+  /// Speed of sound in m/s (Medwin 1975).
+  double sound_speed() const;
+
+  /// Water density in kg/m^3 (linearised UNESCO-style fit: temperature and
+  /// salinity corrections around 1000 kg/m^3).
+  double density() const;
+
+  /// Characteristic acoustic impedance rho*c, in rayl (Pa*s/m).
+  double impedance() const;
+
+  /// Wavelength at the given frequency, meters.
+  double wavelength(double frequency_hz) const;
+
+  /// Static helper: Medwin's equation directly.
+  static double medwin_sound_speed(double temperature_c, double salinity_ppt,
+                                   double depth_m);
+
+ private:
+  WaterConditions conditions_;
+};
+
+/// Reference: speed of sound in air at 20 C (for the "4x faster" comparison
+/// in Section 2.2).
+inline constexpr double kSoundSpeedAirMs = 343.0;
+
+}  // namespace deepnote::acoustics

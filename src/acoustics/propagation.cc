@@ -1,0 +1,66 @@
+#include "acoustics/propagation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deepnote::acoustics {
+
+PropagationPath::PropagationPath(Medium medium, SpreadingParams spreading,
+                                 AbsorptionModel absorption)
+    : medium_(medium), spreading_(spreading), absorption_(absorption) {}
+
+double PropagationPath::transmission_loss_db(double frequency_hz,
+                                             double distance_m) const {
+  return spreading_loss_db(spreading_, distance_m) +
+         path_absorption_db(absorption_, frequency_hz, medium_.conditions(),
+                            distance_m);
+}
+
+double PropagationPath::received_spl_db(const ToneState& emitted,
+                                        double distance_m) const {
+  return emitted.level_db -
+         transmission_loss_db(emitted.frequency_hz, distance_m);
+}
+
+ToneState PropagationPath::received(const ToneState& emitted,
+                                    double distance_m) const {
+  if (!emitted.active) return emitted;
+  ToneState out = emitted;
+  out.level_db = received_spl_db(emitted, distance_m);
+  return out;
+}
+
+double PropagationPath::delay_seconds(double distance_m) const {
+  return distance_m / medium_.sound_speed();
+}
+
+double PropagationPath::required_source_level_db(double frequency_hz,
+                                                 double distance_m,
+                                                 double target_spl_db) const {
+  return target_spl_db + transmission_loss_db(frequency_hz, distance_m);
+}
+
+double PropagationPath::max_effective_range_m(double frequency_hz,
+                                              double source_level_db,
+                                              double target_spl_db,
+                                              double search_limit_m) const {
+  auto delivered = [&](double d) {
+    return source_level_db - transmission_loss_db(frequency_hz, d);
+  };
+  double lo = spreading_.reference_distance_m;
+  if (delivered(lo) < target_spl_db) return 0.0;
+  if (delivered(search_limit_m) >= target_spl_db) return search_limit_m;
+  double hi = search_limit_m;
+  // TL is monotone in distance, so bisection converges.
+  for (int i = 0; i < 200 && (hi - lo) > 1e-6 * hi; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (delivered(mid) >= target_spl_db) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace deepnote::acoustics

@@ -1,0 +1,57 @@
+// End-to-end underwater propagation path: source -> water -> receiver.
+//
+// Combines geometric spreading and frequency-dependent absorption to give
+// the incident SPL at a receiver (e.g. the enclosure wall) for a given
+// emitted tone, plus utility solvers for the range-extension discussion
+// in Section 4.2 / 5 of the paper.
+#pragma once
+
+#include "acoustics/absorption.h"
+#include "acoustics/medium.h"
+#include "acoustics/signal.h"
+#include "acoustics/spreading.h"
+
+namespace deepnote::acoustics {
+
+class PropagationPath {
+ public:
+  PropagationPath(Medium medium, SpreadingParams spreading,
+                  AbsorptionModel absorption);
+
+  /// Total one-way transmission loss at the given frequency/distance, dB.
+  double transmission_loss_db(double frequency_hz, double distance_m) const;
+
+  /// SPL at the receiver given an emitted tone (level defined at the
+  /// spreading reference distance). dB re 1 uPa.
+  double received_spl_db(const ToneState& emitted, double distance_m) const;
+
+  /// Received tone: same frequency, attenuated level; inactive tones pass
+  /// through unchanged.
+  ToneState received(const ToneState& emitted, double distance_m) const;
+
+  /// Propagation delay over the path, seconds.
+  double delay_seconds(double distance_m) const;
+
+  /// Solve for the source level needed to deliver `target_spl_db` at
+  /// `distance_m` (the attacker's "raise the volume" computation).
+  double required_source_level_db(double frequency_hz, double distance_m,
+                                  double target_spl_db) const;
+
+  /// Solve (bisection) for the maximum distance at which a source of
+  /// `source_level_db` still delivers at least `target_spl_db`.
+  /// Returns 0 if unreachable even at the reference distance.
+  double max_effective_range_m(double frequency_hz, double source_level_db,
+                               double target_spl_db,
+                               double search_limit_m = 1e6) const;
+
+  const Medium& medium() const { return medium_; }
+  const SpreadingParams& spreading() const { return spreading_; }
+  AbsorptionModel absorption_model() const { return absorption_; }
+
+ private:
+  Medium medium_;
+  SpreadingParams spreading_;
+  AbsorptionModel absorption_;
+};
+
+}  // namespace deepnote::acoustics

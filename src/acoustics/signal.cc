@@ -1,0 +1,127 @@
+#include "acoustics/signal.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace deepnote::acoustics {
+
+ToneSignal::ToneSignal(double frequency_hz, double level_db,
+                       sim::SimTime start, sim::SimTime end)
+    : frequency_hz_(frequency_hz),
+      level_db_(level_db),
+      start_(start),
+      end_(end) {
+  if (frequency_hz <= 0.0) {
+    throw std::invalid_argument("ToneSignal: frequency must be positive");
+  }
+}
+
+ToneState ToneSignal::at(sim::SimTime t) const {
+  if (t < start_ || t >= end_) return ToneState{};
+  return ToneState{frequency_hz_, level_db_, true};
+}
+
+SteppedSweepSignal::SteppedSweepSignal(std::vector<double> frequencies_hz,
+                                       double level_db, sim::Duration dwell,
+                                       sim::SimTime start)
+    : frequencies_hz_(std::move(frequencies_hz)),
+      level_db_(level_db),
+      dwell_(dwell),
+      start_(start) {
+  if (frequencies_hz_.empty()) {
+    throw std::invalid_argument("SteppedSweepSignal: empty frequency plan");
+  }
+  if (dwell_.ns() <= 0) {
+    throw std::invalid_argument("SteppedSweepSignal: dwell must be positive");
+  }
+}
+
+ToneState SteppedSweepSignal::at(sim::SimTime t) const {
+  if (t < start_) return ToneState{};
+  const auto idx = static_cast<std::size_t>((t - start_).ns() / dwell_.ns());
+  if (idx >= frequencies_hz_.size()) return ToneState{};
+  return ToneState{frequencies_hz_[idx], level_db_, true};
+}
+
+std::vector<double> SteppedSweepSignal::geometric_plan(double lo_hz,
+                                                       double hi_hz,
+                                                       double ratio) {
+  if (lo_hz <= 0 || hi_hz < lo_hz || ratio <= 1.0) {
+    throw std::invalid_argument("geometric_plan: bad parameters");
+  }
+  std::vector<double> plan;
+  for (double f = lo_hz; f <= hi_hz * (1.0 + 1e-9); f *= ratio) {
+    plan.push_back(f);
+  }
+  return plan;
+}
+
+std::vector<double> SteppedSweepSignal::linear_plan(double lo_hz, double hi_hz,
+                                                    double step_hz) {
+  if (lo_hz <= 0 || hi_hz < lo_hz || step_hz <= 0.0) {
+    throw std::invalid_argument("linear_plan: bad parameters");
+  }
+  std::vector<double> plan;
+  for (double f = lo_hz; f <= hi_hz + step_hz * 1e-9; f += step_hz) {
+    plan.push_back(f);
+  }
+  return plan;
+}
+
+ChirpSignal::ChirpSignal(double f0_hz, double f1_hz, double level_db,
+                         sim::SimTime start, sim::Duration duration)
+    : f0_hz_(f0_hz),
+      f1_hz_(f1_hz),
+      level_db_(level_db),
+      start_(start),
+      duration_(duration) {
+  if (f0_hz <= 0.0 || f1_hz <= 0.0) {
+    throw std::invalid_argument("ChirpSignal: frequencies must be positive");
+  }
+  if (duration.ns() <= 0) {
+    throw std::invalid_argument("ChirpSignal: duration must be positive");
+  }
+}
+
+ToneState ChirpSignal::at(sim::SimTime t) const {
+  if (t < start_) return ToneState{};
+  const double frac =
+      static_cast<double>((t - start_).ns()) /
+      static_cast<double>(duration_.ns());
+  if (frac >= 1.0) return ToneState{};
+  return ToneState{f0_hz_ + (f1_hz_ - f0_hz_) * frac, level_db_, true};
+}
+
+
+PulsedToneSignal::PulsedToneSignal(double frequency_hz, double level_db,
+                                   sim::Duration period, double duty,
+                                   sim::SimTime start, sim::SimTime end)
+    : frequency_hz_(frequency_hz),
+      level_db_(level_db),
+      period_(period),
+      duty_(duty),
+      start_(start),
+      end_(end) {
+  if (frequency_hz <= 0.0) {
+    throw std::invalid_argument("PulsedToneSignal: frequency must be > 0");
+  }
+  if (period.ns() <= 0) {
+    throw std::invalid_argument("PulsedToneSignal: period must be > 0");
+  }
+  if (duty < 0.0 || duty > 1.0) {
+    throw std::invalid_argument("PulsedToneSignal: duty must be in [0,1]");
+  }
+}
+
+ToneState PulsedToneSignal::at(sim::SimTime t) const {
+  if (t < start_ || t >= end_) return ToneState{};
+  const std::int64_t in_period = (t - start_).ns() % period_.ns();
+  const auto on_ns = static_cast<std::int64_t>(
+      duty_ * static_cast<double>(period_.ns()));
+  if (in_period >= on_ns) return ToneState{};
+  return ToneState{frequency_hz_, level_db_, true};
+}
+
+}  // namespace deepnote::acoustics

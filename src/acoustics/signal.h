@@ -1,0 +1,109 @@
+// Attack signal generators.
+//
+// The attacker in the paper drives the speaker from GNU Radio with sine
+// waves; the sweep procedure in Section 4.1 steps frequency over time.
+// A Signal maps simulated time to the instantaneous (frequency, level)
+// pair the speaker is asked to emit. The storage-side model only needs
+// this narrowband description — a full sample-level waveform would add
+// nothing but cost.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace deepnote::acoustics {
+
+/// Narrowband description of the drive signal at one instant.
+struct ToneState {
+  double frequency_hz = 0.0;
+  double level_db = 0.0;  ///< requested level, dB re 1 uPa at ref distance
+  bool active = false;
+};
+
+class Signal {
+ public:
+  virtual ~Signal() = default;
+  virtual ToneState at(sim::SimTime t) const = 0;
+};
+
+/// Constant sine tone, optionally bounded in time.
+class ToneSignal final : public Signal {
+ public:
+  ToneSignal(double frequency_hz, double level_db,
+             sim::SimTime start = sim::SimTime::zero(),
+             sim::SimTime end = sim::SimTime::infinity());
+  ToneState at(sim::SimTime t) const override;
+
+ private:
+  double frequency_hz_;
+  double level_db_;
+  sim::SimTime start_;
+  sim::SimTime end_;
+};
+
+/// Stepped frequency sweep: holds each frequency for `dwell`, in order.
+class SteppedSweepSignal final : public Signal {
+ public:
+  SteppedSweepSignal(std::vector<double> frequencies_hz, double level_db,
+                     sim::Duration dwell,
+                     sim::SimTime start = sim::SimTime::zero());
+  ToneState at(sim::SimTime t) const override;
+
+  /// Build the paper's Section 4.1 sweep plan: coarse steps from `lo` to
+  /// `hi` multiplying by `ratio` each step.
+  static std::vector<double> geometric_plan(double lo_hz, double hi_hz,
+                                            double ratio);
+  /// Linear plan with fixed increment (e.g. the 50 Hz narrowing pass).
+  static std::vector<double> linear_plan(double lo_hz, double hi_hz,
+                                         double step_hz);
+
+ private:
+  std::vector<double> frequencies_hz_;
+  double level_db_;
+  sim::Duration dwell_;
+  sim::SimTime start_;
+};
+
+/// Continuous linear chirp between two frequencies over a duration.
+class ChirpSignal final : public Signal {
+ public:
+  ChirpSignal(double f0_hz, double f1_hz, double level_db,
+              sim::SimTime start, sim::Duration duration);
+  ToneState at(sim::SimTime t) const override;
+
+ private:
+  double f0_hz_;
+  double f1_hz_;
+  double level_db_;
+  sim::SimTime start_;
+  sim::Duration duration_;
+};
+
+/// Duty-cycled tone: ON for duty*period, OFF for the rest, repeating.
+/// Models the paper's first attacker objective — a *controlled* loss of
+/// throughput for a chosen amount of time.
+class PulsedToneSignal final : public Signal {
+ public:
+  PulsedToneSignal(double frequency_hz, double level_db, sim::Duration period,
+                   double duty, sim::SimTime start = sim::SimTime::zero(),
+                   sim::SimTime end = sim::SimTime::infinity());
+  ToneState at(sim::SimTime t) const override;
+
+ private:
+  double frequency_hz_;
+  double level_db_;
+  sim::Duration period_;
+  double duty_;
+  sim::SimTime start_;
+  sim::SimTime end_;
+};
+
+/// Silence (useful as a baseline "no attack" signal).
+class SilenceSignal final : public Signal {
+ public:
+  ToneState at(sim::SimTime) const override { return ToneState{}; }
+};
+
+}  // namespace deepnote::acoustics

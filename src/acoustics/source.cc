@@ -1,0 +1,62 @@
+#include "acoustics/source.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace deepnote::acoustics {
+
+SpeakerSpec SpeakerSpec::aq339_diluvio() {
+  // Full-range pool speaker: usable well below 100 Hz through ~17 kHz,
+  // loud enough to deliver the paper's 140 dB(air-equivalent) signal.
+  return SpeakerSpec{.passband_lo_hz = 60.0,
+                     .passband_hi_hz = 17000.0,
+                     .rolloff_db_per_octave = 12.0,
+                     .max_output_db = 180.0,
+                     .reference_distance_m = 0.01};
+}
+
+SpeakerSpec SpeakerSpec::sonar_projector() {
+  return SpeakerSpec{.passband_lo_hz = 50.0,
+                     .passband_hi_hz = 40000.0,
+                     .rolloff_db_per_octave = 18.0,
+                     .max_output_db = 220.0,
+                     .reference_distance_m = 1.0};
+}
+
+AmplifierSpec AmplifierSpec::toa_bg2120() {
+  return AmplifierSpec{.gain_db = 0.0, .clip_level_db = 200.0};
+}
+
+AcousticSource::AcousticSource(std::shared_ptr<const Signal> signal,
+                               SpeakerSpec speaker, AmplifierSpec amplifier)
+    : signal_(std::move(signal)), speaker_(speaker), amplifier_(amplifier) {
+  if (!signal_) {
+    throw std::invalid_argument("AcousticSource: signal must not be null");
+  }
+}
+
+double AcousticSource::speaker_response_db(double frequency_hz) const {
+  if (frequency_hz <= 0.0) return -200.0;
+  double octaves_outside = 0.0;
+  if (frequency_hz < speaker_.passband_lo_hz) {
+    octaves_outside = std::log2(speaker_.passband_lo_hz / frequency_hz);
+  } else if (frequency_hz > speaker_.passband_hi_hz) {
+    octaves_outside = std::log2(frequency_hz / speaker_.passband_hi_hz);
+  }
+  return -speaker_.rolloff_db_per_octave * octaves_outside;
+}
+
+ToneState AcousticSource::emitted(sim::SimTime t) const {
+  ToneState tone = signal_->at(t);
+  if (!tone.active) return tone;
+  double level = tone.level_db + amplifier_.gain_db;
+  level = std::min(level, amplifier_.clip_level_db);
+  level += speaker_response_db(tone.frequency_hz);
+  level = std::min(level, speaker_.max_output_db);
+  tone.level_db = level;
+  return tone;
+}
+
+}  // namespace deepnote::acoustics

@@ -1,0 +1,64 @@
+// Underwater sound source: amplifier + transducer (speaker).
+//
+// Models the paper's transmit chain (laptop/GNU Radio -> TOA BG-2120
+// amplifier -> Clark Synthesis AQ339 Diluvio underwater speaker). The
+// output we care about is the source level actually emitted at the
+// speaker's calibration distance as a function of frequency: the speaker
+// has a usable passband with roll-off outside it and a maximum output
+// level; the amplifier contributes gain and a clip ceiling.
+#pragma once
+
+#include <memory>
+
+#include "acoustics/signal.h"
+#include "sim/time.h"
+
+namespace deepnote::acoustics {
+
+/// Transducer frequency response and output limits.
+struct SpeakerSpec {
+  double passband_lo_hz = 100.0;
+  double passband_hi_hz = 17000.0;
+  double rolloff_db_per_octave = 12.0;  ///< attenuation outside the passband
+  double max_output_db = 180.0;         ///< dB re 1 uPa at ref distance
+  double reference_distance_m = 0.01;   ///< where the source level is defined
+
+  /// Clark Synthesis AQ339 Diluvio-like swimming-pool speaker.
+  static SpeakerSpec aq339_diluvio();
+  /// Powerful sonar-class projector (Section 5 "military grade" discussion).
+  static SpeakerSpec sonar_projector();
+};
+
+struct AmplifierSpec {
+  double gain_db = 0.0;
+  double clip_level_db = 200.0;  ///< output ceiling imposed by the amp
+
+  static AmplifierSpec toa_bg2120();
+};
+
+/// A complete acoustic source: a drive signal played through an amplifier
+/// and a speaker. emitted() reports the tone the water actually receives
+/// at the speaker's reference distance.
+class AcousticSource {
+ public:
+  AcousticSource(std::shared_ptr<const Signal> signal, SpeakerSpec speaker,
+                 AmplifierSpec amplifier = AmplifierSpec{});
+
+  /// The tone emitted at time t; `level_db` is the realised source level
+  /// (dB re 1 uPa @ reference distance) after amp gain, speaker response
+  /// and both clip ceilings.
+  ToneState emitted(sim::SimTime t) const;
+
+  /// Speaker response in dB (<= 0) at the given frequency.
+  double speaker_response_db(double frequency_hz) const;
+
+  const SpeakerSpec& speaker() const { return speaker_; }
+  const AmplifierSpec& amplifier() const { return amplifier_; }
+
+ private:
+  std::shared_ptr<const Signal> signal_;
+  SpeakerSpec speaker_;
+  AmplifierSpec amplifier_;
+};
+
+}  // namespace deepnote::acoustics

@@ -1,0 +1,29 @@
+#include "acoustics/spreading.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace deepnote::acoustics {
+
+double spreading_loss_db(const SpreadingParams& params, double distance_m) {
+  const double r0 = params.reference_distance_m;
+  if (r0 <= 0.0) {
+    throw std::invalid_argument("spreading: reference distance must be > 0");
+  }
+  const double r = std::max(distance_m, r0);
+  switch (params.model) {
+    case SpreadingModel::kSpherical:
+      return 20.0 * std::log10(r / r0);
+    case SpreadingModel::kCylindrical:
+      return 10.0 * std::log10(r / r0);
+    case SpreadingModel::kPractical: {
+      const double rt = std::max(params.transition_range_m, r0);
+      if (r <= rt) return 20.0 * std::log10(r / r0);
+      return 20.0 * std::log10(rt / r0) + 10.0 * std::log10(r / rt);
+    }
+  }
+  throw std::invalid_argument("unknown spreading model");
+}
+
+}  // namespace deepnote::acoustics

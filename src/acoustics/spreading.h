@@ -1,0 +1,29 @@
+// Geometric spreading loss models.
+//
+// Transmission loss from geometric spreading between a reference distance
+// r0 and a receiver at distance r:
+//   spherical:   TL = 20 log10(r/r0)   (free field, short range)
+//   cylindrical: TL = 10 log10(r/r0)   (ducted, long range shallow water)
+//   practical:   spherical out to a transition range, cylindrical beyond.
+#pragma once
+
+namespace deepnote::acoustics {
+
+enum class SpreadingModel {
+  kSpherical,
+  kCylindrical,
+  kPractical,
+};
+
+struct SpreadingParams {
+  SpreadingModel model = SpreadingModel::kSpherical;
+  double reference_distance_m = 0.01;  ///< source calibration distance
+  double transition_range_m = 100.0;   ///< spherical->cylindrical handoff
+};
+
+/// Transmission loss in dB at distance r (>= reference distance; values
+/// inside the reference distance are clamped to 0 dB — the source level is
+/// by definition the level at the reference distance).
+double spreading_loss_db(const SpreadingParams& params, double distance_m);
+
+}  // namespace deepnote::acoustics

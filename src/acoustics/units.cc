@@ -1,0 +1,40 @@
+#include "acoustics/units.h"
+
+#include <cmath>
+
+namespace deepnote::acoustics {
+
+double db_from_power_ratio(double ratio) { return 10.0 * std::log10(ratio); }
+double db_from_field_ratio(double ratio) { return 20.0 * std::log10(ratio); }
+double power_ratio_from_db(double db) { return std::pow(10.0, db / 10.0); }
+double field_ratio_from_db(double db) { return std::pow(10.0, db / 20.0); }
+
+double air_to_water_reference_shift_db() {
+  return db_from_field_ratio(kRefPressureAirPa / kRefPressureWaterPa);
+}
+
+double spl_water_db_to_pa(double db_re_1upa) {
+  return kRefPressureWaterPa * field_ratio_from_db(db_re_1upa);
+}
+
+double pa_to_spl_water_db(double pa) {
+  return db_from_field_ratio(pa / kRefPressureWaterPa);
+}
+
+double spl_air_db_to_pa(double db_re_20upa) {
+  return kRefPressureAirPa * field_ratio_from_db(db_re_20upa);
+}
+
+double pa_to_spl_air_db(double pa) {
+  return db_from_field_ratio(pa / kRefPressureAirPa);
+}
+
+double spl_air_db_to_water_db(double db_re_20upa) {
+  return db_re_20upa + air_to_water_reference_shift_db();
+}
+
+double spl_water_db_to_air_db(double db_re_1upa) {
+  return db_re_1upa - air_to_water_reference_shift_db();
+}
+
+}  // namespace deepnote::acoustics

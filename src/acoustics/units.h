@@ -1,0 +1,36 @@
+// Acoustic unit conversions.
+//
+// Underwater acoustics expresses sound pressure level (SPL) in dB relative
+// to 1 uPa; airborne acoustics uses 20 uPa. The paper's conversion rule
+// (Section 2.2) is SPL_water = SPL_air + 20*log10(20uPa/1uPa) ~= +26 dB.
+#pragma once
+
+namespace deepnote::acoustics {
+
+/// Reference pressures, in pascal.
+inline constexpr double kRefPressureWaterPa = 1e-6;   // 1 uPa
+inline constexpr double kRefPressureAirPa = 20e-6;    // 20 uPa
+
+/// Exact value of the air->water reference shift, 20*log10(20) dB.
+double air_to_water_reference_shift_db();
+
+/// dB re 1 uPa  <->  pascal (RMS).
+double spl_water_db_to_pa(double db_re_1upa);
+double pa_to_spl_water_db(double pa);
+
+/// dB re 20 uPa  <->  pascal (RMS).
+double spl_air_db_to_pa(double db_re_20upa);
+double pa_to_spl_air_db(double pa);
+
+/// Convert an in-air SPL figure to the equivalent underwater SPL for the
+/// same physical pressure (the paper's "+26 dB" rule).
+double spl_air_db_to_water_db(double db_re_20upa);
+double spl_water_db_to_air_db(double db_re_1upa);
+
+/// Generic dB helpers for power ratios (10log) and field ratios (20log).
+double db_from_power_ratio(double ratio);
+double db_from_field_ratio(double ratio);
+double power_ratio_from_db(double db);
+double field_ratio_from_db(double db);
+
+}  // namespace deepnote::acoustics

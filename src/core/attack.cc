@@ -1,0 +1,19 @@
+#include "core/attack.h"
+
+#include "acoustics/units.h"
+
+namespace deepnote::core {
+
+double AttackConfig::source_level_water_db() const {
+  return acoustics::spl_air_db_to_water_db(spl_air_db);
+}
+
+acoustics::AcousticSource AttackConfig::make_source() const {
+  auto signal = std::make_shared<acoustics::ToneSignal>(
+      frequency_hz, source_level_water_db(), start, end);
+  return acoustics::AcousticSource(std::move(signal),
+                                   acoustics::SpeakerSpec::aq339_diluvio(),
+                                   acoustics::AmplifierSpec::toa_bg2120());
+}
+
+}  // namespace deepnote::core

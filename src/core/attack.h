@@ -1,0 +1,32 @@
+// Attacker configuration.
+//
+// The paper's attacker transmits a sine wave of chosen frequency at
+// 140 dB SPL (quoted against the in-air 20 uPa reference, "similar to the
+// transmitting acoustic power used in air by previous work") from an
+// underwater speaker at a chosen distance from the enclosure.
+#pragma once
+
+#include <memory>
+
+#include "acoustics/source.h"
+#include "sim/time.h"
+
+namespace deepnote::core {
+
+struct AttackConfig {
+  double frequency_hz = 650.0;
+  /// Level as quoted in the paper: dB SPL re 20 uPa (air convention).
+  double spl_air_db = 140.0;
+  /// Speaker-to-enclosure distance, meters (paper sweeps 0.01 .. 0.25).
+  double distance_m = 0.01;
+  sim::SimTime start = sim::SimTime::zero();
+  sim::SimTime end = sim::SimTime::infinity();
+
+  /// The equivalent underwater source level, dB re 1 uPa (+26 dB rule).
+  double source_level_water_db() const;
+
+  /// Build the transmit chain (GNU-radio sine -> amp -> AQ339 speaker).
+  acoustics::AcousticSource make_source() const;
+};
+
+}  // namespace deepnote::core

@@ -1,0 +1,249 @@
+#include "core/crash_experiment.h"
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/testbed.h"
+#include "storage/extfs.h"
+#include "storage/kvdb/db.h"
+#include "storage/server_os.h"
+#include "workload/actor.h"
+#include "workload/db_bench.h"
+
+namespace deepnote::core {
+namespace {
+
+/// Standard filesystem daemons used by every crash experiment.
+struct FsDaemons {
+  workload::LambdaActor commit;
+  workload::LambdaActor writeback;
+
+  FsDaemons(storage::ExtFs& fs, sim::SimTime start)
+      : commit(start,
+               [&fs](sim::SimTime now) -> sim::SimTime {
+                 if (fs.read_only()) return sim::SimTime::infinity();
+                 if (fs.commit_due(now)) {
+                   storage::FsResult r = fs.commit(now);
+                   return sim::max(r.done,
+                                   now + sim::Duration::from_millis(100));
+                 }
+                 return now + sim::Duration::from_millis(100);
+               }),
+        writeback(start, [&fs](sim::SimTime now) -> sim::SimTime {
+          if (fs.read_only()) return sim::SimTime::infinity();
+          if (fs.dirty_bytes() == 0) {
+            return now + sim::Duration::from_millis(100);
+          }
+          storage::FsResult r = fs.writeback(now, 8ull << 20);
+          return sim::max(r.done, now + sim::Duration::from_millis(100));
+        }) {}
+};
+
+}  // namespace
+
+CrashResult CrashExperiments::ext4(const CrashExperimentConfig& config) const {
+  ScenarioSpec spec = make_scenario(scenario_, config.seed);
+  Testbed bed(spec);
+
+  sim::SimTime t = sim::SimTime::zero();
+  storage::MkfsOptions mkfs;
+  mkfs.total_blocks = 2u << 18;
+  storage::FsResult fr = storage::ExtFs::mkfs(bed.device(), t, mkfs);
+  if (!fr.ok()) throw std::runtime_error("ext4 crash: mkfs failed");
+  auto mount = storage::ExtFs::mount(bed.device(), fr.done);
+  if (!mount.ok()) throw std::runtime_error("ext4 crash: mount failed");
+  storage::ExtFs& fs = *mount.fs;
+
+  std::uint32_t ino = 0;
+  fr = fs.create(mount.done, "/data.bin", &ino);
+  if (!fr.ok()) throw std::runtime_error("ext4 crash: create failed");
+
+  // Attack begins now.
+  const sim::SimTime attack_start = fr.done;
+  AttackConfig attack = config.attack;
+  attack.start = attack_start;
+  bed.apply_attack(attack_start, attack);
+
+  // A 4 KiB appender (the application whose data the journal orders).
+  std::vector<std::byte> block(4096, std::byte{0x42});
+  std::uint64_t offset = 0;
+  workload::LambdaActor writer(
+      attack_start, [&](sim::SimTime now) -> sim::SimTime {
+        if (fs.read_only()) return sim::SimTime::infinity();
+        storage::FsIoResult r = fs.write(now, ino, offset, block);
+        if (!r.ok()) {
+          // Buffer I/O error surfaced to the app; it keeps trying.
+          return r.done + sim::Duration::from_millis(100);
+        }
+        offset += block.size();
+        return r.done + sim::Duration::from_micros(80);
+      });
+  FsDaemons daemons(fs, attack_start);
+
+  workload::ActorScheduler sched;
+  sched.add(writer);
+  sched.add(daemons.commit);
+  sched.add(daemons.writeback);
+  // Run in 100 ms slices until the journal aborts or the limit passes.
+  const sim::SimTime limit = attack_start + config.limit;
+  sim::SimTime cursor = attack_start;
+  while (!fs.read_only() && cursor < limit) {
+    cursor = cursor + sim::Duration::from_millis(100);
+    sched.run_until(cursor);
+  }
+
+  CrashResult result;
+  if (fs.read_only()) {
+    result.crashed = true;
+    result.time_to_crash_s = (fs.abort_time() - attack_start).seconds();
+    result.error_output =
+        "JBD: journal commit I/O error, aborting journal (error " +
+        std::to_string(fs.error_code()) + "); remounting read-only";
+  }
+  return result;
+}
+
+CrashResult CrashExperiments::ubuntu_server(
+    const CrashExperimentConfig& config) const {
+  ScenarioSpec spec = make_scenario(scenario_, config.seed);
+  Testbed bed(spec);
+
+  sim::SimTime t = sim::SimTime::zero();
+  storage::MkfsOptions mkfs;
+  mkfs.total_blocks = 2u << 18;
+  storage::FsResult fr = storage::ExtFs::mkfs(bed.device(), t, mkfs);
+  if (!fr.ok()) throw std::runtime_error("ubuntu crash: mkfs failed");
+  auto mount = storage::ExtFs::mount(bed.device(), fr.done);
+  if (!mount.ok()) throw std::runtime_error("ubuntu crash: mount failed");
+  storage::ExtFs& fs = *mount.fs;
+
+  storage::ServerOs os(fs);
+  storage::ServerOs::BootResult boot = os.boot(mount.done);
+  if (!boot.ok()) throw std::runtime_error("ubuntu crash: boot failed");
+
+  const sim::SimTime attack_start = boot.done;
+  AttackConfig attack = config.attack;
+  attack.start = attack_start;
+  bed.apply_attack(attack_start, attack);
+
+  workload::LambdaActor ticker(
+      os.next_tick(), [&](sim::SimTime now) -> sim::SimTime {
+        if (os.crashed()) return sim::SimTime::infinity();
+        storage::ServerOs::TickResult r = os.tick(now);
+        (void)r;
+        return os.crashed() ? sim::SimTime::infinity() : os.next_tick();
+      });
+  FsDaemons daemons(fs, attack_start);
+
+  workload::ActorScheduler sched;
+  sched.add(ticker);
+  sched.add(daemons.commit);
+  sched.add(daemons.writeback);
+  const sim::SimTime limit = attack_start + config.limit;
+  sim::SimTime cursor = attack_start;
+  while (!os.crashed() && cursor < limit) {
+    cursor = cursor + sim::Duration::from_millis(100);
+    sched.run_until(cursor);
+  }
+
+  CrashResult result;
+  if (os.crashed()) {
+    result.crashed = true;
+    result.time_to_crash_s = (os.crash_time() - attack_start).seconds();
+    result.error_output = os.crash_reason();
+  }
+  return result;
+}
+
+CrashResult CrashExperiments::rocksdb(
+    const CrashExperimentConfig& config) const {
+  ScenarioSpec spec = make_scenario(scenario_, config.seed);
+  Testbed bed(spec);
+
+  sim::SimTime t = sim::SimTime::zero();
+  storage::MkfsOptions mkfs;
+  mkfs.total_blocks = 2u << 18;
+  storage::FsResult fr = storage::ExtFs::mkfs(bed.device(), t, mkfs);
+  if (!fr.ok()) throw std::runtime_error("rocksdb crash: mkfs failed");
+  auto mount = storage::ExtFs::mount(bed.device(), fr.done);
+  if (!mount.ok()) throw std::runtime_error("rocksdb crash: mount failed");
+  storage::ExtFs& fs = *mount.fs;
+
+  storage::kvdb::DbConfig db_cfg;
+  // db_bench-like defaults: 64 MiB write buffer; the memtable fills
+  // ~6.3 s into the attack, whose WAL sync then wedges on the drive
+  // (CALIBRATED with put_cpu to reproduce the paper's 81.3 s).
+  db_cfg.write_buffer_bytes = 64ull << 20;
+  db_cfg.put_cpu = sim::Duration::from_nanos(11050);
+  db_cfg.get_cpu = sim::Duration::from_micros(9);
+  auto open = storage::kvdb::Db::open(fs, mount.done, db_cfg);
+  if (!open.ok()) throw std::runtime_error("rocksdb crash: open failed");
+  storage::kvdb::Db& db = *open.db;
+
+  // Warm-up before the attack: the store was serving traffic already
+  // (and its allocator metadata is cached).
+  std::uint64_t preload_index = 0;
+  sim::SimTime t_pre = open.done;
+  for (; preload_index < 40000; ++preload_index) {
+    storage::kvdb::DbResult r = db.put(
+        t_pre, workload::DbBench::make_key(preload_index, 16),
+        workload::DbBench::make_value(preload_index, 64));
+    if (!r.ok()) throw std::runtime_error("rocksdb crash: preload failed");
+    t_pre = r.done;
+  }
+  storage::FsResult pre_sync = fs.sync(t_pre);
+  if (!pre_sync.ok()) throw std::runtime_error("rocksdb crash: sync failed");
+
+  const sim::SimTime attack_start = pre_sync.done;
+  AttackConfig attack = config.attack;
+  attack.start = attack_start;
+  bed.apply_attack(attack_start, attack);
+
+  std::uint64_t key_index = preload_index;
+  workload::LambdaActor writer(
+      attack_start, [&](sim::SimTime now) -> sim::SimTime {
+        if (db.fatal()) return sim::SimTime::infinity();
+        storage::kvdb::DbResult r = db.put(
+            now, workload::DbBench::make_key(key_index, 16),
+            workload::DbBench::make_value(key_index, 64));
+        if (r.err == storage::Errno::kEAGAIN) {
+          return r.done + sim::Duration::from_millis(10);
+        }
+        if (!r.ok()) return sim::SimTime::infinity();
+        ++key_index;
+        return r.done;
+      });
+  workload::LambdaActor flusher(
+      attack_start, [&](sim::SimTime now) -> sim::SimTime {
+        if (db.fatal()) return sim::SimTime::infinity();
+        if (db.flush_pending()) {
+          storage::kvdb::DbResult r = db.do_flush(now);
+          return sim::max(r.done, now + sim::Duration::from_millis(10));
+        }
+        return now + sim::Duration::from_millis(10);
+      });
+  FsDaemons daemons(fs, attack_start);
+
+  workload::ActorScheduler sched;
+  sched.add(writer);
+  sched.add(flusher);
+  sched.add(daemons.commit);
+  sched.add(daemons.writeback);
+  const sim::SimTime limit = attack_start + config.limit;
+  sim::SimTime cursor = attack_start;
+  while (!db.fatal() && cursor < limit) {
+    cursor = cursor + sim::Duration::from_millis(100);
+    sched.run_until(cursor);
+  }
+
+  CrashResult result;
+  if (db.fatal()) {
+    result.crashed = true;
+    result.time_to_crash_s = (db.fatal_time() - attack_start).seconds();
+    result.error_output = db.fatal_message();
+  }
+  return result;
+}
+
+}  // namespace deepnote::core

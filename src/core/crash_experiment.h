@@ -1,0 +1,49 @@
+// Software crash experiments (paper Section 4.4, Table 3).
+//
+// Three victims run on the attacked testbed with the best-attack
+// parameters (650 Hz, 140 dB SPL, 1 cm):
+//   * Ext4: a file writer on the journaling filesystem; the crash is the
+//     journal aborting with error -5 (EIO) -> read-only.
+//   * Ubuntu server: the ServerOs model; the crash is system daemons
+//     failing every file access after the root fs aborts.
+//   * RocksDB: the LSM store under a write workload; the crash is the
+//     WAL sync failing when the memtable switches.
+//
+// Each experiment reports the time from attack start to the crash.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/attack.h"
+#include "core/scenario.h"
+
+namespace deepnote::core {
+
+struct CrashResult {
+  bool crashed = false;
+  double time_to_crash_s = 0.0;  ///< from attack start
+  std::string error_output;      ///< the application's failure signature
+};
+
+struct CrashExperimentConfig {
+  AttackConfig attack;  ///< defaults: 650 Hz, 140 dB, 1 cm
+  /// Give up if nothing crashed after this long under attack.
+  sim::Duration limit = sim::Duration::from_seconds(300.0);
+  std::uint64_t seed = 0xc4a5;
+};
+
+class CrashExperiments {
+ public:
+  explicit CrashExperiments(ScenarioId scenario = ScenarioId::kPlasticTower)
+      : scenario_(scenario) {}
+
+  CrashResult ext4(const CrashExperimentConfig& config) const;
+  CrashResult ubuntu_server(const CrashExperimentConfig& config) const;
+  CrashResult rocksdb(const CrashExperimentConfig& config) const;
+
+ private:
+  ScenarioId scenario_;
+};
+
+}  // namespace deepnote::core

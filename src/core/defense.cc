@@ -1,0 +1,76 @@
+#include "core/defense.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deepnote::core {
+
+const char* defense_name(DefenseKind kind) {
+  switch (kind) {
+    case DefenseKind::kNone: return "none";
+    case DefenseKind::kAbsorbingLiner: return "absorbing liner";
+    case DefenseKind::kVibrationDampener: return "vibration dampener";
+    case DefenseKind::kAugmentedController: return "augmented controller";
+  }
+  return "?";
+}
+
+DefenseProperties defense_properties(DefenseKind kind) {
+  DefenseProperties p;
+  p.name = defense_name(kind);
+  switch (kind) {
+    case DefenseKind::kNone:
+      p.overheating_risk = 0.0;
+      break;
+    case DefenseKind::kAbsorbingLiner:
+      // Foam lining blocks the convective path to the water coolant.
+      p.overheating_risk = 0.7;
+      break;
+    case DefenseKind::kVibrationDampener:
+      // Polymer pads conduct poorly but cover little area.
+      p.overheating_risk = 0.25;
+      break;
+    case DefenseKind::kAugmentedController:
+      p.overheating_risk = 0.0;  // firmware only
+      break;
+  }
+  return p;
+}
+
+ScenarioSpec with_defense(ScenarioSpec spec, DefenseKind kind) {
+  switch (kind) {
+    case DefenseKind::kNone:
+    case DefenseKind::kAbsorbingLiner:
+      break;  // liner installs at runtime (install_defense)
+    case DefenseKind::kVibrationDampener:
+      // Viscoelastic pads: halve modal Q, cut peak gains, add broadband
+      // isolation between mount and drive.
+      spec.mount.broadband_coupling_db -= 6.0;
+      for (auto& m : spec.mount.modes) {
+        m.q = std::max(0.5, m.q * 0.5);
+        m.peak_gain_db -= 8.0;
+      }
+      break;
+    case DefenseKind::kAugmentedController:
+      // Better disturbance rejection: effective tolerance widened and the
+      // rejection corner pushed up.
+      spec.hdd.servo.write_fault_fraction *= 1.8;
+      spec.hdd.servo.read_fault_fraction =
+          std::min(0.45, spec.hdd.servo.read_fault_fraction * 1.8);
+      spec.hdd.servo.rejection_corner_hz *= 1.5;
+      break;
+  }
+  return spec;
+}
+
+void install_defense(Testbed& bed, DefenseKind kind) {
+  if (kind != DefenseKind::kAbsorbingLiner) return;
+  // Metallic-foam liner: absorption rises with frequency (poor below a
+  // few hundred Hz, strong in the kHz range) — Lu et al. [27].
+  bed.chain().set_insertion_loss([](double f) {
+    const double octaves_above_200 = std::log2(std::max(f, 200.0) / 200.0);
+    return std::min(30.0, 4.0 + 5.0 * octaves_above_200);
+  });
+}
+
+}  // namespace deepnote::core

@@ -1,0 +1,49 @@
+// Defense models (paper Section 5, "In-air Defenses").
+//
+// Three candidate countermeasures adapted to the underwater setting:
+//  * Absorbing liner — acoustically absorbing material (metallic foam,
+//    Lu et al. [27]) lining the enclosure: frequency-rising insertion
+//    loss, but it insulates heat (an overheating-risk proxy is reported).
+//  * Vibration dampener — viscoelastic polymer between tower and drive
+//    (Sperling [41]): broadband coupling reduction plus extra loss near
+//    the mount resonances.
+//  * Augmented feedback controller — firmware servo change (Bolton et
+//    al. [6]): widens the effective off-track tolerance.
+#pragma once
+
+#include <string>
+
+#include "core/scenario.h"
+#include "core/testbed.h"
+
+namespace deepnote::core {
+
+enum class DefenseKind {
+  kNone,
+  kAbsorbingLiner,
+  kVibrationDampener,
+  kAugmentedController,
+};
+
+const char* defense_name(DefenseKind kind);
+
+struct DefenseProperties {
+  std::string name;
+  /// Relative increase in thermal resistance of the enclosure (the
+  /// overheating concern Section 5 raises for insulating defenses).
+  double overheating_risk = 0.0;  // 0 = none, 1 = severe
+};
+
+DefenseProperties defense_properties(DefenseKind kind);
+
+/// Modify a scenario spec for a defense applied before deployment
+/// (the controller changes the drive servo; the dampener changes the
+/// mount). Returns the modified spec.
+ScenarioSpec with_defense(ScenarioSpec spec, DefenseKind kind);
+
+/// Install runtime defenses on an assembled testbed (the liner's
+/// insertion loss). Call after construction; no-op for spec-level
+/// defenses.
+void install_defense(Testbed& bed, DefenseKind kind);
+
+}  // namespace deepnote::core

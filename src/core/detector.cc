@@ -1,0 +1,62 @@
+#include "core/detector.h"
+
+#include <cstdio>
+
+namespace deepnote::core {
+
+AttackDetector::AttackDetector(DetectorConfig config) : config_(config) {}
+
+void AttackDetector::raise(sim::SimTime when, std::string reason) {
+  if (alerted_) return;
+  alerted_ = true;
+  alert_time_ = when;
+  alert_reason_ = std::move(reason);
+}
+
+void AttackDetector::record_ok(sim::SimTime completed, double latency_s) {
+  ++ops_;
+  consecutive_errors_ = 0;
+  if (baseline_ == 0.0) {
+    baseline_ = latency_s;
+    recent_ = latency_s;
+    return;
+  }
+  recent_ = (1.0 - config_.recent_alpha) * recent_ +
+            config_.recent_alpha * latency_s;
+  const bool warmed = ops_ >= config_.warmup_ops;
+  if (warmed && recent_ > baseline_ * config_.latency_factor) {
+    char msg[160];
+    std::snprintf(msg, sizeof(msg),
+                  "latency anomaly: recent %.2f ms vs baseline %.3f ms "
+                  "(x%.0f) — acoustic interference suspected",
+                  recent_ * 1e3, baseline_ * 1e3, recent_ / baseline_);
+    raise(completed, msg);
+    return;
+  }
+  // The baseline only learns from sane samples so an ongoing attack
+  // cannot poison it.
+  if (latency_s < baseline_ * config_.latency_factor) {
+    baseline_ = (1.0 - config_.baseline_alpha) * baseline_ +
+                config_.baseline_alpha * latency_s;
+  }
+}
+
+void AttackDetector::record_error(sim::SimTime completed) {
+  ++ops_;
+  if (++consecutive_errors_ >= config_.error_burst) {
+    char msg[160];
+    std::snprintf(msg, sizeof(msg),
+                  "%u consecutive I/O failures — storage unresponsive, "
+                  "acoustic interference suspected",
+                  consecutive_errors_);
+    raise(completed, msg);
+  }
+}
+
+void AttackDetector::acknowledge() {
+  alerted_ = false;
+  alert_reason_.clear();
+  consecutive_errors_ = 0;
+}
+
+}  // namespace deepnote::core

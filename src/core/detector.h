@@ -1,0 +1,66 @@
+// Acoustic-attack detector (paper Section 5.1 future work: "evaluation
+// of potential underwater defense strategies" — detection comes first).
+//
+// The attack's signature at the host is distinctive: I/O latency jumps by
+// orders of magnitude and error/retry counters climb while the workload
+// itself is unchanged. The detector keeps an exponentially-weighted
+// latency baseline per operation class and raises an alert when recent
+// latencies run far above baseline or commands start failing/hanging —
+// the signal a datacenter health monitor would act on (e.g. migrate data
+// off the pod, trigger an acoustic sweep for the source).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace deepnote::core {
+
+struct DetectorConfig {
+  /// EWMA smoothing for the baseline (per completed op).
+  double baseline_alpha = 0.01;
+  /// Alert when the recent-latency EWMA exceeds baseline by this factor.
+  double latency_factor = 8.0;
+  /// Faster EWMA tracking "recent" latency.
+  double recent_alpha = 0.2;
+  /// Alert immediately after this many consecutive command errors.
+  std::uint32_t error_burst = 3;
+  /// Ops to observe before the baseline is trusted.
+  std::uint32_t warmup_ops = 200;
+};
+
+class AttackDetector {
+ public:
+  explicit AttackDetector(DetectorConfig config = {});
+
+  /// Feed one completed operation.
+  void record_ok(sim::SimTime completed, double latency_s);
+  /// Feed one failed (or timed-out) operation.
+  void record_error(sim::SimTime completed);
+
+  bool alerted() const { return alerted_; }
+  sim::SimTime alert_time() const { return alert_time_; }
+  const std::string& alert_reason() const { return alert_reason_; }
+
+  double baseline_latency_s() const { return baseline_; }
+  double recent_latency_s() const { return recent_; }
+  std::uint64_t ops_seen() const { return ops_; }
+
+  /// Clear the alert (operator acknowledged); baselines are kept.
+  void acknowledge();
+
+ private:
+  void raise(sim::SimTime when, std::string reason);
+
+  DetectorConfig config_;
+  double baseline_ = 0.0;
+  double recent_ = 0.0;
+  std::uint64_t ops_ = 0;
+  std::uint32_t consecutive_errors_ = 0;
+  bool alerted_ = false;
+  sim::SimTime alert_time_ = sim::SimTime::zero();
+  std::string alert_reason_;
+};
+
+}  // namespace deepnote::core

@@ -1,0 +1,35 @@
+#include "core/live_attack.h"
+
+namespace deepnote::core {
+
+LiveAttackDriver::LiveAttackDriver(
+    Testbed& bed, std::shared_ptr<const acoustics::Signal> signal,
+    double distance_m, sim::Duration update_interval, sim::SimTime start,
+    bool retire_on_silence)
+    : bed_(bed),
+      source_(std::move(signal), acoustics::SpeakerSpec::aq339_diluvio(),
+              acoustics::AmplifierSpec::toa_bg2120()),
+      distance_m_(distance_m),
+      interval_(update_interval),
+      next_(start),
+      retire_on_silence_(retire_on_silence) {}
+
+void LiveAttackDriver::step() {
+  const sim::SimTime now = next_;
+  const acoustics::ToneState emitted = source_.emitted(now);
+  current_ = emitted;
+  const acoustics::ToneState incident =
+      bed_.path().received(emitted, distance_m_);
+  bed_.drive().set_excitation(now, bed_.chain().excite(incident));
+  // Once a previously-active signal goes quiet, the driver retires after
+  // clearing the excitation (a not-yet-started signal keeps polling).
+  if (emitted.active) {
+    was_active_ = true;
+  } else if (was_active_ && retire_on_silence_) {
+    next_ = sim::SimTime::infinity();
+    return;
+  }
+  next_ = now + interval_;
+}
+
+}  // namespace deepnote::core

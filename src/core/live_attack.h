@@ -1,0 +1,50 @@
+// Time-varying attack driver.
+//
+// The attacker's signal generator (GNU Radio in the paper) can sweep or
+// chirp the tone while a workload runs. This driver samples an
+// acoustics::Signal on a fixed cadence and retunes the testbed's
+// excitation, so a live frequency sweep plays out against a running
+// victim in one simulation.
+#pragma once
+
+#include <memory>
+
+#include "acoustics/signal.h"
+#include "acoustics/source.h"
+#include "core/testbed.h"
+#include "workload/actor.h"
+
+namespace deepnote::core {
+
+class LiveAttackDriver final : public workload::Actor {
+ public:
+  /// Drives `bed` with `signal` played through the standard transmit
+  /// chain at `distance_m`, retuning every `update_interval`.
+  /// When `retire_on_silence` is true the driver stops polling once a
+  /// previously-active signal goes quiet (one-shot tones/sweeps); pass
+  /// false for signals with gaps, e.g. PulsedToneSignal.
+  LiveAttackDriver(Testbed& bed, std::shared_ptr<const acoustics::Signal> signal,
+                   double distance_m,
+                   sim::Duration update_interval = sim::Duration::from_millis(50),
+                   sim::SimTime start = sim::SimTime::zero(),
+                   bool retire_on_silence = true);
+
+  sim::SimTime next_time() const override { return next_; }
+  void step() override;
+
+  /// The signal state most recently applied.
+  const acoustics::ToneState& current_tone() const { return current_; }
+  bool finished() const { return next_.is_infinite(); }
+
+ private:
+  Testbed& bed_;
+  acoustics::AcousticSource source_;
+  double distance_m_;
+  sim::Duration interval_;
+  sim::SimTime next_;
+  acoustics::ToneState current_;
+  bool was_active_ = false;
+  bool retire_on_silence_ = true;
+};
+
+}  // namespace deepnote::core

@@ -1,0 +1,56 @@
+// Range testing (paper Section 4.2, Tables 1 and 2).
+//
+// Sweeps the speaker-to-enclosure distance at the fixed best-attack
+// frequency (650 Hz) and measures FIO read/write throughput + latency
+// (Table 1) and the RocksDB-like store under readwhilewriting (Table 2).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/attack.h"
+#include "core/scenario.h"
+#include "workload/db_bench.h"
+#include "workload/fio.h"
+
+namespace deepnote::core {
+
+struct RangeTestConfig {
+  /// Distances in meters; nullopt = the "No Attack" row.
+  std::vector<std::optional<double>> distances_m = {
+      std::nullopt, 0.01, 0.05, 0.10, 0.15, 0.20, 0.25};
+  AttackConfig attack;  ///< distance overridden per row
+  sim::Duration ramp = sim::Duration::from_seconds(5.0);
+  sim::Duration duration = sim::Duration::from_seconds(30.0);
+  std::uint64_t seed = 0x7a8;
+};
+
+struct FioRangeRow {
+  std::optional<double> distance_m;  ///< nullopt = no attack
+  workload::FioReport read;
+  workload::FioReport write;
+};
+
+struct KvRangeRow {
+  std::optional<double> distance_m;
+  workload::DbBenchReport report;
+};
+
+class RangeTest {
+ public:
+  explicit RangeTest(ScenarioId scenario = ScenarioId::kPlasticTower)
+      : scenario_(scenario) {}
+
+  /// Table 1: FIO sequential read & write per distance.
+  std::vector<FioRangeRow> run_fio(const RangeTestConfig& config) const;
+
+  /// Table 2: readwhilewriting on the LSM store per distance.
+  std::vector<KvRangeRow> run_kvdb(const RangeTestConfig& config,
+                                   const workload::DbBenchConfig& bench,
+                                   const storage::kvdb::DbConfig& db) const;
+
+ private:
+  ScenarioId scenario_;
+};
+
+}  // namespace deepnote::core

@@ -1,0 +1,64 @@
+// Frequency analysis (paper Section 4.1, Figure 2).
+//
+// Runs the FIO sequential-write and sequential-read jobs against a fresh
+// testbed per frequency point, with the attack tone applied for the whole
+// job. Also implements the attacker's recon procedure: a coarse sweep
+// from 100 Hz to 16.9 kHz followed by 50 Hz narrowing between the
+// vulnerable frequencies.
+#pragma once
+
+#include <vector>
+
+#include "core/attack.h"
+#include "core/scenario.h"
+#include "workload/fio.h"
+
+namespace deepnote::core {
+
+struct SweepPoint {
+  double frequency_hz = 0.0;
+  workload::FioReport write;
+  workload::FioReport read;
+  double offtrack_nm = 0.0;  ///< model-predicted head off-track amplitude
+};
+
+struct SweepConfig {
+  std::vector<double> frequencies_hz;
+  AttackConfig attack;  ///< frequency_hz is overridden per point
+  sim::Duration ramp = sim::Duration::from_seconds(2.0);
+  sim::Duration duration = sim::Duration::from_seconds(10.0);
+  std::uint64_t seed = 0x5eef;
+};
+
+class FrequencySweep {
+ public:
+  explicit FrequencySweep(ScenarioId scenario) : scenario_(scenario) {}
+
+  /// Measure a single frequency point (fresh testbed, fully
+  /// deterministic for a given seed).
+  SweepPoint measure(double frequency_hz, const SweepConfig& config) const;
+
+  std::vector<SweepPoint> run(const SweepConfig& config) const;
+
+  /// Section 4.1 narrowing procedure. Returns the coarse points, the
+  /// refined 50 Hz points, and the detected vulnerable band.
+  struct ReconResult {
+    std::vector<SweepPoint> coarse;
+    std::vector<SweepPoint> refined;
+    double band_lo_hz = 0.0;  ///< 0/0 when no vulnerability found
+    double band_hi_hz = 0.0;
+  };
+  ReconResult recon(const AttackConfig& attack,
+                    double coarse_lo_hz = 100.0,
+                    double coarse_hi_hz = 16900.0,
+                    double refine_step_hz = 50.0,
+                    const SweepConfig* base = nullptr) const;
+
+  /// Throughput-loss criterion used to call a frequency "vulnerable".
+  static bool vulnerable(const SweepPoint& point, double baseline_mbps);
+
+ private:
+  ScenarioId scenario_;
+};
+
+}  // namespace deepnote::core

@@ -1,0 +1,48 @@
+#include "core/testbed.h"
+
+namespace deepnote::core {
+
+Testbed::Testbed(ScenarioSpec spec)
+    : spec_(std::move(spec)),
+      path_(acoustics::Medium(spec_.water), spec_.spreading,
+            spec_.absorption),
+      chain_(structure::Enclosure(spec_.enclosure),
+             structure::Mount(spec_.mount)) {
+  drive_ = std::make_unique<hdd::Hdd>(spec_.hdd);
+  device_ = std::make_unique<storage::OsBlockDevice>(*drive_,
+                                                     spec_.os_device);
+}
+
+structure::DriveExcitation Testbed::excitation_for(
+    const AttackConfig& attack) const {
+  const acoustics::AcousticSource source = attack.make_source();
+  // Tone as emitted mid-attack (the source is time-invariant for a fixed
+  // AttackConfig; evaluate at its start time).
+  const acoustics::ToneState emitted = source.emitted(attack.start);
+  const acoustics::ToneState incident =
+      path_.received(emitted, attack.distance_m);
+  return chain_.excite(incident);
+}
+
+void Testbed::apply_attack(sim::SimTime now, const AttackConfig& attack) {
+  active_attack_ = attack;
+  drive_->set_excitation(now, excitation_for(attack));
+}
+
+void Testbed::stop_attack(sim::SimTime now) {
+  active_attack_.reset();
+  drive_->set_excitation(now, structure::DriveExcitation{});
+}
+
+double Testbed::predicted_offtrack_nm(const AttackConfig& attack) const {
+  const auto excitation = excitation_for(attack);
+  return drive_->servo().evaluate(excitation).offtrack_amplitude_nm;
+}
+
+double Testbed::exterior_spl_db(const AttackConfig& attack) const {
+  const acoustics::AcousticSource source = attack.make_source();
+  const acoustics::ToneState emitted = source.emitted(attack.start);
+  return path_.received_spl_db(emitted, attack.distance_m);
+}
+
+}  // namespace deepnote::core

@@ -1,0 +1,59 @@
+// The assembled victim testbed: water path -> enclosure -> mount -> HDD,
+// with the OS block layer on top.
+//
+// This mirrors Figure 1 of the paper: an underwater speaker insonifies a
+// submerged container holding the victim drive; the host accesses the
+// drive through a normal kernel block layer.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "acoustics/propagation.h"
+#include "core/attack.h"
+#include "core/scenario.h"
+#include "hdd/drive.h"
+#include "storage/os_device.h"
+#include "structure/chain.h"
+
+namespace deepnote::core {
+
+class Testbed {
+ public:
+  explicit Testbed(ScenarioSpec spec);
+
+  /// Start (or retune) the attack: computes the excitation reaching the
+  /// drive for the given tone/distance and applies it.
+  void apply_attack(sim::SimTime now, const AttackConfig& attack);
+
+  /// Silence the speaker.
+  void stop_attack(sim::SimTime now);
+
+  /// Analysis helper: the off-track amplitude (nm) the drive head would
+  /// see for a hypothetical attack, without touching drive state.
+  double predicted_offtrack_nm(const AttackConfig& attack) const;
+
+  /// Analysis helper: SPL at the enclosure wall for an attack.
+  double exterior_spl_db(const AttackConfig& attack) const;
+
+  hdd::Hdd& drive() { return *drive_; }
+  storage::OsBlockDevice& device() { return *device_; }
+  structure::StructuralChain& chain() { return chain_; }
+  const acoustics::PropagationPath& path() const { return path_; }
+  const ScenarioSpec& spec() const { return spec_; }
+  const std::optional<AttackConfig>& active_attack() const {
+    return active_attack_;
+  }
+
+ private:
+  structure::DriveExcitation excitation_for(const AttackConfig& attack) const;
+
+  ScenarioSpec spec_;
+  acoustics::PropagationPath path_;
+  structure::StructuralChain chain_;
+  std::unique_ptr<hdd::Hdd> drive_;
+  std::unique_ptr<storage::OsBlockDevice> device_;
+  std::optional<AttackConfig> active_attack_;
+};
+
+}  // namespace deepnote::core

@@ -1,0 +1,73 @@
+#include "hdd/sector_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace deepnote::hdd {
+
+SectorStore::SectorStore(std::uint64_t total_sectors)
+    : total_sectors_(total_sectors) {}
+
+void SectorStore::write(std::uint64_t lba, std::uint32_t sector_count,
+                        std::span<const std::byte> data) {
+  if (lba + sector_count > total_sectors_) {
+    throw std::out_of_range("SectorStore::write beyond device");
+  }
+  if (data.size() != static_cast<std::size_t>(sector_count) * kSectorSize) {
+    throw std::invalid_argument("SectorStore::write: size mismatch");
+  }
+  std::size_t src = 0;
+  for (std::uint64_t s = lba; s < lba + sector_count; ++s) {
+    const std::uint64_t chunk_idx = s / kSectorsPerChunk;
+    const std::uint64_t in_chunk = s % kSectorsPerChunk;
+    auto& chunk = chunks_[chunk_idx];
+    if (chunk.empty()) {
+      chunk.assign(static_cast<std::size_t>(kSectorsPerChunk) * kSectorSize,
+                   std::byte{0});
+    }
+    std::memcpy(chunk.data() + in_chunk * kSectorSize, data.data() + src,
+                kSectorSize);
+    src += kSectorSize;
+  }
+}
+
+void SectorStore::read(std::uint64_t lba, std::uint32_t sector_count,
+                       std::span<std::byte> out) const {
+  if (lba + sector_count > total_sectors_) {
+    throw std::out_of_range("SectorStore::read beyond device");
+  }
+  if (out.size() != static_cast<std::size_t>(sector_count) * kSectorSize) {
+    throw std::invalid_argument("SectorStore::read: size mismatch");
+  }
+  std::size_t dst = 0;
+  for (std::uint64_t s = lba; s < lba + sector_count; ++s) {
+    const std::uint64_t chunk_idx = s / kSectorsPerChunk;
+    const std::uint64_t in_chunk = s % kSectorsPerChunk;
+    auto it = chunks_.find(chunk_idx);
+    if (it == chunks_.end()) {
+      std::memset(out.data() + dst, 0, kSectorSize);
+    } else {
+      std::memcpy(out.data() + dst,
+                  it->second.data() + in_chunk * kSectorSize, kSectorSize);
+    }
+    dst += kSectorSize;
+  }
+}
+
+bool SectorStore::any_written(std::uint64_t lba,
+                              std::uint32_t sector_count) const {
+  for (std::uint64_t s = lba; s < lba + sector_count; ++s) {
+    if (chunks_.count(s / kSectorsPerChunk) != 0) return true;
+  }
+  return false;
+}
+
+std::size_t SectorStore::allocated_bytes() const {
+  return chunks_.size() * static_cast<std::size_t>(kSectorsPerChunk) *
+         kSectorSize;
+}
+
+void SectorStore::clear() { chunks_.clear(); }
+
+}  // namespace deepnote::hdd

@@ -1,0 +1,45 @@
+// Sparse sector-addressed byte store backing the drive model.
+//
+// Stores data in fixed-size chunks allocated on first write; unwritten
+// sectors read back as zeroes (a freshly formatted drive). Used twice by
+// the drive: once for durable (on-media) data and once as the volatile
+// write-cache overlay.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "hdd/geometry.h"
+
+namespace deepnote::hdd {
+
+class SectorStore {
+ public:
+  /// `total_sectors` bounds addressing; reads/writes past it throw.
+  explicit SectorStore(std::uint64_t total_sectors);
+
+  void write(std::uint64_t lba, std::uint32_t sector_count,
+             std::span<const std::byte> data);
+  void read(std::uint64_t lba, std::uint32_t sector_count,
+            std::span<std::byte> out) const;
+
+  /// True if any sector in [lba, lba+count) has ever been written.
+  bool any_written(std::uint64_t lba, std::uint32_t sector_count) const;
+
+  std::uint64_t total_sectors() const { return total_sectors_; }
+  /// Bytes of backing memory actually allocated.
+  std::size_t allocated_bytes() const;
+
+  void clear();
+
+ private:
+  static constexpr std::uint32_t kSectorsPerChunk = 256;  // 128 KiB chunks
+
+  std::uint64_t total_sectors_;
+  std::unordered_map<std::uint64_t, std::vector<std::byte>> chunks_;
+};
+
+}  // namespace deepnote::hdd

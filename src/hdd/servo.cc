@@ -1,0 +1,93 @@
+#include "hdd/servo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace deepnote::hdd {
+
+Servo::Servo(ServoConfig config) : config_(std::move(config)) {
+  if (config_.track_pitch_nm <= 0 || config_.write_fault_fraction <= 0 ||
+      config_.read_fault_fraction <= 0) {
+    throw std::invalid_argument("servo: thresholds must be positive");
+  }
+  if (config_.read_fault_fraction < config_.write_fault_fraction) {
+    throw std::invalid_argument(
+        "servo: read tolerance must be >= write tolerance");
+  }
+}
+
+double Servo::compliance_nm_per_pa(double frequency_hz) const {
+  const double floor = config_.compliance_floor_nm_per_pa;
+  if (config_.compliance_modes.empty()) return floor;
+  const double modal_db = config_.compliance_modes.response_db(frequency_hz);
+  // Modes are specified in dB relative to the broadband floor; total
+  // compliance is floor + modal contribution (power sum keeps overlapping
+  // modes additive).
+  return floor * (1.0 + std::pow(10.0, modal_db / 20.0));
+}
+
+ServoState Servo::evaluate(
+    const structure::DriveExcitation& excitation) const {
+  ServoState st;
+  if (!excitation.active || excitation.pressure_pa <= 0.0) return st;
+  st.frequency_hz = excitation.frequency_hz;
+  double amplitude =
+      excitation.pressure_pa * compliance_nm_per_pa(excitation.frequency_hz);
+  // Servo-loop disturbance rejection (high-pass sensitivity).
+  if (config_.rejection_corner_hz > 0.0) {
+    const double r = excitation.frequency_hz / config_.rejection_corner_hz;
+    const double rn = std::pow(r, std::max(config_.rejection_order, 1));
+    amplitude *= rn / (1.0 + rn);
+  }
+  st.offtrack_amplitude_nm = amplitude;
+
+  const double park_threshold_nm =
+      config_.park_fraction * config_.track_pitch_nm;
+  const double ratio = st.offtrack_amplitude_nm / park_threshold_nm;
+  if (ratio >= 1.0) {
+    st.parked = true;
+    st.false_trip_rate_hz = 0.0;  // moot: the drive is already parked
+    return st;
+  }
+  // False trips become likely as the shock sensor approaches its
+  // threshold; quadratic ramp starting at 40% of the park amplitude.
+  constexpr double kRampStart = 0.4;
+  if (ratio > kRampStart) {
+    const double x = (ratio - kRampStart) / (1.0 - kRampStart);
+    st.false_trip_rate_hz = config_.false_trip_max_hz * x * x;
+  }
+  return st;
+}
+
+double Servo::fault_threshold_nm(AccessKind kind) const {
+  const double frac = kind == AccessKind::kWrite
+                          ? config_.write_fault_fraction
+                          : config_.read_fault_fraction;
+  return frac * config_.track_pitch_nm;
+}
+
+double Servo::good_window_fraction(const ServoState& state,
+                                   AccessKind kind) const {
+  if (state.parked) return 0.0;
+  const double amplitude = state.offtrack_amplitude_nm;
+  if (amplitude <= 0.0) return 1.0;
+  const double threshold = fault_threshold_nm(kind);
+  if (amplitude <= threshold) return 1.0;
+  return (2.0 / M_PI) * std::asin(threshold / amplitude);
+}
+
+double Servo::attempt_success_probability(const ServoState& state,
+                                          AccessKind kind,
+                                          double access_s) const {
+  const double w = good_window_fraction(state, kind);
+  if (w >= 1.0) return 1.0;
+  if (w <= 0.0) return 0.0;
+  // The access must fit within one good window; windows recur twice per
+  // disturbance period.
+  const double penalty = 2.0 * state.frequency_hz * access_s;
+  return std::clamp(w - penalty, 0.0, 1.0);
+}
+
+}  // namespace deepnote::hdd

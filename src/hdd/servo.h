@@ -1,0 +1,97 @@
+// Track-following servo under acoustic disturbance.
+//
+// Mechanism (Bolton et al. 2018, the paper's reference [6]): acoustic
+// pressure shakes the head-stack assembly (HSA); the read/write head must
+// stay within a fraction of the track pitch to access data — roughly 10%
+// of the pitch for writes and a wider margin for reads. The servo loop
+// rejects low-frequency disturbance but HSA/suspension resonances defeat
+// it in a band of frequencies.
+//
+// Model:
+//  * Compliance: off-track displacement per unit pressure, nm/Pa, as a
+//    bank of HSA modes (resonator.h) on top of a small broadband floor.
+//  * For a sinusoidal disturbance of amplitude A (nm) and threshold T
+//    (nm), the head is on-track during the fraction
+//        w = (2/pi) * asin(T/A)          (A > T; w = 1 otherwise)
+//    of each disturbance half-period (the "good window").
+//  * A media access of duration t_access succeeds if it fits inside a good
+//    window; for t_access much shorter than the disturbance period the
+//    per-attempt success probability is  p = max(0, w - 2 f t_access).
+//  * A failed attempt costs one platter revolution (the sector must come
+//    around again).
+//  * The shock sensor parks the heads when the disturbance exceeds a park
+//    threshold (sustained unavailability: the drive stops responding);
+//    near the threshold it false-trips stochastically, each trip costing
+//    a park/resume cycle.
+#pragma once
+
+#include <cstdint>
+
+#include "structure/chain.h"
+#include "structure/resonator.h"
+
+namespace deepnote::hdd {
+
+enum class AccessKind { kRead, kWrite };
+
+struct ServoConfig {
+  double track_pitch_nm = 100.0;
+  /// Off-track write fault threshold as a fraction of track pitch.
+  double write_fault_fraction = 0.10;
+  /// Read fault threshold fraction (reads tolerate more off-track).
+  double read_fault_fraction = 0.20;
+  /// HSA compliance: modes define resonances; peak gain is interpreted in
+  /// dB relative to `compliance_floor_nm_per_pa`.
+  structure::ResonatorBank compliance_modes;
+  double compliance_floor_nm_per_pa = 0.002;
+  /// Track-following loop disturbance rejection: the servo attenuates
+  /// disturbances below its effective corner (sensitivity magnitude
+  /// ~ r^n/(1+r^n), r = f/corner). This sets the lower edge of the
+  /// vulnerable band (~300 Hz in the paper's scenarios).
+  double rejection_corner_hz = 420.0;
+  int rejection_order = 4;
+  /// Shock sensor: sustained park when off-track amplitude exceeds
+  /// park_fraction * track_pitch; false-trip rate ramps up as the
+  /// amplitude approaches that threshold.
+  double park_fraction = 0.25;
+  double park_resume_s = 0.3;     ///< cost of one park/resume cycle
+  double false_trip_max_hz = 6.0; ///< false-trip rate at the park threshold
+};
+
+/// The servo's view of the current disturbance: computed once per
+/// excitation change, then consulted per access.
+struct ServoState {
+  double frequency_hz = 0.0;
+  double offtrack_amplitude_nm = 0.0;
+  bool parked = false;          ///< sustained shock-sensor park
+  double false_trip_rate_hz = 0.0;
+};
+
+class Servo {
+ public:
+  explicit Servo(ServoConfig config);
+
+  const ServoConfig& config() const { return config_; }
+
+  /// Compliance magnitude at f, nm/Pa.
+  double compliance_nm_per_pa(double frequency_hz) const;
+
+  /// Evaluate the servo state for a given drive excitation.
+  ServoState evaluate(const structure::DriveExcitation& excitation) const;
+
+  /// Fault threshold in nm for the given access kind.
+  double fault_threshold_nm(AccessKind kind) const;
+
+  /// On-track fraction of time ("good window") for the given state/kind.
+  double good_window_fraction(const ServoState& state, AccessKind kind) const;
+
+  /// Probability that a single media access of duration `access_s`
+  /// completes within a good window.
+  double attempt_success_probability(const ServoState& state, AccessKind kind,
+                                     double access_s) const;
+
+ private:
+  ServoConfig config_;
+};
+
+}  // namespace deepnote::hdd

@@ -1,0 +1,78 @@
+#include "hdd/smart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace deepnote::hdd {
+namespace {
+
+/// Vendor-style normalisation: 100 while the rate is tiny, dropping on a
+/// log scale as events accumulate relative to work done.
+int normalise(std::uint64_t events, std::uint64_t per, double scale) {
+  if (events == 0) return 100;
+  const double rate =
+      static_cast<double>(events) / std::max<std::uint64_t>(per, 1);
+  const int drop = static_cast<int>(std::log10(1.0 + rate * scale) * 30.0);
+  return std::clamp(100 - drop, 1, 100);
+}
+
+}  // namespace
+
+const SmartAttribute* SmartLog::find(int id) const {
+  for (const auto& a : attributes) {
+    if (a.id == id) return &a;
+  }
+  return nullptr;
+}
+
+bool SmartLog::healthy() const {
+  for (const auto& a : attributes) {
+    if (a.failing_now()) return false;
+  }
+  return true;
+}
+
+std::string SmartLog::to_text() const {
+  std::ostringstream os;
+  os << "ID   ATTRIBUTE                 VALUE  THRESH  RAW\n";
+  for (const auto& a : attributes) {
+    char line[128];
+    std::snprintf(line, sizeof(line), "%-4d %-25s %5d  %6d  %llu%s\n", a.id,
+                  a.name.c_str(), a.normalized, a.threshold,
+                  static_cast<unsigned long long>(a.raw_value),
+                  a.failing_now() ? "  FAILING_NOW" : "");
+    os << line;
+  }
+  return os.str();
+}
+
+SmartLog smart_log(const Hdd& drive) {
+  const HddStats& s = drive.stats();
+  const std::uint64_t ops = s.reads + s.writes + s.flushes;
+
+  SmartLog log;
+  log.attributes.push_back(SmartAttribute{
+      kAttrRawReadErrorRate, "Raw_Read_Error_Rate", s.media_retries,
+      normalise(s.media_retries, ops, 100.0), 44});
+  log.attributes.push_back(SmartAttribute{
+      kAttrPowerOnIoCount, "Power_On_IO_Count", ops, 100, 0});
+  log.attributes.push_back(SmartAttribute{
+      kAttrRetrySectorEvents, "Retried_Sector_Events", s.media_retries,
+      normalise(s.media_retries, ops, 50.0), 50});
+  log.attributes.push_back(SmartAttribute{
+      kAttrUncorrectableErrors, "Reported_Uncorrect", s.media_errors,
+      normalise(s.media_errors, std::max<std::uint64_t>(ops, 1), 5000.0),
+      90});
+  log.attributes.push_back(SmartAttribute{
+      kAttrCommandTimeout, "Command_Timeout", s.hung_commands,
+      normalise(s.hung_commands, std::max<std::uint64_t>(ops, 1), 5000.0),
+      90});
+  log.attributes.push_back(SmartAttribute{
+      kAttrLoadCycleCount, "Load_Cycle_Count", s.shock_parks,
+      normalise(s.shock_parks, std::max<std::uint64_t>(ops, 1), 2000.0),
+      75});
+  return log;
+}
+
+}  // namespace deepnote::hdd

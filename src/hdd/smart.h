@@ -1,0 +1,48 @@
+// SMART-style health attributes derived from the drive's counters.
+//
+// An acoustic attack leaves a distinctive fingerprint in a drive's SMART
+// log: retries and recovered errors spike, the load-cycle (head park)
+// count climbs, commands time out — while the medium itself stays
+// healthy. Surfacing that fingerprint is the first step toward the
+// detection-based defenses the paper's Section 5.1 calls for.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hdd/drive.h"
+
+namespace deepnote::hdd {
+
+struct SmartAttribute {
+  int id = 0;
+  std::string name;
+  std::uint64_t raw_value = 0;
+  /// Normalised health 1..100 (100 = perfect), vendor-style.
+  int normalized = 100;
+  int threshold = 0;
+  bool failing_now() const { return normalized <= threshold; }
+};
+
+struct SmartLog {
+  std::vector<SmartAttribute> attributes;
+
+  const SmartAttribute* find(int id) const;
+  /// Overall assessment: any attribute at/below threshold.
+  bool healthy() const;
+  std::string to_text() const;
+};
+
+/// Derive the SMART view from the drive's lifetime counters.
+SmartLog smart_log(const Hdd& drive);
+
+/// Well-known attribute ids used by the log.
+inline constexpr int kAttrRawReadErrorRate = 1;
+inline constexpr int kAttrPowerOnIoCount = 9;
+inline constexpr int kAttrRetrySectorEvents = 13;
+inline constexpr int kAttrCommandTimeout = 188;
+inline constexpr int kAttrLoadCycleCount = 193;
+inline constexpr int kAttrUncorrectableErrors = 187;
+
+}  // namespace deepnote::hdd

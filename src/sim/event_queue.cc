@@ -1,0 +1,48 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace deepnote::sim {
+
+EventId EventQueue::schedule(SimTime t, EventFn fn) {
+  const EventId id = fns_.size();
+  fns_.push_back(std::move(fn));
+  heap_.push(Entry{t, next_seq_++, id});
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id >= fns_.size() || !fns_[id]) return false;
+  if (!cancelled_.insert(id).second) return false;
+  fns_[id] = nullptr;
+  --live_;
+  return true;
+}
+
+void EventQueue::drop_cancelled_top() {
+  while (!heap_.empty() && cancelled_.count(heap_.top().id) != 0) {
+    cancelled_.erase(heap_.top().id);
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() {
+  drop_cancelled_top();
+  if (heap_.empty()) return SimTime::infinity();
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled_top();
+  assert(!heap_.empty());
+  const Entry e = heap_.top();
+  heap_.pop();
+  --live_;
+  Fired fired{e.time, e.id, std::move(fns_[e.id])};
+  fns_[e.id] = nullptr;
+  return fired;
+}
+
+}  // namespace deepnote::sim

@@ -1,0 +1,64 @@
+// Priority event queue for the discrete-event kernel.
+//
+// Events with equal timestamps fire in insertion order (FIFO), which keeps
+// runs deterministic regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace deepnote::sim {
+
+using EventFn = std::function<void()>;
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedule fn at absolute time t. Returns an id usable with cancel().
+  EventId schedule(SimTime t, EventFn fn);
+
+  /// Cancel a pending event. Returns false if it already fired or was
+  /// cancelled. The heap entry is tombstoned and skipped on pop.
+  bool cancel(EventId id);
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  /// Time of the earliest pending event; infinity when empty.
+  SimTime next_time();
+
+  /// Pop and return the earliest live event. Requires !empty().
+  struct Fired {
+    SimTime time;
+    EventId id;
+    EventFn fn;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // insertion order tiebreak
+    EventId id;
+    // std::priority_queue is a max-heap; invert so earliest pops first.
+    bool operator<(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  void drop_cancelled_top();
+
+  std::priority_queue<Entry> heap_;
+  std::vector<EventFn> fns_;  // indexed by id; moved-from once fired
+  std::unordered_set<EventId> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace deepnote::sim

@@ -1,0 +1,54 @@
+// Deterministic random number generation for simulations.
+//
+// xoshiro256++ core with convenience distributions. Every experiment takes
+// an explicit seed; two runs with the same seed produce identical event
+// sequences on every platform (no libstdc++ distribution dependence).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace deepnote::sim {
+
+/// xoshiro256++ PRNG (Blackman & Vigna). Not cryptographic; fast, high
+/// quality, and stable across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Marsaglia polar method (deterministic given state).
+  double gaussian();
+
+  /// Normal with the given mean / standard deviation.
+  double gaussian(double mean, double stddev);
+
+  /// Exponential with the given mean. Requires mean > 0.
+  double exponential(double mean);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Derive an independent child generator (for per-actor streams).
+  Rng fork();
+
+ private:
+  static std::uint64_t splitmix64(std::uint64_t& x);
+
+  std::array<std::uint64_t, 4> s_{};
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace deepnote::sim

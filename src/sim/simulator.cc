@@ -1,0 +1,54 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace deepnote::sim {
+
+EventId Simulator::at(SimTime t, EventFn fn) {
+  if (t < now_) {
+    throw std::invalid_argument("Simulator::at: event scheduled in the past");
+  }
+  return queue_.schedule(t, std::move(fn));
+}
+
+EventId Simulator::after(Duration d, EventFn fn) {
+  return at(now_ + d, std::move(fn));
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t fired = 0;
+  while (step()) ++fired;
+  return fired;
+}
+
+std::uint64_t Simulator::run_until(SimTime t) {
+  std::uint64_t fired = 0;
+  while (step(t)) ++fired;
+  if (now_ < t) now_ = t;
+  return fired;
+}
+
+bool Simulator::step(SimTime limit) {
+  if (queue_.empty()) return false;
+  if (queue_.next_time() > limit) return false;
+  auto fired = queue_.pop();
+  assert(fired.time >= now_);
+  now_ = fired.time;
+  fired.fn();
+  return true;
+}
+
+void Simulator::advance_to(SimTime t) {
+  if (t < now_) {
+    throw std::invalid_argument("Simulator::advance_to: time went backwards");
+  }
+  if (queue_.next_time() < t) {
+    throw std::logic_error(
+        "Simulator::advance_to: pending event earlier than target time");
+  }
+  now_ = t;
+}
+
+}  // namespace deepnote::sim

@@ -1,0 +1,56 @@
+// Discrete-event simulation kernel.
+//
+// A Simulator owns the clock and the event queue. Components schedule
+// callbacks at absolute or relative simulated times; run() dispatches
+// them in timestamp order (FIFO among equal timestamps).
+//
+// Storage-stack code in this project is largely written in a synchronous
+// "virtual time" style (operations compute their own completion time), so
+// the kernel is deliberately small: it exists for periodic daemons
+// (journal commit timers, writeback), timeouts, and the multi-actor
+// workload scheduler in workload/.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace deepnote::sim {
+
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Schedule at an absolute time (must not be in the past).
+  EventId at(SimTime t, EventFn fn);
+
+  /// Schedule after a relative delay.
+  EventId after(Duration d, EventFn fn);
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Run until the queue drains. Returns the number of events fired.
+  std::uint64_t run();
+
+  /// Run until simulated time t (inclusive of events at exactly t).
+  /// The clock is advanced to t even if the queue drains earlier.
+  std::uint64_t run_until(SimTime t);
+
+  /// Fire exactly one event if any is pending before `limit`.
+  /// Returns true if an event fired.
+  bool step(SimTime limit = SimTime::infinity());
+
+  /// Advance the clock directly; only valid when no earlier event is
+  /// pending. Used by synchronous (virtual-time) code paths.
+  void advance_to(SimTime t);
+
+  bool idle() { return queue_.empty(); }
+  SimTime next_event_time() { return queue_.next_time(); }
+
+ private:
+  SimTime now_ = SimTime::zero();
+  EventQueue queue_;
+};
+
+}  // namespace deepnote::sim

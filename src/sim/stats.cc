@@ -1,0 +1,109 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace deepnote::sim {
+
+void OnlineStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void OnlineStats::reset() { *this = OnlineStats{}; }
+
+double OnlineStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
+
+int LatencyHistogram::bucket_for(std::int64_t ns) {
+  if (ns < 1) ns = 1;
+  const double lg = std::log10(static_cast<double>(ns));
+  int b = static_cast<int>(lg * kBucketsPerDecade);
+  return std::clamp(b, 0, kNumBuckets - 1);
+}
+
+std::int64_t LatencyHistogram::bucket_mid_ns(int bucket) {
+  const double lg = (static_cast<double>(bucket) + 0.5) /
+                    static_cast<double>(kBucketsPerDecade);
+  return static_cast<std::int64_t>(std::pow(10.0, lg));
+}
+
+void LatencyHistogram::add_ns(std::int64_t ns) {
+  ++buckets_[static_cast<std::size_t>(bucket_for(ns))];
+  ++total_;
+  max_ns_ = std::max(max_ns_, ns);
+  sum_ns_ += static_cast<double>(ns);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  total_ += other.total_;
+  max_ns_ = std::max(max_ns_, other.max_ns_);
+  sum_ns_ += other.sum_ns_;
+}
+
+void LatencyHistogram::reset() { *this = LatencyHistogram{}; }
+
+Duration LatencyHistogram::quantile(double q) const {
+  if (total_ == 0) return Duration::zero();
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_ - 1));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[static_cast<std::size_t>(b)];
+    if (seen > target) return Duration{bucket_mid_ns(b)};
+  }
+  return Duration{max_ns_};
+}
+
+Duration LatencyHistogram::mean() const {
+  if (total_ == 0) return Duration::zero();
+  return Duration{
+      static_cast<std::int64_t>(sum_ns_ / static_cast<double>(total_))};
+}
+
+void RateMeter::reset() { *this = RateMeter{}; }
+
+double RateMeter::throughput_mbps() const {
+  const double secs = elapsed().seconds();
+  if (secs <= 0.0) return 0.0;
+  return static_cast<double>(bytes_) / 1e6 / secs;
+}
+
+double RateMeter::ops_per_second() const {
+  const double secs = elapsed().seconds();
+  if (secs <= 0.0) return 0.0;
+  return static_cast<double>(ops_) / secs;
+}
+
+}  // namespace deepnote::sim

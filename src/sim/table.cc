@@ -1,0 +1,144 @@
+#include "sim/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace deepnote::sim {
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+Table& Table::set_title(std::string title) {
+  title_ = std::move(title);
+  return *this;
+}
+
+Table& Table::set_columns(std::vector<std::string> headers) {
+  headers_ = std::move(headers);
+  return *this;
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string value) {
+  if (rows_.empty()) row();
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string{value}); }
+
+Table& Table::cell(double value, int decimals) {
+  return cell(format_fixed(value, decimals));
+}
+
+Table& Table::cell(std::int64_t value) {
+  return cell(std::to_string(value));
+}
+
+Table& Table::dash() { return cell(std::string{"-"}); }
+
+Table& Table::cell_or_dash(std::optional<double> value, int decimals) {
+  if (value.has_value()) return cell(*value, decimals);
+  return dash();
+}
+
+const std::string& Table::at(std::size_t row, std::size_t col) const {
+  if (row >= rows_.size() || col >= rows_[row].size()) {
+    throw std::out_of_range("Table::at");
+  }
+  return rows_[row][col];
+}
+
+std::vector<std::size_t> Table::column_widths() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c >= widths.size()) widths.resize(c + 1, 0);
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  return widths;
+}
+
+std::string Table::to_text() const {
+  const auto widths = column_widths();
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << "\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string{};
+      os << "  " << v << std::string(widths[c] - v.size(), ' ');
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& r : rows_) emit_row(r);
+  return os.str();
+}
+
+std::string Table::to_markdown() const {
+  std::ostringstream os;
+  if (!title_.empty()) os << "**" << title_ << "**\n\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << " " << (c < cells.size() ? cells[c] : std::string{}) << " |";
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) os << "---|";
+  os << "\n";
+  for (const auto& r : rows_) emit_row(r);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += "\"";
+    return out;
+  };
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ",";
+      os << escape(cells[c]);
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  for (const auto& r : rows_) emit_row(r);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.to_text();
+}
+
+}  // namespace deepnote::sim

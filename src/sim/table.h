@@ -1,0 +1,57 @@
+// Tabular output for the experiment harness and benches.
+//
+// Renders the same data as aligned plain text (for terminals), GitHub
+// markdown, or CSV. Cells are strings; numeric helpers format consistently
+// with the paper's tables (fixed decimals, "-" for no-response).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace deepnote::sim {
+
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  Table& set_title(std::string title);
+  Table& set_columns(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent cell() calls append to it.
+  Table& row();
+  Table& cell(std::string value);
+  Table& cell(const char* value);
+  /// Fixed-decimal numeric cell.
+  Table& cell(double value, int decimals = 1);
+  Table& cell(std::int64_t value);
+  /// "-" cell, used for "no response" entries.
+  Table& dash();
+  /// Numeric if present, "-" otherwise.
+  Table& cell_or_dash(std::optional<double> value, int decimals = 1);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_columns() const { return headers_.size(); }
+  const std::string& at(std::size_t row, std::size_t col) const;
+  const std::string& title() const { return title_; }
+
+  std::string to_text() const;
+  std::string to_markdown() const;
+  std::string to_csv() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::vector<std::size_t> column_widths() const;
+
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed decimals ("22.7").
+std::string format_fixed(double value, int decimals);
+
+}  // namespace deepnote::sim

@@ -1,0 +1,33 @@
+#include "sim/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace deepnote::sim {
+namespace {
+
+std::string format_ns(std::int64_t ns) {
+  char buf[64];
+  const double abs_ns = std::abs(static_cast<double>(ns));
+  if (abs_ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", static_cast<double>(ns) * 1e-9);
+  } else if (abs_ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", static_cast<double>(ns) * 1e-6);
+  } else if (abs_ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", static_cast<double>(ns) * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(ns));
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string to_string(SimTime t) {
+  if (t.is_infinite()) return "inf";
+  return format_ns(t.ns());
+}
+
+std::string to_string(Duration d) { return format_ns(d.ns()); }
+
+}  // namespace deepnote::sim

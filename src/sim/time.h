@@ -1,0 +1,114 @@
+// Simulated-time primitives.
+//
+// All simulation components agree on a single integral time base
+// (nanoseconds since simulation start) so event ordering is exact and
+// runs are bit-for-bit reproducible. Physics code uses double seconds;
+// conversion helpers live here.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace deepnote::sim {
+
+/// A point in simulated time, in nanoseconds since simulation start.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr SimTime zero() { return SimTime{0}; }
+  /// A time later than every schedulable event; used for hung I/O.
+  static constexpr SimTime infinity() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  static constexpr SimTime from_seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e9)};
+  }
+  static constexpr SimTime from_millis(double ms) {
+    return SimTime{static_cast<std::int64_t>(ms * 1e6)};
+  }
+  static constexpr SimTime from_micros(double us) {
+    return SimTime{static_cast<std::int64_t>(us * 1e3)};
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double millis() const { return static_cast<double>(ns_) * 1e-6; }
+  constexpr double micros() const { return static_cast<double>(ns_) * 1e-3; }
+
+  constexpr bool is_infinite() const { return *this == infinity(); }
+
+  friend constexpr bool operator==(SimTime, SimTime) = default;
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// A span of simulated time. Distinct from SimTime to keep point/span
+/// arithmetic honest.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr Duration zero() { return Duration{0}; }
+  static constexpr Duration from_seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e9)};
+  }
+  static constexpr Duration from_millis(double ms) {
+    return Duration{static_cast<std::int64_t>(ms * 1e6)};
+  }
+  static constexpr Duration from_micros(double us) {
+    return Duration{static_cast<std::int64_t>(us * 1e3)};
+  }
+  static constexpr Duration from_nanos(std::int64_t ns) { return Duration{ns}; }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double millis() const { return static_cast<double>(ns_) * 1e-6; }
+  constexpr double micros() const { return static_cast<double>(ns_) * 1e-3; }
+
+  friend constexpr bool operator==(Duration, Duration) = default;
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration{a.ns_ + b.ns_};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration{a.ns_ - b.ns_};
+  }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) {
+    return Duration{a.ns_ * k};
+  }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) {
+    return Duration{a.ns_ * k};
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+constexpr SimTime operator+(SimTime t, Duration d) {
+  if (t.is_infinite()) return t;
+  return SimTime{t.ns() + d.ns()};
+}
+constexpr SimTime operator-(SimTime t, Duration d) {
+  if (t.is_infinite()) return t;
+  return SimTime{t.ns() - d.ns()};
+}
+constexpr Duration operator-(SimTime a, SimTime b) {
+  return Duration{a.ns() - b.ns()};
+}
+
+constexpr SimTime max(SimTime a, SimTime b) { return a < b ? b : a; }
+constexpr SimTime min(SimTime a, SimTime b) { return a < b ? a : b; }
+
+/// Human-readable rendering ("1.234 s", "56.7 ms", ...), for logs and tables.
+std::string to_string(SimTime t);
+std::string to_string(Duration d);
+
+}  // namespace deepnote::sim

@@ -1,0 +1,46 @@
+// Block device abstraction used by the filesystem and database layers.
+//
+// Implementations run in virtual time: each operation takes the caller's
+// current SimTime and reports the operation's completion time. A blocking
+// caller simply continues from `complete`.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sim/time.h"
+
+namespace deepnote::storage {
+
+enum class BlockStatus {
+  kOk,
+  kIoError,  ///< the command ultimately failed (buffer I/O error)
+};
+
+struct BlockIo {
+  BlockStatus status = BlockStatus::kOk;
+  sim::SimTime complete = sim::SimTime::zero();
+
+  bool ok() const { return status == BlockStatus::kOk; }
+};
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  virtual std::uint64_t total_sectors() const = 0;
+
+  virtual BlockIo read(sim::SimTime now, std::uint64_t lba,
+                       std::uint32_t sector_count,
+                       std::span<std::byte> out) = 0;
+  virtual BlockIo write(sim::SimTime now, std::uint64_t lba,
+                        std::uint32_t sector_count,
+                        std::span<const std::byte> in) = 0;
+  /// Durability barrier: completes when previously acknowledged writes
+  /// are persistent.
+  virtual BlockIo flush(sim::SimTime now) = 0;
+};
+
+inline constexpr std::uint32_t kBlockSectorSize = 512;
+
+}  // namespace deepnote::storage

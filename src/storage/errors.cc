@@ -1,0 +1,24 @@
+#include "storage/errors.h"
+
+namespace deepnote::storage {
+
+const char* errno_name(Errno e) {
+  switch (e) {
+    case Errno::kOk: return "OK";
+    case Errno::kENOENT: return "ENOENT";
+    case Errno::kEIO: return "EIO";
+    case Errno::kEBADF: return "EBADF";
+    case Errno::kEAGAIN: return "EAGAIN";
+    case Errno::kEEXIST: return "EEXIST";
+    case Errno::kENOTDIR: return "ENOTDIR";
+    case Errno::kEISDIR: return "EISDIR";
+    case Errno::kEINVAL: return "EINVAL";
+    case Errno::kENOSPC: return "ENOSPC";
+    case Errno::kEROFS: return "EROFS";
+    case Errno::kENAMETOOLONG: return "ENAMETOOLONG";
+    case Errno::kENOTEMPTY: return "ENOTEMPTY";
+  }
+  return "E?";
+}
+
+}  // namespace deepnote::storage

@@ -1,0 +1,30 @@
+// Error codes for the storage stack.
+//
+// Values mirror the Linux errno numbers so failure reports read like the
+// paper's observations (e.g. the Ext4 journal aborting "with error -5").
+#pragma once
+
+namespace deepnote::storage {
+
+enum class Errno : int {
+  kOk = 0,
+  kENOENT = 2,    ///< no such file or directory
+  kEIO = 5,       ///< I/O error (the JBD abort code in the paper)
+  kEBADF = 9,     ///< bad file handle
+  kEAGAIN = 11,   ///< resource temporarily unavailable (write stall)
+  kEEXIST = 17,   ///< file exists
+  kENOTDIR = 20,  ///< not a directory
+  kEISDIR = 21,   ///< is a directory
+  kEINVAL = 22,   ///< invalid argument
+  kENOSPC = 28,   ///< no space left on device
+  kEROFS = 30,    ///< read-only filesystem (after journal abort)
+  kENAMETOOLONG = 36,
+  kENOTEMPTY = 39,
+};
+
+/// Linux-style signed code (kEIO -> -5).
+constexpr int errno_code(Errno e) { return -static_cast<int>(e); }
+
+const char* errno_name(Errno e);
+
+}  // namespace deepnote::storage

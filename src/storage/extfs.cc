@@ -1,0 +1,530 @@
+#include "storage/extfs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace deepnote::storage {
+namespace {
+
+constexpr std::uint32_t kBitsPerBlock = kFsBlockSize * 8;
+
+std::uint64_t device_blocks(const BlockDevice& dev) {
+  return dev.total_sectors() / kFsSectorsPerBlock;
+}
+
+bool bit_get(const std::byte* block, std::uint32_t bit) {
+  return (static_cast<unsigned char>(block[bit / 8]) >> (bit % 8)) & 1u;
+}
+
+void bit_set(std::byte* block, std::uint32_t bit, bool value) {
+  auto b = static_cast<unsigned char>(block[bit / 8]);
+  if (value) {
+    b |= static_cast<unsigned char>(1u << (bit % 8));
+  } else {
+    b &= static_cast<unsigned char>(~(1u << (bit % 8)));
+  }
+  block[bit / 8] = static_cast<std::byte>(b);
+}
+
+struct Layout {
+  SuperblockDisk sb;
+};
+
+Layout compute_layout(std::uint64_t dev_blocks, const MkfsOptions& opt) {
+  Layout l;
+  SuperblockDisk& sb = l.sb;
+  sb.total_blocks = static_cast<std::uint32_t>(
+      opt.total_blocks ? std::min<std::uint64_t>(opt.total_blocks, dev_blocks)
+                       : dev_blocks);
+  sb.journal_start = 1;
+  sb.journal_blocks = opt.journal_blocks;
+  sb.block_bitmap_start = sb.journal_start + sb.journal_blocks;
+  sb.block_bitmap_blocks =
+      (sb.total_blocks + kBitsPerBlock - 1) / kBitsPerBlock;
+  sb.inode_bitmap_start = sb.block_bitmap_start + sb.block_bitmap_blocks;
+  sb.num_inodes = opt.num_inodes;
+  sb.inode_bitmap_blocks = (sb.num_inodes + kBitsPerBlock - 1) / kBitsPerBlock;
+  sb.inode_table_start = sb.inode_bitmap_start + sb.inode_bitmap_blocks;
+  sb.inode_table_blocks =
+      (sb.num_inodes + kInodesPerBlock - 1) / kInodesPerBlock;
+  sb.data_start = sb.inode_table_start + sb.inode_table_blocks;
+  return l;
+}
+
+BlockIo write_fs_block(BlockDevice& dev, sim::SimTime t, std::uint32_t block,
+                       std::span<const std::byte> data) {
+  return dev.write(t, static_cast<std::uint64_t>(block) * kFsSectorsPerBlock,
+                   kFsSectorsPerBlock, data);
+}
+
+BlockIo read_fs_block(BlockDevice& dev, sim::SimTime t, std::uint32_t block,
+                      std::span<std::byte> out) {
+  return dev.read(t, static_cast<std::uint64_t>(block) * kFsSectorsPerBlock,
+                  kFsSectorsPerBlock, out);
+}
+
+}  // namespace
+
+// ===========================================================================
+// mkfs
+
+FsResult ExtFs::mkfs(BlockDevice& device, sim::SimTime now,
+                     MkfsOptions options) {
+  const std::uint64_t dblocks = device_blocks(device);
+  Layout layout = compute_layout(dblocks, options);
+  SuperblockDisk& sb = layout.sb;
+  if (sb.data_start + 16 > sb.total_blocks) {
+    return FsResult{Errno::kENOSPC, now};
+  }
+
+  sim::SimTime t = now;
+  std::vector<std::byte> zero(kFsBlockSize, std::byte{0});
+
+  // Journal area.
+  for (std::uint32_t b = 0; b < sb.journal_blocks; ++b) {
+    BlockIo io = write_fs_block(device, t, sb.journal_start + b, zero);
+    if (!io.ok()) return FsResult{Errno::kEIO, io.complete};
+    t = io.complete;
+  }
+
+  // Block bitmap: blocks [0, data_start) are metadata and marked used.
+  for (std::uint32_t b = 0; b < sb.block_bitmap_blocks; ++b) {
+    std::vector<std::byte> bm(kFsBlockSize, std::byte{0});
+    const std::uint64_t first_bit =
+        static_cast<std::uint64_t>(b) * kBitsPerBlock;
+    for (std::uint32_t i = 0; i < kBitsPerBlock; ++i) {
+      const std::uint64_t block_no = first_bit + i;
+      if (block_no < sb.data_start) {
+        bit_set(bm.data(), i, true);
+      } else if (block_no >= sb.total_blocks && block_no < first_bit + kBitsPerBlock) {
+        // Bits beyond the device are marked used so the allocator never
+        // hands them out.
+        bit_set(bm.data(), i, true);
+      }
+    }
+    BlockIo io = write_fs_block(device, t, sb.block_bitmap_start + b, bm);
+    if (!io.ok()) return FsResult{Errno::kEIO, io.complete};
+    t = io.complete;
+  }
+
+  // Inode bitmap: inode 0 (invalid) and 1 (root) used.
+  for (std::uint32_t b = 0; b < sb.inode_bitmap_blocks; ++b) {
+    std::vector<std::byte> bm(kFsBlockSize, std::byte{0});
+    if (b == 0) {
+      bit_set(bm.data(), 0, true);
+      bit_set(bm.data(), kRootInode, true);
+    }
+    const std::uint64_t first_bit =
+        static_cast<std::uint64_t>(b) * kBitsPerBlock;
+    for (std::uint32_t i = 0; i < kBitsPerBlock; ++i) {
+      if (first_bit + i >= sb.num_inodes) bit_set(bm.data(), i, true);
+    }
+    BlockIo io = write_fs_block(device, t, sb.inode_bitmap_start + b, bm);
+    if (!io.ok()) return FsResult{Errno::kEIO, io.complete};
+    t = io.complete;
+  }
+
+  // Inode table, with the root directory in place.
+  for (std::uint32_t b = 0; b < sb.inode_table_blocks; ++b) {
+    std::vector<std::byte> blk(kFsBlockSize, std::byte{0});
+    if (b == 0) {
+      InodeDisk root;
+      root.kind = static_cast<std::uint16_t>(InodeKind::kDirectory);
+      root.link_count = 2;
+      std::memcpy(blk.data() + kRootInode * kInodeSize, &root, sizeof(root));
+    }
+    BlockIo io = write_fs_block(device, t, sb.inode_table_start + b, blk);
+    if (!io.ok()) return FsResult{Errno::kEIO, io.complete};
+    t = io.complete;
+  }
+
+  // Superblock last, then a barrier.
+  std::vector<std::byte> sblk(kFsBlockSize, std::byte{0});
+  sb.clean = 1;
+  std::memcpy(sblk.data(), &sb, sizeof(sb));
+  BlockIo io = write_fs_block(device, t, 0, sblk);
+  if (!io.ok()) return FsResult{Errno::kEIO, io.complete};
+  io = device.flush(io.complete);
+  if (!io.ok()) return FsResult{Errno::kEIO, io.complete};
+  return FsResult{Errno::kOk, io.complete};
+}
+
+// ===========================================================================
+// mount
+
+ExtFs::ExtFs(BlockDevice& device, ExtFsConfig config)
+    : dev_(device), config_(config) {}
+
+ExtFs::MountOutcome ExtFs::mount(BlockDevice& device, sim::SimTime now,
+                                 ExtFsConfig config) {
+  MountOutcome out;
+  std::vector<std::byte> sblk(kFsBlockSize);
+  BlockIo io = read_fs_block(device, now, 0, sblk);
+  if (!io.ok()) {
+    out.err = Errno::kEIO;
+    out.done = io.complete;
+    return out;
+  }
+  SuperblockDisk sb;
+  std::memcpy(&sb, sblk.data(), sizeof(sb));
+  if (sb.magic != kFsMagic || sb.version != kFsVersion) {
+    out.err = Errno::kEINVAL;
+    out.done = io.complete;
+    return out;
+  }
+
+  auto fs = std::unique_ptr<ExtFs>(new ExtFs(device, config));
+  fs->sb_ = sb;
+  fs->journal_ = std::make_unique<Journal>(device, sb.journal_start,
+                                           sb.journal_blocks,
+                                           sb.journal_sequence);
+  sim::SimTime t = io.complete;
+
+  // Replay committed transactions (no-op on a clean filesystem).
+  std::uint64_t replayed = 0;
+  JournalResult jr = fs->journal_->replay(t, &replayed);
+  if (!jr.ok()) {
+    out.err = Errno::kEIO;
+    out.done = jr.done;
+    return out;
+  }
+  t = jr.done;
+  if (replayed > 0) {
+    jr = fs->journal_->clear(t);
+    if (!jr.ok()) {
+      out.err = Errno::kEIO;
+      out.done = jr.done;
+      return out;
+    }
+    t = jr.done;
+  }
+
+  // Count free blocks/inodes from the (replayed) bitmaps.
+  std::vector<std::byte> bm(kFsBlockSize);
+  std::uint64_t free_blocks = 0;
+  for (std::uint32_t b = 0; b < sb.block_bitmap_blocks; ++b) {
+    io = read_fs_block(device, t, sb.block_bitmap_start + b, bm);
+    if (!io.ok()) {
+      out.err = Errno::kEIO;
+      out.done = io.complete;
+      return out;
+    }
+    t = io.complete;
+    for (std::uint32_t i = 0; i < kBitsPerBlock; ++i) {
+      if (!bit_get(bm.data(), i)) ++free_blocks;
+    }
+  }
+  std::uint64_t free_inodes = 0;
+  for (std::uint32_t b = 0; b < sb.inode_bitmap_blocks; ++b) {
+    io = read_fs_block(device, t, sb.inode_bitmap_start + b, bm);
+    if (!io.ok()) {
+      out.err = Errno::kEIO;
+      out.done = io.complete;
+      return out;
+    }
+    t = io.complete;
+    for (std::uint32_t i = 0; i < kBitsPerBlock; ++i) {
+      if (!bit_get(bm.data(), i)) ++free_inodes;
+    }
+  }
+  fs->free_blocks_ = free_blocks;
+  fs->free_inodes_ = free_inodes;
+  fs->alloc_hint_ = sb.data_start;
+
+  // Mark mounted-dirty.
+  fs->sb_.clean = 0;
+  fs->sb_.mount_count++;
+  fs->sb_.journal_sequence = fs->journal_->next_sequence();
+  Errno e = fs->write_superblock(t);
+  if (e != Errno::kOk) {
+    out.err = e;
+    out.done = t;
+    return out;
+  }
+  fs->last_commit_ = t;
+
+  out.err = Errno::kOk;
+  out.done = t;
+  out.fs = std::move(fs);
+  out.replayed_transactions = replayed;
+  return out;
+}
+
+Errno ExtFs::write_superblock(sim::SimTime& t) {
+  std::vector<std::byte> sblk(kFsBlockSize, std::byte{0});
+  std::memcpy(sblk.data(), &sb_, sizeof(sb_));
+  BlockIo io = write_fs_block(dev_, t, 0, sblk);
+  t = io.complete;
+  if (!io.ok()) return Errno::kEIO;
+  io = dev_.flush(t);
+  t = io.complete;
+  if (!io.ok()) return Errno::kEIO;
+  sb_dirty_ = false;
+  return Errno::kOk;
+}
+
+// ===========================================================================
+// Metadata cache
+
+ExtFs::CacheRead ExtFs::load_block(sim::SimTime now, std::uint32_t block_no) {
+  CacheRead r;
+  r.done = now;
+  auto it = cache_.find(block_no);
+  if (it != cache_.end()) {
+    ++stats_.cache_hits;
+    r.block = &it->second;
+    return r;
+  }
+  ++stats_.cache_misses;
+  CachedBlock cb;
+  cb.data.resize(kFsBlockSize);
+  BlockIo io = read_fs_block(dev_, now, block_no, cb.data);
+  r.done = io.complete;
+  if (!io.ok()) {
+    r.err = Errno::kEIO;
+    return r;
+  }
+  auto [ins, _] = cache_.emplace(block_no, std::move(cb));
+  r.block = &ins->second;
+  return r;
+}
+
+void ExtFs::mark_dirty(std::uint32_t block_no) {
+  auto it = cache_.find(block_no);
+  assert(it != cache_.end());
+  it->second.dirty = true;
+  txn_blocks_.insert(block_no);
+}
+
+// ===========================================================================
+// Inodes
+
+ExtFs::InodeRef ExtFs::load_inode(sim::SimTime now, std::uint32_t ino) {
+  InodeRef r;
+  r.done = now;
+  if (ino == 0 || ino >= sb_.num_inodes) {
+    r.err = Errno::kEINVAL;
+    return r;
+  }
+  const std::uint32_t block =
+      sb_.inode_table_start + ino / kInodesPerBlock;
+  CacheRead cr = load_block(now, block);
+  r.done = cr.done;
+  if (cr.err != Errno::kOk) {
+    r.err = cr.err;
+    return r;
+  }
+  r.inode = reinterpret_cast<InodeDisk*>(
+      cr.block->data.data() + (ino % kInodesPerBlock) * kInodeSize);
+  r.block_no = block;
+  return r;
+}
+
+std::uint32_t ExtFs::alloc_inode(sim::SimTime& t, Errno& err) {
+  for (std::uint32_t b = 0; b < sb_.inode_bitmap_blocks; ++b) {
+    CacheRead cr = load_block(t, sb_.inode_bitmap_start + b);
+    t = cr.done;
+    if (cr.err != Errno::kOk) {
+      err = cr.err;
+      return 0;
+    }
+    for (std::uint32_t i = 0; i < kBitsPerBlock; ++i) {
+      const std::uint64_t ino = static_cast<std::uint64_t>(b) * kBitsPerBlock + i;
+      if (ino >= sb_.num_inodes) break;
+      if (!bit_get(cr.block->data.data(), i)) {
+        bit_set(cr.block->data.data(), i, true);
+        mark_dirty(sb_.inode_bitmap_start + b);
+        --free_inodes_;
+        err = Errno::kOk;
+        return static_cast<std::uint32_t>(ino);
+      }
+    }
+  }
+  err = Errno::kENOSPC;
+  return 0;
+}
+
+Errno ExtFs::free_inode(sim::SimTime& t, std::uint32_t ino) {
+  const std::uint32_t b = ino / kBitsPerBlock;
+  CacheRead cr = load_block(t, sb_.inode_bitmap_start + b);
+  t = cr.done;
+  if (cr.err != Errno::kOk) return cr.err;
+  bit_set(cr.block->data.data(), ino % kBitsPerBlock, false);
+  mark_dirty(sb_.inode_bitmap_start + b);
+  ++free_inodes_;
+  return Errno::kOk;
+}
+
+// ===========================================================================
+// Block allocation
+
+std::uint32_t ExtFs::alloc_block(sim::SimTime& t, Errno& err) {
+  if (free_blocks_ == 0) {
+    err = Errno::kENOSPC;
+    return 0;
+  }
+  const std::uint32_t start_bm = alloc_hint_ / kBitsPerBlock;
+  for (std::uint32_t pass = 0; pass < sb_.block_bitmap_blocks; ++pass) {
+    const std::uint32_t b = (start_bm + pass) % sb_.block_bitmap_blocks;
+    CacheRead cr = load_block(t, sb_.block_bitmap_start + b);
+    t = cr.done;
+    if (cr.err != Errno::kOk) {
+      err = cr.err;
+      return 0;
+    }
+    for (std::uint32_t i = 0; i < kBitsPerBlock; ++i) {
+      const std::uint64_t block_no =
+          static_cast<std::uint64_t>(b) * kBitsPerBlock + i;
+      if (block_no >= sb_.total_blocks) break;
+      if (block_no < sb_.data_start) continue;
+      if (!bit_get(cr.block->data.data(), i)) {
+        bit_set(cr.block->data.data(), i, true);
+        mark_dirty(sb_.block_bitmap_start + b);
+        --free_blocks_;
+        alloc_hint_ = static_cast<std::uint32_t>(block_no) + 1;
+        err = Errno::kOk;
+        return static_cast<std::uint32_t>(block_no);
+      }
+    }
+  }
+  err = Errno::kENOSPC;
+  return 0;
+}
+
+Errno ExtFs::free_block(sim::SimTime& t, std::uint32_t block_no) {
+  if (block_no < sb_.data_start || block_no >= sb_.total_blocks) {
+    return Errno::kEINVAL;
+  }
+  const std::uint32_t b = block_no / kBitsPerBlock;
+  CacheRead cr = load_block(t, sb_.block_bitmap_start + b);
+  t = cr.done;
+  if (cr.err != Errno::kOk) return cr.err;
+  bit_set(cr.block->data.data(), block_no % kBitsPerBlock, false);
+  mark_dirty(sb_.block_bitmap_start + b);
+  ++free_blocks_;
+  return Errno::kOk;
+}
+
+// ===========================================================================
+// bmap
+
+std::uint32_t ExtFs::bmap(sim::SimTime& t, InodeDisk& inode, std::uint32_t ino,
+                          std::uint64_t file_block, bool allocate,
+                          Errno& err) {
+  err = Errno::kOk;
+  const std::uint32_t inode_block =
+      sb_.inode_table_start + ino / kInodesPerBlock;
+
+  auto get_or_alloc_ptr_block = [&](std::uint32_t& slot,
+                                    bool mark_inode) -> std::uint32_t {
+    if (slot != 0) return slot;
+    if (!allocate) return 0;
+    const std::uint32_t nb = alloc_block(t, err);
+    if (err != Errno::kOk) return 0;
+    // Fresh pointer block: install zeroed content in the cache directly
+    // (never read stale device bytes).
+    CachedBlock cb;
+    cb.data.assign(kFsBlockSize, std::byte{0});
+    cache_[nb] = std::move(cb);
+    slot = nb;
+    mark_dirty(nb);
+    if (mark_inode) mark_dirty(inode_block);
+    return nb;
+  };
+
+  if (file_block < kDirectBlocks) {
+    if (inode.direct[file_block] == 0 && allocate) {
+      const std::uint32_t nb = alloc_block(t, err);
+      if (err != Errno::kOk) return 0;
+      inode.direct[file_block] = nb;
+      mark_dirty(inode_block);
+    }
+    return inode.direct[file_block];
+  }
+
+  std::uint64_t idx = file_block - kDirectBlocks;
+  if (idx < kPtrsPerBlock) {
+    const std::uint32_t ptr_block =
+        get_or_alloc_ptr_block(inode.indirect, true);
+    if (ptr_block == 0) return 0;
+    CacheRead cr = load_block(t, ptr_block);
+    t = cr.done;
+    if (cr.err != Errno::kOk) {
+      err = cr.err;
+      return 0;
+    }
+    auto* ptrs = reinterpret_cast<std::uint32_t*>(cr.block->data.data());
+    if (ptrs[idx] == 0 && allocate) {
+      const std::uint32_t nb = alloc_block(t, err);
+      if (err != Errno::kOk) return 0;
+      ptrs[idx] = nb;
+      mark_dirty(ptr_block);
+    }
+    return ptrs[idx];
+  }
+
+  idx -= kPtrsPerBlock;
+  const std::uint64_t max_double =
+      static_cast<std::uint64_t>(kPtrsPerBlock) * kPtrsPerBlock;
+  if (idx >= max_double) {
+    err = Errno::kEINVAL;  // file too large
+    return 0;
+  }
+  const std::uint32_t outer_block =
+      get_or_alloc_ptr_block(inode.double_indirect, true);
+  if (outer_block == 0) return 0;
+  CacheRead cr = load_block(t, outer_block);
+  t = cr.done;
+  if (cr.err != Errno::kOk) {
+    err = cr.err;
+    return 0;
+  }
+  auto* outer = reinterpret_cast<std::uint32_t*>(cr.block->data.data());
+  const std::uint64_t outer_idx = idx / kPtrsPerBlock;
+  std::uint32_t inner_block = outer[outer_idx];
+  if (inner_block == 0) {
+    if (!allocate) return 0;
+    const std::uint32_t nb = alloc_block(t, err);
+    if (err != Errno::kOk) return 0;
+    CachedBlock cb;
+    cb.data.assign(kFsBlockSize, std::byte{0});
+    cache_[nb] = std::move(cb);
+    // Re-find the outer block: alloc_block may have rehashed the cache.
+    CacheRead cr2 = load_block(t, outer_block);
+    t = cr2.done;
+    if (cr2.err != Errno::kOk) {
+      err = cr2.err;
+      return 0;
+    }
+    reinterpret_cast<std::uint32_t*>(cr2.block->data.data())[outer_idx] = nb;
+    mark_dirty(outer_block);
+    mark_dirty(nb);
+    inner_block = nb;
+  }
+  CacheRead icr = load_block(t, inner_block);
+  t = icr.done;
+  if (icr.err != Errno::kOk) {
+    err = icr.err;
+    return 0;
+  }
+  auto* inner = reinterpret_cast<std::uint32_t*>(icr.block->data.data());
+  const std::uint64_t inner_idx = idx % kPtrsPerBlock;
+  if (inner[inner_idx] == 0 && allocate) {
+    const std::uint32_t nb = alloc_block(t, err);
+    if (err != Errno::kOk) return 0;
+    // Same rehash hazard as above.
+    CacheRead icr2 = load_block(t, inner_block);
+    t = icr2.done;
+    if (icr2.err != Errno::kOk) {
+      err = icr2.err;
+      return 0;
+    }
+    reinterpret_cast<std::uint32_t*>(icr2.block->data.data())[inner_idx] = nb;
+    mark_dirty(inner_block);
+    return nb;
+  }
+  return inner[inner_idx];
+}
+
+}  // namespace deepnote::storage

@@ -1,0 +1,301 @@
+// extfs: an ext4-like journaling filesystem on a BlockDevice.
+//
+// Features modelled after ext4's data=ordered mode:
+//  * metadata (superblock, bitmaps, inode table, indirect blocks,
+//    directory blocks) is journaled through a JBD2-style physical journal
+//    (journal.h) and checkpointed home after each commit;
+//  * file data is buffered in dirty pages, flushed before the journal
+//    commit (ordered mode) and throttled against a global dirty limit;
+//  * fsync writes the file's dirty pages, commits the running
+//    transaction and issues a device cache flush;
+//  * a commit failure aborts the journal with error -5 (EIO) and the
+//    filesystem degrades to read-only — the crash signature reported in
+//    the paper's Table 3.
+//
+// All operations run in virtual time: they take the caller's SimTime and
+// report their completion time. Background work (the 5-second commit
+// timer, dirty writeback) is exposed via commit_due()/commit() and
+// writeback() so an experiment can drive it as a daemon actor.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/block_device.h"
+#include "storage/errors.h"
+#include "storage/extfs_format.h"
+#include "storage/journal.h"
+
+namespace deepnote::storage {
+
+struct FsResult {
+  Errno err = Errno::kOk;
+  sim::SimTime done = sim::SimTime::zero();
+  bool ok() const { return err == Errno::kOk; }
+};
+
+struct FsIoResult {
+  Errno err = Errno::kOk;
+  sim::SimTime done = sim::SimTime::zero();
+  std::uint64_t bytes = 0;
+  bool ok() const { return err == Errno::kOk; }
+};
+
+struct FsStatResult {
+  Errno err = Errno::kOk;
+  sim::SimTime done = sim::SimTime::zero();
+  InodeKind kind = InodeKind::kFree;
+  std::uint64_t size = 0;
+  std::uint16_t link_count = 0;
+  bool ok() const { return err == Errno::kOk; }
+};
+
+struct FsLookupResult {
+  Errno err = Errno::kOk;
+  sim::SimTime done = sim::SimTime::zero();
+  std::uint32_t inode = 0;
+  bool ok() const { return err == Errno::kOk; }
+};
+
+struct FsDirEntry {
+  std::string name;
+  std::uint32_t inode = 0;
+  InodeKind kind = InodeKind::kFree;
+};
+
+struct FsReaddirResult {
+  Errno err = Errno::kOk;
+  sim::SimTime done = sim::SimTime::zero();
+  std::vector<FsDirEntry> entries;
+  bool ok() const { return err == Errno::kOk; }
+};
+
+struct MkfsOptions {
+  std::uint32_t journal_blocks = 1024;  ///< 4 MiB journal
+  std::uint32_t num_inodes = 8192;
+  /// Optionally cap the filesystem to this many blocks (0 = whole device).
+  std::uint32_t total_blocks = 0;
+};
+
+struct ExtFsConfig {
+  sim::Duration commit_interval = sim::Duration::from_seconds(5.0);
+  std::uint64_t dirty_limit_bytes = 64ull << 20;
+  /// Clean page cache (pages kept in memory after writeback / read).
+  std::uint64_t page_cache_bytes = 256ull << 20;
+  /// CPU cost charged per filesystem call (path walk, copies).
+  sim::Duration op_cpu_cost = sim::Duration::from_micros(2);
+  /// Force a commit once the running transaction holds this many blocks.
+  std::uint32_t txn_block_limit = 256;
+};
+
+struct ExtFsStats {
+  std::uint64_t commits = 0;
+  std::uint64_t checkpoint_blocks = 0;
+  std::uint64_t data_pages_written = 0;
+  std::uint64_t throttle_stalls = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+class ExtFs {
+ public:
+  /// Format the device. Returns when the empty filesystem is durable.
+  static FsResult mkfs(BlockDevice& device, sim::SimTime now,
+                       MkfsOptions options = {});
+
+  struct MountOutcome {
+    Errno err = Errno::kOk;
+    sim::SimTime done = sim::SimTime::zero();
+    std::unique_ptr<ExtFs> fs;
+    std::uint64_t replayed_transactions = 0;
+    bool ok() const { return err == Errno::kOk; }
+  };
+  /// Mount: read the superblock, replay the journal, mark the fs dirty.
+  static MountOutcome mount(BlockDevice& device, sim::SimTime now,
+                            ExtFsConfig config = {});
+
+  // -- Namespace operations (absolute paths, '/'-separated). --
+
+  FsResult create(sim::SimTime now, std::string_view path,
+                  std::uint32_t* inode_out = nullptr);
+  FsResult mkdir(sim::SimTime now, std::string_view path);
+  /// Removes a file or an empty directory.
+  FsResult unlink(sim::SimTime now, std::string_view path);
+  /// Renames a file or directory. An existing file at `to` is replaced
+  /// (POSIX rename semantics); an existing directory is not.
+  FsResult rename(sim::SimTime now, std::string_view from,
+                  std::string_view to);
+  FsLookupResult lookup(sim::SimTime now, std::string_view path);
+  FsReaddirResult readdir(sim::SimTime now, std::string_view path);
+  FsStatResult stat(sim::SimTime now, std::uint32_t inode);
+
+  // -- File I/O (by inode number, from lookup/create). --
+
+  FsIoResult write(sim::SimTime now, std::uint32_t inode,
+                   std::uint64_t offset, std::span<const std::byte> data);
+  FsIoResult read(sim::SimTime now, std::uint32_t inode, std::uint64_t offset,
+                  std::span<std::byte> out);
+  FsResult truncate(sim::SimTime now, std::uint32_t inode,
+                    std::uint64_t new_size);
+  FsResult fsync(sim::SimTime now, std::uint32_t inode);
+
+  // -- Maintenance / daemons. --
+
+  /// True when the periodic commit should run (interval elapsed and there
+  /// is work).
+  bool commit_due(sim::SimTime now) const;
+  /// Ordered-mode commit: flush dirty data, journal the metadata
+  /// transaction, checkpoint. Aborts the fs on journal failure.
+  FsResult commit(sim::SimTime now);
+  /// Background writeback step: write up to `max_bytes` of dirty data.
+  FsResult writeback(sim::SimTime now, std::uint64_t max_bytes);
+  /// writeback-everything + commit + flush.
+  FsResult sync(sim::SimTime now);
+  /// sync + mark superblock clean. The object must not be used afterward.
+  FsResult unmount(sim::SimTime now);
+
+  // -- State inspection. --
+
+  bool read_only() const { return read_only_; }
+  /// Time-aware read-only test: the abort takes effect at abort_time_.
+  /// Virtual-time actors whose steps span the abort must not observe it
+  /// "from the future".
+  bool read_only_at(sim::SimTime now) const {
+    return read_only_ && now >= abort_time_;
+  }
+  /// Sticky error code (-5 after a journal abort), 0 when healthy.
+  int error_code() const { return error_code_; }
+  /// When the journal aborted (valid only when read_only()).
+  sim::SimTime abort_time() const { return abort_time_; }
+  std::uint64_t dirty_bytes() const { return dirty_bytes_; }
+  std::uint64_t free_blocks() const { return free_blocks_; }
+  std::uint64_t free_inodes() const { return free_inodes_; }
+  const ExtFsStats& stats() const { return stats_; }
+  const SuperblockDisk& superblock() const { return sb_; }
+
+  /// Offline consistency check (run on an unmounted device). Returns
+  /// human-readable descriptions of every inconsistency found.
+  struct FsckReport {
+    Errno err = Errno::kOk;  ///< kEIO if the check itself failed
+    sim::SimTime done = sim::SimTime::zero();
+    std::vector<std::string> problems;
+    bool clean() const { return err == Errno::kOk && problems.empty(); }
+  };
+  static FsckReport fsck(BlockDevice& device, sim::SimTime now);
+
+ private:
+  ExtFs(BlockDevice& device, ExtFsConfig config);
+
+  struct CachedBlock {
+    std::vector<std::byte> data;
+    bool dirty = false;
+  };
+
+  // Metadata block cache. ---------------------------------------------------
+  struct CacheRead {
+    Errno err = Errno::kOk;
+    sim::SimTime done;
+    CachedBlock* block = nullptr;
+  };
+  CacheRead load_block(sim::SimTime now, std::uint32_t block_no);
+  void mark_dirty(std::uint32_t block_no);
+
+  // Inode helpers. -----------------------------------------------------------
+  struct InodeRef {
+    Errno err = Errno::kOk;
+    sim::SimTime done;
+    InodeDisk* inode = nullptr;
+    std::uint32_t block_no = 0;  ///< cache block holding the inode
+  };
+  InodeRef load_inode(sim::SimTime now, std::uint32_t ino);
+  std::uint32_t alloc_inode(sim::SimTime& t, Errno& err);
+  Errno free_inode(sim::SimTime& t, std::uint32_t ino);
+
+  // Block allocation. ---------------------------------------------------------
+  std::uint32_t alloc_block(sim::SimTime& t, Errno& err);
+  Errno free_block(sim::SimTime& t, std::uint32_t block_no);
+
+  /// Map file block index -> disk block. Returns 0 for unmapped holes
+  /// (when allocate is false). Sets err on failure.
+  std::uint32_t bmap(sim::SimTime& t, InodeDisk& inode, std::uint32_t ino,
+                     std::uint64_t file_block, bool allocate, Errno& err);
+
+  // Directories. ---------------------------------------------------------------
+  struct PathTarget {
+    Errno err = Errno::kOk;
+    sim::SimTime done;
+    std::uint32_t parent = 0;     ///< parent directory inode
+    std::uint32_t inode = 0;      ///< 0 if the leaf does not exist
+    std::string leaf;
+  };
+  PathTarget resolve(sim::SimTime now, std::string_view path);
+  Errno dir_insert(sim::SimTime& t, std::uint32_t dir_ino,
+                   std::string_view name, std::uint32_t ino, InodeKind kind);
+  Errno dir_remove(sim::SimTime& t, std::uint32_t dir_ino,
+                   std::string_view name);
+  Errno dir_find(sim::SimTime& t, std::uint32_t dir_ino,
+                 std::string_view name, std::uint32_t* out);
+  Errno dir_empty(sim::SimTime& t, std::uint32_t dir_ino, bool* out);
+
+  // Data pages. ----------------------------------------------------------------
+  static std::uint64_t page_key(std::uint32_t ino, std::uint64_t fblock) {
+    return (static_cast<std::uint64_t>(ino) << 32) | fblock;
+  }
+  Errno writeback_page(sim::SimTime& t, std::uint64_t key);
+  Errno writeback_some(sim::SimTime& t, std::uint64_t max_bytes);
+  Errno writeback_inode(sim::SimTime& t, std::uint32_t ino);
+
+  /// Free every data/indirect block of an inode (truncate to 0).
+  Errno release_blocks(sim::SimTime& t, InodeDisk& inode, std::uint32_t ino);
+
+  // Commit machinery. -----------------------------------------------------------
+  FsResult do_commit(sim::SimTime now);
+  void abort_fs(int code, sim::SimTime when);
+  Errno write_superblock(sim::SimTime& t);
+
+  BlockDevice& dev_;
+  ExtFsConfig config_;
+  SuperblockDisk sb_;
+  std::unique_ptr<Journal> journal_;
+
+  std::unordered_map<std::uint32_t, CachedBlock> cache_;
+  std::unordered_set<std::uint32_t> txn_blocks_;  ///< dirty metadata blocks
+
+  struct DirtyPage {
+    std::uint32_t ino;
+    std::uint64_t fblock;
+    std::vector<std::byte> data;
+  };
+  std::unordered_map<std::uint64_t, DirtyPage> dirty_pages_;
+  std::deque<std::uint64_t> dirty_fifo_;
+  std::uint64_t dirty_bytes_ = 0;
+
+  /// Clean page cache (FIFO eviction). Holds post-writeback and read-in
+  /// pages so hot files are served from memory, like the OS page cache.
+  std::unordered_map<std::uint64_t, std::vector<std::byte>> clean_pages_;
+  std::deque<std::uint64_t> clean_fifo_;
+  std::uint64_t clean_bytes_ = 0;
+
+  void clean_insert(std::uint64_t key, std::vector<std::byte> data);
+  void drop_inode_pages(std::uint32_t ino);
+
+  sim::SimTime last_commit_ = sim::SimTime::zero();
+  sim::SimTime abort_time_ = sim::SimTime::zero();
+  bool read_only_ = false;
+  int error_code_ = 0;
+  bool sb_dirty_ = false;
+
+  std::uint64_t free_blocks_ = 0;
+  std::uint64_t free_inodes_ = 0;
+  std::uint32_t alloc_hint_ = 0;
+
+  ExtFsStats stats_;
+};
+
+}  // namespace deepnote::storage

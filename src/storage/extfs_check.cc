@@ -1,0 +1,281 @@
+// extfs offline consistency checker (fsck).
+//
+// Verifies, on an unmounted device:
+//  * the superblock is sane;
+//  * every block referenced by an allocated inode lies in the data region
+//    and is referenced exactly once;
+//  * the block bitmap matches the computed reference set;
+//  * the inode bitmap matches the set of inodes with kind != free;
+//  * every directory entry points to an allocated inode of matching kind;
+//  * every allocated inode is reachable from the root;
+//  * link counts are 1 for files and 2 for directories (this filesystem
+//    stores no "."/".." entries).
+#include <cstring>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "storage/extfs.h"
+
+namespace deepnote::storage {
+namespace {
+
+constexpr std::uint32_t kBitsPerBlock = kFsBlockSize * 8;
+
+struct Checker {
+  BlockDevice& dev;
+  sim::SimTime t;
+  SuperblockDisk sb;
+  std::vector<std::string> problems;
+  bool io_failed = false;
+
+  std::map<std::uint32_t, std::vector<std::byte>> block_cache;
+
+  void problem(std::string msg) { problems.push_back(std::move(msg)); }
+
+  const std::vector<std::byte>* block(std::uint32_t no) {
+    auto it = block_cache.find(no);
+    if (it != block_cache.end()) return &it->second;
+    std::vector<std::byte> data(kFsBlockSize);
+    BlockIo io = dev.read(t, static_cast<std::uint64_t>(no) *
+                                 kFsSectorsPerBlock,
+                          kFsSectorsPerBlock, data);
+    t = io.complete;
+    if (!io.ok()) {
+      io_failed = true;
+      return nullptr;
+    }
+    return &block_cache.emplace(no, std::move(data)).first->second;
+  }
+
+  bool bitmap_bit(std::uint32_t start_block, std::uint64_t bit) {
+    const auto* blk = block(start_block + static_cast<std::uint32_t>(
+                                               bit / kBitsPerBlock));
+    if (!blk) return false;
+    const std::uint64_t i = bit % kBitsPerBlock;
+    return (static_cast<unsigned char>((*blk)[i / 8]) >> (i % 8)) & 1u;
+  }
+
+  InodeDisk read_inode(std::uint32_t ino, bool* ok) {
+    InodeDisk inode{};
+    const auto* blk =
+        block(sb.inode_table_start + ino / kInodesPerBlock);
+    if (!blk) {
+      *ok = false;
+      return inode;
+    }
+    std::memcpy(&inode, blk->data() + (ino % kInodesPerBlock) * kInodeSize,
+                sizeof(inode));
+    *ok = true;
+    return inode;
+  }
+
+  /// Collect all data + pointer blocks of an inode; returns false on I/O
+  /// failure.
+  bool collect_blocks(std::uint32_t ino, const InodeDisk& inode,
+                      std::vector<std::uint32_t>& out) {
+    auto take = [&](std::uint32_t b, const char* what) {
+      if (b == 0) return;
+      if (b < sb.data_start || b >= sb.total_blocks) {
+        std::ostringstream os;
+        os << "inode " << ino << ": " << what << " block " << b
+           << " outside data region";
+        problem(os.str());
+        return;
+      }
+      out.push_back(b);
+    };
+    for (std::uint32_t i = 0; i < kDirectBlocks; ++i) {
+      take(inode.direct[i], "direct");
+    }
+    auto walk_ptr_block = [&](std::uint32_t pb, const char* what) -> bool {
+      if (pb == 0) return true;
+      take(pb, what);
+      const auto* blk = block(pb);
+      if (!blk) return false;
+      const auto* ptrs = reinterpret_cast<const std::uint32_t*>(blk->data());
+      for (std::uint32_t i = 0; i < kPtrsPerBlock; ++i) {
+        take(ptrs[i], "indirect data");
+      }
+      return true;
+    };
+    if (!walk_ptr_block(inode.indirect, "indirect")) return false;
+    if (inode.double_indirect != 0) {
+      take(inode.double_indirect, "double indirect");
+      const auto* blk = block(inode.double_indirect);
+      if (!blk) return false;
+      std::vector<std::uint32_t> outer(kPtrsPerBlock);
+      std::memcpy(outer.data(), blk->data(),
+                  kPtrsPerBlock * sizeof(std::uint32_t));
+      for (std::uint32_t i = 0; i < kPtrsPerBlock; ++i) {
+        if (!walk_ptr_block(outer[i], "double-indirect inner")) return false;
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+ExtFs::FsckReport ExtFs::fsck(BlockDevice& device, sim::SimTime now) {
+  FsckReport report;
+  Checker c{device, now, {}, {}, false, {}};
+
+  const auto* sblk = c.block(0);
+  if (!sblk) {
+    report.err = Errno::kEIO;
+    report.done = c.t;
+    return report;
+  }
+  std::memcpy(&c.sb, sblk->data(), sizeof(c.sb));
+  if (c.sb.magic != kFsMagic) {
+    report.problems.push_back("bad superblock magic");
+    report.done = c.t;
+    return report;
+  }
+
+  // Pass 1: inodes and their blocks.
+  std::set<std::uint32_t> referenced_blocks;
+  std::set<std::uint32_t> allocated_inodes;
+  for (std::uint32_t ino = 1; ino < c.sb.num_inodes; ++ino) {
+    bool ok = false;
+    InodeDisk inode = c.read_inode(ino, &ok);
+    if (!ok) break;
+    const auto kind = static_cast<InodeKind>(inode.kind);
+    if (kind == InodeKind::kFree) continue;
+    if (kind != InodeKind::kFile && kind != InodeKind::kDirectory) {
+      c.problem("inode " + std::to_string(ino) + ": invalid kind");
+      continue;
+    }
+    allocated_inodes.insert(ino);
+    std::vector<std::uint32_t> blocks;
+    if (!c.collect_blocks(ino, inode, blocks)) break;
+    for (auto b : blocks) {
+      if (!referenced_blocks.insert(b).second) {
+        c.problem("block " + std::to_string(b) +
+                  " multiply referenced (inode " + std::to_string(ino) + ")");
+      }
+    }
+    const std::uint16_t expected_links =
+        kind == InodeKind::kDirectory ? 2 : 1;
+    if (inode.link_count != expected_links) {
+      c.problem("inode " + std::to_string(ino) + ": link count " +
+                std::to_string(inode.link_count) + " != " +
+                std::to_string(expected_links));
+    }
+  }
+
+  // Pass 2: block bitmap vs referenced set.
+  if (!c.io_failed) {
+    for (std::uint32_t b = c.sb.data_start; b < c.sb.total_blocks; ++b) {
+      const bool used = c.bitmap_bit(c.sb.block_bitmap_start, b);
+      if (c.io_failed) break;
+      const bool referenced = referenced_blocks.count(b) != 0;
+      if (used && !referenced) {
+        c.problem("block " + std::to_string(b) +
+                  " marked used but unreferenced");
+      } else if (!used && referenced) {
+        c.problem("block " + std::to_string(b) +
+                  " referenced but marked free");
+      }
+    }
+  }
+
+  // Pass 3: inode bitmap vs allocated set.
+  if (!c.io_failed) {
+    for (std::uint32_t ino = 1; ino < c.sb.num_inodes; ++ino) {
+      const bool used = c.bitmap_bit(c.sb.inode_bitmap_start, ino);
+      if (c.io_failed) break;
+      const bool allocated =
+          allocated_inodes.count(ino) != 0 || ino == kRootInode;
+      if (used && !allocated) {
+        c.problem("inode " + std::to_string(ino) +
+                  " marked used but kind is free");
+      } else if (!used && allocated) {
+        c.problem("inode " + std::to_string(ino) +
+                  " allocated but marked free in bitmap");
+      }
+    }
+  }
+
+  // Pass 4: directory tree reachability.
+  if (!c.io_failed) {
+    std::set<std::uint32_t> reachable;
+    std::vector<std::uint32_t> queue{kRootInode};
+    reachable.insert(kRootInode);
+    while (!queue.empty()) {
+      const std::uint32_t dir_ino = queue.back();
+      queue.pop_back();
+      bool ok = false;
+      InodeDisk dir = c.read_inode(dir_ino, &ok);
+      if (!ok) break;
+      // Walk the directory's data blocks in file order (direct +
+      // single-indirect + double-indirect).
+      auto dir_block_at = [&](std::uint64_t fb) -> std::uint32_t {
+        if (fb < kDirectBlocks) return dir.direct[fb];
+        std::uint64_t idx = fb - kDirectBlocks;
+        if (idx < kPtrsPerBlock) {
+          if (dir.indirect == 0) return 0;
+          const auto* pb = c.block(dir.indirect);
+          if (!pb) return 0;
+          return reinterpret_cast<const std::uint32_t*>(pb->data())[idx];
+        }
+        idx -= kPtrsPerBlock;
+        if (dir.double_indirect == 0) return 0;
+        const auto* ob = c.block(dir.double_indirect);
+        if (!ob) return 0;
+        const std::uint32_t inner = reinterpret_cast<const std::uint32_t*>(
+            ob->data())[idx / kPtrsPerBlock];
+        if (inner == 0) return 0;
+        const auto* ib = c.block(inner);
+        if (!ib) return 0;
+        return reinterpret_cast<const std::uint32_t*>(
+            ib->data())[idx % kPtrsPerBlock];
+      };
+      const std::uint64_t nblocks =
+          (dir.size_bytes + kFsBlockSize - 1) / kFsBlockSize;
+      for (std::uint64_t fb = 0; fb < nblocks; ++fb) {
+        const std::uint32_t dirblk = dir_block_at(fb);
+        if (dirblk == 0) continue;
+        const auto* blk = c.block(dirblk);
+        if (!blk) break;
+        const auto* ents = reinterpret_cast<const DirentDisk*>(blk->data());
+        for (std::uint32_t i = 0; i < kDirentsPerBlock; ++i) {
+          const DirentDisk& e = ents[i];
+          if (e.inode == 0) continue;
+          if (allocated_inodes.count(e.inode) == 0) {
+            c.problem("dirent '" + std::string(e.name, e.name_len) +
+                      "' points to unallocated inode " +
+                      std::to_string(e.inode));
+            continue;
+          }
+          if (!reachable.insert(e.inode).second) {
+            c.problem("inode " + std::to_string(e.inode) +
+                      " linked more than once");
+            continue;
+          }
+          bool iok = false;
+          InodeDisk child = c.read_inode(e.inode, &iok);
+          if (!iok) break;
+          if (static_cast<InodeKind>(child.kind) == InodeKind::kDirectory) {
+            queue.push_back(e.inode);
+          }
+        }
+      }
+    }
+    for (auto ino : allocated_inodes) {
+      if (reachable.count(ino) == 0) {
+        c.problem("inode " + std::to_string(ino) +
+                  " allocated but unreachable from root");
+      }
+    }
+  }
+
+  report.err = c.io_failed ? Errno::kEIO : Errno::kOk;
+  report.done = c.t;
+  report.problems = std::move(c.problems);
+  return report;
+}
+
+}  // namespace deepnote::storage

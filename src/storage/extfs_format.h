@@ -1,0 +1,129 @@
+// On-disk format of extfs (the ext4-like journaling filesystem).
+//
+// Little-endian POD structs, copied to/from 4 KiB blocks verbatim. Layout:
+//
+//   block 0                superblock
+//   [journal_start, +journal_blocks)      physical block journal
+//   [block_bitmap_start, +block_bitmap_blocks)
+//   [inode_bitmap_start, +inode_bitmap_blocks)
+//   [inode_table_start, +inode_table_blocks)
+//   [data_start, total_blocks)            data region
+//
+// Inode 1 is the root directory; inode 0 is reserved as "invalid".
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace deepnote::storage {
+
+inline constexpr std::uint32_t kFsBlockSize = 4096;
+inline constexpr std::uint32_t kFsSectorsPerBlock = kFsBlockSize / 512;
+inline constexpr std::uint32_t kFsMagic = 0x44454550;  // "DEEP"
+inline constexpr std::uint16_t kFsVersion = 1;
+
+inline constexpr std::uint32_t kInodeSize = 256;
+inline constexpr std::uint32_t kInodesPerBlock = kFsBlockSize / kInodeSize;
+inline constexpr std::uint32_t kDirectBlocks = 12;
+inline constexpr std::uint32_t kPtrsPerBlock = kFsBlockSize / 4;
+inline constexpr std::uint32_t kRootInode = 1;
+
+inline constexpr std::uint32_t kDirentSize = 64;
+inline constexpr std::uint32_t kDirentsPerBlock = kFsBlockSize / kDirentSize;
+inline constexpr std::uint32_t kMaxNameLen = 58;
+
+enum class InodeKind : std::uint16_t {
+  kFree = 0,
+  kFile = 1,
+  kDirectory = 2,
+};
+
+#pragma pack(push, 1)
+
+struct SuperblockDisk {
+  std::uint32_t magic = kFsMagic;
+  std::uint16_t version = kFsVersion;
+  std::uint16_t clean = 1;          ///< 1 = cleanly unmounted
+  std::int32_t error_code = 0;      ///< sticky error (e.g. -5 after abort)
+  std::uint32_t total_blocks = 0;
+  std::uint32_t journal_start = 0;
+  std::uint32_t journal_blocks = 0;
+  std::uint32_t block_bitmap_start = 0;
+  std::uint32_t block_bitmap_blocks = 0;
+  std::uint32_t inode_bitmap_start = 0;
+  std::uint32_t inode_bitmap_blocks = 0;
+  std::uint32_t inode_table_start = 0;
+  std::uint32_t inode_table_blocks = 0;
+  std::uint32_t data_start = 0;
+  std::uint32_t num_inodes = 0;
+  std::uint64_t journal_sequence = 1;  ///< next expected commit sequence
+  std::uint32_t mount_count = 0;
+};
+static_assert(sizeof(SuperblockDisk) <= kFsBlockSize);
+
+struct InodeDisk {
+  std::uint16_t kind = 0;  ///< InodeKind
+  std::uint16_t link_count = 0;
+  std::uint64_t size_bytes = 0;
+  std::uint64_t mtime_ns = 0;
+  std::uint32_t direct[kDirectBlocks] = {};
+  std::uint32_t indirect = 0;         ///< block of kPtrsPerBlock pointers
+  std::uint32_t double_indirect = 0;  ///< block of pointer blocks
+  std::uint8_t reserved[256 - 2 - 2 - 8 - 8 - 4 * kDirectBlocks - 4 - 4] = {};
+};
+static_assert(sizeof(InodeDisk) == kInodeSize);
+
+struct DirentDisk {
+  std::uint32_t inode = 0;  ///< 0 = slot free
+  std::uint8_t name_len = 0;
+  std::uint8_t kind = 0;  ///< InodeKind of the target (advisory)
+  char name[kDirentSize - 6] = {};
+};
+static_assert(sizeof(DirentDisk) == kDirentSize);
+
+// ---- Journal records -------------------------------------------------------
+
+inline constexpr std::uint32_t kJournalMagic = 0x4a424432;  // "JBD2"
+
+enum class JournalBlockType : std::uint32_t {
+  kDescriptor = 1,
+  kCommit = 2,
+};
+
+/// Header of a journal descriptor block. Followed (in the same block) by
+/// `count` u32 home-block numbers; the next `count` journal blocks hold
+/// verbatim copies of those blocks.
+struct JournalDescriptorDisk {
+  std::uint32_t magic = kJournalMagic;
+  std::uint32_t type = static_cast<std::uint32_t>(
+      JournalBlockType::kDescriptor);
+  std::uint64_t sequence = 0;
+  std::uint32_t count = 0;
+};
+
+struct JournalCommitDisk {
+  std::uint32_t magic = kJournalMagic;
+  std::uint32_t type = static_cast<std::uint32_t>(JournalBlockType::kCommit);
+  std::uint64_t sequence = 0;
+  std::uint64_t checksum = 0;  ///< FNV-1a over the payload blocks
+};
+
+#pragma pack(pop)
+
+/// Max home blocks describable by one descriptor block.
+inline constexpr std::uint32_t kMaxBlocksPerTransaction =
+    (kFsBlockSize - sizeof(JournalDescriptorDisk)) / 4;
+
+/// FNV-1a 64-bit, the journal payload checksum.
+inline std::uint64_t fnv1a64(const void* data, std::size_t len,
+                             std::uint64_t seed = 0xcbf29ce484222325ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace deepnote::storage

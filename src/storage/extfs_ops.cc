@@ -1,0 +1,920 @@
+// extfs: namespace operations, file I/O, commit machinery.
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "storage/extfs.h"
+
+namespace deepnote::storage {
+namespace {
+
+bool split_path(std::string_view path, std::vector<std::string_view>& out) {
+  if (path.empty() || path.front() != '/') return false;
+  out.clear();
+  std::size_t i = 1;
+  while (i < path.size()) {
+    std::size_t j = path.find('/', i);
+    if (j == std::string_view::npos) j = path.size();
+    if (j > i) out.push_back(path.substr(i, j - i));
+    i = j + 1;
+  }
+  for (auto c : out) {
+    if (c.size() > kMaxNameLen) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ===========================================================================
+// Directories
+
+Errno ExtFs::dir_find(sim::SimTime& t, std::uint32_t dir_ino,
+                      std::string_view name, std::uint32_t* out) {
+  *out = 0;
+  InodeRef dir = load_inode(t, dir_ino);
+  t = dir.done;
+  if (dir.err != Errno::kOk) return dir.err;
+  if (dir.inode->kind != static_cast<std::uint16_t>(InodeKind::kDirectory)) {
+    return Errno::kENOTDIR;
+  }
+  const std::uint64_t nblocks =
+      (dir.inode->size_bytes + kFsBlockSize - 1) / kFsBlockSize;
+  for (std::uint64_t fb = 0; fb < nblocks; ++fb) {
+    Errno err = Errno::kOk;
+    const std::uint32_t blk = bmap(t, *dir.inode, dir_ino, fb, false, err);
+    if (err != Errno::kOk) return err;
+    if (blk == 0) continue;
+    CacheRead cr = load_block(t, blk);
+    t = cr.done;
+    if (cr.err != Errno::kOk) return cr.err;
+    const auto* ents =
+        reinterpret_cast<const DirentDisk*>(cr.block->data.data());
+    for (std::uint32_t i = 0; i < kDirentsPerBlock; ++i) {
+      const DirentDisk& e = ents[i];
+      if (e.inode == 0) continue;
+      if (e.name_len == name.size() &&
+          std::memcmp(e.name, name.data(), name.size()) == 0) {
+        *out = e.inode;
+        return Errno::kOk;
+      }
+    }
+  }
+  return Errno::kENOENT;
+}
+
+Errno ExtFs::dir_insert(sim::SimTime& t, std::uint32_t dir_ino,
+                        std::string_view name, std::uint32_t ino,
+                        InodeKind kind) {
+  InodeRef dir = load_inode(t, dir_ino);
+  t = dir.done;
+  if (dir.err != Errno::kOk) return dir.err;
+  const std::uint64_t nblocks =
+      (dir.inode->size_bytes + kFsBlockSize - 1) / kFsBlockSize;
+  // Look for a free slot in existing blocks.
+  for (std::uint64_t fb = 0; fb < nblocks; ++fb) {
+    Errno err = Errno::kOk;
+    const std::uint32_t blk = bmap(t, *dir.inode, dir_ino, fb, false, err);
+    if (err != Errno::kOk) return err;
+    if (blk == 0) continue;
+    CacheRead cr = load_block(t, blk);
+    t = cr.done;
+    if (cr.err != Errno::kOk) return cr.err;
+    auto* ents = reinterpret_cast<DirentDisk*>(cr.block->data.data());
+    for (std::uint32_t i = 0; i < kDirentsPerBlock; ++i) {
+      if (ents[i].inode == 0) {
+        ents[i].inode = ino;
+        ents[i].name_len = static_cast<std::uint8_t>(name.size());
+        ents[i].kind = static_cast<std::uint8_t>(kind);
+        std::memset(ents[i].name, 0, sizeof(ents[i].name));
+        std::memcpy(ents[i].name, name.data(), name.size());
+        mark_dirty(blk);
+        return Errno::kOk;
+      }
+    }
+  }
+  // Extend the directory with a fresh block.
+  Errno err = Errno::kOk;
+  const std::uint32_t blk = bmap(t, *dir.inode, dir_ino, nblocks, true, err);
+  if (err != Errno::kOk) return err;
+  CachedBlock cb;
+  cb.data.assign(kFsBlockSize, std::byte{0});
+  cache_[blk] = std::move(cb);
+  auto* ents = reinterpret_cast<DirentDisk*>(cache_[blk].data.data());
+  ents[0].inode = ino;
+  ents[0].name_len = static_cast<std::uint8_t>(name.size());
+  ents[0].kind = static_cast<std::uint8_t>(kind);
+  std::memcpy(ents[0].name, name.data(), name.size());
+  mark_dirty(blk);
+  dir.inode->size_bytes += kFsBlockSize;
+  mark_dirty(dir.block_no);
+  return Errno::kOk;
+}
+
+Errno ExtFs::dir_remove(sim::SimTime& t, std::uint32_t dir_ino,
+                        std::string_view name) {
+  InodeRef dir = load_inode(t, dir_ino);
+  t = dir.done;
+  if (dir.err != Errno::kOk) return dir.err;
+  const std::uint64_t nblocks =
+      (dir.inode->size_bytes + kFsBlockSize - 1) / kFsBlockSize;
+  for (std::uint64_t fb = 0; fb < nblocks; ++fb) {
+    Errno err = Errno::kOk;
+    const std::uint32_t blk = bmap(t, *dir.inode, dir_ino, fb, false, err);
+    if (err != Errno::kOk) return err;
+    if (blk == 0) continue;
+    CacheRead cr = load_block(t, blk);
+    t = cr.done;
+    if (cr.err != Errno::kOk) return cr.err;
+    auto* ents = reinterpret_cast<DirentDisk*>(cr.block->data.data());
+    for (std::uint32_t i = 0; i < kDirentsPerBlock; ++i) {
+      DirentDisk& e = ents[i];
+      if (e.inode != 0 && e.name_len == name.size() &&
+          std::memcmp(e.name, name.data(), name.size()) == 0) {
+        e = DirentDisk{};
+        mark_dirty(blk);
+        return Errno::kOk;
+      }
+    }
+  }
+  return Errno::kENOENT;
+}
+
+Errno ExtFs::dir_empty(sim::SimTime& t, std::uint32_t dir_ino, bool* out) {
+  *out = true;
+  InodeRef dir = load_inode(t, dir_ino);
+  t = dir.done;
+  if (dir.err != Errno::kOk) return dir.err;
+  const std::uint64_t nblocks =
+      (dir.inode->size_bytes + kFsBlockSize - 1) / kFsBlockSize;
+  for (std::uint64_t fb = 0; fb < nblocks; ++fb) {
+    Errno err = Errno::kOk;
+    const std::uint32_t blk = bmap(t, *dir.inode, dir_ino, fb, false, err);
+    if (err != Errno::kOk) return err;
+    if (blk == 0) continue;
+    CacheRead cr = load_block(t, blk);
+    t = cr.done;
+    if (cr.err != Errno::kOk) return cr.err;
+    const auto* ents =
+        reinterpret_cast<const DirentDisk*>(cr.block->data.data());
+    for (std::uint32_t i = 0; i < kDirentsPerBlock; ++i) {
+      if (ents[i].inode != 0) {
+        *out = false;
+        return Errno::kOk;
+      }
+    }
+  }
+  return Errno::kOk;
+}
+
+ExtFs::PathTarget ExtFs::resolve(sim::SimTime now, std::string_view path) {
+  PathTarget r;
+  r.done = now;
+  std::vector<std::string_view> parts;
+  if (!split_path(path, parts)) {
+    r.err = path.size() > 0 && path.front() == '/' ? Errno::kENAMETOOLONG
+                                                   : Errno::kEINVAL;
+    return r;
+  }
+  sim::SimTime t = now + config_.op_cpu_cost;
+  if (parts.empty()) {  // "/"
+    r.parent = 0;
+    r.inode = kRootInode;
+    r.done = t;
+    return r;
+  }
+  std::uint32_t cur = kRootInode;
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    std::uint32_t next = 0;
+    Errno err = dir_find(t, cur, parts[i], &next);
+    if (err != Errno::kOk) {
+      r.err = err;
+      r.done = t;
+      return r;
+    }
+    InodeRef ref = load_inode(t, next);
+    t = ref.done;
+    if (ref.err != Errno::kOk) {
+      r.err = ref.err;
+      r.done = t;
+      return r;
+    }
+    if (ref.inode->kind !=
+        static_cast<std::uint16_t>(InodeKind::kDirectory)) {
+      r.err = Errno::kENOTDIR;
+      r.done = t;
+      return r;
+    }
+    cur = next;
+  }
+  r.parent = cur;
+  r.leaf = std::string(parts.back());
+  std::uint32_t leaf_ino = 0;
+  Errno err = dir_find(t, cur, parts.back(), &leaf_ino);
+  if (err == Errno::kOk) {
+    r.inode = leaf_ino;
+  } else if (err != Errno::kENOENT) {
+    r.err = err;
+  }
+  r.done = t;
+  return r;
+}
+
+// ===========================================================================
+// Namespace API
+
+FsResult ExtFs::create(sim::SimTime now, std::string_view path,
+                       std::uint32_t* inode_out) {
+  if (read_only_at(now)) return FsResult{Errno::kEROFS, now};
+  PathTarget pt = resolve(now, path);
+  if (pt.err != Errno::kOk) return FsResult{pt.err, pt.done};
+  if (pt.inode != 0) return FsResult{Errno::kEEXIST, pt.done};
+  sim::SimTime t = pt.done;
+  Errno err = Errno::kOk;
+  const std::uint32_t ino = alloc_inode(t, err);
+  if (err != Errno::kOk) return FsResult{err, t};
+  InodeRef ref = load_inode(t, ino);
+  t = ref.done;
+  if (ref.err != Errno::kOk) return FsResult{ref.err, t};
+  *ref.inode = InodeDisk{};
+  ref.inode->kind = static_cast<std::uint16_t>(InodeKind::kFile);
+  ref.inode->link_count = 1;
+  ref.inode->mtime_ns = static_cast<std::uint64_t>(t.ns());
+  mark_dirty(ref.block_no);
+  err = dir_insert(t, pt.parent, pt.leaf, ino, InodeKind::kFile);
+  if (err != Errno::kOk) return FsResult{err, t};
+  if (inode_out) *inode_out = ino;
+  return FsResult{Errno::kOk, t};
+}
+
+FsResult ExtFs::mkdir(sim::SimTime now, std::string_view path) {
+  if (read_only_at(now)) return FsResult{Errno::kEROFS, now};
+  PathTarget pt = resolve(now, path);
+  if (pt.err != Errno::kOk) return FsResult{pt.err, pt.done};
+  if (pt.inode != 0) return FsResult{Errno::kEEXIST, pt.done};
+  if (pt.leaf.empty()) return FsResult{Errno::kEEXIST, pt.done};  // "/"
+  sim::SimTime t = pt.done;
+  Errno err = Errno::kOk;
+  const std::uint32_t ino = alloc_inode(t, err);
+  if (err != Errno::kOk) return FsResult{err, t};
+  InodeRef ref = load_inode(t, ino);
+  t = ref.done;
+  if (ref.err != Errno::kOk) return FsResult{ref.err, t};
+  *ref.inode = InodeDisk{};
+  ref.inode->kind = static_cast<std::uint16_t>(InodeKind::kDirectory);
+  ref.inode->link_count = 2;
+  ref.inode->mtime_ns = static_cast<std::uint64_t>(t.ns());
+  mark_dirty(ref.block_no);
+  err = dir_insert(t, pt.parent, pt.leaf, ino, InodeKind::kDirectory);
+  if (err != Errno::kOk) return FsResult{err, t};
+  return FsResult{Errno::kOk, t};
+}
+
+FsResult ExtFs::unlink(sim::SimTime now, std::string_view path) {
+  if (read_only_at(now)) return FsResult{Errno::kEROFS, now};
+  PathTarget pt = resolve(now, path);
+  if (pt.err != Errno::kOk) return FsResult{pt.err, pt.done};
+  if (pt.inode == 0) return FsResult{Errno::kENOENT, pt.done};
+  if (pt.inode == kRootInode) return FsResult{Errno::kEINVAL, pt.done};
+  sim::SimTime t = pt.done;
+  InodeRef ref = load_inode(t, pt.inode);
+  t = ref.done;
+  if (ref.err != Errno::kOk) return FsResult{ref.err, t};
+  if (ref.inode->kind == static_cast<std::uint16_t>(InodeKind::kDirectory)) {
+    bool empty = false;
+    Errno err = dir_empty(t, pt.inode, &empty);
+    if (err != Errno::kOk) return FsResult{err, t};
+    if (!empty) return FsResult{Errno::kENOTEMPTY, t};
+  }
+  // Drop cached pages belonging to the victim.
+  drop_inode_pages(pt.inode);
+  Errno err = release_blocks(t, *ref.inode, pt.inode);
+  if (err != Errno::kOk) return FsResult{err, t};
+  ref.inode->kind = static_cast<std::uint16_t>(InodeKind::kFree);
+  ref.inode->link_count = 0;
+  ref.inode->size_bytes = 0;
+  mark_dirty(ref.block_no);
+  err = free_inode(t, pt.inode);
+  if (err != Errno::kOk) return FsResult{err, t};
+  err = dir_remove(t, pt.parent, pt.leaf);
+  if (err != Errno::kOk) return FsResult{err, t};
+  return FsResult{Errno::kOk, t};
+}
+
+FsResult ExtFs::rename(sim::SimTime now, std::string_view from,
+                       std::string_view to) {
+  if (read_only_at(now)) return FsResult{Errno::kEROFS, now};
+  PathTarget src = resolve(now, from);
+  if (src.err != Errno::kOk) return FsResult{src.err, src.done};
+  if (src.inode == 0) return FsResult{Errno::kENOENT, src.done};
+  if (src.inode == kRootInode) return FsResult{Errno::kEINVAL, src.done};
+  PathTarget dst = resolve(src.done, to);
+  if (dst.err != Errno::kOk) return FsResult{dst.err, dst.done};
+  if (dst.leaf.empty()) return FsResult{Errno::kEEXIST, dst.done};  // "/"
+  sim::SimTime t = dst.done;
+
+  InodeRef ref = load_inode(t, src.inode);
+  t = ref.done;
+  if (ref.err != Errno::kOk) return FsResult{ref.err, t};
+  const auto kind = static_cast<InodeKind>(ref.inode->kind);
+
+  if (dst.inode != 0) {
+    if (dst.inode == src.inode) return FsResult{Errno::kOk, t};
+    InodeRef victim = load_inode(t, dst.inode);
+    t = victim.done;
+    if (victim.err != Errno::kOk) return FsResult{victim.err, t};
+    if (victim.inode->kind ==
+        static_cast<std::uint16_t>(InodeKind::kDirectory)) {
+      return FsResult{Errno::kEEXIST, t};
+    }
+    // Replace: free the victim file.
+    drop_inode_pages(dst.inode);
+    Errno err = release_blocks(t, *victim.inode, dst.inode);
+    if (err != Errno::kOk) return FsResult{err, t};
+    victim.inode->kind = static_cast<std::uint16_t>(InodeKind::kFree);
+    victim.inode->link_count = 0;
+    victim.inode->size_bytes = 0;
+    mark_dirty(victim.block_no);
+    err = free_inode(t, dst.inode);
+    if (err != Errno::kOk) return FsResult{err, t};
+    err = dir_remove(t, dst.parent, dst.leaf);
+    if (err != Errno::kOk) return FsResult{err, t};
+  }
+
+  Errno err = dir_insert(t, dst.parent, dst.leaf, src.inode, kind);
+  if (err != Errno::kOk) return FsResult{err, t};
+  err = dir_remove(t, src.parent, src.leaf);
+  if (err != Errno::kOk) return FsResult{err, t};
+  return FsResult{Errno::kOk, t};
+}
+
+FsLookupResult ExtFs::lookup(sim::SimTime now, std::string_view path) {
+  FsLookupResult r;
+  PathTarget pt = resolve(now, path);
+  r.done = pt.done;
+  if (pt.err != Errno::kOk) {
+    r.err = pt.err;
+    return r;
+  }
+  if (pt.inode == 0) {
+    r.err = Errno::kENOENT;
+    return r;
+  }
+  r.inode = pt.inode;
+  return r;
+}
+
+FsReaddirResult ExtFs::readdir(sim::SimTime now, std::string_view path) {
+  FsReaddirResult r;
+  PathTarget pt = resolve(now, path);
+  r.done = pt.done;
+  if (pt.err != Errno::kOk) {
+    r.err = pt.err;
+    return r;
+  }
+  if (pt.inode == 0) {
+    r.err = Errno::kENOENT;
+    return r;
+  }
+  sim::SimTime t = pt.done;
+  InodeRef dir = load_inode(t, pt.inode);
+  t = dir.done;
+  if (dir.err != Errno::kOk) {
+    r.err = dir.err;
+    r.done = t;
+    return r;
+  }
+  if (dir.inode->kind != static_cast<std::uint16_t>(InodeKind::kDirectory)) {
+    r.err = Errno::kENOTDIR;
+    r.done = t;
+    return r;
+  }
+  const std::uint64_t nblocks =
+      (dir.inode->size_bytes + kFsBlockSize - 1) / kFsBlockSize;
+  for (std::uint64_t fb = 0; fb < nblocks; ++fb) {
+    Errno err = Errno::kOk;
+    const std::uint32_t blk = bmap(t, *dir.inode, pt.inode, fb, false, err);
+    if (err != Errno::kOk) {
+      r.err = err;
+      r.done = t;
+      return r;
+    }
+    if (blk == 0) continue;
+    CacheRead cr = load_block(t, blk);
+    t = cr.done;
+    if (cr.err != Errno::kOk) {
+      r.err = cr.err;
+      r.done = t;
+      return r;
+    }
+    const auto* ents =
+        reinterpret_cast<const DirentDisk*>(cr.block->data.data());
+    for (std::uint32_t i = 0; i < kDirentsPerBlock; ++i) {
+      const DirentDisk& e = ents[i];
+      if (e.inode == 0) continue;
+      r.entries.push_back(FsDirEntry{
+          std::string(e.name, e.name_len), e.inode,
+          static_cast<InodeKind>(e.kind)});
+    }
+  }
+  r.done = t;
+  return r;
+}
+
+FsStatResult ExtFs::stat(sim::SimTime now, std::uint32_t inode) {
+  FsStatResult r;
+  InodeRef ref = load_inode(now, inode);
+  r.done = ref.done;
+  if (ref.err != Errno::kOk) {
+    r.err = ref.err;
+    return r;
+  }
+  r.kind = static_cast<InodeKind>(ref.inode->kind);
+  r.size = ref.inode->size_bytes;
+  r.link_count = ref.inode->link_count;
+  return r;
+}
+
+// ===========================================================================
+// File I/O
+
+FsIoResult ExtFs::write(sim::SimTime now, std::uint32_t inode,
+                        std::uint64_t offset,
+                        std::span<const std::byte> data) {
+  FsIoResult r;
+  r.done = now;
+  if (read_only_at(now)) {
+    r.err = Errno::kEROFS;
+    return r;
+  }
+  sim::SimTime t = now + config_.op_cpu_cost;
+  InodeRef ref = load_inode(t, inode);
+  t = ref.done;
+  if (ref.err != Errno::kOk) {
+    r.err = ref.err;
+    r.done = t;
+    return r;
+  }
+  if (ref.inode->kind != static_cast<std::uint16_t>(InodeKind::kFile)) {
+    r.err = Errno::kEISDIR;
+    r.done = t;
+    return r;
+  }
+
+  std::uint64_t pos = offset;
+  std::size_t consumed = 0;
+  while (consumed < data.size()) {
+    const std::uint64_t fblock = pos / kFsBlockSize;
+    const std::uint32_t in_page = static_cast<std::uint32_t>(pos % kFsBlockSize);
+    const std::size_t n =
+        std::min<std::size_t>(kFsBlockSize - in_page, data.size() - consumed);
+    const std::uint64_t key = page_key(inode, fblock);
+    auto it = dirty_pages_.find(key);
+    if (it == dirty_pages_.end()) {
+      DirtyPage page{inode, fblock, {}};
+      // Base content: clean page cache if present, else read-modify-write
+      // from the device (only for partial overwrites of mapped blocks).
+      auto clean_it = clean_pages_.find(key);
+      if (clean_it != clean_pages_.end()) {
+        page.data = std::move(clean_it->second);
+        clean_pages_.erase(clean_it);
+        clean_bytes_ -= kFsBlockSize;
+      } else {
+        page.data.assign(kFsBlockSize, std::byte{0});
+        const bool partial = in_page != 0 || n != kFsBlockSize;
+        if (partial) {
+          Errno err = Errno::kOk;
+          const std::uint32_t blk = bmap(t, *ref.inode, inode, fblock, false,
+                                         err);
+          if (err != Errno::kOk) {
+            r.err = err;
+            r.done = t;
+            return r;
+          }
+          if (blk != 0) {
+            BlockIo io = dev_.read(
+                t, static_cast<std::uint64_t>(blk) * kFsSectorsPerBlock,
+                kFsSectorsPerBlock, page.data);
+            t = io.complete;
+            if (!io.ok()) {
+              r.err = Errno::kEIO;
+              r.done = t;
+              return r;
+            }
+          }
+        }
+      }
+      it = dirty_pages_.emplace(key, std::move(page)).first;
+      dirty_fifo_.push_back(key);
+      dirty_bytes_ += kFsBlockSize;
+    }
+    std::memcpy(it->second.data.data() + in_page, data.data() + consumed, n);
+    // Ensure the block is mapped now so metadata changes ride the same
+    // transaction as the data they describe.
+    Errno err = Errno::kOk;
+    bmap(t, *ref.inode, inode, fblock, true, err);
+    if (err != Errno::kOk) {
+      r.err = err;
+      r.done = t;
+      return r;
+    }
+    pos += n;
+    consumed += n;
+  }
+
+  if (pos > ref.inode->size_bytes) {
+    ref.inode->size_bytes = pos;
+  }
+  ref.inode->mtime_ns = static_cast<std::uint64_t>(t.ns());
+  mark_dirty(ref.block_no);
+
+  // Dirty throttling: block the writer while over the limit.
+  if (dirty_bytes_ > config_.dirty_limit_bytes) {
+    ++stats_.throttle_stalls;
+    const std::uint64_t target = config_.dirty_limit_bytes * 9 / 10;
+    Errno err = writeback_some(t, dirty_bytes_ - target);
+    if (err != Errno::kOk) {
+      r.err = err;
+      r.done = t;
+      r.bytes = consumed;
+      return r;
+    }
+  }
+
+  // Oversized running transaction: commit inline.
+  if (txn_blocks_.size() >= config_.txn_block_limit) {
+    FsResult cr = do_commit(t);
+    t = cr.done;
+    if (!cr.ok()) {
+      r.err = cr.err;
+      r.done = t;
+      r.bytes = consumed;
+      return r;
+    }
+  }
+
+  r.bytes = consumed;
+  r.done = t;
+  return r;
+}
+
+FsIoResult ExtFs::read(sim::SimTime now, std::uint32_t inode,
+                       std::uint64_t offset, std::span<std::byte> out) {
+  FsIoResult r;
+  sim::SimTime t = now + config_.op_cpu_cost;
+  InodeRef ref = load_inode(t, inode);
+  t = ref.done;
+  if (ref.err != Errno::kOk) {
+    r.err = ref.err;
+    r.done = t;
+    return r;
+  }
+  if (ref.inode->kind != static_cast<std::uint16_t>(InodeKind::kFile)) {
+    r.err = Errno::kEISDIR;
+    r.done = t;
+    return r;
+  }
+  const std::uint64_t size = ref.inode->size_bytes;
+  if (offset >= size) {
+    r.done = t;
+    return r;  // EOF: zero bytes
+  }
+  std::uint64_t pos = offset;
+  const std::uint64_t want =
+      std::min<std::uint64_t>(out.size(), size - offset);
+  std::size_t produced = 0;
+  std::vector<std::byte> temp(kFsBlockSize);
+  while (produced < want) {
+    const std::uint64_t fblock = pos / kFsBlockSize;
+    const std::uint32_t in_page = static_cast<std::uint32_t>(pos % kFsBlockSize);
+    const std::size_t n =
+        std::min<std::size_t>(kFsBlockSize - in_page, want - produced);
+    const std::uint64_t key = page_key(inode, fblock);
+    const auto it = dirty_pages_.find(key);
+    const auto cit = clean_pages_.find(key);
+    if (it != dirty_pages_.end()) {
+      std::memcpy(out.data() + produced, it->second.data.data() + in_page, n);
+    } else if (cit != clean_pages_.end()) {
+      std::memcpy(out.data() + produced, cit->second.data() + in_page, n);
+    } else {
+      Errno err = Errno::kOk;
+      const std::uint32_t blk = bmap(t, *ref.inode, inode, fblock, false,
+                                     err);
+      if (err != Errno::kOk) {
+        r.err = err;
+        r.done = t;
+        r.bytes = produced;
+        return r;
+      }
+      if (blk == 0) {
+        std::memset(out.data() + produced, 0, n);
+      } else {
+        BlockIo io = dev_.read(
+            t, static_cast<std::uint64_t>(blk) * kFsSectorsPerBlock,
+            kFsSectorsPerBlock, temp);
+        t = io.complete;
+        if (!io.ok()) {
+          r.err = Errno::kEIO;
+          r.done = t;
+          r.bytes = produced;
+          return r;
+        }
+        clean_insert(key, temp);
+        std::memcpy(out.data() + produced, temp.data() + in_page, n);
+      }
+    }
+    pos += n;
+    produced += n;
+  }
+  r.bytes = produced;
+  r.done = t;
+  return r;
+}
+
+FsResult ExtFs::truncate(sim::SimTime now, std::uint32_t inode,
+                         std::uint64_t new_size) {
+  if (read_only_at(now)) return FsResult{Errno::kEROFS, now};
+  sim::SimTime t = now + config_.op_cpu_cost;
+  InodeRef ref = load_inode(t, inode);
+  t = ref.done;
+  if (ref.err != Errno::kOk) return FsResult{ref.err, t};
+  if (ref.inode->kind != static_cast<std::uint16_t>(InodeKind::kFile)) {
+    return FsResult{Errno::kEISDIR, t};
+  }
+  if (new_size == 0) {
+    drop_inode_pages(inode);
+    Errno err = release_blocks(t, *ref.inode, inode);
+    if (err != Errno::kOk) return FsResult{err, t};
+  }
+  // Shrink-to-nonzero keeps blocks (lazy); grow is sparse.
+  ref.inode->size_bytes = new_size;
+  ref.inode->mtime_ns = static_cast<std::uint64_t>(t.ns());
+  mark_dirty(ref.block_no);
+  return FsResult{Errno::kOk, t};
+}
+
+Errno ExtFs::release_blocks(sim::SimTime& t, InodeDisk& inode,
+                            std::uint32_t ino) {
+  Errno err = Errno::kOk;
+  auto free_data = [&](std::uint32_t blk) -> Errno {
+    if (blk == 0) return Errno::kOk;
+    return free_block(t, blk);
+  };
+  for (std::uint32_t i = 0; i < kDirectBlocks; ++i) {
+    err = free_data(inode.direct[i]);
+    if (err != Errno::kOk) return err;
+    inode.direct[i] = 0;
+  }
+  auto free_ptr_block = [&](std::uint32_t pb) -> Errno {
+    if (pb == 0) return Errno::kOk;
+    CacheRead cr = load_block(t, pb);
+    t = cr.done;
+    if (cr.err != Errno::kOk) return cr.err;
+    const auto* ptrs =
+        reinterpret_cast<const std::uint32_t*>(cr.block->data.data());
+    for (std::uint32_t i = 0; i < kPtrsPerBlock; ++i) {
+      Errno e = free_data(ptrs[i]);
+      if (e != Errno::kOk) return e;
+    }
+    return free_block(t, pb);
+  };
+  err = free_ptr_block(inode.indirect);
+  if (err != Errno::kOk) return err;
+  inode.indirect = 0;
+  if (inode.double_indirect != 0) {
+    CacheRead cr = load_block(t, inode.double_indirect);
+    t = cr.done;
+    if (cr.err != Errno::kOk) return cr.err;
+    // Copy the outer pointers: freeing inner blocks mutates the cache.
+    std::vector<std::uint32_t> outer(kPtrsPerBlock);
+    std::memcpy(outer.data(), cr.block->data.data(),
+                kPtrsPerBlock * sizeof(std::uint32_t));
+    for (std::uint32_t i = 0; i < kPtrsPerBlock; ++i) {
+      err = free_ptr_block(outer[i]);
+      if (err != Errno::kOk) return err;
+    }
+    err = free_block(t, inode.double_indirect);
+    if (err != Errno::kOk) return err;
+    inode.double_indirect = 0;
+  }
+  const std::uint32_t inode_block =
+      sb_.inode_table_start + ino / kInodesPerBlock;
+  mark_dirty(inode_block);
+  return Errno::kOk;
+}
+
+// ===========================================================================
+// Writeback & fsync
+
+Errno ExtFs::writeback_page(sim::SimTime& t, std::uint64_t key) {
+  auto it = dirty_pages_.find(key);
+  if (it == dirty_pages_.end()) return Errno::kOk;
+  DirtyPage& page = it->second;
+  InodeRef ref = load_inode(t, page.ino);
+  if (ref.err != Errno::kOk) return ref.err;
+  t = ref.done;
+  Errno err = Errno::kOk;
+  const std::uint32_t blk =
+      bmap(t, *ref.inode, page.ino, page.fblock, true, err);
+  if (err != Errno::kOk) return err;
+  BlockIo io =
+      dev_.write(t, static_cast<std::uint64_t>(blk) * kFsSectorsPerBlock,
+                 kFsSectorsPerBlock, page.data);
+  t = io.complete;
+  // Drop the dirty page either way: a failed data write is a buffer I/O
+  // error, not a journal abort (data=ordered semantics). On success the
+  // page stays cached clean.
+  if (io.ok()) clean_insert(key, std::move(page.data));
+  dirty_bytes_ -= kFsBlockSize;
+  dirty_pages_.erase(it);
+  ++stats_.data_pages_written;
+  return io.ok() ? Errno::kOk : Errno::kEIO;
+}
+
+Errno ExtFs::writeback_some(sim::SimTime& t, std::uint64_t max_bytes) {
+  std::uint64_t written = 0;
+  while (written < max_bytes && !dirty_fifo_.empty()) {
+    const std::uint64_t key = dirty_fifo_.front();
+    dirty_fifo_.pop_front();
+    if (dirty_pages_.find(key) == dirty_pages_.end()) continue;
+    Errno err = writeback_page(t, key);
+    if (err != Errno::kOk) return err;
+    written += kFsBlockSize;
+  }
+  return Errno::kOk;
+}
+
+Errno ExtFs::writeback_inode(sim::SimTime& t, std::uint32_t ino) {
+  // Collect this inode's dirty pages (FIFO order preserved for the rest).
+  std::vector<std::uint64_t> keys;
+  for (auto key : dirty_fifo_) {
+    if ((key >> 32) == ino) keys.push_back(key);
+  }
+  for (auto key : keys) {
+    Errno err = writeback_page(t, key);
+    if (err != Errno::kOk) return err;
+  }
+  return Errno::kOk;
+}
+
+FsResult ExtFs::fsync(sim::SimTime now, std::uint32_t inode) {
+  if (read_only_at(now)) return FsResult{Errno::kEIO, now};
+  sim::SimTime t = now + config_.op_cpu_cost;
+  Errno err = writeback_inode(t, inode);
+  if (err != Errno::kOk) return FsResult{err, t};
+  if (!txn_blocks_.empty()) {
+    FsResult cr = do_commit(t);
+    if (!cr.ok()) return cr;
+    t = cr.done;
+  }
+  BlockIo io = dev_.flush(t);
+  t = io.complete;
+  if (!io.ok()) return FsResult{Errno::kEIO, t};
+  return FsResult{Errno::kOk, t};
+}
+
+// ===========================================================================
+// Commit
+
+bool ExtFs::commit_due(sim::SimTime now) const {
+  if (read_only_) return false;
+  if (txn_blocks_.empty() && dirty_bytes_ == 0) return false;
+  return now - last_commit_ >= config_.commit_interval;
+}
+
+FsResult ExtFs::commit(sim::SimTime now) { return do_commit(now); }
+
+FsResult ExtFs::do_commit(sim::SimTime now) {
+  if (read_only_) return FsResult{Errno::kEIO, now};
+  sim::SimTime t = now;
+
+  // Ordered mode: file data reaches the device before the metadata that
+  // references it is committed. A data writeback failure at commit time
+  // means the transaction cannot honour ordered-mode semantics; like
+  // jbd2, the journal aborts with -EIO.
+  Errno err = writeback_some(t, ~0ull);
+  if (err != Errno::kOk) {
+    abort_fs(errno_code(Errno::kEIO), t);
+    return FsResult{Errno::kEIO, t};
+  }
+
+  if (txn_blocks_.empty()) {
+    last_commit_ = t;
+    return FsResult{Errno::kOk, t};
+  }
+
+  std::vector<JournalBlock> blocks;
+  blocks.reserve(txn_blocks_.size());
+  for (std::uint32_t b : txn_blocks_) {
+    auto it = cache_.find(b);
+    assert(it != cache_.end());
+    blocks.push_back(JournalBlock{b, it->second.data});
+  }
+  JournalResult jr = journal_->commit(t, blocks);
+  if (!jr.ok()) {
+    abort_fs(journal_->abort_code(), jr.done);
+    return FsResult{Errno::kEIO, jr.done};
+  }
+  t = jr.done;
+
+  // Checkpoint home.
+  for (std::uint32_t b : txn_blocks_) {
+    auto it = cache_.find(b);
+    BlockIo io =
+        dev_.write(t, static_cast<std::uint64_t>(b) * kFsSectorsPerBlock,
+                   kFsSectorsPerBlock, it->second.data);
+    t = io.complete;
+    if (!io.ok()) {
+      abort_fs(errno_code(Errno::kEIO), t);
+      return FsResult{Errno::kEIO, t};
+    }
+    it->second.dirty = false;
+    ++stats_.checkpoint_blocks;
+  }
+  BlockIo io = dev_.flush(t);
+  t = io.complete;
+  if (!io.ok()) {
+    abort_fs(errno_code(Errno::kEIO), t);
+    return FsResult{Errno::kEIO, t};
+  }
+  txn_blocks_.clear();
+  ++stats_.commits;
+  last_commit_ = t;
+  return FsResult{Errno::kOk, t};
+}
+
+void ExtFs::abort_fs(int code, sim::SimTime when) {
+  if (read_only_) return;
+  read_only_ = true;
+  error_code_ = code != 0 ? code : errno_code(Errno::kEIO);
+  abort_time_ = when;
+}
+
+FsResult ExtFs::writeback(sim::SimTime now, std::uint64_t max_bytes) {
+  sim::SimTime t = now;
+  Errno err = writeback_some(t, max_bytes);
+  return FsResult{err, t};
+}
+
+FsResult ExtFs::sync(sim::SimTime now) {
+  FsResult cr = do_commit(now);
+  if (!cr.ok()) return cr;
+  BlockIo io = dev_.flush(cr.done);
+  if (!io.ok()) return FsResult{Errno::kEIO, io.complete};
+  return FsResult{Errno::kOk, io.complete};
+}
+
+FsResult ExtFs::unmount(sim::SimTime now) {
+  FsResult sr = sync(now);
+  if (!sr.ok()) return sr;
+  sim::SimTime t = sr.done;
+  sb_.clean = 1;
+  sb_.journal_sequence = journal_->next_sequence();
+  sb_.error_code = error_code_;
+  Errno err = write_superblock(t);
+  if (err != Errno::kOk) return FsResult{err, t};
+  return FsResult{Errno::kOk, t};
+}
+
+void ExtFs::clean_insert(std::uint64_t key, std::vector<std::byte> data) {
+  auto it = clean_pages_.find(key);
+  if (it != clean_pages_.end()) {
+    it->second = std::move(data);
+    return;
+  }
+  clean_pages_.emplace(key, std::move(data));
+  clean_fifo_.push_back(key);
+  clean_bytes_ += kFsBlockSize;
+  while (clean_bytes_ > config_.page_cache_bytes && !clean_fifo_.empty()) {
+    const std::uint64_t victim = clean_fifo_.front();
+    clean_fifo_.pop_front();
+    if (clean_pages_.erase(victim) != 0) clean_bytes_ -= kFsBlockSize;
+  }
+}
+
+void ExtFs::drop_inode_pages(std::uint32_t ino) {
+  std::deque<std::uint64_t> kept;
+  for (auto key : dirty_fifo_) {
+    if ((key >> 32) == ino) {
+      auto it = dirty_pages_.find(key);
+      if (it != dirty_pages_.end()) {
+        dirty_bytes_ -= kFsBlockSize;
+        dirty_pages_.erase(it);
+      }
+    } else {
+      kept.push_back(key);
+    }
+  }
+  dirty_fifo_ = std::move(kept);
+  std::deque<std::uint64_t> kept_clean;
+  for (auto key : clean_fifo_) {
+    if ((key >> 32) == ino) {
+      if (clean_pages_.erase(key) != 0) clean_bytes_ -= kFsBlockSize;
+    } else {
+      kept_clean.push_back(key);
+    }
+  }
+  clean_fifo_ = std::move(kept_clean);
+}
+
+}  // namespace deepnote::storage

@@ -1,0 +1,210 @@
+#include "storage/journal.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+
+namespace deepnote::storage {
+
+Journal::Journal(BlockDevice& device, std::uint32_t start_block,
+                 std::uint32_t num_blocks, std::uint64_t next_sequence)
+    : device_(device),
+      start_block_(start_block),
+      num_blocks_(num_blocks),
+      sequence_(next_sequence) {
+  if (num_blocks_ < 4) {
+    throw std::invalid_argument("journal: needs at least 4 blocks");
+  }
+}
+
+BlockIo Journal::write_block(sim::SimTime now, std::uint32_t journal_block,
+                             std::span<const std::byte> data) {
+  return device_.write(now,
+                       static_cast<std::uint64_t>(start_block_ +
+                                                  journal_block) *
+                           kFsSectorsPerBlock,
+                       kFsSectorsPerBlock, data);
+}
+
+BlockIo Journal::read_block(sim::SimTime now, std::uint32_t journal_block,
+                            std::span<std::byte> out) {
+  return device_.read(now,
+                      static_cast<std::uint64_t>(start_block_ +
+                                                 journal_block) *
+                          kFsSectorsPerBlock,
+                      kFsSectorsPerBlock, out);
+}
+
+JournalResult Journal::fail(sim::SimTime t) {
+  aborted_ = true;
+  return JournalResult{Errno::kEIO, t};
+}
+
+JournalResult Journal::commit(sim::SimTime now,
+                              const std::vector<JournalBlock>& blocks) {
+  if (aborted_) return JournalResult{Errno::kEIO, now};
+  if (blocks.empty()) return JournalResult{Errno::kOk, now};
+  if (blocks.size() > kMaxBlocksPerTransaction) {
+    throw std::invalid_argument("journal: transaction too large");
+  }
+  const std::uint32_t needed = static_cast<std::uint32_t>(blocks.size()) + 2;
+  if (needed > num_blocks_) {
+    throw std::invalid_argument("journal: transaction exceeds journal size");
+  }
+  // Wrap to the start when the tail has no room (everything earlier is
+  // already checkpointed).
+  if (head_ + needed > num_blocks_) head_ = 0;
+
+  sim::SimTime t = now;
+
+  // 1. Descriptor block.
+  std::vector<std::byte> desc(kFsBlockSize, std::byte{0});
+  JournalDescriptorDisk dh;
+  dh.sequence = sequence_;
+  dh.count = static_cast<std::uint32_t>(blocks.size());
+  std::memcpy(desc.data(), &dh, sizeof(dh));
+  {
+    auto* homes = reinterpret_cast<std::uint32_t*>(desc.data() + sizeof(dh));
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      homes[i] = blocks[i].home_block;
+    }
+  }
+  BlockIo io = write_block(t, head_, desc);
+  if (!io.ok()) return fail(io.complete);
+  t = io.complete;
+
+  // 2. Payload copies + running checksum.
+  std::uint64_t checksum = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const auto& b = blocks[i];
+    if (b.data.size() != kFsBlockSize) {
+      throw std::invalid_argument("journal: block payload must be 4 KiB");
+    }
+    checksum = fnv1a64(b.data.data(), b.data.size(), checksum);
+    io = write_block(t, head_ + 1 + static_cast<std::uint32_t>(i), b.data);
+    if (!io.ok()) return fail(io.complete);
+    t = io.complete;
+  }
+
+  // 3. Barrier: descriptor and payload must be durable before the commit
+  //    record.
+  io = device_.flush(t);
+  if (!io.ok()) return fail(io.complete);
+  t = io.complete;
+
+  // 4. Commit block.
+  std::vector<std::byte> commit(kFsBlockSize, std::byte{0});
+  JournalCommitDisk ch;
+  ch.sequence = sequence_;
+  ch.checksum = checksum;
+  std::memcpy(commit.data(), &ch, sizeof(ch));
+  io = write_block(t, head_ + 1 + dh.count, commit);
+  if (!io.ok()) return fail(io.complete);
+  t = io.complete;
+
+  // 5. Barrier: the transaction is committed once this completes.
+  io = device_.flush(t);
+  if (!io.ok()) return fail(io.complete);
+  t = io.complete;
+
+  head_ += needed;
+  ++sequence_;
+  return JournalResult{Errno::kOk, t};
+}
+
+JournalResult Journal::replay(sim::SimTime now, std::uint64_t* applied_out) {
+  sim::SimTime t = now;
+  // Collect candidate transactions (descriptor + matching commit with a
+  // valid checksum), then apply them in sequence order.
+  struct Txn {
+    std::vector<std::uint32_t> homes;
+    std::vector<std::vector<std::byte>> payloads;
+  };
+  std::map<std::uint64_t, Txn> txns;
+
+  std::vector<std::byte> block(kFsBlockSize);
+  std::uint32_t pos = 0;
+  while (pos + 2 <= num_blocks_) {
+    BlockIo io = read_block(t, pos, block);
+    if (!io.ok()) return fail(io.complete);
+    t = io.complete;
+    JournalDescriptorDisk dh;
+    std::memcpy(&dh, block.data(), sizeof(dh));
+    if (dh.magic != kJournalMagic ||
+        dh.type != static_cast<std::uint32_t>(
+                       JournalBlockType::kDescriptor) ||
+        dh.count == 0 || dh.count > kMaxBlocksPerTransaction ||
+        pos + 2 + dh.count > num_blocks_) {
+      ++pos;
+      continue;
+    }
+    Txn txn;
+    txn.homes.resize(dh.count);
+    std::memcpy(txn.homes.data(), block.data() + sizeof(dh),
+                dh.count * sizeof(std::uint32_t));
+    std::uint64_t checksum = 0xcbf29ce484222325ull;
+    bool ok = true;
+    for (std::uint32_t i = 0; i < dh.count; ++i) {
+      io = read_block(t, pos + 1 + i, block);
+      if (!io.ok()) return fail(io.complete);
+      t = io.complete;
+      checksum = fnv1a64(block.data(), block.size(), checksum);
+      txn.payloads.push_back(block);
+    }
+    io = read_block(t, pos + 1 + dh.count, block);
+    if (!io.ok()) return fail(io.complete);
+    t = io.complete;
+    JournalCommitDisk ch;
+    std::memcpy(&ch, block.data(), sizeof(ch));
+    ok = ch.magic == kJournalMagic &&
+         ch.type == static_cast<std::uint32_t>(JournalBlockType::kCommit) &&
+         ch.sequence == dh.sequence && ch.checksum == checksum;
+    if (ok) {
+      txns[dh.sequence] = std::move(txn);
+      pos += 2 + dh.count;
+    } else {
+      ++pos;
+    }
+  }
+
+  std::uint64_t applied = 0;
+  for (auto& [seq, txn] : txns) {
+    for (std::size_t i = 0; i < txn.homes.size(); ++i) {
+      BlockIo io = device_.write(
+          t, static_cast<std::uint64_t>(txn.homes[i]) * kFsSectorsPerBlock,
+          kFsSectorsPerBlock, txn.payloads[i]);
+      if (!io.ok()) return fail(io.complete);
+      t = io.complete;
+    }
+    ++applied;
+    sequence_ = std::max(sequence_, seq + 1);
+  }
+  if (applied > 0) {
+    BlockIo io = device_.flush(t);
+    if (!io.ok()) return fail(io.complete);
+    t = io.complete;
+  }
+  if (applied_out) *applied_out = applied;
+  return JournalResult{Errno::kOk, t};
+}
+
+JournalResult Journal::clear(sim::SimTime now) {
+  if (aborted_) return JournalResult{Errno::kEIO, now};
+  // Invalidate by zeroing the first 4 bytes of every block that could be
+  // parsed as a descriptor. Writing whole blocks keeps the device API
+  // simple; the journal is small.
+  std::vector<std::byte> zero(kFsBlockSize, std::byte{0});
+  sim::SimTime t = now;
+  for (std::uint32_t i = 0; i < num_blocks_; ++i) {
+    BlockIo io = write_block(t, i, zero);
+    if (!io.ok()) return fail(io.complete);
+    t = io.complete;
+  }
+  BlockIo io = device_.flush(t);
+  if (!io.ok()) return fail(io.complete);
+  head_ = 0;
+  return JournalResult{Errno::kOk, io.complete};
+}
+
+}  // namespace deepnote::storage

@@ -1,0 +1,79 @@
+// Physical block journal (JBD2-style) used by extfs.
+//
+// A transaction is written as: descriptor block (sequence + list of home
+// block numbers), the verbatim copies of those blocks, a flush barrier,
+// a commit block carrying a checksum of the copies, and a second flush.
+// Only after the commit block is durable may the blocks be checkpointed
+// to their home locations.
+//
+// If any journal write or flush fails, the journal *aborts* with error
+// -EIO (-5) — the exact failure mode the paper observes when the acoustic
+// attack blocks the drive ("Ext4 terminates its service with a Journal
+// Block Device (JBD) error in code -5").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "storage/block_device.h"
+#include "storage/errors.h"
+#include "storage/extfs_format.h"
+
+namespace deepnote::storage {
+
+struct JournalResult {
+  Errno err = Errno::kOk;
+  sim::SimTime done = sim::SimTime::zero();
+
+  bool ok() const { return err == Errno::kOk; }
+};
+
+/// One block staged for commit.
+struct JournalBlock {
+  std::uint32_t home_block = 0;
+  std::vector<std::byte> data;  ///< kFsBlockSize bytes
+};
+
+class Journal {
+ public:
+  /// `start_block`/`num_blocks` locate the journal area in fs blocks.
+  Journal(BlockDevice& device, std::uint32_t start_block,
+          std::uint32_t num_blocks, std::uint64_t next_sequence);
+
+  /// Append and durably commit one transaction. On success the caller may
+  /// checkpoint the blocks home. On device failure the journal aborts and
+  /// every subsequent commit fails fast with kEIO.
+  JournalResult commit(sim::SimTime now,
+                       const std::vector<JournalBlock>& blocks);
+
+  /// Scan the journal and re-apply every fully committed transaction in
+  /// sequence order, writing blocks to their home locations. Used during
+  /// mount. `applied_out` (optional) counts replayed transactions.
+  JournalResult replay(sim::SimTime now, std::uint64_t* applied_out = nullptr);
+
+  /// Erase the journal area (descriptor magic bytes only — cheap).
+  JournalResult clear(sim::SimTime now);
+
+  bool aborted() const { return aborted_; }
+  /// Linux-style error code after abort (-5).
+  int abort_code() const { return aborted_ ? errno_code(Errno::kEIO) : 0; }
+  std::uint64_t next_sequence() const { return sequence_; }
+  std::uint32_t capacity_blocks() const { return num_blocks_; }
+
+ private:
+  JournalResult fail(sim::SimTime t);
+  BlockIo write_block(sim::SimTime now, std::uint32_t journal_block,
+                      std::span<const std::byte> data);
+  BlockIo read_block(sim::SimTime now, std::uint32_t journal_block,
+                     std::span<std::byte> out);
+
+  BlockDevice& device_;
+  std::uint32_t start_block_;
+  std::uint32_t num_blocks_;
+  std::uint64_t sequence_;
+  std::uint32_t head_ = 0;  ///< next free journal block index
+  bool aborted_ = false;
+};
+
+}  // namespace deepnote::storage

@@ -1,0 +1,71 @@
+#include "storage/kvdb/bloom.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace deepnote::storage::kvdb {
+
+BloomFilter::BloomFilter(std::size_t expected_keys, int bits_per_key) {
+  std::size_t bits = std::max<std::size_t>(64, expected_keys * bits_per_key);
+  bits_.assign((bits + 7) / 8, 0);
+  num_probes_ = std::clamp(
+      static_cast<int>(bits_per_key * 0.69), 1, 30);  // ln 2 * bits/key
+}
+
+BloomFilter::BloomFilter(std::vector<std::uint8_t> bits, int num_probes)
+    : bits_(std::move(bits)), num_probes_(num_probes) {}
+
+std::uint64_t BloomFilter::hash(std::string_view key) {
+  // FNV-1a 64.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void BloomFilter::add(std::string_view key) {
+  const std::uint64_t h = hash(key);
+  std::uint64_t h1 = h;
+  const std::uint64_t h2 = (h >> 33) | (h << 31);
+  const std::uint64_t nbits = bits_.size() * 8;
+  for (int i = 0; i < num_probes_; ++i) {
+    const std::uint64_t bit = h1 % nbits;
+    bits_[bit / 8] |= static_cast<std::uint8_t>(1u << (bit % 8));
+    h1 += h2;
+  }
+}
+
+bool BloomFilter::may_contain(std::string_view key) const {
+  const std::uint64_t h = hash(key);
+  std::uint64_t h1 = h;
+  const std::uint64_t h2 = (h >> 33) | (h << 31);
+  const std::uint64_t nbits = bits_.size() * 8;
+  if (nbits == 0) return true;
+  for (int i = 0; i < num_probes_; ++i) {
+    const std::uint64_t bit = h1 % nbits;
+    if ((bits_[bit / 8] & (1u << (bit % 8))) == 0) return false;
+    h1 += h2;
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> BloomFilter::serialize() const {
+  std::vector<std::uint8_t> out(4 + bits_.size());
+  const auto probes = static_cast<std::uint32_t>(num_probes_);
+  std::memcpy(out.data(), &probes, 4);
+  std::memcpy(out.data() + 4, bits_.data(), bits_.size());
+  return out;
+}
+
+BloomFilter BloomFilter::deserialize(const std::uint8_t* data,
+                                     std::size_t len) {
+  std::uint32_t probes = 1;
+  if (len >= 4) std::memcpy(&probes, data, 4);
+  std::vector<std::uint8_t> bits;
+  if (len > 4) bits.assign(data + 4, data + len);
+  return BloomFilter(std::move(bits), static_cast<int>(probes));
+}
+
+}  // namespace deepnote::storage::kvdb

@@ -1,0 +1,34 @@
+// Bloom filter for SST files (double-hashing scheme, ~10 bits/key).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace deepnote::storage::kvdb {
+
+class BloomFilter {
+ public:
+  /// Build a filter sized for `expected_keys` at `bits_per_key`.
+  explicit BloomFilter(std::size_t expected_keys, int bits_per_key = 10);
+  /// Reconstruct from serialized bytes.
+  explicit BloomFilter(std::vector<std::uint8_t> bits, int num_probes);
+
+  void add(std::string_view key);
+  bool may_contain(std::string_view key) const;
+
+  const std::vector<std::uint8_t>& bits() const { return bits_; }
+  int num_probes() const { return num_probes_; }
+
+  /// Serialize: [u32 probes][bits...].
+  std::vector<std::uint8_t> serialize() const;
+  static BloomFilter deserialize(const std::uint8_t* data, std::size_t len);
+
+ private:
+  static std::uint64_t hash(std::string_view key);
+
+  std::vector<std::uint8_t> bits_;
+  int num_probes_;
+};
+
+}  // namespace deepnote::storage::kvdb

@@ -1,0 +1,704 @@
+#include "storage/kvdb/db.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <queue>
+
+namespace deepnote::storage::kvdb {
+
+Db::Db(ExtFs& fs, DbConfig config)
+    : fs_(fs), config_(std::move(config)), rng_(config_.seed) {
+  memtable_ = std::make_unique<MemTable>(rng_.next_u64());
+}
+
+std::string Db::file_path(std::uint64_t number, const char* ext) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "/%06" PRIu64 ".%s", number, ext);
+  return config_.root + buf;
+}
+
+void Db::enter_fatal(sim::SimTime when, std::string message) {
+  if (fatal_) return;
+  fatal_ = true;
+  fatal_message_ = std::move(message);
+  fatal_time_ = when;
+}
+
+// ===========================================================================
+// Open / recovery
+
+Db::OpenResult Db::open(ExtFs& fs, sim::SimTime now, DbConfig config) {
+  OpenResult out;
+  auto db = std::unique_ptr<Db>(new Db(fs, std::move(config)));
+
+  FsResult md = fs.mkdir(now, db->config_.root);
+  if (!md.ok() && md.err != Errno::kEEXIST) {
+    out.err = md.err;
+    out.done = md.done;
+    return out;
+  }
+  sim::SimTime t = md.done;
+
+  FsReaddirResult rd = fs.readdir(t, db->config_.root);
+  if (!rd.ok()) {
+    out.err = rd.err;
+    out.done = rd.done;
+    return out;
+  }
+  t = rd.done;
+
+  struct Found {
+    std::uint64_t number;
+    std::string name;
+  };
+  std::vector<Found> l0s, l1s, wals;
+  for (const auto& e : rd.entries) {
+    std::uint64_t number = 0;
+    char ext[8] = {};
+    if (std::sscanf(e.name.c_str(), "%06" SCNu64 ".%7s", &number, ext) == 2) {
+      if (std::string_view(ext) == "l0") l0s.push_back({number, e.name});
+      else if (std::string_view(ext) == "l1") l1s.push_back({number, e.name});
+      else if (std::string_view(ext) == "wal") wals.push_back({number, e.name});
+      db->next_file_number_ = std::max(db->next_file_number_, number + 1);
+    }
+  }
+  // L0: newest (highest number) first.
+  std::sort(l0s.begin(), l0s.end(),
+            [](const Found& a, const Found& b) { return a.number > b.number; });
+  std::sort(l1s.begin(), l1s.end(),
+            [](const Found& a, const Found& b) { return a.number < b.number; });
+  std::sort(wals.begin(), wals.end(),
+            [](const Found& a, const Found& b) { return a.number < b.number; });
+
+  auto open_sst = [&](const Found& f,
+                      std::vector<std::unique_ptr<SstReader>>& into) -> bool {
+    auto r = SstReader::open(fs, t, db->config_.root + "/" + f.name);
+    t = r.done;
+    if (!r.ok()) {
+      out.err = r.err;
+      return false;
+    }
+    db->last_sequence_ =
+        std::max(db->last_sequence_, r.reader->max_sequence());
+    into.push_back(std::move(r.reader));
+    return true;
+  };
+  for (const auto& f : l0s) {
+    if (!open_sst(f, db->l0_)) {
+      out.done = t;
+      return out;
+    }
+  }
+  for (const auto& f : l1s) {
+    if (!open_sst(f, db->l1_)) {
+      out.done = t;
+      return out;
+    }
+  }
+  std::sort(db->l1_.begin(), db->l1_.end(),
+            [](const auto& a, const auto& b) {
+              return a->smallest() < b->smallest();
+            });
+
+  // Replay WALs oldest-first, then delete them (their contents will be in
+  // the next flush).
+  for (const auto& f : wals) {
+    auto rr = Wal::replay(
+        fs, t, db->config_.root + "/" + f.name,
+        [&](EntryType type, std::string_view key, std::string_view value,
+            std::uint64_t seq) {
+          if (type == EntryType::kPut) {
+            db->memtable_->put(key, value, seq);
+          } else {
+            db->memtable_->del(key, seq);
+          }
+          db->last_sequence_ = std::max(db->last_sequence_, seq);
+        });
+    t = rr.done;
+    if (rr.err != Errno::kOk) {
+      out.err = rr.err;
+      out.done = t;
+      return out;
+    }
+    out.wal_records_recovered += rr.records;
+    FsResult ul = fs.unlink(t, db->config_.root + "/" + f.name);
+    t = ul.done;
+    if (!ul.ok()) {
+      out.err = ul.err;
+      out.done = t;
+      return out;
+    }
+  }
+
+  // Fresh WAL.
+  db->wal_number_ = db->next_file_number_++;
+  auto wr = Wal::create(fs, t, db->file_path(db->wal_number_, "wal"));
+  t = wr.done;
+  if (!wr.ok()) {
+    out.err = wr.err;
+    out.done = t;
+    return out;
+  }
+  db->wal_ = std::move(wr.wal);
+
+  out.done = t;
+  out.db = std::move(db);
+  return out;
+}
+
+// ===========================================================================
+// Writes
+
+DbResult Db::put(sim::SimTime now, std::string_view key,
+                 std::string_view value) {
+  if (fatal_) return DbResult{Errno::kEIO, now};
+  if (immutable_ &&
+      (memtable_->approximate_bytes() >= config_.write_buffer_bytes ||
+       now - flush_pending_since_ > config_.stall_grace)) {
+    // Write stall: the active memtable is full again, or the flush thread
+    // has been wedged long enough that the write path is blocked behind
+    // the outstanding WAL sync.
+    ++stats_.stalled_writes;
+    return DbResult{Errno::kEAGAIN, now + config_.put_cpu};
+  }
+  sim::SimTime t = now + config_.put_cpu;
+  ++stats_.puts;
+  const std::uint64_t seq = ++last_sequence_;
+  FsResult ap = wal_->append(t, EntryType::kPut, key, value, seq);
+  t = ap.done;
+  if (!ap.ok()) {
+    enter_fatal(t, std::string("WAL append failed: ") + errno_name(ap.err));
+    return DbResult{Errno::kEIO, t};
+  }
+  memtable_->put(key, value, seq);
+  stats_.bytes_written += key.size() + value.size();
+  if (!immutable_ &&
+      memtable_->approximate_bytes() >= config_.write_buffer_bytes) {
+    DbResult fr = switch_memtable(t);
+    if (!fr.ok()) return fr;
+    t = fr.done;
+  }
+  return DbResult{Errno::kOk, t};
+}
+
+DbResult Db::del(sim::SimTime now, std::string_view key) {
+  if (fatal_) return DbResult{Errno::kEIO, now};
+  if (immutable_ &&
+      (memtable_->approximate_bytes() >= config_.write_buffer_bytes ||
+       now - flush_pending_since_ > config_.stall_grace)) {
+    ++stats_.stalled_writes;
+    return DbResult{Errno::kEAGAIN, now + config_.put_cpu};
+  }
+  sim::SimTime t = now + config_.put_cpu;
+  ++stats_.deletes;
+  const std::uint64_t seq = ++last_sequence_;
+  FsResult ap = wal_->append(t, EntryType::kDelete, key, {}, seq);
+  t = ap.done;
+  if (!ap.ok()) {
+    enter_fatal(t, std::string("WAL append failed: ") + errno_name(ap.err));
+    return DbResult{Errno::kEIO, t};
+  }
+  memtable_->del(key, seq);
+  if (!immutable_ &&
+      memtable_->approximate_bytes() >= config_.write_buffer_bytes) {
+    DbResult fr = switch_memtable(t);
+    if (!fr.ok()) return fr;
+    t = fr.done;
+  }
+  return DbResult{Errno::kOk, t};
+}
+
+DbResult Db::switch_memtable(sim::SimTime now) {
+  sim::SimTime t = now;
+  immutable_ = std::move(memtable_);
+  old_wal_ = std::move(wal_);
+  old_wal_number_ = wal_number_;
+  flush_pending_since_ = t;
+
+  wal_number_ = next_file_number_++;
+  auto wc = Wal::create(fs_, t, file_path(wal_number_, "wal"));
+  t = wc.done;
+  if (!wc.ok()) {
+    enter_fatal(t, "WAL creation failed");
+    return DbResult{Errno::kEIO, t};
+  }
+  wal_ = std::move(wc.wal);
+  memtable_ = std::make_unique<MemTable>(rng_.next_u64());
+  return DbResult{Errno::kOk, t};
+}
+
+DbResult Db::do_flush(sim::SimTime now) {
+  if (fatal_) return DbResult{Errno::kEIO, now};
+  if (!immutable_) return DbResult{Errno::kOk, now};
+  sim::SimTime t = now;
+  ++stats_.flushes;
+
+  // RocksDB syncs the outgoing WAL before its memtable is flushed; a
+  // failure here is the paper's RocksDB crash signature.
+  ++stats_.wal_syncs;
+  FsResult sr = old_wal_->sync(t);
+  t = sr.done;
+  if (!sr.ok()) {
+    enter_fatal(t,
+                "sync_without_flush_called: WAL sync failed (" +
+                    std::string(errno_name(sr.err)) + ")");
+    return DbResult{Errno::kEIO, t};
+  }
+
+  // Write the immutable memtable out as an L0 file.
+  SstBuilder builder(immutable_->entry_count());
+  immutable_->for_each([&](std::string_view key, const MemEntry& e) {
+    builder.add(key, e);
+  });
+  const std::uint64_t file_no = next_file_number_++;
+  FsResult wr = builder.write_to(fs_, t, file_path(file_no, "l0"));
+  t = wr.done;
+  if (!wr.ok()) {
+    enter_fatal(t, std::string("memtable flush failed: ") +
+                       errno_name(wr.err));
+    return DbResult{Errno::kEIO, t};
+  }
+  auto open = SstReader::open(fs_, t, file_path(file_no, "l0"));
+  t = open.done;
+  if (!open.ok()) {
+    enter_fatal(t, "flushed SST unreadable");
+    return DbResult{Errno::kEIO, t};
+  }
+  l0_.insert(l0_.begin(), std::move(open.reader));
+  immutable_.reset();
+
+  // Retire the flushed WAL.
+  FsResult ul = fs_.unlink(t, file_path(old_wal_number_, "wal"));
+  t = ul.done;
+  old_wal_.reset();
+  if (!ul.ok()) {
+    enter_fatal(t, "WAL retirement failed");
+    return DbResult{Errno::kEIO, t};
+  }
+
+  if (l0_.size() >= config_.l0_compaction_trigger) {
+    DbResult cr = compact(t);
+    if (!cr.ok()) return cr;
+    t = cr.done;
+  }
+  return DbResult{Errno::kOk, t};
+}
+
+DbResult Db::compact(sim::SimTime now) {
+  sim::SimTime t = now;
+  ++stats_.compactions;
+
+  // Load every input (all L0 + all L1) and k-way merge by internal key.
+  struct Input {
+    std::vector<std::pair<std::string, MemEntry>> entries;  // internal order
+    std::size_t pos = 0;
+  };
+  std::vector<Input> inputs;
+  std::vector<std::string> input_paths;
+  auto load = [&](SstReader& r) -> Errno {
+    Input in;
+    FsResult sr = r.scan(t, [&](std::string_view key, const MemEntry& e) {
+      in.entries.emplace_back(MemTable::internal_key(key, e.sequence), e);
+    });
+    t = sr.done;
+    if (!sr.ok()) return sr.err;
+    inputs.push_back(std::move(in));
+    input_paths.push_back(r.path());
+    return Errno::kOk;
+  };
+  for (auto& r : l0_) {
+    Errno e = load(*r);
+    if (e != Errno::kOk) {
+      enter_fatal(t, "compaction input read failed");
+      return DbResult{Errno::kEIO, t};
+    }
+  }
+  for (auto& r : l1_) {
+    Errno e = load(*r);
+    if (e != Errno::kOk) {
+      enter_fatal(t, "compaction input read failed");
+      return DbResult{Errno::kEIO, t};
+    }
+  }
+
+  const InternalKeyLess less;
+  auto cmp = [&](std::size_t a, std::size_t b) {
+    // min-heap on internal key order (user key asc, sequence desc).
+    return less(inputs[b].entries[inputs[b].pos].first,
+                inputs[a].entries[inputs[a].pos].first);
+  };
+  std::priority_queue<std::size_t, std::vector<std::size_t>, decltype(cmp)>
+      heap(cmp);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (!inputs[i].entries.empty()) heap.push(i);
+  }
+
+  // Emit the newest version of each user key; drop tombstones (this is a
+  // full compaction — nothing older remains beneath L1).
+  std::vector<std::unique_ptr<SstBuilder>> outputs;
+  std::vector<std::uint64_t> output_numbers;
+  auto new_output = [&] {
+    outputs.push_back(std::make_unique<SstBuilder>(1 << 16));
+    output_numbers.push_back(next_file_number_++);
+  };
+  std::string last_user_key;
+  bool have_last = false;
+  while (!heap.empty()) {
+    const std::size_t i = heap.top();
+    heap.pop();
+    auto& in = inputs[i];
+    const auto& [ikey, entry] = in.entries[in.pos];
+    const std::string_view ukey = MemTable::user_key_of(ikey);
+    if (!have_last || ukey != last_user_key) {
+      last_user_key.assign(ukey);
+      have_last = true;
+      if (entry.type == EntryType::kPut) {
+        if (outputs.empty() ||
+            outputs.back()->data_bytes() >= config_.target_sst_bytes) {
+          new_output();
+        }
+        outputs.back()->add(ukey, entry);
+      }
+    }
+    if (++in.pos < in.entries.size()) heap.push(i);
+  }
+
+  // Write outputs, open readers.
+  std::vector<std::unique_ptr<SstReader>> new_l1;
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    const std::string path = file_path(output_numbers[i], "l1");
+    FsResult wr = outputs[i]->write_to(fs_, t, path);
+    t = wr.done;
+    if (!wr.ok()) {
+      enter_fatal(t, "compaction output write failed");
+      return DbResult{Errno::kEIO, t};
+    }
+    auto open = SstReader::open(fs_, t, path);
+    t = open.done;
+    if (!open.ok()) {
+      enter_fatal(t, "compaction output unreadable");
+      return DbResult{Errno::kEIO, t};
+    }
+    new_l1.push_back(std::move(open.reader));
+  }
+
+  // Install the new version and delete the inputs.
+  l0_.clear();
+  l1_ = std::move(new_l1);
+  for (const auto& path : input_paths) {
+    FsResult ul = fs_.unlink(t, path);
+    t = ul.done;
+    if (!ul.ok()) {
+      enter_fatal(t, "compaction input deletion failed");
+      return DbResult{Errno::kEIO, t};
+    }
+  }
+  return DbResult{Errno::kOk, t};
+}
+
+// ===========================================================================
+// Reads
+
+DbGetResult Db::get(sim::SimTime now, std::string_view key) {
+  DbGetResult r;
+  if (fatal_) {
+    r.err = Errno::kEIO;
+    r.done = now;
+    return r;
+  }
+  if (immutable_ && now - flush_pending_since_ > config_.stall_grace) {
+    // The flush thread has been wedged long enough that the whole store
+    // is blocked behind the commit path (global stall).
+    ++stats_.stalled_reads;
+    r.err = Errno::kEAGAIN;
+    r.done = now + config_.get_cpu;
+    return r;
+  }
+  sim::SimTime t = now + config_.get_cpu;
+  ++stats_.gets;
+
+  LookupState ms = memtable_->get(key, &r.value);
+  if (ms == LookupState::kMissing && immutable_) {
+    ms = immutable_->get(key, &r.value);
+  }
+  if (ms == LookupState::kFound) {
+    ++stats_.memtable_hits;
+    r.found = true;
+    r.done = t;
+    stats_.bytes_read += key.size() + r.value.size();
+    return r;
+  }
+  if (ms == LookupState::kDeleted) {
+    r.done = t;
+    return r;
+  }
+
+  for (auto& sst : l0_) {
+    SstGetResult sr = sst->get(t, key);
+    t = sr.done;
+    ++stats_.sst_block_reads;
+    if (sr.err != Errno::kOk) {
+      r.err = sr.err;
+      r.done = t;
+      return r;
+    }
+    if (sr.state == LookupState::kFound) {
+      r.found = true;
+      r.value = std::move(sr.value);
+      r.done = t;
+      stats_.bytes_read += key.size() + r.value.size();
+      return r;
+    }
+    if (sr.state == LookupState::kDeleted) {
+      r.done = t;
+      return r;
+    }
+  }
+
+  // L1: at most one file can contain the key.
+  auto it = std::lower_bound(
+      l1_.begin(), l1_.end(), key,
+      [](const std::unique_ptr<SstReader>& r2, std::string_view k) {
+        return r2->largest() < k;
+      });
+  if (it != l1_.end() && (*it)->smallest() <= key) {
+    SstGetResult sr = (*it)->get(t, key);
+    t = sr.done;
+    ++stats_.sst_block_reads;
+    if (sr.err != Errno::kOk) {
+      r.err = sr.err;
+      r.done = t;
+      return r;
+    }
+    if (sr.state == LookupState::kFound) {
+      r.found = true;
+      r.value = std::move(sr.value);
+      stats_.bytes_read += key.size() + r.value.size();
+    }
+  }
+  r.done = t;
+  return r;
+}
+
+// ===========================================================================
+// Flush / close
+
+DbResult Db::flush(sim::SimTime now) {
+  if (fatal_) return DbResult{Errno::kEIO, now};
+  sim::SimTime t = now;
+  if (immutable_) {
+    DbResult fr = do_flush(t);
+    if (!fr.ok()) return fr;
+    t = fr.done;
+  }
+  if (memtable_->empty()) return DbResult{Errno::kOk, t};
+  DbResult sw = switch_memtable(t);
+  if (!sw.ok()) return sw;
+  return do_flush(sw.done);
+}
+
+DbResult Db::close(sim::SimTime now) {
+  if (fatal_) return DbResult{Errno::kEIO, now};
+  DbResult fr = flush(now);
+  if (!fr.ok()) return fr;
+  FsResult sr = wal_->sync(fr.done);
+  if (!sr.ok()) {
+    enter_fatal(sr.done, "WAL sync on close failed");
+    return DbResult{Errno::kEIO, sr.done};
+  }
+  return DbResult{Errno::kOk, sr.done};
+}
+
+
+// ===========================================================================
+// Range scans
+
+namespace {
+
+/// Uniform view over the per-level cursors for the merge heap.
+struct ScanSource {
+  enum class Kind { kMem, kSst } kind;
+  MemTable::Cursor mem;
+  SstReader::Cursor sst;
+
+  bool valid() const {
+    return kind == Kind::kMem ? mem.valid() : sst.valid();
+  }
+  const std::string& internal_key() const {
+    return kind == Kind::kMem ? mem.internal_key() : sst.key();
+  }
+  const MemEntry& entry() const {
+    return kind == Kind::kMem ? mem.entry() : sst.entry();
+  }
+  Errno next(sim::SimTime& t) {
+    if (kind == Kind::kMem) {
+      mem.next();
+      return Errno::kOk;
+    }
+    return sst.next(t);
+  }
+};
+
+}  // namespace
+
+ScanResult Db::scan(sim::SimTime now, std::string_view start_key,
+                    std::string_view end_key, const ScanVisitor& visit) {
+  ScanResult out;
+  if (fatal_) {
+    out.err = Errno::kEIO;
+    out.done = now;
+    return out;
+  }
+  if (immutable_ && now - flush_pending_since_ > config_.stall_grace) {
+    ++stats_.stalled_reads;
+    out.err = Errno::kEAGAIN;
+    out.done = now + config_.get_cpu;
+    return out;
+  }
+  sim::SimTime t = now + config_.get_cpu;
+
+  // One streaming cursor per level; blocks load lazily as the merge
+  // advances, so a short scan touches only a handful of blocks.
+  std::vector<ScanSource> sources;
+  {
+    ScanSource s{ScanSource::Kind::kMem, memtable_->cursor_at(start_key), {}};
+    if (s.valid()) sources.push_back(std::move(s));
+  }
+  if (immutable_) {
+    ScanSource s{ScanSource::Kind::kMem, immutable_->cursor_at(start_key), {}};
+    if (s.valid()) sources.push_back(std::move(s));
+  }
+  auto add_sst = [&](SstReader& sst) -> Errno {
+    if (sst.largest() < start_key) return Errno::kOk;
+    if (!end_key.empty() && sst.smallest() >= end_key) return Errno::kOk;
+    Errno err = Errno::kOk;
+    ScanSource s{ScanSource::Kind::kSst, {}, sst.seek(t, start_key, &err)};
+    if (err != Errno::kOk) return err;
+    if (s.valid()) sources.push_back(std::move(s));
+    return Errno::kOk;
+  };
+  for (auto& sst : l0_) {
+    const Errno err = add_sst(*sst);
+    if (err != Errno::kOk) {
+      out.err = err;
+      out.done = t;
+      return out;
+    }
+  }
+  for (auto& sst : l1_) {
+    const Errno err = add_sst(*sst);
+    if (err != Errno::kOk) {
+      out.err = err;
+      out.done = t;
+      return out;
+    }
+  }
+
+  const InternalKeyLess less;
+  auto cmp = [&](std::size_t a, std::size_t b) {
+    // min-heap on internal key order.
+    return less(sources[b].internal_key(), sources[a].internal_key());
+  };
+  std::priority_queue<std::size_t, std::vector<std::size_t>, decltype(cmp)>
+      heap(cmp);
+  for (std::size_t i = 0; i < sources.size(); ++i) heap.push(i);
+
+  std::string last_user_key;
+  bool have_last = false;
+  while (!heap.empty()) {
+    const std::size_t i = heap.top();
+    heap.pop();
+    ScanSource& src = sources[i];
+    const std::string_view ukey = MemTable::user_key_of(src.internal_key());
+    if (!end_key.empty() && ukey >= end_key) {
+      // This source is past the range; drop it (keys only grow).
+      continue;
+    }
+    bool stop = false;
+    if (!have_last || ukey != last_user_key) {
+      last_user_key.assign(ukey);
+      have_last = true;
+      if (src.entry().type == EntryType::kPut) {
+        ++out.entries;
+        stats_.bytes_read += ukey.size() + src.entry().value.size();
+        if (!visit(ukey, src.entry().value)) stop = true;
+      }
+    }
+    if (stop) break;
+    const Errno err = src.next(t);
+    if (err != Errno::kOk) {
+      out.err = err;
+      out.done = t;
+      return out;
+    }
+    if (src.valid()) heap.push(i);
+  }
+  out.done = t;
+  return out;
+}
+
+
+// ===========================================================================
+// Integrity verification
+
+Db::VerifyReport Db::verify_integrity(sim::SimTime now) {
+  VerifyReport report;
+  sim::SimTime t = now;
+  const InternalKeyLess less;
+
+  auto check_sst = [&](SstReader& sst, const char* level) {
+    std::string prev_ikey;
+    bool have_prev = false;
+    std::uint64_t count = 0;
+    std::uint64_t max_seq = 0;
+    FsResult sr = sst.scan(t, [&](std::string_view key, const MemEntry& e) {
+      const std::string ikey = MemTable::internal_key(key, e.sequence);
+      if (have_prev && !less(prev_ikey, ikey)) {
+        report.problems.push_back(std::string(level) + " " + sst.path() +
+                                  ": entries out of order near key '" +
+                                  std::string(key) + "'");
+      }
+      if (key < sst.smallest() || sst.largest() < key) {
+        report.problems.push_back(std::string(level) + " " + sst.path() +
+                                  ": key '" + std::string(key) +
+                                  "' outside [smallest, largest]");
+      }
+      prev_ikey = ikey;
+      have_prev = true;
+      ++count;
+      max_seq = std::max(max_seq, e.sequence);
+      return;
+    });
+    t = sr.done;
+    if (!sr.ok()) {
+      report.problems.push_back(std::string(level) + " " + sst.path() +
+                                ": unreadable (" + errno_name(sr.err) + ")");
+      return;
+    }
+    if (count != sst.entry_count()) {
+      report.problems.push_back(
+          std::string(level) + " " + sst.path() + ": footer entry count " +
+          std::to_string(sst.entry_count()) + " != scanned " +
+          std::to_string(count));
+    }
+    if (max_seq != sst.max_sequence()) {
+      report.problems.push_back(std::string(level) + " " + sst.path() +
+                                ": footer max sequence mismatch");
+    }
+  };
+  for (auto& sst : l0_) check_sst(*sst, "L0");
+  for (auto& sst : l1_) check_sst(*sst, "L1");
+
+  // L1 files must be sorted and non-overlapping.
+  for (std::size_t i = 1; i < l1_.size(); ++i) {
+    if (!(l1_[i - 1]->largest() < l1_[i]->smallest())) {
+      report.problems.push_back("L1 files overlap: " + l1_[i - 1]->path() +
+                                " and " + l1_[i]->path());
+    }
+  }
+  report.done = t;
+  return report;
+}
+
+}  // namespace deepnote::storage::kvdb

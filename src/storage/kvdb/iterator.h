@@ -1,0 +1,30 @@
+// Merged range scans over the LSM store.
+//
+// A scan merges the memtable, the immutable memtable and every SST by
+// internal key (user key ascending, newest first), deduplicates user
+// keys (newest version wins) and drops tombstones — the classic LSM
+// merging iterator, materialised through a visitor API.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "sim/time.h"
+#include "storage/errors.h"
+
+namespace deepnote::storage::kvdb {
+
+struct ScanResult {
+  Errno err = Errno::kOk;
+  sim::SimTime done = sim::SimTime::zero();
+  std::uint64_t entries = 0;  ///< live entries visited
+  bool ok() const { return err == Errno::kOk; }
+};
+
+/// Visitor: return false to stop the scan early.
+using ScanVisitor =
+    std::function<bool(std::string_view key, std::string_view value)>;
+
+}  // namespace deepnote::storage::kvdb

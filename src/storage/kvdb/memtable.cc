@@ -1,0 +1,96 @@
+#include "storage/kvdb/memtable.h"
+
+#include <cstring>
+
+namespace deepnote::storage::kvdb {
+
+bool InternalKeyLess::operator()(std::string_view a,
+                                 std::string_view b) const {
+  const std::string_view ua = MemTable::user_key_of(a);
+  const std::string_view ub = MemTable::user_key_of(b);
+  if (ua != ub) return ua < ub;
+  return MemTable::sequence_of(a) > MemTable::sequence_of(b);
+}
+
+std::string MemTable::internal_key(std::string_view user_key,
+                                   std::uint64_t sequence) {
+  // user_key + big-endian(~sequence): ascending key order, newest (highest
+  // sequence) first among equal user keys.
+  std::string k;
+  k.reserve(user_key.size() + 8);
+  k.assign(user_key);
+  const std::uint64_t inv = ~sequence;
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    k.push_back(static_cast<char>((inv >> shift) & 0xff));
+  }
+  return k;
+}
+
+std::string_view MemTable::user_key_of(std::string_view internal_key) {
+  return internal_key.substr(0, internal_key.size() - 8);
+}
+
+std::uint64_t MemTable::sequence_of(std::string_view internal_key) {
+  std::uint64_t inv = 0;
+  const auto* p = internal_key.data() + internal_key.size() - 8;
+  for (int i = 0; i < 8; ++i) {
+    inv = (inv << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return ~inv;
+}
+
+void MemTable::put(std::string_view key, std::string_view value,
+                   std::uint64_t sequence) {
+  MemEntry e;
+  e.type = EntryType::kPut;
+  e.sequence = sequence;
+  e.value.assign(value);
+  bytes_ += key.size() + value.size() + 48;  // node overhead estimate
+  list_.insert(internal_key(key, sequence), std::move(e));
+}
+
+void MemTable::del(std::string_view key, std::uint64_t sequence) {
+  MemEntry e;
+  e.type = EntryType::kDelete;
+  e.sequence = sequence;
+  bytes_ += key.size() + 48;
+  list_.insert(internal_key(key, sequence), std::move(e));
+}
+
+LookupState MemTable::get(std::string_view key, std::string* value_out) const {
+  // The newest entry for `key` sorts first among internal keys with this
+  // user key; seek to (key, max sequence).
+  const std::string seek = internal_key(key, ~std::uint64_t{0});
+  std::string_view found_key;
+  const MemEntry* e = list_.find_first_at_least(seek, &found_key);
+  if (e == nullptr) return LookupState::kMissing;
+  if (user_key_of(found_key) != key) return LookupState::kMissing;
+  if (e->type == EntryType::kDelete) return LookupState::kDeleted;
+  if (value_out) *value_out = e->value;
+  return LookupState::kFound;
+}
+
+void MemTable::for_each(
+    const std::function<void(std::string_view, const MemEntry&)>& fn) const {
+  list_.for_each([&](const std::string& ikey, const MemEntry& e) {
+    fn(user_key_of(ikey), e);
+  });
+}
+
+void MemTable::for_each_from(
+    std::string_view from,
+    const std::function<bool(std::string_view, const MemEntry&)>& fn) const {
+  // Seek to (from, max sequence): the first internal key of `from`.
+  const std::string seek = internal_key(from, ~std::uint64_t{0});
+  list_.for_each_from(seek, [&](const std::string& ikey, const MemEntry& e) {
+    return fn(user_key_of(ikey), e);
+  });
+}
+
+
+MemTable::Cursor MemTable::cursor_at(std::string_view user_key_from) const {
+  return Cursor{
+      list_.cursor_at(internal_key(user_key_from, ~std::uint64_t{0}))};
+}
+
+}  // namespace deepnote::storage::kvdb

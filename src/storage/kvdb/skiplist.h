@@ -1,0 +1,153 @@
+// Deterministic skiplist used by the memtable.
+//
+// Keys are byte strings ordered lexicographically; values are opaque.
+// Duplicate keys are allowed (callers append a sequence suffix); insert
+// places equal keys adjacent in insertion order.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace deepnote::storage::kvdb {
+
+template <typename Value, typename Less = std::less<std::string_view>>
+class SkipList {
+ private:
+  struct Node;  // defined below; forward-declared for Cursor
+
+ public:
+  explicit SkipList(std::uint64_t seed = 0x5eedull, Less less = Less{})
+      : rng_(seed), less_(less) {
+    head_ = make_node({}, Value{}, kMaxHeight);
+  }
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  void insert(std::string key, Value value) {
+    std::array<Node*, kMaxHeight> prev;
+    Node* x = find_greater_or_equal(key, &prev);
+    (void)x;
+    const int height = random_height();
+    if (height > height_) {
+      for (int i = height_; i < height; ++i) prev[i] = head_.get();
+      height_ = height;
+    }
+    auto node = make_node(std::move(key), std::move(value), height);
+    Node* raw = node.get();
+    nodes_.push_back(std::move(node));
+    for (int i = 0; i < height; ++i) {
+      raw->next[i] = prev[i]->next[i];
+      prev[i]->next[i] = raw;
+    }
+    ++size_;
+  }
+
+  /// First node with node.key >= key, nullptr if none.
+  const Value* find_first_at_least(std::string_view key,
+                                   std::string_view* found_key = nullptr)
+      const {
+    Node* x = find_greater_or_equal(key, nullptr);
+    if (!x) return nullptr;
+    if (found_key) *found_key = x->key;
+    return &x->value;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// In-order traversal.
+  void for_each(const std::function<void(const std::string&, const Value&)>&
+                    fn) const {
+    for (Node* x = head_->next[0]; x != nullptr; x = x->next[0]) {
+      fn(x->key, x->value);
+    }
+  }
+
+  /// In-order traversal starting at the first key >= `from`; the visitor
+  /// returns false to stop.
+  void for_each_from(
+      std::string_view from,
+      const std::function<bool(const std::string&, const Value&)>& fn)
+      const {
+    for (Node* x = find_greater_or_equal(from, nullptr); x != nullptr;
+         x = x->next[0]) {
+      if (!fn(x->key, x->value)) return;
+    }
+  }
+
+  /// Forward cursor over the list (O(log n) seek, O(1) next).
+  class Cursor {
+   public:
+    Cursor() = default;
+    bool valid() const { return node_ != nullptr; }
+    const std::string& key() const { return node_->key; }
+    const Value& value() const { return node_->value; }
+    void next() { node_ = node_->next[0]; }
+
+   private:
+    friend class SkipList;
+    explicit Cursor(const Node* node) : node_(node) {}
+    const Node* node_ = nullptr;
+  };
+
+  /// Cursor at the first key >= `from` (invalid when past the end).
+  Cursor cursor_at(std::string_view from) const {
+    return Cursor{find_greater_or_equal(from, nullptr)};
+  }
+
+ private:
+  static constexpr int kMaxHeight = 12;
+
+  struct Node {
+    std::string key;
+    Value value;
+    std::vector<Node*> next;  // size = height
+  };
+
+  std::unique_ptr<Node> make_node(std::string key, Value value, int height) {
+    auto n = std::make_unique<Node>();
+    n->key = std::move(key);
+    n->value = std::move(value);
+    n->next.assign(static_cast<std::size_t>(height), nullptr);
+    return n;
+  }
+
+  int random_height() {
+    int h = 1;
+    while (h < kMaxHeight && (rng_.next_u64() & 3u) == 0) ++h;  // p = 1/4
+    return h;
+  }
+
+  Node* find_greater_or_equal(std::string_view key,
+                              std::array<Node*, kMaxHeight>* prev) const {
+    Node* x = head_.get();
+    int level = height_ - 1;
+    while (true) {
+      Node* next = x->next[static_cast<std::size_t>(level)];
+      if (next != nullptr && less_(next->key, key)) {
+        x = next;
+      } else {
+        if (prev) (*prev)[static_cast<std::size_t>(level)] = x;
+        if (level == 0) return next;
+        --level;
+      }
+    }
+  }
+
+  mutable sim::Rng rng_;
+  Less less_;
+  std::unique_ptr<Node> head_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  int height_ = 1;
+  std::size_t size_ = 0;
+};
+
+}  // namespace deepnote::storage::kvdb

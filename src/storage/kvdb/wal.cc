@@ -1,0 +1,137 @@
+#include "storage/kvdb/wal.h"
+
+#include <cstring>
+#include <vector>
+
+namespace deepnote::storage::kvdb {
+namespace {
+
+void put_u16(std::vector<std::byte>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::byte>(v & 0xff));
+  out.push_back(static_cast<std::byte>((v >> 8) & 0xff));
+}
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+template <typename T>
+bool get_pod(const std::vector<std::byte>& buf, std::uint64_t& pos, T* out) {
+  if (pos + sizeof(T) > buf.size()) return false;
+  std::memcpy(out, buf.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+Wal::Wal(ExtFs& fs, std::string path, std::uint32_t inode)
+    : fs_(fs), path_(std::move(path)), inode_(inode) {}
+
+Wal::OpenResult Wal::create(ExtFs& fs, sim::SimTime now,
+                            std::string_view path) {
+  OpenResult out;
+  std::uint32_t ino = 0;
+  FsResult cr = fs.create(now, path, &ino);
+  if (!cr.ok()) {
+    out.err = cr.err;
+    out.done = cr.done;
+    return out;
+  }
+  out.done = cr.done;
+  out.wal = std::unique_ptr<Wal>(new Wal(fs, std::string(path), ino));
+  return out;
+}
+
+FsResult Wal::append(sim::SimTime now, EntryType type, std::string_view key,
+                     std::string_view value, std::uint64_t sequence) {
+  std::vector<std::byte> payload;
+  payload.reserve(key.size() + value.size() + 16);
+  put_u64(payload, sequence);
+  payload.push_back(static_cast<std::byte>(type));
+  put_u16(payload, static_cast<std::uint16_t>(key.size()));
+  put_u32(payload, static_cast<std::uint32_t>(value.size()));
+  const auto* kp = reinterpret_cast<const std::byte*>(key.data());
+  payload.insert(payload.end(), kp, kp + key.size());
+  const auto* vp = reinterpret_cast<const std::byte*>(value.data());
+  payload.insert(payload.end(), vp, vp + value.size());
+
+  std::vector<std::byte> record;
+  record.reserve(payload.size() + 12);
+  put_u32(record, static_cast<std::uint32_t>(payload.size()));
+  record.insert(record.end(), payload.begin(), payload.end());
+  put_u64(record, fnv1a64(payload.data(), payload.size()));
+
+  FsIoResult io = fs_.write(now, inode_, offset_, record);
+  if (!io.ok()) return FsResult{io.err, io.done};
+  offset_ += record.size();
+  return FsResult{Errno::kOk, io.done};
+}
+
+FsResult Wal::sync(sim::SimTime now) { return fs_.fsync(now, inode_); }
+
+Wal::ReplayResult Wal::replay(
+    ExtFs& fs, sim::SimTime now, std::string_view path,
+    const std::function<void(EntryType, std::string_view, std::string_view,
+                             std::uint64_t)>& fn) {
+  ReplayResult out;
+  FsLookupResult lr = fs.lookup(now, path);
+  if (!lr.ok()) {
+    out.err = lr.err;
+    out.done = lr.done;
+    return out;
+  }
+  FsStatResult st = fs.stat(lr.done, lr.inode);
+  if (!st.ok()) {
+    out.err = st.err;
+    out.done = st.done;
+    return out;
+  }
+  std::vector<std::byte> buf(st.size);
+  FsIoResult io = fs.read(st.done, lr.inode, 0, buf);
+  out.done = io.done;
+  if (!io.ok()) {
+    out.err = io.err;
+    return out;
+  }
+  buf.resize(io.bytes);
+
+  std::uint64_t pos = 0;
+  while (true) {
+    std::uint32_t len = 0;
+    if (!get_pod(buf, pos, &len)) break;
+    if (pos + len + 8 > buf.size()) break;  // torn tail
+    const std::byte* payload = buf.data() + pos;
+    std::uint64_t ppos = pos;
+    pos += len;
+    std::uint64_t crc = 0;
+    if (!get_pod(buf, pos, &crc)) break;
+    if (crc != fnv1a64(payload, len)) break;  // corrupt: stop
+
+    std::uint64_t seq = 0;
+    if (!get_pod(buf, ppos, &seq)) break;
+    std::uint8_t type = 0;
+    if (!get_pod(buf, ppos, &type)) break;
+    std::uint16_t klen = 0;
+    if (!get_pod(buf, ppos, &klen)) break;
+    std::uint32_t vlen = 0;
+    if (!get_pod(buf, ppos, &vlen)) break;
+    if (ppos + klen + vlen > buf.size()) break;
+    std::string_view key(reinterpret_cast<const char*>(buf.data() + ppos),
+                         klen);
+    std::string_view value(
+        reinterpret_cast<const char*>(buf.data() + ppos + klen), vlen);
+    fn(static_cast<EntryType>(type), key, value, seq);
+    ++out.records;
+    out.max_sequence = std::max(out.max_sequence, seq);
+  }
+  return out;
+}
+
+}  // namespace deepnote::storage::kvdb

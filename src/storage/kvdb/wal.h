@@ -1,0 +1,63 @@
+// Write-ahead log on extfs.
+//
+// Record: u32 payload_len | payload | u64 fnv1a(payload)
+// Payload: u64 seq | u8 type | u16 klen | u32 vlen | key | value.
+//
+// Appends are buffered filesystem writes (fast); sync() runs fsync.
+// RocksDB syncs the old WAL when switching memtables — if that sync hits
+// a dead drive, the store fails with its "sync WAL" fatal error, which is
+// the RocksDB crash mode the paper reports (Table 3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "storage/extfs.h"
+#include "storage/kvdb/memtable.h"
+
+namespace deepnote::storage::kvdb {
+
+class Wal {
+ public:
+  struct OpenResult {
+    Errno err = Errno::kOk;
+    sim::SimTime done = sim::SimTime::zero();
+    std::unique_ptr<Wal> wal;
+    bool ok() const { return err == Errno::kOk; }
+  };
+  /// Create a fresh WAL file at `path` (must not exist).
+  static OpenResult create(ExtFs& fs, sim::SimTime now, std::string_view path);
+
+  FsResult append(sim::SimTime now, EntryType type, std::string_view key,
+                  std::string_view value, std::uint64_t sequence);
+  FsResult sync(sim::SimTime now);
+
+  /// Replay a WAL file, invoking fn per valid record; stops quietly at the
+  /// first torn/corrupt record (normal crash tail).
+  struct ReplayResult {
+    Errno err = Errno::kOk;
+    sim::SimTime done = sim::SimTime::zero();
+    std::uint64_t records = 0;
+    std::uint64_t max_sequence = 0;
+  };
+  static ReplayResult replay(
+      ExtFs& fs, sim::SimTime now, std::string_view path,
+      const std::function<void(EntryType, std::string_view key,
+                               std::string_view value,
+                               std::uint64_t sequence)>& fn);
+
+  std::uint64_t bytes_appended() const { return offset_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  Wal(ExtFs& fs, std::string path, std::uint32_t inode);
+
+  ExtFs& fs_;
+  std::string path_;
+  std::uint32_t inode_;
+  std::uint64_t offset_ = 0;
+};
+
+}  // namespace deepnote::storage::kvdb

@@ -1,0 +1,48 @@
+// In-memory block device with constant latency; unit-test substrate and
+// the "SSD-like" comparison device. Storage is sparse (chunked, allocated
+// on first write) so huge devices cost nothing until touched.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/block_device.h"
+
+namespace deepnote::storage {
+
+class MemDisk final : public BlockDevice {
+ public:
+  MemDisk(std::uint64_t total_sectors,
+          sim::Duration latency = sim::Duration::from_micros(20));
+
+  std::uint64_t total_sectors() const override { return total_sectors_; }
+
+  BlockIo read(sim::SimTime now, std::uint64_t lba,
+               std::uint32_t sector_count, std::span<std::byte> out) override;
+  BlockIo write(sim::SimTime now, std::uint64_t lba,
+                std::uint32_t sector_count,
+                std::span<const std::byte> in) override;
+  BlockIo flush(sim::SimTime now) override;
+
+  /// Fail every operation from now on (fault injection).
+  void set_failing(bool failing) { failing_ = failing; }
+  /// Fail operations after `count` more successes (fault injection).
+  void fail_after(std::uint64_t count) { fail_after_ = count; }
+
+  std::uint64_t op_count() const { return ops_; }
+
+ private:
+  bool should_fail();
+
+  static constexpr std::uint32_t kSectorsPerChunk = 256;  // 128 KiB
+
+  std::uint64_t total_sectors_;
+  sim::Duration latency_;
+  std::unordered_map<std::uint64_t, std::vector<std::byte>> chunks_;
+  bool failing_ = false;
+  std::uint64_t fail_after_ = ~0ull;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace deepnote::storage

@@ -1,0 +1,69 @@
+#include "storage/os_device.h"
+
+namespace deepnote::storage {
+
+OsBlockDevice::OsBlockDevice(hdd::Hdd& drive, OsDeviceConfig config)
+    : drive_(drive), config_(config) {}
+
+std::uint64_t OsBlockDevice::total_sectors() const {
+  return drive_.geometry().total_sectors();
+}
+
+BlockIo OsBlockDevice::run_command(sim::SimTime now, OpKind kind,
+                                   std::uint64_t lba,
+                                   std::uint32_t sector_count,
+                                   std::span<std::byte> out,
+                                   std::span<const std::byte> in) {
+  ++stats_.commands;
+  sim::SimTime t = now;
+  for (std::uint32_t attempt = 0; attempt < config_.attempts; ++attempt) {
+    const sim::SimTime deadline = t + config_.command_timeout;
+    hdd::IoResult r;
+    switch (kind) {
+      case OpKind::kRead:
+        r = drive_.read(t, lba, sector_count, out, deadline);
+        break;
+      case OpKind::kWrite:
+        r = drive_.write(t, lba, sector_count, in, deadline);
+        break;
+      case OpKind::kFlush:
+        r = drive_.flush(t, deadline);
+        break;
+    }
+    if (r.status == hdd::IoStatus::kOk) {
+      return BlockIo{BlockStatus::kOk, r.complete};
+    }
+    if (r.status == hdd::IoStatus::kMediaError) {
+      // The drive reported a hard error before the timer fired; retry
+      // immediately from the error completion time.
+      t = r.complete;
+      continue;
+    }
+    // Command timer expired (hung drive, or a completion beyond the
+    // deadline): error handler resets the device and retries.
+    ++stats_.timeouts;
+    ++stats_.device_resets;
+    t = deadline;
+    drive_.reset(t);
+  }
+  ++stats_.buffer_io_errors;
+  return BlockIo{BlockStatus::kIoError, t};
+}
+
+BlockIo OsBlockDevice::read(sim::SimTime now, std::uint64_t lba,
+                            std::uint32_t sector_count,
+                            std::span<std::byte> out) {
+  return run_command(now, OpKind::kRead, lba, sector_count, out, {});
+}
+
+BlockIo OsBlockDevice::write(sim::SimTime now, std::uint64_t lba,
+                             std::uint32_t sector_count,
+                             std::span<const std::byte> in) {
+  return run_command(now, OpKind::kWrite, lba, sector_count, {}, in);
+}
+
+BlockIo OsBlockDevice::flush(sim::SimTime now) {
+  return run_command(now, OpKind::kFlush, 0, 0, {}, {});
+}
+
+}  // namespace deepnote::storage

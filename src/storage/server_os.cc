@@ -1,0 +1,178 @@
+#include "storage/server_os.h"
+
+#include <vector>
+
+namespace deepnote::storage {
+
+ServerOs::ServerOs(ExtFs& rootfs, ServerOsConfig config)
+    : fs_(rootfs), config_(config) {}
+
+ServerOs::BootResult ServerOs::boot(sim::SimTime now) {
+  BootResult out;
+  sim::SimTime t = now;
+
+  for (const char* dir : {"/bin", "/var", "/var/log"}) {
+    FsResult r = fs_.mkdir(t, dir);
+    if (!r.ok() && r.err != Errno::kEEXIST) {
+      out.err = r.err;
+      out.done = r.done;
+      return out;
+    }
+    t = r.done;
+  }
+
+  FsResult cr = fs_.create(t, "/bin/ls", &ls_inode_);
+  if (cr.err == Errno::kEEXIST) {
+    FsLookupResult lr = fs_.lookup(t, "/bin/ls");
+    if (!lr.ok()) {
+      out.err = lr.err;
+      out.done = lr.done;
+      return out;
+    }
+    ls_inode_ = lr.inode;
+    t = lr.done;
+  } else if (!cr.ok()) {
+    out.err = cr.err;
+    out.done = cr.done;
+    return out;
+  } else {
+    t = cr.done;
+    // A plausible binary payload.
+    std::vector<std::byte> body(48 << 10, std::byte{0x7f});
+    FsIoResult wr = fs_.write(t, ls_inode_, 0, body);
+    if (!wr.ok()) {
+      out.err = wr.err;
+      out.done = wr.done;
+      return out;
+    }
+    t = wr.done;
+  }
+
+  cr = fs_.create(t, "/var/log/syslog", &syslog_inode_);
+  if (cr.err == Errno::kEEXIST) {
+    FsLookupResult lr = fs_.lookup(t, "/var/log/syslog");
+    if (!lr.ok()) {
+      out.err = lr.err;
+      out.done = lr.done;
+      return out;
+    }
+    syslog_inode_ = lr.inode;
+    FsStatResult st = fs_.stat(lr.done, syslog_inode_);
+    if (!st.ok()) {
+      out.err = st.err;
+      out.done = st.done;
+      return out;
+    }
+    syslog_offset_ = st.size;
+    t = st.done;
+  } else if (!cr.ok()) {
+    out.err = cr.err;
+    out.done = cr.done;
+    return out;
+  } else {
+    t = cr.done;
+  }
+
+  // First exec: load /bin/ls into the exec page cache.
+  std::vector<std::byte> buf(4096);
+  FsIoResult rr = fs_.read(t, ls_inode_, 0, buf);
+  if (!rr.ok()) {
+    out.err = rr.err;
+    out.done = rr.done;
+    return out;
+  }
+  t = rr.done;
+  exec_cached_ = true;
+
+  // Boot chatter: daemons log startup messages. This warms the allocator
+  // metadata the steady-state log appends touch.
+  std::vector<std::byte> line(config_.log_line_bytes,
+                              static_cast<std::byte>('b'));
+  for (int i = 0; i < 64; ++i) {
+    FsIoResult wr = fs_.write(t, syslog_inode_, syslog_offset_, line);
+    if (!wr.ok()) {
+      out.err = wr.err;
+      out.done = wr.done;
+      return out;
+    }
+    syslog_offset_ += line.size();
+    t = wr.done;
+  }
+  // Boot finishes with a sync (filesystems settle before multi-user).
+  FsResult sr = fs_.sync(t);
+  if (!sr.ok()) {
+    out.err = sr.err;
+    out.done = sr.done;
+    return out;
+  }
+  t = sr.done;
+
+  next_tick_ = t + config_.tick_interval;
+  out.done = t;
+  return out;
+}
+
+void ServerOs::declare_crash(sim::SimTime when, std::string reason) {
+  if (crashed_) return;
+  crashed_ = true;
+  crash_time_ = when;
+  crash_reason_ = std::move(reason);
+}
+
+ServerOs::TickResult ServerOs::tick(sim::SimTime now) {
+  TickResult out;
+  out.done = now;
+  if (crashed_) {
+    out.err = Errno::kEIO;
+    return out;
+  }
+  ++tick_count_;
+  next_tick_ = now + config_.tick_interval;
+
+  // The root filesystem aborting read-only kills every service.
+  if (fs_.read_only_at(now)) {
+    declare_crash(now, "root filesystem read-only after journal abort (" +
+                           std::to_string(fs_.error_code()) +
+                           "); all file access failing");
+    out.err = Errno::kEROFS;
+    return out;
+  }
+
+  sim::SimTime t = now;
+
+  // Periodic re-exec of a binary (cold exec hits the device).
+  const bool reread = config_.exec_reread_ticks != 0 &&
+                      tick_count_ % config_.exec_reread_ticks == 0;
+  if (reread || !exec_cached_) {
+    std::vector<std::byte> buf(4096);
+    FsIoResult rr = fs_.read(t, ls_inode_, 0, buf);
+    t = rr.done;
+    if (!rr.ok()) {
+      declare_crash(t, "buffer I/O error reading /bin/ls: cannot exec");
+      out.err = rr.err;
+      out.done = t;
+      return out;
+    }
+    exec_cached_ = true;
+  }
+
+  // Daemon log append.
+  std::vector<std::byte> line(config_.log_line_bytes,
+                              static_cast<std::byte>('a'));
+  line.back() = static_cast<std::byte>('\n');
+  FsIoResult wr = fs_.write(t, syslog_inode_, syslog_offset_, line);
+  t = wr.done;
+  if (!wr.ok()) {
+    declare_crash(t, std::string("syslog write failed: ") +
+                         errno_name(wr.err));
+    out.err = wr.err;
+    out.done = t;
+    return out;
+  }
+  syslog_offset_ += line.size();
+
+  out.done = t;
+  return out;
+}
+
+}  // namespace deepnote::storage

@@ -1,0 +1,77 @@
+// Server operating system model ("Ubuntu server 16.04" in the paper).
+//
+// The OS in the crash experiment is not a workload generator; it is the
+// set of background processes whose survival defines "the OS is up":
+// daemons periodically append to logs and access files. The paper
+// observes that once buffer I/O errors blocked the root filesystem, every
+// file access — including `ls` — failed and the server died.
+//
+// Model: a 1 Hz system tick (daemon activity) appends a log line to
+// /var/log/syslog and occasionally execs a binary (reads /bin/ls; served
+// from the exec page cache after first load). The OS is declared crashed
+// when a tick fails: the root filesystem has aborted read-only (journal
+// error -5) or a file access returns EIO.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "storage/extfs.h"
+
+namespace deepnote::storage {
+
+struct ServerOsConfig {
+  sim::Duration tick_interval = sim::Duration::from_seconds(1.0);
+  /// Re-read (re-exec) the binary from disk every N ticks; 0 = always
+  /// served from the exec cache after boot.
+  std::uint32_t exec_reread_ticks = 0;
+  /// Syslog line size per tick.
+  std::size_t log_line_bytes = 120;
+};
+
+class ServerOs {
+ public:
+  /// Boots on a mounted root filesystem: creates /bin/ls, /var/log/syslog,
+  /// loads the exec cache.
+  struct BootResult {
+    Errno err = Errno::kOk;
+    sim::SimTime done = sim::SimTime::zero();
+    bool ok() const { return err == Errno::kOk; }
+  };
+  ServerOs(ExtFs& rootfs, ServerOsConfig config = {});
+  BootResult boot(sim::SimTime now);
+
+  /// Next scheduled system tick.
+  sim::SimTime next_tick() const { return next_tick_; }
+
+  struct TickResult {
+    Errno err = Errno::kOk;
+    sim::SimTime done = sim::SimTime::zero();
+    bool ok() const { return err == Errno::kOk; }
+  };
+  /// Run one tick of system activity. Declares the crash on failure.
+  TickResult tick(sim::SimTime now);
+
+  bool crashed() const { return crashed_; }
+  sim::SimTime crash_time() const { return crash_time_; }
+  const std::string& crash_reason() const { return crash_reason_; }
+  std::uint64_t ticks() const { return tick_count_; }
+
+ private:
+  void declare_crash(sim::SimTime when, std::string reason);
+
+  ExtFs& fs_;
+  ServerOsConfig config_;
+  std::uint32_t syslog_inode_ = 0;
+  std::uint32_t ls_inode_ = 0;
+  std::uint64_t syslog_offset_ = 0;
+  bool exec_cached_ = false;
+  sim::SimTime next_tick_ = sim::SimTime::zero();
+  std::uint64_t tick_count_ = 0;
+
+  bool crashed_ = false;
+  sim::SimTime crash_time_ = sim::SimTime::zero();
+  std::string crash_reason_;
+};
+
+}  // namespace deepnote::storage

@@ -1,0 +1,35 @@
+#include "structure/chain.h"
+
+#include <utility>
+
+namespace deepnote::structure {
+
+StructuralChain::StructuralChain(Enclosure enclosure, Mount mount)
+    : enclosure_(std::move(enclosure)), mount_(std::move(mount)) {}
+
+double StructuralChain::drive_spl_db(double exterior_spl_db,
+                                     double frequency_hz) const {
+  double spl = enclosure_.interior_spl_db(exterior_spl_db, frequency_hz);
+  spl += mount_.coupling_db(frequency_hz);
+  if (insertion_loss_db_) spl -= insertion_loss_db_(frequency_hz);
+  return spl;
+}
+
+DriveExcitation StructuralChain::excite(
+    const acoustics::ToneState& incident) const {
+  if (!incident.active) return DriveExcitation{};
+  const double spl =
+      drive_spl_db(incident.level_db, incident.frequency_hz);
+  return DriveExcitation{
+      .frequency_hz = incident.frequency_hz,
+      .pressure_pa = acoustics::spl_water_db_to_pa(spl),
+      .active = true,
+  };
+}
+
+void StructuralChain::set_insertion_loss(
+    std::function<double(double)> loss_db) {
+  insertion_loss_db_ = std::move(loss_db);
+}
+
+}  // namespace deepnote::structure

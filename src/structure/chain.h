@@ -1,0 +1,50 @@
+// The assembled structural transmission chain:
+//
+//   exterior SPL at wall  -> [enclosure wall TL] -> interior field
+//                         -> [mount coupling]    -> excitation at drive
+//
+// plus an optional insertion-loss hook used by defenses (absorbing liner,
+// vibration dampener) to attenuate the chain frequency-dependently.
+#pragma once
+
+#include <functional>
+
+#include "acoustics/signal.h"
+#include "acoustics/units.h"
+#include "structure/enclosure.h"
+#include "structure/mount.h"
+
+namespace deepnote::structure {
+
+/// Excitation delivered to the drive chassis: a narrowband pressure.
+struct DriveExcitation {
+  double frequency_hz = 0.0;
+  double pressure_pa = 0.0;  ///< RMS equivalent pressure at the drive
+  bool active = false;
+};
+
+class StructuralChain {
+ public:
+  StructuralChain(Enclosure enclosure, Mount mount);
+
+  /// Effective SPL (dB re 1 uPa) exciting the drive for a given exterior
+  /// SPL at the given frequency.
+  double drive_spl_db(double exterior_spl_db, double frequency_hz) const;
+
+  /// Full conversion from an incident tone to drive excitation.
+  DriveExcitation excite(const acoustics::ToneState& incident) const;
+
+  /// Install an additional frequency-dependent insertion loss (dB, >= 0
+  /// attenuates). Used by defense models. Passing nullptr removes it.
+  void set_insertion_loss(std::function<double(double frequency_hz)> loss_db);
+
+  const Enclosure& enclosure() const { return enclosure_; }
+  const Mount& mount() const { return mount_; }
+
+ private:
+  Enclosure enclosure_;
+  Mount mount_;
+  std::function<double(double)> insertion_loss_db_;
+};
+
+}  // namespace deepnote::structure

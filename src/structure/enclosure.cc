@@ -1,0 +1,60 @@
+#include "structure/enclosure.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace deepnote::structure {
+
+WallMaterial WallMaterial::hard_plastic() {
+  return WallMaterial{.name = "hard plastic",
+                      .surface_density_kg_m2 = 4.8,
+                      .loss_factor = 0.08};
+}
+
+WallMaterial WallMaterial::aluminum() {
+  return WallMaterial{.name = "aluminum",
+                      .surface_density_kg_m2 = 8.1,
+                      .loss_factor = 0.02};
+}
+
+WallMaterial WallMaterial::steel() {
+  return WallMaterial{.name = "steel",
+                      .surface_density_kg_m2 = 78.0,
+                      .loss_factor = 0.01};
+}
+
+Enclosure::Enclosure(EnclosureSpec spec)
+    : spec_(std::move(spec)), panel_bank_(spec_.panel_modes) {}
+
+double Enclosure::mass_law_db(double frequency_hz) const {
+  // Mass law: TL = TL_ref + 20 log10(m / m_ref) + 20 log10(f / f_ref),
+  // floored at 0 (a wall never amplifies broadband).
+  constexpr double kRefFrequencyHz = 1000.0;
+  constexpr double kRefSurfaceDensity = 10.0;  // kg/m^2
+  const double tl =
+      spec_.mass_law_reference_db +
+      20.0 * std::log10(spec_.material.surface_density_kg_m2 /
+                        kRefSurfaceDensity) +
+      20.0 * std::log10(std::max(frequency_hz, 1.0) / kRefFrequencyHz);
+  return std::max(tl, 0.0);
+}
+
+double Enclosure::transmission_loss_db(double frequency_hz) const {
+  double tl = mass_law_db(frequency_hz);
+  if (!panel_bank_.empty()) {
+    // A panel mode leaks energy through the wall: subtract the modal
+    // response (which peaks at the mode's configured gain). Off-resonance
+    // tails never *add* isolation.
+    const double leak = panel_bank_.response_db(frequency_hz);
+    if (leak > 0.0) tl -= leak;
+  }
+  return tl - spec_.interior_coupling_db;
+}
+
+double Enclosure::interior_spl_db(double exterior_spl_db,
+                                  double frequency_hz) const {
+  return exterior_spl_db - transmission_loss_db(frequency_hz);
+}
+
+}  // namespace deepnote::structure

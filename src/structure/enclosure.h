@@ -1,0 +1,63 @@
+// Enclosure (container) wall model.
+//
+// The submerged container separates the water path from the HDD. Its wall
+// attenuates incident acoustic pressure broadly following the mass law
+// (transmission loss grows ~6 dB/octave with frequency and with surface
+// density), but panel bending resonances punch localised holes in that
+// isolation — at a panel mode the wall re-radiates efficiently and the
+// interior field can even be amplified. This combination is what makes the
+// attack band-limited and container-material-dependent (paper Section 4.1:
+// plastic vs aluminum scenarios behave differently).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "structure/resonator.h"
+
+namespace deepnote::structure {
+
+struct WallMaterial {
+  std::string name;
+  double surface_density_kg_m2 = 5.0;  ///< wall mass per unit area
+  double loss_factor = 0.05;           ///< structural damping (eta)
+
+  static WallMaterial hard_plastic();  ///< HDPE/polycarbonate tote, ~5 mm
+  static WallMaterial aluminum();      ///< aluminum box, ~3 mm
+  static WallMaterial steel();         ///< data-center pressure vessel wall
+};
+
+struct EnclosureSpec {
+  WallMaterial material;
+  /// Broadband insertion loss at the mass-law reference frequency (1 kHz)
+  /// for a wall of 10 kg/m^2; scaled by surface density and frequency.
+  double mass_law_reference_db = 20.0;
+  /// Panel bending modes (frequency, Q, peak gain relative to mass law).
+  std::vector<Mode> panel_modes;
+  /// Interior gas: the paper notes data centers are nitrogen filled; the
+  /// interior medium changes coupling into the rack by a fixed offset.
+  double interior_coupling_db = 0.0;
+};
+
+class Enclosure {
+ public:
+  explicit Enclosure(EnclosureSpec spec);
+
+  /// Net wall attenuation at f in dB (>= 0 means loss). Mass-law loss
+  /// minus panel-resonance leakage; clamped so resonances can at most
+  /// amplify by the configured mode peak gains.
+  double transmission_loss_db(double frequency_hz) const;
+
+  /// Interior SPL given exterior incident SPL.
+  double interior_spl_db(double exterior_spl_db, double frequency_hz) const;
+
+  const EnclosureSpec& spec() const { return spec_; }
+
+ private:
+  double mass_law_db(double frequency_hz) const;
+
+  EnclosureSpec spec_;
+  ResonatorBank panel_bank_;
+};
+
+}  // namespace deepnote::structure

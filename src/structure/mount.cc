@@ -1,0 +1,21 @@
+#include "structure/mount.h"
+
+#include <utility>
+
+namespace deepnote::structure {
+
+Mount::Mount(MountSpec spec) : spec_(std::move(spec)), bank_(spec_.modes) {}
+
+double Mount::coupling_db(double frequency_hz) const {
+  double g = spec_.broadband_coupling_db;
+  if (!bank_.empty()) {
+    const double modal = bank_.response_db(frequency_hz);
+    // Modal amplification only adds on top of broadband coupling when the
+    // response is positive; a mount mode does not *isolate* off-resonance
+    // beyond its broadband figure.
+    if (modal > 0.0) g += modal;
+  }
+  return g;
+}
+
+}  // namespace deepnote::structure

@@ -1,0 +1,40 @@
+// Drive mounting model: how enclosure vibration couples into the drive.
+//
+// Scenario 1 sits the drive on the container floor; Scenarios 2/3 hold it
+// in a Supermicro-style 5-bay storage tower ("simulating a data-center
+// rack"). The mounting structure has its own resonances which can amplify
+// the excitation reaching the drive — the paper observes scenario-to-
+// scenario variance for exactly this reason.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "structure/resonator.h"
+
+namespace deepnote::structure {
+
+struct MountSpec {
+  std::string name;
+  /// Broadband coupling from interior field to drive chassis, dB
+  /// (0 = unity; negative = isolation).
+  double broadband_coupling_db = 0.0;
+  /// Structural modes of the mount (rack rails, tower frame...).
+  std::vector<Mode> modes;
+};
+
+class Mount {
+ public:
+  explicit Mount(MountSpec spec);
+
+  /// Coupling gain at f in dB: broadband coupling plus modal amplification.
+  double coupling_db(double frequency_hz) const;
+
+  const MountSpec& spec() const { return spec_; }
+
+ private:
+  MountSpec spec_;
+  ResonatorBank bank_;
+};
+
+}  // namespace deepnote::structure

@@ -1,0 +1,68 @@
+#include "structure/resonator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace deepnote::structure {
+
+double mode_response_db(const Mode& mode, double frequency_hz) {
+  if (mode.f0_hz <= 0.0) {
+    throw std::invalid_argument("mode_response_db: f0 must be positive");
+  }
+  const double q = std::max(mode.q, 0.5);
+  const double r = frequency_hz / mode.f0_hz;
+  const double denom =
+      std::sqrt((1.0 - r * r) * (1.0 - r * r) + (r / q) * (r / q));
+  // At resonance (r = 1) denom = 1/Q; normalise so the peak equals
+  // peak_gain_db exactly.
+  const double mag = (1.0 / q) / std::max(denom, 1e-12);
+  return mode.peak_gain_db + 20.0 * std::log10(mag);
+}
+
+ResonatorBank::ResonatorBank(std::vector<Mode> modes)
+    : modes_(std::move(modes)) {}
+
+void ResonatorBank::add_mode(Mode mode) { modes_.push_back(std::move(mode)); }
+
+double ResonatorBank::response_db(double frequency_hz) const {
+  if (modes_.empty()) return -400.0;
+  double power = 0.0;
+  for (const auto& m : modes_) {
+    const double db = mode_response_db(m, frequency_hz);
+    power += std::pow(10.0, db / 10.0);
+  }
+  return 10.0 * std::log10(power);
+}
+
+double ResonatorBank::peak_frequency_hz(double lo_hz, double hi_hz,
+                                        int scan_points) const {
+  if (modes_.empty() || lo_hz <= 0 || hi_hz <= lo_hz) return lo_hz;
+  double best_f = lo_hz;
+  double best_db = response_db(lo_hz);
+  const double ratio = std::pow(hi_hz / lo_hz, 1.0 / (scan_points - 1));
+  double f = lo_hz;
+  for (int i = 0; i < scan_points; ++i, f *= ratio) {
+    const double db = response_db(f);
+    if (db > best_db) {
+      best_db = db;
+      best_f = f;
+    }
+  }
+  // Local refinement around the best scan point.
+  double lo = best_f / ratio;
+  double hi = best_f * ratio;
+  for (int i = 0; i < 60; ++i) {
+    const double m1 = lo + (hi - lo) / 3.0;
+    const double m2 = hi - (hi - lo) / 3.0;
+    if (response_db(m1) < response_db(m2)) {
+      lo = m1;
+    } else {
+      hi = m2;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace deepnote::structure

@@ -1,0 +1,56 @@
+// Damped modal resonators.
+//
+// Everything mechanical in the attack chain — enclosure panels, the
+// storage-tower rack, the drive's head-stack assembly — is modelled as a
+// bank of second-order damped modes. A mode with natural frequency f0,
+// quality factor Q and peak gain g responds to excitation at f with the
+// standard magnitude
+//
+//   |H(f)| = g_norm / sqrt((1 - (f/f0)^2)^2 + (f / (f0 Q))^2)
+//
+// normalised so the response at resonance equals g (the configured peak).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace deepnote::structure {
+
+struct Mode {
+  double f0_hz = 0.0;     ///< natural frequency
+  double q = 5.0;         ///< quality factor (>= 0.5)
+  double peak_gain_db = 0.0;  ///< gain at resonance, dB
+  std::string label;      ///< for diagnostics ("panel bending", ...)
+};
+
+/// Magnitude response of a single mode at frequency f, in dB.
+/// At f = f0 this returns exactly mode.peak_gain_db; far below resonance it
+/// approaches peak_gain_db - 20*log10(Q) (static compliance); far above it
+/// rolls off at 12 dB/octave.
+double mode_response_db(const Mode& mode, double frequency_hz);
+
+/// A bank of modes. The bank response is the linear (power) sum of the
+/// individual modal responses — overlapping modes reinforce.
+class ResonatorBank {
+ public:
+  ResonatorBank() = default;
+  explicit ResonatorBank(std::vector<Mode> modes);
+
+  void add_mode(Mode mode);
+  const std::vector<Mode>& modes() const { return modes_; }
+  bool empty() const { return modes_.empty(); }
+
+  /// Bank magnitude response at f, in dB. Returns -infinity-ish (-400 dB)
+  /// for an empty bank.
+  double response_db(double frequency_hz) const;
+
+  /// Frequency of the strongest response over [lo, hi], found by dense
+  /// scan + local refinement. Useful for attacker recon and tests.
+  double peak_frequency_hz(double lo_hz, double hi_hz,
+                           int scan_points = 2048) const;
+
+ private:
+  std::vector<Mode> modes_;
+};
+
+}  // namespace deepnote::structure

@@ -1,0 +1,23 @@
+#include "workload/actor.h"
+
+namespace deepnote::workload {
+
+sim::SimTime ActorScheduler::run_until(sim::SimTime limit) {
+  sim::SimTime last = sim::SimTime::zero();
+  while (true) {
+    Actor* earliest = nullptr;
+    for (Actor* a : actors_) {
+      if (a->next_time().is_infinite()) continue;
+      if (earliest == nullptr || a->next_time() < earliest->next_time()) {
+        earliest = a;
+      }
+    }
+    if (earliest == nullptr) break;
+    if (earliest->next_time() > limit) break;
+    last = earliest->next_time();
+    earliest->step();
+  }
+  return last;
+}
+
+}  // namespace deepnote::workload

@@ -1,0 +1,59 @@
+// Cooperative virtual-time actors.
+//
+// The storage stack is written in a synchronous virtual-time style: every
+// operation takes `now` and returns its completion time. Concurrency
+// (a FIO writer + the filesystem commit daemon + a writeback thread, or
+// db_bench's reader and writer threads) is modelled with actors: each
+// actor exposes the time it is next ready, and a scheduler repeatedly
+// runs the earliest-ready actor for one blocking operation. This keeps
+// global execution ordered by time while the per-actor logic stays
+// straight-line code.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace deepnote::workload {
+
+class Actor {
+ public:
+  virtual ~Actor() = default;
+  /// Next time this actor can run; SimTime::infinity() when finished.
+  virtual sim::SimTime next_time() const = 0;
+  /// Execute one blocking operation starting at next_time().
+  virtual void step() = 0;
+};
+
+/// Actor from a lambda: fn(now) performs one operation and returns the
+/// next ready time (infinity to finish).
+class LambdaActor final : public Actor {
+ public:
+  LambdaActor(sim::SimTime first,
+              std::function<sim::SimTime(sim::SimTime)> fn)
+      : next_(first), fn_(std::move(fn)) {}
+
+  sim::SimTime next_time() const override { return next_; }
+  void step() override { next_ = fn_(next_); }
+
+ private:
+  sim::SimTime next_;
+  std::function<sim::SimTime(sim::SimTime)> fn_;
+};
+
+/// Runs actors in global time order until every actor is finished or the
+/// next-ready time passes `limit`.
+class ActorScheduler {
+ public:
+  void add(Actor& actor) { actors_.push_back(&actor); }
+
+  /// Returns the time of the last executed step (or `limit`).
+  sim::SimTime run_until(sim::SimTime limit);
+
+ private:
+  std::vector<Actor*> actors_;
+};
+
+}  // namespace deepnote::workload

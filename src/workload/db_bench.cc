@@ -1,0 +1,332 @@
+#include "workload/db_bench.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+namespace deepnote::workload {
+
+using storage::kvdb::Db;
+using storage::kvdb::DbGetResult;
+using storage::kvdb::DbResult;
+
+std::string DbBench::make_key(std::uint64_t index, std::uint32_t key_bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%020" PRIu64, index);
+  std::string key(buf);
+  if (key.size() > key_bytes) return key.substr(key.size() - key_bytes);
+  key.resize(key_bytes, 'k');
+  return key;
+}
+
+std::string DbBench::make_value(std::uint64_t index,
+                                std::uint32_t value_bytes) {
+  std::string v(value_bytes, 'v');
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<char>('a' + ((index + i) % 26));
+  }
+  return v;
+}
+
+sim::SimTime DbBench::fillseq(sim::SimTime start, std::uint64_t count,
+                              const DbBenchConfig& config) {
+  sim::SimTime t = start;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    DbResult r = db_.put(t, make_key(i, config.key_bytes),
+                         make_value(i, config.value_bytes));
+    t = r.done;
+    if (r.err == storage::Errno::kEAGAIN || db_.flush_pending()) {
+      DbResult fr = db_.do_flush(t);
+      t = fr.done;
+      if (!fr.ok()) break;
+      if (r.err == storage::Errno::kEAGAIN) --i;  // retry the stalled put
+      continue;
+    }
+    if (!r.ok()) break;
+    // Keep the filesystem daemons roughly current during the preload.
+    if ((i & 0x3ff) == 0) {
+      if (fs_.commit_due(t)) t = fs_.commit(t).done;
+      storage::FsResult wb = fs_.writeback(t, config.writeback_chunk_bytes);
+      if (wb.ok()) t = wb.done;
+    }
+  }
+  return t;
+}
+
+DbBenchReport DbBench::readwhilewriting(sim::SimTime start,
+                                        const DbBenchConfig& config) {
+  const sim::SimTime window_start = start + config.ramp;
+  const sim::SimTime window_end = window_start + config.duration;
+  WindowMeter meter(window_start, window_end);
+
+  sim::Rng seeder(config.seed);
+  std::uint64_t next_key = config.preload_keys;
+  std::uint64_t key_space = std::max<std::uint64_t>(config.preload_keys, 1);
+
+  // Writer actor.
+  LambdaActor writer(start, [&, rng = seeder.fork()](
+                                sim::SimTime now) mutable -> sim::SimTime {
+    if (db_.fatal()) return sim::SimTime::infinity();
+    const std::uint64_t idx = next_key;
+    DbResult r = db_.put(now, make_key(idx, config.key_bytes),
+                         make_value(idx, config.value_bytes));
+    if (r.err == storage::Errno::kEAGAIN) {
+      // Write stall: retry shortly, record nothing.
+      return r.done + sim::Duration::from_millis(10);
+    }
+    if (r.ok()) {
+      ++next_key;
+      key_space = next_key;
+      meter.record_ok(now, r.done,
+                      config.key_bytes + config.value_bytes);
+    } else {
+      meter.record_error(r.done);
+    }
+    return r.done + config.writer_think;
+  });
+
+  // Reader actors.
+  std::vector<std::unique_ptr<LambdaActor>> readers;
+  for (std::uint32_t i = 0; i < config.reader_actors; ++i) {
+    readers.push_back(std::make_unique<LambdaActor>(
+        start, [&, rng = seeder.fork()](
+                   sim::SimTime now) mutable -> sim::SimTime {
+          if (db_.fatal()) return sim::SimTime::infinity();
+          const auto idx = static_cast<std::uint64_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(key_space) - 1));
+          DbGetResult r = db_.get(now, make_key(idx, config.key_bytes));
+          if (r.err == storage::Errno::kEAGAIN) {
+            return r.done + sim::Duration::from_millis(10);
+          }
+          if (r.ok()) {
+            meter.record_ok(now, r.done,
+                            config.key_bytes +
+                                (r.found ? r.value.size() : 0));
+          } else {
+            meter.record_error(r.done);
+          }
+          return r.done;
+        }));
+  }
+
+  // Background flush thread.
+  LambdaActor flush_daemon(
+      start, [&](sim::SimTime now) -> sim::SimTime {
+        if (db_.fatal()) return sim::SimTime::infinity();
+        if (db_.flush_pending()) {
+          DbResult r = db_.do_flush(now);
+          return sim::max(r.done, now + sim::Duration::from_millis(10));
+        }
+        return now + sim::Duration::from_millis(10);
+      });
+
+  // Filesystem daemons.
+  LambdaActor commit_daemon(
+      start, [&](sim::SimTime now) -> sim::SimTime {
+        if (fs_.read_only()) return sim::SimTime::infinity();
+        if (fs_.commit_due(now)) {
+          storage::FsResult r = fs_.commit(now);
+          return sim::max(r.done,
+                          now + sim::Duration::from_millis(100));
+        }
+        return now + sim::Duration::from_millis(100);
+      });
+  LambdaActor writeback_daemon(
+      start, [&](sim::SimTime now) -> sim::SimTime {
+        if (fs_.read_only()) return sim::SimTime::infinity();
+        if (fs_.dirty_bytes() == 0) {
+          return now + config.writeback_interval;
+        }
+        storage::FsResult r =
+            fs_.writeback(now, config.writeback_chunk_bytes);
+        return sim::max(r.done, now + config.writeback_interval);
+      });
+
+  ActorScheduler sched;
+  sched.add(writer);
+  for (auto& r : readers) sched.add(*r);
+  sched.add(flush_daemon);
+  sched.add(commit_daemon);
+  sched.add(writeback_daemon);
+  const sim::SimTime last = sched.run_until(window_end);
+
+  DbBenchReport report;
+  report.throughput_mbps = meter.throughput_mbps();
+  report.ops_per_second = meter.ops_per_second();
+  report.ops = meter.ops();
+  report.errors = meter.errors();
+  report.db_fatal = db_.fatal();
+  report.fatal_message = db_.fatal_message();
+  report.fatal_time = db_.fatal_time();
+  report.end_time = sim::max(last, window_end);
+  return report;
+}
+
+
+namespace {
+
+/// Shared scaffolding for the single-actor benchmark loops: runs `op`
+/// (returning its completion time, recording into the meter itself) with
+/// the fs daemons alongside.
+DbBenchReport run_single_actor(
+    storage::ExtFs& fs, Db& db, sim::SimTime start,
+    const DbBenchConfig& config,
+    const std::function<sim::SimTime(sim::SimTime, WindowMeter&)>& op) {
+  const sim::SimTime window_start = start + config.ramp;
+  const sim::SimTime window_end = window_start + config.duration;
+  WindowMeter meter(window_start, window_end);
+
+  LambdaActor worker(start, [&](sim::SimTime now) -> sim::SimTime {
+    if (db.fatal()) return sim::SimTime::infinity();
+    return op(now, meter);
+  });
+  LambdaActor flush_daemon(start, [&](sim::SimTime now) -> sim::SimTime {
+    if (db.fatal()) return sim::SimTime::infinity();
+    if (db.flush_pending()) {
+      DbResult r = db.do_flush(now);
+      return sim::max(r.done, now + sim::Duration::from_millis(10));
+    }
+    return now + sim::Duration::from_millis(10);
+  });
+  LambdaActor commit_daemon(start, [&](sim::SimTime now) -> sim::SimTime {
+    if (fs.read_only()) return sim::SimTime::infinity();
+    if (fs.commit_due(now)) {
+      storage::FsResult r = fs.commit(now);
+      return sim::max(r.done, now + sim::Duration::from_millis(100));
+    }
+    return now + sim::Duration::from_millis(100);
+  });
+  LambdaActor writeback_daemon(start, [&](sim::SimTime now) -> sim::SimTime {
+    if (fs.read_only() || fs.dirty_bytes() == 0) {
+      return now + config.writeback_interval;
+    }
+    storage::FsResult r = fs.writeback(now, config.writeback_chunk_bytes);
+    return sim::max(r.done, now + config.writeback_interval);
+  });
+
+  ActorScheduler sched;
+  sched.add(worker);
+  sched.add(flush_daemon);
+  sched.add(commit_daemon);
+  sched.add(writeback_daemon);
+  const sim::SimTime last = sched.run_until(window_end);
+
+  DbBenchReport report;
+  report.throughput_mbps = meter.throughput_mbps();
+  report.ops_per_second = meter.ops_per_second();
+  report.ops = meter.ops();
+  report.errors = meter.errors();
+  report.db_fatal = db.fatal();
+  report.fatal_message = db.fatal_message();
+  report.fatal_time = db.fatal_time();
+  report.end_time = sim::max(last, window_end);
+  return report;
+}
+
+}  // namespace
+
+DbBenchReport DbBench::readrandom(sim::SimTime start,
+                                  const DbBenchConfig& config) {
+  sim::Rng rng(config.seed ^ 0x0dd0);
+  const std::uint64_t space = std::max<std::uint64_t>(config.preload_keys, 1);
+  return run_single_actor(
+      fs_, db_, start, config,
+      [&, rng](sim::SimTime now, WindowMeter& meter) mutable -> sim::SimTime {
+        const auto idx = static_cast<std::uint64_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(space) - 1));
+        DbGetResult r = db_.get(now, make_key(idx, config.key_bytes));
+        if (r.err == storage::Errno::kEAGAIN) {
+          return r.done + sim::Duration::from_millis(10);
+        }
+        if (r.ok()) {
+          meter.record_ok(now, r.done,
+                          config.key_bytes + (r.found ? r.value.size() : 0));
+        } else {
+          meter.record_error(r.done);
+        }
+        return r.done;
+      });
+}
+
+DbBenchReport DbBench::fillrandom(sim::SimTime start,
+                                  const DbBenchConfig& config) {
+  sim::Rng rng(config.seed ^ 0xf111);
+  const std::uint64_t space =
+      std::max<std::uint64_t>(config.preload_keys, 1) * 4;
+  return run_single_actor(
+      fs_, db_, start, config,
+      [&, rng](sim::SimTime now, WindowMeter& meter) mutable -> sim::SimTime {
+        const auto idx = static_cast<std::uint64_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(space) - 1));
+        DbResult r = db_.put(now, make_key(idx, config.key_bytes),
+                             make_value(idx, config.value_bytes));
+        if (r.err == storage::Errno::kEAGAIN) {
+          return r.done + sim::Duration::from_millis(10);
+        }
+        if (r.ok()) {
+          meter.record_ok(now, r.done,
+                          config.key_bytes + config.value_bytes);
+        } else {
+          meter.record_error(r.done);
+        }
+        return r.done + config.writer_think;
+      });
+}
+
+DbBenchReport DbBench::overwrite(sim::SimTime start,
+                                 const DbBenchConfig& config) {
+  DbBenchConfig cfg = config;
+  // Overwrite == fillrandom constrained to the existing key space.
+  sim::Rng rng(config.seed ^ 0x0ee0);
+  const std::uint64_t space = std::max<std::uint64_t>(config.preload_keys, 1);
+  return run_single_actor(
+      fs_, db_, start, cfg,
+      [&, rng](sim::SimTime now, WindowMeter& meter) mutable -> sim::SimTime {
+        const auto idx = static_cast<std::uint64_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(space) - 1));
+        DbResult r = db_.put(now, make_key(idx, config.key_bytes),
+                             make_value(idx + 1, config.value_bytes));
+        if (r.err == storage::Errno::kEAGAIN) {
+          return r.done + sim::Duration::from_millis(10);
+        }
+        if (r.ok()) {
+          meter.record_ok(now, r.done,
+                          config.key_bytes + config.value_bytes);
+        } else {
+          meter.record_error(r.done);
+        }
+        return r.done + config.writer_think;
+      });
+}
+
+DbBenchReport DbBench::seekrandom(sim::SimTime start,
+                                  const DbBenchConfig& config,
+                                  std::uint32_t nexts_per_seek) {
+  sim::Rng rng(config.seed ^ 0x5eec);
+  const std::uint64_t space = std::max<std::uint64_t>(config.preload_keys, 1);
+  return run_single_actor(
+      fs_, db_, start, config,
+      [&, rng](sim::SimTime now, WindowMeter& meter) mutable -> sim::SimTime {
+        const auto idx = static_cast<std::uint64_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(space) - 1));
+        std::uint64_t bytes = 0;
+        std::uint32_t visited = 0;
+        auto r = db_.scan(now, make_key(idx, config.key_bytes), "",
+                          [&](std::string_view key, std::string_view value) {
+                            bytes += key.size() + value.size();
+                            return ++visited < nexts_per_seek;
+                          });
+        if (r.err == storage::Errno::kEAGAIN) {
+          return r.done + sim::Duration::from_millis(10);
+        }
+        if (r.ok()) {
+          meter.record_ok(now, r.done, bytes);
+        } else {
+          meter.record_error(r.done);
+        }
+        return r.done;
+      });
+}
+
+}  // namespace deepnote::workload

@@ -1,0 +1,76 @@
+#include "workload/fio.h"
+
+#include <vector>
+
+namespace deepnote::workload {
+
+FioReport FioRunner::run(sim::SimTime start, const FioJobConfig& config) {
+  sim::Rng rng(config.seed);
+  const std::uint32_t sectors =
+      config.block_bytes / storage::kBlockSectorSize;
+  const std::uint64_t span_blocks = config.span_bytes / config.block_bytes;
+  const std::uint64_t first_lba =
+      config.offset_bytes / storage::kBlockSectorSize;
+  const std::uint64_t device_blocks =
+      device_.total_sectors() / sectors;
+  const std::uint64_t blocks =
+      std::min<std::uint64_t>(span_blocks,
+                              device_blocks - first_lba / sectors);
+
+  const sim::SimTime window_start = start + config.ramp;
+  const sim::SimTime window_end = window_start + config.duration;
+  WindowMeter meter(window_start, window_end);
+
+  std::vector<std::byte> buf(config.block_bytes, std::byte{0x5a});
+
+  const bool is_seq = config.pattern == IoPattern::kSeqWrite ||
+                      config.pattern == IoPattern::kSeqRead;
+  const bool is_mixed = config.pattern == IoPattern::kRandMixed;
+
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_bytes = 0;
+  sim::SimTime t = start;
+  std::uint64_t cursor = 0;
+  while (t < window_end) {
+    const std::uint64_t block_index =
+        is_seq ? (cursor++ % blocks)
+               : static_cast<std::uint64_t>(rng.uniform_int(
+                     0, static_cast<std::int64_t>(blocks) - 1));
+    const std::uint64_t lba = first_lba + block_index * sectors;
+
+    bool is_write = config.pattern == IoPattern::kSeqWrite ||
+                    config.pattern == IoPattern::kRandWrite;
+    if (is_mixed) is_write = !rng.bernoulli(config.read_mix);
+
+    const sim::SimTime begin = t + config.submit_overhead;
+    storage::BlockIo io =
+        is_write ? device_.write(begin, lba, sectors, buf)
+                 : device_.read(begin, lba, sectors, buf);
+    if (io.ok()) {
+      meter.record_ok(t, io.complete, config.block_bytes);
+      if (io.complete >= window_start && io.complete <= window_end) {
+        (is_write ? write_bytes : read_bytes) += config.block_bytes;
+      }
+    } else {
+      meter.record_error(io.complete);
+    }
+    t = io.complete;
+  }
+
+  FioReport report;
+  report.throughput_mbps = meter.throughput_mbps();
+  const double secs = meter.window_seconds();
+  if (secs > 0) {
+    report.read_mbps = static_cast<double>(read_bytes) / 1e6 / secs;
+    report.write_mbps = static_cast<double>(write_bytes) / 1e6 / secs;
+  }
+  report.ops_completed = meter.ops();
+  report.ops_errored = meter.errors();
+  if (meter.responsive()) {
+    report.latency_ms = meter.latency().mean().millis();
+    report.p99_ms = meter.latency().p99().millis();
+  }
+  return report;
+}
+
+}  // namespace deepnote::workload

@@ -1,0 +1,55 @@
+// Windowed measurement helper shared by workload runners.
+//
+// FIO-style: a ramp period is excluded, then ops/bytes/latencies falling
+// inside the measurement window are accumulated.
+#pragma once
+
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace deepnote::workload {
+
+class WindowMeter {
+ public:
+  WindowMeter(sim::SimTime window_start, sim::SimTime window_end)
+      : start_(window_start), end_(window_end) {}
+
+  /// Record an operation that began at `begin` and completed at `end`
+  /// moving `bytes`. Only ops completing inside the window count.
+  void record_ok(sim::SimTime begin, sim::SimTime end, std::uint64_t bytes) {
+    if (end < start_ || end > end_) return;
+    ++ops_;
+    bytes_ += bytes;
+    latency_.add(end - begin);
+  }
+
+  void record_error(sim::SimTime end) {
+    if (end < start_ || end > end_) return;
+    ++errors_;
+  }
+
+  std::uint64_t ops() const { return ops_; }
+  std::uint64_t errors() const { return errors_; }
+  std::uint64_t bytes() const { return bytes_; }
+  double window_seconds() const { return (end_ - start_).seconds(); }
+  double throughput_mbps() const {
+    const double s = window_seconds();
+    return s > 0 ? static_cast<double>(bytes_) / 1e6 / s : 0.0;
+  }
+  double ops_per_second() const {
+    const double s = window_seconds();
+    return s > 0 ? static_cast<double>(ops_) / s : 0.0;
+  }
+  const sim::LatencyHistogram& latency() const { return latency_; }
+  bool responsive() const { return ops_ > 0; }
+
+ private:
+  sim::SimTime start_;
+  sim::SimTime end_;
+  std::uint64_t ops_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint64_t bytes_ = 0;
+  sim::LatencyHistogram latency_;
+};
+
+}  // namespace deepnote::workload

@@ -1,0 +1,104 @@
+#include "acoustics/absorption.h"
+
+#include <gtest/gtest.h>
+
+namespace deepnote::acoustics {
+namespace {
+
+TEST(AbsorptionTest, BalticReferenceFromPaper) {
+  // Section 4.2: "water at a 50 m depth in the Baltic Sea was found to
+  // attenuate a 500 Hz signal by 0.038 dB/km". Ainslie & McColm with
+  // Baltic parameters should land in that neighbourhood.
+  const auto baltic = WaterConditions::baltic();
+  const double alpha =
+      absorption_db_per_km(AbsorptionModel::kAinslieMcColm, 500.0, baltic);
+  EXPECT_GT(alpha, 0.01);
+  EXPECT_LT(alpha, 0.08);
+}
+
+TEST(AbsorptionTest, SeawaterAtOneKilohertz) {
+  // Open-ocean absorption at 1 kHz is ~0.06 dB/km (textbook figure).
+  const auto ocean = WaterConditions::ocean();
+  const double alpha =
+      absorption_db_per_km(AbsorptionModel::kAinslieMcColm, 1000.0, ocean);
+  EXPECT_GT(alpha, 0.02);
+  EXPECT_LT(alpha, 0.2);
+}
+
+TEST(AbsorptionTest, MonotoneInFrequency) {
+  const auto ocean = WaterConditions::ocean();
+  for (auto model : {AbsorptionModel::kAinslieMcColm,
+                     AbsorptionModel::kFisherSimmons,
+                     AbsorptionModel::kFreshwater}) {
+    double prev = 0.0;
+    for (double f = 100.0; f <= 100000.0; f *= 2.0) {
+      const double alpha = absorption_db_per_km(model, f, ocean);
+      EXPECT_GE(alpha, prev) << "f=" << f;
+      prev = alpha;
+    }
+  }
+}
+
+TEST(AbsorptionTest, FreshwaterAbsorbsLessThanSeawater) {
+  // The chemical relaxation terms (boric acid, MgSO4) only exist in
+  // saltwater; a freshwater tank barely attenuates in the audio band.
+  const auto ocean = WaterConditions::ocean();
+  for (double f : {300.0, 650.0, 1300.0, 8000.0}) {
+    const double sea =
+        absorption_db_per_km(AbsorptionModel::kAinslieMcColm, f, ocean);
+    const double fresh =
+        absorption_db_per_km(AbsorptionModel::kFreshwater, f, ocean);
+    EXPECT_LT(fresh, sea) << "f=" << f;
+  }
+}
+
+TEST(AbsorptionTest, NegligibleAtAttackScaleDistances) {
+  // Over 25 cm (the paper's maximum distance), absorption is
+  // vanishingly small — the range falloff must come from spreading.
+  const auto tank = WaterConditions::tank();
+  const double db =
+      path_absorption_db(AbsorptionModel::kFreshwater, 650.0, tank, 0.25);
+  EXPECT_LT(db, 1e-6);
+}
+
+TEST(AbsorptionTest, FisherSimmonsSameOrderAsAinslieMcColm) {
+  const auto ocean = WaterConditions::ocean();
+  for (double f : {500.0, 2000.0, 10000.0, 50000.0}) {
+    const double am =
+        absorption_db_per_km(AbsorptionModel::kAinslieMcColm, f, ocean);
+    const double fs =
+        absorption_db_per_km(AbsorptionModel::kFisherSimmons, f, ocean);
+    EXPECT_GT(fs, am / 20.0) << "f=" << f;
+    EXPECT_LT(fs, am * 20.0) << "f=" << f;
+  }
+}
+
+TEST(AbsorptionTest, PathAbsorptionScalesWithDistance) {
+  const auto ocean = WaterConditions::ocean();
+  const double one_km =
+      path_absorption_db(AbsorptionModel::kAinslieMcColm, 1000.0, ocean,
+                         1000.0);
+  const double two_km =
+      path_absorption_db(AbsorptionModel::kAinslieMcColm, 1000.0, ocean,
+                         2000.0);
+  EXPECT_NEAR(two_km, 2.0 * one_km, 1e-9);
+}
+
+class AbsorptionTemperatureTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AbsorptionTemperatureTest, ViscousTermDecreasesWithTemperature) {
+  // Pure-water absorption falls as water warms (lower viscosity).
+  const double f = GetParam();
+  double prev = freshwater_db_per_km(f, 0.0, 1.0);
+  for (double t = 5.0; t <= 30.0; t += 5.0) {
+    const double alpha = freshwater_db_per_km(f, t, 1.0);
+    EXPECT_LT(alpha, prev) << "T=" << t;
+    prev = alpha;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Frequencies, AbsorptionTemperatureTest,
+                         ::testing::Values(500.0, 5000.0, 50000.0));
+
+}  // namespace
+}  // namespace deepnote::acoustics

@@ -1,0 +1,79 @@
+#include "acoustics/medium.h"
+
+#include <gtest/gtest.h>
+
+namespace deepnote::acoustics {
+namespace {
+
+TEST(MediumTest, MedwinReferenceValue) {
+  // Medwin (1975) at T=20C, S=35 ppt, z=0: c ~= 1521 m/s.
+  const double c = Medium::medwin_sound_speed(20.0, 35.0, 0.0);
+  EXPECT_NEAR(c, 1521.0, 2.0);
+}
+
+TEST(MediumTest, FreshwaterSlowerThanSeawater) {
+  const double fresh = Medium::medwin_sound_speed(20.0, 0.0, 0.0);
+  const double sea = Medium::medwin_sound_speed(20.0, 35.0, 0.0);
+  EXPECT_LT(fresh, sea);
+  // Fresh water at 20C is ~1482 m/s.
+  EXPECT_NEAR(fresh, 1482.0, 4.0);
+}
+
+TEST(MediumTest, SoundRoughlyFourTimesFasterThanAir) {
+  // Section 2.2: "sound wave travels approximately 4 times faster in
+  // water than air".
+  const Medium tank{WaterConditions::tank()};
+  EXPECT_NEAR(tank.sound_speed() / kSoundSpeedAirMs, 4.3, 0.3);
+}
+
+TEST(MediumTest, SpeedIncreasesWithTemperature) {
+  double prev = Medium::medwin_sound_speed(0.0, 35.0, 10.0);
+  for (double t = 2.0; t <= 30.0; t += 2.0) {
+    const double c = Medium::medwin_sound_speed(t, 35.0, 10.0);
+    EXPECT_GT(c, prev) << "T=" << t;
+    prev = c;
+  }
+}
+
+TEST(MediumTest, SpeedIncreasesWithSalinity) {
+  double prev = Medium::medwin_sound_speed(10.0, 0.0, 10.0);
+  for (double s = 5.0; s <= 40.0; s += 5.0) {
+    const double c = Medium::medwin_sound_speed(10.0, s, 10.0);
+    EXPECT_GT(c, prev) << "S=" << s;
+    prev = c;
+  }
+}
+
+TEST(MediumTest, SpeedIncreasesWithDepth) {
+  double prev = Medium::medwin_sound_speed(10.0, 35.0, 0.0);
+  for (double z = 100.0; z <= 1000.0; z += 100.0) {
+    const double c = Medium::medwin_sound_speed(10.0, 35.0, z);
+    EXPECT_GT(c, prev) << "z=" << z;
+    prev = c;
+  }
+}
+
+TEST(MediumTest, ImpedanceOrderOfMagnitude) {
+  // Seawater characteristic impedance ~1.5e6 rayl.
+  const Medium sea{WaterConditions::ocean()};
+  EXPECT_NEAR(sea.impedance(), 1.54e6, 0.1e6);
+}
+
+TEST(MediumTest, Wavelength) {
+  const Medium tank{WaterConditions::tank()};
+  const double c = tank.sound_speed();
+  EXPECT_NEAR(tank.wavelength(1000.0), c / 1000.0, 1e-9);
+  // 650 Hz underwater: ~2.3 m wavelength — much larger than the
+  // enclosure, which justifies the lumped (non-diffractive) chain model.
+  EXPECT_GT(tank.wavelength(650.0), 2.0);
+}
+
+TEST(MediumTest, Presets) {
+  EXPECT_EQ(WaterConditions::tank().salinity_ppt, 0.0);
+  EXPECT_EQ(WaterConditions::ocean().salinity_ppt, 35.0);
+  EXPECT_NEAR(WaterConditions::baltic().salinity_ppt, 7.0, 0.1);
+  EXPECT_EQ(WaterConditions::ocean(100.0).depth_m, 100.0);
+}
+
+}  // namespace
+}  // namespace deepnote::acoustics

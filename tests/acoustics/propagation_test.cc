@@ -1,0 +1,93 @@
+#include "acoustics/propagation.h"
+
+#include <gtest/gtest.h>
+
+namespace deepnote::acoustics {
+namespace {
+
+PropagationPath tank_path() {
+  return PropagationPath(
+      Medium(WaterConditions::tank()),
+      SpreadingParams{SpreadingModel::kSpherical, 0.01, 100.0},
+      AbsorptionModel::kFreshwater);
+}
+
+PropagationPath ocean_path() {
+  return PropagationPath(
+      Medium(WaterConditions::ocean()),
+      SpreadingParams{SpreadingModel::kPractical, 1.0, 100.0},
+      AbsorptionModel::kAinslieMcColm);
+}
+
+TEST(PropagationTest, ReceivedLevelAtReferenceEqualsSource) {
+  const auto path = tank_path();
+  ToneState tone{650.0, 166.0, true};
+  EXPECT_NEAR(path.received_spl_db(tone, 0.01), 166.0, 1e-9);
+}
+
+TEST(PropagationTest, NearFieldDominatedBySpreading) {
+  const auto path = tank_path();
+  ToneState tone{650.0, 166.0, true};
+  // 1 cm -> 10 cm: 20 dB of spherical spreading, absorption negligible.
+  EXPECT_NEAR(path.received_spl_db(tone, 0.10), 146.0, 0.01);
+  EXPECT_NEAR(path.received_spl_db(tone, 0.25), 138.04, 0.01);
+}
+
+TEST(PropagationTest, InactiveTonePassesThrough) {
+  const auto path = tank_path();
+  ToneState silent{};
+  EXPECT_FALSE(path.received(silent, 1.0).active);
+}
+
+TEST(PropagationTest, DelayUsesSoundSpeed) {
+  const auto path = tank_path();
+  const double c = path.medium().sound_speed();
+  EXPECT_NEAR(path.delay_seconds(c), 1.0, 1e-9);
+  EXPECT_NEAR(path.delay_seconds(0.25), 0.25 / c, 1e-12);
+}
+
+TEST(PropagationTest, RequiredSourceLevelInvertsLoss) {
+  const auto path = ocean_path();
+  const double needed =
+      path.required_source_level_db(650.0, 500.0, 140.0);
+  EXPECT_NEAR(path.received_spl_db(ToneState{650.0, needed, true}, 500.0),
+              140.0, 1e-9);
+}
+
+TEST(PropagationTest, MaxRangeIsConsistentWithDelivery) {
+  const auto path = ocean_path();
+  const double range = path.max_effective_range_m(650.0, 200.0, 140.0);
+  ASSERT_GT(range, 0.0);
+  // Delivered level at the range boundary is (just) the target...
+  EXPECT_NEAR(
+      path.received_spl_db(ToneState{650.0, 200.0, true}, range), 140.0,
+      0.01);
+  // ...and below it slightly beyond.
+  EXPECT_LT(
+      path.received_spl_db(ToneState{650.0, 200.0, true}, range * 1.01),
+      140.0);
+}
+
+TEST(PropagationTest, MaxRangeZeroWhenUnreachable) {
+  const auto path = ocean_path();
+  EXPECT_EQ(path.max_effective_range_m(650.0, 100.0, 200.0), 0.0);
+}
+
+TEST(PropagationTest, LouderSourceReachesFarther) {
+  // The paper's Section 5 "Effective Range" argument: a military-grade
+  // source extends the attack radius.
+  const auto path = ocean_path();
+  const double pool = path.max_effective_range_m(650.0, 166.0, 150.0);
+  const double sonar = path.max_effective_range_m(650.0, 220.0, 150.0);
+  EXPECT_GT(sonar, pool * 10.0);
+}
+
+TEST(PropagationTest, HigherFrequencyShorterRange) {
+  const auto path = ocean_path();
+  const double lo = path.max_effective_range_m(650.0, 220.0, 120.0, 1e7);
+  const double hi = path.max_effective_range_m(50000.0, 220.0, 120.0, 1e7);
+  EXPECT_GT(lo, hi);
+}
+
+}  // namespace
+}  // namespace deepnote::acoustics

@@ -1,0 +1,127 @@
+#include "acoustics/signal.h"
+
+#include <gtest/gtest.h>
+
+namespace deepnote::acoustics {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+TEST(ToneSignalTest, ConstantWithinWindow) {
+  ToneSignal tone(650.0, 166.0, SimTime::from_seconds(1),
+                  SimTime::from_seconds(2));
+  EXPECT_FALSE(tone.at(SimTime::from_seconds(0.5)).active);
+  const ToneState mid = tone.at(SimTime::from_seconds(1.5));
+  EXPECT_TRUE(mid.active);
+  EXPECT_EQ(mid.frequency_hz, 650.0);
+  EXPECT_EQ(mid.level_db, 166.0);
+  EXPECT_FALSE(tone.at(SimTime::from_seconds(2.0)).active);  // end-exclusive
+}
+
+TEST(ToneSignalTest, UnboundedByDefault) {
+  ToneSignal tone(100.0, 120.0);
+  EXPECT_TRUE(tone.at(SimTime::from_seconds(1e6)).active);
+}
+
+TEST(ToneSignalTest, RejectsNonPositiveFrequency) {
+  EXPECT_THROW(ToneSignal(0.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(ToneSignal(-5.0, 100.0), std::invalid_argument);
+}
+
+TEST(SteppedSweepTest, VisitsEachFrequencyForDwell) {
+  SteppedSweepSignal sweep({100.0, 200.0, 300.0}, 140.0,
+                           Duration::from_seconds(10));
+  EXPECT_EQ(sweep.at(SimTime::from_seconds(5)).frequency_hz, 100.0);
+  EXPECT_EQ(sweep.at(SimTime::from_seconds(15)).frequency_hz, 200.0);
+  EXPECT_EQ(sweep.at(SimTime::from_seconds(29.9)).frequency_hz, 300.0);
+  EXPECT_FALSE(sweep.at(SimTime::from_seconds(30.1)).active);
+}
+
+TEST(SteppedSweepTest, GeometricPlanCoversRange) {
+  const auto plan =
+      SteppedSweepSignal::geometric_plan(100.0, 16900.0, 2.0);
+  ASSERT_FALSE(plan.empty());
+  EXPECT_EQ(plan.front(), 100.0);
+  EXPECT_LE(plan.back(), 16900.0);
+  EXPECT_GT(plan.back(), 8000.0);
+  for (std::size_t i = 1; i < plan.size(); ++i) {
+    EXPECT_NEAR(plan[i] / plan[i - 1], 2.0, 1e-9);
+  }
+}
+
+TEST(SteppedSweepTest, LinearPlanStepsFifty) {
+  // The Section 4.1 narrowing pass: 50 Hz increments.
+  const auto plan = SteppedSweepSignal::linear_plan(300.0, 1000.0, 50.0);
+  EXPECT_EQ(plan.size(), 15u);
+  EXPECT_EQ(plan.front(), 300.0);
+  EXPECT_NEAR(plan.back(), 1000.0, 1e-9);
+}
+
+TEST(SteppedSweepTest, BadPlansThrow) {
+  EXPECT_THROW(SteppedSweepSignal::geometric_plan(0.0, 100.0, 2.0),
+               std::invalid_argument);
+  EXPECT_THROW(SteppedSweepSignal::geometric_plan(100.0, 50.0, 2.0),
+               std::invalid_argument);
+  EXPECT_THROW(SteppedSweepSignal::geometric_plan(100.0, 200.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(SteppedSweepSignal::linear_plan(100.0, 200.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      SteppedSweepSignal({}, 140.0, Duration::from_seconds(1)),
+      std::invalid_argument);
+}
+
+TEST(ChirpSignalTest, InterpolatesLinearly) {
+  ChirpSignal chirp(100.0, 1100.0, 150.0, SimTime::zero(),
+                    Duration::from_seconds(10));
+  EXPECT_EQ(chirp.at(SimTime::zero()).frequency_hz, 100.0);
+  EXPECT_NEAR(chirp.at(SimTime::from_seconds(5)).frequency_hz, 600.0, 1e-6);
+  EXPECT_FALSE(chirp.at(SimTime::from_seconds(10)).active);
+}
+
+TEST(PulsedToneTest, DutyCycleGatesTheTone) {
+  PulsedToneSignal pulse(650.0, 166.0, Duration::from_seconds(10), 0.3);
+  // ON for the first 3 s of each 10 s period.
+  EXPECT_TRUE(pulse.at(SimTime::from_seconds(1)).active);
+  EXPECT_TRUE(pulse.at(SimTime::from_seconds(2.9)).active);
+  EXPECT_FALSE(pulse.at(SimTime::from_seconds(3.1)).active);
+  EXPECT_FALSE(pulse.at(SimTime::from_seconds(9.9)).active);
+  EXPECT_TRUE(pulse.at(SimTime::from_seconds(11.0)).active);
+}
+
+TEST(PulsedToneTest, ExtremeDuties) {
+  PulsedToneSignal always(650.0, 166.0, Duration::from_seconds(1), 1.0);
+  PulsedToneSignal never(650.0, 166.0, Duration::from_seconds(1), 0.0);
+  for (double s : {0.1, 0.5, 0.9, 1.5}) {
+    EXPECT_TRUE(always.at(SimTime::from_seconds(s)).active) << s;
+    EXPECT_FALSE(never.at(SimTime::from_seconds(s)).active) << s;
+  }
+}
+
+TEST(PulsedToneTest, BoundedInTime) {
+  PulsedToneSignal pulse(650.0, 166.0, Duration::from_seconds(1), 0.5,
+                         SimTime::from_seconds(10),
+                         SimTime::from_seconds(20));
+  EXPECT_FALSE(pulse.at(SimTime::from_seconds(5)).active);
+  EXPECT_TRUE(pulse.at(SimTime::from_seconds(10.2)).active);
+  EXPECT_FALSE(pulse.at(SimTime::from_seconds(25)).active);
+}
+
+TEST(PulsedToneTest, RejectsBadParameters) {
+  EXPECT_THROW(PulsedToneSignal(0.0, 100.0, Duration::from_seconds(1), 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(PulsedToneSignal(650.0, 100.0, Duration::zero(), 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(PulsedToneSignal(650.0, 100.0, Duration::from_seconds(1), 1.5),
+               std::invalid_argument);
+}
+
+TEST(SilenceSignalTest, NeverActive) {
+  SilenceSignal s;
+  EXPECT_FALSE(s.at(SimTime::zero()).active);
+  EXPECT_FALSE(s.at(SimTime::from_seconds(100)).active);
+}
+
+}  // namespace
+}  // namespace deepnote::acoustics

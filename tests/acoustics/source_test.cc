@@ -1,0 +1,84 @@
+#include "acoustics/source.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace deepnote::acoustics {
+namespace {
+
+using sim::SimTime;
+
+AcousticSource tone_source(double frequency_hz, double level_db,
+                           SpeakerSpec speaker = SpeakerSpec::aq339_diluvio(),
+                           AmplifierSpec amp = AmplifierSpec::toa_bg2120()) {
+  return AcousticSource(
+      std::make_shared<ToneSignal>(frequency_hz, level_db), speaker, amp);
+}
+
+TEST(SourceTest, PassbandIsTransparent) {
+  const auto src = tone_source(650.0, 166.0);
+  const ToneState out = src.emitted(SimTime::zero());
+  EXPECT_TRUE(out.active);
+  EXPECT_EQ(out.frequency_hz, 650.0);
+  EXPECT_NEAR(out.level_db, 166.0, 1e-9);
+}
+
+TEST(SourceTest, RolloffBelowPassband) {
+  const auto& spec = SpeakerSpec::aq339_diluvio();
+  const auto src = tone_source(spec.passband_lo_hz / 2.0, 166.0);
+  const ToneState out = src.emitted(SimTime::zero());
+  // One octave below: one rolloff step down.
+  EXPECT_NEAR(out.level_db, 166.0 - spec.rolloff_db_per_octave, 0.01);
+}
+
+TEST(SourceTest, RolloffAbovePassband) {
+  const auto& spec = SpeakerSpec::aq339_diluvio();
+  const auto src = tone_source(spec.passband_hi_hz * 4.0, 166.0);
+  const ToneState out = src.emitted(SimTime::zero());
+  EXPECT_NEAR(out.level_db, 166.0 - 2.0 * spec.rolloff_db_per_octave, 0.01);
+}
+
+TEST(SourceTest, SpeakerMaxOutputCaps) {
+  const auto src = tone_source(650.0, 500.0);  // absurd request
+  const ToneState out = src.emitted(SimTime::zero());
+  EXPECT_LE(out.level_db, SpeakerSpec::aq339_diluvio().max_output_db);
+}
+
+TEST(SourceTest, AmplifierClipCaps) {
+  AmplifierSpec amp;
+  amp.gain_db = 40.0;
+  amp.clip_level_db = 170.0;
+  const auto src =
+      tone_source(650.0, 150.0, SpeakerSpec::aq339_diluvio(), amp);
+  // 150 + 40 = 190 would exceed the clip; capped at 170.
+  EXPECT_NEAR(src.emitted(SimTime::zero()).level_db, 170.0, 1e-9);
+}
+
+TEST(SourceTest, AmplifierGainApplies) {
+  AmplifierSpec amp;
+  amp.gain_db = 6.0;
+  const auto src =
+      tone_source(650.0, 150.0, SpeakerSpec::aq339_diluvio(), amp);
+  EXPECT_NEAR(src.emitted(SimTime::zero()).level_db, 156.0, 1e-9);
+}
+
+TEST(SourceTest, InactiveSignalStaysInactive) {
+  AcousticSource src(std::make_shared<SilenceSignal>(),
+                     SpeakerSpec::aq339_diluvio());
+  EXPECT_FALSE(src.emitted(SimTime::zero()).active);
+}
+
+TEST(SourceTest, SonarProjectorIsLouder) {
+  EXPECT_GT(SpeakerSpec::sonar_projector().max_output_db,
+            SpeakerSpec::aq339_diluvio().max_output_db);
+}
+
+TEST(SourceTest, NullSignalThrows) {
+  EXPECT_THROW(
+      AcousticSource(nullptr, SpeakerSpec::aq339_diluvio()),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deepnote::acoustics

@@ -1,0 +1,68 @@
+#include "acoustics/spreading.h"
+
+#include <gtest/gtest.h>
+
+namespace deepnote::acoustics {
+namespace {
+
+SpreadingParams spherical(double r0 = 0.01) {
+  return SpreadingParams{SpreadingModel::kSpherical, r0, 100.0};
+}
+
+TEST(SpreadingTest, ZeroLossAtReference) {
+  EXPECT_DOUBLE_EQ(spreading_loss_db(spherical(), 0.01), 0.0);
+}
+
+TEST(SpreadingTest, InsideReferenceClampsToZero) {
+  EXPECT_DOUBLE_EQ(spreading_loss_db(spherical(), 0.001), 0.0);
+}
+
+TEST(SpreadingTest, SphericalSixDbPerDoubling) {
+  const double at_2cm = spreading_loss_db(spherical(), 0.02);
+  const double at_4cm = spreading_loss_db(spherical(), 0.04);
+  EXPECT_NEAR(at_2cm, 6.02, 0.01);
+  EXPECT_NEAR(at_4cm - at_2cm, 6.02, 0.01);
+}
+
+TEST(SpreadingTest, PaperDistances) {
+  // The Table 1 distance ladder: spreading from 1 cm reference.
+  EXPECT_NEAR(spreading_loss_db(spherical(), 0.05), 13.98, 0.01);
+  EXPECT_NEAR(spreading_loss_db(spherical(), 0.10), 20.0, 0.01);
+  EXPECT_NEAR(spreading_loss_db(spherical(), 0.25), 27.96, 0.01);
+}
+
+TEST(SpreadingTest, CylindricalThreeDbPerDoubling) {
+  const SpreadingParams p{SpreadingModel::kCylindrical, 1.0, 100.0};
+  EXPECT_NEAR(spreading_loss_db(p, 2.0), 3.01, 0.01);
+  EXPECT_NEAR(spreading_loss_db(p, 4.0), 6.02, 0.01);
+}
+
+TEST(SpreadingTest, PracticalTransitions) {
+  const SpreadingParams p{SpreadingModel::kPractical, 1.0, 100.0};
+  // Spherical inside the transition range...
+  EXPECT_NEAR(spreading_loss_db(p, 10.0), 20.0, 0.01);
+  EXPECT_NEAR(spreading_loss_db(p, 100.0), 40.0, 0.01);
+  // ...cylindrical beyond.
+  EXPECT_NEAR(spreading_loss_db(p, 1000.0), 50.0, 0.01);
+}
+
+TEST(SpreadingTest, MonotoneInDistance) {
+  for (auto model : {SpreadingModel::kSpherical, SpreadingModel::kCylindrical,
+                     SpreadingModel::kPractical}) {
+    const SpreadingParams p{model, 0.01, 10.0};
+    double prev = -1.0;
+    for (double d = 0.01; d < 1000.0; d *= 1.7) {
+      const double tl = spreading_loss_db(p, d);
+      EXPECT_GE(tl, prev);
+      prev = tl;
+    }
+  }
+}
+
+TEST(SpreadingTest, BadReferenceThrows) {
+  SpreadingParams p = spherical(0.0);
+  EXPECT_THROW(spreading_loss_db(p, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deepnote::acoustics

@@ -1,0 +1,69 @@
+#include "acoustics/units.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace deepnote::acoustics {
+namespace {
+
+TEST(UnitsTest, DbHelpers) {
+  EXPECT_DOUBLE_EQ(db_from_power_ratio(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(db_from_field_ratio(10.0), 20.0);
+  EXPECT_DOUBLE_EQ(power_ratio_from_db(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(field_ratio_from_db(20.0), 10.0);
+}
+
+TEST(UnitsTest, DbRoundTrips) {
+  for (double db : {-40.0, -6.0, 0.0, 3.0, 26.0, 120.0}) {
+    EXPECT_NEAR(db_from_power_ratio(power_ratio_from_db(db)), db, 1e-9);
+    EXPECT_NEAR(db_from_field_ratio(field_ratio_from_db(db)), db, 1e-9);
+  }
+}
+
+TEST(UnitsTest, WaterSplConversions) {
+  // 120 dB re 1 uPa = 1 Pa.
+  EXPECT_NEAR(spl_water_db_to_pa(120.0), 1.0, 1e-9);
+  EXPECT_NEAR(pa_to_spl_water_db(1.0), 120.0, 1e-9);
+  // 140 dB -> 10 Pa.
+  EXPECT_NEAR(spl_water_db_to_pa(140.0), 10.0, 1e-9);
+}
+
+TEST(UnitsTest, AirSplConversions) {
+  // 94 dB re 20 uPa ~= 1 Pa (standard calibration figure).
+  EXPECT_NEAR(spl_air_db_to_pa(94.0), 1.0, 0.01);
+  EXPECT_NEAR(pa_to_spl_air_db(1.0), 94.0, 0.1);
+}
+
+TEST(UnitsTest, AirToWaterShiftIsTwentySix) {
+  // The paper's Section 2.2 rule: +26 dB.
+  EXPECT_NEAR(air_to_water_reference_shift_db(), 26.02, 0.01);
+  EXPECT_NEAR(spl_air_db_to_water_db(140.0), 166.02, 0.01);
+  EXPECT_NEAR(spl_water_db_to_air_db(166.02), 140.0, 0.01);
+}
+
+TEST(UnitsTest, SamePressureSameSplAcrossReferences) {
+  // Converting a level between references must preserve pressure.
+  const double air_db = 140.0;
+  const double water_db = spl_air_db_to_water_db(air_db);
+  EXPECT_NEAR(spl_air_db_to_pa(air_db), spl_water_db_to_pa(water_db), 1e-9);
+}
+
+class SplRoundTripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SplRoundTripTest, WaterRoundTrip) {
+  const double db = GetParam();
+  EXPECT_NEAR(pa_to_spl_water_db(spl_water_db_to_pa(db)), db, 1e-9);
+}
+
+TEST_P(SplRoundTripTest, AirWaterAirRoundTrip) {
+  const double db = GetParam();
+  EXPECT_NEAR(spl_water_db_to_air_db(spl_air_db_to_water_db(db)), db, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, SplRoundTripTest,
+                         ::testing::Values(60.0, 94.0, 120.0, 140.0, 180.0,
+                                           220.0));
+
+}  // namespace
+}  // namespace deepnote::acoustics

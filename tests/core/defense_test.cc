@@ -1,0 +1,92 @@
+#include "core/defense.h"
+
+#include <gtest/gtest.h>
+
+namespace deepnote::core {
+namespace {
+
+AttackConfig best_attack() {
+  AttackConfig attack;
+  attack.frequency_hz = 650.0;
+  attack.spl_air_db = 140.0;
+  attack.distance_m = 0.01;
+  return attack;
+}
+
+double offtrack_with(DefenseKind kind, double frequency_hz = 650.0) {
+  ScenarioSpec spec =
+      with_defense(make_scenario(ScenarioId::kPlasticTower), kind);
+  Testbed bed(spec);
+  install_defense(bed, kind);
+  AttackConfig attack = best_attack();
+  attack.frequency_hz = frequency_hz;
+  return bed.predicted_offtrack_nm(attack);
+}
+
+TEST(DefenseTest, EveryDefenseReducesOfftrack) {
+  const double baseline = offtrack_with(DefenseKind::kNone);
+  for (auto kind : {DefenseKind::kAbsorbingLiner,
+                    DefenseKind::kVibrationDampener}) {
+    EXPECT_LT(offtrack_with(kind), baseline) << defense_name(kind);
+  }
+}
+
+TEST(DefenseTest, ControllerWidensToleranceNotAmplitude) {
+  // The firmware defense does not change the vibration; it widens the
+  // fault thresholds and pushes the rejection corner up.
+  ScenarioSpec base = make_scenario(ScenarioId::kPlasticTower);
+  ScenarioSpec hard =
+      with_defense(base, DefenseKind::kAugmentedController);
+  EXPECT_GT(hard.hdd.servo.write_fault_fraction,
+            base.hdd.servo.write_fault_fraction);
+  EXPECT_GT(hard.hdd.servo.rejection_corner_hz,
+            base.hdd.servo.rejection_corner_hz);
+  EXPECT_LE(hard.hdd.servo.read_fault_fraction, 0.45);
+}
+
+TEST(DefenseTest, LinerIsWeakAtLowFrequency) {
+  // Acoustic foam absorbs poorly at low frequencies — a liner helps less
+  // at 300 Hz than at 1300 Hz (relative attenuation).
+  const double base_300 = offtrack_with(DefenseKind::kNone, 300.0);
+  const double base_1300 = offtrack_with(DefenseKind::kNone, 1300.0);
+  const double liner_300 = offtrack_with(DefenseKind::kAbsorbingLiner, 300.0);
+  const double liner_1300 =
+      offtrack_with(DefenseKind::kAbsorbingLiner, 1300.0);
+  EXPECT_GT(liner_300 / base_300, liner_1300 / base_1300);
+}
+
+TEST(DefenseTest, OverheatingRiskOrdering) {
+  // Section 5: insulating defenses trade attack resistance for cooling.
+  EXPECT_EQ(defense_properties(DefenseKind::kNone).overheating_risk, 0.0);
+  EXPECT_EQ(
+      defense_properties(DefenseKind::kAugmentedController).overheating_risk,
+      0.0);
+  EXPECT_GT(defense_properties(DefenseKind::kAbsorbingLiner).overheating_risk,
+            defense_properties(DefenseKind::kVibrationDampener)
+                .overheating_risk);
+}
+
+TEST(DefenseTest, NamesAreStable) {
+  EXPECT_STREQ(defense_name(DefenseKind::kNone), "none");
+  EXPECT_STREQ(defense_name(DefenseKind::kAbsorbingLiner), "absorbing liner");
+  EXPECT_STREQ(defense_name(DefenseKind::kVibrationDampener),
+               "vibration dampener");
+  EXPECT_STREQ(defense_name(DefenseKind::kAugmentedController),
+               "augmented controller");
+}
+
+TEST(DefenseTest, DampenerSurvivesBestAttack) {
+  // With the dampener installed, the best-attack tone no longer parks the
+  // drive.
+  ScenarioSpec spec = with_defense(make_scenario(ScenarioId::kPlasticTower),
+                                   DefenseKind::kVibrationDampener);
+  Testbed bed(spec);
+  install_defense(bed, DefenseKind::kVibrationDampener);
+  bed.apply_attack(sim::SimTime::zero(), best_attack());
+  const double park_nm = bed.drive().servo().config().park_fraction *
+                         bed.drive().servo().config().track_pitch_nm;
+  EXPECT_LT(bed.predicted_offtrack_nm(best_attack()), park_nm * 2.0);
+}
+
+}  // namespace
+}  // namespace deepnote::core

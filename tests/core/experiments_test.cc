@@ -1,0 +1,175 @@
+// Integration tests: the paper's experiments, asserted on *shape*.
+//
+// These re-run (shortened) versions of the Table 1/2/3 and Figure 2
+// procedures and check the qualitative results the paper reports:
+// baselines, kill bands, distance cliffs, crash cadence.
+#include <gtest/gtest.h>
+
+#include "core/crash_experiment.h"
+#include "core/range_test.h"
+#include "core/report.h"
+#include "core/sweep.h"
+
+namespace deepnote::core {
+namespace {
+
+AttackConfig best_attack() {
+  AttackConfig attack;
+  attack.frequency_hz = 650.0;
+  attack.spl_air_db = 140.0;
+  attack.distance_m = 0.01;
+  return attack;
+}
+
+TEST(ExperimentTest, Table1ShapeMatchesPaper) {
+  RangeTest range(ScenarioId::kPlasticTower);
+  RangeTestConfig config;
+  config.attack = best_attack();
+  config.ramp = sim::Duration::from_seconds(3.0);
+  config.duration = sim::Duration::from_seconds(15.0);
+  const auto rows = range.run_fio(config);
+  ASSERT_EQ(rows.size(), 7u);
+
+  // No-attack baselines: the paper's 18.0 / 22.7 MB/s.
+  EXPECT_NEAR(rows[0].read.throughput_mbps, 18.0, 0.2);
+  EXPECT_NEAR(rows[0].write.throughput_mbps, 22.7, 0.2);
+  ASSERT_TRUE(rows[0].read.latency_ms.has_value());
+  EXPECT_NEAR(*rows[0].read.latency_ms, 0.2, 0.05);
+
+  // 1 cm and 5 cm: dead, no responses.
+  for (int i : {1, 2}) {
+    EXPECT_EQ(rows[static_cast<std::size_t>(i)].read.throughput_mbps, 0.0);
+    EXPECT_EQ(rows[static_cast<std::size_t>(i)].write.throughput_mbps, 0.0);
+    EXPECT_FALSE(
+        rows[static_cast<std::size_t>(i)].read.latency_ms.has_value());
+  }
+
+  // 10 cm: writes nearly dead, reads degraded but alive.
+  EXPECT_LT(rows[3].write.throughput_mbps, 1.0);
+  EXPECT_GT(rows[3].read.throughput_mbps, 8.0);
+  EXPECT_LT(rows[3].read.throughput_mbps, 17.0);
+
+  // 15 cm: writes partially recovered.
+  EXPECT_GT(rows[4].write.throughput_mbps, 0.3);
+  EXPECT_LT(rows[4].write.throughput_mbps, 10.0);
+  EXPECT_GT(rows[4].read.throughput_mbps, 16.0);
+
+  // 20+ cm: back to baseline.
+  for (int i : {5, 6}) {
+    EXPECT_NEAR(rows[static_cast<std::size_t>(i)].write.throughput_mbps,
+                22.7, 1.0);
+    EXPECT_NEAR(rows[static_cast<std::size_t>(i)].read.throughput_mbps,
+                18.0, 1.0);
+  }
+
+  // And the rendered table has the paper's layout.
+  const sim::Table table = format_table1(rows);
+  EXPECT_EQ(table.num_rows(), 7u);
+  EXPECT_EQ(table.at(0, 0), "No Attack");
+  EXPECT_EQ(table.at(1, 0), "1 cm");
+  EXPECT_EQ(table.at(1, 3), "-");  // no-response latency
+}
+
+TEST(ExperimentTest, Figure2KillBandShape) {
+  FrequencySweep sweep(ScenarioId::kPlasticTower);
+  SweepConfig config;
+  config.attack = best_attack();
+  // The ramp must outlast the drive's write-cache absorption (~1.4 s at
+  // baseline rate) so Table/Figure numbers reflect steady state.
+  config.ramp = sim::Duration::from_seconds(3.0);
+  config.duration = sim::Duration::from_seconds(8.0);
+  config.frequencies_hz = {100.0, 200.0, 300.0, 650.0,
+                           1000.0, 2000.0, 4000.0, 8000.0};
+  const auto points = sweep.run(config);
+  ASSERT_EQ(points.size(), 8u);
+
+  auto writes = [&](std::size_t i) {
+    return points[i].write.throughput_mbps;
+  };
+  // Safe below the band...
+  EXPECT_GT(writes(0), 20.0);  // 100 Hz
+  EXPECT_GT(writes(1), 20.0);  // 200 Hz
+  // ...dead inside...
+  EXPECT_LT(writes(2), 2.0);   // 300 Hz
+  EXPECT_LT(writes(3), 0.5);   // 650 Hz
+  EXPECT_LT(writes(4), 2.0);   // 1000 Hz
+  // ...safe above.
+  EXPECT_GT(writes(5), 20.0);  // 2000 Hz
+  EXPECT_GT(writes(6), 20.0);  // 4000 Hz
+  EXPECT_GT(writes(7), 20.0);  // 8000 Hz
+
+  // Writes are hit at least as hard as reads wherever the drive is
+  // partially alive.
+  for (const auto& p : points) {
+    if (p.write.throughput_mbps < 1.0 && p.read.throughput_mbps < 1.0) {
+      continue;  // both dead: nothing to compare
+    }
+    EXPECT_LE(p.write.throughput_mbps / 22.7,
+              p.read.throughput_mbps / 18.0 + 0.1)
+        << p.frequency_hz;
+  }
+}
+
+TEST(ExperimentTest, ReconFindsVulnerableBand) {
+  FrequencySweep sweep(ScenarioId::kPlasticTower);
+  SweepConfig base;
+  base.ramp = sim::Duration::from_seconds(0.5);
+  base.duration = sim::Duration::from_seconds(3.0);
+  const auto recon = sweep.recon(best_attack(), 100.0, 16900.0, 200.0, &base);
+  ASSERT_FALSE(recon.coarse.empty());
+  ASSERT_FALSE(recon.refined.empty());
+  // The paper's Section 4.1 band: roughly 300 Hz .. 1.7 kHz.
+  EXPECT_GT(recon.band_lo_hz, 150.0);
+  EXPECT_LT(recon.band_lo_hz, 500.0);
+  EXPECT_GT(recon.band_hi_hz, 1000.0);
+  EXPECT_LT(recon.band_hi_hz, 2200.0);
+}
+
+TEST(ExperimentTest, CrashCadenceNearEightySeconds) {
+  CrashExperiments experiments(ScenarioId::kPlasticTower);
+  CrashExperimentConfig config;
+  config.attack = best_attack();
+
+  const CrashResult ext4 = experiments.ext4(config);
+  ASSERT_TRUE(ext4.crashed);
+  EXPECT_NEAR(ext4.time_to_crash_s, 80.0, 1.0);
+  EXPECT_NE(ext4.error_output.find("-5"), std::string::npos);
+
+  const CrashResult ubuntu = experiments.ubuntu_server(config);
+  ASSERT_TRUE(ubuntu.crashed);
+  EXPECT_NEAR(ubuntu.time_to_crash_s, 81.0, 1.5);
+  EXPECT_GT(ubuntu.time_to_crash_s, ext4.time_to_crash_s);
+
+  const CrashResult rocksdb = experiments.rocksdb(config);
+  ASSERT_TRUE(rocksdb.crashed);
+  EXPECT_NEAR(rocksdb.time_to_crash_s, 81.3, 2.0);
+  EXPECT_NE(rocksdb.error_output.find("WAL sync failed"),
+            std::string::npos);
+}
+
+TEST(ExperimentTest, NoCrashWithoutAttack) {
+  CrashExperiments experiments(ScenarioId::kPlasticTower);
+  CrashExperimentConfig config;
+  config.attack = best_attack();
+  config.attack.spl_air_db = -100.0;  // silence
+  config.limit = sim::Duration::from_seconds(30.0);
+  const CrashResult r = experiments.ext4(config);
+  EXPECT_FALSE(r.crashed);
+}
+
+TEST(ExperimentTest, FormattersProduceAllRows) {
+  std::vector<CrashRow> rows;
+  CrashResult ok;
+  ok.crashed = true;
+  ok.time_to_crash_s = 80.0;
+  ok.error_output = "err";
+  rows.push_back({"Ext4", "fs", ok});
+  rows.push_back({"App", "thing", CrashResult{}});
+  const sim::Table t = format_table3(rows);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.at(0, 2), "80.0 seconds");
+  EXPECT_EQ(t.at(1, 2), "-");
+}
+
+}  // namespace
+}  // namespace deepnote::core

@@ -1,0 +1,67 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace deepnote::core {
+namespace {
+
+TEST(ReportTest, FormatDistance) {
+  EXPECT_EQ(format_distance(std::nullopt), "No Attack");
+  EXPECT_EQ(format_distance(0.01), "1 cm");
+  EXPECT_EQ(format_distance(0.25), "25 cm");
+  EXPECT_EQ(format_distance(0.155), "15.5 cm");
+}
+
+TEST(ReportTest, Table1LayoutAndDashes) {
+  std::vector<FioRangeRow> rows(2);
+  rows[0].distance_m = std::nullopt;
+  rows[0].read.throughput_mbps = 18.0;
+  rows[0].read.latency_ms = 0.23;
+  rows[0].write.throughput_mbps = 22.7;
+  rows[0].write.latency_ms = 0.18;
+  rows[1].distance_m = 0.01;  // dead: no latency
+  const sim::Table t = format_table1(rows);
+  EXPECT_EQ(t.num_columns(), 5u);
+  EXPECT_EQ(t.at(0, 0), "No Attack");
+  EXPECT_EQ(t.at(0, 1), "18.0");
+  EXPECT_EQ(t.at(0, 3), "0.2");
+  EXPECT_EQ(t.at(1, 0), "1 cm");
+  EXPECT_EQ(t.at(1, 1), "0.0");
+  EXPECT_EQ(t.at(1, 3), "-");
+  EXPECT_EQ(t.at(1, 4), "-");
+}
+
+TEST(ReportTest, Table2ScalesIoRate) {
+  std::vector<KvRangeRow> rows(1);
+  rows[0].distance_m = std::nullopt;
+  rows[0].report.throughput_mbps = 8.7;
+  rows[0].report.ops_per_second = 110000.0;
+  const sim::Table t = format_table2(rows);
+  EXPECT_EQ(t.at(0, 1), "8.7");
+  EXPECT_EQ(t.at(0, 2), "1.1");  // x100k ops/s, the paper's unit
+}
+
+TEST(ReportTest, Figure2TwoSeries) {
+  std::vector<std::pair<std::string, std::vector<SweepPoint>>> series(2);
+  series[0].first = "S1";
+  series[1].first = "S2";
+  for (auto& [name, points] : series) {
+    points.resize(2);
+    points[0].frequency_hz = 300;
+    points[0].write.throughput_mbps = 0.1;
+    points[0].read.throughput_mbps = 1.0;
+    points[1].frequency_hz = 2000;
+    points[1].write.throughput_mbps = 22.7;
+    points[1].read.throughput_mbps = 18.0;
+  }
+  const sim::Table w = format_figure2(series, true);
+  EXPECT_EQ(w.num_columns(), 3u);
+  EXPECT_EQ(w.num_rows(), 2u);
+  EXPECT_EQ(w.at(0, 0), "300");
+  EXPECT_EQ(w.at(0, 1), "0.1");
+  const sim::Table r = format_figure2(series, false);
+  EXPECT_EQ(r.at(1, 2), "18.0");
+}
+
+}  // namespace
+}  // namespace deepnote::core

@@ -1,0 +1,161 @@
+#include "core/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/attack.h"
+#include "core/testbed.h"
+
+namespace deepnote::core {
+namespace {
+
+TEST(ScenarioTest, AllThreeScenariosBuild) {
+  for (auto id : {ScenarioId::kPlasticFloor, ScenarioId::kPlasticTower,
+                  ScenarioId::kMetalTower}) {
+    const ScenarioSpec spec = make_scenario(id);
+    EXPECT_EQ(spec.id, id);
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_FALSE(spec.enclosure.panel_modes.empty());
+    EXPECT_GT(spec.hdd.geometry.total_sectors(), 0u);
+    // Every scenario uses the same victim drive.
+    EXPECT_DOUBLE_EQ(spec.hdd.servo.write_fault_fraction, 0.10);
+  }
+}
+
+TEST(ScenarioTest, TankWaterIsFresh) {
+  const ScenarioSpec spec = make_scenario(ScenarioId::kPlasticTower);
+  EXPECT_EQ(spec.water.salinity_ppt, 0.0);
+  EXPECT_EQ(spec.absorption, acoustics::AbsorptionModel::kFreshwater);
+}
+
+TEST(ScenarioTest, MetalWallHeavierThanPlastic) {
+  const auto plastic = make_scenario(ScenarioId::kPlasticTower);
+  const auto metal = make_scenario(ScenarioId::kMetalTower);
+  EXPECT_GT(metal.enclosure.material.surface_density_kg_m2,
+            plastic.enclosure.material.surface_density_kg_m2);
+}
+
+TEST(ScenarioTest, OsTimeoutCadenceIsSeventyFiveSeconds) {
+  const ScenarioSpec spec = make_scenario(ScenarioId::kPlasticTower);
+  EXPECT_NEAR(spec.os_device.command_timeout.seconds() *
+                  spec.os_device.attempts,
+              75.0, 1e-9);
+}
+
+TEST(AttackTest, SourceLevelUsesPlusTwentySixRule) {
+  AttackConfig attack;
+  attack.spl_air_db = 140.0;
+  EXPECT_NEAR(attack.source_level_water_db(), 166.02, 0.01);
+}
+
+TEST(AttackTest, SourceEmitsRequestedTone) {
+  AttackConfig attack;
+  attack.frequency_hz = 650.0;
+  const auto source = attack.make_source();
+  const auto tone = source.emitted(sim::SimTime::zero());
+  EXPECT_TRUE(tone.active);
+  EXPECT_EQ(tone.frequency_hz, 650.0);
+  EXPECT_NEAR(tone.level_db, 166.02, 0.01);
+}
+
+TEST(TestbedTest, ExteriorSplFallsWithDistance) {
+  Testbed bed(make_scenario(ScenarioId::kPlasticTower));
+  AttackConfig attack;
+  double prev = 1e9;
+  for (double d : {0.01, 0.05, 0.10, 0.15, 0.20, 0.25}) {
+    attack.distance_m = d;
+    const double spl = bed.exterior_spl_db(attack);
+    EXPECT_LT(spl, prev) << d;
+    prev = spl;
+  }
+  // 1 cm -> 25 cm: ~28 dB of spherical spreading.
+  attack.distance_m = 0.01;
+  const double near = bed.exterior_spl_db(attack);
+  attack.distance_m = 0.25;
+  EXPECT_NEAR(near - bed.exterior_spl_db(attack), 27.96, 0.05);
+}
+
+TEST(TestbedTest, OfftrackPeaksInVulnerableBand) {
+  Testbed bed(make_scenario(ScenarioId::kPlasticTower));
+  AttackConfig attack;
+  attack.distance_m = 0.01;
+  auto offtrack = [&](double f) {
+    attack.frequency_hz = f;
+    return bed.predicted_offtrack_nm(attack);
+  };
+  const double write_fault =
+      bed.drive().servo().fault_threshold_nm(hdd::AccessKind::kWrite);
+  // Inside the paper's vulnerable band: far past the write threshold.
+  EXPECT_GT(offtrack(650.0), 5.0 * write_fault);
+  EXPECT_GT(offtrack(400.0), write_fault);
+  EXPECT_GT(offtrack(1000.0), write_fault);
+  // Outside: safe.
+  EXPECT_LT(offtrack(100.0), write_fault);
+  EXPECT_LT(offtrack(8000.0), write_fault);
+}
+
+TEST(TestbedTest, OfftrackDecaysWithDistance) {
+  Testbed bed(make_scenario(ScenarioId::kPlasticTower));
+  AttackConfig attack;
+  attack.frequency_hz = 650.0;
+  double prev = 1e12;
+  for (double d : {0.01, 0.05, 0.10, 0.15, 0.20, 0.25}) {
+    attack.distance_m = d;
+    const double nm = bed.predicted_offtrack_nm(attack);
+    EXPECT_LT(nm, prev) << d;
+    prev = nm;
+  }
+}
+
+TEST(TestbedTest, ApplyAttackParksDriveAtBestParameters) {
+  Testbed bed(make_scenario(ScenarioId::kPlasticTower));
+  AttackConfig attack;  // defaults: 650 Hz, 140 dB, 1 cm
+  bed.apply_attack(sim::SimTime::zero(), attack);
+  EXPECT_TRUE(bed.drive().parked());
+  EXPECT_TRUE(bed.active_attack().has_value());
+  bed.stop_attack(sim::SimTime::from_seconds(1));
+  EXPECT_FALSE(bed.drive().parked());
+  EXPECT_FALSE(bed.active_attack().has_value());
+}
+
+TEST(ScenarioTest, SteelVesselResistsPoolSpeaker) {
+  // Extension scenario: the paper's best attack barely moves the heads
+  // behind a pressure hull, and even the pool speaker's maximum output
+  // (clipped by the transducer) cannot park the drive...
+  Testbed vessel(make_scenario(ScenarioId::kSteelVessel));
+  AttackConfig attack;  // 650 Hz, 140 dB, 1 cm
+  EXPECT_LT(vessel.predicted_offtrack_nm(attack), 5.0);
+  attack.spl_air_db = 200.0;  // beyond the AQ339's ceiling: clips
+  EXPECT_LT(vessel.predicted_offtrack_nm(attack), 25.0);
+  // ...but the required level (amplitude scales linearly with pressure)
+  // is within reach of a sonar-class projector (<= 194 dB re 20 uPa).
+  attack.spl_air_db = 140.0;
+  const double at_140 = vessel.predicted_offtrack_nm(attack);
+  const double required_air_db =
+      140.0 + 20.0 * std::log10(25.0 / at_140);
+  EXPECT_LT(required_air_db, 194.0);
+  EXPECT_GT(required_air_db, 150.0);
+}
+
+TEST(ScenarioTest, SteelVesselSitsInOcean) {
+  const ScenarioSpec spec = make_scenario(ScenarioId::kSteelVessel);
+  EXPECT_GT(spec.water.salinity_ppt, 30.0);
+  EXPECT_EQ(spec.absorption, acoustics::AbsorptionModel::kAinslieMcColm);
+}
+
+TEST(TestbedTest, MetalScenarioDiesAboveThirteenHundredHz) {
+  Testbed metal(make_scenario(ScenarioId::kMetalTower));
+  Testbed plastic(make_scenario(ScenarioId::kPlasticTower));
+  AttackConfig attack;
+  attack.frequency_hz = 1500.0;
+  attack.distance_m = 0.01;
+  const double write_fault = 10.0;
+  // Paper Section 4.1: Scenario 3's effectiveness ends at ~1.3 kHz while
+  // the plastic scenarios extend further.
+  EXPECT_LT(metal.predicted_offtrack_nm(attack), write_fault);
+  EXPECT_GT(plastic.predicted_offtrack_nm(attack), write_fault);
+}
+
+}  // namespace
+}  // namespace deepnote::core

@@ -1,0 +1,119 @@
+// Long-horizon stability: ten simulated minutes of a full stack under
+// normal conditions must leave everything healthy — no spurious crashes,
+// no filesystem damage, no store corruption, bounded memory state.
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "core/testbed.h"
+#include "storage/extfs.h"
+#include "storage/kvdb/db.h"
+#include "storage/server_os.h"
+#include "workload/actor.h"
+#include "workload/db_bench.h"
+
+namespace deepnote::core {
+namespace {
+
+using storage::Errno;
+
+TEST(SoakTest, TenMinutesOfNormalOperation) {
+  Testbed bed(make_scenario(ScenarioId::kPlasticTower));
+
+  sim::SimTime t = sim::SimTime::zero();
+  storage::MkfsOptions mkfs;
+  mkfs.total_blocks = 2u << 18;
+  ASSERT_TRUE(storage::ExtFs::mkfs(bed.device(), t, mkfs).ok());
+  auto mount = storage::ExtFs::mount(bed.device(), t);
+  ASSERT_TRUE(mount.ok());
+  storage::ExtFs& fs = *mount.fs;
+
+  storage::ServerOs os(fs);
+  auto boot = os.boot(mount.done);
+  ASSERT_TRUE(boot.ok());
+
+  storage::kvdb::DbConfig db_cfg;
+  db_cfg.root = "/srv";
+  db_cfg.write_buffer_bytes = 8 << 20;
+  auto open = storage::kvdb::Db::open(fs, boot.done, db_cfg);
+  ASSERT_TRUE(open.ok());
+  storage::kvdb::Db& db = *open.db;
+  t = open.done;
+
+  // Actors: a steady writer at ~2k ops/s, ticks, daemons.
+  std::uint64_t key = 0;
+  workload::LambdaActor writer(t, [&](sim::SimTime now) -> sim::SimTime {
+    if (db.fatal()) return sim::SimTime::infinity();
+    auto r = db.put(now, workload::DbBench::make_key(key % 200000, 16),
+                    workload::DbBench::make_value(key, 64));
+    if (r.err == Errno::kEAGAIN) {
+      return r.done + sim::Duration::from_millis(5);
+    }
+    EXPECT_TRUE(r.ok());
+    ++key;
+    return r.done + sim::Duration::from_micros(500);
+  });
+  workload::LambdaActor flusher(t, [&](sim::SimTime now) -> sim::SimTime {
+    if (db.fatal()) return sim::SimTime::infinity();
+    if (db.flush_pending()) {
+      return sim::max(db.do_flush(now).done,
+                      now + sim::Duration::from_millis(10));
+    }
+    return now + sim::Duration::from_millis(10);
+  });
+  workload::LambdaActor commit_daemon(
+      t, [&](sim::SimTime now) -> sim::SimTime {
+        if (fs.read_only()) return sim::SimTime::infinity();
+        if (fs.commit_due(now)) {
+          return sim::max(fs.commit(now).done,
+                          now + sim::Duration::from_millis(100));
+        }
+        return now + sim::Duration::from_millis(100);
+      });
+  workload::LambdaActor writeback_daemon(
+      t, [&](sim::SimTime now) -> sim::SimTime {
+        if (fs.read_only() || fs.dirty_bytes() == 0) {
+          return now + sim::Duration::from_millis(100);
+        }
+        return sim::max(fs.writeback(now, 8ull << 20).done,
+                        now + sim::Duration::from_millis(100));
+      });
+  workload::LambdaActor ticker(os.next_tick(),
+                               [&](sim::SimTime now) -> sim::SimTime {
+                                 os.tick(now);
+                                 return os.crashed()
+                                            ? sim::SimTime::infinity()
+                                            : os.next_tick();
+                               });
+
+  workload::ActorScheduler sched;
+  sched.add(writer);
+  sched.add(flusher);
+  sched.add(commit_daemon);
+  sched.add(writeback_daemon);
+  sched.add(ticker);
+  const sim::SimTime end = t + sim::Duration::from_seconds(600);
+  sched.run_until(end);
+
+  // Everything survived.
+  EXPECT_FALSE(db.fatal()) << db.fatal_message();
+  EXPECT_FALSE(fs.read_only());
+  EXPECT_FALSE(os.crashed()) << os.crash_reason();
+  EXPECT_GT(key, 500000u);  // the writer actually made progress
+  EXPECT_GT(db.stats().flushes, 5u);
+  EXPECT_GT(fs.stats().commits, 50u);
+
+  // The store's data is intact and the filesystem checks out.
+  EXPECT_TRUE(db.verify_integrity(end).clean());
+  auto g = db.get(end, workload::DbBench::make_key(0, 16));
+  EXPECT_TRUE(g.ok());
+  ASSERT_TRUE(fs.unmount(end).ok());
+  const auto fsck = storage::ExtFs::fsck(bed.device(), end);
+  EXPECT_TRUE(fsck.clean())
+      << (fsck.problems.empty() ? "io" : fsck.problems.front());
+  // The drive saw no attack artefacts.
+  EXPECT_EQ(bed.drive().stats().hung_commands, 0u);
+  EXPECT_EQ(bed.drive().stats().shock_parks, 0u);
+}
+
+}  // namespace
+}  // namespace deepnote::core

@@ -1,0 +1,301 @@
+#include "hdd/drive.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace deepnote::hdd {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+HddConfig test_config() {
+  HddConfig cfg;
+  cfg.geometry = Geometry::barracuda_500gb();
+  cfg.servo.track_pitch_nm = 100.0;
+  cfg.servo.write_fault_fraction = 0.10;
+  cfg.servo.read_fault_fraction = 0.20;
+  cfg.servo.compliance_floor_nm_per_pa = 0.01;  // floor-only: direct control
+  cfg.servo.rejection_corner_hz = 0.0;
+  cfg.servo.park_fraction = 0.25;
+  cfg.servo.park_resume_s = 0.3;
+  cfg.servo.false_trip_max_hz = 0.0;  // deterministic unless enabled
+  cfg.command_overhead_read_s = 100e-6;
+  cfg.command_overhead_write_s = 60e-6;
+  cfg.write_cache_bytes = 1ull << 20;  // small cache: fills fast in tests
+  cfg.lookahead_buffer_bytes = 1ull << 20;
+  cfg.rng_seed = 42;
+  return cfg;
+}
+
+std::vector<std::byte> block(std::uint32_t sectors, std::uint8_t fill) {
+  return std::vector<std::byte>(
+      static_cast<std::size_t>(sectors) * kSectorSize,
+      static_cast<std::byte>(fill));
+}
+
+structure::DriveExcitation tone(double f, double pa) {
+  return structure::DriveExcitation{f, pa, true};
+}
+
+TEST(DriveTest, WriteReadRoundTripThroughCache) {
+  Hdd drive(test_config());
+  auto data = block(8, 0xab);
+  const IoResult w = drive.write(SimTime::zero(), 100, 8, data);
+  ASSERT_TRUE(w.ok());
+  std::vector<std::byte> out(data.size());
+  const IoResult r = drive.read(w.complete, 100, 8, out);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(out, data);  // served from the cache overlay
+}
+
+TEST(DriveTest, DataDurableAfterFlush) {
+  Hdd drive(test_config());
+  auto data = block(8, 0x77);
+  const IoResult w = drive.write(SimTime::zero(), 0, 8, data);
+  const IoResult f = drive.flush(w.complete);
+  ASSERT_TRUE(f.ok());
+  drive.power_cut();  // volatile state gone
+  std::vector<std::byte> out(data.size());
+  const IoResult r = drive.read(f.complete, 0, 8, out);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(DriveTest, PowerCutLosesUnflushedWrites) {
+  Hdd drive(test_config());
+  auto data = block(8, 0x55);
+  const IoResult w = drive.write(SimTime::zero(), 0, 8, data);
+  ASSERT_TRUE(w.ok());
+  drive.power_cut();
+  std::vector<std::byte> out(data.size(), std::byte{0xff});
+  const IoResult r = drive.read(w.complete, 0, 8, out);
+  ASSERT_TRUE(r.ok());
+  for (auto b : out) EXPECT_EQ(b, std::byte{0});  // lost
+}
+
+TEST(DriveTest, CachedWriteCostsOnlyInterfaceOverhead) {
+  Hdd drive(test_config());
+  auto data = block(8, 0x01);
+  const IoResult w = drive.write(SimTime::zero(), 0, 8, data);
+  EXPECT_NEAR((w.complete - SimTime::zero()).seconds(), 60e-6, 1e-9);
+}
+
+TEST(DriveTest, SequentialReadsBecomeLookaheadHits) {
+  Hdd drive(test_config());
+  std::vector<std::byte> out(8 * kSectorSize);
+  SimTime t = SimTime::zero();
+  // First read pays media; subsequent sequential reads hit the buffer.
+  IoResult r = drive.read(t, 0, 8, out);
+  ASSERT_TRUE(r.ok());
+  t = r.complete + Duration::from_millis(1);  // let the prefetcher refill
+  double total = 0.0;
+  for (int i = 1; i <= 16; ++i) {
+    r = drive.read(t, static_cast<std::uint64_t>(i) * 8, 8, out);
+    ASSERT_TRUE(r.ok());
+    total += (r.complete - t).seconds();
+    t = r.complete;
+  }
+  // Average near the interface overhead, far below a revolution.
+  EXPECT_LT(total / 16.0, 3 * 100e-6);
+}
+
+TEST(DriveTest, RandomReadPaysSeekAndRotation) {
+  Hdd drive(test_config());
+  std::vector<std::byte> out(8 * kSectorSize);
+  SimTime t = SimTime::zero();
+  IoResult r = drive.read(t, 0, 8, out);
+  t = r.complete;
+  // A far jump must cost milliseconds (seek + rotational latency).
+  const std::uint64_t far_lba = drive.geometry().total_sectors() / 2;
+  r = drive.read(t, far_lba, 8, out);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT((r.complete - t).seconds(), 2e-3);
+}
+
+TEST(DriveTest, ParkedDriveHangsEverything) {
+  Hdd drive(test_config());
+  // 3000 Pa * 0.01 nm/Pa = 30 nm > 25 nm park threshold.
+  drive.set_excitation(SimTime::zero(), tone(650.0, 3000.0));
+  EXPECT_TRUE(drive.parked());
+  std::vector<std::byte> out(8 * kSectorSize);
+  EXPECT_EQ(drive.read(SimTime::zero(), 0, 8, out).status, IoStatus::kHung);
+  // A flush with pending cached writes cannot reach media either.
+  auto data = block(8, 0x11);
+  ASSERT_TRUE(drive.write(SimTime::zero(), 0, 8, data).ok());
+  EXPECT_EQ(drive.flush(SimTime::zero()).status, IoStatus::kHung);
+  EXPECT_GT(drive.stats().hung_commands, 0u);
+}
+
+TEST(DriveTest, ParkedDriveStillAcceptsCachedWritesUntilFull) {
+  Hdd drive(test_config());
+  drive.set_excitation(SimTime::zero(), tone(650.0, 3000.0));
+  auto data = block(8, 0x99);
+  SimTime t = SimTime::zero();
+  // 1 MiB cache = 256 x 4 KiB writes absorbed...
+  IoResult w{};
+  int accepted = 0;
+  for (int i = 0; i < 300; ++i) {
+    w = drive.write(t, static_cast<std::uint64_t>(i) * 8, 8, data);
+    if (w.status != IoStatus::kOk) break;
+    ++accepted;
+    t = w.complete;
+  }
+  EXPECT_EQ(accepted, 256);
+  EXPECT_EQ(w.status, IoStatus::kHung);  // cache full, drain blocked
+}
+
+TEST(DriveTest, RecoversAfterAttackStops) {
+  Hdd drive(test_config());
+  drive.set_excitation(SimTime::zero(), tone(650.0, 3000.0));
+  EXPECT_TRUE(drive.parked());
+  drive.set_excitation(SimTime::from_seconds(1), structure::DriveExcitation{});
+  EXPECT_FALSE(drive.parked());
+  std::vector<std::byte> out(8 * kSectorSize);
+  const IoResult r = drive.read(SimTime::from_seconds(1), 0, 8, out);
+  EXPECT_TRUE(r.ok());
+  // Unpark + recalibrate costs at most ~resume + media time.
+  EXPECT_LT((r.complete - SimTime::from_seconds(1)).seconds(), 0.5);
+}
+
+TEST(DriveTest, VibrationCausesRetries) {
+  HddConfig cfg = test_config();
+  Hdd drive(cfg);
+  // 1.8x write threshold: heavy write retries, reads unaffected.
+  drive.set_excitation(SimTime::zero(), tone(650.0, 1800.0));
+  auto data = block(8, 0x10);
+  SimTime t = SimTime::zero();
+  // Keep writing until the cache saturates and a write goes media-bound
+  // (slower than a millisecond).
+  bool saw_blocked_write = false;
+  for (int i = 0; i < 2000; ++i) {
+    const IoResult w = drive.write(t, static_cast<std::uint64_t>(i) * 8, 8,
+                                   data);
+    ASSERT_EQ(w.status, IoStatus::kOk);
+    if ((w.complete - t).seconds() > 1e-3) {
+      saw_blocked_write = true;
+      t = w.complete;
+      break;
+    }
+    t = w.complete;
+  }
+  EXPECT_TRUE(saw_blocked_write);
+  EXPECT_GT(drive.stats().media_retries, 0u);
+}
+
+TEST(DriveTest, DeadlineRejectsWithoutSideEffects) {
+  Hdd drive(test_config());
+  drive.set_excitation(SimTime::zero(), tone(650.0, 1800.0));
+  auto data = block(8, 0x20);
+  SimTime t = SimTime::zero();
+  for (int i = 0; i < 256; ++i) {
+    t = drive.write(t, static_cast<std::uint64_t>(i) * 8, 8, data).complete;
+  }
+  const std::uint64_t cached_before = drive.cached_bytes(t);
+  // Impossible deadline: must hang and leave the cache untouched.
+  const IoResult w =
+      drive.write(t, 10000, 8, data, t + Duration::from_micros(1));
+  EXPECT_EQ(w.status, IoStatus::kHung);
+  EXPECT_EQ(drive.cached_bytes(t), cached_before);
+}
+
+TEST(DriveTest, FlushDeadlineHungLeavesCacheIntact) {
+  Hdd drive(test_config());
+  // Slow the drain so the cache retains content between writes.
+  drive.set_excitation(SimTime::zero(), tone(650.0, 1800.0));
+  auto data = block(8, 0x30);
+  SimTime t = SimTime::zero();
+  for (int i = 0; i < 64; ++i) {
+    t = drive.write(t, static_cast<std::uint64_t>(i) * 8, 8, data).complete;
+  }
+  const std::uint64_t cached = drive.cached_bytes(t);
+  ASSERT_GT(cached, 0u);
+  const IoResult f = drive.flush(t, t + Duration::from_nanos(1));
+  EXPECT_EQ(f.status, IoStatus::kHung);
+  EXPECT_EQ(drive.cached_bytes(t), cached);
+  // Without a deadline (and without vibration) the flush succeeds and
+  // empties the cache.
+  drive.set_excitation(t, structure::DriveExcitation{});
+  const IoResult f2 = drive.flush(t);
+  EXPECT_TRUE(f2.ok());
+  EXPECT_EQ(drive.cached_bytes(f2.complete), 0u);
+}
+
+TEST(DriveTest, BackgroundDrainEmptiesCacheOverTime) {
+  Hdd drive(test_config());
+  // Park the media so the cache retains writes...
+  drive.set_excitation(SimTime::zero(), tone(650.0, 3000.0));
+  auto data = block(8, 0x40);
+  SimTime t = SimTime::zero();
+  for (int i = 0; i < 128; ++i) {
+    t = drive.write(t, static_cast<std::uint64_t>(i) * 8, 8, data).complete;
+  }
+  ASSERT_GT(drive.cached_bytes(t), 0u);
+  // ...then release it: the background drain empties the cache without
+  // any foreground command.
+  drive.set_excitation(t, structure::DriveExcitation{});
+  EXPECT_EQ(drive.cached_bytes(t + Duration::from_seconds(1.0)), 0u);
+}
+
+TEST(DriveTest, ShockFalseTripsStallMedia) {
+  HddConfig cfg = test_config();
+  cfg.servo.false_trip_max_hz = 50.0;  // aggressive for the test
+  Hdd drive(cfg);
+  // 60% of park amplitude: no park but frequent false trips.
+  drive.set_excitation(SimTime::zero(), tone(650.0, 1500.0));
+  std::vector<std::byte> out(8 * kSectorSize);
+  SimTime t = SimTime::zero();
+  drive.read(t, 0, 8, out);
+  // Run sequential reads for 10 simulated seconds; expect parks recorded.
+  t = SimTime::from_seconds(0.5);
+  for (int i = 1; i < 2000; ++i) {
+    const IoResult r =
+        drive.read(t, static_cast<std::uint64_t>(i) * 8, 8, out);
+    ASSERT_TRUE(r.ok());
+    t = sim::max(r.complete, t);
+  }
+  EXPECT_GT(drive.stats().shock_parks, 0u);
+}
+
+TEST(DriveTest, StatsAccumulate) {
+  Hdd drive(test_config());
+  auto data = block(8, 0x01);
+  std::vector<std::byte> out(8 * kSectorSize);
+  SimTime t = SimTime::zero();
+  t = drive.write(t, 0, 8, data).complete;
+  t = drive.read(t, 0, 8, out).complete;
+  drive.flush(t);
+  EXPECT_EQ(drive.stats().writes, 1u);
+  EXPECT_EQ(drive.stats().reads, 1u);
+  EXPECT_EQ(drive.stats().flushes, 1u);
+  EXPECT_EQ(drive.stats().bytes_written, 8u * kSectorSize);
+  EXPECT_EQ(drive.stats().bytes_read, 8u * kSectorSize);
+}
+
+TEST(DriveTest, RetainDataFalseSkipsStorageButKeepsTiming) {
+  HddConfig cfg = test_config();
+  cfg.retain_data = false;
+  Hdd drive(cfg);
+  auto data = block(8, 0x66);
+  const IoResult w = drive.write(SimTime::zero(), 0, 8, data);
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR((w.complete - SimTime::zero()).seconds(), 60e-6, 1e-9);
+  const IoResult f = drive.flush(w.complete);
+  ASSERT_TRUE(f.ok());
+  std::vector<std::byte> out(data.size(), std::byte{0xff});
+  drive.read(f.complete, 0, 8, out);
+  for (auto b : out) EXPECT_EQ(b, std::byte{0});  // not retained
+}
+
+TEST(DriveTest, MismatchedSpanThrows) {
+  Hdd drive(test_config());
+  std::vector<std::byte> small(kSectorSize);
+  EXPECT_THROW(drive.write(SimTime::zero(), 0, 8, small),
+               std::invalid_argument);
+  EXPECT_THROW(drive.read(SimTime::zero(), 0, 8, small),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deepnote::hdd

@@ -1,0 +1,112 @@
+#include "hdd/sector_store.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace deepnote::hdd {
+namespace {
+
+std::vector<std::byte> pattern(std::uint32_t sectors, std::uint8_t seed) {
+  std::vector<std::byte> v(static_cast<std::size_t>(sectors) * kSectorSize);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<std::byte>((seed + i) & 0xff);
+  }
+  return v;
+}
+
+TEST(SectorStoreTest, UnwrittenReadsZero) {
+  SectorStore store(1024);
+  std::vector<std::byte> out(kSectorSize, std::byte{0xff});
+  store.read(5, 1, out);
+  for (auto b : out) EXPECT_EQ(b, std::byte{0});
+  EXPECT_FALSE(store.any_written(0, 1024));
+  EXPECT_EQ(store.allocated_bytes(), 0u);
+}
+
+TEST(SectorStoreTest, WriteReadRoundTrip) {
+  SectorStore store(1024);
+  const auto data = pattern(8, 0x42);
+  store.write(100, 8, data);
+  std::vector<std::byte> out(data.size());
+  store.read(100, 8, out);
+  EXPECT_EQ(out, data);
+  EXPECT_TRUE(store.any_written(100, 8));
+}
+
+TEST(SectorStoreTest, CrossesChunkBoundaries) {
+  SectorStore store(4096);
+  // 256 sectors per chunk: write across the boundary at sector 256.
+  const auto data = pattern(32, 0x17);
+  store.write(240, 32, data);
+  std::vector<std::byte> out(data.size());
+  store.read(240, 32, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(SectorStoreTest, PartialOverwrite) {
+  SectorStore store(1024);
+  store.write(0, 4, pattern(4, 1));
+  store.write(1, 2, pattern(2, 99));
+  std::vector<std::byte> out(kSectorSize);
+  store.read(0, 1, out);
+  EXPECT_EQ(out, pattern(1, 1));
+  store.read(1, 1, out);
+  EXPECT_EQ(out, pattern(1, 99));
+  store.read(3, 1, out);
+  // Sector 3 retains the original pattern (offset 3 sectors into it).
+  std::vector<std::byte> expected(kSectorSize);
+  const auto orig = pattern(4, 1);
+  std::copy(orig.begin() + 3 * kSectorSize, orig.end(), expected.begin());
+  EXPECT_EQ(out, expected);
+}
+
+TEST(SectorStoreTest, BoundsChecks) {
+  SectorStore store(100);
+  std::vector<std::byte> buf(kSectorSize);
+  EXPECT_THROW(store.write(100, 1, buf), std::out_of_range);
+  std::vector<std::byte> two(2 * kSectorSize);
+  EXPECT_THROW(store.read(99, 2, two), std::out_of_range);
+  EXPECT_THROW(store.write(0, 2, buf), std::invalid_argument);  // size
+}
+
+TEST(SectorStoreTest, ClearDropsEverything) {
+  SectorStore store(1024);
+  store.write(0, 8, pattern(8, 3));
+  store.clear();
+  EXPECT_EQ(store.allocated_bytes(), 0u);
+  std::vector<std::byte> out(kSectorSize, std::byte{0xff});
+  store.read(0, 1, out);
+  for (auto b : out) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(SectorStoreTest, SparseAllocationOnlyTouchedChunks) {
+  SectorStore store(1ull << 30);  // huge device
+  store.write(0, 1, pattern(1, 1));
+  store.write(1ull << 29, 1, pattern(1, 2));
+  // Two chunks of 128 KiB each.
+  EXPECT_EQ(store.allocated_bytes(), 2u * 256 * kSectorSize);
+}
+
+TEST(SectorStoreTest, RandomizedRoundTripAgainstShadow) {
+  SectorStore store(4096);
+  std::vector<std::byte> shadow(4096 * kSectorSize, std::byte{0});
+  sim::Rng rng(77);
+  for (int op = 0; op < 500; ++op) {
+    const auto lba = static_cast<std::uint64_t>(rng.uniform_int(0, 4000));
+    const auto n = static_cast<std::uint32_t>(rng.uniform_int(1, 64));
+    if (lba + n > 4096) continue;
+    auto data = pattern(n, static_cast<std::uint8_t>(op));
+    store.write(lba, n, data);
+    std::copy(data.begin(), data.end(),
+              shadow.begin() + static_cast<std::ptrdiff_t>(lba * kSectorSize));
+  }
+  std::vector<std::byte> out(4096 * kSectorSize);
+  store.read(0, 4096, out);
+  EXPECT_EQ(out, shadow);
+}
+
+}  // namespace
+}  // namespace deepnote::hdd

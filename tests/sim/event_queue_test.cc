@@ -1,0 +1,88 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace deepnote::sim {
+namespace {
+
+TEST(EventQueueTest, EmptyQueue) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.next_time(), SimTime::infinity());
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(SimTime::from_seconds(3), [&] { fired.push_back(3); });
+  q.schedule(SimTime::from_seconds(1), [&] { fired.push_back(1); });
+  q.schedule(SimTime::from_seconds(2), [&] { fired.push_back(2); });
+  while (!q.empty()) {
+    auto f = q.pop();
+    f.fn();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimesFifo) {
+  EventQueue q;
+  std::vector<int> fired;
+  const SimTime t = SimTime::from_seconds(1);
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(t, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id =
+      q.schedule(SimTime::from_seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.cancel(id));  // double-cancel
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelMiddleEventSkipsIt) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(SimTime::from_seconds(1), [&] { fired.push_back(1); });
+  const EventId id =
+      q.schedule(SimTime::from_seconds(2), [&] { fired.push_back(2); });
+  q.schedule(SimTime::from_seconds(3), [&] { fired.push_back(3); });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId id = q.schedule(SimTime::from_seconds(1), [] {});
+  q.schedule(SimTime::from_seconds(5), [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.next_time(), SimTime::from_seconds(5));
+}
+
+TEST(EventQueueTest, ManyEventsStressOrder) {
+  EventQueue q;
+  // Schedule in a scrambled order; expect strictly nondecreasing pops.
+  for (int i = 0; i < 1000; ++i) {
+    q.schedule(SimTime((i * 7919) % 1009), [] {});
+  }
+  SimTime prev = SimTime::zero();
+  while (!q.empty()) {
+    auto f = q.pop();
+    EXPECT_GE(f.time, prev);
+    prev = f.time;
+  }
+}
+
+}  // namespace
+}  // namespace deepnote::sim

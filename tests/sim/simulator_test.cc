@@ -1,0 +1,107 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace deepnote::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, RunAdvancesClockThroughEvents) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.at(SimTime::from_seconds(1), [&] { times.push_back(sim.now().seconds()); });
+  sim.at(SimTime::from_seconds(2), [&] { times.push_back(sim.now().seconds()); });
+  const auto fired = sim.run();
+  EXPECT_EQ(fired, 2u);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(sim.now(), SimTime::from_seconds(2));
+}
+
+TEST(SimulatorTest, AfterSchedulesRelative) {
+  Simulator sim;
+  sim.at(SimTime::from_seconds(1), [&] {
+    sim.after(Duration::from_seconds(2), [] {});
+  });
+  sim.run();
+  EXPECT_EQ(sim.now(), SimTime::from_seconds(3));
+}
+
+TEST(SimulatorTest, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.at(SimTime::from_seconds(5), [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(SimTime::from_seconds(1), [] {}),
+               std::invalid_argument);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtLimitAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.at(SimTime::from_seconds(i), [&] { ++fired; });
+  }
+  sim.run_until(SimTime::from_seconds(4.5));
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(sim.now(), SimTime::from_seconds(4.5));
+  sim.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(SimulatorTest, PeriodicSelfReschedule) {
+  Simulator sim;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    if (ticks < 5) sim.after(Duration::from_seconds(1), tick);
+  };
+  sim.after(Duration::from_seconds(1), tick);
+  sim.run();
+  EXPECT_EQ(ticks, 5);
+  EXPECT_EQ(sim.now(), SimTime::from_seconds(5));
+}
+
+TEST(SimulatorTest, CancelledEventDoesNotFire) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.at(SimTime::from_seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, AdvanceToMovesIdleClock) {
+  Simulator sim;
+  sim.advance_to(SimTime::from_seconds(10));
+  EXPECT_EQ(sim.now(), SimTime::from_seconds(10));
+  EXPECT_THROW(sim.advance_to(SimTime::from_seconds(5)),
+               std::invalid_argument);
+}
+
+TEST(SimulatorTest, AdvanceToPastPendingEventThrows) {
+  Simulator sim;
+  sim.at(SimTime::from_seconds(1), [] {});
+  EXPECT_THROW(sim.advance_to(SimTime::from_seconds(2)), std::logic_error);
+}
+
+TEST(SimulatorTest, StepFiresExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(SimTime::from_seconds(1), [&] { ++fired; });
+  sim.at(SimTime::from_seconds(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+}  // namespace
+}  // namespace deepnote::sim

@@ -1,0 +1,73 @@
+#include "sim/table.h"
+
+#include <gtest/gtest.h>
+
+namespace deepnote::sim {
+namespace {
+
+Table sample_table() {
+  Table t("Sample");
+  t.set_columns({"Name", "Value"});
+  t.row().cell("alpha").cell(1.25, 2);
+  t.row().cell("beta").dash();
+  return t;
+}
+
+TEST(TableTest, CellAccess) {
+  Table t = sample_table();
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.at(0, 0), "alpha");
+  EXPECT_EQ(t.at(0, 1), "1.25");
+  EXPECT_EQ(t.at(1, 1), "-");
+  EXPECT_THROW(t.at(5, 0), std::out_of_range);
+}
+
+TEST(TableTest, FormatFixed) {
+  EXPECT_EQ(format_fixed(22.666, 1), "22.7");
+  EXPECT_EQ(format_fixed(0.0, 1), "0.0");
+  EXPECT_EQ(format_fixed(-1.05, 2), "-1.05");
+}
+
+TEST(TableTest, CellOrDash) {
+  Table t;
+  t.set_columns({"x"});
+  t.row().cell_or_dash(std::nullopt);
+  t.row().cell_or_dash(3.14159, 2);
+  EXPECT_EQ(t.at(0, 0), "-");
+  EXPECT_EQ(t.at(1, 0), "3.14");
+}
+
+TEST(TableTest, TextOutputAligned) {
+  const std::string text = sample_table().to_text();
+  EXPECT_NE(text.find("Sample"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("Name"), std::string::npos);
+}
+
+TEST(TableTest, MarkdownOutput) {
+  const std::string md = sample_table().to_markdown();
+  EXPECT_NE(md.find("| Name | Value |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| alpha | 1.25 |"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscaping) {
+  Table t;
+  t.set_columns({"a", "b"});
+  t.row().cell("plain").cell("has,comma");
+  t.row().cell("has\"quote").cell("x");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("plain,\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\",x"), std::string::npos);
+}
+
+TEST(TableTest, IntCell) {
+  Table t;
+  t.set_columns({"n"});
+  t.row().cell(std::int64_t{-42});
+  EXPECT_EQ(t.at(0, 0), "-42");
+}
+
+}  // namespace
+}  // namespace deepnote::sim

@@ -1,0 +1,67 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace deepnote::sim {
+namespace {
+
+TEST(SimTimeTest, DefaultIsZero) {
+  EXPECT_EQ(SimTime{}.ns(), 0);
+  EXPECT_EQ(SimTime::zero(), SimTime{});
+}
+
+TEST(SimTimeTest, UnitConversionsRoundTrip) {
+  const SimTime t = SimTime::from_seconds(1.5);
+  EXPECT_EQ(t.ns(), 1'500'000'000);
+  EXPECT_DOUBLE_EQ(t.seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(t.millis(), 1500.0);
+  EXPECT_DOUBLE_EQ(t.micros(), 1.5e6);
+  EXPECT_EQ(SimTime::from_millis(2.5).ns(), 2'500'000);
+  EXPECT_EQ(SimTime::from_micros(3.0).ns(), 3'000);
+}
+
+TEST(SimTimeTest, Ordering) {
+  EXPECT_LT(SimTime::from_seconds(1.0), SimTime::from_seconds(2.0));
+  EXPECT_LE(SimTime::from_seconds(1.0), SimTime::from_seconds(1.0));
+  EXPECT_GT(SimTime::infinity(), SimTime::from_seconds(1e8));
+}
+
+TEST(SimTimeTest, InfinityIsSticky) {
+  const SimTime inf = SimTime::infinity();
+  EXPECT_TRUE(inf.is_infinite());
+  EXPECT_TRUE((inf + Duration::from_seconds(5)).is_infinite());
+  EXPECT_TRUE((inf - Duration::from_seconds(5)).is_infinite());
+}
+
+TEST(DurationTest, Arithmetic) {
+  const Duration a = Duration::from_millis(10);
+  const Duration b = Duration::from_millis(2.5);
+  EXPECT_EQ((a + b).ns(), 12'500'000);
+  EXPECT_EQ((a - b).ns(), 7'500'000);
+  EXPECT_EQ((a * 3).ns(), 30'000'000);
+  EXPECT_EQ((3 * a).ns(), 30'000'000);
+}
+
+TEST(DurationTest, PointMinusPointIsSpan) {
+  const SimTime a = SimTime::from_seconds(3.0);
+  const SimTime b = SimTime::from_seconds(1.0);
+  EXPECT_EQ((a - b).seconds(), 2.0);
+}
+
+TEST(SimTimeTest, MinMax) {
+  const SimTime a = SimTime::from_seconds(1.0);
+  const SimTime b = SimTime::from_seconds(2.0);
+  EXPECT_EQ(max(a, b), b);
+  EXPECT_EQ(min(a, b), a);
+}
+
+TEST(SimTimeTest, ToStringPicksUnits) {
+  EXPECT_EQ(to_string(SimTime::from_seconds(1.5)), "1.500 s");
+  EXPECT_EQ(to_string(SimTime::from_millis(2.25)), "2.250 ms");
+  EXPECT_EQ(to_string(SimTime::from_micros(7.5)), "7.500 us");
+  EXPECT_EQ(to_string(SimTime(42)), "42 ns");
+  EXPECT_EQ(to_string(SimTime::infinity()), "inf");
+}
+
+}  // namespace
+}  // namespace deepnote::sim

@@ -1,0 +1,143 @@
+// Resource-exhaustion and limit behaviour of extfs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "storage/extfs.h"
+#include "storage/mem_disk.h"
+
+namespace deepnote::storage {
+namespace {
+
+using sim::SimTime;
+
+TEST(ExtFsLimitsTest, EnospcOnDataBlocks) {
+  // A deliberately tiny filesystem: mkfs caps total blocks.
+  MemDisk disk((64ull << 20) / 512);
+  SimTime t = SimTime::zero();
+  MkfsOptions opt;
+  opt.journal_blocks = 16;
+  opt.num_inodes = 64;
+  opt.total_blocks = 300;  // tiny data region
+  ASSERT_TRUE(ExtFs::mkfs(disk, t, opt).ok());
+  auto mount = ExtFs::mount(disk, t);
+  ASSERT_TRUE(mount.ok());
+  ExtFs& fs = *mount.fs;
+  t = mount.done;
+
+  std::uint32_t ino = 0;
+  t = fs.create(t, "/hog", &ino).done;
+  const std::uint64_t free_before = fs.free_blocks();
+  ASSERT_GT(free_before, 0u);
+
+  // Writing more than the free space must eventually fail with ENOSPC.
+  std::vector<std::byte> chunk(kFsBlockSize, std::byte{0x77});
+  Errno err = Errno::kOk;
+  std::uint64_t written = 0;
+  for (std::uint64_t i = 0; i < free_before + 16; ++i) {
+    auto wr = fs.write(t, ino, i * kFsBlockSize, chunk);
+    t = wr.done;
+    if (!wr.ok()) {
+      err = wr.err;
+      break;
+    }
+    ++written;
+  }
+  EXPECT_EQ(err, Errno::kENOSPC);
+  EXPECT_LE(written, free_before);
+  EXPECT_GT(written, 0u);
+  // The filesystem stays healthy: deleting recovers space and writes
+  // work again.
+  ASSERT_TRUE(fs.unlink(t, "/hog").ok());
+  std::uint32_t ino2 = 0;
+  t = fs.create(t, "/again", &ino2).done;
+  EXPECT_TRUE(fs.write(t, ino2, 0, chunk).ok());
+}
+
+TEST(ExtFsLimitsTest, InodeExhaustion) {
+  MemDisk disk((64ull << 20) / 512);
+  SimTime t = SimTime::zero();
+  MkfsOptions opt;
+  opt.journal_blocks = 16;
+  opt.num_inodes = 8;  // 0 invalid + 1 root + 6 usable
+  ASSERT_TRUE(ExtFs::mkfs(disk, t, opt).ok());
+  auto mount = ExtFs::mount(disk, t);
+  ASSERT_TRUE(mount.ok());
+  ExtFs& fs = *mount.fs;
+  t = mount.done;
+
+  int created = 0;
+  Errno err = Errno::kOk;
+  for (int i = 0; i < 10; ++i) {
+    auto cr = fs.create(t, "/f" + std::to_string(i));
+    t = cr.done;
+    if (!cr.ok()) {
+      err = cr.err;
+      break;
+    }
+    ++created;
+  }
+  EXPECT_EQ(created, 6);
+  EXPECT_EQ(err, Errno::kENOSPC);
+  // Unlink frees the inode for reuse.
+  ASSERT_TRUE(fs.unlink(t, "/f0").ok());
+  EXPECT_TRUE(fs.create(t, "/reused").ok());
+}
+
+TEST(ExtFsLimitsTest, MkfsRejectsTooSmallDevice) {
+  MemDisk disk((2ull << 20) / 512);  // 2 MiB: journal alone won't fit
+  const FsResult r = ExtFs::mkfs(disk, SimTime::zero());
+  EXPECT_EQ(r.err, Errno::kENOSPC);
+}
+
+TEST(ExtFsLimitsTest, DirtyThrottleBoundsMemory) {
+  MemDisk disk((512ull << 20) / 512);
+  SimTime t = SimTime::zero();
+  ASSERT_TRUE(ExtFs::mkfs(disk, t).ok());
+  ExtFsConfig cfg;
+  cfg.dirty_limit_bytes = 1 << 20;  // 1 MiB
+  auto mount = ExtFs::mount(disk, t, cfg);
+  ASSERT_TRUE(mount.ok());
+  ExtFs& fs = *mount.fs;
+  t = mount.done;
+  std::uint32_t ino = 0;
+  t = fs.create(t, "/big", &ino).done;
+  std::vector<std::byte> chunk(64 << 10, std::byte{0x42});
+  for (int i = 0; i < 64; ++i) {  // 4 MiB total through a 1 MiB window
+    auto wr = fs.write(t, ino, static_cast<std::uint64_t>(i) * chunk.size(),
+                       chunk);
+    ASSERT_TRUE(wr.ok());
+    t = wr.done;
+    // The throttle keeps dirty bytes bounded (one chunk of slack).
+    EXPECT_LE(fs.dirty_bytes(), cfg.dirty_limit_bytes + chunk.size());
+  }
+  EXPECT_GT(fs.stats().throttle_stalls, 0u);
+}
+
+TEST(ExtFsLimitsTest, TxnBlockLimitForcesCommit) {
+  MemDisk disk((512ull << 20) / 512);
+  SimTime t = SimTime::zero();
+  ASSERT_TRUE(ExtFs::mkfs(disk, t).ok());
+  ExtFsConfig cfg;
+  cfg.txn_block_limit = 8;  // tiny transactions
+  auto mount = ExtFs::mount(disk, t, cfg);
+  ASSERT_TRUE(mount.ok());
+  ExtFs& fs = *mount.fs;
+  t = mount.done;
+  // Touching many metadata blocks (files big enough to need indirect
+  // pointer blocks) must trigger inline commits rather than unbounded
+  // transactions.
+  std::vector<std::byte> chunk(32 * kFsBlockSize, std::byte{0x01});
+  for (int i = 0; i < 40; ++i) {
+    std::uint32_t ino = 0;
+    t = fs.create(t, "/f" + std::to_string(i), &ino).done;
+    auto wr = fs.write(t, ino, 0, chunk);
+    ASSERT_TRUE(wr.ok());
+    t = wr.done;
+  }
+  EXPECT_GT(fs.stats().commits, 2u);
+}
+
+}  // namespace
+}  // namespace deepnote::storage

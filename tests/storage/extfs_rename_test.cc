@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "storage/extfs.h"
+#include "storage/mem_disk.h"
+
+namespace deepnote::storage {
+namespace {
+
+using sim::SimTime;
+
+struct RenameFixture {
+  MemDisk disk{(128ull << 20) / 512};
+  std::unique_ptr<ExtFs> fs;
+  SimTime t = SimTime::zero();
+
+  RenameFixture() {
+    EXPECT_TRUE(ExtFs::mkfs(disk, t).ok());
+    auto mount = ExtFs::mount(disk, t);
+    EXPECT_TRUE(mount.ok());
+    fs = std::move(mount.fs);
+    t = mount.done;
+  }
+
+  std::uint32_t create_with(const std::string& path,
+                            const std::string& content) {
+    std::uint32_t ino = 0;
+    auto cr = fs->create(t, path, &ino);
+    EXPECT_TRUE(cr.ok());
+    t = cr.done;
+    std::vector<std::byte> data(content.size());
+    std::memcpy(data.data(), content.data(), content.size());
+    auto wr = fs->write(t, ino, 0, data);
+    EXPECT_TRUE(wr.ok());
+    t = wr.done;
+    return ino;
+  }
+
+  std::string read_all(const std::string& path) {
+    auto lr = fs->lookup(t, path);
+    EXPECT_TRUE(lr.ok());
+    auto st = fs->stat(lr.done, lr.inode);
+    std::vector<std::byte> out(st.size);
+    auto rr = fs->read(st.done, lr.inode, 0, out);
+    EXPECT_TRUE(rr.ok());
+    t = rr.done;
+    return std::string(reinterpret_cast<const char*>(out.data()),
+                       out.size());
+  }
+};
+
+TEST(ExtFsRenameTest, BasicRenameMovesContent) {
+  RenameFixture fx;
+  const std::uint32_t ino = fx.create_with("/old", "payload");
+  ASSERT_TRUE(fx.fs->rename(fx.t, "/old", "/new").ok());
+  EXPECT_EQ(fx.fs->lookup(fx.t, "/old").err, Errno::kENOENT);
+  auto lr = fx.fs->lookup(fx.t, "/new");
+  ASSERT_TRUE(lr.ok());
+  EXPECT_EQ(lr.inode, ino);  // same inode: a true rename, not a copy
+  EXPECT_EQ(fx.read_all("/new"), "payload");
+}
+
+TEST(ExtFsRenameTest, MoveBetweenDirectories) {
+  RenameFixture fx;
+  ASSERT_TRUE(fx.fs->mkdir(fx.t, "/a").ok());
+  ASSERT_TRUE(fx.fs->mkdir(fx.t, "/b").ok());
+  fx.create_with("/a/file", "x");
+  ASSERT_TRUE(fx.fs->rename(fx.t, "/a/file", "/b/file").ok());
+  EXPECT_EQ(fx.fs->lookup(fx.t, "/a/file").err, Errno::kENOENT);
+  EXPECT_TRUE(fx.fs->lookup(fx.t, "/b/file").ok());
+  // /a is now empty and removable.
+  EXPECT_TRUE(fx.fs->unlink(fx.t, "/a").ok());
+}
+
+TEST(ExtFsRenameTest, ReplacesExistingFile) {
+  RenameFixture fx;
+  fx.create_with("/src", "new content");
+  fx.create_with("/dst", "old content");
+  const std::uint64_t free_before = fx.fs->free_inodes();
+  ASSERT_TRUE(fx.fs->rename(fx.t, "/src", "/dst").ok());
+  EXPECT_EQ(fx.read_all("/dst"), "new content");
+  EXPECT_EQ(fx.fs->lookup(fx.t, "/src").err, Errno::kENOENT);
+  // The victim's inode was freed.
+  EXPECT_EQ(fx.fs->free_inodes(), free_before + 1);
+}
+
+TEST(ExtFsRenameTest, DirectoryRename) {
+  RenameFixture fx;
+  ASSERT_TRUE(fx.fs->mkdir(fx.t, "/dir").ok());
+  fx.create_with("/dir/child", "c");
+  ASSERT_TRUE(fx.fs->rename(fx.t, "/dir", "/moved").ok());
+  EXPECT_TRUE(fx.fs->lookup(fx.t, "/moved/child").ok());
+  EXPECT_EQ(fx.fs->lookup(fx.t, "/dir").err, Errno::kENOENT);
+}
+
+TEST(ExtFsRenameTest, CannotReplaceDirectory) {
+  RenameFixture fx;
+  fx.create_with("/f", "x");
+  ASSERT_TRUE(fx.fs->mkdir(fx.t, "/d").ok());
+  EXPECT_EQ(fx.fs->rename(fx.t, "/f", "/d").err, Errno::kEEXIST);
+}
+
+TEST(ExtFsRenameTest, MissingSourceFails) {
+  RenameFixture fx;
+  EXPECT_EQ(fx.fs->rename(fx.t, "/ghost", "/x").err, Errno::kENOENT);
+}
+
+TEST(ExtFsRenameTest, RenameToSelfIsNoop) {
+  RenameFixture fx;
+  fx.create_with("/same", "v");
+  EXPECT_TRUE(fx.fs->rename(fx.t, "/same", "/same").ok());
+  EXPECT_EQ(fx.read_all("/same"), "v");
+}
+
+TEST(ExtFsRenameTest, SurvivesRemountAndFsck) {
+  RenameFixture fx;
+  fx.create_with("/before", "durable");
+  fx.create_with("/victim", "doomed");
+  ASSERT_TRUE(fx.fs->rename(fx.t, "/before", "/victim").ok());
+  ASSERT_TRUE(fx.fs->unmount(fx.t).ok());
+  auto mount = ExtFs::mount(fx.disk, fx.t);
+  ASSERT_TRUE(mount.ok());
+  auto lr = mount.fs->lookup(mount.done, "/victim");
+  ASSERT_TRUE(lr.ok());
+  ASSERT_TRUE(mount.fs->unmount(lr.done).ok());
+  EXPECT_TRUE(ExtFs::fsck(fx.disk, fx.t).clean());
+}
+
+TEST(ExtFsRenameTest, RejectedOnReadOnlyFs) {
+  RenameFixture fx;
+  fx.create_with("/f", "x");
+  fx.disk.set_failing(true);
+  fx.fs->commit(fx.t + sim::Duration::from_seconds(1));
+  fx.disk.set_failing(false);
+  ASSERT_TRUE(fx.fs->read_only());
+  EXPECT_EQ(fx.fs->rename(fx.fs->abort_time(), "/f", "/g").err,
+            Errno::kEROFS);
+}
+
+}  // namespace
+}  // namespace deepnote::storage

@@ -1,0 +1,347 @@
+#include "storage/extfs.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+#include "storage/mem_disk.h"
+
+namespace deepnote::storage {
+namespace {
+
+using sim::SimTime;
+
+constexpr std::uint64_t kDiskSectors = (256ull << 20) / 512;  // 256 MiB
+
+struct Fixture {
+  MemDisk disk{kDiskSectors};
+  std::unique_ptr<ExtFs> fs;
+  sim::SimTime t = SimTime::zero();
+
+  Fixture() {
+    auto mk = ExtFs::mkfs(disk, t);
+    EXPECT_TRUE(mk.ok());
+    auto mount = ExtFs::mount(disk, mk.done);
+    EXPECT_TRUE(mount.ok());
+    fs = std::move(mount.fs);
+    t = mount.done;
+  }
+};
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> v(s.size());
+  std::memcpy(v.data(), s.data(), s.size());
+  return v;
+}
+
+std::string string_of(std::span<const std::byte> v, std::size_t n) {
+  return std::string(reinterpret_cast<const char*>(v.data()), n);
+}
+
+TEST(ExtFsTest, MkfsThenMountIsCleanAndEmpty) {
+  Fixture fx;
+  EXPECT_FALSE(fx.fs->read_only());
+  EXPECT_EQ(fx.fs->error_code(), 0);
+  auto rd = fx.fs->readdir(fx.t, "/");
+  ASSERT_TRUE(rd.ok());
+  EXPECT_TRUE(rd.entries.empty());
+  EXPECT_GT(fx.fs->free_blocks(), 0u);
+  EXPECT_GT(fx.fs->free_inodes(), 0u);
+}
+
+TEST(ExtFsTest, CreateLookupStat) {
+  Fixture fx;
+  std::uint32_t ino = 0;
+  auto cr = fx.fs->create(fx.t, "/hello.txt", &ino);
+  ASSERT_TRUE(cr.ok());
+  EXPECT_NE(ino, 0u);
+  auto lr = fx.fs->lookup(cr.done, "/hello.txt");
+  ASSERT_TRUE(lr.ok());
+  EXPECT_EQ(lr.inode, ino);
+  auto st = fx.fs->stat(lr.done, ino);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.kind, InodeKind::kFile);
+  EXPECT_EQ(st.size, 0u);
+  EXPECT_EQ(st.link_count, 1);
+}
+
+TEST(ExtFsTest, DuplicateCreateFails) {
+  Fixture fx;
+  ASSERT_TRUE(fx.fs->create(fx.t, "/a").ok());
+  EXPECT_EQ(fx.fs->create(fx.t, "/a").err, Errno::kEEXIST);
+}
+
+TEST(ExtFsTest, LookupMissingIsEnoent) {
+  Fixture fx;
+  EXPECT_EQ(fx.fs->lookup(fx.t, "/nope").err, Errno::kENOENT);
+}
+
+TEST(ExtFsTest, WriteReadRoundTrip) {
+  Fixture fx;
+  std::uint32_t ino = 0;
+  fx.t = fx.fs->create(fx.t, "/data", &ino).done;
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  auto wr = fx.fs->write(fx.t, ino, 0, bytes_of(msg));
+  ASSERT_TRUE(wr.ok());
+  EXPECT_EQ(wr.bytes, msg.size());
+  std::vector<std::byte> out(msg.size());
+  auto rr = fx.fs->read(wr.done, ino, 0, out);
+  ASSERT_TRUE(rr.ok());
+  EXPECT_EQ(rr.bytes, msg.size());
+  EXPECT_EQ(string_of(out, msg.size()), msg);
+}
+
+TEST(ExtFsTest, WriteAtOffsetAndSparseHoleReadsZero) {
+  Fixture fx;
+  std::uint32_t ino = 0;
+  fx.t = fx.fs->create(fx.t, "/sparse", &ino).done;
+  const std::uint64_t offset = 3 * kFsBlockSize + 100;
+  auto wr = fx.fs->write(fx.t, ino, offset, bytes_of("X"));
+  ASSERT_TRUE(wr.ok());
+  auto st = fx.fs->stat(wr.done, ino);
+  EXPECT_EQ(st.size, offset + 1);
+  // The hole reads as zeroes.
+  std::vector<std::byte> out(10, std::byte{0xff});
+  auto rr = fx.fs->read(st.done, ino, 0, out);
+  ASSERT_TRUE(rr.ok());
+  for (auto b : out) EXPECT_EQ(b, std::byte{0});
+  // The written byte survives.
+  std::vector<std::byte> one(1);
+  rr = fx.fs->read(rr.done, ino, offset, one);
+  ASSERT_TRUE(rr.ok());
+  EXPECT_EQ(string_of(one, 1), "X");
+}
+
+TEST(ExtFsTest, ReadPastEofReturnsShort) {
+  Fixture fx;
+  std::uint32_t ino = 0;
+  fx.t = fx.fs->create(fx.t, "/f", &ino).done;
+  fx.t = fx.fs->write(fx.t, ino, 0, bytes_of("abc")).done;
+  std::vector<std::byte> out(100);
+  auto rr = fx.fs->read(fx.t, ino, 0, out);
+  EXPECT_EQ(rr.bytes, 3u);
+  rr = fx.fs->read(fx.t, ino, 50, out);
+  EXPECT_EQ(rr.bytes, 0u);
+}
+
+TEST(ExtFsTest, LargeFileThroughIndirectBlocks) {
+  Fixture fx;
+  std::uint32_t ino = 0;
+  fx.t = fx.fs->create(fx.t, "/big", &ino).done;
+  // 1 MiB: beyond the 12 direct blocks (48 KiB) into the indirect range.
+  const std::size_t kSize = 1 << 20;
+  std::vector<std::byte> data(kSize);
+  sim::Rng rng(9);
+  for (auto& b : data) {
+    b = static_cast<std::byte>(rng.next_u64() & 0xff);
+  }
+  auto wr = fx.fs->write(fx.t, ino, 0, data);
+  ASSERT_TRUE(wr.ok());
+  // Push it out and read back through the device.
+  auto sy = fx.fs->sync(wr.done);
+  ASSERT_TRUE(sy.ok());
+  std::vector<std::byte> out(kSize);
+  auto rr = fx.fs->read(sy.done, ino, 0, out);
+  ASSERT_TRUE(rr.ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(ExtFsTest, VeryLargeFileThroughDoubleIndirect) {
+  Fixture fx;
+  std::uint32_t ino = 0;
+  fx.t = fx.fs->create(fx.t, "/huge", &ino).done;
+  // Offset beyond direct (48 KiB) + single indirect (4 MiB).
+  const std::uint64_t offset = (12ull + kPtrsPerBlock + 5) * kFsBlockSize;
+  auto wr = fx.fs->write(fx.t, ino, offset, bytes_of("deep"));
+  ASSERT_TRUE(wr.ok());
+  ASSERT_TRUE(fx.fs->sync(wr.done).ok());
+  std::vector<std::byte> out(4);
+  auto rr = fx.fs->read(fx.t, ino, offset, out);
+  ASSERT_TRUE(rr.ok());
+  EXPECT_EQ(string_of(out, 4), "deep");
+}
+
+TEST(ExtFsTest, MkdirAndNestedPaths) {
+  Fixture fx;
+  ASSERT_TRUE(fx.fs->mkdir(fx.t, "/a").ok());
+  ASSERT_TRUE(fx.fs->mkdir(fx.t, "/a/b").ok());
+  ASSERT_TRUE(fx.fs->create(fx.t, "/a/b/c.txt").ok());
+  auto lr = fx.fs->lookup(fx.t, "/a/b/c.txt");
+  EXPECT_TRUE(lr.ok());
+  // Not a directory: path through a file fails.
+  EXPECT_EQ(fx.fs->create(fx.t, "/a/b/c.txt/d").err, Errno::kENOTDIR);
+  // Missing intermediate.
+  EXPECT_EQ(fx.fs->create(fx.t, "/a/x/y").err, Errno::kENOENT);
+}
+
+TEST(ExtFsTest, ReaddirListsEntries) {
+  Fixture fx;
+  ASSERT_TRUE(fx.fs->mkdir(fx.t, "/dir").ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        fx.fs->create(fx.t, "/dir/f" + std::to_string(i)).ok());
+  }
+  auto rd = fx.fs->readdir(fx.t, "/dir");
+  ASSERT_TRUE(rd.ok());
+  EXPECT_EQ(rd.entries.size(), 10u);
+  for (const auto& e : rd.entries) {
+    EXPECT_EQ(e.kind, InodeKind::kFile);
+    EXPECT_EQ(e.name.substr(0, 1), "f");
+  }
+}
+
+TEST(ExtFsTest, ManyFilesInOneDirectorySpillDirBlocks) {
+  Fixture fx;
+  // 64 dirents per block: 200 files need several directory blocks.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(fx.fs->create(fx.t, "/file" + std::to_string(i)).ok())
+        << i;
+  }
+  auto rd = fx.fs->readdir(fx.t, "/");
+  ASSERT_TRUE(rd.ok());
+  EXPECT_EQ(rd.entries.size(), 200u);
+}
+
+TEST(ExtFsTest, UnlinkFreesSpace) {
+  Fixture fx;
+  std::uint32_t ino = 0;
+  fx.t = fx.fs->create(fx.t, "/victim", &ino).done;
+  // Measured after create: the root directory block stays allocated.
+  const std::uint64_t free_before = fx.fs->free_blocks();
+  std::vector<std::byte> data(64 * kFsBlockSize, std::byte{1});
+  fx.t = fx.fs->write(fx.t, ino, 0, data).done;
+  ASSERT_TRUE(fx.fs->sync(fx.t).ok());
+  EXPECT_LT(fx.fs->free_blocks(), free_before);
+  ASSERT_TRUE(fx.fs->unlink(fx.t, "/victim").ok());
+  EXPECT_EQ(fx.fs->free_blocks(), free_before);
+  EXPECT_EQ(fx.fs->lookup(fx.t, "/victim").err, Errno::kENOENT);
+}
+
+TEST(ExtFsTest, UnlinkNonEmptyDirectoryFails) {
+  Fixture fx;
+  ASSERT_TRUE(fx.fs->mkdir(fx.t, "/d").ok());
+  ASSERT_TRUE(fx.fs->create(fx.t, "/d/f").ok());
+  EXPECT_EQ(fx.fs->unlink(fx.t, "/d").err, Errno::kENOTEMPTY);
+  ASSERT_TRUE(fx.fs->unlink(fx.t, "/d/f").ok());
+  EXPECT_TRUE(fx.fs->unlink(fx.t, "/d").ok());
+}
+
+TEST(ExtFsTest, TruncateToZeroReleasesBlocks) {
+  Fixture fx;
+  std::uint32_t ino = 0;
+  fx.t = fx.fs->create(fx.t, "/t", &ino).done;
+  const std::uint64_t free_before = fx.fs->free_blocks();
+  std::vector<std::byte> data(32 * kFsBlockSize, std::byte{2});
+  fx.t = fx.fs->write(fx.t, ino, 0, data).done;
+  ASSERT_TRUE(fx.fs->sync(fx.t).ok());
+  ASSERT_TRUE(fx.fs->truncate(fx.t, ino, 0).ok());
+  auto st = fx.fs->stat(fx.t, ino);
+  EXPECT_EQ(st.size, 0u);
+  // Only the inode remains; all data blocks returned.
+  EXPECT_EQ(fx.fs->free_blocks(), free_before);
+}
+
+TEST(ExtFsTest, PersistenceAcrossRemount) {
+  MemDisk disk(kDiskSectors);
+  SimTime t = SimTime::zero();
+  ASSERT_TRUE(ExtFs::mkfs(disk, t).ok());
+  {
+    auto mount = ExtFs::mount(disk, t);
+    ASSERT_TRUE(mount.ok());
+    std::uint32_t ino = 0;
+    t = mount.fs->create(mount.done, "/persist", &ino).done;
+    t = mount.fs->write(t, ino, 0, bytes_of("durable")).done;
+    ASSERT_TRUE(mount.fs->unmount(t).ok());
+  }
+  {
+    auto mount = ExtFs::mount(disk, t);
+    ASSERT_TRUE(mount.ok());
+    auto lr = mount.fs->lookup(mount.done, "/persist");
+    ASSERT_TRUE(lr.ok());
+    std::vector<std::byte> out(7);
+    auto rr = mount.fs->read(lr.done, lr.inode, 0, out);
+    ASSERT_TRUE(rr.ok());
+    EXPECT_EQ(string_of(out, 7), "durable");
+  }
+}
+
+TEST(ExtFsTest, FsckCleanAfterActivity) {
+  MemDisk disk(kDiskSectors);
+  SimTime t = SimTime::zero();
+  ASSERT_TRUE(ExtFs::mkfs(disk, t).ok());
+  auto mount = ExtFs::mount(disk, t);
+  ASSERT_TRUE(mount.ok());
+  ExtFs& fs = *mount.fs;
+  t = mount.done;
+  ASSERT_TRUE(fs.mkdir(t, "/x").ok());
+  for (int i = 0; i < 20; ++i) {
+    std::uint32_t ino = 0;
+    t = fs.create(t, "/x/f" + std::to_string(i), &ino).done;
+    std::vector<std::byte> data((static_cast<std::size_t>(i) + 1) * 1000,
+                                std::byte{7});
+    t = fs.write(t, ino, 0, data).done;
+  }
+  t = fs.unlink(t, "/x/f3").done;
+  t = fs.unlink(t, "/x/f7").done;
+  ASSERT_TRUE(fs.unmount(t).ok());
+  const auto report = ExtFs::fsck(disk, t);
+  EXPECT_TRUE(report.clean()) << (report.problems.empty()
+                                      ? "io error"
+                                      : report.problems.front());
+}
+
+TEST(ExtFsTest, JournalAbortMakesFsReadOnlyWithMinusFive) {
+  MemDisk disk(kDiskSectors);
+  SimTime t = SimTime::zero();
+  ASSERT_TRUE(ExtFs::mkfs(disk, t).ok());
+  auto mount = ExtFs::mount(disk, t);
+  ASSERT_TRUE(mount.ok());
+  ExtFs& fs = *mount.fs;
+  std::uint32_t ino = 0;
+  t = fs.create(mount.done, "/f", &ino).done;
+  disk.set_failing(true);
+  const FsResult cr = fs.commit(t);
+  EXPECT_EQ(cr.err, Errno::kEIO);
+  EXPECT_TRUE(fs.read_only());
+  EXPECT_EQ(fs.error_code(), -5);  // the paper's Ext4 failure signature
+  disk.set_failing(false);
+  // The abort takes effect at its completion time.
+  const SimTime after = fs.abort_time();
+  EXPECT_TRUE(fs.read_only_at(after));
+  EXPECT_EQ(fs.create(after, "/g").err, Errno::kEROFS);
+  EXPECT_EQ(fs.write(after, ino, 0, bytes_of("x")).err, Errno::kEROFS);
+}
+
+TEST(ExtFsTest, InvalidPathsRejected) {
+  Fixture fx;
+  EXPECT_EQ(fx.fs->create(fx.t, "relative").err, Errno::kEINVAL);
+  EXPECT_EQ(fx.fs->create(fx.t, "").err, Errno::kEINVAL);
+  const std::string long_name(100, 'x');
+  EXPECT_EQ(fx.fs->create(fx.t, "/" + long_name).err,
+            Errno::kENAMETOOLONG);
+}
+
+TEST(ExtFsTest, FsyncMakesDataDurableImmediately) {
+  MemDisk disk(kDiskSectors);
+  SimTime t = SimTime::zero();
+  ASSERT_TRUE(ExtFs::mkfs(disk, t).ok());
+  auto mount = ExtFs::mount(disk, t);
+  ExtFs& fs = *mount.fs;
+  std::uint32_t ino = 0;
+  t = fs.create(mount.done, "/f", &ino).done;
+  t = fs.write(t, ino, 0, bytes_of("synced")).done;
+  ASSERT_TRUE(fs.fsync(t, ino).ok());
+  EXPECT_EQ(fs.dirty_bytes(), 0u);
+}
+
+TEST(ExtFsTest, MountRejectsGarbageSuperblock) {
+  MemDisk disk(kDiskSectors);
+  auto mount = ExtFs::mount(disk, SimTime::zero());
+  EXPECT_EQ(mount.err, Errno::kEINVAL);
+  EXPECT_EQ(mount.fs, nullptr);
+}
+
+}  // namespace
+}  // namespace deepnote::storage

@@ -1,0 +1,172 @@
+// Negative tests for the offline checker: fsck must *detect* each class
+// of corruption it claims to check.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "storage/extfs.h"
+#include "storage/mem_disk.h"
+
+namespace deepnote::storage {
+namespace {
+
+using sim::SimTime;
+
+constexpr std::uint64_t kDiskSectors = (128ull << 20) / 512;
+
+struct CorruptFixture {
+  MemDisk disk{kDiskSectors};
+  SuperblockDisk sb;
+  SimTime t = SimTime::zero();
+
+  CorruptFixture() {
+    EXPECT_TRUE(ExtFs::mkfs(disk, t).ok());
+    auto mount = ExtFs::mount(disk, t);
+    EXPECT_TRUE(mount.ok());
+    ExtFs& fs = *mount.fs;
+    t = mount.done;
+    std::uint32_t ino = 0;
+    t = fs.create(t, "/a", &ino).done;
+    std::vector<std::byte> data(8 * kFsBlockSize, std::byte{0x11});
+    t = fs.write(t, ino, 0, data).done;
+    t = fs.create(t, "/b").done;
+    EXPECT_TRUE(fs.unmount(t).ok());
+    read_sb();
+    // Sanity: clean before corruption.
+    EXPECT_TRUE(ExtFs::fsck(disk, t).clean());
+  }
+
+  void read_sb() {
+    std::vector<std::byte> blk(kFsBlockSize);
+    disk.read(t, 0, kFsSectorsPerBlock, blk);
+    std::memcpy(&sb, blk.data(), sizeof(sb));
+  }
+
+  std::vector<std::byte> read_block(std::uint32_t no) {
+    std::vector<std::byte> blk(kFsBlockSize);
+    disk.read(t, static_cast<std::uint64_t>(no) * kFsSectorsPerBlock,
+              kFsSectorsPerBlock, blk);
+    return blk;
+  }
+
+  void write_block(std::uint32_t no, const std::vector<std::byte>& blk) {
+    disk.write(t, static_cast<std::uint64_t>(no) * kFsSectorsPerBlock,
+               kFsSectorsPerBlock, blk);
+  }
+
+  InodeDisk read_inode(std::uint32_t ino, std::uint32_t* block_out = nullptr,
+                       std::uint32_t* offset_out = nullptr) {
+    const std::uint32_t block = sb.inode_table_start + ino / kInodesPerBlock;
+    const std::uint32_t offset = (ino % kInodesPerBlock) * kInodeSize;
+    auto blk = read_block(block);
+    InodeDisk inode;
+    std::memcpy(&inode, blk.data() + offset, sizeof(inode));
+    if (block_out) *block_out = block;
+    if (offset_out) *offset_out = offset;
+    return inode;
+  }
+
+  void write_inode(std::uint32_t ino, const InodeDisk& inode) {
+    std::uint32_t block = 0, offset = 0;
+    read_inode(ino, &block, &offset);
+    auto blk = read_block(block);
+    std::memcpy(blk.data() + offset, &inode, sizeof(inode));
+    write_block(block, blk);
+  }
+
+  bool fsck_flags(const std::string& needle) {
+    const auto report = ExtFs::fsck(disk, t);
+    for (const auto& p : report.problems) {
+      if (p.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+};
+
+TEST(FsckTest, DetectsBlockMarkedUsedButUnreferenced) {
+  CorruptFixture fx;
+  // Set a random free data-region bit in the block bitmap.
+  auto bm = fx.read_block(fx.sb.block_bitmap_start);
+  const std::uint32_t victim = fx.sb.data_start + 500;
+  bm[victim / 8] = static_cast<std::byte>(
+      static_cast<unsigned char>(bm[victim / 8]) | (1u << (victim % 8)));
+  fx.write_block(fx.sb.block_bitmap_start, bm);
+  EXPECT_TRUE(fx.fsck_flags("marked used but unreferenced"));
+}
+
+TEST(FsckTest, DetectsReferencedBlockMarkedFree) {
+  CorruptFixture fx;
+  // Clear the bitmap bit of one of /a's data blocks.
+  const InodeDisk a = fx.read_inode(2);  // first created inode after root
+  ASSERT_NE(a.direct[0], 0u);
+  auto bm = fx.read_block(fx.sb.block_bitmap_start);
+  const std::uint32_t victim = a.direct[0];
+  bm[victim / 8] = static_cast<std::byte>(
+      static_cast<unsigned char>(bm[victim / 8]) & ~(1u << (victim % 8)));
+  fx.write_block(fx.sb.block_bitmap_start, bm);
+  EXPECT_TRUE(fx.fsck_flags("referenced but marked free"));
+}
+
+TEST(FsckTest, DetectsMultiplyReferencedBlock) {
+  CorruptFixture fx;
+  // Point /b's first block at /a's first block.
+  const InodeDisk a = fx.read_inode(2);
+  InodeDisk b = fx.read_inode(3);
+  b.direct[0] = a.direct[0];
+  b.size_bytes = kFsBlockSize;
+  fx.write_inode(3, b);
+  EXPECT_TRUE(fx.fsck_flags("multiply referenced"));
+}
+
+TEST(FsckTest, DetectsUnreachableInode) {
+  CorruptFixture fx;
+  // Allocate a new inode directly in the table + bitmap but link it
+  // nowhere.
+  InodeDisk ghost;
+  ghost.kind = static_cast<std::uint16_t>(InodeKind::kFile);
+  ghost.link_count = 1;
+  fx.write_inode(7, ghost);
+  auto bm = fx.read_block(fx.sb.inode_bitmap_start);
+  bm[0] = static_cast<std::byte>(static_cast<unsigned char>(bm[0]) | 0x80);
+  fx.write_block(fx.sb.inode_bitmap_start, bm);
+  EXPECT_TRUE(fx.fsck_flags("unreachable from root"));
+}
+
+TEST(FsckTest, DetectsDanglingDirent) {
+  CorruptFixture fx;
+  // Mark /b's inode free in the table while its dirent remains.
+  InodeDisk b = fx.read_inode(3);
+  b.kind = static_cast<std::uint16_t>(InodeKind::kFree);
+  fx.write_inode(3, b);
+  EXPECT_TRUE(fx.fsck_flags("points to unallocated inode"));
+}
+
+TEST(FsckTest, DetectsBadLinkCount) {
+  CorruptFixture fx;
+  InodeDisk a = fx.read_inode(2);
+  a.link_count = 9;
+  fx.write_inode(2, a);
+  EXPECT_TRUE(fx.fsck_flags("link count"));
+}
+
+TEST(FsckTest, DetectsBlockOutsideDataRegion) {
+  CorruptFixture fx;
+  InodeDisk a = fx.read_inode(2);
+  a.direct[1] = 1;  // inside the journal area
+  fx.write_inode(2, a);
+  EXPECT_TRUE(fx.fsck_flags("outside data region"));
+}
+
+TEST(FsckTest, DetectsBadSuperblock) {
+  CorruptFixture fx;
+  auto blk = fx.read_block(0);
+  blk[0] = std::byte{0xde};
+  fx.write_block(0, blk);
+  const auto report = ExtFs::fsck(fx.disk, fx.t);
+  EXPECT_FALSE(report.clean());
+}
+
+}  // namespace
+}  // namespace deepnote::storage

@@ -1,0 +1,175 @@
+#include "storage/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "storage/mem_disk.h"
+
+namespace deepnote::storage {
+namespace {
+
+using sim::SimTime;
+
+constexpr std::uint32_t kJournalStart = 1;
+constexpr std::uint32_t kJournalBlocks = 64;
+
+std::vector<std::byte> payload_block(std::uint8_t fill) {
+  return std::vector<std::byte>(kFsBlockSize, static_cast<std::byte>(fill));
+}
+
+JournalBlock make_block(std::uint32_t home, std::uint8_t fill) {
+  return JournalBlock{home, payload_block(fill)};
+}
+
+std::vector<std::byte> read_home(MemDisk& disk, std::uint32_t block) {
+  std::vector<std::byte> out(kFsBlockSize);
+  disk.read(SimTime::zero(), static_cast<std::uint64_t>(block) *
+                                 kFsSectorsPerBlock,
+            kFsSectorsPerBlock, out);
+  return out;
+}
+
+TEST(JournalTest, CommitThenReplayAppliesHomeWrites) {
+  MemDisk disk(4096);
+  {
+    Journal journal(disk, kJournalStart, kJournalBlocks, 1);
+    const JournalResult r = journal.commit(
+        SimTime::zero(), {make_block(100, 0xaa), make_block(101, 0xbb)});
+    ASSERT_TRUE(r.ok());
+  }
+  // Home locations untouched before replay.
+  EXPECT_EQ(read_home(disk, 100)[0], std::byte{0});
+  Journal recovery(disk, kJournalStart, kJournalBlocks, 1);
+  std::uint64_t applied = 0;
+  const JournalResult r = recovery.replay(SimTime::zero(), &applied);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(applied, 1u);
+  EXPECT_EQ(read_home(disk, 100), payload_block(0xaa));
+  EXPECT_EQ(read_home(disk, 101), payload_block(0xbb));
+}
+
+TEST(JournalTest, MultipleTransactionsReplayInOrder) {
+  MemDisk disk(4096);
+  {
+    Journal journal(disk, kJournalStart, kJournalBlocks, 1);
+    // Same home block written twice: the later transaction must win.
+    ASSERT_TRUE(journal.commit(SimTime::zero(), {make_block(50, 0x01)}).ok());
+    ASSERT_TRUE(journal.commit(SimTime::zero(), {make_block(50, 0x02)}).ok());
+  }
+  Journal recovery(disk, kJournalStart, kJournalBlocks, 1);
+  std::uint64_t applied = 0;
+  ASSERT_TRUE(recovery.replay(SimTime::zero(), &applied).ok());
+  EXPECT_EQ(applied, 2u);
+  EXPECT_EQ(read_home(disk, 50), payload_block(0x02));
+  EXPECT_EQ(recovery.next_sequence(), 3u);
+}
+
+TEST(JournalTest, TornCommitIsIgnored) {
+  MemDisk disk(4096);
+  {
+    Journal journal(disk, kJournalStart, kJournalBlocks, 1);
+    ASSERT_TRUE(journal.commit(SimTime::zero(), {make_block(60, 0x10)}).ok());
+  }
+  // Corrupt the commit record of the only transaction (journal block 2:
+  // descriptor=0, payload=1, commit=2).
+  std::vector<std::byte> garbage(kFsBlockSize, std::byte{0xff});
+  disk.write(SimTime::zero(),
+             static_cast<std::uint64_t>(kJournalStart + 2) *
+                 kFsSectorsPerBlock,
+             kFsSectorsPerBlock, garbage);
+  Journal recovery(disk, kJournalStart, kJournalBlocks, 1);
+  std::uint64_t applied = 0;
+  ASSERT_TRUE(recovery.replay(SimTime::zero(), &applied).ok());
+  EXPECT_EQ(applied, 0u);
+  EXPECT_EQ(read_home(disk, 60)[0], std::byte{0});
+}
+
+TEST(JournalTest, ChecksumMismatchRejectsTransaction) {
+  MemDisk disk(4096);
+  {
+    Journal journal(disk, kJournalStart, kJournalBlocks, 1);
+    ASSERT_TRUE(journal.commit(SimTime::zero(), {make_block(70, 0x33)}).ok());
+  }
+  // Corrupt the payload copy (journal block 1) but leave the commit block.
+  std::vector<std::byte> garbage(kFsBlockSize, std::byte{0x44});
+  disk.write(SimTime::zero(),
+             static_cast<std::uint64_t>(kJournalStart + 1) *
+                 kFsSectorsPerBlock,
+             kFsSectorsPerBlock, garbage);
+  Journal recovery(disk, kJournalStart, kJournalBlocks, 1);
+  std::uint64_t applied = 0;
+  ASSERT_TRUE(recovery.replay(SimTime::zero(), &applied).ok());
+  EXPECT_EQ(applied, 0u);
+}
+
+TEST(JournalTest, AbortsWithMinusFiveOnDeviceError) {
+  MemDisk disk(4096);
+  Journal journal(disk, kJournalStart, kJournalBlocks, 1);
+  disk.set_failing(true);
+  const JournalResult r =
+      journal.commit(SimTime::zero(), {make_block(80, 0x01)});
+  EXPECT_EQ(r.err, Errno::kEIO);
+  EXPECT_TRUE(journal.aborted());
+  EXPECT_EQ(journal.abort_code(), -5);  // the paper's JBD error code
+  // Subsequent commits fail fast even after the device recovers.
+  disk.set_failing(false);
+  EXPECT_EQ(journal.commit(SimTime::zero(), {make_block(81, 0x02)}).err,
+            Errno::kEIO);
+}
+
+TEST(JournalTest, WrapsWhenTailRunsOut) {
+  MemDisk disk(8192);
+  Journal journal(disk, kJournalStart, 16, 1);
+  // Each txn consumes 3 blocks (desc + 1 payload + commit): five commits
+  // force a wrap in a 16-block journal.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(
+        journal
+            .commit(SimTime::zero(),
+                    {make_block(200 + static_cast<std::uint32_t>(i),
+                                static_cast<std::uint8_t>(i))})
+            .ok())
+        << i;
+  }
+  EXPECT_EQ(journal.next_sequence(), 7u);
+}
+
+TEST(JournalTest, ClearEmptiesJournal) {
+  MemDisk disk(4096);
+  Journal journal(disk, kJournalStart, kJournalBlocks, 1);
+  ASSERT_TRUE(journal.commit(SimTime::zero(), {make_block(90, 0x77)}).ok());
+  ASSERT_TRUE(journal.clear(SimTime::zero()).ok());
+  Journal recovery(disk, kJournalStart, kJournalBlocks, 1);
+  std::uint64_t applied = 0;
+  ASSERT_TRUE(recovery.replay(SimTime::zero(), &applied).ok());
+  EXPECT_EQ(applied, 0u);
+}
+
+TEST(JournalTest, EmptyCommitIsNoop) {
+  MemDisk disk(4096);
+  Journal journal(disk, kJournalStart, kJournalBlocks, 1);
+  const JournalResult r = journal.commit(SimTime::zero(), {});
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(journal.next_sequence(), 1u);
+}
+
+TEST(JournalTest, OversizedTransactionThrows) {
+  MemDisk disk(4096);
+  Journal journal(disk, kJournalStart, 8, 1);
+  std::vector<JournalBlock> blocks;
+  for (std::uint32_t i = 0; i < 10; ++i) blocks.push_back(make_block(i, 1));
+  EXPECT_THROW(journal.commit(SimTime::zero(), blocks),
+               std::invalid_argument);
+}
+
+TEST(JournalTest, SequencePersistsAcrossCommits) {
+  MemDisk disk(4096);
+  Journal journal(disk, kJournalStart, kJournalBlocks, 41);
+  ASSERT_TRUE(journal.commit(SimTime::zero(), {make_block(10, 1)}).ok());
+  EXPECT_EQ(journal.next_sequence(), 42u);
+}
+
+}  // namespace
+}  // namespace deepnote::storage

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "storage/kvdb/db.h"
+#include "storage/mem_disk.h"
+
+namespace deepnote::storage::kvdb {
+namespace {
+
+using sim::SimTime;
+
+struct VerifyFixture {
+  MemDisk disk{(512ull << 20) / 512};
+  std::unique_ptr<ExtFs> fs;
+  std::unique_ptr<Db> db;
+  SimTime t = SimTime::zero();
+
+  VerifyFixture() {
+    EXPECT_TRUE(ExtFs::mkfs(disk, t).ok());
+    auto mount = ExtFs::mount(disk, t);
+    EXPECT_TRUE(mount.ok());
+    fs = std::move(mount.fs);
+    DbConfig cfg;
+    cfg.write_buffer_bytes = 256 << 10;
+    auto open = Db::open(*fs, mount.done, cfg);
+    EXPECT_TRUE(open.ok());
+    db = std::move(open.db);
+    t = open.done;
+  }
+
+  void fill(int n) {
+    for (int i = 0; i < n; ++i) {
+      auto r = db->put(t, "key" + std::to_string(i), "v");
+      if (r.err == Errno::kEAGAIN || db->flush_pending()) {
+        t = db->do_flush(t).done;
+        if (r.err == Errno::kEAGAIN) {
+          --i;
+          continue;
+        }
+      }
+      ASSERT_TRUE(r.ok());
+      t = r.done;
+    }
+    auto fr = db->flush(t);
+    ASSERT_TRUE(fr.ok());
+    t = fr.done;
+  }
+};
+
+TEST(KvdbVerifyTest, HealthyStoreIsClean) {
+  VerifyFixture fx;
+  fx.fill(20000);
+  ASSERT_GT(fx.db->l0_count() + fx.db->l1_count(), 0u);
+  const auto report = fx.db->verify_integrity(fx.t);
+  EXPECT_TRUE(report.clean())
+      << (report.problems.empty() ? "io" : report.problems.front());
+}
+
+TEST(KvdbVerifyTest, EmptyStoreIsClean) {
+  VerifyFixture fx;
+  EXPECT_TRUE(fx.db->verify_integrity(fx.t).clean());
+}
+
+TEST(KvdbVerifyTest, DetectsCorruptedSstData) {
+  VerifyFixture fx;
+  fx.fill(20000);
+  // Find an SST file and scribble over its first data block through the
+  // filesystem.
+  auto rd = fx.fs->readdir(fx.t, "/db");
+  ASSERT_TRUE(rd.ok());
+  std::string victim;
+  for (const auto& e : rd.entries) {
+    if (e.name.find(".l1") != std::string::npos ||
+        e.name.find(".l0") != std::string::npos) {
+      victim = "/db/" + e.name;
+      break;
+    }
+  }
+  ASSERT_FALSE(victim.empty());
+  auto lr = fx.fs->lookup(fx.t, victim);
+  ASSERT_TRUE(lr.ok());
+  std::vector<std::byte> garbage(256, std::byte{0xfe});
+  ASSERT_TRUE(fx.fs->write(lr.done, lr.inode, 64, garbage).ok());
+
+  const auto report = fx.db->verify_integrity(fx.t);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(KvdbVerifyTest, CleanAfterCompaction) {
+  VerifyFixture fx;
+  // Enough churn for several flushes + a compaction.
+  for (int round = 0; round < 3; ++round) {
+    fx.fill(15000);
+  }
+  EXPECT_GT(fx.db->stats().compactions, 0u);
+  EXPECT_TRUE(fx.db->verify_integrity(fx.t).clean());
+}
+
+}  // namespace
+}  // namespace deepnote::storage::kvdb

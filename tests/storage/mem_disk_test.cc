@@ -1,0 +1,62 @@
+#include "storage/mem_disk.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace deepnote::storage {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+TEST(MemDiskTest, RoundTrip) {
+  MemDisk disk(1024);
+  std::vector<std::byte> in(8 * kBlockSectorSize, std::byte{0x5a});
+  BlockIo w = disk.write(SimTime::zero(), 16, 8, in);
+  ASSERT_TRUE(w.ok());
+  std::vector<std::byte> out(in.size());
+  BlockIo r = disk.read(w.complete, 16, 8, out);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(out, in);
+}
+
+TEST(MemDiskTest, ConstantLatency) {
+  MemDisk disk(1024, Duration::from_micros(50));
+  std::vector<std::byte> buf(kBlockSectorSize);
+  BlockIo io = disk.read(SimTime::from_seconds(1), 0, 1, buf);
+  EXPECT_EQ((io.complete - SimTime::from_seconds(1)).micros(), 50.0);
+}
+
+TEST(MemDiskTest, FailInjection) {
+  MemDisk disk(1024);
+  std::vector<std::byte> buf(kBlockSectorSize);
+  disk.set_failing(true);
+  EXPECT_FALSE(disk.read(SimTime::zero(), 0, 1, buf).ok());
+  EXPECT_FALSE(disk.write(SimTime::zero(), 0, 1, buf).ok());
+  EXPECT_FALSE(disk.flush(SimTime::zero()).ok());
+  disk.set_failing(false);
+  EXPECT_TRUE(disk.read(SimTime::zero(), 0, 1, buf).ok());
+}
+
+TEST(MemDiskTest, FailAfterCountdown) {
+  MemDisk disk(1024);
+  std::vector<std::byte> buf(kBlockSectorSize);
+  disk.fail_after(2);
+  EXPECT_TRUE(disk.read(SimTime::zero(), 0, 1, buf).ok());
+  EXPECT_TRUE(disk.read(SimTime::zero(), 0, 1, buf).ok());
+  EXPECT_FALSE(disk.read(SimTime::zero(), 0, 1, buf).ok());
+  EXPECT_FALSE(disk.flush(SimTime::zero()).ok());
+}
+
+TEST(MemDiskTest, BoundsChecked) {
+  MemDisk disk(10);
+  std::vector<std::byte> buf(kBlockSectorSize);
+  EXPECT_THROW(disk.read(SimTime::zero(), 10, 1, buf), std::out_of_range);
+  EXPECT_THROW(disk.write(SimTime::zero(), 9, 2,
+                          std::vector<std::byte>(2 * kBlockSectorSize)),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace deepnote::storage

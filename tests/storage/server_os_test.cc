@@ -1,0 +1,125 @@
+#include "storage/server_os.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/extfs.h"
+#include "storage/mem_disk.h"
+
+namespace deepnote::storage {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+struct OsFixture {
+  MemDisk disk{(128ull << 20) / 512};
+  std::unique_ptr<ExtFs> fs;
+  SimTime t = SimTime::zero();
+
+  OsFixture() {
+    EXPECT_TRUE(ExtFs::mkfs(disk, t).ok());
+    auto mount = ExtFs::mount(disk, t);
+    EXPECT_TRUE(mount.ok());
+    fs = std::move(mount.fs);
+    t = mount.done;
+  }
+};
+
+TEST(ServerOsTest, BootCreatesSystemFiles) {
+  OsFixture fx;
+  ServerOs os(*fx.fs);
+  auto boot = os.boot(fx.t);
+  ASSERT_TRUE(boot.ok());
+  EXPECT_TRUE(fx.fs->lookup(boot.done, "/bin/ls").ok());
+  EXPECT_TRUE(fx.fs->lookup(boot.done, "/var/log/syslog").ok());
+  EXPECT_FALSE(os.crashed());
+}
+
+TEST(ServerOsTest, TicksAppendToSyslog) {
+  OsFixture fx;
+  ServerOs os(*fx.fs);
+  auto boot = os.boot(fx.t);
+  ASSERT_TRUE(boot.ok());
+  auto lr = fx.fs->lookup(boot.done, "/var/log/syslog");
+  const auto size_before = fx.fs->stat(boot.done, lr.inode).size;
+  SimTime t = os.next_tick();
+  for (int i = 0; i < 5; ++i) {
+    auto r = os.tick(t);
+    ASSERT_TRUE(r.ok());
+    t = os.next_tick();
+  }
+  EXPECT_EQ(os.ticks(), 5u);
+  const auto size_after = fx.fs->stat(t, lr.inode).size;
+  EXPECT_GT(size_after, size_before);
+}
+
+TEST(ServerOsTest, TickCadenceIsConfigurable) {
+  OsFixture fx;
+  ServerOsConfig cfg;
+  cfg.tick_interval = Duration::from_seconds(2.0);
+  ServerOs os(*fx.fs, cfg);
+  auto boot = os.boot(fx.t);
+  ASSERT_TRUE(boot.ok());
+  const SimTime first = os.next_tick();
+  os.tick(first);
+  EXPECT_EQ((os.next_tick() - first).seconds(), 2.0);
+}
+
+TEST(ServerOsTest, CrashesWhenRootFsAborts) {
+  OsFixture fx;
+  ServerOs os(*fx.fs);
+  auto boot = os.boot(fx.t);
+  ASSERT_TRUE(boot.ok());
+  // Wound the filesystem: journal abort.
+  SimTime t = os.next_tick();
+  os.tick(t);
+  fx.disk.set_failing(true);
+  fx.fs->create(t, "/x");  // dirty the txn
+  fx.fs->commit(t + Duration::from_millis(1));
+  ASSERT_TRUE(fx.fs->read_only());
+  fx.disk.set_failing(false);
+  // The next tick after the abort time sees the dead root fs.
+  const SimTime after = sim::max(os.next_tick(), fx.fs->abort_time());
+  auto r = os.tick(after);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(os.crashed());
+  EXPECT_NE(os.crash_reason().find("read-only"), std::string::npos);
+  EXPECT_EQ(os.crash_time(), after);
+}
+
+TEST(ServerOsTest, CrashedOsRejectsFurtherTicks) {
+  OsFixture fx;
+  ServerOs os(*fx.fs);
+  auto boot = os.boot(fx.t);
+  ASSERT_TRUE(boot.ok());
+  fx.disk.set_failing(true);
+  fx.fs->create(boot.done, "/x");
+  fx.fs->commit(boot.done + Duration::from_millis(1));
+  fx.disk.set_failing(false);
+  const SimTime after = sim::max(os.next_tick(), fx.fs->abort_time());
+  os.tick(after);
+  ASSERT_TRUE(os.crashed());
+  const auto r = os.tick(after + Duration::from_seconds(1));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(os.ticks(), 1u);  // no further activity
+}
+
+TEST(ServerOsTest, RebootOnExistingFilesystem) {
+  OsFixture fx;
+  {
+    ServerOs os(*fx.fs);
+    auto boot = os.boot(fx.t);
+    ASSERT_TRUE(boot.ok());
+    fx.t = os.next_tick();
+    os.tick(fx.t);
+  }
+  // Second boot must attach to the existing /bin and /var/log.
+  ServerOs os2(*fx.fs);
+  auto boot2 = os2.boot(fx.t);
+  EXPECT_TRUE(boot2.ok());
+  auto r = os2.tick(os2.next_tick());
+  EXPECT_TRUE(r.ok());
+}
+
+}  // namespace
+}  // namespace deepnote::storage

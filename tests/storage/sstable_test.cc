@@ -1,0 +1,183 @@
+#include "storage/kvdb/sstable.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/rng.h"
+#include "storage/kvdb/bloom.h"
+#include "storage/mem_disk.h"
+
+namespace deepnote::storage::kvdb {
+namespace {
+
+using sim::SimTime;
+
+// ---------------------------------------------------------------------------
+// Bloom filter
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilter bloom(1000);
+  for (int i = 0; i < 1000; ++i) bloom.add("key" + std::to_string(i));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(bloom.may_contain("key" + std::to_string(i))) << i;
+  }
+}
+
+TEST(BloomTest, LowFalsePositiveRate) {
+  BloomFilter bloom(1000);
+  for (int i = 0; i < 1000; ++i) bloom.add("key" + std::to_string(i));
+  int fp = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (bloom.may_contain("absent" + std::to_string(i))) ++fp;
+  }
+  // 10 bits/key: ~1% expected; allow 3%.
+  EXPECT_LT(fp, 300);
+}
+
+TEST(BloomTest, SerializeRoundTrip) {
+  BloomFilter bloom(100);
+  for (int i = 0; i < 100; ++i) bloom.add("x" + std::to_string(i));
+  const auto bytes = bloom.serialize();
+  const BloomFilter restored =
+      BloomFilter::deserialize(bytes.data(), bytes.size());
+  EXPECT_EQ(restored.num_probes(), bloom.num_probes());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(restored.may_contain("x" + std::to_string(i)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SST build + read
+
+struct SstFixture {
+  MemDisk disk{(256ull << 20) / 512};
+  std::unique_ptr<ExtFs> fs;
+  SimTime t = SimTime::zero();
+
+  SstFixture() {
+    EXPECT_TRUE(ExtFs::mkfs(disk, t).ok());
+    auto mount = ExtFs::mount(disk, t);
+    EXPECT_TRUE(mount.ok());
+    fs = std::move(mount.fs);
+    t = mount.done;
+  }
+};
+
+MemEntry put_entry(std::string value, std::uint64_t seq) {
+  MemEntry e;
+  e.type = EntryType::kPut;
+  e.sequence = seq;
+  e.value = std::move(value);
+  return e;
+}
+
+TEST(SstTest, BuildWriteOpenGet) {
+  SstFixture fx;
+  SstBuilder builder(100);
+  // Internal order: ascending user key.
+  for (int i = 100; i < 200; ++i) {
+    builder.add("key" + std::to_string(i),
+                put_entry("val" + std::to_string(i), 10));
+  }
+  ASSERT_TRUE(builder.write_to(*fx.fs, fx.t, "/test.sst").ok());
+  auto open = SstReader::open(*fx.fs, fx.t, "/test.sst");
+  ASSERT_TRUE(open.ok());
+  SstReader& sst = *open.reader;
+  EXPECT_EQ(sst.entry_count(), 100u);
+  EXPECT_EQ(sst.smallest(), "key100");
+  EXPECT_EQ(sst.largest(), "key199");
+  EXPECT_EQ(sst.max_sequence(), 10u);
+
+  auto g = sst.get(fx.t, "key150");
+  EXPECT_EQ(g.state, LookupState::kFound);
+  EXPECT_EQ(g.value, "val150");
+  g = sst.get(fx.t, "key999");
+  EXPECT_EQ(g.state, LookupState::kMissing);
+  g = sst.get(fx.t, "aaa");  // below smallest
+  EXPECT_EQ(g.state, LookupState::kMissing);
+}
+
+TEST(SstTest, TombstonesComeBackAsDeleted) {
+  SstFixture fx;
+  SstBuilder builder(10);
+  MemEntry dead;
+  dead.type = EntryType::kDelete;
+  dead.sequence = 5;
+  builder.add("gone", dead);
+  builder.add("here", put_entry("v", 4));
+  ASSERT_TRUE(builder.write_to(*fx.fs, fx.t, "/t.sst").ok());
+  auto open = SstReader::open(*fx.fs, fx.t, "/t.sst");
+  ASSERT_TRUE(open.ok());
+  EXPECT_EQ(open.reader->get(fx.t, "gone").state, LookupState::kDeleted);
+  EXPECT_EQ(open.reader->get(fx.t, "here").state, LookupState::kFound);
+}
+
+TEST(SstTest, MultiBlockFilesUseIndex) {
+  SstFixture fx;
+  SstBuilder builder(5000);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 5000; ++i) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "key%06d", i);
+    const std::string value(100, static_cast<char>('a' + i % 26));
+    builder.add(key, put_entry(value, 1));
+    model[key] = value;
+  }
+  ASSERT_TRUE(builder.write_to(*fx.fs, fx.t, "/big.sst").ok());
+  auto open = SstReader::open(*fx.fs, fx.t, "/big.sst");
+  ASSERT_TRUE(open.ok());
+  sim::Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "key%06d",
+                  static_cast<int>(rng.uniform_int(0, 4999)));
+    auto g = open.reader->get(fx.t, key);
+    ASSERT_EQ(g.state, LookupState::kFound) << key;
+    EXPECT_EQ(g.value, model[key]);
+  }
+}
+
+TEST(SstTest, ScanVisitsAllEntriesInOrder) {
+  SstFixture fx;
+  SstBuilder builder(1000);
+  for (int i = 0; i < 1000; ++i) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "k%05d", i);
+    builder.add(key, put_entry(std::to_string(i), 2));
+  }
+  ASSERT_TRUE(builder.write_to(*fx.fs, fx.t, "/scan.sst").ok());
+  auto open = SstReader::open(*fx.fs, fx.t, "/scan.sst");
+  ASSERT_TRUE(open.ok());
+  int count = 0;
+  std::string prev;
+  auto r = open.reader->scan(fx.t, [&](std::string_view key,
+                                       const MemEntry& e) {
+    EXPECT_GE(std::string(key), prev);
+    EXPECT_EQ(e.value, std::to_string(count));
+    prev = std::string(key);
+    ++count;
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(count, 1000);
+}
+
+TEST(SstTest, OpenRejectsGarbage) {
+  SstFixture fx;
+  std::uint32_t ino = 0;
+  fx.t = fx.fs->create(fx.t, "/junk.sst", &ino).done;
+  std::vector<std::byte> junk(200, std::byte{0x5a});
+  fx.t = fx.fs->write(fx.t, ino, 0, junk).done;
+  auto open = SstReader::open(*fx.fs, fx.t, "/junk.sst");
+  EXPECT_FALSE(open.ok());
+  EXPECT_EQ(open.reader, nullptr);
+}
+
+TEST(SstTest, OpenMissingFileFails) {
+  SstFixture fx;
+  auto open = SstReader::open(*fx.fs, fx.t, "/nope.sst");
+  EXPECT_EQ(open.err, Errno::kENOENT);
+}
+
+}  // namespace
+}  // namespace deepnote::storage::kvdb

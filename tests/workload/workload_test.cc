@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "storage/mem_disk.h"
+#include "workload/actor.h"
+#include "workload/fio.h"
+#include "workload/meter.h"
+
+namespace deepnote::workload {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+// ---------------------------------------------------------------------------
+// Actors
+
+TEST(ActorTest, RunsInGlobalTimeOrder) {
+  std::vector<int> order;
+  LambdaActor a(SimTime::from_seconds(1), [&](SimTime now) {
+    order.push_back(1);
+    return now + Duration::from_seconds(3);  // next at 4, 7...
+  });
+  LambdaActor b(SimTime::from_seconds(2), [&](SimTime now) {
+    order.push_back(2);
+    return now + Duration::from_seconds(3);  // next at 5, 8...
+  });
+  ActorScheduler sched;
+  sched.add(a);
+  sched.add(b);
+  sched.run_until(SimTime::from_seconds(6));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2}));
+}
+
+TEST(ActorTest, FinishedActorStops) {
+  int steps = 0;
+  LambdaActor a(SimTime::zero(), [&](SimTime now) {
+    ++steps;
+    return steps >= 3 ? SimTime::infinity()
+                      : now + Duration::from_seconds(1);
+  });
+  ActorScheduler sched;
+  sched.add(a);
+  sched.run_until(SimTime::from_seconds(100));
+  EXPECT_EQ(steps, 3);
+}
+
+TEST(ActorTest, RunUntilReturnsLastStepTime) {
+  LambdaActor a(SimTime::from_seconds(1), [&](SimTime now) {
+    return now + Duration::from_seconds(10);
+  });
+  ActorScheduler sched;
+  sched.add(a);
+  const SimTime last = sched.run_until(SimTime::from_seconds(25));
+  EXPECT_EQ(last, SimTime::from_seconds(21));
+}
+
+// ---------------------------------------------------------------------------
+// WindowMeter
+
+TEST(MeterTest, OnlyCountsInsideWindow) {
+  WindowMeter meter(SimTime::from_seconds(10), SimTime::from_seconds(20));
+  meter.record_ok(SimTime::from_seconds(5), SimTime::from_seconds(6), 1000);
+  meter.record_ok(SimTime::from_seconds(11), SimTime::from_seconds(12),
+                  1000);
+  meter.record_ok(SimTime::from_seconds(21), SimTime::from_seconds(22),
+                  1000);
+  EXPECT_EQ(meter.ops(), 1u);
+  EXPECT_EQ(meter.bytes(), 1000u);
+  EXPECT_DOUBLE_EQ(meter.throughput_mbps(), 0.0001);
+}
+
+TEST(MeterTest, UnresponsiveWhenNoOps) {
+  WindowMeter meter(SimTime::from_seconds(0), SimTime::from_seconds(10));
+  meter.record_error(SimTime::from_seconds(5));
+  EXPECT_FALSE(meter.responsive());
+  EXPECT_EQ(meter.errors(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// FIO on MemDisk
+
+TEST(FioTest, ThroughputMatchesDeviceLatency) {
+  // 20 us/op device + 80 us submit = 100 us/op -> 40.96 MB/s at 4 KiB.
+  storage::MemDisk disk((1ull << 30) / 512, Duration::from_micros(20));
+  FioRunner runner(disk);
+  FioJobConfig job;
+  job.pattern = IoPattern::kSeqWrite;
+  job.submit_overhead = Duration::from_micros(80);
+  job.ramp = Duration::from_seconds(1);
+  job.duration = Duration::from_seconds(5);
+  const FioReport report = runner.run(SimTime::zero(), job);
+  EXPECT_NEAR(report.throughput_mbps, 40.96, 0.5);
+  ASSERT_TRUE(report.latency_ms.has_value());
+  EXPECT_NEAR(*report.latency_ms, 0.1, 0.005);
+  EXPECT_EQ(report.ops_errored, 0u);
+}
+
+TEST(FioTest, FailingDeviceReportsNoLatency) {
+  storage::MemDisk disk((1ull << 30) / 512);
+  disk.set_failing(true);
+  FioRunner runner(disk);
+  FioJobConfig job;
+  job.ramp = Duration::from_seconds(0.1);
+  job.duration = Duration::from_seconds(1);
+  const FioReport report = runner.run(SimTime::zero(), job);
+  EXPECT_EQ(report.throughput_mbps, 0.0);
+  EXPECT_FALSE(report.latency_ms.has_value());  // the "-" in Table 1
+  EXPECT_GT(report.ops_errored, 0u);
+}
+
+TEST(FioTest, RandomPatternStaysInSpan) {
+  storage::MemDisk disk((1ull << 30) / 512);
+  FioRunner runner(disk);
+  FioJobConfig job;
+  job.pattern = IoPattern::kRandRead;
+  job.span_bytes = 1 << 20;
+  job.ramp = Duration::from_seconds(0.1);
+  job.duration = Duration::from_seconds(1);
+  // Must not throw (out-of-range would).
+  const FioReport report = runner.run(SimTime::zero(), job);
+  EXPECT_GT(report.ops_completed, 0u);
+}
+
+TEST(FioTest, ReadAndWritePatterns) {
+  storage::MemDisk disk((1ull << 30) / 512);
+  FioRunner runner(disk);
+  for (auto pattern : {IoPattern::kSeqRead, IoPattern::kSeqWrite,
+                       IoPattern::kRandRead, IoPattern::kRandWrite}) {
+    FioJobConfig job;
+    job.pattern = pattern;
+    job.ramp = Duration::from_seconds(0.1);
+    job.duration = Duration::from_seconds(0.5);
+    const FioReport report = runner.run(SimTime::zero(), job);
+    EXPECT_GT(report.throughput_mbps, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace deepnote::workload
