@@ -6,6 +6,7 @@
 
 #include "core/report.h"
 #include "core/sweep.h"
+#include "sim/task_pool.h"
 
 using namespace deepnote;
 
@@ -24,6 +25,8 @@ int main(int argc, char** argv) {
     config.frequencies_hz.push_back(f);
   }
 
+  std::cerr << "[trial engine: " << sim::resolve_jobs(config.jobs)
+            << " jobs; set DEEPNOTE_JOBS to override]\n";
   std::vector<std::pair<std::string, std::vector<core::SweepPoint>>> series;
   for (auto id : {core::ScenarioId::kPlasticFloor,
                   core::ScenarioId::kPlasticTower,

@@ -2,6 +2,7 @@
 // simulator itself runs (host wall-clock per simulated operation).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <vector>
 
 #include "acoustics/absorption.h"
@@ -11,6 +12,8 @@
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 #include "sim/stats.h"
+#include "sim/task_pool.h"
+#include "sim/trial_runner.h"
 #include "storage/extfs.h"
 #include "storage/kvdb/db.h"
 #include "storage/kvdb/memtable.h"
@@ -50,6 +53,30 @@ static void BM_LatencyHistogramAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_LatencyHistogramAdd);
 
+// Per-task overhead of fanning a batch through the trial-execution pool
+// (batch setup + index claiming + completion handshake; the tasks are
+// no-ops). Real trials cost milliseconds to seconds, so dispatch must
+// stay in the microsecond range per batch.
+static void BM_TaskPoolDispatch(benchmark::State& state) {
+  sim::TaskPool pool(static_cast<unsigned>(state.range(0)));
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    pool.run_indexed(64, [&](std::size_t i) {
+      sink.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_TaskPoolDispatch)->Arg(1)->Arg(2)->Arg(4);
+
+static void BM_TrialSeedDerivation(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::trial_seed(0x5eef, i++));
+  }
+}
+BENCHMARK(BM_TrialSeedDerivation);
+
 // ---------------------------------------------------------------------------
 // acoustics / structure
 
@@ -75,6 +102,41 @@ static void BM_FullAttackChainEvaluation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullAttackChainEvaluation);
+
+// Cold vs memoized attack-chain evaluation: the cold path walks source ->
+// water -> enclosure -> mount -> servo every call (cache wiped each
+// iteration); the memoized path revisits tones a sweep already touched.
+static void BM_AttackChainCold(benchmark::State& state) {
+  core::Testbed bed(core::make_scenario(core::ScenarioId::kPlasticTower));
+  core::AttackConfig attack;
+  double f = 100.0;
+  for (auto _ : state) {
+    bed.clear_analysis_cache();
+    attack.frequency_hz = f;
+    benchmark::DoNotOptimize(bed.predicted_offtrack_nm(attack));
+    f = f < 16000.0 ? f + 37.0 : 100.0;
+  }
+}
+BENCHMARK(BM_AttackChainCold);
+
+static void BM_AttackChainMemoized(benchmark::State& state) {
+  core::Testbed bed(core::make_scenario(core::ScenarioId::kPlasticTower));
+  core::AttackConfig attack;
+  // Warm the cache with a Fig. 2-sized tone grid, then measure hits.
+  std::vector<double> tones;
+  for (double f = 100.0; f <= 8000.0; f += 250.0) tones.push_back(f);
+  for (double f : tones) {
+    attack.frequency_hz = f;
+    bed.predicted_offtrack_nm(attack);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    attack.frequency_hz = tones[i];
+    benchmark::DoNotOptimize(bed.predicted_offtrack_nm(attack));
+    i = (i + 1) % tones.size();
+  }
+}
+BENCHMARK(BM_AttackChainMemoized);
 
 // ---------------------------------------------------------------------------
 // hdd

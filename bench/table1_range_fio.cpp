@@ -6,6 +6,7 @@
 
 #include "core/range_test.h"
 #include "core/report.h"
+#include "sim/task_pool.h"
 
 using namespace deepnote;
 
@@ -17,6 +18,9 @@ int main(int argc, char** argv) {
   config.ramp = sim::Duration::from_seconds(5.0);
   config.duration = sim::Duration::from_seconds(30.0);
 
+  std::fprintf(stderr,
+               "[trial engine: %u jobs; set DEEPNOTE_JOBS to override]\n",
+               sim::resolve_jobs(config.jobs));
   const auto rows = range.run_fio(config);
   core::print_table(core::format_table1(rows), argc, argv);
   std::printf("Paper reference (Table 1):\n"

@@ -5,6 +5,7 @@
 
 #include "core/range_test.h"
 #include "core/report.h"
+#include "sim/task_pool.h"
 
 using namespace deepnote;
 
@@ -30,6 +31,8 @@ int main(int argc, char** argv) {
   db.put_cpu = sim::Duration::from_micros(13);
   db.get_cpu = sim::Duration::from_micros(13);
 
+  std::cerr << "[trial engine: " << sim::resolve_jobs(config.jobs)
+            << " jobs; set DEEPNOTE_JOBS to override]\n";
   const auto rows = range.run_kvdb(config, bench, db);
   core::print_table(core::format_table2(rows), argc, argv);
   std::cout << "Paper reference (Table 2): No Attack 8.7 MB/s & 1.1; "

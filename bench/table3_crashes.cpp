@@ -4,6 +4,7 @@
 
 #include "core/crash_experiment.h"
 #include "core/report.h"
+#include "sim/task_pool.h"
 
 using namespace deepnote;
 
@@ -14,13 +15,13 @@ int main(int argc, char** argv) {
   config.attack.spl_air_db = 140.0;
   config.attack.distance_m = 0.01;
 
+  std::cerr << "[trial engine: " << sim::resolve_jobs(config.jobs)
+            << " jobs; set DEEPNOTE_JOBS to override]\n";
+  const core::CrashSuite suite = experiments.run_all(config);
   std::vector<core::CrashRow> rows;
-  rows.push_back({"Ext4", "Journaling filesystem",
-                  experiments.ext4(config)});
-  rows.push_back({"Ubuntu", "Ubuntu server 16.04",
-                  experiments.ubuntu_server(config)});
-  rows.push_back({"RocksDB", "Key-value database",
-                  experiments.rocksdb(config)});
+  rows.push_back({"Ext4", "Journaling filesystem", suite.ext4});
+  rows.push_back({"Ubuntu", "Ubuntu server 16.04", suite.ubuntu_server});
+  rows.push_back({"RocksDB", "Key-value database", suite.rocksdb});
 
   core::print_table(core::format_table3(rows), argc, argv);
   std::cout << "Paper reference (Table 3): Ext4 80.0 s (JBD error -5), "

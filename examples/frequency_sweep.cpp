@@ -10,6 +10,7 @@
 #include <cstdlib>
 
 #include "core/sweep.h"
+#include "sim/task_pool.h"
 
 using namespace deepnote;
 
@@ -27,7 +28,9 @@ int main(int argc, char** argv) {
   }
   std::printf("Recon sweep against %s\n", core::scenario_name(scenario));
   std::printf("attack: 140 dB SPL at 1 cm; coarse quarter-octave pass, then "
-              "50 Hz narrowing\n\n");
+              "50 Hz narrowing\n");
+  std::printf("trial engine: %u jobs (set DEEPNOTE_JOBS to override)\n\n",
+              sim::resolve_jobs(0));
 
   core::AttackConfig attack;
   attack.spl_air_db = 140.0;
@@ -47,13 +50,13 @@ int main(int argc, char** argv) {
                 p.read.throughput_mbps, hit ? "<== vulnerable" : "");
   }
 
-  if (recon.band_lo_hz == 0.0) {
+  if (!recon.band_lo_hz.has_value()) {
     std::printf("\nno vulnerable band found.\n");
     return 0;
   }
   std::printf("\nrefined 50 Hz pass bounds the vulnerable band: "
               "%.0f Hz .. %.0f Hz\n",
-              recon.band_lo_hz, recon.band_hi_hz);
+              *recon.band_lo_hz, *recon.band_hi_hz);
 
   // Pick the best attack tone: deepest write kill in the refined pass.
   double best_f = 0.0, best_tput = 1e9;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/testbed.h"
+#include "sim/task_pool.h"
 #include "storage/extfs.h"
 #include "storage/kvdb/db.h"
 #include "storage/server_os.h"
@@ -244,6 +245,18 @@ CrashResult CrashExperiments::rocksdb(
     result.error_output = db.fatal_message();
   }
   return result;
+}
+
+CrashSuite CrashExperiments::run_all(
+    const CrashExperimentConfig& config) const {
+  CrashSuite suite;
+  sim::TaskPool pool(config.jobs);
+  pool.run({
+      [&] { suite.ext4 = ext4(config); },
+      [&] { suite.ubuntu_server = ubuntu_server(config); },
+      [&] { suite.rocksdb = rocksdb(config); },
+  });
+  return suite;
 }
 
 }  // namespace deepnote::core

@@ -31,6 +31,15 @@ struct CrashExperimentConfig {
   /// Give up if nothing crashed after this long under attack.
   sim::Duration limit = sim::Duration::from_seconds(300.0);
   std::uint64_t seed = 0xc4a5;
+  /// Worker threads for run_all(); 0 = $DEEPNOTE_JOBS or all cores.
+  unsigned jobs = 0;
+};
+
+/// Results of the whole Table 3 suite.
+struct CrashSuite {
+  CrashResult ext4;
+  CrashResult ubuntu_server;
+  CrashResult rocksdb;
 };
 
 class CrashExperiments {
@@ -41,6 +50,12 @@ class CrashExperiments {
   CrashResult ext4(const CrashExperimentConfig& config) const;
   CrashResult ubuntu_server(const CrashExperimentConfig& config) const;
   CrashResult rocksdb(const CrashExperimentConfig& config) const;
+
+  /// Table 3 driver: the three victims are independent simulations, so
+  /// they fan across a sim::TaskPool (config.jobs). Each victim sees the
+  /// exact seed/config a standalone call would, so results are identical
+  /// to running the three methods serially.
+  CrashSuite run_all(const CrashExperimentConfig& config) const;
 
  private:
   ScenarioId scenario_;

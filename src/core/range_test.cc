@@ -3,89 +3,94 @@
 #include <stdexcept>
 
 #include "core/testbed.h"
+#include "sim/trial_runner.h"
 #include "storage/extfs.h"
 
 namespace deepnote::core {
 
 std::vector<FioRangeRow> RangeTest::run_fio(
     const RangeTestConfig& config) const {
-  std::vector<FioRangeRow> rows;
-  for (const auto& distance : config.distances_m) {
-    FioRangeRow row;
-    row.distance_m = distance;
+  return sim::run_trials<FioRangeRow>(
+      config.distances_m.size(), config.jobs, [&](std::size_t i) {
+        const std::optional<double>& distance = config.distances_m[i];
+        const std::uint64_t row_seed = sim::trial_seed(config.seed, i);
+        FioRangeRow row;
+        row.distance_m = distance;
 
-    auto run_job = [&](workload::IoPattern pattern,
-                       std::uint64_t seed) -> workload::FioReport {
-      ScenarioSpec spec = make_scenario(scenario_, seed);
-      spec.hdd.retain_data = false;  // raw-device job: timing only
-      Testbed bed(spec);
-      if (distance.has_value()) {
-        AttackConfig attack = config.attack;
-        attack.distance_m = *distance;
-        bed.apply_attack(sim::SimTime::zero(), attack);
-      }
-      workload::FioJobConfig job;
-      job.pattern = pattern;
-      job.submit_overhead = spec.fio_submit_overhead;
-      job.ramp = config.ramp;
-      job.duration = config.duration;
-      job.seed = seed;
-      workload::FioRunner runner(bed.device());
-      return runner.run(sim::SimTime::zero(), job);
-    };
+        auto run_job = [&](workload::IoPattern pattern,
+                           std::uint64_t seed) -> workload::FioReport {
+          ScenarioSpec spec = make_scenario(scenario_, seed);
+          spec.hdd.retain_data = false;  // raw-device job: timing only
+          Testbed bed(spec);
+          if (distance.has_value()) {
+            AttackConfig attack = config.attack;
+            attack.distance_m = *distance;
+            bed.apply_attack(sim::SimTime::zero(), attack);
+          }
+          workload::FioJobConfig job;
+          job.pattern = pattern;
+          job.submit_overhead = spec.fio_submit_overhead;
+          job.ramp = config.ramp;
+          job.duration = config.duration;
+          job.seed = seed;
+          workload::FioRunner runner(bed.device());
+          return runner.run(sim::SimTime::zero(), job);
+        };
 
-    row.read = run_job(workload::IoPattern::kSeqRead, config.seed);
-    row.write = run_job(workload::IoPattern::kSeqWrite, config.seed + 1);
-    rows.push_back(row);
-  }
-  return rows;
+        row.read = run_job(workload::IoPattern::kSeqRead, row_seed);
+        row.write = run_job(workload::IoPattern::kSeqWrite, row_seed + 1);
+        return row;
+      });
 }
 
 std::vector<KvRangeRow> RangeTest::run_kvdb(
     const RangeTestConfig& config, const workload::DbBenchConfig& bench,
     const storage::kvdb::DbConfig& db_config) const {
-  std::vector<KvRangeRow> rows;
-  for (const auto& distance : config.distances_m) {
-    KvRangeRow row;
-    row.distance_m = distance;
+  return sim::run_trials<KvRangeRow>(
+      config.distances_m.size(), config.jobs, [&](std::size_t i) {
+        const std::optional<double>& distance = config.distances_m[i];
+        KvRangeRow row;
+        row.distance_m = distance;
 
-    ScenarioSpec spec = make_scenario(scenario_, config.seed);
-    Testbed bed(spec);
+        ScenarioSpec spec =
+            make_scenario(scenario_, sim::trial_seed(config.seed, i));
+        Testbed bed(spec);
 
-    // Setup phase (no attack): format, mount, open, preload, flush.
-    sim::SimTime t = sim::SimTime::zero();
-    storage::MkfsOptions mkfs;
-    mkfs.total_blocks = 2u << 18;  // 4 GiB filesystem
-    storage::FsResult fr = storage::ExtFs::mkfs(bed.device(), t, mkfs);
-    if (!fr.ok()) throw std::runtime_error("range kvdb: mkfs failed");
-    auto mount = storage::ExtFs::mount(bed.device(), fr.done);
-    if (!mount.ok()) throw std::runtime_error("range kvdb: mount failed");
-    storage::ExtFs& fs = *mount.fs;
-    auto open = storage::kvdb::Db::open(fs, mount.done, db_config);
-    if (!open.ok()) throw std::runtime_error("range kvdb: open failed");
-    storage::kvdb::Db& db = *open.db;
+        // Setup phase (no attack): format, mount, open, preload, flush.
+        sim::SimTime t = sim::SimTime::zero();
+        storage::MkfsOptions mkfs;
+        mkfs.total_blocks = 2u << 18;  // 4 GiB filesystem
+        storage::FsResult fr = storage::ExtFs::mkfs(bed.device(), t, mkfs);
+        if (!fr.ok()) throw std::runtime_error("range kvdb: mkfs failed");
+        auto mount = storage::ExtFs::mount(bed.device(), fr.done);
+        if (!mount.ok()) throw std::runtime_error("range kvdb: mount failed");
+        storage::ExtFs& fs = *mount.fs;
+        auto open = storage::kvdb::Db::open(fs, mount.done, db_config);
+        if (!open.ok()) throw std::runtime_error("range kvdb: open failed");
+        storage::kvdb::Db& db = *open.db;
 
-    workload::DbBench dbb(fs, db);
-    t = dbb.fillseq(open.done, bench.preload_keys, bench);
-    if (db.fatal()) throw std::runtime_error("range kvdb: preload failed");
-    storage::kvdb::DbResult fl = db.flush(t);
-    if (!fl.ok()) throw std::runtime_error("range kvdb: preload flush");
-    storage::FsResult sync = fs.sync(fl.done);
-    t = sync.done;
+        workload::DbBench dbb(fs, db);
+        t = dbb.fillseq(open.done, bench.preload_keys, bench);
+        if (db.fatal()) {
+          throw std::runtime_error("range kvdb: preload failed");
+        }
+        storage::kvdb::DbResult fl = db.flush(t);
+        if (!fl.ok()) throw std::runtime_error("range kvdb: preload flush");
+        storage::FsResult sync = fs.sync(fl.done);
+        t = sync.done;
 
-    // Attack on, then the measured phase.
-    if (distance.has_value()) {
-      AttackConfig attack = config.attack;
-      attack.distance_m = *distance;
-      attack.start = t;
-      bed.apply_attack(t, attack);
-    }
-    workload::DbBenchConfig run_cfg = bench;
-    run_cfg.duration = config.duration;
-    row.report = dbb.readwhilewriting(t, run_cfg);
-    rows.push_back(row);
-  }
-  return rows;
+        // Attack on, then the measured phase.
+        if (distance.has_value()) {
+          AttackConfig attack = config.attack;
+          attack.distance_m = *distance;
+          attack.start = t;
+          bed.apply_attack(t, attack);
+        }
+        workload::DbBenchConfig run_cfg = bench;
+        run_cfg.duration = config.duration;
+        row.report = dbb.readwhilewriting(t, run_cfg);
+        return row;
+      });
 }
 
 }  // namespace deepnote::core

@@ -3,6 +3,10 @@
 // Sweeps the speaker-to-enclosure distance at the fixed best-attack
 // frequency (650 Hz) and measures FIO read/write throughput + latency
 // (Table 1) and the RocksDB-like store under readwhilewriting (Table 2).
+//
+// Rows are independent deterministic trials fanned across a
+// sim::TaskPool (config.jobs; $DEEPNOTE_JOBS or all cores by default);
+// output is bit-identical at any thread count.
 #pragma once
 
 #include <optional>
@@ -23,6 +27,8 @@ struct RangeTestConfig {
   sim::Duration ramp = sim::Duration::from_seconds(5.0);
   sim::Duration duration = sim::Duration::from_seconds(30.0);
   std::uint64_t seed = 0x7a8;
+  /// Worker threads; 0 = $DEEPNOTE_JOBS or all cores.
+  unsigned jobs = 0;
 };
 
 struct FioRangeRow {

@@ -4,25 +4,33 @@
 #include <cmath>
 
 #include "core/testbed.h"
+#include "sim/trial_runner.h"
 
 namespace deepnote::core {
 
-SweepPoint FrequencySweep::measure(double frequency_hz,
-                                   const SweepConfig& config) const {
+SweepPoint FrequencySweep::measure_point(double frequency_hz,
+                                         const SweepConfig& config,
+                                         bool attack_on) const {
   SweepPoint point;
-  point.frequency_hz = frequency_hz;
+  point.frequency_hz = attack_on ? frequency_hz : 0.0;
 
   AttackConfig attack = config.attack;
   attack.frequency_hz = frequency_hz;
   attack.start = sim::SimTime::zero();
   attack.end = sim::SimTime::infinity();
 
-  auto run_job = [&](workload::IoPattern pattern,
-                     std::uint64_t seed) -> workload::FioReport {
+  // One testbed per job; the write-side testbed also provides the
+  // off-track prediction (it is pure in the attack parameters, so no
+  // separate analysis testbed is needed).
+  auto run_job = [&](workload::IoPattern pattern, std::uint64_t seed,
+                     double* offtrack_nm) -> workload::FioReport {
     ScenarioSpec spec = make_scenario(scenario_, seed);
     spec.hdd.retain_data = false;  // raw-device job: timing only
     Testbed bed(spec);
-    bed.apply_attack(sim::SimTime::zero(), attack);
+    if (attack_on) {
+      if (offtrack_nm) *offtrack_nm = bed.predicted_offtrack_nm(attack);
+      bed.apply_attack(sim::SimTime::zero(), attack);
+    }
     workload::FioJobConfig job;
     job.pattern = pattern;
     job.submit_overhead = spec.fio_submit_overhead;
@@ -33,22 +41,31 @@ SweepPoint FrequencySweep::measure(double frequency_hz,
     return runner.run(sim::SimTime::zero(), job);
   };
 
-  point.write = run_job(workload::IoPattern::kSeqWrite, config.seed);
-  point.read = run_job(workload::IoPattern::kSeqRead, config.seed + 1);
-
-  ScenarioSpec spec = make_scenario(scenario_, config.seed);
-  Testbed bed(spec);
-  point.offtrack_nm = bed.predicted_offtrack_nm(attack);
+  point.write = run_job(workload::IoPattern::kSeqWrite, config.seed,
+                        &point.offtrack_nm);
+  point.read =
+      run_job(workload::IoPattern::kSeqRead, config.seed + 1, nullptr);
   return point;
 }
 
-std::vector<SweepPoint> FrequencySweep::run(const SweepConfig& config) const {
-  std::vector<SweepPoint> points;
-  points.reserve(config.frequencies_hz.size());
-  for (double f : config.frequencies_hz) {
-    points.push_back(measure(f, config));
-  }
-  return points;
+SweepPoint FrequencySweep::measure(double frequency_hz,
+                                   const SweepConfig& config) const {
+  return measure_point(frequency_hz, config, /*attack_on=*/true);
+}
+
+SweepPoint FrequencySweep::baseline(const SweepConfig& config) const {
+  return measure_point(config.attack.frequency_hz, config,
+                       /*attack_on=*/false);
+}
+
+std::vector<SweepPoint> FrequencySweep::run(
+    const SweepConfig& config) const {
+  return sim::run_trials<SweepPoint>(
+      config.frequencies_hz.size(), config.jobs, [&](std::size_t i) {
+        SweepConfig point_config = config;
+        point_config.seed = sim::trial_seed(config.seed, i);
+        return measure(config.frequencies_hz[i], point_config);
+      });
 }
 
 bool FrequencySweep::vulnerable(const SweepPoint& point,
@@ -64,40 +81,33 @@ FrequencySweep::ReconResult FrequencySweep::recon(
   if (base) config = *base;
   config.attack = attack;
 
-  // Baseline (no attack): a silent "attack" far away.
-  SweepConfig baseline_cfg = config;
-  AttackConfig silent = attack;
-  silent.spl_air_db = -100.0;
-  baseline_cfg.attack = silent;
-  const SweepPoint baseline = measure(coarse_lo_hz, baseline_cfg);
-  const double baseline_mbps = baseline.write.throughput_mbps;
+  // True no-attack baseline (speaker off, not a "silent attack").
+  out.baseline_mbps = baseline(config).write.throughput_mbps;
 
   // Coarse pass: quarter-octave steps.
   config.frequencies_hz = acoustics::SteppedSweepSignal::geometric_plan(
       coarse_lo_hz, coarse_hi_hz, std::pow(2.0, 0.25));
   out.coarse = run(config);
 
-  double lo = 0.0, hi = 0.0;
+  std::optional<double> lo, hi;
   for (const auto& p : out.coarse) {
-    if (vulnerable(p, baseline_mbps)) {
-      if (lo == 0.0) lo = p.frequency_hz;
+    if (vulnerable(p, out.baseline_mbps)) {
+      if (!lo) lo = p.frequency_hz;
       hi = p.frequency_hz;
     }
   }
-  if (lo == 0.0) return out;
+  if (!lo) return out;
 
   // Refine with 50 Hz steps one coarse step beyond the detected edges.
-  const double refine_lo = std::max(coarse_lo_hz, lo / std::pow(2.0, 0.25));
-  const double refine_hi = std::min(coarse_hi_hz, hi * std::pow(2.0, 0.25));
+  const double refine_lo = std::max(coarse_lo_hz, *lo / std::pow(2.0, 0.25));
+  const double refine_hi = std::min(coarse_hi_hz, *hi * std::pow(2.0, 0.25));
   config.frequencies_hz = acoustics::SteppedSweepSignal::linear_plan(
       refine_lo, refine_hi, refine_step_hz);
   out.refined = run(config);
 
-  out.band_lo_hz = 0.0;
-  out.band_hi_hz = 0.0;
   for (const auto& p : out.refined) {
-    if (vulnerable(p, baseline_mbps)) {
-      if (out.band_lo_hz == 0.0) out.band_lo_hz = p.frequency_hz;
+    if (vulnerable(p, out.baseline_mbps)) {
+      if (!out.band_lo_hz) out.band_lo_hz = p.frequency_hz;
       out.band_hi_hz = p.frequency_hz;
     }
   }

@@ -5,8 +5,13 @@
 // job. Also implements the attacker's recon procedure: a coarse sweep
 // from 100 Hz to 16.9 kHz followed by 50 Hz narrowing between the
 // vulnerable frequencies.
+//
+// Every point is an independent, deterministically-seeded trial: run()
+// fans the grid across a sim::TaskPool (config.jobs; $DEEPNOTE_JOBS or
+// all cores by default) and output is bit-identical at any thread count.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "core/attack.h"
@@ -28,6 +33,8 @@ struct SweepConfig {
   sim::Duration ramp = sim::Duration::from_seconds(2.0);
   sim::Duration duration = sim::Duration::from_seconds(10.0);
   std::uint64_t seed = 0x5eef;
+  /// Worker threads for run()/recon(); 0 = $DEEPNOTE_JOBS or all cores.
+  unsigned jobs = 0;
 };
 
 class FrequencySweep {
@@ -38,6 +45,10 @@ class FrequencySweep {
   /// deterministic for a given seed).
   SweepPoint measure(double frequency_hz, const SweepConfig& config) const;
 
+  /// Measure a point with no attack applied at all: the true "No Attack"
+  /// baseline (frequency_hz and offtrack_nm are 0 in the result).
+  SweepPoint baseline(const SweepConfig& config) const;
+
   std::vector<SweepPoint> run(const SweepConfig& config) const;
 
   /// Section 4.1 narrowing procedure. Returns the coarse points, the
@@ -45,8 +56,10 @@ class FrequencySweep {
   struct ReconResult {
     std::vector<SweepPoint> coarse;
     std::vector<SweepPoint> refined;
-    double band_lo_hz = 0.0;  ///< 0/0 when no vulnerability found
-    double band_hi_hz = 0.0;
+    double baseline_mbps = 0.0;  ///< no-attack write throughput
+    /// Vulnerable band edges; absent when no frequency qualified.
+    std::optional<double> band_lo_hz;
+    std::optional<double> band_hi_hz;
   };
   ReconResult recon(const AttackConfig& attack,
                     double coarse_lo_hz = 100.0,
@@ -58,6 +71,9 @@ class FrequencySweep {
   static bool vulnerable(const SweepPoint& point, double baseline_mbps);
 
  private:
+  SweepPoint measure_point(double frequency_hz, const SweepConfig& config,
+                           bool attack_on) const;
+
   ScenarioId scenario_;
 };
 

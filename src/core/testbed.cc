@@ -35,8 +35,26 @@ void Testbed::stop_attack(sim::SimTime now) {
 }
 
 double Testbed::predicted_offtrack_nm(const AttackConfig& attack) const {
+  if (offtrack_cache_generation_ != chain_.transfer_generation()) {
+    offtrack_cache_.clear();
+    offtrack_cache_generation_ = chain_.transfer_generation();
+  }
+  const OfftrackKey key{attack.frequency_hz, attack.spl_air_db,
+                        attack.distance_m};
+  for (const auto& [k, nm] : offtrack_cache_) {
+    if (k == key) return nm;
+  }
   const auto excitation = excitation_for(attack);
-  return drive_->servo().evaluate(excitation).offtrack_amplitude_nm;
+  const double nm =
+      drive_->servo().evaluate(excitation).offtrack_amplitude_nm;
+  if (offtrack_cache_.size() >= kOfftrackCacheCap) offtrack_cache_.clear();
+  offtrack_cache_.emplace_back(key, nm);
+  return nm;
+}
+
+void Testbed::clear_analysis_cache() const {
+  offtrack_cache_.clear();
+  chain_.clear_transfer_cache();
 }
 
 double Testbed::exterior_spl_db(const AttackConfig& attack) const {

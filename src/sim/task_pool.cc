@@ -1,0 +1,92 @@
+#include "sim/task_pool.h"
+
+#include <cstdlib>
+
+namespace deepnote::sim {
+
+unsigned resolve_jobs(unsigned requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("DEEPNOTE_JOBS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 && v <= 4096) {
+      return static_cast<unsigned>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+TaskPool::TaskPool(unsigned jobs) : jobs_(resolve_jobs(jobs)) {
+  if (jobs_ < 2) return;  // serial pool: tasks run on the calling thread
+  workers_.reserve(jobs_);
+  for (unsigned i = 0; i < jobs_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void TaskPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    const std::function<void(std::size_t)>* fn = fn_;
+    const std::size_t count = count_;
+    lock.unlock();
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> g(mu_);
+        if (!error_ || i < error_index_) {
+          error_ = std::current_exception();
+          error_index_ = i;
+        }
+      }
+    }
+    lock.lock();
+    // Every worker checks out of the batch before run_indexed returns, so
+    // the next batch can never race a straggler from this one.
+    if (--active_workers_ == 0) done_cv_.notify_all();
+  }
+}
+
+void TaskPool::run_indexed(std::size_t count,
+                           const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  fn_ = &fn;
+  count_ = count;
+  next_.store(0, std::memory_order_relaxed);
+  error_ = nullptr;
+  error_index_ = 0;
+  active_workers_ = workers_.size();
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+  fn_ = nullptr;
+  if (error_) std::rethrow_exception(error_);
+}
+
+void TaskPool::run(const std::vector<std::function<void()>>& tasks) {
+  run_indexed(tasks.size(), [&](std::size_t i) { tasks[i](); });
+}
+
+}  // namespace deepnote::sim

@@ -1,0 +1,19 @@
+#include "sim/trial_runner.h"
+
+namespace deepnote::sim {
+
+std::uint64_t trial_seed(std::uint64_t base_seed,
+                         std::uint64_t trial_index) {
+  // splitmix64 (Steele, Lea & Flood): jump the stream seeded at
+  // `base_seed` directly to position index+1 (the increment is the
+  // 64-bit golden ratio), then apply the output finalizer. Position 0 is
+  // skipped so trial 0 of base b never equals a raw splitmix64(b) that
+  // other seeding paths may already use.
+  std::uint64_t x =
+      base_seed + (trial_index + 1) * 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace deepnote::sim

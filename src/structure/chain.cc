@@ -5,14 +5,27 @@
 namespace deepnote::structure {
 
 StructuralChain::StructuralChain(Enclosure enclosure, Mount mount)
-    : enclosure_(std::move(enclosure)), mount_(std::move(mount)) {}
+    : enclosure_(std::move(enclosure)), mount_(std::move(mount)) {
+  transfer_cache_.reserve(64);
+}
+
+double StructuralChain::transfer_db(double frequency_hz) const {
+  for (const auto& [f, t] : transfer_cache_) {
+    if (f == frequency_hz) return t;
+  }
+  // interior_spl_db is exterior - TL(f): evaluate the frequency part
+  // against a 0 dB exterior level once and reuse it for every level.
+  double transfer = enclosure_.interior_spl_db(0.0, frequency_hz);
+  transfer += mount_.coupling_db(frequency_hz);
+  if (insertion_loss_db_) transfer -= insertion_loss_db_(frequency_hz);
+  if (transfer_cache_.size() >= kTransferCacheCap) transfer_cache_.clear();
+  transfer_cache_.emplace_back(frequency_hz, transfer);
+  return transfer;
+}
 
 double StructuralChain::drive_spl_db(double exterior_spl_db,
                                      double frequency_hz) const {
-  double spl = enclosure_.interior_spl_db(exterior_spl_db, frequency_hz);
-  spl += mount_.coupling_db(frequency_hz);
-  if (insertion_loss_db_) spl -= insertion_loss_db_(frequency_hz);
-  return spl;
+  return exterior_spl_db + transfer_db(frequency_hz);
 }
 
 DriveExcitation StructuralChain::excite(
@@ -30,6 +43,8 @@ DriveExcitation StructuralChain::excite(
 void StructuralChain::set_insertion_loss(
     std::function<double(double)> loss_db) {
   insertion_loss_db_ = std::move(loss_db);
+  transfer_cache_.clear();
+  ++generation_;
 }
 
 }  // namespace deepnote::structure

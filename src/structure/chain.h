@@ -7,7 +7,10 @@
 // vibration dampener) to attenuate the chain frequency-dependently.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "acoustics/signal.h"
 #include "acoustics/units.h"
@@ -31,6 +34,21 @@ class StructuralChain {
   /// SPL at the given frequency.
   double drive_spl_db(double exterior_spl_db, double frequency_hz) const;
 
+  /// The frequency-dependent part of drive_spl_db — enclosure wall TL,
+  /// mount coupling and any insertion loss — in dB relative to the
+  /// exterior level (the chain is linear in level). Memoized: the modal
+  /// resonator banks dominate sweep inner loops that revisit tones.
+  double transfer_db(double frequency_hz) const;
+
+  /// Bumped whenever the transfer function changes (set_insertion_loss);
+  /// callers keying their own caches on chain output (see
+  /// core::Testbed) compare this to know when to invalidate.
+  std::uint64_t transfer_generation() const { return generation_; }
+
+  /// Drop the transfer memo (next evaluations are cold). Benchmark
+  /// support only; the cache is otherwise managed internally.
+  void clear_transfer_cache() const { transfer_cache_.clear(); }
+
   /// Full conversion from an incident tone to drive excitation.
   DriveExcitation excite(const acoustics::ToneState& incident) const;
 
@@ -42,9 +60,17 @@ class StructuralChain {
   const Mount& mount() const { return mount_; }
 
  private:
+  // Flat memo for transfer_db, linear-probed (sweeps touch dozens of
+  // distinct tones, not thousands); cleared when full or on transfer
+  // changes. NOT thread-safe: a chain (like the Testbed owning it) must
+  // stay on one thread — parallel trials each build their own.
+  static constexpr std::size_t kTransferCacheCap = 512;
+
   Enclosure enclosure_;
   Mount mount_;
   std::function<double(double)> insertion_loss_db_;
+  mutable std::vector<std::pair<double, double>> transfer_cache_;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace deepnote::structure

@@ -1,0 +1,137 @@
+#include "sim/task_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/trial_runner.h"
+
+namespace deepnote::sim {
+namespace {
+
+TEST(ResolveJobsTest, ExplicitRequestWins) {
+  setenv("DEEPNOTE_JOBS", "3", 1);
+  EXPECT_EQ(resolve_jobs(7), 7u);
+  unsetenv("DEEPNOTE_JOBS");
+}
+
+TEST(ResolveJobsTest, EnvOverridesAuto) {
+  setenv("DEEPNOTE_JOBS", "3", 1);
+  EXPECT_EQ(resolve_jobs(0), 3u);
+  unsetenv("DEEPNOTE_JOBS");
+}
+
+TEST(ResolveJobsTest, GarbageEnvFallsBackToHardware) {
+  for (const char* bad : {"", "0", "-2", "eight", "4x"}) {
+    setenv("DEEPNOTE_JOBS", bad, 1);
+    EXPECT_GE(resolve_jobs(0), 1u) << "env=\"" << bad << "\"";
+  }
+  unsetenv("DEEPNOTE_JOBS");
+  EXPECT_GE(resolve_jobs(0), 1u);
+}
+
+TEST(TrialSeedTest, DeterministicAndDistinct) {
+  EXPECT_EQ(trial_seed(42, 7), trial_seed(42, 7));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base : {0ull, 1ull, 0x5eefull}) {
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      seen.insert(trial_seed(base, i));
+    }
+  }
+  EXPECT_EQ(seen.size(), 3u * 64u);  // no collisions across bases/indices
+}
+
+TEST(TaskPoolTest, ResultsArriveInSubmissionOrder) {
+  TaskPool pool(4);
+  const auto results = run_trials<std::size_t>(
+      pool, 100, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(results.size(), 100u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], i * i);
+  }
+}
+
+TEST(TaskPoolTest, EveryIndexRunsExactlyOnce) {
+  TaskPool pool(8);
+  std::vector<std::atomic<int>> hits(500);
+  pool.run_indexed(500, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(TaskPoolTest, PoolIsReusableAcrossBatches) {
+  TaskPool pool(3);
+  std::atomic<int> sum{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    pool.run_indexed(10, [&](std::size_t) { sum.fetch_add(1); });
+  }
+  EXPECT_EQ(sum.load(), 50);
+  pool.run_indexed(0, [&](std::size_t) { FAIL() << "empty batch ran"; });
+}
+
+TEST(TaskPoolTest, LowestIndexExceptionPropagates) {
+  for (unsigned jobs : {1u, 4u}) {
+    TaskPool pool(jobs);
+    std::atomic<int> completed{0};
+    try {
+      pool.run_indexed(32, [&](std::size_t i) {
+        if (i == 7 || i == 19) {
+          throw std::runtime_error("trial " + std::to_string(i));
+        }
+        completed.fetch_add(1);
+      });
+      FAIL() << "expected an exception (jobs=" << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "trial 7") << "jobs=" << jobs;
+    }
+    if (jobs > 1) {
+      // Parallel batches run every non-throwing task to completion.
+      EXPECT_EQ(completed.load(), 30);
+    }
+  }
+}
+
+TEST(TaskPoolTest, SerialPoolRunsInline) {
+  TaskPool pool(1);
+  EXPECT_EQ(pool.jobs(), 1u);
+  const auto inline_id = std::this_thread::get_id();
+  pool.run_indexed(4, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), inline_id);
+  });
+}
+
+TEST(TaskPoolTest, MoreJobsThanTasks) {
+  TaskPool pool(16);
+  const auto results =
+      run_trials<int>(pool, 3, [](std::size_t i) { return int(i) + 1; });
+  EXPECT_EQ(results, (std::vector<int>{1, 2, 3}));
+}
+
+// The determinism contract: a trial's output is a function of
+// trial_seed(base, index) alone, so any thread count produces the same
+// result vector.
+TEST(TaskPoolTest, SerialAndParallelResultsAreBitIdentical) {
+  const auto trial = [](std::size_t i) {
+    Rng rng(trial_seed(0xfeed, i));
+    double acc = 0.0;
+    for (int k = 0; k < 1000; ++k) acc += rng.gaussian();
+    return acc;
+  };
+  const auto serial = run_trials<double>(64, 1, trial);
+  for (unsigned jobs : {2u, 4u, 13u}) {
+    const auto parallel = run_trials<double>(64, jobs, trial);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i], parallel[i]) << "jobs=" << jobs << " i=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace deepnote::sim
