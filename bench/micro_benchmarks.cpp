@@ -15,6 +15,8 @@
 #include "sim/task_pool.h"
 #include "sim/trial_runner.h"
 #include "storage/extfs.h"
+#include "storage/fault_harness.h"
+#include "storage/fault_workloads.h"
 #include "storage/kvdb/db.h"
 #include "storage/kvdb/memtable.h"
 #include "storage/mem_disk.h"
@@ -264,5 +266,40 @@ static void BM_KvdbPut(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_KvdbPut);
+
+// ---------------------------------------------------------------------------
+// crash-consistency harness
+
+// Cost of replaying a single fault schedule end to end: build the
+// workload, run it against the faulted device, crash, run the
+// consistency checker. This is the unit the exhaustive explorer fans
+// out, so its cost bounds how large a workload stays explorable.
+static void BM_FaultScheduleReplay(benchmark::State& state) {
+  auto factory = storage::journal_pair_workload();
+  const std::uint64_t index =
+      static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = storage::replay_schedule(factory, 0x5eed, index);
+    benchmark::DoNotOptimize(result.passed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultScheduleReplay)->Arg(1)->Arg(22);
+
+// Full exhaustive exploration (every cut point x every fault variant)
+// of the journal pair workload on the trial pool. Items = schedules.
+static void BM_FaultExhaustiveExploration(benchmark::State& state) {
+  auto factory = storage::journal_pair_workload();
+  storage::ExploreOptions opts;
+  opts.jobs = static_cast<std::size_t>(state.range(0));
+  std::uint64_t schedules = 0;
+  for (auto _ : state) {
+    auto report = storage::explore(factory, opts);
+    schedules += report.schedules_run;
+    benchmark::DoNotOptimize(report.failures.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(schedules));
+}
+BENCHMARK(BM_FaultExhaustiveExploration)->Arg(1)->Arg(4);
 
 BENCHMARK_MAIN();

@@ -1,28 +1,22 @@
 // Reproduces Table 1: FIO read/write throughput and latency of the HDD
 // when the acoustic attack occurs at varied distances (650 Hz, 140 dB
 // SPL, Scenario 2).
+//
+// Config and execution live in core/paper_tables.h so the golden-table
+// regression suite exercises the identical pipeline.
 #include <cstdio>
-#include <iostream>
 
-#include "core/range_test.h"
-#include "core/report.h"
+#include "core/paper_tables.h"
 #include "sim/task_pool.h"
 
 using namespace deepnote;
 
 int main(int argc, char** argv) {
-  core::RangeTest range(core::ScenarioId::kPlasticTower);
-  core::RangeTestConfig config;
-  config.attack.frequency_hz = 650.0;
-  config.attack.spl_air_db = 140.0;
-  config.ramp = sim::Duration::from_seconds(5.0);
-  config.duration = sim::Duration::from_seconds(30.0);
-
+  const core::RangeTestConfig config = core::table1_config();
   std::fprintf(stderr,
                "[trial engine: %u jobs; set DEEPNOTE_JOBS to override]\n",
                sim::resolve_jobs(config.jobs));
-  const auto rows = range.run_fio(config);
-  core::print_table(core::format_table1(rows), argc, argv);
+  core::print_table(core::build_table1(config), argc, argv);
   std::printf("Paper reference (Table 1):\n"
               "  No Attack: R 18.0 / W 22.7 MB/s, lat 0.2/0.2 ms\n"
               "  1 cm: 0/0 (-/-)   5 cm: 0/0 (-/-)   10 cm: 12.6/0.3\n"

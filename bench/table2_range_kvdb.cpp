@@ -1,40 +1,24 @@
 // Reproduces Table 2: throughput and I/O rate of the RocksDB-like store
 // under readwhilewriting when the attack occurs at varied distances
 // (650 Hz, 140 dB SPL, Scenario 2).
+//
+// Configs and execution live in core/paper_tables.h so the golden-table
+// regression suite exercises the identical pipeline.
 #include <iostream>
 
-#include "core/range_test.h"
-#include "core/report.h"
+#include "core/paper_tables.h"
 #include "sim/task_pool.h"
 
 using namespace deepnote;
 
 int main(int argc, char** argv) {
-  core::RangeTest range(core::ScenarioId::kPlasticTower);
-  core::RangeTestConfig config;
-  config.attack.frequency_hz = 650.0;
-  config.attack.spl_air_db = 140.0;
-  config.duration = sim::Duration::from_seconds(30.0);
-
-  workload::DbBenchConfig bench;
-  bench.key_bytes = 16;
-  bench.value_bytes = 64;
-  bench.reader_actors = 1;
-  // CALIBRATED with the db op costs so the no-attack row reports the
-  // paper's 8.7 MB/s and ~1.1e5 ops/s.
-  bench.writer_think = sim::Duration::from_micros(9);
-  bench.ramp = sim::Duration::from_seconds(10.0);
-  bench.preload_keys = 100000;
-
-  storage::kvdb::DbConfig db;
-  db.write_buffer_bytes = 48ull << 20;
-  db.put_cpu = sim::Duration::from_micros(13);
-  db.get_cpu = sim::Duration::from_micros(13);
-
+  const core::RangeTestConfig config = core::table2_config();
   std::cerr << "[trial engine: " << sim::resolve_jobs(config.jobs)
             << " jobs; set DEEPNOTE_JOBS to override]\n";
-  const auto rows = range.run_kvdb(config, bench, db);
-  core::print_table(core::format_table2(rows), argc, argv);
+  core::print_table(
+      core::build_table2(config, core::table2_bench_config(),
+                         core::table2_db_config()),
+      argc, argv);
   std::cout << "Paper reference (Table 2): No Attack 8.7 MB/s & 1.1; "
                "1-10 cm: 0 & 0; 15 cm: 3.7 & 0.9; 20-25 cm: 8.6 & 1.1.\n";
   return 0;

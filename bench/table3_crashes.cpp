@@ -1,29 +1,20 @@
 // Reproduces Table 3: crashes in real-world applications under a
 // sustained attack (650 Hz, 140 dB SPL, 1 cm, Scenario 2).
+//
+// Config and execution live in core/paper_tables.h so the golden-table
+// regression suite exercises the identical pipeline.
 #include <iostream>
 
-#include "core/crash_experiment.h"
-#include "core/report.h"
+#include "core/paper_tables.h"
 #include "sim/task_pool.h"
 
 using namespace deepnote;
 
 int main(int argc, char** argv) {
-  core::CrashExperiments experiments(core::ScenarioId::kPlasticTower);
-  core::CrashExperimentConfig config;
-  config.attack.frequency_hz = 650.0;
-  config.attack.spl_air_db = 140.0;
-  config.attack.distance_m = 0.01;
-
+  const core::CrashExperimentConfig config = core::table3_config();
   std::cerr << "[trial engine: " << sim::resolve_jobs(config.jobs)
             << " jobs; set DEEPNOTE_JOBS to override]\n";
-  const core::CrashSuite suite = experiments.run_all(config);
-  std::vector<core::CrashRow> rows;
-  rows.push_back({"Ext4", "Journaling filesystem", suite.ext4});
-  rows.push_back({"Ubuntu", "Ubuntu server 16.04", suite.ubuntu_server});
-  rows.push_back({"RocksDB", "Key-value database", suite.rocksdb});
-
-  core::print_table(core::format_table3(rows), argc, argv);
+  core::print_table(core::build_table3(config), argc, argv);
   std::cout << "Paper reference (Table 3): Ext4 80.0 s (JBD error -5), "
                "Ubuntu 81.0 s, RocksDB 81.3 s; average 80.8 s.\n";
   return 0;

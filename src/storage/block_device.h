@@ -17,6 +17,42 @@ enum class BlockStatus {
   kIoError,  ///< the command ultimately failed (buffer I/O error)
 };
 
+/// The three command kinds a BlockDevice serves. Fault injectors select
+/// victims by kind (e.g. "fail writes only") and report failures by kind.
+enum class DiskOpKind : std::uint8_t {
+  kRead,
+  kWrite,
+  kFlush,
+};
+
+const char* disk_op_name(DiskOpKind kind);
+
+/// Bitmask of DiskOpKind values for fault-injection selectors.
+namespace fault_ops {
+inline constexpr unsigned kReads = 1u << 0;
+inline constexpr unsigned kWrites = 1u << 1;
+inline constexpr unsigned kFlushes = 1u << 2;
+inline constexpr unsigned kAll = kReads | kWrites | kFlushes;
+
+constexpr unsigned mask_of(DiskOpKind kind) {
+  switch (kind) {
+    case DiskOpKind::kRead: return kReads;
+    case DiskOpKind::kWrite: return kWrites;
+    case DiskOpKind::kFlush: return kFlushes;
+  }
+  return 0;
+}
+}  // namespace fault_ops
+
+/// The first operation an injector failed: everything a shrink report
+/// needs to name the victim precisely.
+struct FailedOp {
+  std::uint64_t op_index = 0;  ///< 0-based index over all ops on the device
+  DiskOpKind kind = DiskOpKind::kRead;
+  std::uint64_t lba = 0;            ///< 0 for flush
+  std::uint32_t sector_count = 0;   ///< 0 for flush
+};
+
 struct BlockIo {
   BlockStatus status = BlockStatus::kOk;
   sim::SimTime complete = sim::SimTime::zero();

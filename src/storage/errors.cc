@@ -1,6 +1,17 @@
 #include "storage/errors.h"
 
+#include "storage/block_device.h"
+
 namespace deepnote::storage {
+
+const char* disk_op_name(DiskOpKind kind) {
+  switch (kind) {
+    case DiskOpKind::kRead: return "read";
+    case DiskOpKind::kWrite: return "write";
+    case DiskOpKind::kFlush: return "flush";
+  }
+  return "op?";
+}
 
 const char* errno_name(Errno e) {
   switch (e) {

@@ -1,0 +1,631 @@
+#include "storage/fault_workloads.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/rng.h"
+#include "storage/extfs.h"
+#include "storage/journal.h"
+#include "storage/kvdb/db.h"
+#include "storage/mem_disk.h"
+#include "storage/raid.h"
+
+namespace deepnote::storage {
+namespace {
+
+using sim::SimTime;
+
+constexpr std::uint64_t kDiskSectors = 16384;  // 8 MiB backing device
+
+MkfsOptions small_fs() {
+  MkfsOptions o;
+  o.journal_blocks = 64;
+  o.num_inodes = 64;
+  o.total_blocks = 2048;
+  return o;
+}
+
+// ===========================================================================
+// Append-only file workload (extfs and RAID-1 flavors).
+
+/// Oracle for one append-only file. `current` is everything acknowledged
+/// by successful write() calls; `tail` is the payload of the first
+/// failed write — extfs may have buffered any prefix of it (and even
+/// committed it via a later transaction), so post-crash content beyond
+/// `current` must match `tail`. Appending stops at the first failure so
+/// the model stays exact.
+struct FileModel {
+  std::string path;
+  std::uint32_t inode = 0;  ///< 0 until create succeeded
+  std::vector<std::byte> current;
+  std::vector<std::byte> tail;
+  std::uint64_t synced_size = 0;  ///< durably acknowledged prefix
+  bool ever_synced = false;
+  bool tainted = false;  ///< a write failed; no further appends
+  /// A REPORTED fsync/sync failure involved this file: extfs drops dirty
+  /// pages whose device write failed (Linux buffer-I/O-error semantics),
+  /// so bytes beyond `synced_size` are unrecoverable and unpredictable.
+  /// Only the durably acknowledged prefix stays checkable.
+  bool lossy = false;
+};
+
+struct AppendProgram {
+  AppendWorkloadOptions opt;
+  std::vector<FileModel> files;
+  bool unmounted = false;
+
+  void ack_sync_all() {
+    for (auto& f : files) {
+      if (f.inode != 0 && !f.lossy) {
+        f.synced_size = f.current.size();
+        f.ever_synced = true;
+      }
+    }
+  }
+
+  /// Drive the workload against a mounted fs, tolerating errors (after
+  /// a cut every call fails; the program just stops making progress).
+  void run(ExtFs& fs, SimTime start) {
+    sim::Rng rng(opt.workload_seed);
+    SimTime t = start;
+    files.clear();
+    files.resize(opt.files);
+    for (std::uint32_t i = 0; i < opt.files; ++i) {
+      files[i].path = "/f" + std::to_string(i);
+      std::uint32_t ino = 0;
+      FsResult cr = fs.create(t, files[i].path, &ino);
+      t = cr.done;
+      if (cr.ok()) files[i].inode = ino;
+    }
+    for (std::uint32_t a = 0; a < opt.appends; ++a) {
+      if (fs.read_only_at(t)) break;
+      FileModel& f = files[a % opt.files];
+      const auto len = static_cast<std::size_t>(
+          rng.uniform_int(1, opt.max_append_bytes));
+      std::vector<std::byte> payload(len);
+      std::uint64_t h = rng.next_u64();
+      for (auto& b : payload) {
+        h = h * 6364136223846793005ull + 1442695040888963407ull;
+        b = static_cast<std::byte>(h >> 33);
+      }
+      if (f.inode != 0 && !f.tainted) {
+        FsIoResult w = fs.write(t, f.inode, f.current.size(), payload);
+        t = w.done;
+        if (w.ok()) {
+          f.current.insert(f.current.end(), payload.begin(), payload.end());
+        } else {
+          f.tail = std::move(payload);
+          f.tainted = true;
+        }
+      }
+      if ((a + 1) % opt.fsync_every == 0 && f.inode != 0 && !f.tainted) {
+        FsResult s = fs.fsync(t, f.inode);
+        t = s.done;
+        if (s.ok()) {
+          f.synced_size = f.current.size();
+          f.ever_synced = true;
+        } else {
+          // The failed writeback may have dropped this file's dirty
+          // pages — everything beyond the durable prefix is gone.
+          f.lossy = true;
+          f.tainted = true;
+        }
+      }
+      if ((a + 1) % opt.sync_every == 0 && !fs.read_only_at(t)) {
+        FsResult s = fs.sync(t);
+        t = s.done;
+        if (s.ok()) {
+          ack_sync_all();
+        } else {
+          mark_all_lossy();
+          break;
+        }
+      }
+    }
+    if (!fs.read_only_at(t)) {
+      FsResult u = fs.unmount(t);
+      if (u.ok()) {
+        unmounted = true;
+        ack_sync_all();
+      } else {
+        mark_all_lossy();
+      }
+    }
+  }
+
+  /// A failed global writeback (sync/unmount) may have dropped dirty
+  /// pages of ANY file; only durably acknowledged prefixes survive.
+  void mark_all_lossy() {
+    for (auto& f : files) {
+      f.lossy = true;
+      f.tainted = true;
+    }
+  }
+};
+
+/// Remount the durable image and assert the ordered-data invariants:
+/// nothing durably acknowledged lost, nothing beyond the acknowledged
+/// (or failed-write) bytes visible, fsck clean after unmount.
+CheckResult check_files(BlockDevice& durable,
+                        const std::vector<FileModel>& files) {
+  auto m = ExtFs::mount(durable, SimTime::zero());
+  if (!m.ok()) {
+    return CheckResult::fail(std::string("remount failed: ") +
+                             errno_name(m.err));
+  }
+  ExtFs& fs = *m.fs;
+  SimTime t = m.done;
+  for (const auto& f : files) {
+    FsLookupResult lk = fs.lookup(t, f.path);
+    t = lk.done;
+    if (!lk.ok()) {
+      if (lk.err == Errno::kENOENT && !f.ever_synced) continue;
+      return CheckResult::fail(f.path + ": lookup failed (" +
+                               errno_name(lk.err) + ") after crash" +
+                               (f.ever_synced ? " despite fsync ack" : ""));
+    }
+    FsStatResult st = fs.stat(t, lk.inode);
+    t = st.done;
+    if (!st.ok()) {
+      return CheckResult::fail(f.path + ": stat failed after remount");
+    }
+    const std::uint64_t size = st.size;
+    if (f.ever_synced && size < f.synced_size) {
+      std::ostringstream os;
+      os << f.path << ": committed content lost — size " << size
+         << " < fsync-acked " << f.synced_size;
+      return CheckResult::fail(os.str());
+    }
+    if (size > f.current.size() + f.tail.size()) {
+      std::ostringstream os;
+      os << f.path << ": uncommitted content visible — size " << size
+         << " > acked " << f.current.size() << " + failed-write "
+         << f.tail.size();
+      return CheckResult::fail(os.str());
+    }
+    std::vector<std::byte> got(size);
+    if (size > 0) {
+      FsIoResult r = fs.read(t, lk.inode, 0, got);
+      t = r.done;
+      if (!r.ok() || r.bytes != size) {
+        return CheckResult::fail(f.path + ": read failed after remount");
+      }
+    }
+    // For lossy files only the durably acknowledged prefix is
+    // predictable — dropped dirty pages leave stale bytes above it.
+    const std::size_t checkable =
+        f.lossy ? static_cast<std::size_t>(f.synced_size)
+                : f.current.size() + f.tail.size();
+    const std::size_t head = std::min<std::size_t>(
+        std::min<std::size_t>(size, f.current.size()), checkable);
+    if (head > 0 &&
+        std::memcmp(got.data(), f.current.data(), head) != 0) {
+      return CheckResult::fail(f.path +
+                               ": acked content corrupted after crash");
+    }
+    const std::size_t tail_end = std::min<std::size_t>(size, checkable);
+    if (tail_end > head &&
+        std::memcmp(got.data() + head, f.tail.data(), tail_end - head) !=
+            0) {
+      return CheckResult::fail(
+          f.path + ": bytes beyond acked prefix match no issued write");
+    }
+  }
+  FsResult u = fs.unmount(t);
+  if (!u.ok()) {
+    return CheckResult::fail("unmount failed on healthy device");
+  }
+  ExtFs::FsckReport rep = ExtFs::fsck(durable, u.done);
+  if (!rep.clean()) {
+    return CheckResult::fail(
+        "fsck: " + (rep.problems.empty() ? std::string("io error")
+                                         : rep.problems.front()));
+  }
+  return CheckResult::ok();
+}
+
+class ExtfsAppendWorkload final : public CrashWorkload {
+ public:
+  explicit ExtfsAppendWorkload(AppendWorkloadOptions opt) {
+    program_.opt = opt;
+  }
+
+  void run(const FaultPlan& plan) override {
+    inner_ = std::make_unique<MemDisk>(kDiskSectors);
+    FsResult mk = ExtFs::mkfs(*inner_, SimTime::zero(), small_fs());
+    faulty_ = std::make_unique<FaultyDisk>(*inner_, plan);
+    auto m = ExtFs::mount(*faulty_, mk.done);
+    if (!m.ok()) return;  // cut during mount: nothing was acknowledged
+    program_.run(*m.fs, m.done);
+  }
+
+  std::uint64_t faulted_writes() const override {
+    return faulty_ ? faulty_->writes_seen() : 0;
+  }
+
+  CheckResult check() override {
+    return check_files(*inner_, program_.files);
+  }
+
+ private:
+  std::unique_ptr<MemDisk> inner_;
+  std::unique_ptr<FaultyDisk> faulty_;
+  AppendProgram program_;
+};
+
+class Raid1Workload final : public CrashWorkload {
+ public:
+  explicit Raid1Workload(AppendWorkloadOptions opt) { program_.opt = opt; }
+
+  void run(const FaultPlan& plan) override {
+    member0_ = std::make_unique<MemDisk>(kDiskSectors);
+    member1_ = std::make_unique<MemDisk>(kDiskSectors);
+    {
+      Raid1Device fmt({member0_.get(), member1_.get()});
+      FsResult mk = ExtFs::mkfs(fmt, SimTime::zero(), small_fs());
+      mkfs_done_ = mk.done;
+    }
+    faulty0_ = std::make_unique<FaultyDisk>(*member0_, plan);
+    array_ = std::make_unique<Raid1Device>(
+        std::vector<BlockDevice*>{faulty0_.get(), member1_.get()});
+    auto m = ExtFs::mount(*array_, mkfs_done_);
+    if (!m.ok()) return;
+    program_.run(*m.fs, m.done);
+  }
+
+  std::uint64_t faulted_writes() const override {
+    return faulty0_ ? faulty0_->writes_seen() : 0;
+  }
+
+  CheckResult check() override {
+    // The mirror must have absorbed the member-0 fault completely: the
+    // array never went down, so the workload must have shut down
+    // cleanly and the surviving member alone must serve every
+    // acknowledged byte.
+    if (!program_.unmounted) {
+      return CheckResult::fail(
+          "RAID-1 array failed to absorb a single-member fault");
+    }
+    return check_files(*member1_, program_.files);
+  }
+
+ private:
+  std::unique_ptr<MemDisk> member0_;
+  std::unique_ptr<MemDisk> member1_;
+  std::unique_ptr<FaultyDisk> faulty0_;
+  std::unique_ptr<Raid1Device> array_;
+  SimTime mkfs_done_;
+  AppendProgram program_;
+};
+
+// ===========================================================================
+// Journal pair workload.
+
+/// The injected firmware bug behind
+/// JournalWorkloadOptions::drop_flush_barriers: writes pass through, but
+/// flush barriers are silently acknowledged without reaching the device.
+class BarrierDroppingDevice final : public BlockDevice {
+ public:
+  explicit BarrierDroppingDevice(BlockDevice& inner) : inner_(inner) {}
+
+  std::uint64_t total_sectors() const override {
+    return inner_.total_sectors();
+  }
+  BlockIo read(SimTime now, std::uint64_t lba, std::uint32_t sector_count,
+               std::span<std::byte> out) override {
+    return inner_.read(now, lba, sector_count, out);
+  }
+  BlockIo write(SimTime now, std::uint64_t lba, std::uint32_t sector_count,
+                std::span<const std::byte> in) override {
+    return inner_.write(now, lba, sector_count, in);
+  }
+  BlockIo flush(SimTime now) override { return BlockIo{BlockStatus::kOk, now}; }
+
+ private:
+  BlockDevice& inner_;
+};
+
+class JournalPairWorkload final : public CrashWorkload {
+ public:
+  explicit JournalPairWorkload(JournalWorkloadOptions opt) : opt_(opt) {}
+
+  void run(const FaultPlan& plan) override {
+    inner_ = std::make_unique<MemDisk>(4096);
+    // Generation 1: committed and checkpointed on the healthy device.
+    {
+      Journal seeded(*inner_, kJournalStart, kJournalBlocks, 1);
+      seeded.commit(SimTime::zero(), {JournalBlock{kHomeA, fill_a(1)},
+                                      JournalBlock{kHomeB, fill_b(1)}});
+      checkpoint(*inner_, kHomeA, fill_a(1));
+      checkpoint(*inner_, kHomeB, fill_b(1));
+    }
+    acked_gen_ = 1;
+
+    faulty_ = std::make_unique<FaultyDisk>(*inner_, plan);
+    BlockDevice* dev = faulty_.get();
+    if (opt_.drop_flush_barriers) {
+      buggy_ = std::make_unique<BarrierDroppingDevice>(*faulty_);
+      dev = buggy_.get();
+    }
+    Journal journal(*dev, kJournalStart, kJournalBlocks, 2);
+    SimTime t = SimTime::zero();
+    for (std::uint32_t g = 2; g < 2 + opt_.transactions; ++g) {
+      if (journal.aborted() || faulty_->dead()) break;
+      JournalResult cr = journal.commit(
+          t, {JournalBlock{kHomeA, fill_a(g)},
+              JournalBlock{kHomeB, fill_b(g)}});
+      t = cr.done;
+      if (!cr.ok()) break;
+      acked_gen_ = g;
+      checkpoint(*dev, kHomeA, fill_a(g));
+      checkpoint(*dev, kHomeB, fill_b(g));
+    }
+  }
+
+  std::uint64_t faulted_writes() const override {
+    return faulty_ ? faulty_->writes_seen() : 0;
+  }
+
+  CheckResult check() override {
+    // Reboot: replay on the healthy device, then the homes must hold one
+    // consistent generation, at least as new as the last acked commit.
+    Journal recovery(*inner_, kJournalStart, kJournalBlocks, 2);
+    if (!recovery.replay(SimTime::zero()).ok()) {
+      return CheckResult::fail("journal replay failed on healthy device");
+    }
+    std::vector<std::byte> a(kFsBlockSize), b(kFsBlockSize);
+    read_home(*inner_, kHomeA, a);
+    read_home(*inner_, kHomeB, b);
+    for (std::uint32_t g = 1; g < 2 + opt_.transactions; ++g) {
+      if (a == fill_a(g) && b == fill_b(g)) {
+        if (g < acked_gen_) {
+          return CheckResult::fail(
+              "acked generation " + std::to_string(acked_gen_) +
+              " lost: homes hold generation " + std::to_string(g));
+        }
+        return CheckResult::ok();
+      }
+    }
+    return CheckResult::fail("homes hold no consistent generation pair");
+  }
+
+ private:
+  static constexpr std::uint32_t kJournalStart = 1;
+  static constexpr std::uint32_t kJournalBlocks = 64;
+  static constexpr std::uint32_t kHomeA = 200;
+  static constexpr std::uint32_t kHomeB = 201;
+
+  static std::vector<std::byte> fill_a(std::uint32_t gen) {
+    return std::vector<std::byte>(kFsBlockSize,
+                                  static_cast<std::byte>(0xa0 + gen));
+  }
+  static std::vector<std::byte> fill_b(std::uint32_t gen) {
+    return std::vector<std::byte>(kFsBlockSize,
+                                  static_cast<std::byte>(0xb0 + gen));
+  }
+  static void checkpoint(BlockDevice& dev, std::uint32_t block,
+                         const std::vector<std::byte>& data) {
+    dev.write(SimTime::zero(),
+              static_cast<std::uint64_t>(block) * kFsSectorsPerBlock,
+              kFsSectorsPerBlock, data);
+  }
+  static void read_home(BlockDevice& dev, std::uint32_t block,
+                        std::vector<std::byte>& out) {
+    dev.read(SimTime::zero(),
+             static_cast<std::uint64_t>(block) * kFsSectorsPerBlock,
+             kFsSectorsPerBlock, out);
+  }
+
+  JournalWorkloadOptions opt_;
+  std::unique_ptr<MemDisk> inner_;
+  std::unique_ptr<FaultyDisk> faulty_;
+  std::unique_ptr<BarrierDroppingDevice> buggy_;
+  std::uint32_t acked_gen_ = 0;
+};
+
+// ===========================================================================
+// KvDb workload.
+
+std::string kv_key(const KvdbWorkloadOptions& opt, std::uint32_t slot) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "key%04u", slot % opt.keys);
+  return buf;
+}
+
+/// Value for (key, version): "<version>|<seeded payload>|<fnv checksum>".
+/// Fully determined by its inputs, so the checker both validates the
+/// embedded checksum and regenerates the exact expected bytes.
+std::string kv_value(const KvdbWorkloadOptions& opt, std::string_view key,
+                     std::uint32_t version) {
+  char head[16];
+  std::snprintf(head, sizeof(head), "%06u|", version);
+  std::string payload(opt.value_bytes, 'a');
+  std::uint64_t h =
+      fnv1a64(key.data(), key.size(), opt.workload_seed + version);
+  for (auto& c : payload) {
+    h = h * 6364136223846793005ull + 1442695040888963407ull;
+    c = static_cast<char>('a' + (h >> 33) % 26);
+  }
+  std::string v = std::string(head) + payload;
+  char sum[24];
+  std::snprintf(sum, sizeof(sum), "|%016llx",
+                static_cast<unsigned long long>(
+                    fnv1a64(v.data(), v.size())));
+  return v + sum;
+}
+
+class KvdbCrashWorkload final : public CrashWorkload {
+ public:
+  explicit KvdbCrashWorkload(KvdbWorkloadOptions opt) : opt_(opt) {}
+
+  void run(const FaultPlan& plan) override {
+    inner_ = std::make_unique<MemDisk>(kDiskSectors);
+    FsResult mk = ExtFs::mkfs(*inner_, SimTime::zero(), small_fs());
+    faulty_ = std::make_unique<FaultyDisk>(*inner_, plan);
+    auto m = ExtFs::mount(*faulty_, mk.done);
+    if (!m.ok()) return;
+    ExtFs& fs = *m.fs;
+    SimTime t = m.done;
+
+    auto op = kvdb::Db::open(fs, t, db_config());
+    if (!op.ok()) return;
+    kvdb::Db& db = *op.db;
+    t = op.done;
+
+    sim::Rng rng(opt_.workload_seed);
+    for (std::uint32_t p = 0; p < opt_.puts; ++p) {
+      if (db.fatal() || fs.read_only_at(t)) break;
+      const std::string key = kv_key(
+          opt_, static_cast<std::uint32_t>(
+                    rng.uniform_int(0, opt_.keys - 1)));
+      const std::uint32_t version = ++attempted_[key];
+      kvdb::DbResult pr = db.put(t, key, kv_value(opt_, key, version));
+      t = pr.done;
+      if (pr.ok()) {
+        acked_[key] = version;
+      }
+      // Stand in for the flush daemon: persist any swapped-out memtable.
+      if (db.flush_pending() && !db.fatal()) {
+        kvdb::DbResult fr = db.do_flush(t);
+        t = fr.done;
+      }
+      if ((p + 1) % opt_.barrier_every == 0 && !db.fatal() &&
+          !fs.read_only_at(t)) {
+        kvdb::DbResult f1 = db.flush(t);
+        t = f1.done;
+        FsResult f2 = fs.sync(t);
+        t = f2.done;
+        if (f1.ok() && f2.ok()) durable_ = acked_;
+      }
+    }
+    if (!db.fatal() && !fs.read_only_at(t)) {
+      kvdb::DbResult c = db.close(t);
+      t = c.done;
+      if (c.ok() && !fs.read_only_at(t)) {
+        FsResult u = fs.unmount(t);
+        if (u.ok()) durable_ = acked_;
+      }
+    }
+  }
+
+  std::uint64_t faulted_writes() const override {
+    return faulty_ ? faulty_->writes_seen() : 0;
+  }
+
+  CheckResult check() override {
+    auto m = ExtFs::mount(*inner_, SimTime::zero());
+    if (!m.ok()) {
+      return CheckResult::fail(std::string("remount failed: ") +
+                               errno_name(m.err));
+    }
+    ExtFs& fs = *m.fs;
+    SimTime t = m.done;
+    auto op = kvdb::Db::open(fs, t, db_config());
+    if (!op.ok()) {
+      return CheckResult::fail(std::string("db reopen failed: ") +
+                               errno_name(op.err));
+    }
+    kvdb::Db& db = *op.db;
+    t = op.done;
+
+    for (const auto& [key, attempted_version] : attempted_) {
+      const auto dit = durable_.find(key);
+      const std::uint32_t durable_version =
+          dit == durable_.end() ? 0 : dit->second;
+      kvdb::DbGetResult g = db.get(t, key);
+      t = g.done;
+      if (!g.ok()) {
+        return CheckResult::fail(key + ": get failed after recovery");
+      }
+      if (!g.found) {
+        if (durable_version != 0) {
+          std::ostringstream os;
+          os << key << ": synced key lost (durable version "
+             << durable_version << ")";
+          return CheckResult::fail(os.str());
+        }
+        continue;
+      }
+      unsigned version = 0;
+      if (std::sscanf(g.value.c_str(), "%06u|", &version) != 1 ||
+          version == 0 || version > attempted_version ||
+          g.value != kv_value(opt_, key, version)) {
+        return CheckResult::fail(key +
+                                 ": value failed checksum validation");
+      }
+      if (version < durable_version) {
+        std::ostringstream os;
+        os << key << ": rolled back past durable version ("
+           << version << " < " << durable_version << ")";
+        return CheckResult::fail(os.str());
+      }
+    }
+    kvdb::Db::VerifyReport vr = db.verify_integrity(t);
+    t = vr.done;
+    if (!vr.clean()) {
+      return CheckResult::fail(
+          "sst integrity: " +
+          (vr.problems.empty() ? std::string("io error")
+                               : vr.problems.front()));
+    }
+    kvdb::DbResult c = db.close(t);
+    t = c.done;
+    if (!c.ok()) return CheckResult::fail("db close failed after recovery");
+    FsResult u = fs.unmount(t);
+    if (!u.ok()) return CheckResult::fail("unmount failed after recovery");
+    ExtFs::FsckReport rep = ExtFs::fsck(*inner_, u.done);
+    if (!rep.clean()) {
+      return CheckResult::fail(
+          "fsck: " + (rep.problems.empty() ? std::string("io error")
+                                           : rep.problems.front()));
+    }
+    return CheckResult::ok();
+  }
+
+ private:
+  kvdb::DbConfig db_config() const {
+    kvdb::DbConfig cfg;
+    cfg.root = "/db";
+    cfg.write_buffer_bytes = 4ull << 10;  // frequent memtable switches
+    cfg.l0_compaction_trigger = 3;
+    cfg.target_sst_bytes = 64ull << 10;
+    cfg.seed = 0xdb5eedull;
+    return cfg;
+  }
+
+  KvdbWorkloadOptions opt_;
+  std::unique_ptr<MemDisk> inner_;
+  std::unique_ptr<FaultyDisk> faulty_;
+  std::unordered_map<std::string, std::uint32_t> attempted_;
+  std::unordered_map<std::string, std::uint32_t> acked_;
+  std::unordered_map<std::string, std::uint32_t> durable_;
+};
+
+}  // namespace
+
+WorkloadFactory extfs_append_workload(AppendWorkloadOptions options) {
+  return [options] {
+    return std::make_unique<ExtfsAppendWorkload>(options);
+  };
+}
+
+WorkloadFactory raid1_workload(AppendWorkloadOptions options) {
+  return [options] { return std::make_unique<Raid1Workload>(options); };
+}
+
+WorkloadFactory journal_pair_workload(JournalWorkloadOptions options) {
+  return [options] {
+    return std::make_unique<JournalPairWorkload>(options);
+  };
+}
+
+WorkloadFactory kvdb_workload(KvdbWorkloadOptions options) {
+  return [options] { return std::make_unique<KvdbCrashWorkload>(options); };
+}
+
+}  // namespace deepnote::storage

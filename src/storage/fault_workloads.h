@@ -1,0 +1,67 @@
+// Built-in CrashWorkloads for the fault harness (fault_harness.h):
+//
+//  * extfs_append_workload — append-only file workload on extfs over a
+//    faulted MemDisk. After the crash: remount, every fsync-acked prefix
+//    present, no unacked bytes visible beyond what a failed call could
+//    have buffered, fsck clean after unmount.
+//  * kvdb_workload — checksummed puts against kvdb on extfs over a
+//    faulted MemDisk, durability barriers via Db::flush + ExtFs::sync.
+//    After the crash: remount + WAL replay, every barrier-acked key at a
+//    version >= the acked one, every visible value checksum-valid,
+//    SST integrity + fsck clean.
+//  * raid1_workload — the append workload on a RAID-1 pair whose first
+//    member is faulted. The array must absorb the member failure: the
+//    surviving mirror alone mounts, fscks clean, and serves every
+//    acknowledged byte (no loss at all — the array never went down).
+//
+// The workloads' own op sequences are fixed by `workload_seed`
+// (independent of the fault plan), so every schedule of one workload
+// sees the same write stream and cut indices line up across variants.
+#pragma once
+
+#include <cstdint>
+
+#include "storage/fault_harness.h"
+
+namespace deepnote::storage {
+
+struct AppendWorkloadOptions {
+  std::uint32_t files = 3;
+  std::uint32_t appends = 56;       ///< total appends, round-robin
+  std::uint32_t max_append_bytes = 2500;  ///< keeps files in direct blocks
+  std::uint32_t fsync_every = 2;    ///< fsync the written file every N
+  std::uint32_t sync_every = 9;     ///< full ExtFs::sync every N
+  std::uint64_t workload_seed = 0xf11e5ull;
+};
+
+WorkloadFactory extfs_append_workload(AppendWorkloadOptions options = {});
+
+WorkloadFactory raid1_workload(AppendWorkloadOptions options = {});
+
+struct JournalWorkloadOptions {
+  std::uint32_t transactions = 2;  ///< committed generations after the seed
+  /// Injected regression: the device lies about flush barriers (a
+  /// write-cache firmware bug). The journal's commit protocol depends on
+  /// its pre-commit barrier; only the harness's reorder variant can see
+  /// the difference, so this knob is how the test suite proves the
+  /// harness catches a real protocol bug with a replayable schedule.
+  bool drop_flush_barriers = false;
+};
+
+/// Two-block journaled update through the real Journal: each generation
+/// commits a matching (A, B) block pair, then checkpoints it home. After
+/// the crash: replay on the healthy device, homes must hold the SAME
+/// generation (atomicity), at least as new as the last acked commit.
+WorkloadFactory journal_pair_workload(JournalWorkloadOptions options = {});
+
+struct KvdbWorkloadOptions {
+  std::uint32_t keys = 24;
+  std::uint32_t puts = 160;
+  std::uint32_t value_bytes = 40;
+  std::uint32_t barrier_every = 25;  ///< Db::flush + ExtFs::sync cadence
+  std::uint64_t workload_seed = 0x4b5eedull;
+};
+
+WorkloadFactory kvdb_workload(KvdbWorkloadOptions options = {});
+
+}  // namespace deepnote::storage

@@ -160,6 +160,14 @@ JournalResult Journal::replay(sim::SimTime now, std::uint64_t* applied_out) {
     ok = ch.magic == kJournalMagic &&
          ch.type == static_cast<std::uint32_t>(JournalBlockType::kCommit) &&
          ch.sequence == dh.sequence && ch.checksum == checksum;
+    // Sequence floor: a committed transaction older than the mount-time
+    // next_sequence was already checkpointed in a previous epoch. Re-applying
+    // it would resurrect stale block images (JBD2 solves this with revoke
+    // records; we solve it by never replaying across the floor).
+    if (ok && dh.sequence < sequence_) {
+      pos += 2 + dh.count;
+      continue;
+    }
     if (ok) {
       txns[dh.sequence] = std::move(txn);
       pos += 2 + dh.count;

@@ -47,9 +47,12 @@ class Journal {
   JournalResult commit(sim::SimTime now,
                        const std::vector<JournalBlock>& blocks);
 
-  /// Scan the journal and re-apply every fully committed transaction in
-  /// sequence order, writing blocks to their home locations. Used during
-  /// mount. `applied_out` (optional) counts replayed transactions.
+  /// Scan the journal and re-apply every fully committed transaction with
+  /// sequence >= the constructor's `next_sequence`, in sequence order,
+  /// writing blocks to their home locations. Older transactions were
+  /// checkpointed in a previous epoch and are skipped — replaying them
+  /// would resurrect stale block images. Used during mount. `applied_out`
+  /// (optional) counts replayed transactions.
   JournalResult replay(sim::SimTime now, std::uint64_t* applied_out = nullptr);
 
   /// Erase the journal area (descriptor magic bytes only — cheap).

@@ -71,35 +71,82 @@ Db::OpenResult Db::open(ExtFs& fs, sim::SimTime now, DbConfig config) {
   std::sort(wals.begin(), wals.end(),
             [](const Found& a, const Found& b) { return a.number < b.number; });
 
-  auto open_sst = [&](const Found& f,
-                      std::vector<std::unique_ptr<SstReader>>& into) -> bool {
+  struct OpenedSst {
+    std::uint64_t number = 0;
+    std::unique_ptr<SstReader> reader;
+  };
+  auto open_sst = [&](const Found& f, std::vector<OpenedSst>& into) -> bool {
     auto r = SstReader::open(fs, t, db->config_.root + "/" + f.name);
     t = r.done;
+    if (r.err == Errno::kEINVAL) {
+      // Structurally corrupt: the leftover of a failed or crashed flush.
+      // Its WAL was only retired after a successful SstReader::open, so
+      // the data is still in a .wal below — delete the garbage and move
+      // on (RocksDB does the same for files missing from the manifest).
+      FsResult ul = fs.unlink(t, db->config_.root + "/" + f.name);
+      t = ul.done;
+      if (!ul.ok()) {
+        out.err = ul.err;
+        return false;
+      }
+      ++out.corrupt_ssts_removed;
+      return true;
+    }
     if (!r.ok()) {
       out.err = r.err;
       return false;
     }
     db->last_sequence_ =
         std::max(db->last_sequence_, r.reader->max_sequence());
-    into.push_back(std::move(r.reader));
+    into.push_back({f.number, std::move(r.reader)});
     return true;
   };
+  std::vector<OpenedSst> l0r, l1r;
   for (const auto& f : l0s) {
-    if (!open_sst(f, db->l0_)) {
+    if (!open_sst(f, l0r)) {
       out.done = t;
       return out;
     }
   }
   for (const auto& f : l1s) {
-    if (!open_sst(f, db->l1_)) {
+    if (!open_sst(f, l1r)) {
       out.done = t;
       return out;
     }
   }
-  std::sort(db->l1_.begin(), db->l1_.end(),
-            [](const auto& a, const auto& b) {
-              return a->smallest() < b->smallest();
-            });
+  std::sort(l1r.begin(), l1r.end(), [](const auto& a, const auto& b) {
+    return a.reader->smallest() < b.reader->smallest();
+  });
+
+  // Resolve L1 overlaps left by a crashed compaction. Outputs are
+  // fsync'd before the input unlinks commit, so a crash can leave both
+  // generations visible, and there is no manifest to arbitrate. The
+  // higher-numbered file of an overlapping pair is the orphaned
+  // compaction output — a merged duplicate of the surviving inputs —
+  // so demote it to L0, where lookup precedence is by recency. The
+  // next compaction folds everything back into a disjoint L1.
+  std::vector<OpenedSst> l1_keep;
+  for (auto& s : l1r) {
+    if (!l1_keep.empty() &&
+        !(l1_keep.back().reader->largest() < s.reader->smallest())) {
+      ++out.l1_overlaps_demoted;
+      if (s.number > l1_keep.back().number) {
+        l0r.push_back(std::move(s));
+      } else {
+        l0r.push_back(std::move(l1_keep.back()));
+        l1_keep.back() = std::move(s);
+      }
+      continue;
+    }
+    l1_keep.push_back(std::move(s));
+  }
+
+  // L0: newest (highest number) first.
+  std::sort(l0r.begin(), l0r.end(), [](const auto& a, const auto& b) {
+    return a.number > b.number;
+  });
+  for (auto& s : l0r) db->l0_.push_back(std::move(s.reader));
+  for (auto& s : l1_keep) db->l1_.push_back(std::move(s.reader));
 
   // Replay WALs oldest-first, then delete them (their contents will be in
   // the next flush).

@@ -81,6 +81,12 @@ class Db {
     sim::SimTime done = sim::SimTime::zero();
     std::unique_ptr<Db> db;
     std::uint64_t wal_records_recovered = 0;
+    /// Leftovers of failed/crashed flushes deleted during recovery; their
+    /// contents were still covered by a live WAL (see open_sst).
+    std::uint64_t corrupt_ssts_removed = 0;
+    /// Orphaned compaction outputs found overlapping surviving L1 inputs
+    /// after a crash; demoted to L0 until the next compaction.
+    std::uint64_t l1_overlaps_demoted = 0;
     bool ok() const { return err == Errno::kOk; }
   };
   static OpenResult open(ExtFs& fs, sim::SimTime now, DbConfig config = {});

@@ -8,11 +8,37 @@ namespace deepnote::storage {
 MemDisk::MemDisk(std::uint64_t total_sectors, sim::Duration latency)
     : total_sectors_(total_sectors), latency_(latency) {}
 
-bool MemDisk::should_fail() {
-  ++ops_;
-  if (failing_) return true;
-  if (ops_ > fail_after_) return true;
-  return false;
+void MemDisk::fail_after(std::uint64_t count, unsigned ops) {
+  fail_after_ = count;
+  fail_ops_ = ops;
+  matched_ops_ = 0;
+  first_failure_.reset();
+}
+
+void MemDisk::clear_fault() {
+  failing_ = false;
+  fail_after_ = ~0ull;
+  fail_ops_ = fault_ops::kAll;
+  matched_ops_ = 0;
+  first_failure_.reset();
+}
+
+bool MemDisk::should_fail(DiskOpKind kind, std::uint64_t lba,
+                          std::uint32_t sector_count) {
+  const std::uint64_t index = ops_++;
+  switch (kind) {
+    case DiskOpKind::kRead: ++reads_; break;
+    case DiskOpKind::kWrite: ++writes_; break;
+    case DiskOpKind::kFlush: ++flushes_; break;
+  }
+  bool fail = failing_;
+  if (!fail && (fail_ops_ & fault_ops::mask_of(kind)) != 0) {
+    fail = matched_ops_++ >= fail_after_;
+  }
+  if (fail && !first_failure_) {
+    first_failure_ = FailedOp{index, kind, lba, sector_count};
+  }
+  return fail;
 }
 
 BlockIo MemDisk::read(sim::SimTime now, std::uint64_t lba,
@@ -23,7 +49,9 @@ BlockIo MemDisk::read(sim::SimTime now, std::uint64_t lba,
   if (out.size() != static_cast<std::size_t>(sector_count) * kBlockSectorSize) {
     throw std::invalid_argument("MemDisk::read size mismatch");
   }
-  if (should_fail()) return BlockIo{BlockStatus::kIoError, now + latency_};
+  if (should_fail(DiskOpKind::kRead, lba, sector_count)) {
+    return BlockIo{BlockStatus::kIoError, now + latency_};
+  }
   for (std::uint32_t s = 0; s < sector_count; ++s) {
     const std::uint64_t sector = lba + s;
     const auto it = chunks_.find(sector / kSectorsPerChunk);
@@ -49,7 +77,9 @@ BlockIo MemDisk::write(sim::SimTime now, std::uint64_t lba,
   if (in.size() != static_cast<std::size_t>(sector_count) * kBlockSectorSize) {
     throw std::invalid_argument("MemDisk::write size mismatch");
   }
-  if (should_fail()) return BlockIo{BlockStatus::kIoError, now + latency_};
+  if (should_fail(DiskOpKind::kWrite, lba, sector_count)) {
+    return BlockIo{BlockStatus::kIoError, now + latency_};
+  }
   for (std::uint32_t s = 0; s < sector_count; ++s) {
     const std::uint64_t sector = lba + s;
     auto& chunk = chunks_[sector / kSectorsPerChunk];
@@ -67,7 +97,9 @@ BlockIo MemDisk::write(sim::SimTime now, std::uint64_t lba,
 }
 
 BlockIo MemDisk::flush(sim::SimTime now) {
-  if (should_fail()) return BlockIo{BlockStatus::kIoError, now + latency_};
+  if (should_fail(DiskOpKind::kFlush, 0, 0)) {
+    return BlockIo{BlockStatus::kIoError, now + latency_};
+  }
   return BlockIo{BlockStatus::kOk, now + latency_};
 }
 

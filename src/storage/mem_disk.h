@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -27,13 +28,29 @@ class MemDisk final : public BlockDevice {
 
   /// Fail every operation from now on (fault injection).
   void set_failing(bool failing) { failing_ = failing; }
-  /// Fail operations after `count` more successes (fault injection).
-  void fail_after(std::uint64_t count) { fail_after_ = count; }
+  /// Fail matching operations after `count` more matching successes;
+  /// `ops` is a fault_ops:: mask selecting which kinds count (and fail).
+  /// Non-matching kinds keep working — e.g. fail_after(0,
+  /// fault_ops::kWrites) models a drive that stops taking writes but
+  /// still reads. Replaces any previous countdown.
+  void fail_after(std::uint64_t count, unsigned ops = fault_ops::kAll);
+  /// Disarm fail_after()/set_failing() and forget the recorded failure.
+  void clear_fault();
+
+  /// The first operation an armed injector failed, with its op index and
+  /// kind, so fault-harness shrink reports can name the victim.
+  const std::optional<FailedOp>& first_failure() const {
+    return first_failure_;
+  }
 
   std::uint64_t op_count() const { return ops_; }
+  std::uint64_t read_count() const { return reads_; }
+  std::uint64_t write_count() const { return writes_; }
+  std::uint64_t flush_count() const { return flushes_; }
 
  private:
-  bool should_fail();
+  bool should_fail(DiskOpKind kind, std::uint64_t lba,
+                   std::uint32_t sector_count);
 
   static constexpr std::uint32_t kSectorsPerChunk = 256;  // 128 KiB
 
@@ -42,7 +59,13 @@ class MemDisk final : public BlockDevice {
   std::unordered_map<std::uint64_t, std::vector<std::byte>> chunks_;
   bool failing_ = false;
   std::uint64_t fail_after_ = ~0ull;
+  unsigned fail_ops_ = fault_ops::kAll;
+  std::uint64_t matched_ops_ = 0;  ///< matching ops since fail_after()
+  std::optional<FailedOp> first_failure_;
   std::uint64_t ops_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t flushes_ = 0;
 };
 
 }  // namespace deepnote::storage

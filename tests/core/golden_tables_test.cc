@@ -1,0 +1,86 @@
+// Golden-table regression suite for the paper's headline results.
+//
+// Each test runs the SAME pipeline as the corresponding bench binary
+// (core/paper_tables.h) at a reduced scale and default seed, renders the
+// table to CSV, and diffs it byte-for-byte against the checked-in golden
+// under tests/golden/. There is NO tolerance: any drift in physics,
+// storage modelling, trial seeding, or table formatting fails the diff.
+//
+// Intentional changes: regenerate the goldens with
+//
+//     DEEPNOTE_UPDATE_GOLDEN=1 ctest -R GoldenTables
+//
+// then review the CSV diff like any other code change (see README.md).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/paper_tables.h"
+
+namespace deepnote::core {
+namespace {
+
+// Scales chosen so the whole suite stays in test-budget territory while
+// the attack effects (throughput collapse, crashes) remain visible.
+constexpr double kSweepScale = 0.1;
+constexpr double kRangeScale = 0.1;
+constexpr double kCrashScale = 0.5;  // limit 150 s; crashes hit ~81 s
+
+std::string golden_path(const std::string& name) {
+  return std::string(DEEPNOTE_GOLDEN_DIR) + "/" + name;
+}
+
+void diff_against_golden(const sim::Table& table, const std::string& name) {
+  const std::string rendered = table.to_csv();
+  const std::string path = golden_path(name);
+  if (std::getenv("DEEPNOTE_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << rendered;
+    out.close();
+    ASSERT_TRUE(out.good()) << "short write to " << path;
+    std::printf("[golden updated: %s]\n", path.c_str());
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing golden " << path
+      << " — generate it with DEEPNOTE_UPDATE_GOLDEN=1";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), rendered)
+      << "table drifted from " << path
+      << "\nIf intentional, regenerate with DEEPNOTE_UPDATE_GOLDEN=1 "
+         "and review the CSV diff.";
+}
+
+TEST(GoldenTables, Fig2FrequencySweep) {
+  const Figure2Series series = run_figure2(figure2_config(kSweepScale));
+  diff_against_golden(format_figure2(series, /*write_side=*/true),
+                      "fig2_frequency_sweep_write.csv");
+  diff_against_golden(format_figure2(series, /*write_side=*/false),
+                      "fig2_frequency_sweep_read.csv");
+}
+
+TEST(GoldenTables, Table1RangeFio) {
+  diff_against_golden(build_table1(table1_config(kRangeScale)),
+                      "table1_range_fio.csv");
+}
+
+TEST(GoldenTables, Table2RangeKvdb) {
+  diff_against_golden(
+      build_table2(table2_config(kRangeScale),
+                   table2_bench_config(kRangeScale), table2_db_config()),
+      "table2_range_kvdb.csv");
+}
+
+TEST(GoldenTables, Table3Crashes) {
+  diff_against_golden(build_table3(table3_config(kCrashScale)),
+                      "table3_crashes.csv");
+}
+
+}  // namespace
+}  // namespace deepnote::core

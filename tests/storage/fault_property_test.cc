@@ -1,0 +1,85 @@
+// Property tests: randomized workload shapes under randomized fault
+// schedules. Each case derives everything from the gtest seed parameter,
+// and every assertion logs the (base_seed, schedule_index) pair so a
+// failure replays exactly with:
+//
+//     replay_schedule(factory, base_seed, index);
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+#include "storage/fault_harness.h"
+#include "storage/fault_workloads.h"
+
+namespace deepnote::storage {
+namespace {
+
+std::uint64_t benign_write_count(const WorkloadFactory& factory) {
+  auto w = factory();
+  w->run(FaultPlan{});
+  return w->faulted_writes();
+}
+
+class ExtfsFaultPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExtfsFaultPropertyTest, NeverFsckCorruptNorLosesSyncedBytes) {
+  const std::uint64_t seed = GetParam();
+  sim::Rng rng(seed);
+
+  AppendWorkloadOptions opt;
+  opt.files = static_cast<std::uint32_t>(rng.uniform_int(1, 4));
+  opt.appends = static_cast<std::uint32_t>(rng.uniform_int(6, 24));
+  opt.max_append_bytes =
+      static_cast<std::uint32_t>(rng.uniform_int(1, 4000));
+  opt.fsync_every = static_cast<std::uint32_t>(rng.uniform_int(1, 4));
+  opt.sync_every = static_cast<std::uint32_t>(rng.uniform_int(3, 12));
+  opt.workload_seed = rng.next_u64();
+  const WorkloadFactory factory = extfs_append_workload(opt);
+
+  const std::uint64_t writes = benign_write_count(factory);
+  ASSERT_GT(writes, 0u);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::uint64_t index =
+        rng.uniform_int(0, writes * kNumFaultVariants - 1);
+    const CheckResult r = replay_schedule(factory, seed, index);
+    EXPECT_TRUE(r.passed)
+        << r.detail << "\n  replay: seed=" << seed << " index=" << index
+        << " — " << schedule_at(seed, index).describe();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtfsFaultPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+class KvdbFaultPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KvdbFaultPropertyTest, NeverLosesSyncedKeyNorServesBadChecksum) {
+  const std::uint64_t seed = GetParam();
+  sim::Rng rng(seed);
+
+  KvdbWorkloadOptions opt;
+  opt.keys = static_cast<std::uint32_t>(rng.uniform_int(4, 32));
+  opt.puts = static_cast<std::uint32_t>(rng.uniform_int(20, 80));
+  opt.value_bytes = static_cast<std::uint32_t>(rng.uniform_int(8, 120));
+  opt.barrier_every = static_cast<std::uint32_t>(rng.uniform_int(5, 30));
+  opt.workload_seed = rng.next_u64();
+  const WorkloadFactory factory = kvdb_workload(opt);
+
+  const std::uint64_t writes = benign_write_count(factory);
+  ASSERT_GT(writes, 0u);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::uint64_t index =
+        rng.uniform_int(0, writes * kNumFaultVariants - 1);
+    const CheckResult r = replay_schedule(factory, seed, index);
+    EXPECT_TRUE(r.passed)
+        << r.detail << "\n  replay: seed=" << seed << " index=" << index
+        << " — " << schedule_at(seed, index).describe();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvdbFaultPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace deepnote::storage

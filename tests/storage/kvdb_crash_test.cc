@@ -1,134 +1,63 @@
-// Crash-consistency property tests for the LSM store on the full stack
-// (extfs on the HDD model, volatile write cache included).
+// Crash-consistency exploration for the LSM store on extfs.
 //
-// Property: after a random power cut, reopening the store recovers every
-// write acknowledged BEFORE the last successful durability point (WAL
-// sync / flush), and never returns a value that was never written.
+// Property: after ANY fault schedule — clean power cut at every write
+// boundary, torn writes, write-cache reordering, transient EIO bursts —
+// reopening the store recovers every key acknowledged before the last
+// successful durability point (Db::flush + ExtFs::sync), every visible
+// value passes its embedded checksum, and SSTs + filesystem fsck clean.
+//
+// All schedules run through the fault harness (storage/fault_harness.h)
+// and replay from (seed, index); the workload oracle lives in
+// storage/fault_workloads.cc.
 #include <gtest/gtest.h>
 
-#include <map>
-#include <string>
+#include "storage/fault_harness.h"
+#include "storage/fault_workloads.h"
 
-#include "hdd/drive.h"
-#include "sim/rng.h"
-#include "storage/extfs.h"
-#include "storage/kvdb/db.h"
-#include "storage/os_device.h"
-
-namespace deepnote::storage::kvdb {
+namespace deepnote::storage {
 namespace {
 
-using sim::SimTime;
-
-hdd::HddConfig small_drive(std::uint64_t seed) {
-  hdd::HddConfig cfg;
-  cfg.geometry = hdd::Geometry(
-      2, 7200.0, 100.0,
-      {hdd::Zone{0, 512, 512}, hdd::Zone{0, 512, 384}});  // ~450 MiB
-  cfg.servo.false_trip_max_hz = 0.0;
-  cfg.rng_seed = seed;
-  return cfg;
+KvdbWorkloadOptions quick_options(std::uint64_t seed) {
+  KvdbWorkloadOptions opt;
+  opt.keys = 12;
+  opt.puts = 30;
+  opt.barrier_every = 8;
+  opt.workload_seed = seed;
+  return opt;
 }
 
-class KvdbCrashTest : public ::testing::TestWithParam<std::uint64_t> {};
-
-TEST_P(KvdbCrashTest, DurablePrefixSurvivesPowerCut) {
-  const std::uint64_t seed = GetParam();
-  sim::Rng rng(seed);
-  hdd::Hdd drive(small_drive(seed));
-  OsBlockDevice dev(drive);
-
-  SimTime t = SimTime::zero();
-  MkfsOptions mkfs;
-  mkfs.journal_blocks = 128;
-  ASSERT_TRUE(ExtFs::mkfs(dev, t, mkfs).ok());
-
-  std::map<std::string, std::string> model;        // everything written
-  std::map<std::string, std::string> durable;      // state at last sync
-  SimTime crash_time;
-  {
-    auto mount = ExtFs::mount(dev, t);
-    ASSERT_TRUE(mount.ok());
-    DbConfig cfg;
-    cfg.write_buffer_bytes = 128 << 10;
-    auto open = Db::open(*mount.fs, mount.done, cfg);
-    ASSERT_TRUE(open.ok());
-    Db& db = *open.db;
-    t = open.done;
-
-    const int ops = 200 + static_cast<int>(rng.uniform_int(0, 400));
-    const int crash_at = static_cast<int>(rng.uniform_int(50, ops - 1));
-    for (int op = 0; op < ops; ++op) {
-      if (op == crash_at) break;
-      const std::string key =
-          "k" + std::to_string(rng.uniform_int(0, 100));
-      const std::string value = "v" + std::to_string(op);
-      auto r = db.put(t, key, value);
-      if (r.err == Errno::kEAGAIN || db.flush_pending()) {
-        auto fr = db.do_flush(t);
-        ASSERT_TRUE(fr.ok());
-        t = fr.done;
-        if (r.err == Errno::kEAGAIN) {
-          --op;
-          continue;
-        }
-      }
-      ASSERT_TRUE(r.ok());
-      t = r.done;
-      model[key] = value;
-      // Periodic explicit durability point: flush + fs sync.
-      if (rng.bernoulli(0.05)) {
-        auto fr = db.flush(t);
-        ASSERT_TRUE(fr.ok());
-        auto sr = mount.fs->sync(fr.done);
-        ASSERT_TRUE(sr.ok());
-        t = sr.done;
-        durable = model;
-      }
-    }
-    crash_time = t;
-    drive.power_cut();
-  }
-
-  // Recovery on the same device contents.
-  auto mount = ExtFs::mount(dev, crash_time);
-  ASSERT_TRUE(mount.ok()) << "remount failed (seed " << seed << ")";
-  DbConfig cfg;
-  cfg.write_buffer_bytes = 128 << 10;
-  auto open = Db::open(*mount.fs, mount.done, cfg);
-  ASSERT_TRUE(open.ok()) << "db reopen failed (seed " << seed << ")";
-  Db& db = *open.db;
-  SimTime t2 = open.done;
-
-  // 1. Every durable key/value must be present with a value at least as
-  //    new as the durable one (later writes may also have survived).
-  for (const auto& [key, value] : durable) {
-    auto g = db.get(t2, key);
-    ASSERT_TRUE(g.ok());
-    t2 = g.done;
-    ASSERT_TRUE(g.found) << "durable key lost: " << key << " (seed "
-                         << seed << ")";
-    // The recovered value is the durable one or any later write of the
-    // same key from the model.
-    EXPECT_TRUE(g.value == value || model.at(key) == g.value)
-        << key << " -> " << g.value;
-  }
-  // 2. No phantom values: anything found must match some write we made.
-  for (int i = 0; i <= 100; ++i) {
-    const std::string key = "k" + std::to_string(i);
-    auto g = db.get(t2, key);
-    ASSERT_TRUE(g.ok());
-    t2 = g.done;
-    if (g.found) {
-      auto it = model.find(key);
-      ASSERT_NE(it, model.end()) << "phantom key " << key;
-      EXPECT_EQ(g.value.substr(0, 1), "v");
-    }
-  }
+TEST(KvdbCrashTest, DurablePrefixSurvivesEveryFaultSchedule) {
+  const ExploreReport report =
+      explore(kvdb_workload(quick_options(0x4b5eedull)), ExploreOptions{});
+  EXPECT_TRUE(report.passed()) << report.summary();
+  EXPECT_GT(report.write_count, 0u);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, KvdbCrashTest,
-                         ::testing::Range<std::uint64_t>(1, 13));
+// Frequent barriers make almost every put durably acknowledged — the
+// strictest version of the oracle (any lost ack is a failure).
+TEST(KvdbCrashTest, TightBarrierCadenceSurvivesEverySchedule) {
+  KvdbWorkloadOptions opt = quick_options(0x4b5eedull);
+  opt.puts = 20;
+  opt.barrier_every = 2;
+  const ExploreReport report =
+      explore(kvdb_workload(opt), ExploreOptions{});
+  EXPECT_TRUE(report.passed()) << report.summary();
+}
+
+class KvdbCrashSeedTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(KvdbCrashSeedTest, DurablePrefixSurvivesRandomizedDraws) {
+  ExploreOptions options;
+  options.seed = GetParam();
+  const ExploreReport report =
+      explore(kvdb_workload(quick_options(GetParam())), options);
+  EXPECT_TRUE(report.passed())
+      << report.summary() << " (base seed " << GetParam() << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvdbCrashSeedTest,
+                         ::testing::Range<std::uint64_t>(1, 5));
 
 }  // namespace
-}  // namespace deepnote::storage::kvdb
+}  // namespace deepnote::storage

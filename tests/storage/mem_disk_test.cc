@@ -49,6 +49,72 @@ TEST(MemDiskTest, FailAfterCountdown) {
   EXPECT_FALSE(disk.flush(SimTime::zero()).ok());
 }
 
+TEST(MemDiskTest, FailAfterCountsFromArming) {
+  MemDisk disk(1024);
+  std::vector<std::byte> buf(kBlockSectorSize);
+  // Ops before arming do not count against the budget.
+  EXPECT_TRUE(disk.read(SimTime::zero(), 0, 1, buf).ok());
+  EXPECT_TRUE(disk.read(SimTime::zero(), 0, 1, buf).ok());
+  disk.fail_after(1);
+  EXPECT_TRUE(disk.write(SimTime::zero(), 0, 1, buf).ok());
+  EXPECT_FALSE(disk.write(SimTime::zero(), 0, 1, buf).ok());
+}
+
+TEST(MemDiskTest, FailAfterFiltersByOpKind) {
+  MemDisk disk(1024);
+  std::vector<std::byte> buf(kBlockSectorSize);
+  disk.fail_after(0, fault_ops::kWrites);
+  // Reads and flushes keep working; writes die immediately.
+  EXPECT_TRUE(disk.read(SimTime::zero(), 0, 1, buf).ok());
+  EXPECT_TRUE(disk.flush(SimTime::zero()).ok());
+  EXPECT_FALSE(disk.write(SimTime::zero(), 4, 1, buf).ok());
+  EXPECT_TRUE(disk.read(SimTime::zero(), 0, 1, buf).ok());
+}
+
+TEST(MemDiskTest, FirstFailureReportsOpIndexAndKind) {
+  MemDisk disk(1024);
+  std::vector<std::byte> buf(kBlockSectorSize);
+  disk.fail_after(1, fault_ops::kWrites);
+  EXPECT_TRUE(disk.read(SimTime::zero(), 0, 1, buf).ok());    // op 0
+  EXPECT_TRUE(disk.write(SimTime::zero(), 8, 1, buf).ok());   // op 1
+  EXPECT_FALSE(disk.write(SimTime::zero(), 16, 2,
+                          std::vector<std::byte>(2 * kBlockSectorSize))
+                   .ok());                                    // op 2
+  ASSERT_TRUE(disk.first_failure().has_value());
+  const FailedOp& f = *disk.first_failure();
+  EXPECT_EQ(f.op_index, 2u);
+  EXPECT_EQ(f.kind, DiskOpKind::kWrite);
+  EXPECT_EQ(f.lba, 16u);
+  EXPECT_EQ(f.sector_count, 2u);
+  EXPECT_STREQ(disk_op_name(f.kind), "write");
+  // Later failures do not overwrite the first record.
+  EXPECT_FALSE(disk.write(SimTime::zero(), 0, 1, buf).ok());
+  EXPECT_EQ(disk.first_failure()->lba, 16u);
+}
+
+TEST(MemDiskTest, ClearFaultDisarmsAndForgets) {
+  MemDisk disk(1024);
+  std::vector<std::byte> buf(kBlockSectorSize);
+  disk.fail_after(0);
+  EXPECT_FALSE(disk.read(SimTime::zero(), 0, 1, buf).ok());
+  disk.clear_fault();
+  EXPECT_TRUE(disk.read(SimTime::zero(), 0, 1, buf).ok());
+  EXPECT_FALSE(disk.first_failure().has_value());
+}
+
+TEST(MemDiskTest, PerKindOpCounters) {
+  MemDisk disk(1024);
+  std::vector<std::byte> buf(kBlockSectorSize);
+  disk.read(SimTime::zero(), 0, 1, buf);
+  disk.write(SimTime::zero(), 0, 1, buf);
+  disk.write(SimTime::zero(), 1, 1, buf);
+  disk.flush(SimTime::zero());
+  EXPECT_EQ(disk.read_count(), 1u);
+  EXPECT_EQ(disk.write_count(), 2u);
+  EXPECT_EQ(disk.flush_count(), 1u);
+  EXPECT_EQ(disk.op_count(), 4u);
+}
+
 TEST(MemDiskTest, BoundsChecked) {
   MemDisk disk(10);
   std::vector<std::byte> buf(kBlockSectorSize);
