@@ -1,0 +1,255 @@
+// Distills benchmark output into the repo's BENCH_PR3.json format.
+//
+// Inputs:
+//   --micro <file>     google-benchmark JSON (--benchmark_format=json) with
+//                      the micro suites. Per-op time is derived from
+//                      items_per_second when a suite reports items, else
+//                      cpu_time per iteration is used.
+//   --baseline <file>  optional. Either a previous BENCH file (its
+//                      baseline_* numbers are carried forward unchanged)
+//                      or a raw google-benchmark JSON (distilled and used
+//                      as the baseline, for the first generation).
+//   --table2           run the reduced Table-2 kvdb range sweep end to end
+//                      (serial, wall-clocked) and record trials/sec.
+//   --out <file>       output path (default: BENCH_PR3.json).
+//
+// The emitted file is the input format of tools/bench_compare.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/range_test.h"
+#include "core/scenario.h"
+#include "storage/kvdb/db.h"
+#include "tools/minijson.h"
+#include "workload/db_bench.h"
+
+namespace {
+
+using deepnote::tools::JsonValue;
+using deepnote::tools::json_escape;
+using deepnote::tools::json_parse;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// name -> ns per op, from a google-benchmark JSON tree.
+std::map<std::string, double> distill_micro(const JsonValue& root) {
+  std::map<std::string, double> out;
+  const JsonValue* benches = root.find("benchmarks");
+  if (benches == nullptr || !benches->is_array()) {
+    throw std::runtime_error("no 'benchmarks' array: not google-benchmark JSON");
+  }
+  for (const JsonValue& b : benches->array) {
+    const JsonValue* name = b.find("name");
+    if (name == nullptr || !name->is_string()) continue;
+    // Skip aggregate rows (mean/median/stddev of repetitions).
+    if (b.find("aggregate_name") != nullptr) continue;
+    const JsonValue* items = b.find("items_per_second");
+    const JsonValue* cpu = b.find("cpu_time");
+    double ns_per_op = 0.0;
+    if (items != nullptr && items->is_number() && items->number > 0) {
+      ns_per_op = 1e9 / items->number;
+    } else if (cpu != nullptr && cpu->is_number()) {
+      ns_per_op = cpu->number;  // time_unit is ns in our suites
+    } else {
+      continue;
+    }
+    out[name->str] = ns_per_op;
+  }
+  return out;
+}
+
+struct EndToEnd {
+  std::uint64_t trials = 0;
+  double wall_s = 0.0;
+  double trials_per_s = 0.0;
+  std::uint64_t total_ops = 0;
+};
+
+/// The reduced Table-2 sweep: readwhilewriting over the LSM store at three
+/// attack distances. Serial so the wall-clock number is stable; one
+/// warm-up pass plus best-of-2 timed passes keeps cold-start page faults
+/// and scheduler noise out of the recorded rate.
+EndToEnd run_table2() {
+  using namespace deepnote;
+  core::RangeTest range(core::ScenarioId::kPlasticTower);
+  core::RangeTestConfig config;
+  config.attack.frequency_hz = 650.0;
+  config.attack.spl_air_db = 140.0;
+  config.attack.distance_m = 0.01;
+  config.distances_m = {std::nullopt, 0.01, 0.15};
+  config.ramp = sim::Duration::from_seconds(0.5);
+  config.duration = sim::Duration::from_seconds(2.0);
+  config.jobs = 1;
+
+  workload::DbBenchConfig bench;
+  bench.preload_keys = 2000;
+  bench.reader_actors = 2;
+  bench.ramp = sim::Duration::from_seconds(0.5);
+  bench.duration = sim::Duration::from_seconds(2.0);
+  storage::kvdb::DbConfig db;
+
+  (void)range.run_kvdb(config, bench, db);  // warm-up
+
+  EndToEnd e;
+  for (int rep = 0; rep < 2; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto rows = range.run_kvdb(config, bench, db);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall = std::chrono::duration<double>(t1 - t0).count();
+    if (rep == 0 || wall < e.wall_s) {
+      e.trials = rows.size();
+      e.wall_s = wall;
+      e.trials_per_s = wall > 0 ? static_cast<double>(e.trials) / wall : 0;
+      e.total_ops = 0;
+      for (const auto& row : rows) e.total_ops += row.report.ops;
+    }
+  }
+  return e;
+}
+
+void emit_number_or_null(std::ostream& os, std::optional<double> v) {
+  if (v.has_value()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", *v);
+    os << buf;
+  } else {
+    os << "null";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string micro_path;
+  std::string baseline_path;
+  std::string out_path = "BENCH_PR3.json";
+  bool with_table2 = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_json: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--micro") {
+      micro_path = next();
+    } else if (arg == "--baseline") {
+      baseline_path = next();
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--table2") {
+      with_table2 = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_json --micro <gbench.json> [--baseline "
+                   "<file>] [--table2] [--out <file>]\n");
+      return 2;
+    }
+  }
+  if (micro_path.empty()) {
+    std::fprintf(stderr, "bench_json: --micro is required\n");
+    return 2;
+  }
+
+  try {
+    // The end-to-end sweep runs first, on a clean heap: parsing the JSON
+    // inputs leaves thousands of live small allocations that measurably
+    // slow the allocation-heavy simulation.
+    std::optional<EndToEnd> table2;
+    if (with_table2) {
+      std::fprintf(stderr, "bench_json: running reduced Table-2 sweep...\n");
+      table2 = run_table2();
+    }
+
+    const std::map<std::string, double> current =
+        distill_micro(json_parse(read_file(micro_path)));
+
+    std::map<std::string, double> baseline;
+    std::optional<double> baseline_trials_per_s;
+    if (!baseline_path.empty()) {
+      const JsonValue base = json_parse(read_file(baseline_path));
+      if (base.find("benchmarks") != nullptr) {
+        baseline = distill_micro(base);  // raw google-benchmark JSON
+      } else if (const JsonValue* suites = base.find("suites")) {
+        // A previous BENCH file: keep its recorded baselines.
+        for (const auto& [name, suite] : suites->object) {
+          if (const JsonValue* b = suite.find("baseline_ns_per_op");
+              b != nullptr && b->is_number()) {
+            baseline[name] = b->number;
+          }
+        }
+        if (const JsonValue* b = base.find_path(
+                {"end_to_end", "table2_range_kvdb", "baseline_trials_per_s"});
+            b != nullptr && b->is_number()) {
+          baseline_trials_per_s = b->number;
+        }
+      } else {
+        throw std::runtime_error("unrecognized --baseline format");
+      }
+    }
+
+    std::ofstream os(out_path, std::ios::binary);
+    if (!os) {
+      throw std::runtime_error("cannot write " + out_path);
+    }
+    os << "{\n  \"schema\": \"deepnote-bench-v1\",\n  \"suites\": {\n";
+    bool first = true;
+    for (const auto& [name, ns] : current) {
+      if (!first) os << ",\n";
+      first = false;
+      os << "    \"" << json_escape(name) << "\": {\"baseline_ns_per_op\": ";
+      auto it = baseline.find(name);
+      emit_number_or_null(
+          os, it != baseline.end() ? std::optional<double>(it->second)
+                                   : std::nullopt);
+      os << ", \"current_ns_per_op\": ";
+      emit_number_or_null(os, ns);
+      os << ", \"speedup\": ";
+      emit_number_or_null(os, it != baseline.end() && ns > 0
+                                  ? std::optional<double>(it->second / ns)
+                                  : std::nullopt);
+      os << "}";
+    }
+    os << "\n  }";
+    if (table2.has_value()) {
+      os << ",\n  \"end_to_end\": {\n    \"table2_range_kvdb\": {"
+         << "\"trials\": " << table2->trials << ", \"wall_s\": ";
+      emit_number_or_null(os, table2->wall_s);
+      os << ", \"current_trials_per_s\": ";
+      emit_number_or_null(os, table2->trials_per_s);
+      os << ", \"baseline_trials_per_s\": ";
+      emit_number_or_null(os, baseline_trials_per_s);
+      os << ", \"speedup\": ";
+      emit_number_or_null(
+          os, baseline_trials_per_s.has_value() && *baseline_trials_per_s > 0
+                  ? std::optional<double>(table2->trials_per_s /
+                                          *baseline_trials_per_s)
+                  : std::nullopt);
+      os << ", \"total_ops\": " << table2->total_ops << "}\n  }";
+    }
+    os << "\n}\n";
+    std::fprintf(stderr, "bench_json: wrote %s (%zu suites%s)\n",
+                 out_path.c_str(), current.size(),
+                 table2.has_value() ? " + table2 end-to-end" : "");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_json: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

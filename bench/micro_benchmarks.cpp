@@ -9,6 +9,7 @@
 #include "core/scenario.h"
 #include "core/testbed.h"
 #include "hdd/drive.h"
+#include "hdd/sector_store.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 #include "sim/stats.h"
@@ -20,6 +21,7 @@
 #include "storage/kvdb/db.h"
 #include "storage/kvdb/memtable.h"
 #include "storage/mem_disk.h"
+#include "workload/db_bench.h"
 
 using namespace deepnote;
 
@@ -34,17 +36,96 @@ static void BM_RngNextDouble(benchmark::State& state) {
 }
 BENCHMARK(BM_RngNextDouble);
 
+// The queue persists across iterations, matching how the simulator uses
+// it: one queue, warm, for an entire run. Each iteration schedules a
+// batch of kEventBatch events at scattered times and drains them; the
+// batch is sized to the pending-event depth a live trial sustains
+// (tens of actor daemons and drive/fs timers, not thousands).
+constexpr int kEventBatch = 64;
 static void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  sim::EventQueue q;
+  std::int64_t base = 0;
   for (auto _ : state) {
-    sim::EventQueue q;
-    for (int i = 0; i < 1000; ++i) {
-      q.schedule(sim::SimTime((i * 7919) % 1009), [] {});
+    for (int i = 0; i < kEventBatch; ++i) {
+      q.schedule(sim::SimTime(base + (i * 7919) % 1009), [] {});
     }
     while (!q.empty()) benchmark::DoNotOptimize(q.pop().time);
+    base += 1009;
   }
-  state.SetItemsProcessed(state.iterations() * 1000);
+  state.SetItemsProcessed(state.iterations() * kEventBatch);
 }
 BENCHMARK(BM_EventQueueScheduleAndPop);
+
+// Schedule/pop with an actor-sized capture (~40 bytes): the shape every
+// daemon/timeout event in the workload layer has. Small enough for the
+// event kernel's inline callable storage; large enough that
+// std::function would heap-allocate it.
+static void BM_EventQueueScheduleAndPopCapture(benchmark::State& state) {
+  struct Ctx {
+    std::uint64_t a = 1, b = 2;
+    void* p = nullptr;
+    void* q = nullptr;
+  } ctx;
+  std::uint64_t sink = 0;
+  sim::EventQueue q;
+  std::int64_t base = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kEventBatch; ++i) {
+      q.schedule(sim::SimTime(base + (i * 7919) % 1009),
+                 [ctx, &sink] { sink += ctx.a + ctx.b; });
+    }
+    while (!q.empty()) q.pop().fn();
+    base += 1009;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * kEventBatch);
+}
+BENCHMARK(BM_EventQueueScheduleAndPopCapture);
+
+// Oversized capture (80 bytes): exercises the heap-fallback path of the
+// event callable.
+static void BM_EventQueueLargeCapture(benchmark::State& state) {
+  struct Big {
+    std::uint64_t words[10] = {};
+  } big;
+  big.words[0] = 7;
+  std::uint64_t sink = 0;
+  sim::EventQueue q;
+  std::int64_t base = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kEventBatch; ++i) {
+      q.schedule(sim::SimTime(base + (i * 7919) % 1009),
+                 [big, &sink] { sink += big.words[0]; });
+    }
+    while (!q.empty()) q.pop().fn();
+    base += 1009;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * kEventBatch);
+}
+BENCHMARK(BM_EventQueueLargeCapture);
+
+// Interleaved schedule/cancel/pop: the pattern the drive's timeout and
+// retry timers produce (most timers are cancelled before they fire).
+static void BM_EventQueueScheduleCancelPop(benchmark::State& state) {
+  std::uint64_t sink = 0;
+  sim::EventQueue q;
+  std::vector<sim::EventId> ids;
+  std::int64_t base = 0;
+  for (auto _ : state) {
+    ids.clear();
+    for (int i = 0; i < kEventBatch; ++i) {
+      ids.push_back(q.schedule(sim::SimTime(base + (i * 7919) % 1009),
+                               [&sink] { ++sink; }));
+    }
+    for (int i = 0; i < kEventBatch; i += 2) q.cancel(ids[static_cast<std::size_t>(i)]);
+    while (!q.empty()) q.pop().fn();
+    base += 1009;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * kEventBatch);
+}
+BENCHMARK(BM_EventQueueScheduleCancelPop);
 
 static void BM_LatencyHistogramAdd(benchmark::State& state) {
   sim::LatencyHistogram h;
@@ -191,6 +272,61 @@ static void BM_HddWriteUnderAttack(benchmark::State& state) {
 }
 BENCHMARK(BM_HddWriteUnderAttack);
 
+// Sector-store span I/O across span sizes (1 sector .. a full 256-sector
+// chunk): measures the per-sector cost of the backing store that every
+// media access and cache-overlay read pays.
+static void BM_SectorStoreWrite(benchmark::State& state) {
+  const auto sectors = static_cast<std::uint32_t>(state.range(0));
+  constexpr std::uint64_t kDeviceSectors = 1ull << 18;  // 128 MiB
+  hdd::SectorStore store(kDeviceSectors);
+  std::vector<std::byte> buf(
+      static_cast<std::size_t>(sectors) * hdd::kSectorSize, std::byte{0x5a});
+  std::uint64_t lba = 0;
+  for (auto _ : state) {
+    store.write(lba, sectors, buf);
+    lba += sectors;
+    if (lba + sectors > kDeviceSectors) lba = 0;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          sectors * hdd::kSectorSize);
+}
+BENCHMARK(BM_SectorStoreWrite)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+static void BM_SectorStoreRead(benchmark::State& state) {
+  const auto sectors = static_cast<std::uint32_t>(state.range(0));
+  constexpr std::uint64_t kDeviceSectors = 1ull << 16;  // 32 MiB
+  hdd::SectorStore store(kDeviceSectors);
+  std::vector<std::byte> fill(
+      static_cast<std::size_t>(kDeviceSectors) * hdd::kSectorSize,
+      std::byte{0x42});
+  store.write(0, static_cast<std::uint32_t>(kDeviceSectors), fill);
+  std::vector<std::byte> buf(
+      static_cast<std::size_t>(sectors) * hdd::kSectorSize);
+  std::uint64_t lba = 0;
+  for (auto _ : state) {
+    store.read(lba, sectors, buf);
+    lba += sectors;
+    if (lba + sectors > kDeviceSectors) lba = 0;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          sectors * hdd::kSectorSize);
+}
+BENCHMARK(BM_SectorStoreRead)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+static void BM_SectorStoreAnyWritten(benchmark::State& state) {
+  constexpr std::uint64_t kDeviceSectors = 1ull << 18;
+  hdd::SectorStore store(kDeviceSectors);
+  std::vector<std::byte> one(hdd::kSectorSize, std::byte{1});
+  store.write(kDeviceSectors - 1, 1, one);
+  std::uint64_t lba = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.any_written(lba, 2048));
+    lba = (lba + 2048) % (kDeviceSectors - 2048);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SectorStoreAnyWritten);
+
 // ---------------------------------------------------------------------------
 // storage
 
@@ -198,7 +334,8 @@ static void BM_MemTablePut(benchmark::State& state) {
   storage::kvdb::MemTable mt;
   std::uint64_t seq = 0;
   for (auto _ : state) {
-    mt.put("key" + std::to_string(seq % 100000), "value", ++seq);
+    ++seq;
+    mt.put("key" + std::to_string(seq % 100000), "value", seq);
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -266,6 +403,38 @@ static void BM_KvdbPut(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_KvdbPut);
+
+// ---------------------------------------------------------------------------
+// workload
+
+// Host cost of the sequential preload every Table-2 trial starts with:
+// key/value formatting + WAL append + memtable insert per op, with the
+// filesystem daemons ticked alongside. Items are db ops.
+static void BM_DbBenchFillseq(benchmark::State& state) {
+  // Fresh store per iteration: this is the Table-2 setup phase exactly —
+  // a sequential preload of an empty db. Store construction is excluded
+  // from timing.
+  constexpr std::uint64_t kKeysPerIter = 10000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    storage::MemDisk disk((2ull << 30) / 512);
+    sim::SimTime t = sim::SimTime::zero();
+    storage::ExtFs::mkfs(disk, t);
+    auto mount = storage::ExtFs::mount(disk, t);
+    storage::kvdb::DbConfig cfg;
+    cfg.write_buffer_bytes = 64ull << 20;
+    auto open = storage::kvdb::Db::open(*mount.fs, mount.done, cfg);
+    workload::DbBench bench(*mount.fs, *open.db);
+    workload::DbBenchConfig bcfg;
+    t = open.done;
+    state.ResumeTiming();
+    t = bench.fillseq(t, kKeysPerIter, bcfg);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kKeysPerIter));
+}
+BENCHMARK(BM_DbBenchFillseq);
 
 // ---------------------------------------------------------------------------
 // crash-consistency harness

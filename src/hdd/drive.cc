@@ -344,13 +344,24 @@ IoResult Hdd::read(sim::SimTime now, std::uint64_t lba,
     }
     // Serve newest data: overlay (pending cache) wins over media.
     durable_.read(lba, sector_count, out);
-    for (std::uint32_t s = 0; s < sector_count; ++s) {
-      const std::uint64_t sector = lba + s;
-      if (pending_counts_.count(sector) != 0) {
-        cache_overlay_.read(sector, 1,
-                            out.subspan(static_cast<std::size_t>(s) *
-                                            kSectorSize,
-                                        kSectorSize));
+    if (!pending_counts_.empty()) {
+      // Coalesce overlay reads into contiguous pending runs: one overlay
+      // read per run rather than per sector.
+      std::uint32_t s = 0;
+      while (s < sector_count) {
+        if (pending_counts_.count(lba + s) == 0) {
+          ++s;
+          continue;
+        }
+        const std::uint32_t run_start = s;
+        do {
+          ++s;
+        } while (s < sector_count && pending_counts_.count(lba + s) != 0);
+        cache_overlay_.read(
+            lba + run_start, s - run_start,
+            out.subspan(static_cast<std::size_t>(run_start) * kSectorSize,
+                        static_cast<std::size_t>(s - run_start) *
+                            kSectorSize));
       }
     }
   }

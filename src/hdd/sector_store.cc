@@ -9,6 +9,28 @@ namespace deepnote::hdd {
 SectorStore::SectorStore(std::uint64_t total_sectors)
     : total_sectors_(total_sectors) {}
 
+std::vector<std::byte>& SectorStore::chunk_for_write(std::uint64_t chunk_idx) {
+  if (chunk_idx == cached_idx_) return *cached_chunk_;
+  auto& chunk = chunks_[chunk_idx];
+  if (chunk.empty()) {
+    chunk.assign(static_cast<std::size_t>(kSectorsPerChunk) * kSectorSize,
+                 std::byte{0});
+  }
+  cached_idx_ = chunk_idx;
+  cached_chunk_ = &chunk;
+  return chunk;
+}
+
+const std::vector<std::byte>* SectorStore::chunk_for_read(
+    std::uint64_t chunk_idx) const {
+  if (chunk_idx == cached_idx_) return cached_chunk_;
+  auto it = chunks_.find(chunk_idx);
+  if (it == chunks_.end()) return nullptr;
+  cached_idx_ = chunk_idx;
+  cached_chunk_ = const_cast<std::vector<std::byte>*>(&it->second);
+  return &it->second;
+}
+
 void SectorStore::write(std::uint64_t lba, std::uint32_t sector_count,
                         std::span<const std::byte> data) {
   if (lba + sector_count > total_sectors_) {
@@ -17,18 +39,20 @@ void SectorStore::write(std::uint64_t lba, std::uint32_t sector_count,
   if (data.size() != static_cast<std::size_t>(sector_count) * kSectorSize) {
     throw std::invalid_argument("SectorStore::write: size mismatch");
   }
+  std::uint64_t s = lba;
+  const std::uint64_t end = lba + sector_count;
   std::size_t src = 0;
-  for (std::uint64_t s = lba; s < lba + sector_count; ++s) {
+  while (s < end) {
     const std::uint64_t chunk_idx = s / kSectorsPerChunk;
-    const std::uint64_t in_chunk = s % kSectorsPerChunk;
-    auto& chunk = chunks_[chunk_idx];
-    if (chunk.empty()) {
-      chunk.assign(static_cast<std::size_t>(kSectorsPerChunk) * kSectorSize,
-                   std::byte{0});
-    }
-    std::memcpy(chunk.data() + in_chunk * kSectorSize, data.data() + src,
-                kSectorSize);
-    src += kSectorSize;
+    const auto in_chunk = static_cast<std::uint32_t>(s % kSectorsPerChunk);
+    const auto run = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(kSectorsPerChunk - in_chunk, end - s));
+    auto& chunk = chunk_for_write(chunk_idx);
+    std::memcpy(chunk.data() + static_cast<std::size_t>(in_chunk) * kSectorSize,
+                data.data() + src,
+                static_cast<std::size_t>(run) * kSectorSize);
+    src += static_cast<std::size_t>(run) * kSectorSize;
+    s += run;
   }
 }
 
@@ -40,25 +64,36 @@ void SectorStore::read(std::uint64_t lba, std::uint32_t sector_count,
   if (out.size() != static_cast<std::size_t>(sector_count) * kSectorSize) {
     throw std::invalid_argument("SectorStore::read: size mismatch");
   }
+  std::uint64_t s = lba;
+  const std::uint64_t end = lba + sector_count;
   std::size_t dst = 0;
-  for (std::uint64_t s = lba; s < lba + sector_count; ++s) {
+  while (s < end) {
     const std::uint64_t chunk_idx = s / kSectorsPerChunk;
-    const std::uint64_t in_chunk = s % kSectorsPerChunk;
-    auto it = chunks_.find(chunk_idx);
-    if (it == chunks_.end()) {
-      std::memset(out.data() + dst, 0, kSectorSize);
+    const auto in_chunk = static_cast<std::uint32_t>(s % kSectorsPerChunk);
+    const auto run = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(kSectorsPerChunk - in_chunk, end - s));
+    const std::size_t bytes = static_cast<std::size_t>(run) * kSectorSize;
+    const std::vector<std::byte>* chunk = chunk_for_read(chunk_idx);
+    if (chunk == nullptr) {
+      std::memset(out.data() + dst, 0, bytes);
     } else {
       std::memcpy(out.data() + dst,
-                  it->second.data() + in_chunk * kSectorSize, kSectorSize);
+                  chunk->data() +
+                      static_cast<std::size_t>(in_chunk) * kSectorSize,
+                  bytes);
     }
-    dst += kSectorSize;
+    dst += bytes;
+    s += run;
   }
 }
 
 bool SectorStore::any_written(std::uint64_t lba,
                               std::uint32_t sector_count) const {
-  for (std::uint64_t s = lba; s < lba + sector_count; ++s) {
-    if (chunks_.count(s / kSectorsPerChunk) != 0) return true;
+  if (sector_count == 0) return false;
+  const std::uint64_t first = lba / kSectorsPerChunk;
+  const std::uint64_t last = (lba + sector_count - 1) / kSectorsPerChunk;
+  for (std::uint64_t c = first; c <= last; ++c) {
+    if (c == cached_idx_ || chunks_.count(c) != 0) return true;
   }
   return false;
 }
@@ -68,6 +103,10 @@ std::size_t SectorStore::allocated_bytes() const {
          kSectorSize;
 }
 
-void SectorStore::clear() { chunks_.clear(); }
+void SectorStore::clear() {
+  chunks_.clear();
+  cached_idx_ = kNoChunk;
+  cached_chunk_ = nullptr;
+}
 
 }  // namespace deepnote::hdd

@@ -4,6 +4,12 @@
 // sectors read back as zeroes (a freshly formatted drive). Used twice by
 // the drive: once for durable (on-media) data and once as the volatile
 // write-cache overlay.
+//
+// I/O is run-coalesced: a span is split into at most
+// ceil(count / kSectorsPerChunk) + 1 contiguous runs, each served with
+// one chunk lookup and one memcpy, and the last-touched chunk is cached
+// so repeated access to the same 128 KiB region skips the hash map
+// entirely.
 #pragma once
 
 #include <cstddef>
@@ -37,9 +43,20 @@ class SectorStore {
 
  private:
   static constexpr std::uint32_t kSectorsPerChunk = 256;  // 128 KiB chunks
+  static constexpr std::uint64_t kNoChunk = ~std::uint64_t{0};
+
+  /// Chunk for writing, allocated (zero-filled) on first touch.
+  std::vector<std::byte>& chunk_for_write(std::uint64_t chunk_idx);
+  /// Chunk for reading; nullptr when never written.
+  const std::vector<std::byte>* chunk_for_read(std::uint64_t chunk_idx) const;
 
   std::uint64_t total_sectors_;
   std::unordered_map<std::uint64_t, std::vector<std::byte>> chunks_;
+  // Last-touched chunk cache. Pointers to mapped values are stable in
+  // unordered_map (rehashing moves buckets, not nodes); clear()
+  // invalidates.
+  mutable std::uint64_t cached_idx_ = kNoChunk;
+  mutable std::vector<std::byte>* cached_chunk_ = nullptr;
 };
 
 }  // namespace deepnote::hdd

@@ -1,47 +1,114 @@
 #include "sim/event_queue.h"
 
-#include <cassert>
-#include <utility>
+#include <algorithm>
 
 namespace deepnote::sim {
 
-EventId EventQueue::schedule(SimTime t, EventFn fn) {
-  const EventId id = fns_.size();
-  fns_.push_back(std::move(fn));
-  heap_.push(Entry{t, next_seq_++, id});
-  ++live_;
-  return id;
+namespace {
+constexpr std::uint32_t kArity = 4;
+}  // namespace
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(slots_.size());
+  slots_.emplace_back();
+  heap_pos_.push_back(kNotQueued);
+  return slot;
 }
 
-bool EventQueue::cancel(EventId id) {
-  if (id >= fns_.size() || !fns_[id]) return false;
-  if (!cancelled_.insert(id).second) return false;
-  fns_[id] = nullptr;
-  --live_;
-  return true;
+void EventQueue::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn = nullptr;
+  heap_pos_[slot] = kNotQueued;
+  ++s.generation;  // invalidate outstanding ids for this slot
+  free_.push_back(slot);
 }
 
-void EventQueue::drop_cancelled_top() {
-  while (!heap_.empty() && cancelled_.count(heap_.top().id) != 0) {
-    cancelled_.erase(heap_.top().id);
-    heap_.pop();
+void EventQueue::sift_up(std::uint32_t pos) {
+  const HeapEntry e = heap_[pos];
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / kArity;
+    if (!earlier(e, heap_[parent])) break;
+    place(pos, heap_[parent]);
+    pos = parent;
+  }
+  place(pos, e);
+}
+
+void EventQueue::sift_down(std::uint32_t pos) {
+  const HeapEntry e = heap_[pos];
+  const auto n = static_cast<std::uint32_t>(heap_.size());
+  while (true) {
+    const std::uint64_t first = std::uint64_t{pos} * kArity + 1;
+    if (first >= n) break;
+    const std::uint32_t last =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(first + kArity, n));
+    std::uint32_t best = static_cast<std::uint32_t>(first);
+    for (std::uint32_t c = best + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], e)) break;
+    place(pos, heap_[best]);
+    pos = best;
+  }
+  place(pos, e);
+}
+
+void EventQueue::heap_erase(std::uint32_t pos) {
+  const std::uint32_t last = static_cast<std::uint32_t>(heap_.size()) - 1;
+  if (pos != last) {
+    const HeapEntry moved = heap_[last];
+    heap_.pop_back();
+    place(pos, moved);
+    // The moved entry may need to go either way relative to `pos`.
+    sift_down(pos);
+    if (heap_pos_[moved.slot()] == pos) sift_up(pos);
+  } else {
+    heap_.pop_back();
   }
 }
 
-SimTime EventQueue::next_time() {
-  drop_cancelled_top();
-  if (heap_.empty()) return SimTime::infinity();
-  return heap_.top().time;
+EventId EventQueue::schedule(SimTime t, EventFn fn) {
+  const std::uint32_t slot = acquire_slot();
+  slots_[slot].fn = std::move(fn);
+  return push_entry(t, slot);
+}
+
+EventId EventQueue::push_entry(SimTime t, std::uint32_t slot) {
+  assert(slot <= kSlotMask);
+  assert(next_seq_ < (std::uint64_t{1} << (64 - kSlotBits)));
+  const auto pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(HeapEntry{t.ns(), (next_seq_++ << kSlotBits) | slot});
+  heap_pos_[slot] = pos;
+  sift_up(pos);
+  return (static_cast<EventId>(slots_[slot].generation) << 32) | slot;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (s.generation != generation || heap_pos_[slot] == kNotQueued) return false;
+  heap_erase(heap_pos_[slot]);
+  release_slot(slot);
+  return true;
 }
 
 EventQueue::Fired EventQueue::pop() {
-  drop_cancelled_top();
   assert(!heap_.empty());
-  const Entry e = heap_.top();
-  heap_.pop();
-  --live_;
-  Fired fired{e.time, e.id, std::move(fns_[e.id])};
-  fns_[e.id] = nullptr;
+  const HeapEntry root = heap_.front();
+  const std::uint32_t slot = root.slot();
+  Slot& s = slots_[slot];
+  Fired fired{SimTime(root.time_ns),
+              (static_cast<EventId>(s.generation) << 32) | slot,
+              std::move(s.fn)};
+  heap_erase(0);
+  release_slot(slot);
   return fired;
 }
 

@@ -2,19 +2,181 @@
 //
 // Events with equal timestamps fire in insertion order (FIFO), which keeps
 // runs deterministic regardless of heap internals.
+//
+// Hot-path design (zero steady-state allocation):
+//  * EventFn is a small-buffer-optimized callable: captures up to
+//    kInlineBytes live inline in the queue's slab; larger captures fall
+//    back to one heap allocation.
+//  * Event records live in a slab (std::vector<Slot>) recycled through a
+//    free list, so memory is bounded by the high-water mark of pending
+//    events rather than growing monotonically over a run.
+//  * The ready queue is an index-based 4-ary min-heap keyed by
+//    (time, seq); entries carry the key so comparisons never touch the
+//    slab, and slots carry their heap position so cancel() is O(log n)
+//    with no tombstone set.
+//  * EventIds are generation-tagged slot indices: O(1) validation, and
+//    stale ids (fired or cancelled, slot since recycled) are rejected
+//    without any lookup structure.
 #pragma once
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.h"
 
 namespace deepnote::sim {
 
-using EventFn = std::function<void()>;
+/// Move-only type-erased callable with inline storage for small captures.
+/// Replaces std::function on the event hot path: scheduling an event whose
+/// capture fits kInlineBytes performs no heap allocation.
+class EventFn {
+ public:
+  /// Captures up to this size (and max_align_t alignment) are stored
+  /// inline. 48 bytes covers every daemon/timeout closure in the tree.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  EventFn() noexcept = default;
+  EventFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        !std::is_same_v<D, std::nullptr_t> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      *reinterpret_cast<D**>(storage_) = new D(std::forward<F>(f));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  /// Construct a callable directly in this object's storage, replacing
+  /// any current one — lets the queue build the capture in its slab slot
+  /// with no temporary EventFn and no relocate.
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  void emplace(F&& f) {
+    reset();
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      *reinterpret_cast<D**>(storage_) = new D(std::forward<F>(f));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+  friend bool operator==(const EventFn& f, std::nullptr_t) noexcept {
+    return f.ops_ == nullptr;
+  }
+
+  /// True when the capture spilled to the heap (introspection for tests
+  /// and benches).
+  bool heap_allocated() const noexcept { return ops_ != nullptr && ops_->heap; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move the callable from `src` storage into `dst` storage and
+    /// destroy the source representation. Null means the representation
+    /// is trivially relocatable: a memcpy of the inline buffer suffices
+    /// (true for trivially-copyable captures and for the heap pointer),
+    /// skipping an indirect call on the schedule/pop hot path.
+    void (*relocate)(void* src, void* dst) noexcept;
+    /// Null means trivially destructible: reset() skips the call.
+    void (*destroy)(void* storage) noexcept;
+    bool heap;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineBytes &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps{
+      [](void* s) { (*static_cast<D*>(s))(); },
+      // Trivially-copyable captures (the common daemon closure: a couple
+      // of pointers and ints) relocate by buffer memcpy instead.
+      std::is_trivially_copyable_v<D>
+          ? nullptr
+          : +[](void* src, void* dst) noexcept {
+              D* f = static_cast<D*>(src);
+              ::new (dst) D(std::move(*f));
+              f->~D();
+            },
+      std::is_trivially_destructible_v<D>
+          ? nullptr
+          : +[](void* s) noexcept { static_cast<D*>(s)->~D(); },
+      /*heap=*/false,
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps{
+      [](void* s) { (**static_cast<D**>(s))(); },
+      // The representation is just a pointer: buffer memcpy relocates it.
+      nullptr,
+      [](void* s) noexcept { delete *static_cast<D**>(s); },
+      /*heap=*/true,
+  };
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  void move_from(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      if (ops_->relocate == nullptr) {
+        std::memcpy(storage_, other.storage_, kInlineBytes);
+      } else {
+        ops_->relocate(other.storage_, storage_);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+/// Generation-tagged slot index: low 32 bits slot, high 32 bits the
+/// slot's generation at scheduling time. Opaque to callers.
 using EventId = std::uint64_t;
 
 class EventQueue {
@@ -22,15 +184,30 @@ class EventQueue {
   /// Schedule fn at absolute time t. Returns an id usable with cancel().
   EventId schedule(SimTime t, EventFn fn);
 
+  /// Hot-path overload for callables: the capture is constructed directly
+  /// in the slab slot, skipping the temporary EventFn and its relocate.
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        !std::is_same_v<D, std::nullptr_t> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  EventId schedule(SimTime t, F&& f) {
+    const std::uint32_t slot = acquire_slot();
+    slots_[slot].fn.emplace(std::forward<F>(f));
+    return push_entry(t, slot);
+  }
+
   /// Cancel a pending event. Returns false if it already fired or was
-  /// cancelled. The heap entry is tombstoned and skipped on pop.
+  /// cancelled. O(log n); the slot is recycled immediately.
   bool cancel(EventId id);
 
-  bool empty() const { return live_ == 0; }
-  std::size_t size() const { return live_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
 
   /// Time of the earliest pending event; infinity when empty.
-  SimTime next_time();
+  SimTime next_time() const {
+    return heap_.empty() ? SimTime::infinity() : SimTime(heap_.front().time_ns);
+  }
 
   /// Pop and return the earliest live event. Requires !empty().
   struct Fired {
@@ -40,25 +217,60 @@ class EventQueue {
   };
   Fired pop();
 
+  /// Slab high-water mark (slots ever allocated). Bounded by the maximum
+  /// number of *concurrently pending* events, not the events scheduled
+  /// over the queue's lifetime — exposed so tests can pin that down.
+  std::size_t slab_slots() const { return slots_.size(); }
+
  private:
-  struct Entry {
-    SimTime time;
-    std::uint64_t seq;  // insertion order tiebreak
-    EventId id;
-    // std::priority_queue is a max-heap; invert so earliest pops first.
-    bool operator<(const Entry& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
-    }
+  struct Slot {
+    std::uint32_t generation = 0;
+    EventFn fn;
+  };
+  /// Slot index bits inside a HeapEntry key (the rest hold the sequence
+  /// number). 24 bits bound *concurrently pending* events at 16M; 40 seq
+  /// bits bound lifetime scheduled events at ~10^12 — both far above any
+  /// run this simulator produces, and asserted in debug builds.
+  static constexpr std::uint32_t kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (std::uint64_t{1} << kSlotBits) - 1;
+
+  /// Heap entries carry the full ordering key in 16 bytes so comparisons
+  /// and sift moves never touch the slab. `key` is (seq << 24) | slot:
+  /// seqs are unique, so comparing keys is exactly the FIFO tiebreak.
+  struct HeapEntry {
+    std::int64_t time_ns;
+    std::uint64_t key;
+    std::uint32_t slot() const { return static_cast<std::uint32_t>(key & kSlotMask); }
   };
 
-  void drop_cancelled_top();
+  static constexpr std::uint32_t kNotQueued = 0xffffffffu;
 
-  std::priority_queue<Entry> heap_;
-  std::vector<EventFn> fns_;  // indexed by id; moved-from once fired
-  std::unordered_set<EventId> cancelled_;
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time_ns != b.time_ns) return a.time_ns < b.time_ns;
+    return a.key < b.key;
+  }
+
+  void place(std::uint32_t pos, const HeapEntry& e) {
+    heap_[pos] = e;
+    heap_pos_[e.slot()] = pos;
+  }
+  void sift_up(std::uint32_t pos);
+  void sift_down(std::uint32_t pos);
+  /// Push `slot` (whose fn is already in place) onto the heap at time t.
+  EventId push_entry(SimTime t, std::uint32_t slot);
+  /// Remove the heap entry at `pos` (swap-with-last + sift).
+  void heap_erase(std::uint32_t pos);
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+
+  std::vector<Slot> slots_;
+  // Heap position per slot (kNotQueued when idle), kept outside Slot so
+  // the back-pointer writes during sifts touch a dense uint32 array
+  // instead of 64-byte-stride slab entries.
+  std::vector<std::uint32_t> heap_pos_;
+  std::vector<HeapEntry> heap_;       // 4-ary min-heap
+  std::vector<std::uint32_t> free_;   // recycled slot indices
   std::uint64_t next_seq_ = 0;
-  std::size_t live_ = 0;
 };
 
 }  // namespace deepnote::sim

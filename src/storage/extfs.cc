@@ -270,9 +270,15 @@ Errno ExtFs::write_superblock(sim::SimTime& t) {
 ExtFs::CacheRead ExtFs::load_block(sim::SimTime now, std::uint32_t block_no) {
   CacheRead r;
   r.done = now;
+  if (CachedBlock* hot = hot_lookup(block_no)) {
+    ++stats_.cache_hits;
+    r.block = hot;
+    return r;
+  }
   auto it = cache_.find(block_no);
   if (it != cache_.end()) {
     ++stats_.cache_hits;
+    hot_insert(block_no, &it->second);
     r.block = &it->second;
     return r;
   }
@@ -286,14 +292,22 @@ ExtFs::CacheRead ExtFs::load_block(sim::SimTime now, std::uint32_t block_no) {
     return r;
   }
   auto [ins, _] = cache_.emplace(block_no, std::move(cb));
+  hot_insert(block_no, &ins->second);
   r.block = &ins->second;
   return r;
 }
 
 void ExtFs::mark_dirty(std::uint32_t block_no) {
-  auto it = cache_.find(block_no);
-  assert(it != cache_.end());
-  it->second.dirty = true;
+  CachedBlock* b = hot_lookup(block_no);
+  if (b == nullptr) {
+    auto it = cache_.find(block_no);
+    assert(it != cache_.end());
+    b = &it->second;
+  }
+  // mark_dirty is the only dirty-setter and do_commit the only clearer,
+  // so dirty == true implies membership in txn_blocks_ already.
+  if (b->dirty) return;
+  b->dirty = true;
   txn_blocks_.insert(block_no);
 }
 
@@ -374,6 +388,19 @@ std::uint32_t ExtFs::alloc_block(sim::SimTime& t, Errno& err) {
       return 0;
     }
     for (std::uint32_t i = 0; i < kBitsPerBlock; ++i) {
+      // Skip fully-allocated 64-bit words. The all-ones test is
+      // endian-independent, and per-bit examination order below is
+      // unchanged, so the block chosen is exactly the one the plain
+      // scan would pick.
+      if (i % 64 == 0) {
+        while (i + 64 <= kBitsPerBlock) {
+          std::uint64_t word;
+          std::memcpy(&word, cr.block->data.data() + i / 8, sizeof(word));
+          if (word != ~std::uint64_t{0}) break;
+          i += 64;
+        }
+        if (i >= kBitsPerBlock) break;
+      }
       const std::uint64_t block_no =
           static_cast<std::uint64_t>(b) * kBitsPerBlock + i;
       if (block_no >= sb_.total_blocks) break;

@@ -18,6 +18,7 @@
 // writeback() so an experiment can drive it as a daemon actor.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -275,6 +276,32 @@ class ExtFs {
   std::unordered_map<std::uint64_t, DirtyPage> dirty_pages_;
   std::deque<std::uint64_t> dirty_fifo_;
   std::uint64_t dirty_bytes_ = 0;
+
+  // Hot-path lookup memoization. Pure caches over node-stable
+  // unordered_map storage: no timing or state effects, only skipped hash
+  // lookups. cache_ never erases entries so hot block pointers cannot go
+  // stale; hot_page_ is reset wherever dirty_pages_ erases.
+  struct HotBlock {
+    std::uint32_t block_no = 0;
+    CachedBlock* block = nullptr;
+  };
+  std::array<HotBlock, 2> hot_blocks_{};
+  std::uint32_t hot_victim_ = 0;
+  std::uint64_t hot_page_key_ = 0;
+  DirtyPage* hot_page_ = nullptr;
+  CachedBlock* hot_lookup(std::uint32_t block_no) {
+    for (const HotBlock& h : hot_blocks_) {
+      if (h.block != nullptr && h.block_no == block_no) return h.block;
+    }
+    return nullptr;
+  }
+  void hot_insert(std::uint32_t block_no, CachedBlock* block) {
+    hot_blocks_[hot_victim_] = HotBlock{block_no, block};
+    hot_victim_ ^= 1;
+  }
+
+  /// Reusable block-sized buffer for read()'s device path.
+  std::vector<std::byte> read_scratch_;
 
   /// Clean page cache (FIFO eviction). Holds post-writeback and read-in
   /// pages so hot files are served from memory, like the OS page cache.

@@ -469,46 +469,54 @@ FsIoResult ExtFs::write(sim::SimTime now, std::uint32_t inode,
     const std::size_t n =
         std::min<std::size_t>(kFsBlockSize - in_page, data.size() - consumed);
     const std::uint64_t key = page_key(inode, fblock);
-    auto it = dirty_pages_.find(key);
-    if (it == dirty_pages_.end()) {
-      DirtyPage page{inode, fblock, {}};
-      // Base content: clean page cache if present, else read-modify-write
-      // from the device (only for partial overwrites of mapped blocks).
-      auto clean_it = clean_pages_.find(key);
-      if (clean_it != clean_pages_.end()) {
-        page.data = std::move(clean_it->second);
-        clean_pages_.erase(clean_it);
-        clean_bytes_ -= kFsBlockSize;
-      } else {
-        page.data.assign(kFsBlockSize, std::byte{0});
-        const bool partial = in_page != 0 || n != kFsBlockSize;
-        if (partial) {
-          Errno err = Errno::kOk;
-          const std::uint32_t blk = bmap(t, *ref.inode, inode, fblock, false,
-                                         err);
-          if (err != Errno::kOk) {
-            r.err = err;
-            r.done = t;
-            return r;
-          }
-          if (blk != 0) {
-            BlockIo io = dev_.read(
-                t, static_cast<std::uint64_t>(blk) * kFsSectorsPerBlock,
-                kFsSectorsPerBlock, page.data);
-            t = io.complete;
-            if (!io.ok()) {
-              r.err = Errno::kEIO;
+    DirtyPage* page_ptr = nullptr;
+    if (hot_page_ != nullptr && hot_page_key_ == key) {
+      page_ptr = hot_page_;
+    } else {
+      auto it = dirty_pages_.find(key);
+      if (it == dirty_pages_.end()) {
+        DirtyPage page{inode, fblock, {}};
+        // Base content: clean page cache if present, else read-modify-write
+        // from the device (only for partial overwrites of mapped blocks).
+        auto clean_it = clean_pages_.find(key);
+        if (clean_it != clean_pages_.end()) {
+          page.data = std::move(clean_it->second);
+          clean_pages_.erase(clean_it);
+          clean_bytes_ -= kFsBlockSize;
+        } else {
+          page.data.assign(kFsBlockSize, std::byte{0});
+          const bool partial = in_page != 0 || n != kFsBlockSize;
+          if (partial) {
+            Errno err = Errno::kOk;
+            const std::uint32_t blk = bmap(t, *ref.inode, inode, fblock, false,
+                                           err);
+            if (err != Errno::kOk) {
+              r.err = err;
               r.done = t;
               return r;
             }
+            if (blk != 0) {
+              BlockIo io = dev_.read(
+                  t, static_cast<std::uint64_t>(blk) * kFsSectorsPerBlock,
+                  kFsSectorsPerBlock, page.data);
+              t = io.complete;
+              if (!io.ok()) {
+                r.err = Errno::kEIO;
+                r.done = t;
+                return r;
+              }
+            }
           }
         }
+        it = dirty_pages_.emplace(key, std::move(page)).first;
+        dirty_fifo_.push_back(key);
+        dirty_bytes_ += kFsBlockSize;
       }
-      it = dirty_pages_.emplace(key, std::move(page)).first;
-      dirty_fifo_.push_back(key);
-      dirty_bytes_ += kFsBlockSize;
+      hot_page_key_ = key;
+      hot_page_ = &it->second;
+      page_ptr = hot_page_;
     }
-    std::memcpy(it->second.data.data() + in_page, data.data() + consumed, n);
+    std::memcpy(page_ptr->data.data() + in_page, data.data() + consumed, n);
     // Ensure the block is mapped now so metadata changes ride the same
     // transaction as the data they describe.
     Errno err = Errno::kOk;
@@ -583,18 +591,25 @@ FsIoResult ExtFs::read(sim::SimTime now, std::uint32_t inode,
   const std::uint64_t want =
       std::min<std::uint64_t>(out.size(), size - offset);
   std::size_t produced = 0;
-  std::vector<std::byte> temp(kFsBlockSize);
+  if (read_scratch_.size() != kFsBlockSize) read_scratch_.resize(kFsBlockSize);
+  std::vector<std::byte>& temp = read_scratch_;
   while (produced < want) {
     const std::uint64_t fblock = pos / kFsBlockSize;
     const std::uint32_t in_page = static_cast<std::uint32_t>(pos % kFsBlockSize);
     const std::size_t n =
         std::min<std::size_t>(kFsBlockSize - in_page, want - produced);
     const std::uint64_t key = page_key(inode, fblock);
-    const auto it = dirty_pages_.find(key);
-    const auto cit = clean_pages_.find(key);
-    if (it != dirty_pages_.end()) {
-      std::memcpy(out.data() + produced, it->second.data.data() + in_page, n);
-    } else if (cit != clean_pages_.end()) {
+    const DirtyPage* dirty = nullptr;
+    if (hot_page_ != nullptr && hot_page_key_ == key) {
+      dirty = hot_page_;
+    } else if (const auto it = dirty_pages_.find(key);
+               it != dirty_pages_.end()) {
+      dirty = &it->second;
+    }
+    if (dirty != nullptr) {
+      std::memcpy(out.data() + produced, dirty->data.data() + in_page, n);
+    } else if (const auto cit = clean_pages_.find(key);
+               cit != clean_pages_.end()) {
       std::memcpy(out.data() + produced, cit->second.data() + in_page, n);
     } else {
       Errno err = Errno::kOk;
@@ -726,6 +741,7 @@ Errno ExtFs::writeback_page(sim::SimTime& t, std::uint64_t key) {
   // page stays cached clean.
   if (io.ok()) clean_insert(key, std::move(page.data));
   dirty_bytes_ -= kFsBlockSize;
+  hot_page_ = nullptr;  // the hot pointer may reference the erased node
   dirty_pages_.erase(it);
   ++stats_.data_pages_written;
   return io.ok() ? Errno::kOk : Errno::kEIO;
@@ -893,6 +909,7 @@ void ExtFs::clean_insert(std::uint64_t key, std::vector<std::byte> data) {
 }
 
 void ExtFs::drop_inode_pages(std::uint32_t ino) {
+  hot_page_ = nullptr;
   std::deque<std::uint64_t> kept;
   for (auto key : dirty_fifo_) {
     if ((key >> 32) == ino) {

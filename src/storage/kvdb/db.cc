@@ -572,8 +572,9 @@ struct ScanSource {
   bool valid() const {
     return kind == Kind::kMem ? mem.valid() : sst.valid();
   }
-  const std::string& internal_key() const {
-    return kind == Kind::kMem ? mem.internal_key() : sst.key();
+  std::string_view internal_key() const {
+    if (kind == Kind::kMem) return mem.internal_key();
+    return sst.key();
   }
   const MemEntry& entry() const {
     return kind == Kind::kMem ? mem.entry() : sst.entry();

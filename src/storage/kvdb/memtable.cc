@@ -26,6 +26,18 @@ std::string MemTable::internal_key(std::string_view user_key,
   return k;
 }
 
+std::string_view MemTable::build_key(std::string_view user_key,
+                                     std::uint64_t sequence) const {
+  // Same encoding as internal_key(), into a buffer whose capacity sticks
+  // across calls.
+  key_scratch_.assign(user_key);
+  const std::uint64_t inv = ~sequence;
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    key_scratch_.push_back(static_cast<char>((inv >> shift) & 0xff));
+  }
+  return key_scratch_;
+}
+
 std::string_view MemTable::user_key_of(std::string_view internal_key) {
   return internal_key.substr(0, internal_key.size() - 8);
 }
@@ -46,7 +58,7 @@ void MemTable::put(std::string_view key, std::string_view value,
   e.sequence = sequence;
   e.value.assign(value);
   bytes_ += key.size() + value.size() + 48;  // node overhead estimate
-  list_.insert(internal_key(key, sequence), std::move(e));
+  list_.insert(build_key(key, sequence), std::move(e));
 }
 
 void MemTable::del(std::string_view key, std::uint64_t sequence) {
@@ -54,13 +66,13 @@ void MemTable::del(std::string_view key, std::uint64_t sequence) {
   e.type = EntryType::kDelete;
   e.sequence = sequence;
   bytes_ += key.size() + 48;
-  list_.insert(internal_key(key, sequence), std::move(e));
+  list_.insert(build_key(key, sequence), std::move(e));
 }
 
 LookupState MemTable::get(std::string_view key, std::string* value_out) const {
   // The newest entry for `key` sorts first among internal keys with this
   // user key; seek to (key, max sequence).
-  const std::string seek = internal_key(key, ~std::uint64_t{0});
+  const std::string_view seek = build_key(key, ~std::uint64_t{0});
   std::string_view found_key;
   const MemEntry* e = list_.find_first_at_least(seek, &found_key);
   if (e == nullptr) return LookupState::kMissing;
@@ -72,7 +84,7 @@ LookupState MemTable::get(std::string_view key, std::string* value_out) const {
 
 void MemTable::for_each(
     const std::function<void(std::string_view, const MemEntry&)>& fn) const {
-  list_.for_each([&](const std::string& ikey, const MemEntry& e) {
+  list_.for_each([&](std::string_view ikey, const MemEntry& e) {
     fn(user_key_of(ikey), e);
   });
 }
@@ -81,8 +93,8 @@ void MemTable::for_each_from(
     std::string_view from,
     const std::function<bool(std::string_view, const MemEntry&)>& fn) const {
   // Seek to (from, max sequence): the first internal key of `from`.
-  const std::string seek = internal_key(from, ~std::uint64_t{0});
-  list_.for_each_from(seek, [&](const std::string& ikey, const MemEntry& e) {
+  const std::string_view seek = build_key(from, ~std::uint64_t{0});
+  list_.for_each_from(seek, [&](std::string_view ikey, const MemEntry& e) {
     return fn(user_key_of(ikey), e);
   });
 }
@@ -90,7 +102,7 @@ void MemTable::for_each_from(
 
 MemTable::Cursor MemTable::cursor_at(std::string_view user_key_from) const {
   return Cursor{
-      list_.cursor_at(internal_key(user_key_from, ~std::uint64_t{0}))};
+      list_.cursor_at(build_key(user_key_from, ~std::uint64_t{0}))};
 }
 
 }  // namespace deepnote::storage::kvdb

@@ -72,7 +72,7 @@ class MemTable {
     Cursor() = default;
     bool valid() const { return inner_.valid(); }
     /// The full internal key (user key + inverted sequence).
-    const std::string& internal_key() const { return inner_.key(); }
+    std::string_view internal_key() const { return inner_.key(); }
     const MemEntry& entry() const { return inner_.value(); }
     void next() { inner_.next(); }
 
@@ -91,8 +91,16 @@ class MemTable {
   static std::uint64_t sequence_of(std::string_view internal_key);
 
  private:
+  /// Encode (user_key, sequence) into the reusable scratch buffer and
+  /// return a view of it — the hot-path equivalent of internal_key()
+  /// without the per-call string allocation. The view is only valid until
+  /// the next build_key call; the skiplist copies it on insert.
+  std::string_view build_key(std::string_view user_key,
+                             std::uint64_t sequence) const;
+
   SkipList<MemEntry, InternalKeyLess> list_;
   std::uint64_t bytes_ = 0;
+  mutable std::string key_scratch_;  // reused by build_key (const lookups too)
 };
 
 }  // namespace deepnote::storage::kvdb

@@ -21,6 +21,25 @@ void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
   }
 }
 
+// Record checksum: FNV-1a folded over 8-byte words with a byte tail.
+// Private to the WAL format (writer and reader live in this file), so it
+// only has to agree with itself; the word-at-a-time fold cuts the
+// per-byte multiply dependency chain that made fnv1a64 the single
+// largest cost of a small append.
+std::uint64_t wal_checksum(const std::byte* data, std::size_t n) {
+  std::uint64_t h = 14695981039346656037ull;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, data + i, 8);
+    h = (h ^ w) * 1099511628211ull;
+  }
+  for (; i < n; ++i) {
+    h = (h ^ static_cast<std::uint64_t>(data[i])) * 1099511628211ull;
+  }
+  return h;
+}
+
 template <typename T>
 bool get_pod(const std::vector<std::byte>& buf, std::uint64_t& pos, T* out) {
   if (pos + sizeof(T) > buf.size()) return false;
@@ -51,26 +70,26 @@ Wal::OpenResult Wal::create(ExtFs& fs, sim::SimTime now,
 
 FsResult Wal::append(sim::SimTime now, EntryType type, std::string_view key,
                      std::string_view value, std::uint64_t sequence) {
-  std::vector<std::byte> payload;
-  payload.reserve(key.size() + value.size() + 16);
-  put_u64(payload, sequence);
-  payload.push_back(static_cast<std::byte>(type));
-  put_u16(payload, static_cast<std::uint16_t>(key.size()));
-  put_u32(payload, static_cast<std::uint32_t>(value.size()));
+  // Build the whole record ([u32 len][payload][u64 crc]) in one reusable
+  // buffer; the payload lives at offset 4 so the crc can hash it in place.
+  const std::size_t payload_len = 8 + 1 + 2 + 4 + key.size() + value.size();
+  record_scratch_.clear();
+  record_scratch_.reserve(payload_len + 12);
+  put_u32(record_scratch_, static_cast<std::uint32_t>(payload_len));
+  put_u64(record_scratch_, sequence);
+  record_scratch_.push_back(static_cast<std::byte>(type));
+  put_u16(record_scratch_, static_cast<std::uint16_t>(key.size()));
+  put_u32(record_scratch_, static_cast<std::uint32_t>(value.size()));
   const auto* kp = reinterpret_cast<const std::byte*>(key.data());
-  payload.insert(payload.end(), kp, kp + key.size());
+  record_scratch_.insert(record_scratch_.end(), kp, kp + key.size());
   const auto* vp = reinterpret_cast<const std::byte*>(value.data());
-  payload.insert(payload.end(), vp, vp + value.size());
+  record_scratch_.insert(record_scratch_.end(), vp, vp + value.size());
+  put_u64(record_scratch_,
+          wal_checksum(record_scratch_.data() + 4, payload_len));
 
-  std::vector<std::byte> record;
-  record.reserve(payload.size() + 12);
-  put_u32(record, static_cast<std::uint32_t>(payload.size()));
-  record.insert(record.end(), payload.begin(), payload.end());
-  put_u64(record, fnv1a64(payload.data(), payload.size()));
-
-  FsIoResult io = fs_.write(now, inode_, offset_, record);
+  FsIoResult io = fs_.write(now, inode_, offset_, record_scratch_);
   if (!io.ok()) return FsResult{io.err, io.done};
-  offset_ += record.size();
+  offset_ += record_scratch_.size();
   return FsResult{Errno::kOk, io.done};
 }
 
@@ -112,7 +131,7 @@ Wal::ReplayResult Wal::replay(
     pos += len;
     std::uint64_t crc = 0;
     if (!get_pod(buf, pos, &crc)) break;
-    if (crc != fnv1a64(payload, len)) break;  // corrupt: stop
+    if (crc != wal_checksum(payload, len)) break;  // corrupt: stop
 
     std::uint64_t seq = 0;
     if (!get_pod(buf, ppos, &seq)) break;

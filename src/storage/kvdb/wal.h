@@ -13,6 +13,7 @@
 #include <functional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "storage/extfs.h"
 #include "storage/kvdb/memtable.h"
@@ -58,6 +59,9 @@ class Wal {
   std::string path_;
   std::uint32_t inode_;
   std::uint64_t offset_ = 0;
+  // Reusable record-build scratch; append() is the put hot path and the
+  // buffer keeps its capacity across calls.
+  std::vector<std::byte> record_scratch_;
 };
 
 }  // namespace deepnote::storage::kvdb

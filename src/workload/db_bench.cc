@@ -11,21 +11,44 @@ using storage::kvdb::Db;
 using storage::kvdb::DbGetResult;
 using storage::kvdb::DbResult;
 
+void DbBench::make_key_into(std::uint64_t index, std::uint32_t key_bytes,
+                            std::string& out) {
+  // 20-digit zero-padded decimal, then either the last key_bytes digits
+  // or 'k'-padding up to key_bytes — matching make_key() byte for byte.
+  char digits[20];
+  std::uint64_t v = index;
+  for (int i = 19; i >= 0; --i) {
+    digits[i] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  }
+  if (key_bytes < 20) {
+    out.assign(digits + (20 - key_bytes), key_bytes);
+  } else {
+    out.assign(digits, 20);
+    out.resize(key_bytes, 'k');
+  }
+}
+
+void DbBench::make_value_into(std::uint64_t index, std::uint32_t value_bytes,
+                              std::string& out) {
+  out.resize(value_bytes);
+  std::uint32_t c = static_cast<std::uint32_t>(index % 26);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<char>('a' + c);
+    if (++c == 26) c = 0;
+  }
+}
+
 std::string DbBench::make_key(std::uint64_t index, std::uint32_t key_bytes) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%020" PRIu64, index);
-  std::string key(buf);
-  if (key.size() > key_bytes) return key.substr(key.size() - key_bytes);
-  key.resize(key_bytes, 'k');
+  std::string key;
+  make_key_into(index, key_bytes, key);
   return key;
 }
 
 std::string DbBench::make_value(std::uint64_t index,
                                 std::uint32_t value_bytes) {
-  std::string v(value_bytes, 'v');
-  for (std::size_t i = 0; i < v.size(); ++i) {
-    v[i] = static_cast<char>('a' + ((index + i) % 26));
-  }
+  std::string v;
+  make_value_into(index, value_bytes, v);
   return v;
 }
 
@@ -33,8 +56,9 @@ sim::SimTime DbBench::fillseq(sim::SimTime start, std::uint64_t count,
                               const DbBenchConfig& config) {
   sim::SimTime t = start;
   for (std::uint64_t i = 0; i < count; ++i) {
-    DbResult r = db_.put(t, make_key(i, config.key_bytes),
-                         make_value(i, config.value_bytes));
+    make_key_into(i, config.key_bytes, key_scratch_);
+    make_value_into(i, config.value_bytes, value_scratch_);
+    DbResult r = db_.put(t, key_scratch_, value_scratch_);
     t = r.done;
     if (r.err == storage::Errno::kEAGAIN || db_.flush_pending()) {
       DbResult fr = db_.do_flush(t);
@@ -69,8 +93,9 @@ DbBenchReport DbBench::readwhilewriting(sim::SimTime start,
                                 sim::SimTime now) mutable -> sim::SimTime {
     if (db_.fatal()) return sim::SimTime::infinity();
     const std::uint64_t idx = next_key;
-    DbResult r = db_.put(now, make_key(idx, config.key_bytes),
-                         make_value(idx, config.value_bytes));
+    make_key_into(idx, config.key_bytes, key_scratch_);
+    make_value_into(idx, config.value_bytes, value_scratch_);
+    DbResult r = db_.put(now, key_scratch_, value_scratch_);
     if (r.err == storage::Errno::kEAGAIN) {
       // Write stall: retry shortly, record nothing.
       return r.done + sim::Duration::from_millis(10);
@@ -95,7 +120,8 @@ DbBenchReport DbBench::readwhilewriting(sim::SimTime start,
           if (db_.fatal()) return sim::SimTime::infinity();
           const auto idx = static_cast<std::uint64_t>(rng.uniform_int(
               0, static_cast<std::int64_t>(key_space) - 1));
-          DbGetResult r = db_.get(now, make_key(idx, config.key_bytes));
+          make_key_into(idx, config.key_bytes, key_scratch_);
+          DbGetResult r = db_.get(now, key_scratch_);
           if (r.err == storage::Errno::kEAGAIN) {
             return r.done + sim::Duration::from_millis(10);
           }
@@ -235,7 +261,8 @@ DbBenchReport DbBench::readrandom(sim::SimTime start,
       [&, rng](sim::SimTime now, WindowMeter& meter) mutable -> sim::SimTime {
         const auto idx = static_cast<std::uint64_t>(
             rng.uniform_int(0, static_cast<std::int64_t>(space) - 1));
-        DbGetResult r = db_.get(now, make_key(idx, config.key_bytes));
+        make_key_into(idx, config.key_bytes, key_scratch_);
+        DbGetResult r = db_.get(now, key_scratch_);
         if (r.err == storage::Errno::kEAGAIN) {
           return r.done + sim::Duration::from_millis(10);
         }
@@ -259,8 +286,9 @@ DbBenchReport DbBench::fillrandom(sim::SimTime start,
       [&, rng](sim::SimTime now, WindowMeter& meter) mutable -> sim::SimTime {
         const auto idx = static_cast<std::uint64_t>(
             rng.uniform_int(0, static_cast<std::int64_t>(space) - 1));
-        DbResult r = db_.put(now, make_key(idx, config.key_bytes),
-                             make_value(idx, config.value_bytes));
+        make_key_into(idx, config.key_bytes, key_scratch_);
+        make_value_into(idx, config.value_bytes, value_scratch_);
+        DbResult r = db_.put(now, key_scratch_, value_scratch_);
         if (r.err == storage::Errno::kEAGAIN) {
           return r.done + sim::Duration::from_millis(10);
         }
@@ -285,8 +313,9 @@ DbBenchReport DbBench::overwrite(sim::SimTime start,
       [&, rng](sim::SimTime now, WindowMeter& meter) mutable -> sim::SimTime {
         const auto idx = static_cast<std::uint64_t>(
             rng.uniform_int(0, static_cast<std::int64_t>(space) - 1));
-        DbResult r = db_.put(now, make_key(idx, config.key_bytes),
-                             make_value(idx + 1, config.value_bytes));
+        make_key_into(idx, config.key_bytes, key_scratch_);
+        make_value_into(idx + 1, config.value_bytes, value_scratch_);
+        DbResult r = db_.put(now, key_scratch_, value_scratch_);
         if (r.err == storage::Errno::kEAGAIN) {
           return r.done + sim::Duration::from_millis(10);
         }
@@ -312,7 +341,8 @@ DbBenchReport DbBench::seekrandom(sim::SimTime start,
             rng.uniform_int(0, static_cast<std::int64_t>(space) - 1));
         std::uint64_t bytes = 0;
         std::uint32_t visited = 0;
-        auto r = db_.scan(now, make_key(idx, config.key_bytes), "",
+        make_key_into(idx, config.key_bytes, key_scratch_);
+        auto r = db_.scan(now, key_scratch_, "",
                           [&](std::string_view key, std::string_view value) {
                             bytes += key.size() + value.size();
                             return ++visited < nexts_per_seek;

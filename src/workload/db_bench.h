@@ -82,9 +82,22 @@ class DbBench {
   static std::string make_value(std::uint64_t index,
                                 std::uint32_t value_bytes);
 
+  /// In-place variants for the hot loops: format into `out` (reusing its
+  /// capacity) instead of returning a fresh string. Byte-identical to the
+  /// returning forms.
+  static void make_key_into(std::uint64_t index, std::uint32_t key_bytes,
+                            std::string& out);
+  static void make_value_into(std::uint64_t index, std::uint32_t value_bytes,
+                              std::string& out);
+
  private:
   storage::ExtFs& fs_;
   storage::kvdb::Db& db_;
+  // Per-op scratch for key/value formatting. The workload actors run
+  // strictly sequentially (virtual-time scheduler), and the store copies
+  // key/value bytes before returning, so one scratch pair is safe.
+  std::string key_scratch_;
+  std::string value_scratch_;
 };
 
 }  // namespace deepnote::workload

@@ -82,6 +82,48 @@ TEST(DeterminismTest, RangeFioParallelMatchesSerial) {
   }
 }
 
+TEST(DeterminismTest, RangeKvdbParallelMatchesSerial) {
+  // The Table-2 workload (readwhilewriting over the LSM store) exercises
+  // the whole hot path this PR rewrote: event kernel, sector-store runs,
+  // WAL/memtable scratch buffers. The reports must stay bit-identical
+  // across job counts.
+  RangeTest range(ScenarioId::kPlasticTower);
+  RangeTestConfig config;
+  config.attack = best_attack();
+  config.distances_m = {std::nullopt, 0.01, 0.15};
+  config.ramp = sim::Duration::from_seconds(0.5);
+  config.duration = sim::Duration::from_seconds(2.0);
+
+  workload::DbBenchConfig bench;
+  bench.preload_keys = 2000;
+  bench.reader_actors = 2;
+  bench.ramp = sim::Duration::from_seconds(0.5);
+  bench.duration = sim::Duration::from_seconds(2.0);
+  storage::kvdb::DbConfig db;
+
+  config.jobs = 1;
+  const auto serial = range.run_kvdb(config, bench, db);
+  config.jobs = 4;
+  const auto parallel = range.run_kvdb(config, bench, db);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_EQ(serial.size(), 3u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].distance_m, parallel[i].distance_m);
+    EXPECT_EQ(serial[i].report.throughput_mbps,
+              parallel[i].report.throughput_mbps);
+    EXPECT_EQ(serial[i].report.ops_per_second,
+              parallel[i].report.ops_per_second);
+    EXPECT_EQ(serial[i].report.ops, parallel[i].report.ops);
+    EXPECT_EQ(serial[i].report.errors, parallel[i].report.errors);
+    EXPECT_EQ(serial[i].report.db_fatal, parallel[i].report.db_fatal);
+    EXPECT_EQ(serial[i].report.fatal_message, parallel[i].report.fatal_message);
+    EXPECT_EQ(serial[i].report.end_time, parallel[i].report.end_time);
+  }
+  // The no-attack row actually made progress.
+  EXPECT_GT(serial[0].report.ops, 0u);
+}
+
 TEST(DeterminismTest, CrashSuiteParallelMatchesSerial) {
   CrashExperiments experiments(ScenarioId::kPlasticTower);
   CrashExperimentConfig config;

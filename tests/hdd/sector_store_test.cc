@@ -90,6 +90,79 @@ TEST(SectorStoreTest, SparseAllocationOnlyTouchedChunks) {
   EXPECT_EQ(store.allocated_bytes(), 2u * 256 * kSectorSize);
 }
 
+TEST(SectorStoreTest, MultiChunkRunRoundTrip) {
+  SectorStore store(4096);
+  // A span covering three full chunk-runs: tail of chunk 0, all of chunk
+  // 1, head of chunk 2. Exercises the run-splitting loop end to end.
+  const auto data = pattern(256 + 300, 0x5c);
+  store.write(200, 256 + 300, data);
+  std::vector<std::byte> out(data.size());
+  store.read(200, 256 + 300, out);
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(store.allocated_bytes(), 3u * 256 * kSectorSize);
+}
+
+TEST(SectorStoreTest, ChunkAlignedFullChunkSpan) {
+  SectorStore store(4096);
+  const auto data = pattern(256, 0x33);
+  store.write(256, 256, data);  // exactly chunk 1, aligned both ends
+  std::vector<std::byte> out(data.size());
+  store.read(256, 256, out);
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(store.allocated_bytes(), 256u * kSectorSize);
+}
+
+TEST(SectorStoreTest, ReadSpanningWrittenAndUnwrittenChunks) {
+  SectorStore store(4096);
+  // Only the middle chunk is populated; the flanks must read as zeroes.
+  store.write(256, 256, pattern(256, 0x77));
+  std::vector<std::byte> out(3 * 256 * kSectorSize, std::byte{0xee});
+  store.read(0, 3 * 256, out);
+  for (std::size_t i = 0; i < 256 * kSectorSize; ++i) {
+    ASSERT_EQ(out[i], std::byte{0}) << "leading chunk not zero at " << i;
+  }
+  std::vector<std::byte> mid(out.begin() + 256 * kSectorSize,
+                             out.begin() + 2 * 256 * kSectorSize);
+  EXPECT_EQ(mid, pattern(256, 0x77));
+  for (std::size_t i = 2u * 256 * kSectorSize; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], std::byte{0}) << "trailing chunk not zero at " << i;
+  }
+}
+
+TEST(SectorStoreTest, AnyWrittenIsChunkAccurateAcrossWideSpans) {
+  SectorStore store(1ull << 24);
+  EXPECT_FALSE(store.any_written(0, 0));  // empty span
+  store.write(300000, 1, pattern(1, 9));
+  // Chunk 1171 holds sector 300000 (1171*256 = 299776).
+  EXPECT_TRUE(store.any_written(0, 1u << 20));        // wide span over it
+  EXPECT_TRUE(store.any_written(299776, 1));          // same chunk counts
+  EXPECT_FALSE(store.any_written(0, 299776));         // stops short of it
+  EXPECT_FALSE(store.any_written(300032, 1u << 20));  // starts past it
+}
+
+TEST(SectorStoreTest, CachedChunkStaysCoherentAcrossInterleavedOps) {
+  SectorStore store(4096);
+  // Alternate between two chunks so the last-touched cache keeps
+  // flipping, then verify both read back exactly.
+  const auto a0 = pattern(4, 0x01);
+  const auto b0 = pattern(4, 0x81);
+  store.write(0, 4, a0);      // chunk 0 cached
+  store.write(1024, 4, b0);   // chunk 4 cached
+  std::vector<std::byte> out(a0.size());
+  store.read(0, 4, out);      // back to chunk 0
+  EXPECT_EQ(out, a0);
+  const auto a1 = pattern(4, 0x02);
+  store.write(0, 4, a1);      // overwrite through the cache
+  store.read(1024, 4, out);   // chunk 4 again
+  EXPECT_EQ(out, b0);
+  store.read(0, 4, out);
+  EXPECT_EQ(out, a1);
+  store.clear();              // cache must be invalidated
+  store.read(0, 4, out);
+  for (auto b : out) EXPECT_EQ(b, std::byte{0});
+  EXPECT_FALSE(store.any_written(0, 4096));
+}
+
 TEST(SectorStoreTest, RandomizedRoundTripAgainstShadow) {
   SectorStore store(4096);
   std::vector<std::byte> shadow(4096 * kSectorSize, std::byte{0});

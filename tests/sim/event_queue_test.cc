@@ -2,7 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <utility>
 #include <vector>
+
+#include "sim/rng.h"
 
 namespace deepnote::sim {
 namespace {
@@ -82,6 +89,201 @@ TEST(EventQueueTest, ManyEventsStressOrder) {
     EXPECT_GE(f.time, prev);
     prev = f.time;
   }
+}
+
+// ---------------------------------------------------------------------------
+// EventFn (the SBO callable)
+
+TEST(EventFnTest, SmallCapturesStayInline) {
+  struct Ctx {
+    std::uint64_t a = 0, b = 0;
+    void* p = nullptr;
+    void* q = nullptr;
+  } ctx;  // 32 bytes: the common daemon/timeout closure shape
+  int out = 0;
+  EventFn fn([ctx, &out] { out = static_cast<int>(ctx.a) + 1; });
+  EXPECT_FALSE(fn.heap_allocated());
+  fn();
+  EXPECT_EQ(out, 1);
+}
+
+TEST(EventFnTest, LargeCapturesSpillToHeap) {
+  struct Big {
+    std::uint64_t words[10] = {};
+  } big;
+  big.words[9] = 42;
+  std::uint64_t out = 0;
+  EventFn fn([big, &out] { out = big.words[9]; });
+  EXPECT_TRUE(fn.heap_allocated());
+  fn();
+  EXPECT_EQ(out, 42u);
+}
+
+TEST(EventFnTest, MoveTransfersCallableAndEmptiesSource) {
+  int calls = 0;
+  EventFn a([&calls] { ++calls; });
+  EventFn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+  a = std::move(b);
+  a();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(EventFnTest, MoveOnlyCaptureWorks) {
+  auto p = std::make_unique<int>(7);
+  int out = 0;
+  EventFn fn([p = std::move(p), &out] { out = *p; });
+  EventFn moved(std::move(fn));
+  moved();
+  EXPECT_EQ(out, 7);
+}
+
+// ---------------------------------------------------------------------------
+// Slab recycling and id safety
+
+TEST(EventQueueTest, StaleIdAfterSlotReuseIsRejected) {
+  EventQueue q;
+  const EventId first = q.schedule(SimTime(1), [] {});
+  (void)q.pop();  // fires `first`; its slot returns to the free list
+  bool second_fired = false;
+  const EventId second =
+      q.schedule(SimTime(2), [&] { second_fired = true; });
+  // The recycled slot makes the ids collide on the slot index but not on
+  // the generation: cancelling the stale id must not touch the live one.
+  EXPECT_FALSE(q.cancel(first));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(second));
+  EXPECT_FALSE(second_fired);
+  EXPECT_FALSE(q.cancel(second));  // now stale itself
+}
+
+TEST(EventQueueTest, SlabBoundedByConcurrentPendingNotTotal) {
+  EventQueue q;
+  constexpr int kPending = 8;
+  constexpr int kRounds = 10000;
+  for (int i = 0; i < kPending; ++i) q.schedule(SimTime(i), [] {});
+  for (int i = 0; i < kRounds; ++i) {
+    auto f = q.pop();
+    q.schedule(SimTime(f.time.ns() + kPending), [] {});
+  }
+  while (!q.empty()) q.pop();
+  // 80k events flowed through; the slab must stay at the high-water mark
+  // of concurrently pending events.
+  EXPECT_LE(q.slab_slots(), static_cast<std::size_t>(kPending));
+}
+
+TEST(EventQueueTest, NextTimeAfterMassCancel) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(q.schedule(SimTime(i), [] {}));
+  }
+  const EventId keep = q.schedule(SimTime(100000), [] {});
+  for (EventId id : ids) EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_time(), SimTime(100000));
+  EXPECT_TRUE(q.cancel(keep));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), SimTime::infinity());
+}
+
+// ---------------------------------------------------------------------------
+// Randomized property test against a naive reference queue
+
+struct RefEvent {
+  std::int64_t time;
+  std::uint64_t seq;
+  int tag;
+  bool live = true;
+};
+
+/// Naive O(n) model: min over live events by (time, seq).
+class ReferenceQueue {
+ public:
+  void schedule(std::int64_t t, int tag) {
+    events_.push_back(RefEvent{t, next_seq_++, tag});
+  }
+  bool cancel(std::size_t idx) {
+    if (idx >= events_.size() || !events_[idx].live) return false;
+    events_[idx].live = false;
+    return true;
+  }
+  bool fired(std::size_t idx) const { return !events_[idx].live; }
+  std::size_t live_count() const {
+    std::size_t n = 0;
+    for (const auto& e : events_) n += e.live ? 1 : 0;
+    return n;
+  }
+  std::int64_t next_time() const {
+    const RefEvent* best = min_live();
+    return best ? best->time : std::numeric_limits<std::int64_t>::max();
+  }
+  int pop() {
+    RefEvent* best = const_cast<RefEvent*>(min_live());
+    best->live = false;
+    return best->tag;
+  }
+
+ private:
+  const RefEvent* min_live() const {
+    const RefEvent* best = nullptr;
+    for (const auto& e : events_) {
+      if (!e.live) continue;
+      if (!best || e.time < best->time ||
+          (e.time == best->time && e.seq < best->seq)) {
+        best = &e;
+      }
+    }
+    return best;
+  }
+  std::vector<RefEvent> events_;
+  std::uint64_t next_seq_ = 0;
+};
+
+TEST(EventQueuePropertyTest, MatchesReferenceUnderRandomOps) {
+  EventQueue q;
+  ReferenceQueue ref;
+  Rng rng(0xeeee);
+  // id of the i-th scheduled event in both queues.
+  std::vector<EventId> ids;
+  int last_tag = -1;
+  int next_tag = 0;
+  for (int step = 0; step < 20000; ++step) {
+    const auto roll = rng.uniform_int(0, 9);
+    if (roll < 5 || q.empty()) {
+      // Schedule; coarse time quantization forces plenty of FIFO ties.
+      const std::int64_t t = rng.uniform_int(0, 49) * 100;
+      const int tag = next_tag++;
+      ids.push_back(q.schedule(SimTime(t), [tag, &last_tag] {
+        last_tag = tag;
+      }));
+      ref.schedule(t, tag);
+    } else if (roll < 8) {
+      // Cancel a random id — possibly already fired or cancelled; the
+      // return value must agree with the model either way.
+      if (!ids.empty()) {
+        const auto idx = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1));
+        EXPECT_EQ(q.cancel(ids[idx]), ref.cancel(idx)) << "step " << step;
+      }
+    } else {
+      ASSERT_EQ(q.next_time().ns(), ref.next_time()) << "step " << step;
+      auto f = q.pop();
+      f.fn();
+      EXPECT_EQ(last_tag, ref.pop()) << "step " << step;
+    }
+    ASSERT_EQ(q.size(), ref.live_count()) << "step " << step;
+  }
+  // Drain both and compare the full tail ordering.
+  while (!q.empty()) {
+    auto f = q.pop();
+    f.fn();
+    EXPECT_EQ(last_tag, ref.pop());
+  }
+  EXPECT_EQ(ref.live_count(), 0u);
 }
 
 }  // namespace

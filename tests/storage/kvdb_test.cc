@@ -41,9 +41,9 @@ TEST(SkipListTest, OrderedTraversal) {
   }
   std::string prev;
   bool first = true;
-  list.for_each([&](const std::string& k, const int&) {
+  list.for_each([&](std::string_view k, const int&) {
     if (!first) EXPECT_GE(k, prev);
-    prev = k;
+    prev = std::string(k);
     first = false;
   });
   EXPECT_EQ(list.size(), 500u);

@@ -1,0 +1,143 @@
+// Compares two BENCH files (deepnote-bench-v1) and fails loudly on
+// performance regressions.
+//
+//   bench_compare <reference.json> <candidate.json> [--threshold 0.15]
+//
+// A suite regresses when candidate ns/op exceeds reference ns/op by more
+// than the threshold fraction; the end-to-end trials/sec regresses when
+// the candidate is slower than reference/(1+threshold). Exit code 1 with
+// a readable per-suite diff when anything regresses, 0 otherwise.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/minijson.h"
+
+namespace {
+
+using deepnote::tools::JsonValue;
+using deepnote::tools::json_parse;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+struct BenchFile {
+  std::map<std::string, double> suites;  // name -> current ns/op
+  std::optional<double> trials_per_s;
+};
+
+BenchFile load(const std::string& path) {
+  const JsonValue root = json_parse(read_file(path));
+  const JsonValue* schema = root.find("schema");
+  if (schema == nullptr || schema->string_or("") != "deepnote-bench-v1") {
+    throw std::runtime_error(path + ": not a deepnote-bench-v1 file");
+  }
+  BenchFile f;
+  if (const JsonValue* suites = root.find("suites")) {
+    for (const auto& [name, suite] : suites->object) {
+      if (const JsonValue* ns = suite.find("current_ns_per_op");
+          ns != nullptr && ns->is_number()) {
+        f.suites[name] = ns->number;
+      }
+    }
+  }
+  if (const JsonValue* t = root.find_path(
+          {"end_to_end", "table2_range_kvdb", "current_trials_per_s"});
+      t != nullptr && t->is_number()) {
+    f.trials_per_s = t->number;
+  }
+  return f;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  double threshold = 0.15;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threshold") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_compare: --threshold needs a value\n");
+        return 2;
+      }
+      threshold = std::atof(argv[++i]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <reference.json> <candidate.json> "
+                 "[--threshold 0.15]\n");
+    return 2;
+  }
+
+  try {
+    const BenchFile ref = load(paths[0]);
+    const BenchFile cand = load(paths[1]);
+
+    int regressions = 0;
+    int compared = 0;
+    std::printf("%-44s %14s %14s %9s\n", "suite", "ref ns/op", "cand ns/op",
+                "delta");
+    for (const auto& [name, ref_ns] : ref.suites) {
+      const auto it = cand.suites.find(name);
+      if (it == cand.suites.end()) {
+        std::printf("%-44s %14.1f %14s %9s\n", name.c_str(), ref_ns, "MISSING",
+                    "-");
+        continue;
+      }
+      ++compared;
+      const double delta = ref_ns > 0 ? (it->second - ref_ns) / ref_ns : 0.0;
+      const bool regressed = delta > threshold;
+      std::printf("%-44s %14.1f %14.1f %+8.1f%%%s\n", name.c_str(), ref_ns,
+                  it->second, delta * 100.0,
+                  regressed ? "  << REGRESSION" : "");
+      if (regressed) ++regressions;
+    }
+    for (const auto& [name, ns] : cand.suites) {
+      if (ref.suites.find(name) == ref.suites.end()) {
+        std::printf("%-44s %14s %14.1f %9s\n", name.c_str(), "NEW", ns, "-");
+      }
+    }
+    if (ref.trials_per_s.has_value() && cand.trials_per_s.has_value()) {
+      ++compared;
+      const double delta =
+          (*cand.trials_per_s - *ref.trials_per_s) / *ref.trials_per_s;
+      const bool regressed = delta < -threshold;  // higher is better here
+      std::printf("%-44s %12.3f/s %12.3f/s %+8.1f%%%s\n",
+                  "end_to_end.table2_range_kvdb", *ref.trials_per_s,
+                  *cand.trials_per_s, delta * 100.0,
+                  regressed ? "  << REGRESSION" : "");
+      if (regressed) ++regressions;
+    }
+    if (compared == 0) {
+      std::fprintf(stderr, "bench_compare: no overlapping suites to compare\n");
+      return 2;
+    }
+    if (regressions > 0) {
+      std::printf("\n%d regression(s) beyond %.0f%% threshold\n", regressions,
+                  threshold * 100.0);
+      return 1;
+    }
+    std::printf("\nno regressions beyond %.0f%% threshold (%d compared)\n",
+                threshold * 100.0, compared);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_compare: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}

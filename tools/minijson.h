@@ -1,0 +1,304 @@
+// Minimal JSON parser/emitter for the perf tooling.
+//
+// Hand-rolled so the bench harness has no dependency beyond the standard
+// library: parses the subset google-benchmark emits (objects, arrays,
+// strings with escapes, doubles, bools, null) into an ordered tree.
+// Throws std::runtime_error with a byte offset on malformed input.
+#pragma once
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace deepnote::tools {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  // Insertion-ordered; duplicate keys keep the first occurrence on find().
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  /// `find` chained through nested objects.
+  const JsonValue* find_path(std::initializer_list<std::string_view> keys)
+      const {
+    const JsonValue* v = this;
+    for (const auto key : keys) {
+      v = v->find(key);
+      if (v == nullptr) return nullptr;
+    }
+    return v;
+  }
+
+  double number_or(double fallback) const {
+    return kind == Kind::kNumber ? number : fallback;
+  }
+  std::string string_or(std::string fallback) const {
+    return kind == Kind::kString ? str : std::move(fallback);
+  }
+};
+
+namespace detail {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    std::ostringstream os;
+    os << "minijson: " << what << " at byte " << pos_;
+    throw std::runtime_error(os.str());
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string_value();
+      case 't':
+      case 'f':
+        return boolean();
+      case 'n':
+        literal("null");
+        return JsonValue{};
+      default:
+        return number();
+    }
+  }
+
+  void literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      fail("bad literal");
+    }
+    pos_ += word.size();
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (peek() == 't') {
+      literal("true");
+      v.boolean = true;
+    } else {
+      literal("false");
+      v.boolean = false;
+    }
+    return v;
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    try {
+      v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  std::string string_body() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("bad escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          // Keep it simple: decode BMP code points to UTF-8.
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+          } else {
+            out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+          }
+          break;
+        }
+        default:
+          fail("bad escape");
+      }
+    }
+    return out;
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    v.str = string_body();
+    return v;
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string_body();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+inline JsonValue json_parse(std::string_view text) {
+  return detail::Parser(text).parse();
+}
+
+/// Escape a string for embedding in emitted JSON.
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace deepnote::tools
