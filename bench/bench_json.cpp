@@ -1,4 +1,4 @@
-// Distills benchmark output into the repo's BENCH_PR3.json format.
+// Distills benchmark output into the repo's BENCH json format.
 //
 // Inputs:
 //   --micro <file>     google-benchmark JSON (--benchmark_format=json) with
@@ -6,12 +6,16 @@
 //                      items_per_second when a suite reports items, else
 //                      cpu_time per iteration is used.
 //   --baseline <file>  optional. Either a previous BENCH file (its
-//                      baseline_* numbers are carried forward unchanged)
-//                      or a raw google-benchmark JSON (distilled and used
-//                      as the baseline, for the first generation).
+//                      baseline_* numbers are carried forward unchanged;
+//                      an end-to-end entry new since that file seeds its
+//                      baseline from the previous current rate) or a raw
+//                      google-benchmark JSON (distilled and used as the
+//                      baseline, for the first generation).
 //   --table2           run the reduced Table-2 kvdb range sweep end to end
 //                      (serial, wall-clocked) and record trials/sec.
-//   --out <file>       output path (default: BENCH_PR3.json).
+//   --cluster          run the reduced cluster-availability grid end to
+//                      end (serial, wall-clocked) and record cells/sec.
+//   --out <file>       output path (default: BENCH_PR5.json).
 //
 // The emitted file is the input format of tools/bench_compare.
 #include <chrono>
@@ -21,8 +25,10 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "cluster/experiment.h"
 #include "core/range_test.h"
 #include "core/scenario.h"
 #include "storage/kvdb/db.h"
@@ -121,6 +127,36 @@ EndToEnd run_table2() {
   return e;
 }
 
+/// The reduced cluster grid: the full policy x distance availability
+/// experiment at a short timeline. Serving a Zipf read/write mix through
+/// the balancer over 15 simulated drives per cell makes this the cluster
+/// layer's steady-state throughput number. Same warm-up + best-of-2
+/// protocol as the Table-2 sweep.
+EndToEnd run_cluster() {
+  using namespace deepnote;
+  cluster::ClusterExperimentConfig config =
+      cluster::cluster_experiment_config(/*scale=*/0.1);
+  config.jobs = 1;
+
+  (void)cluster::run_cluster_experiment(config);  // warm-up
+
+  EndToEnd e;
+  for (int rep = 0; rep < 2; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto rows = cluster::run_cluster_experiment(config);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall = std::chrono::duration<double>(t1 - t0).count();
+    if (rep == 0 || wall < e.wall_s) {
+      e.trials = rows.size();
+      e.wall_s = wall;
+      e.trials_per_s = wall > 0 ? static_cast<double>(e.trials) / wall : 0;
+      e.total_ops = 0;
+      for (const auto& row : rows) e.total_ops += row.requests;
+    }
+  }
+  return e;
+}
+
 void emit_number_or_null(std::ostream& os, std::optional<double> v) {
   if (v.has_value()) {
     char buf[64];
@@ -136,8 +172,9 @@ void emit_number_or_null(std::ostream& os, std::optional<double> v) {
 int main(int argc, char** argv) {
   std::string micro_path;
   std::string baseline_path;
-  std::string out_path = "BENCH_PR3.json";
+  std::string out_path = "BENCH_PR5.json";
   bool with_table2 = false;
+  bool with_cluster = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -155,10 +192,12 @@ int main(int argc, char** argv) {
       out_path = next();
     } else if (arg == "--table2") {
       with_table2 = true;
+    } else if (arg == "--cluster") {
+      with_cluster = true;
     } else {
       std::fprintf(stderr,
                    "usage: bench_json --micro <gbench.json> [--baseline "
-                   "<file>] [--table2] [--out <file>]\n");
+                   "<file>] [--table2] [--cluster] [--out <file>]\n");
       return 2;
     }
   }
@@ -168,20 +207,24 @@ int main(int argc, char** argv) {
   }
 
   try {
-    // The end-to-end sweep runs first, on a clean heap: parsing the JSON
+    // The end-to-end sweeps run first, on a clean heap: parsing the JSON
     // inputs leaves thousands of live small allocations that measurably
     // slow the allocation-heavy simulation.
-    std::optional<EndToEnd> table2;
+    std::vector<std::pair<std::string, EndToEnd>> end_to_end;
     if (with_table2) {
       std::fprintf(stderr, "bench_json: running reduced Table-2 sweep...\n");
-      table2 = run_table2();
+      end_to_end.emplace_back("table2_range_kvdb", run_table2());
+    }
+    if (with_cluster) {
+      std::fprintf(stderr, "bench_json: running reduced cluster grid...\n");
+      end_to_end.emplace_back("cluster_availability", run_cluster());
     }
 
     const std::map<std::string, double> current =
         distill_micro(json_parse(read_file(micro_path)));
 
     std::map<std::string, double> baseline;
-    std::optional<double> baseline_trials_per_s;
+    std::map<std::string, double> baseline_e2e;  // entry -> trials/s
     if (!baseline_path.empty()) {
       const JsonValue base = json_parse(read_file(baseline_path));
       if (base.find("benchmarks") != nullptr) {
@@ -194,10 +237,18 @@ int main(int argc, char** argv) {
             baseline[name] = b->number;
           }
         }
-        if (const JsonValue* b = base.find_path(
-                {"end_to_end", "table2_range_kvdb", "baseline_trials_per_s"});
-            b != nullptr && b->is_number()) {
-          baseline_trials_per_s = b->number;
+        if (const JsonValue* prev = base.find("end_to_end")) {
+          for (const auto& [name, entry] : prev->object) {
+            if (const JsonValue* b = entry.find("baseline_trials_per_s");
+                b != nullptr && b->is_number()) {
+              baseline_e2e[name] = b->number;
+            } else if (const JsonValue* c = entry.find("current_trials_per_s");
+                       c != nullptr && c->is_number()) {
+              // The previous file had no baseline for this entry yet:
+              // its current rate becomes the baseline going forward.
+              baseline_e2e[name] = c->number;
+            }
+          }
         }
       } else {
         throw std::runtime_error("unrecognized --baseline format");
@@ -227,26 +278,35 @@ int main(int argc, char** argv) {
       os << "}";
     }
     os << "\n  }";
-    if (table2.has_value()) {
-      os << ",\n  \"end_to_end\": {\n    \"table2_range_kvdb\": {"
-         << "\"trials\": " << table2->trials << ", \"wall_s\": ";
-      emit_number_or_null(os, table2->wall_s);
-      os << ", \"current_trials_per_s\": ";
-      emit_number_or_null(os, table2->trials_per_s);
-      os << ", \"baseline_trials_per_s\": ";
-      emit_number_or_null(os, baseline_trials_per_s);
-      os << ", \"speedup\": ";
-      emit_number_or_null(
-          os, baseline_trials_per_s.has_value() && *baseline_trials_per_s > 0
-                  ? std::optional<double>(table2->trials_per_s /
-                                          *baseline_trials_per_s)
-                  : std::nullopt);
-      os << ", \"total_ops\": " << table2->total_ops << "}\n  }";
+    if (!end_to_end.empty()) {
+      os << ",\n  \"end_to_end\": {";
+      bool first_e2e = true;
+      for (const auto& [name, e] : end_to_end) {
+        if (!first_e2e) os << ",";
+        first_e2e = false;
+        const auto it = baseline_e2e.find(name);
+        const std::optional<double> base_rate =
+            it != baseline_e2e.end() ? std::optional<double>(it->second)
+                                     : std::nullopt;
+        os << "\n    \"" << json_escape(name) << "\": {"
+           << "\"trials\": " << e.trials << ", \"wall_s\": ";
+        emit_number_or_null(os, e.wall_s);
+        os << ", \"current_trials_per_s\": ";
+        emit_number_or_null(os, e.trials_per_s);
+        os << ", \"baseline_trials_per_s\": ";
+        emit_number_or_null(os, base_rate);
+        os << ", \"speedup\": ";
+        emit_number_or_null(
+            os, base_rate.has_value() && *base_rate > 0
+                    ? std::optional<double>(e.trials_per_s / *base_rate)
+                    : std::nullopt);
+        os << ", \"total_ops\": " << e.total_ops << "}";
+      }
+      os << "\n  }";
     }
     os << "\n}\n";
-    std::fprintf(stderr, "bench_json: wrote %s (%zu suites%s)\n",
-                 out_path.c_str(), current.size(),
-                 table2.has_value() ? " + table2 end-to-end" : "");
+    std::fprintf(stderr, "bench_json: wrote %s (%zu suites, %zu end-to-end)\n",
+                 out_path.c_str(), current.size(), end_to_end.size());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_json: %s\n", e.what());
     return 1;

@@ -1,0 +1,230 @@
+#include "cluster/balancer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace deepnote::cluster {
+
+namespace {
+
+int health_rank(NodeHealth health) {
+  switch (health) {
+    case NodeHealth::kHealthy: return 0;
+    case NodeHealth::kDegraded: return 1;
+    case NodeHealth::kDrained: return 2;
+  }
+  return 3;
+}
+
+}  // namespace
+
+Balancer::Balancer(ClusterTopology topology, std::vector<ClusterNode*> nodes,
+                   BalancerConfig config)
+    : topology_(topology),
+      nodes_(std::move(nodes)),
+      config_(config),
+      placement_(topology, config.policy, config.replication),
+      write_quorum_(config.write_quorum != 0 ? config.write_quorum
+                                             : config.replication / 2 + 1),
+      retry_tokens_(config.retry_budget_cap) {
+  if (nodes_.size() != topology_.nodes()) {
+    throw std::invalid_argument("balancer: node list does not match topology");
+  }
+  if (write_quorum_ > config_.replication) {
+    throw std::invalid_argument("balancer: write quorum exceeds replication");
+  }
+  if (config_.objects == 0 || config_.object_sectors == 0) {
+    throw std::invalid_argument("balancer: empty object space");
+  }
+  for (ClusterNode* node : nodes_) {
+    if (config_.objects * config_.object_sectors >
+        node->device().total_sectors()) {
+      throw std::invalid_argument("balancer: object space exceeds a device");
+    }
+  }
+  next_probe_.assign(nodes_.size(), sim::SimTime::zero());
+  probe_scratch_.resize(static_cast<std::size_t>(config_.probe_sectors) *
+                        storage::kBlockSectorSize);
+}
+
+Balancer::Balancer(Cluster& cluster, BalancerConfig config)
+    : Balancer(cluster.topology(), cluster.node_pointers(), config) {}
+
+std::uint64_t Balancer::lba_of(std::uint64_t key) const {
+  return (mix64(key) % config_.objects) * config_.object_sectors;
+}
+
+void Balancer::rank_candidates(std::vector<NodeId>& replicas) const {
+  std::stable_sort(replicas.begin(), replicas.end(),
+                   [&](NodeId a, NodeId b) {
+                     return health_rank(nodes_[a]->health()) <
+                            health_rank(nodes_[b]->health());
+                   });
+}
+
+bool Balancer::spend_retry_token() {
+  if (retry_tokens_ < 1.0) return false;
+  retry_tokens_ -= 1.0;
+  return true;
+}
+
+void Balancer::react(ClusterNode& node, sim::SimTime when) {
+  if (!node.detector().alerted()) return;
+  if (node.health() != NodeHealth::kHealthy) return;
+  if (config_.auto_drain) {
+    node.drain(when);
+    ++stats_.drains;
+    next_probe_[node.id()] = when + config_.probe_interval;
+  } else {
+    node.mark_degraded(when);
+    ++stats_.degrades;
+  }
+}
+
+RequestOutcome Balancer::read(sim::SimTime now, std::uint64_t key,
+                              std::span<std::byte> out) {
+  ++stats_.reads;
+  retry_tokens_ = std::min(config_.retry_budget_cap,
+                           retry_tokens_ + config_.retry_budget_ratio);
+  placement_.replicas(key, replica_scratch_);
+  rank_candidates(replica_scratch_);
+  const std::uint64_t lba = lba_of(key);
+  const sim::SimTime deadline = now + config_.request_deadline;
+
+  RequestOutcome outcome;
+  sim::SimTime t = now;
+  std::size_t next_candidate = 0;
+
+  // Hedge the first attempt when the chosen node is running hot.
+  if (config_.hedge_threshold.ns() > 0 && replica_scratch_.size() >= 2) {
+    ClusterNode& primary = *nodes_[replica_scratch_[0]];
+    ClusterNode& backup = *nodes_[replica_scratch_[1]];
+    const bool primary_hot =
+        primary.detector().recent_latency_s() >
+        config_.hedge_threshold.seconds();
+    if (primary_hot && backup.health() != NodeHealth::kDrained) {
+      ++stats_.hedged_reads;
+      outcome.hedged = true;
+      const storage::BlockIo io0 =
+          primary.read(t, lba, config_.object_sectors, out);
+      react(primary, io0.complete);
+      const storage::BlockIo io1 =
+          backup.read(t, lba, config_.object_sectors, out);
+      react(backup, io1.complete);
+      const bool ok0 = io0.ok() && io0.complete <= deadline;
+      const bool ok1 = io1.ok() && io1.complete <= deadline;
+      outcome.attempts = 2;
+      if (ok0 || ok1) {
+        outcome.ok = true;
+        outcome.complete = ok0 && (!ok1 || io0.complete <= io1.complete)
+                               ? io0.complete
+                               : io1.complete;
+        if (!ok0 || (ok1 && io1.complete < io0.complete)) ++stats_.hedge_wins;
+        return outcome;
+      }
+      if ((io0.ok() && io0.complete > deadline) ||
+          (io1.ok() && io1.complete > deadline)) {
+        ++stats_.deadline_misses;
+      }
+      // Both hedge legs failed: keep failing over from the third replica,
+      // starting when the earlier leg reported.
+      t = sim::min(io0.complete, io1.complete);
+      next_candidate = 2;
+    }
+  }
+
+  for (std::size_t i = next_candidate; i < replica_scratch_.size(); ++i) {
+    if (t >= deadline) break;
+    if (outcome.attempts > 0 && !spend_retry_token()) {
+      ++stats_.retries_denied;
+      break;
+    }
+    ClusterNode& node = *nodes_[replica_scratch_[i]];
+    const storage::BlockIo io = node.read(t, lba, config_.object_sectors, out);
+    ++outcome.attempts;
+    react(node, io.complete);
+    if (io.ok()) {
+      if (io.complete <= deadline) {
+        outcome.ok = true;
+        outcome.complete = io.complete;
+        if (outcome.attempts > 1) ++stats_.read_failovers;
+        return outcome;
+      }
+      ++stats_.deadline_misses;
+      break;  // the data arrived late; any retry would start later still
+    }
+    t = io.complete;
+  }
+  ++stats_.failed_reads;
+  outcome.complete = sim::min(t, deadline);
+  return outcome;
+}
+
+RequestOutcome Balancer::write(sim::SimTime now, std::uint64_t key,
+                               std::span<const std::byte> in) {
+  ++stats_.writes;
+  retry_tokens_ = std::min(config_.retry_budget_cap,
+                           retry_tokens_ + config_.retry_budget_ratio);
+  placement_.replicas(key, replica_scratch_);
+  const std::uint64_t lba = lba_of(key);
+  const sim::SimTime deadline = now + config_.request_deadline;
+
+  std::size_t in_rotation = 0;
+  for (NodeId id : replica_scratch_) {
+    if (nodes_[id]->health() != NodeHealth::kDrained) ++in_rotation;
+  }
+  // Skip drained replicas only while the in-rotation members can still
+  // make quorum; otherwise write through the drain (fail-static on the
+  // write path: a transiently mis-drained node can still ack, and a
+  // genuinely dead one fails the command and proves the loss).
+  const bool skip_drained = in_rotation >= write_quorum_;
+
+  RequestOutcome outcome;
+  std::vector<sim::SimTime> acks;
+  acks.reserve(replica_scratch_.size());
+  sim::SimTime latest = now;
+  for (NodeId id : replica_scratch_) {
+    ClusterNode& node = *nodes_[id];
+    if (skip_drained && node.health() == NodeHealth::kDrained) continue;
+    const storage::BlockIo io =
+        node.write(now, lba, config_.object_sectors, in);
+    ++outcome.attempts;
+    react(node, io.complete);
+    if (io.ok() && io.complete <= deadline) {
+      acks.push_back(io.complete);
+    } else if (io.ok()) {
+      ++stats_.deadline_misses;
+    }
+    latest = sim::max(latest, sim::min(io.complete, deadline));
+  }
+  if (acks.size() >= write_quorum_) {
+    std::sort(acks.begin(), acks.end());
+    outcome.ok = true;
+    outcome.complete = acks[write_quorum_ - 1];
+    return outcome;
+  }
+  ++stats_.quorum_losses;
+  ++stats_.failed_writes;
+  outcome.complete = latest;
+  return outcome;
+}
+
+void Balancer::run_probes(sim::SimTime now) {
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    ClusterNode& node = *nodes_[id];
+    if (node.health() != NodeHealth::kDrained) continue;
+    if (now < next_probe_[id]) continue;
+    ++stats_.probes;
+    // Probe the raw device: health checks must not skew serving stats.
+    const storage::BlockIo io =
+        node.device().read(now, 0, config_.probe_sectors, probe_scratch_);
+    if (io.ok() && (io.complete - now) <= config_.probe_ok_latency) {
+      node.readmit(io.complete);
+      ++stats_.readmits;
+    } else {
+      next_probe_[id] = now + config_.probe_interval;
+    }
+  }
+}
+
+}  // namespace deepnote::cluster

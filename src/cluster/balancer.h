@@ -1,0 +1,129 @@
+// Health-checked replica selection with failover, hedged reads, a retry
+// budget, and detector-driven drain/readmit — the control loop that
+// turns per-node detector alerts into an automatic routing action.
+//
+// Reads try replicas in health-ranked placement order, failing over on
+// error while a token-bucket retry budget lasts (a storm of failing
+// primaries must not double the fleet's load). A read whose chosen
+// node is running hot (detector recent-latency EWMA above the hedge
+// threshold) is hedged: issued to the next replica too, first success
+// wins. Writes go to every in-rotation replica and succeed on a
+// majority quorum.
+//
+// When a node's detector alerts, the balancer drains it (out of
+// rotation) and probes it on an interval; a probe served fast readmits
+// the node. This is the paper's missing mitigation half: detection
+// (core/detector.h) feeding an automatic drain + re-route instead of a
+// report line.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cluster/node.h"
+#include "cluster/placement.h"
+
+namespace deepnote::cluster {
+
+struct BalancerConfig {
+  PlacementPolicy policy = PlacementPolicy::kCrossPod;
+  std::size_t replication = 3;
+  /// Successful members required to ack a write; 0 = majority of
+  /// `replication`.
+  std::size_t write_quorum = 0;
+  /// A request that cannot complete by arrival + deadline fails.
+  sim::Duration request_deadline = sim::Duration::from_seconds(2.0);
+  /// Hedge a read when the chosen node's recent-latency EWMA is above
+  /// this (zero disables hedging).
+  sim::Duration hedge_threshold = sim::Duration::from_millis(40.0);
+  /// Failover retries spend from a token bucket refilled by this many
+  /// tokens per request, capped at `retry_budget_cap`. Sized so the
+  /// steady failover rate of one fully-lost pod (every read whose
+  /// primary lived there, 1/pods of traffic) fits inside the budget;
+  /// what it guards against is unbounded retry amplification.
+  double retry_budget_ratio = 0.5;
+  double retry_budget_cap = 32.0;
+  /// Drain a node when its detector alerts (false: mark degraded only).
+  bool auto_drain = true;
+  /// Drained nodes are probed at this interval...
+  sim::Duration probe_interval = sim::Duration::from_millis(250.0);
+  /// ...and readmitted when a probe read completes within this bound.
+  sim::Duration probe_ok_latency = sim::Duration::from_millis(50.0);
+  std::uint32_t probe_sectors = 8;
+  /// Object address space: key -> one of `objects` fixed-size objects.
+  std::uint64_t objects = 20000;
+  std::uint32_t object_sectors = 8;  ///< 4 KiB objects
+};
+
+struct BalancerStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t read_failovers = 0;  ///< reads served by a non-first replica
+  std::uint64_t hedged_reads = 0;
+  std::uint64_t hedge_wins = 0;  ///< hedge completed before the primary
+  std::uint64_t retries_denied = 0;
+  std::uint64_t failed_reads = 0;
+  std::uint64_t failed_writes = 0;
+  std::uint64_t quorum_losses = 0;
+  std::uint64_t deadline_misses = 0;  ///< completed, but too late
+  std::uint64_t drains = 0;
+  std::uint64_t degrades = 0;
+  std::uint64_t readmits = 0;
+  std::uint64_t probes = 0;
+};
+
+struct RequestOutcome {
+  bool ok = false;
+  sim::SimTime complete = sim::SimTime::zero();
+  std::uint32_t attempts = 0;
+  bool hedged = false;
+};
+
+class Balancer {
+ public:
+  /// Routes over `nodes` (non-owning, id order must match `topology`).
+  Balancer(ClusterTopology topology, std::vector<ClusterNode*> nodes,
+           BalancerConfig config);
+  /// Convenience: route over a Cluster's nodes.
+  Balancer(Cluster& cluster, BalancerConfig config);
+
+  const BalancerConfig& config() const { return config_; }
+  const PlacementMap& placement() const { return placement_; }
+  const BalancerStats& stats() const { return stats_; }
+
+  /// Object LBA for a key (pure; same on every replica).
+  std::uint64_t lba_of(std::uint64_t key) const;
+
+  RequestOutcome read(sim::SimTime now, std::uint64_t key,
+                      std::span<std::byte> out);
+  RequestOutcome write(sim::SimTime now, std::uint64_t key,
+                       std::span<const std::byte> in);
+
+  /// Probe drained nodes whose probe timer is due; readmit recovered
+  /// ones. Call from the traffic loop (monotonic `now`).
+  void run_probes(sim::SimTime now);
+
+ private:
+  /// Candidate order for a replica set: healthy, then degraded, then
+  /// drained (fail-static: a fully-drained set is still attempted).
+  void rank_candidates(std::vector<NodeId>& replicas) const;
+  /// Apply the detector -> health control action after an I/O completes.
+  void react(ClusterNode& node, sim::SimTime when);
+  bool spend_retry_token();
+
+  ClusterTopology topology_;
+  std::vector<ClusterNode*> nodes_;
+  BalancerConfig config_;
+  PlacementMap placement_;
+  std::size_t write_quorum_;
+  double retry_tokens_;
+  BalancerStats stats_;
+  std::vector<sim::SimTime> next_probe_;
+  // Scratch buffers (reused per request; the balancer is single-trial
+  // state like everything else in a simulation).
+  mutable std::vector<NodeId> replica_scratch_;
+  std::vector<std::byte> probe_scratch_;
+};
+
+}  // namespace deepnote::cluster

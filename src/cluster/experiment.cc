@@ -1,0 +1,144 @@
+#include "cluster/experiment.h"
+
+#include <string>
+#include <utility>
+
+#include "core/attack.h"
+#include "sim/trial_runner.h"
+
+namespace deepnote::cluster {
+
+ClusterExperimentConfig cluster_experiment_config(double scale) {
+  ClusterExperimentConfig config;
+  // 400 req/s keeps the dense same-pod layout below drive saturation at
+  // baseline (~70 ops/s/bay against ~125 ops/s of seek-bound capacity),
+  // so availability loss in the table is attack signal, not queueing.
+  config.traffic.arrival_rate_per_s = 400.0;
+  config.warmup = sim::Duration::from_seconds(10.0 * scale);
+  config.attack_window = sim::Duration::from_seconds(40.0 * scale);
+  config.cooldown = sim::Duration::from_seconds(10.0 * scale);
+  return config;
+}
+
+namespace {
+
+ClusterTrialRow run_cell(const ClusterExperimentConfig& config,
+                         PlacementPolicy policy,
+                         std::optional<double> distance_m,
+                         std::uint64_t cell_seed) {
+  ClusterConfig cluster_config;
+  cluster_config.scenario = config.scenario;
+  cluster_config.topology = config.topology;
+  cluster_config.seed = sim::trial_seed(cell_seed, 0);
+  Cluster cluster(cluster_config);
+
+  BalancerConfig balancer_config = config.balancer;
+  balancer_config.policy = policy;
+  balancer_config.replication = config.replication;
+  Balancer balancer(cluster, balancer_config);
+
+  TrafficConfig traffic_config = config.traffic;
+  traffic_config.duration =
+      config.warmup + config.attack_window + config.cooldown;
+  traffic_config.seed = sim::trial_seed(cell_seed, 1);
+  TrafficRunner traffic(balancer, traffic_config);
+
+  const sim::SimTime start = sim::SimTime::zero();
+  const sim::SimTime attack_on = start + config.warmup;
+  const sim::SimTime attack_off = attack_on + config.attack_window;
+
+  SloTracker slo(start);
+  slo.set_focus(attack_on, attack_off);
+
+  std::vector<TimelineAction> actions;
+  if (distance_m.has_value()) {
+    core::AttackConfig attack;
+    attack.frequency_hz = config.frequency_hz;
+    attack.spl_air_db = config.spl_air_db;
+    attack.distance_m = *distance_m;
+    attack.start = attack_on;
+    attack.end = attack_off;
+    const std::size_t pod = config.attacked_pod;
+    actions.push_back({attack_on, [&cluster, pod, attack](sim::SimTime t) {
+                         cluster.apply_attack(pod, t, attack);
+                       }});
+    actions.push_back({attack_off, [&cluster, pod](sim::SimTime t) {
+                         cluster.stop_attack(pod, t);
+                       }});
+  }
+
+  const TrafficReport report = traffic.run(start, slo, std::move(actions));
+
+  ClusterTrialRow row;
+  row.policy = policy;
+  row.distance_m = distance_m;
+  row.requests = report.requests;
+  row.failed = slo.failed();
+  row.availability = slo.availability();
+  row.attack_availability = slo.focus_availability();
+  row.p50_ms = slo.p50().millis();
+  row.p99_ms = slo.p99().millis();
+  row.p999_ms = slo.p999().millis();
+  const BalancerStats& stats = balancer.stats();
+  row.read_failovers = stats.read_failovers;
+  row.hedged_reads = stats.hedged_reads;
+  row.drains = stats.drains;
+  row.readmits = stats.readmits;
+  return row;
+}
+
+}  // namespace
+
+std::vector<ClusterTrialRow> run_cluster_experiment(
+    const ClusterExperimentConfig& config) {
+  struct Cell {
+    PlacementPolicy policy;
+    std::optional<double> distance_m;
+  };
+  std::vector<Cell> grid;
+  grid.reserve(config.policies.size() * config.distances_m.size());
+  for (PlacementPolicy policy : config.policies) {
+    for (const auto& distance : config.distances_m) {
+      grid.push_back({policy, distance});
+    }
+  }
+  return sim::run_trials<ClusterTrialRow>(
+      grid.size(), config.jobs, [&](std::size_t i) {
+        return run_cell(config, grid[i].policy, grid[i].distance_m,
+                        sim::trial_seed(config.seed, i));
+      });
+}
+
+sim::Table build_cluster_availability_table(
+    const ClusterExperimentConfig& config,
+    const std::vector<ClusterTrialRow>& rows) {
+  sim::Table table(
+      "Cluster availability under a single-pod " +
+      sim::format_fixed(config.frequency_hz, 0) + " Hz / " +
+      sim::format_fixed(config.spl_air_db, 0) + " dB attack (" +
+      std::to_string(config.topology.pods) + " pods x " +
+      std::to_string(config.topology.bays_per_pod) + " bays, R=" +
+      std::to_string(config.replication) + ")");
+  table.set_columns({"Policy", "Distance (cm)", "Avail %", "Attack avail %",
+                     "p50 ms", "p99 ms", "p99.9 ms", "Failovers", "Drains",
+                     "Failed"});
+  for (const ClusterTrialRow& row : rows) {
+    table.row().cell(placement_name(row.policy));
+    if (row.distance_m.has_value()) {
+      table.cell(*row.distance_m * 100.0, 0);
+    } else {
+      table.dash();
+    }
+    table.cell(row.availability * 100.0, 3)
+        .cell(row.attack_availability * 100.0, 3)
+        .cell(row.p50_ms, 2)
+        .cell(row.p99_ms, 2)
+        .cell(row.p999_ms, 2)
+        .cell(static_cast<std::int64_t>(row.read_failovers))
+        .cell(static_cast<std::int64_t>(row.drains))
+        .cell(static_cast<std::int64_t>(row.failed));
+  }
+  return table;
+}
+
+}  // namespace deepnote::cluster

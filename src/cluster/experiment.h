@@ -1,0 +1,88 @@
+// The cluster availability experiment: a serving datacenter under a
+// single-pod acoustic attack, swept over placement policy and attacker
+// distance.
+//
+// Each grid cell is one independent trial (own Cluster, Balancer,
+// traffic stream; seeded by sim::trial_seed) fanned across the parallel
+// trial engine — output is bit-identical at any DEEPNOTE_JOBS setting.
+// A trial serves warmup traffic, insonifies one pod at 650 Hz / 140 dB
+// for the attack window, then cools down; availability inside the
+// window is accounted separately.
+//
+// The headline the table pins down: cross-pod 3-way replication rides
+// out a pod-level attack above 99% availability, while the dense
+// same-pod layout loses every replica at once and collapses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cluster/balancer.h"
+#include "cluster/node.h"
+#include "cluster/traffic.h"
+#include "sim/table.h"
+
+namespace deepnote::cluster {
+
+struct ClusterExperimentConfig {
+  core::ScenarioId scenario = core::ScenarioId::kPlasticTower;
+  ClusterTopology topology;  ///< pods x bays_per_pod (default 3 x 5)
+  std::vector<PlacementPolicy> policies = {
+      PlacementPolicy::kSamePod,
+      PlacementPolicy::kCrossPod,
+      PlacementPolicy::kRackAware,
+  };
+  /// Attacker distances swept; nullopt = no-attack baseline row.
+  std::vector<std::optional<double>> distances_m = {std::nullopt, 0.01, 0.10,
+                                                    0.25};
+  double frequency_hz = 650.0;
+  double spl_air_db = 140.0;
+  std::size_t attacked_pod = 0;
+
+  std::size_t replication = 3;
+  BalancerConfig balancer;  ///< policy field overridden per grid cell
+  TrafficConfig traffic;    ///< duration field overridden per trial
+
+  sim::Duration warmup = sim::Duration::from_seconds(10.0);
+  sim::Duration attack_window = sim::Duration::from_seconds(40.0);
+  sim::Duration cooldown = sim::Duration::from_seconds(10.0);
+
+  std::uint64_t seed = 0xdeeb;
+  unsigned jobs = 0;  ///< 0 = $DEEPNOTE_JOBS / all cores
+};
+
+/// The experiment at a given time scale (1.0 = the full 10/40/10 s
+/// timeline; tests and benches run fractions of it). Rates, topology and
+/// the policy/distance grid are unchanged by `scale`.
+ClusterExperimentConfig cluster_experiment_config(double scale = 1.0);
+
+struct ClusterTrialRow {
+  PlacementPolicy policy = PlacementPolicy::kSamePod;
+  std::optional<double> distance_m;
+
+  std::uint64_t requests = 0;
+  std::uint64_t failed = 0;
+  double availability = 1.0;         ///< whole run
+  double attack_availability = 1.0;  ///< attack-window arrivals only
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+
+  std::uint64_t read_failovers = 0;
+  std::uint64_t hedged_reads = 0;
+  std::uint64_t drains = 0;
+  std::uint64_t readmits = 0;
+};
+
+/// Run the full grid; rows in (policy-major, distance-minor) order.
+std::vector<ClusterTrialRow> run_cluster_experiment(
+    const ClusterExperimentConfig& config);
+
+/// Render the grid as the "cluster availability vs. replication policy
+/// and attack distance" table.
+sim::Table build_cluster_availability_table(
+    const ClusterExperimentConfig& config,
+    const std::vector<ClusterTrialRow>& rows);
+
+}  // namespace deepnote::cluster

@@ -1,0 +1,141 @@
+#include "cluster/node.h"
+
+#include <stdexcept>
+
+#include "sim/trial_runner.h"
+
+namespace deepnote::cluster {
+
+const char* health_name(NodeHealth health) {
+  switch (health) {
+    case NodeHealth::kHealthy: return "healthy";
+    case NodeHealth::kDegraded: return "degraded";
+    case NodeHealth::kDrained: return "drained";
+  }
+  return "?";
+}
+
+ClusterNode::ClusterNode(NodeId id, std::size_t pod, std::size_t bay,
+                         storage::BlockDevice& device,
+                         core::DetectorConfig detector)
+    : id_(id), pod_(pod), bay_(bay), device_(device), detector_(detector) {}
+
+void ClusterNode::mark_degraded(sim::SimTime now) {
+  if (health_ == NodeHealth::kHealthy) {
+    health_ = NodeHealth::kDegraded;
+    drained_at_ = now;  // timeline: when the detector pulled it from full duty
+  }
+}
+
+void ClusterNode::drain(sim::SimTime now) {
+  if (health_ != NodeHealth::kDrained) {
+    health_ = NodeHealth::kDrained;
+    drained_at_ = now;
+  }
+}
+
+void ClusterNode::readmit(sim::SimTime now) {
+  health_ = NodeHealth::kHealthy;
+  readmitted_at_ = now;
+  detector_.acknowledge();
+}
+
+void ClusterNode::observe(sim::SimTime issued, const storage::BlockIo& io) {
+  if (io.ok()) {
+    detector_.record_ok(io.complete, (io.complete - issued).seconds());
+  } else {
+    detector_.record_error(io.complete);
+    ++stats_.errors;
+  }
+}
+
+storage::BlockIo ClusterNode::read(sim::SimTime now, std::uint64_t lba,
+                                   std::uint32_t sector_count,
+                                   std::span<std::byte> out) {
+  ++stats_.reads;
+  const storage::BlockIo io = device_.read(now, lba, sector_count, out);
+  observe(now, io);
+  return io;
+}
+
+storage::BlockIo ClusterNode::write(sim::SimTime now, std::uint64_t lba,
+                                    std::uint32_t sector_count,
+                                    std::span<const std::byte> in) {
+  ++stats_.writes;
+  const storage::BlockIo io = device_.write(now, lba, sector_count, in);
+  observe(now, io);
+  return io;
+}
+
+storage::OsDeviceConfig datacenter_os_device() {
+  storage::OsDeviceConfig config;
+  config.command_timeout = sim::Duration::from_millis(150.0);
+  config.attempts = 2;
+  return config;
+}
+
+core::DetectorConfig ClusterConfig::fleet_detector() {
+  core::DetectorConfig config;
+  // A fleet baselines a node in dozens of ops, but the baseline EWMA
+  // must have actually converged by the end of warmup or seek-time
+  // variance trips the latency factor on healthy nodes: alpha 0.05 puts
+  // the baseline within ~4% of the true mean after 64 ops.
+  config.baseline_alpha = 0.05;
+  config.warmup_ops = 64;
+  // Drives take benign ~200 ms shock-sensor false trips; one such blip
+  // lifts the recent EWMA to ~8-13x a healthy ~6 ms baseline. Draining
+  // a node needs *persistent* elevation (several consecutive ops at
+  // timeout latency — the parked-head signature), so the fleet factor
+  // sits above the single-blip band. Hard failures still drain through
+  // the error-burst rule immediately.
+  config.latency_factor = 20.0;
+  return config;
+}
+
+Cluster::Cluster(ClusterConfig config) : config_(config) {
+  const ClusterTopology& topo = config_.topology;
+  if (topo.pods == 0 || topo.bays_per_pod == 0) {
+    throw std::invalid_argument("cluster: empty topology");
+  }
+  pods_.reserve(topo.pods);
+  nodes_.reserve(topo.nodes());
+  for (std::size_t pod = 0; pod < topo.pods; ++pod) {
+    core::RackConfig rack;
+    rack.scenario = config_.scenario;
+    rack.bays = topo.bays_per_pod;
+    rack.seed = sim::trial_seed(config_.seed, pod);
+    rack.os_device = config_.os_device;
+    // Traffic serving is timing/availability-only: no backing bytes.
+    rack.retain_data = false;
+    pods_.push_back(std::make_unique<core::RackTestbed>(rack));
+    for (std::size_t bay = 0; bay < topo.bays_per_pod; ++bay) {
+      nodes_.push_back(std::make_unique<ClusterNode>(
+          topo.node_id(pod, bay), pod, bay, pods_.back()->device(bay),
+          config_.detector));
+    }
+  }
+}
+
+std::vector<ClusterNode*> Cluster::node_pointers() {
+  std::vector<ClusterNode*> out;
+  out.reserve(nodes_.size());
+  for (auto& node : nodes_) out.push_back(node.get());
+  return out;
+}
+
+void Cluster::apply_attack(std::size_t pod, sim::SimTime now,
+                           const core::AttackConfig& attack) {
+  pods_.at(pod)->apply_attack(now, attack);
+}
+
+void Cluster::stop_attack(std::size_t pod, sim::SimTime now) {
+  pods_.at(pod)->stop_attack(now);
+}
+
+std::size_t Cluster::parked_nodes() const {
+  std::size_t n = 0;
+  for (const auto& pod : pods_) n += pod->parked_bays();
+  return n;
+}
+
+}  // namespace deepnote::cluster

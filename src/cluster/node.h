@@ -1,0 +1,133 @@
+// Cluster nodes and the serving datacenter they form.
+//
+// A node is one rack bay promoted to a unit of cluster membership: the
+// bay's OS block device, a per-node AttackDetector watching every I/O it
+// serves, and a health state the balancer routes around. A Cluster is a
+// set of pods (one RackTestbed per pod — one enclosure, one acoustic
+// blast radius) with one node per bay.
+//
+// Nodes run datacenter-tuned SCSI timeouts (datacenter_os_device()):
+// a serving fleet fails commands in hundreds of milliseconds and lets
+// the service layer fail over, instead of the desktop default of
+// retrying a hung drive for minutes.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/placement.h"
+#include "core/detector.h"
+#include "core/rack.h"
+#include "storage/block_device.h"
+
+namespace deepnote::cluster {
+
+enum class NodeHealth {
+  kHealthy,   ///< in rotation
+  kDegraded,  ///< detector alerted but the balancer keeps routing to it
+  kDrained,   ///< out of rotation; probed for readmission
+};
+
+const char* health_name(NodeHealth health);
+
+struct NodeStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t errors = 0;
+};
+
+class ClusterNode {
+ public:
+  /// Does not take ownership of the device.
+  ClusterNode(NodeId id, std::size_t pod, std::size_t bay,
+              storage::BlockDevice& device,
+              core::DetectorConfig detector = {});
+
+  ClusterNode(const ClusterNode&) = delete;
+  ClusterNode& operator=(const ClusterNode&) = delete;
+
+  NodeId id() const { return id_; }
+  std::size_t pod() const { return pod_; }
+  std::size_t bay() const { return bay_; }
+
+  storage::BlockDevice& device() { return device_; }
+  core::AttackDetector& detector() { return detector_; }
+  const core::AttackDetector& detector() const { return detector_; }
+  NodeHealth health() const { return health_; }
+  const NodeStats& stats() const { return stats_; }
+
+  /// Health transitions (timestamps kept for post-run timelines).
+  void mark_degraded(sim::SimTime now);
+  void drain(sim::SimTime now);
+  void readmit(sim::SimTime now);
+  std::optional<sim::SimTime> drained_at() const { return drained_at_; }
+  std::optional<sim::SimTime> readmitted_at() const { return readmitted_at_; }
+
+  /// Serve one object I/O; the outcome feeds the node's detector.
+  storage::BlockIo read(sim::SimTime now, std::uint64_t lba,
+                        std::uint32_t sector_count, std::span<std::byte> out);
+  storage::BlockIo write(sim::SimTime now, std::uint64_t lba,
+                         std::uint32_t sector_count,
+                         std::span<const std::byte> in);
+
+ private:
+  void observe(sim::SimTime issued, const storage::BlockIo& io);
+
+  NodeId id_;
+  std::size_t pod_;
+  std::size_t bay_;
+  storage::BlockDevice& device_;
+  core::AttackDetector detector_;
+  NodeHealth health_ = NodeHealth::kHealthy;
+  std::optional<sim::SimTime> drained_at_;
+  std::optional<sim::SimTime> readmitted_at_;
+  NodeStats stats_;
+};
+
+/// SCSI command timers tuned the way a serving fleet tunes them: fail
+/// fast (150 ms timer, 2 attempts) and let replication absorb the error,
+/// instead of the desktop default that hangs a request for ~75 s.
+storage::OsDeviceConfig datacenter_os_device();
+
+struct ClusterConfig {
+  core::ScenarioId scenario = core::ScenarioId::kPlasticTower;
+  ClusterTopology topology;  ///< pods x bays_per_pod
+  storage::OsDeviceConfig os_device = datacenter_os_device();
+  /// Per-node health monitor. Warms fast: a fleet baselines a node in
+  /// dozens of ops, and the error-burst rule needs no warmup at all.
+  core::DetectorConfig detector = fleet_detector();
+  std::uint64_t seed = 0xc1a5;
+
+  static core::DetectorConfig fleet_detector();
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  const ClusterConfig& config() const { return config_; }
+  const ClusterTopology& topology() const { return config_.topology; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+  ClusterNode& node(NodeId id) { return *nodes_.at(id); }
+  const ClusterNode& node(NodeId id) const { return *nodes_.at(id); }
+  core::RackTestbed& pod(std::size_t pod) { return *pods_.at(pod); }
+
+  /// Non-owning node pointers in id order (what a Balancer routes over).
+  std::vector<ClusterNode*> node_pointers();
+
+  /// Insonify / silence one pod (all its bays couple to the same field).
+  void apply_attack(std::size_t pod, sim::SimTime now,
+                    const core::AttackConfig& attack);
+  void stop_attack(std::size_t pod, sim::SimTime now);
+
+  /// Drives currently held parked by their shock sensors, cluster-wide.
+  std::size_t parked_nodes() const;
+
+ private:
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<core::RackTestbed>> pods_;
+  std::vector<std::unique_ptr<ClusterNode>> nodes_;
+};
+
+}  // namespace deepnote::cluster

@@ -1,0 +1,84 @@
+#include "cluster/placement.h"
+
+#include <stdexcept>
+
+namespace deepnote::cluster {
+
+const char* placement_name(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kSamePod: return "same-pod";
+    case PlacementPolicy::kCrossPod: return "cross-pod";
+    case PlacementPolicy::kRackAware: return "rack-aware";
+  }
+  return "?";
+}
+
+PlacementMap::PlacementMap(ClusterTopology topology, PlacementPolicy policy,
+                           std::size_t replication)
+    : topology_(topology), policy_(policy), replication_(replication) {
+  if (topology_.pods == 0 || topology_.bays_per_pod == 0) {
+    throw std::invalid_argument("placement: empty topology");
+  }
+  if (replication_ == 0) {
+    throw std::invalid_argument("placement: replication must be >= 1");
+  }
+  if (policy_ == PlacementPolicy::kSamePod &&
+      replication_ > topology_.bays_per_pod) {
+    throw std::invalid_argument(
+        "placement: same-pod needs replication <= bays_per_pod");
+  }
+  if (policy_ != PlacementPolicy::kSamePod && replication_ > topology_.pods) {
+    throw std::invalid_argument(
+        "placement: spreading policies need replication <= pods");
+  }
+}
+
+void PlacementMap::replicas(std::uint64_t key, std::vector<NodeId>& out) const {
+  out.clear();
+  out.reserve(replication_);
+  const std::uint64_t h = mix64(key);
+  // Independent stream for bay selection so pod and bay choices do not
+  // correlate across keys.
+  const std::uint64_t h2 = mix64(h);
+  switch (policy_) {
+    case PlacementPolicy::kSamePod: {
+      const std::size_t start_bay = h % topology_.bays_per_pod;
+      for (std::size_t r = 0; r < replication_; ++r) {
+        out.push_back(topology_.node_id(
+            0, (start_bay + r) % topology_.bays_per_pod));
+      }
+      break;
+    }
+    case PlacementPolicy::kCrossPod: {
+      const std::size_t start_pod = h % topology_.pods;
+      for (std::size_t r = 0; r < replication_; ++r) {
+        const std::size_t pod = (start_pod + r) % topology_.pods;
+        const std::size_t bay = (h2 + r * 0x9e37ull) % topology_.bays_per_pod;
+        out.push_back(topology_.node_id(pod, bay));
+      }
+      break;
+    }
+    case PlacementPolicy::kRackAware: {
+      // Distinct pods like cross-pod, but only the far half of each
+      // tower: bay indices count away from the incident wall, so the
+      // highest indices see the least acoustic coupling.
+      const std::size_t start_pod = h % topology_.pods;
+      const std::size_t far_bays = (topology_.bays_per_pod + 1) / 2;
+      for (std::size_t r = 0; r < replication_; ++r) {
+        const std::size_t pod = (start_pod + r) % topology_.pods;
+        const std::size_t bay =
+            topology_.bays_per_pod - 1 - ((h2 + r * 0x9e37ull) % far_bays);
+        out.push_back(topology_.node_id(pod, bay));
+      }
+      break;
+    }
+  }
+}
+
+std::vector<NodeId> PlacementMap::replicas(std::uint64_t key) const {
+  std::vector<NodeId> out;
+  replicas(key, out);
+  return out;
+}
+
+}  // namespace deepnote::cluster

@@ -1,0 +1,79 @@
+#include "cluster/slo.h"
+
+#include <stdexcept>
+
+namespace deepnote::cluster {
+
+SloTracker::SloTracker(sim::SimTime start, SloConfig config)
+    : start_(start), config_(config) {
+  if (config_.window.ns() <= 0) {
+    throw std::invalid_argument("slo: window must be positive");
+  }
+  if (config_.availability_target <= 0.0 ||
+      config_.availability_target >= 1.0) {
+    throw std::invalid_argument("slo: target must be in (0, 1)");
+  }
+}
+
+void SloTracker::set_focus(sim::SimTime begin, sim::SimTime end) {
+  focus_begin_ = begin;
+  focus_end_ = end;
+}
+
+SloTracker::Window& SloTracker::window_for(sim::SimTime arrival) {
+  const std::int64_t offset_ns = (arrival - start_).ns();
+  const std::size_t index = offset_ns <= 0
+                                ? 0
+                                : static_cast<std::size_t>(
+                                      offset_ns / config_.window.ns());
+  if (index >= windows_.size()) windows_.resize(index + 1);
+  return windows_[index];
+}
+
+void SloTracker::account(sim::SimTime arrival, bool ok) {
+  Window& w = window_for(arrival);
+  if (ok) {
+    ++w.ok;
+    ++ok_;
+  } else {
+    ++w.fail;
+    ++fail_;
+  }
+  if (arrival >= focus_begin_ && arrival < focus_end_) {
+    if (ok) {
+      ++focus_ok_;
+    } else {
+      ++focus_fail_;
+    }
+  }
+}
+
+void SloTracker::record_success(sim::SimTime arrival, sim::Duration latency) {
+  account(arrival, true);
+  latencies_.add(latency);
+}
+
+void SloTracker::record_failure(sim::SimTime arrival) {
+  account(arrival, false);
+}
+
+double SloTracker::availability() const {
+  const std::uint64_t n = total();
+  return n == 0 ? 1.0 : static_cast<double>(ok_) / static_cast<double>(n);
+}
+
+double SloTracker::focus_availability() const {
+  const std::uint64_t n = focus_total();
+  return n == 0 ? 1.0
+               : static_cast<double>(focus_ok_) / static_cast<double>(n);
+}
+
+double SloTracker::error_budget_consumed() const {
+  const std::uint64_t n = total();
+  if (n == 0) return 0.0;
+  const double allowed =
+      static_cast<double>(n) * (1.0 - config_.availability_target);
+  return allowed <= 0.0 ? 0.0 : static_cast<double>(fail_) / allowed;
+}
+
+}  // namespace deepnote::cluster

@@ -1,0 +1,86 @@
+// Open-loop traffic generation for the cluster: Poisson arrivals from
+// independent client streams, Zipf object popularity, a fixed read/write
+// mix, and a timeline of scheduled actions (attack on / attack off).
+//
+// Open-loop matters for availability numbers: real clients do not slow
+// down because the storage got slow, so load keeps arriving at the
+// configured rate while drives hang — exactly the regime where a parked
+// pod turns into failed requests instead of a quietly longer queue.
+//
+// Determinism: each client owns a forked RNG stream and its own next
+// arrival time; the runner merges streams by (time, client index). The
+// same seed produces the same request sequence regardless of how trials
+// are scheduled across worker threads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cluster/balancer.h"
+#include "cluster/slo.h"
+#include "sim/rng.h"
+
+namespace deepnote::cluster {
+
+/// YCSB-style approximate Zipf rank generator over [0, n). Rank 0 is the
+/// hottest key; placement's key hash scatters ranks across nodes.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta);
+
+  std::uint64_t next(sim::Rng& rng) const;
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+struct TrafficConfig {
+  /// Aggregate offered load, split evenly across `clients` streams.
+  double arrival_rate_per_s = 1000.0;
+  sim::Duration duration = sim::Duration::from_seconds(60.0);
+  double read_fraction = 0.9;
+  std::size_t clients = 4;
+  std::uint64_t keyspace = 20000;
+  double zipf_theta = 0.99;
+  std::uint64_t seed = 1;
+};
+
+/// One scheduled control action (start/stop an attack, drain a pod...).
+/// Fired at the first arrival at or after `at`; the callback receives
+/// the scheduled time.
+struct TimelineAction {
+  sim::SimTime at = sim::SimTime::zero();
+  std::function<void(sim::SimTime)> fn;
+};
+
+struct TrafficReport {
+  std::uint64_t requests = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+};
+
+class TrafficRunner {
+ public:
+  TrafficRunner(Balancer& balancer, TrafficConfig config);
+
+  const TrafficConfig& config() const { return config_; }
+
+  /// Drive the full duration of traffic starting at `start`, recording
+  /// every request into `slo`. Actions must be sorted by `at`.
+  TrafficReport run(sim::SimTime start, SloTracker& slo,
+                    std::vector<TimelineAction> actions = {});
+
+ private:
+  Balancer& balancer_;
+  TrafficConfig config_;
+};
+
+}  // namespace deepnote::cluster

@@ -12,6 +12,10 @@ RackTestbed::RackTestbed(RackConfig config)
   if (config_.bays == 0) {
     throw std::invalid_argument("rack: needs at least one bay");
   }
+  if (config_.os_device.has_value()) spec_.os_device = *config_.os_device;
+  if (config_.retain_data.has_value()) {
+    spec_.hdd.retain_data = *config_.retain_data;
+  }
   for (std::size_t bay = 0; bay < config_.bays; ++bay) {
     structure::MountSpec mount = spec_.mount;
     mount.broadband_coupling_db += bay_offset_db(bay);

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/attack.h"
@@ -31,6 +32,11 @@ struct RackConfig {
   /// Additional offset per bay moving away from the wall, dB (negative).
   double per_bay_step_db = -2.0;
   std::uint64_t seed = 0x4acc;
+  /// Override the scenario's OS block-layer config (the cluster layer
+  /// runs datacenter-tuned command timeouts instead of desktop defaults).
+  std::optional<storage::OsDeviceConfig> os_device;
+  /// Override spec.hdd.retain_data (timing-only serving keeps no bytes).
+  std::optional<bool> retain_data;
 };
 
 class RackTestbed {

@@ -1,0 +1,270 @@
+// Balancer control-loop tests on MemDisk-backed nodes: failover,
+// detector-driven drain, probe readmission, write quorum, the retry
+// budget, and hedged reads — all in exact virtual time.
+#include "cluster/balancer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "storage/mem_disk.h"
+
+namespace deepnote::cluster {
+namespace {
+
+constexpr std::uint64_t kSectors = 16384;
+
+struct MiniCluster {
+  // 3 pods x 1 bay: node id == pod, every replica set spans all three
+  // nodes (cross-pod, R=3) with a key-dependent primary.
+  ClusterTopology topo{.pods = 3, .bays_per_pod = 1};
+  std::vector<std::unique_ptr<storage::MemDisk>> disks;
+  std::vector<std::unique_ptr<ClusterNode>> nodes;
+
+  explicit MiniCluster(core::DetectorConfig detector = {},
+                       sim::Duration latency = sim::Duration::from_micros(20)) {
+    for (std::size_t pod = 0; pod < topo.pods; ++pod) {
+      disks.push_back(std::make_unique<storage::MemDisk>(kSectors, latency));
+      nodes.push_back(std::make_unique<ClusterNode>(
+          topo.node_id(pod, 0), pod, 0, *disks.back(), detector));
+    }
+  }
+
+  std::vector<ClusterNode*> pointers() {
+    std::vector<ClusterNode*> out;
+    for (auto& n : nodes) out.push_back(n.get());
+    return out;
+  }
+};
+
+BalancerConfig small_objects() {
+  BalancerConfig config;
+  config.objects = 1000;
+  return config;
+}
+
+/// A key whose placement puts `primary` first.
+std::uint64_t key_with_primary(const Balancer& balancer, NodeId primary) {
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    if (balancer.placement().replicas(key).front() == primary) return key;
+  }
+  ADD_FAILURE() << "no key with primary " << primary;
+  return 0;
+}
+
+TEST(Balancer, ReadServedByPrimaryReplica) {
+  MiniCluster mini;
+  Balancer balancer(mini.topo, mini.pointers(), small_objects());
+  std::vector<std::byte> buf(8 * storage::kBlockSectorSize);
+
+  const std::uint64_t key = key_with_primary(balancer, 1);
+  const auto outcome = balancer.read(sim::SimTime::zero(), key, buf);
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_FALSE(outcome.hedged);
+  EXPECT_EQ(outcome.complete, sim::SimTime::from_micros(20));
+  EXPECT_EQ(mini.disks[1]->read_count(), 1u);
+  EXPECT_EQ(mini.disks[0]->read_count(), 0u);
+  EXPECT_EQ(balancer.stats().read_failovers, 0u);
+}
+
+TEST(Balancer, ReadFailsOverWhenPrimaryErrors) {
+  MiniCluster mini;
+  Balancer balancer(mini.topo, mini.pointers(), small_objects());
+  std::vector<std::byte> buf(8 * storage::kBlockSectorSize);
+
+  const std::uint64_t key = key_with_primary(balancer, 0);
+  mini.disks[0]->set_failing(true);
+  const auto outcome = balancer.read(sim::SimTime::zero(), key, buf);
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 2u);
+  // The retry starts when the primary's failure reports.
+  EXPECT_EQ(outcome.complete, sim::SimTime::from_micros(40));
+  EXPECT_EQ(balancer.stats().read_failovers, 1u);
+  EXPECT_EQ(balancer.stats().failed_reads, 0u);
+}
+
+TEST(Balancer, ErrorBurstDrainsTheNodeOutOfRotation) {
+  MiniCluster mini;  // default detector: error_burst = 3, no warmup needed
+  Balancer balancer(mini.topo, mini.pointers(), small_objects());
+  std::vector<std::byte> buf(8 * storage::kBlockSectorSize);
+
+  const std::uint64_t key = key_with_primary(balancer, 0);
+  mini.disks[0]->set_failing(true);
+  sim::SimTime now = sim::SimTime::zero();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(balancer.read(now, key, buf).ok);
+    now = now + sim::Duration::from_millis(1.0);
+  }
+  EXPECT_EQ(mini.nodes[0]->health(), NodeHealth::kDrained);
+  EXPECT_EQ(balancer.stats().drains, 1u);
+
+  // Drained primary is ranked last: the next read goes straight to a
+  // healthy replica, no failover needed.
+  const std::uint64_t failing_reads = mini.disks[0]->read_count();
+  const auto outcome = balancer.read(now, key, buf);
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_EQ(mini.disks[0]->read_count(), failing_reads);
+}
+
+TEST(Balancer, ProbeReadmitsARecoveredNode) {
+  MiniCluster mini;
+  BalancerConfig config = small_objects();
+  Balancer balancer(mini.topo, mini.pointers(), config);
+  std::vector<std::byte> buf(8 * storage::kBlockSectorSize);
+
+  const std::uint64_t key = key_with_primary(balancer, 0);
+  mini.disks[0]->set_failing(true);
+  sim::SimTime now = sim::SimTime::zero();
+  for (int i = 0; i < 3; ++i) {
+    balancer.read(now, key, buf);
+    now = now + sim::Duration::from_millis(1.0);
+  }
+  ASSERT_EQ(mini.nodes[0]->health(), NodeHealth::kDrained);
+
+  // Probe while still broken: stays drained, next probe rescheduled.
+  sim::SimTime probe_at = now + config.probe_interval;
+  balancer.run_probes(probe_at);
+  EXPECT_EQ(mini.nodes[0]->health(), NodeHealth::kDrained);
+  EXPECT_GE(balancer.stats().probes, 1u);
+
+  // Device recovers: the next due probe readmits and clears the alert.
+  mini.disks[0]->clear_fault();
+  probe_at = probe_at + config.probe_interval;
+  balancer.run_probes(probe_at);
+  EXPECT_EQ(mini.nodes[0]->health(), NodeHealth::kHealthy);
+  EXPECT_FALSE(mini.nodes[0]->detector().alerted());
+  EXPECT_EQ(balancer.stats().readmits, 1u);
+}
+
+TEST(Balancer, WriteNeedsMajorityQuorum) {
+  MiniCluster mini;
+  Balancer balancer(mini.topo, mini.pointers(), small_objects());
+  std::vector<std::byte> buf(8 * storage::kBlockSectorSize,
+                             std::byte{0x42});
+
+  // All healthy: acked by all three, completion at the quorum (2nd) ack.
+  auto outcome = balancer.write(sim::SimTime::zero(), 7, buf);
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 3u);
+  EXPECT_EQ(outcome.complete, sim::SimTime::from_micros(20));
+
+  // One member down: 2 of 3 still make quorum.
+  mini.disks[0]->set_failing(true);
+  outcome = balancer.write(sim::SimTime::from_millis(1.0), 7, buf);
+  EXPECT_TRUE(outcome.ok);
+
+  // Two members down: quorum lost.
+  mini.disks[1]->set_failing(true);
+  outcome = balancer.write(sim::SimTime::from_millis(2.0), 7, buf);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(balancer.stats().quorum_losses, 1u);
+  EXPECT_EQ(balancer.stats().failed_writes, 1u);
+}
+
+TEST(Balancer, WritesGoThroughDrainedReplicasWhenQuorumNeedsThem) {
+  MiniCluster mini;
+  Balancer balancer(mini.topo, mini.pointers(), small_objects());
+  std::vector<std::byte> buf(8 * storage::kBlockSectorSize);
+
+  // Two of three replicas mis-drained (devices actually fine).
+  mini.nodes[0]->drain(sim::SimTime::zero());
+  mini.nodes[1]->drain(sim::SimTime::zero());
+  const auto outcome = balancer.write(sim::SimTime::from_millis(1.0), 7, buf);
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 3u);  // wrote through the drains
+  EXPECT_EQ(balancer.stats().quorum_losses, 0u);
+}
+
+TEST(Balancer, FailStaticReadsStillTryAFullyDrainedSet) {
+  MiniCluster mini;
+  Balancer balancer(mini.topo, mini.pointers(), small_objects());
+  std::vector<std::byte> buf(8 * storage::kBlockSectorSize);
+
+  for (auto& node : mini.nodes) node->drain(sim::SimTime::zero());
+  const auto outcome = balancer.read(sim::SimTime::from_millis(1.0), 3, buf);
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 1u);
+}
+
+TEST(Balancer, RetryBudgetDeniesRunawayFailover) {
+  // Detector that never alerts: keep the failing primary in rotation so
+  // every read needs a failover token.
+  core::DetectorConfig quiet;
+  quiet.error_burst = 1000000;
+  quiet.warmup_ops = 1000000;
+  MiniCluster mini(quiet);
+  BalancerConfig config = small_objects();
+  config.retry_budget_ratio = 0.0;  // nothing refills
+  config.retry_budget_cap = 2.0;    // two failovers, then denial
+  config.hedge_threshold = sim::Duration::zero();
+  Balancer balancer(mini.topo, mini.pointers(), config);
+  std::vector<std::byte> buf(8 * storage::kBlockSectorSize);
+
+  const std::uint64_t key = key_with_primary(balancer, 0);
+  mini.disks[0]->set_failing(true);
+  sim::SimTime now = sim::SimTime::zero();
+  EXPECT_TRUE(balancer.read(now, key, buf).ok);
+  now = now + sim::Duration::from_millis(1.0);
+  EXPECT_TRUE(balancer.read(now, key, buf).ok);
+  now = now + sim::Duration::from_millis(1.0);
+
+  const auto denied = balancer.read(now, key, buf);
+  EXPECT_FALSE(denied.ok);
+  EXPECT_EQ(denied.attempts, 1u);
+  EXPECT_EQ(balancer.stats().retries_denied, 1u);
+  EXPECT_EQ(balancer.stats().failed_reads, 1u);
+}
+
+TEST(Balancer, HedgesReadsOffAHotPrimary) {
+  // Primary on a slow disk; detector warms its recent-latency EWMA past
+  // the hedge threshold after a few served reads.
+  core::DetectorConfig quiet;
+  quiet.warmup_ops = 1000000;  // no latency alerts, just EWMA tracking
+  const ClusterTopology topo{.pods = 3, .bays_per_pod = 1};
+  storage::MemDisk slow(kSectors, sim::Duration::from_millis(100.0));
+  storage::MemDisk fast1(kSectors);
+  storage::MemDisk fast2(kSectors);
+  ClusterNode n0(0, 0, 0, slow, quiet);
+  ClusterNode n1(1, 1, 0, fast1, quiet);
+  ClusterNode n2(2, 2, 0, fast2, quiet);
+
+  Balancer balancer(topo, {&n0, &n1, &n2}, small_objects());
+  std::vector<std::byte> buf(8 * storage::kBlockSectorSize);
+
+  const std::uint64_t key = key_with_primary(balancer, 0);
+  sim::SimTime now = sim::SimTime::zero();
+  // The first read seeds the recent-latency EWMA at 100 ms (> 40 ms
+  // threshold), so every read after it hedges.
+  EXPECT_FALSE(balancer.read(now, key, buf).hedged);
+  now = now + sim::Duration::from_millis(200.0);
+
+  const auto outcome = balancer.read(now, key, buf);
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_TRUE(outcome.hedged);
+  // The fast backup wins the race.
+  EXPECT_EQ(outcome.complete, now + sim::Duration::from_micros(20));
+  EXPECT_EQ(balancer.stats().hedged_reads, 1u);
+  EXPECT_EQ(balancer.stats().hedge_wins, 1u);
+}
+
+TEST(Balancer, RejectsMismatchedNodeList) {
+  MiniCluster mini;
+  auto pointers = mini.pointers();
+  pointers.pop_back();
+  EXPECT_THROW(Balancer(mini.topo, pointers, small_objects()),
+               std::invalid_argument);
+}
+
+TEST(Balancer, RejectsObjectSpaceLargerThanDevice) {
+  MiniCluster mini;
+  BalancerConfig config;
+  config.objects = kSectors;  // * 8 sectors each: cannot fit
+  EXPECT_THROW(Balancer(mini.topo, mini.pointers(), config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deepnote::cluster

@@ -1,0 +1,129 @@
+// Cluster availability experiment tests: the paper-level headline
+// (placement decides whether a pod-level acoustic attack is an outage),
+// bit-exact determinism across worker counts, and a golden-CSV pin.
+#include "cluster/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace deepnote::cluster {
+namespace {
+
+constexpr double kScale = 0.2;  // 2 s warmup / 8 s attack / 2 s cooldown
+
+const std::vector<ClusterTrialRow>& cached_rows() {
+  static const std::vector<ClusterTrialRow> rows =
+      run_cluster_experiment(cluster_experiment_config(kScale));
+  return rows;
+}
+
+const ClusterTrialRow& find_row(PlacementPolicy policy,
+                                std::optional<double> distance_m) {
+  for (const ClusterTrialRow& row : cached_rows()) {
+    if (row.policy == policy && row.distance_m == distance_m) return row;
+  }
+  static ClusterTrialRow missing;
+  ADD_FAILURE() << "row not found";
+  return missing;
+}
+
+TEST(ClusterExperiment, BaselinesServeCleanly) {
+  for (const PlacementPolicy policy :
+       {PlacementPolicy::kSamePod, PlacementPolicy::kCrossPod,
+        PlacementPolicy::kRackAware}) {
+    const ClusterTrialRow& row = find_row(policy, std::nullopt);
+    EXPECT_GE(row.availability, 0.999) << placement_name(policy);
+    EXPECT_GT(row.requests, 0u);
+  }
+}
+
+// The headline: under a point-blank single-pod 650 Hz / 140 dB attack,
+// replication policy is the difference between business-as-usual and an
+// outage. Cross-pod placement loses at most one replica per object and
+// keeps serving >= 99%; the dense same-pod layout loses every replica
+// of every object at once and collapses (what little survives is writes
+// absorbed by drive write caches).
+TEST(ClusterExperiment, PlacementDecidesAvailabilityUnderAttack) {
+  const ClusterTrialRow& same_pod = find_row(PlacementPolicy::kSamePod, 0.01);
+  const ClusterTrialRow& cross_pod = find_row(PlacementPolicy::kCrossPod, 0.01);
+  const ClusterTrialRow& rack_aware =
+      find_row(PlacementPolicy::kRackAware, 0.01);
+
+  EXPECT_LE(same_pod.attack_availability, 0.20) << "same-pod should collapse";
+  EXPECT_GE(cross_pod.attack_availability, 0.99);
+  EXPECT_GE(rack_aware.attack_availability, 0.99);
+
+  // The survivors actually had to work for it: reads failed over and
+  // the detector pulled attacked nodes from rotation.
+  EXPECT_GT(cross_pod.read_failovers + cross_pod.drains, 0u);
+  EXPECT_GT(same_pod.failed, 100u);
+}
+
+TEST(ClusterExperiment, AttackIsLocalizedToItsWindow) {
+  const ClusterTrialRow& cross_pod = find_row(PlacementPolicy::kCrossPod, 0.01);
+  // Whole-run availability includes warmup + cooldown and must not be
+  // below the attack window's (recovery works).
+  EXPECT_GE(cross_pod.availability, cross_pod.attack_availability);
+}
+
+TEST(ClusterExperiment, DistanceAttenuatesTheAttack) {
+  const ClusterTrialRow& near = find_row(PlacementPolicy::kSamePod, 0.01);
+  const ClusterTrialRow& far = find_row(PlacementPolicy::kSamePod, 0.25);
+  EXPECT_LT(near.attack_availability, far.attack_availability);
+  EXPECT_GE(far.attack_availability, 0.99);
+}
+
+TEST(ClusterExperiment, DeterministicAcrossJobCounts) {
+  ClusterExperimentConfig config = cluster_experiment_config(kScale);
+  config.jobs = 1;
+  const auto serial = run_cluster_experiment(config);
+  config.jobs = 4;
+  const auto parallel = run_cluster_experiment(config);
+  const std::string csv_serial =
+      build_cluster_availability_table(config, serial).to_csv();
+  const std::string csv_parallel =
+      build_cluster_availability_table(config, parallel).to_csv();
+  EXPECT_EQ(csv_serial, csv_parallel);
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(DEEPNOTE_GOLDEN_DIR) + "/" + name;
+}
+
+void diff_against_golden(const sim::Table& table, const std::string& name) {
+  const std::string rendered = table.to_csv();
+  const std::string path = golden_path(name);
+  if (std::getenv("DEEPNOTE_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << rendered;
+    out.close();
+    ASSERT_TRUE(out.good()) << "short write to " << path;
+    std::printf("[golden updated: %s]\n", path.c_str());
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing golden " << path
+      << " — generate it with DEEPNOTE_UPDATE_GOLDEN=1";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), rendered)
+      << "table drifted from " << path
+      << "\nIf intentional, regenerate with DEEPNOTE_UPDATE_GOLDEN=1 "
+         "and review the CSV diff.";
+}
+
+TEST(ClusterExperiment, GoldenAvailabilityTable) {
+  const ClusterExperimentConfig config = cluster_experiment_config(kScale);
+  diff_against_golden(
+      build_cluster_availability_table(config, cached_rows()),
+      "cluster_availability.csv");
+}
+
+}  // namespace
+}  // namespace deepnote::cluster

@@ -1,0 +1,105 @@
+#include "cluster/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace deepnote::cluster {
+namespace {
+
+constexpr ClusterTopology kTopo{.pods = 3, .bays_per_pod = 5};
+
+TEST(Placement, ReplicaSetsAreDeterministicAndDistinct) {
+  const PlacementMap map(kTopo, PlacementPolicy::kCrossPod, 3);
+  for (std::uint64_t key = 0; key < 500; ++key) {
+    const auto a = map.replicas(key);
+    const auto b = map.replicas(key);
+    EXPECT_EQ(a, b);
+    ASSERT_EQ(a.size(), 3u);
+    const std::set<NodeId> unique(a.begin(), a.end());
+    EXPECT_EQ(unique.size(), 3u) << "duplicate replica for key " << key;
+    for (NodeId id : a) EXPECT_LT(id, kTopo.nodes());
+  }
+}
+
+TEST(Placement, SamePodPacksEveryReplicaIntoPodZero) {
+  const PlacementMap map(kTopo, PlacementPolicy::kSamePod, 3);
+  for (std::uint64_t key = 0; key < 500; ++key) {
+    for (NodeId id : map.replicas(key)) {
+      EXPECT_EQ(kTopo.pod_of(id), 0u);
+    }
+  }
+}
+
+TEST(Placement, CrossPodSpansDistinctPods) {
+  const PlacementMap map(kTopo, PlacementPolicy::kCrossPod, 3);
+  for (std::uint64_t key = 0; key < 500; ++key) {
+    std::set<std::size_t> pods;
+    for (NodeId id : map.replicas(key)) pods.insert(kTopo.pod_of(id));
+    EXPECT_EQ(pods.size(), 3u) << "pod collision for key " << key;
+  }
+}
+
+TEST(Placement, RackAwareUsesDistinctPodsAndFarBays) {
+  const PlacementMap map(kTopo, PlacementPolicy::kRackAware, 3);
+  // Bays count away from the incident wall: the far half of a 5-bay
+  // tower is bays {3, 4}.
+  const std::size_t far_cutoff = kTopo.bays_per_pod - (kTopo.bays_per_pod + 1) / 2;
+  for (std::uint64_t key = 0; key < 500; ++key) {
+    std::set<std::size_t> pods;
+    for (NodeId id : map.replicas(key)) {
+      pods.insert(kTopo.pod_of(id));
+      EXPECT_GE(kTopo.bay_of(id), far_cutoff)
+          << "near-wall bay used for key " << key;
+    }
+    EXPECT_EQ(pods.size(), 3u);
+  }
+}
+
+TEST(Placement, KeysCoverTheWholeFleet) {
+  const PlacementMap map(kTopo, PlacementPolicy::kCrossPod, 3);
+  std::set<NodeId> touched;
+  for (std::uint64_t key = 0; key < 2000; ++key) {
+    for (NodeId id : map.replicas(key)) touched.insert(id);
+  }
+  EXPECT_EQ(touched.size(), kTopo.nodes());
+}
+
+TEST(Placement, PrimariesSpreadAcrossPods) {
+  const PlacementMap map(kTopo, PlacementPolicy::kCrossPod, 3);
+  std::vector<std::size_t> per_pod(kTopo.pods, 0);
+  constexpr std::uint64_t kKeys = 3000;
+  std::vector<NodeId> replicas;
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    map.replicas(key, replicas);
+    ++per_pod[kTopo.pod_of(replicas.front())];
+  }
+  for (std::size_t pod = 0; pod < kTopo.pods; ++pod) {
+    EXPECT_GT(per_pod[pod], kKeys / kTopo.pods / 2)
+        << "pod " << pod << " starved of primaries";
+  }
+}
+
+TEST(Placement, RejectsImpossibleReplication) {
+  EXPECT_THROW(PlacementMap(kTopo, PlacementPolicy::kCrossPod, 0),
+               std::invalid_argument);
+  EXPECT_THROW(PlacementMap(kTopo, PlacementPolicy::kCrossPod, 4),
+               std::invalid_argument);
+  EXPECT_THROW(PlacementMap(kTopo, PlacementPolicy::kRackAware, 4),
+               std::invalid_argument);
+  EXPECT_THROW(PlacementMap(kTopo, PlacementPolicy::kSamePod, 6),
+               std::invalid_argument);
+  EXPECT_NO_THROW(PlacementMap(kTopo, PlacementPolicy::kSamePod, 5));
+}
+
+TEST(Placement, ReusedOutputVectorIsCleared) {
+  const PlacementMap map(kTopo, PlacementPolicy::kSamePod, 2);
+  std::vector<NodeId> out{99, 98, 97, 96};
+  map.replicas(7, out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+}  // namespace
+}  // namespace deepnote::cluster

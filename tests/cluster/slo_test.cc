@@ -1,0 +1,97 @@
+#include "cluster/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace deepnote::cluster {
+namespace {
+
+sim::SimTime at_s(double s) { return sim::SimTime::from_seconds(s); }
+
+TEST(Slo, AvailabilityCountsSuccessesOverTotal) {
+  SloTracker slo(sim::SimTime::zero());
+  for (int i = 0; i < 9; ++i) {
+    slo.record_success(at_s(0.1 * i), sim::Duration::from_millis(5.0));
+  }
+  slo.record_failure(at_s(0.95));
+  EXPECT_EQ(slo.total(), 10u);
+  EXPECT_EQ(slo.succeeded(), 9u);
+  EXPECT_EQ(slo.failed(), 1u);
+  EXPECT_DOUBLE_EQ(slo.availability(), 0.9);
+}
+
+TEST(Slo, RequestsLandInTheirArrivalWindow) {
+  SloTracker slo(sim::SimTime::zero());
+  slo.record_success(at_s(0.2), sim::Duration::from_millis(1.0));
+  slo.record_failure(at_s(1.7));
+  slo.record_failure(at_s(1.9));
+  slo.record_success(at_s(3.5), sim::Duration::from_millis(1.0));
+  const auto& windows = slo.windows();
+  ASSERT_EQ(windows.size(), 4u);
+  EXPECT_EQ(windows[0].ok, 1u);
+  EXPECT_EQ(windows[1].fail, 2u);
+  EXPECT_DOUBLE_EQ(windows[1].availability(), 0.0);
+  EXPECT_EQ(windows[2].ok + windows[2].fail, 0u);
+  EXPECT_DOUBLE_EQ(windows[2].availability(), 1.0);
+  EXPECT_EQ(windows[3].ok, 1u);
+}
+
+TEST(Slo, FocusIntervalAccountsArrivalsExactly) {
+  SloTracker slo(sim::SimTime::zero());
+  slo.set_focus(at_s(1.0), at_s(2.0));
+  slo.record_success(at_s(0.999), sim::Duration::from_millis(1.0));  // before
+  slo.record_failure(at_s(1.0));                                     // first in
+  slo.record_success(at_s(1.5), sim::Duration::from_millis(1.0));    // in
+  slo.record_failure(at_s(2.0));                                     // after
+  EXPECT_EQ(slo.focus_total(), 2u);
+  EXPECT_DOUBLE_EQ(slo.focus_availability(), 0.5);
+  EXPECT_DOUBLE_EQ(slo.availability(), 0.5);
+}
+
+TEST(Slo, EmptyFocusReportsPerfectAvailability) {
+  SloTracker slo(sim::SimTime::zero());
+  slo.record_success(at_s(0.1), sim::Duration::from_millis(1.0));
+  EXPECT_DOUBLE_EQ(slo.focus_availability(), 1.0);
+  EXPECT_EQ(slo.focus_total(), 0u);
+}
+
+TEST(Slo, QuantilesComeFromSuccessfulLatencies) {
+  SloTracker slo(sim::SimTime::zero());
+  for (int i = 0; i < 2000; ++i) {
+    slo.record_success(at_s(0.001 * i), sim::Duration::from_millis(5.0));
+  }
+  for (int i = 0; i < 10; ++i) {
+    slo.record_success(at_s(2.0), sim::Duration::from_millis(500.0));
+  }
+  EXPECT_LT(slo.p50().millis(), 10.0);
+  EXPECT_GE(slo.p999().millis(), 400.0);
+  EXPECT_LE(slo.p50(), slo.p99());
+  EXPECT_LE(slo.p99(), slo.p999());
+}
+
+TEST(Slo, ErrorBudgetConsumption) {
+  SloConfig config;
+  config.availability_target = 0.99;  // 1% budget
+  SloTracker slo(sim::SimTime::zero(), config);
+  for (int i = 0; i < 995; ++i) {
+    slo.record_success(at_s(0.001 * i), sim::Duration::from_millis(1.0));
+  }
+  for (int i = 0; i < 5; ++i) slo.record_failure(at_s(1.0));
+  // 5 failures of 1000 against a 10-failure budget: half consumed.
+  EXPECT_NEAR(slo.error_budget_consumed(), 0.5, 1e-9);
+}
+
+TEST(Slo, RejectsDegenerateConfig) {
+  SloConfig bad_window;
+  bad_window.window = sim::Duration::zero();
+  EXPECT_THROW(SloTracker(sim::SimTime::zero(), bad_window),
+               std::invalid_argument);
+  SloConfig bad_target;
+  bad_target.availability_target = 1.0;
+  EXPECT_THROW(SloTracker(sim::SimTime::zero(), bad_target),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deepnote::cluster

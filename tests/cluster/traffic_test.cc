@@ -1,0 +1,165 @@
+// Traffic generator tests: Zipf popularity shape, open-loop Poisson
+// arrival counts, deterministic replay, the read/write mix, and timeline
+// action delivery.
+#include "cluster/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "storage/mem_disk.h"
+
+namespace deepnote::cluster {
+namespace {
+
+constexpr std::uint64_t kSectors = 16384;
+
+struct MiniServing {
+  ClusterTopology topo{.pods = 3, .bays_per_pod = 1};
+  std::vector<std::unique_ptr<storage::MemDisk>> disks;
+  std::vector<std::unique_ptr<ClusterNode>> nodes;
+  std::unique_ptr<Balancer> balancer;
+
+  MiniServing() {
+    for (std::size_t pod = 0; pod < topo.pods; ++pod) {
+      disks.push_back(std::make_unique<storage::MemDisk>(kSectors));
+      nodes.push_back(std::make_unique<ClusterNode>(
+          topo.node_id(pod, 0), pod, 0, *disks.back()));
+    }
+    std::vector<ClusterNode*> pointers;
+    for (auto& n : nodes) pointers.push_back(n.get());
+    BalancerConfig config;
+    config.objects = 1000;
+    balancer = std::make_unique<Balancer>(topo, pointers, config);
+  }
+};
+
+TEST(Zipf, RankZeroIsHottest) {
+  const ZipfGenerator zipf(1000, 0.99);
+  sim::Rng rng(42);
+  std::vector<std::uint64_t> counts(1000, 0);
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.next(rng)];
+  for (std::size_t rank = 1; rank < counts.size(); ++rank) {
+    EXPECT_GE(counts[0], counts[rank]) << "rank " << rank;
+  }
+  // Under theta=0.99 the head takes a far-greater-than-uniform share.
+  EXPECT_GT(counts[0], kSamples / 100);
+}
+
+TEST(Zipf, StaysInRangeAndRejectsBadConfig) {
+  const ZipfGenerator zipf(10, 0.5);
+  sim::Rng rng(7);
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(zipf.next(rng), 10u);
+  EXPECT_THROW(ZipfGenerator(0, 0.99), std::invalid_argument);
+  EXPECT_THROW(ZipfGenerator(10, 1.0), std::invalid_argument);
+}
+
+TEST(Traffic, OpenLoopArrivalCountTracksTheRate) {
+  MiniServing serving;
+  TrafficConfig config;
+  config.arrival_rate_per_s = 2000.0;
+  config.duration = sim::Duration::from_seconds(1.0);
+  config.keyspace = 1000;
+  TrafficRunner runner(*serving.balancer, config);
+  SloTracker slo(sim::SimTime::zero());
+  const TrafficReport report = runner.run(sim::SimTime::zero(), slo);
+  // Poisson(2000): +/- 5 sigma.
+  EXPECT_GT(report.requests, 1750u);
+  EXPECT_LT(report.requests, 2250u);
+  EXPECT_EQ(report.requests, report.reads + report.writes);
+  EXPECT_EQ(report.requests, slo.total());
+}
+
+TEST(Traffic, ReadWriteMixRoughlyHonored) {
+  MiniServing serving;
+  TrafficConfig config;
+  config.arrival_rate_per_s = 5000.0;
+  config.duration = sim::Duration::from_seconds(1.0);
+  config.read_fraction = 0.9;
+  config.keyspace = 1000;
+  TrafficRunner runner(*serving.balancer, config);
+  SloTracker slo(sim::SimTime::zero());
+  const TrafficReport report = runner.run(sim::SimTime::zero(), slo);
+  const double read_share =
+      static_cast<double>(report.reads) / static_cast<double>(report.requests);
+  EXPECT_GT(read_share, 0.85);
+  EXPECT_LT(read_share, 0.95);
+}
+
+TEST(Traffic, SameSeedReplaysIdentically) {
+  TrafficConfig config;
+  config.arrival_rate_per_s = 1000.0;
+  config.duration = sim::Duration::from_seconds(1.0);
+  config.keyspace = 1000;
+  config.seed = 0xfeed;
+
+  MiniServing a;
+  SloTracker slo_a(sim::SimTime::zero());
+  const TrafficReport ra =
+      TrafficRunner(*a.balancer, config).run(sim::SimTime::zero(), slo_a);
+
+  MiniServing b;
+  SloTracker slo_b(sim::SimTime::zero());
+  const TrafficReport rb =
+      TrafficRunner(*b.balancer, config).run(sim::SimTime::zero(), slo_b);
+
+  EXPECT_EQ(ra.requests, rb.requests);
+  EXPECT_EQ(ra.reads, rb.reads);
+  EXPECT_EQ(ra.writes, rb.writes);
+  EXPECT_EQ(slo_a.total(), slo_b.total());
+  EXPECT_EQ(slo_a.p99().ns(), slo_b.p99().ns());
+  for (std::size_t pod = 0; pod < a.topo.pods; ++pod) {
+    EXPECT_EQ(a.disks[pod]->op_count(), b.disks[pod]->op_count());
+  }
+}
+
+TEST(Traffic, TimelineActionsFireOnceInOrder) {
+  MiniServing serving;
+  TrafficConfig config;
+  config.arrival_rate_per_s = 1000.0;
+  config.duration = sim::Duration::from_seconds(1.0);
+  config.keyspace = 1000;
+  TrafficRunner runner(*serving.balancer, config);
+  SloTracker slo(sim::SimTime::zero());
+
+  std::vector<int> fired;
+  std::vector<sim::SimTime> fired_at;
+  std::vector<TimelineAction> actions;
+  actions.push_back({sim::SimTime::from_millis(100.0), [&](sim::SimTime t) {
+                       fired.push_back(1);
+                       fired_at.push_back(t);
+                     }});
+  actions.push_back({sim::SimTime::from_millis(600.0), [&](sim::SimTime t) {
+                       fired.push_back(2);
+                       fired_at.push_back(t);
+                     }});
+  runner.run(sim::SimTime::zero(), slo, std::move(actions));
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], 1);
+  EXPECT_EQ(fired[1], 2);
+  // Actions fire at their scheduled time or later (never travel back
+  // behind the I/O frontier).
+  EXPECT_GE(fired_at[0], sim::SimTime::from_millis(100.0));
+  EXPECT_GE(fired_at[1], sim::SimTime::from_millis(600.0));
+}
+
+TEST(Traffic, RejectsDegenerateConfig) {
+  MiniServing serving;
+  TrafficConfig config;
+  config.clients = 0;
+  EXPECT_THROW(TrafficRunner(*serving.balancer, config),
+               std::invalid_argument);
+  config = {};
+  config.arrival_rate_per_s = 0.0;
+  EXPECT_THROW(TrafficRunner(*serving.balancer, config),
+               std::invalid_argument);
+  config = {};
+  config.read_fraction = 1.5;
+  EXPECT_THROW(TrafficRunner(*serving.balancer, config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deepnote::cluster

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
 #include <vector>
 
 #include "storage/mem_disk.h"
@@ -121,6 +123,98 @@ TEST(Raid1Test, EjectsMemberAfterConsecutiveErrors) {
   EXPECT_EQ(raid.active_members(), 2u);
   ASSERT_TRUE(raid.write(SimTime::zero(), 24, 8, data).ok());
   EXPECT_GT(a.op_count(), ops_before);
+}
+
+TEST(Raid0Test, SpansChunkBoundariesAtOddOffsets) {
+  MemDisk a(1024), b(1024), c(1024);
+  Raid0Device raid({&a, &b, &c}, /*chunk_sectors=*/8);
+  // 21 sectors starting mid-chunk at lba 5: crosses three chunk
+  // boundaries (5..7 | 8..15 | 16..23 | 24..25) over all three members.
+  auto data = pattern(21, 0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>((i * 7 + 3) & 0xff);
+  }
+  ASSERT_TRUE(raid.write(SimTime::zero(), 5, 21, data).ok());
+  std::vector<std::byte> out(data.size());
+  ASSERT_TRUE(raid.read(SimTime::zero(), 5, 21, out).ok());
+  EXPECT_EQ(out, data);
+
+  // Verify the member mapping directly: array chunk k lives on member
+  // k % 3 at member chunk k / 3. Chunks 0,1,2,3 hold lbas 5..25.
+  struct Extent {
+    MemDisk* member;
+    std::uint64_t member_lba;  // first member sector of the extent
+    std::uint32_t sectors;
+    std::size_t data_offset;  // offset into `data`, in sectors
+  };
+  const std::vector<Extent> extents = {
+      {&a, 5, 3, 0},   // array 5..7   -> chunk 0, member 0
+      {&b, 0, 8, 3},   // array 8..15  -> chunk 1, member 1
+      {&c, 0, 8, 11},  // array 16..23 -> chunk 2, member 2
+      {&a, 8, 2, 19},  // array 24..25 -> chunk 3, member 0
+  };
+  for (const Extent& e : extents) {
+    std::vector<std::byte> member_out(
+        static_cast<std::size_t>(e.sectors) * kBlockSectorSize);
+    ASSERT_TRUE(
+        e.member->read(SimTime::zero(), e.member_lba, e.sectors, member_out)
+            .ok());
+    const std::span<const std::byte> expected(
+        data.data() + e.data_offset * kBlockSectorSize, member_out.size());
+    EXPECT_TRUE(std::equal(member_out.begin(), member_out.end(),
+                           expected.begin(), expected.end()));
+  }
+}
+
+TEST(Raid0Test, SingleSectorReadsRoundTripEveryOffset) {
+  MemDisk a(256), b(256);
+  Raid0Device raid({&a, &b}, /*chunk_sectors=*/4);
+  auto data = pattern(64, 0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(i % 251);
+  }
+  ASSERT_TRUE(raid.write(SimTime::zero(), 0, 64, data).ok());
+  std::vector<std::byte> out(kBlockSectorSize);
+  for (std::uint64_t lba = 0; lba < 64; ++lba) {
+    ASSERT_TRUE(raid.read(SimTime::zero(), lba, 1, out).ok()) << lba;
+    const std::span<const std::byte> expected(
+        data.data() + lba * kBlockSectorSize, kBlockSectorSize);
+    EXPECT_TRUE(std::equal(out.begin(), out.end(), expected.begin(),
+                           expected.end()))
+        << "sector " << lba;
+  }
+}
+
+TEST(Raid1Test, ContinuesDegradedServiceAfterEjection) {
+  MemDisk a(1024), b(1024);
+  Raid1Device raid({&a, &b}, /*eject_after_errors=*/2);
+  auto data = pattern(8, 0x3c);
+  ASSERT_TRUE(raid.write(SimTime::zero(), 0, 8, data).ok());
+
+  // Member 0 dies; two failed reads eject it.
+  a.set_failing(true);
+  std::vector<std::byte> out(data.size());
+  ASSERT_TRUE(raid.read(SimTime::zero(), 0, 8, out).ok());
+  ASSERT_TRUE(raid.read(SimTime::zero(), 0, 8, out).ok());
+  ASSERT_TRUE(raid.member_failed(0));
+  ASSERT_EQ(raid.active_members(), 1u);
+
+  // Degraded service: reads skip the ejected member entirely (no
+  // failover latency, no commands sent to the dead drive) and writes
+  // keep succeeding on the survivor.
+  const std::uint64_t dead_ops = a.op_count();
+  const std::uint64_t failovers = raid.stats().read_failovers;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(raid.read(SimTime::zero(), 0, 8, out).ok());
+    EXPECT_EQ(out, data);
+  }
+  auto data2 = pattern(8, 0x77);
+  ASSERT_TRUE(raid.write(SimTime::zero(), 8, 8, data2).ok());
+  ASSERT_TRUE(raid.read(SimTime::zero(), 8, 8, out).ok());
+  EXPECT_EQ(out, data2);
+  EXPECT_EQ(a.op_count(), dead_ops);
+  EXPECT_EQ(raid.stats().read_failovers, failovers);
+  ASSERT_TRUE(raid.flush(SimTime::zero()).ok());
 }
 
 TEST(RaidTest, InvalidConfigsThrow) {

@@ -4,9 +4,12 @@
 //   bench_compare <reference.json> <candidate.json> [--threshold 0.15]
 //
 // A suite regresses when candidate ns/op exceeds reference ns/op by more
-// than the threshold fraction; the end-to-end trials/sec regresses when
-// the candidate is slower than reference/(1+threshold). Exit code 1 with
-// a readable per-suite diff when anything regresses, 0 otherwise.
+// than the threshold fraction; an end-to-end trials/sec entry regresses
+// when the candidate rate drops below the reference by more than the
+// threshold fraction (higher is better). Every entry under "end_to_end"
+// present in both files is compared; entries only one side has are
+// reported but never fail the gate. Exit code 1 with a readable
+// per-suite diff when anything regresses, 0 otherwise.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -34,8 +37,8 @@ std::string read_file(const std::string& path) {
 }
 
 struct BenchFile {
-  std::map<std::string, double> suites;  // name -> current ns/op
-  std::optional<double> trials_per_s;
+  std::map<std::string, double> suites;      // name -> current ns/op
+  std::map<std::string, double> end_to_end;  // entry -> current trials/s
 };
 
 BenchFile load(const std::string& path) {
@@ -53,10 +56,13 @@ BenchFile load(const std::string& path) {
       }
     }
   }
-  if (const JsonValue* t = root.find_path(
-          {"end_to_end", "table2_range_kvdb", "current_trials_per_s"});
-      t != nullptr && t->is_number()) {
-    f.trials_per_s = t->number;
+  if (const JsonValue* e2e = root.find("end_to_end")) {
+    for (const auto& [name, entry] : e2e->object) {
+      if (const JsonValue* t = entry.find("current_trials_per_s");
+          t != nullptr && t->is_number()) {
+        f.end_to_end[name] = t->number;
+      }
+    }
   }
   return f;
 }
@@ -113,16 +119,29 @@ int main(int argc, char** argv) {
         std::printf("%-44s %14s %14.1f %9s\n", name.c_str(), "NEW", ns, "-");
       }
     }
-    if (ref.trials_per_s.has_value() && cand.trials_per_s.has_value()) {
+    for (const auto& [name, ref_rate] : ref.end_to_end) {
+      const std::string label = "end_to_end." + name;
+      const auto it = cand.end_to_end.find(name);
+      if (it == cand.end_to_end.end()) {
+        std::printf("%-44s %12.3f/s %14s %9s\n", label.c_str(), ref_rate,
+                    "MISSING", "-");
+        continue;
+      }
       ++compared;
       const double delta =
-          (*cand.trials_per_s - *ref.trials_per_s) / *ref.trials_per_s;
+          ref_rate > 0 ? (it->second - ref_rate) / ref_rate : 0.0;
       const bool regressed = delta < -threshold;  // higher is better here
-      std::printf("%-44s %12.3f/s %12.3f/s %+8.1f%%%s\n",
-                  "end_to_end.table2_range_kvdb", *ref.trials_per_s,
-                  *cand.trials_per_s, delta * 100.0,
+      std::printf("%-44s %12.3f/s %12.3f/s %+8.1f%%%s\n", label.c_str(),
+                  ref_rate, it->second, delta * 100.0,
                   regressed ? "  << REGRESSION" : "");
       if (regressed) ++regressions;
+    }
+    for (const auto& [name, rate] : cand.end_to_end) {
+      if (ref.end_to_end.find(name) == ref.end_to_end.end()) {
+        const std::string label = "end_to_end." + name;
+        std::printf("%-44s %14s %12.3f/s %9s\n", label.c_str(), "NEW", rate,
+                    "-");
+      }
     }
     if (compared == 0) {
       std::fprintf(stderr, "bench_compare: no overlapping suites to compare\n");
