@@ -7,6 +7,9 @@
 
 #include "acoustics/absorption.h"
 #include "cluster/balancer.h"
+#include "cluster/engine.h"
+#include "cluster/node.h"
+#include "core/attack.h"
 #include "core/scenario.h"
 #include "core/testbed.h"
 #include "hdd/drive.h"
@@ -518,5 +521,66 @@ static void BM_ClusterBalancerRead(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ClusterBalancerRead);
+
+// The tentpole end-to-end number: 1000 nodes (200 pods x 5 bays),
+// 3-way cross-pod replication, a 1M-key Zipf read/write mix through the
+// sharded epoch engine, with one pod insonified for the middle two
+// thirds of the timeline. Every iteration is a complete availability
+// trial on a pristine cluster; fixture construction (testbeds, alias
+// table, placement) is excluded from timing so the measured quantity is
+// the serving loop itself. Items are requests served.
+static void BM_ClusterAvailability(benchmark::State& state) {
+  // The 1M-key alias table is immutable and shared across iterations,
+  // exactly as run_cluster_experiment shares it across grid cells.
+  static const auto zipf =
+      std::make_shared<const cluster::ZipfAliasSampler>(1000000, 0.99);
+
+  core::AttackConfig attack;
+  attack.frequency_hz = 650.0;
+  attack.spl_air_db = 140.0;
+  attack.distance_m = 0.01;
+  attack.start = sim::SimTime::from_seconds(0.5);
+  attack.end = sim::SimTime::from_seconds(2.5);
+
+  std::int64_t requests = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    cluster::ClusterConfig cluster_config;
+    cluster_config.topology =
+        cluster::ClusterTopology{.pods = 200, .bays_per_pod = 5};
+    cluster_config.seed = 0x1234;
+    cluster::Cluster cluster(cluster_config);
+
+    cluster::EngineConfig config;
+    config.balancer.policy = cluster::PlacementPolicy::kCrossPod;
+    config.balancer.objects = 20000;
+    config.traffic.arrival_rate_per_s = 400.0;
+    config.traffic.duration = sim::Duration::from_seconds(3.0);
+    config.traffic.keyspace = 1000000;
+    config.traffic.seed = 0xbeef;
+    config.zipf = zipf;
+    config.jobs = 0;  // $DEEPNOTE_JOBS
+    cluster::ShardedClusterEngine engine(cluster.topology(),
+                                         cluster.device_pointers(), config);
+
+    std::vector<cluster::TimelineAction> actions;
+    actions.push_back({attack.start, [&cluster, attack](sim::SimTime t) {
+                         cluster.apply_attack(0, t, attack);
+                       }});
+    actions.push_back({attack.end, [&cluster](sim::SimTime t) {
+                         cluster.stop_attack(0, t);
+                       }});
+    cluster::SloTracker slo(sim::SimTime::zero());
+    slo.set_focus(attack.start, attack.end);
+    state.ResumeTiming();
+
+    const cluster::EngineReport report =
+        engine.run(sim::SimTime::zero(), slo, std::move(actions));
+    benchmark::DoNotOptimize(report.stats.reads);
+    requests += static_cast<std::int64_t>(report.traffic.requests);
+  }
+  state.SetItemsProcessed(requests);
+}
+BENCHMARK(BM_ClusterAvailability);
 
 BENCHMARK_MAIN();

@@ -55,11 +55,19 @@ std::uint64_t Balancer::lba_of(std::uint64_t key) const {
 }
 
 void Balancer::rank_candidates(std::vector<NodeId>& replicas) const {
-  std::stable_sort(replicas.begin(), replicas.end(),
-                   [&](NodeId a, NodeId b) {
-                     return health_rank(nodes_[a]->health()) <
-                            health_rank(nodes_[b]->health());
-                   });
+  // Stable three-bucket ordering (healthy, degraded, drained). Replica
+  // sets are tiny (R <= pods), so an insertion pass beats stable_sort —
+  // and unlike stable_sort it never touches the heap on the request path.
+  for (std::size_t i = 1; i < replicas.size(); ++i) {
+    const NodeId id = replicas[i];
+    const int rank = health_rank(nodes_[id]->health());
+    std::size_t j = i;
+    while (j > 0 && health_rank(nodes_[replicas[j - 1]]->health()) > rank) {
+      replicas[j] = replicas[j - 1];
+      --j;
+    }
+    replicas[j] = id;
+  }
 }
 
 bool Balancer::spend_retry_token() {
@@ -180,8 +188,8 @@ RequestOutcome Balancer::write(sim::SimTime now, std::uint64_t key,
   const bool skip_drained = in_rotation >= write_quorum_;
 
   RequestOutcome outcome;
-  std::vector<sim::SimTime> acks;
-  acks.reserve(replica_scratch_.size());
+  std::vector<sim::SimTime>& acks = ack_scratch_;
+  acks.clear();
   sim::SimTime latest = now;
   for (NodeId id : replica_scratch_) {
     ClusterNode& node = *nodes_[id];

@@ -123,6 +123,7 @@ class Balancer {
   // Scratch buffers (reused per request; the balancer is single-trial
   // state like everything else in a simulation).
   mutable std::vector<NodeId> replica_scratch_;
+  std::vector<sim::SimTime> ack_scratch_;
   std::vector<std::byte> probe_scratch_;
 };
 

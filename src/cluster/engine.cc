@@ -1,0 +1,625 @@
+#include "cluster/engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace deepnote::cluster {
+
+namespace {
+
+std::uint8_t health_rank(NodeHealth health) {
+  switch (health) {
+    case NodeHealth::kHealthy: return 0;
+    case NodeHealth::kDegraded: return 1;
+    case NodeHealth::kDrained: return 2;
+  }
+  return 3;
+}
+
+constexpr std::uint8_t kDrainedRank = 2;
+
+}  // namespace
+
+ShardedClusterEngine::ShardedClusterEngine(
+    ClusterTopology topology, std::vector<storage::BlockDevice*> devices,
+    EngineConfig config)
+    : topology_(topology),
+      devices_(std::move(devices)),
+      config_(config),
+      placement_(topology, config.balancer.policy, config.balancer.replication),
+      write_quorum_(config.balancer.write_quorum != 0
+                        ? config.balancer.write_quorum
+                        : config.balancer.replication / 2 + 1),
+      leg_stride_(std::max<std::size_t>(config.balancer.replication, 2)),
+      zipf_(std::move(config.zipf)) {
+  if (devices_.size() != topology_.nodes()) {
+    throw std::invalid_argument("engine: device list does not match topology");
+  }
+  if (write_quorum_ > config_.balancer.replication) {
+    throw std::invalid_argument("engine: write quorum exceeds replication");
+  }
+  if (config_.balancer.objects == 0 || config_.balancer.object_sectors == 0) {
+    throw std::invalid_argument("engine: empty object space");
+  }
+  for (storage::BlockDevice* device : devices_) {
+    if (config_.balancer.objects * config_.balancer.object_sectors >
+        device->total_sectors()) {
+      throw std::invalid_argument("engine: object space exceeds a device");
+    }
+  }
+  if (config_.traffic.arrival_rate_per_s <= 0.0) {
+    throw std::invalid_argument("engine: arrival rate must be positive");
+  }
+  if (config_.traffic.read_fraction < 0.0 ||
+      config_.traffic.read_fraction > 1.0) {
+    throw std::invalid_argument("engine: read fraction must be in [0, 1]");
+  }
+  if (config_.epoch.ns() <= 0) {
+    throw std::invalid_argument("engine: epoch must be positive");
+  }
+  if (zipf_) {
+    if (zipf_->n() != config_.traffic.keyspace ||
+        zipf_->theta() != config_.traffic.zipf_theta) {
+      throw std::invalid_argument(
+          "engine: shared zipf table does not match the traffic config");
+    }
+  } else {
+    zipf_ = std::make_shared<const ZipfAliasSampler>(config_.traffic.keyspace,
+                                                     config_.traffic.zipf_theta);
+  }
+  mean_gap_s_ = 1.0 / config_.traffic.arrival_rate_per_s;
+  hedge_threshold_s_ = config_.balancer.hedge_threshold.seconds();
+
+  const std::size_t n = devices_.size();
+  const unsigned jobs = sim::resolve_jobs(config_.jobs == 0 ? 0 : config_.jobs);
+  if (jobs >= 2 && n >= 2) {
+    // More shards than workers so the pool's dynamic index claiming can
+    // balance skew (the attacked pod's shard runs long error paths).
+    shard_count_ = static_cast<unsigned>(
+        std::min<std::size_t>(n, std::size_t{jobs} * 4));
+    pool_ = std::make_unique<sim::TaskPool>(jobs);
+  } else {
+    shard_count_ = 1;
+  }
+  nodes_per_shard_ = (n + shard_count_ - 1) / shard_count_;
+  wave_fn_ = [this](std::size_t shard) {
+    const std::size_t lo = shard * nodes_per_shard_;
+    const std::size_t hi = std::min(devices_.size(), lo + nodes_per_shard_);
+    execute_nodes(lo, hi, shard);
+  };
+
+  const std::size_t buf_sectors = std::max<std::size_t>(
+      config_.balancer.object_sectors, config_.balancer.probe_sectors);
+  shard_read_buf_.resize(shard_count_);
+  for (auto& buf : shard_read_buf_) {
+    buf.resize(buf_sectors * storage::kBlockSectorSize);
+  }
+  write_buf_.assign(static_cast<std::size_t>(config_.balancer.object_sectors) *
+                        storage::kBlockSectorSize,
+                    std::byte{0x5a});
+  shard_frontier_.assign(shard_count_, sim::SimTime::zero());
+  node_ops_.resize(n);
+}
+
+sim::SimTime ShardedClusterEngine::deadline_of(std::uint32_t r) const {
+  return req_arrival_[r] + config_.balancer.request_deadline;
+}
+
+bool ShardedClusterEngine::spend_retry_token() {
+  if (retry_tokens_ < 1.0) return false;
+  retry_tokens_ -= 1.0;
+  return true;
+}
+
+void ShardedClusterEngine::refill_retry_tokens() {
+  retry_tokens_ = std::min(config_.balancer.retry_budget_cap,
+                           retry_tokens_ + config_.balancer.retry_budget_ratio);
+}
+
+EngineReport ShardedClusterEngine::run(sim::SimTime start, SloTracker& slo,
+                                       std::vector<TimelineAction> actions) {
+  start_run(start, slo, std::move(actions));
+  while (step()) {
+  }
+  return finish();
+}
+
+void ShardedClusterEngine::start_run(sim::SimTime start, SloTracker& slo,
+                                     std::vector<TimelineAction> actions) {
+  slo_ = &slo;
+  actions_ = std::move(actions);
+  next_action_ = 0;
+  start_ = cursor_ = frontier_ = start;
+  end_ = start + config_.traffic.duration;
+  rng_ = sim::Rng(config_.traffic.seed);
+  next_arrival_ =
+      start + sim::Duration::from_seconds(rng_.exponential(mean_gap_s_));
+  retry_tokens_ = config_.balancer.retry_budget_cap;
+  stats_ = {};
+  traffic_ = {};
+  max_node_depth_ = 0;
+  op_seq_ = 0;
+  ops_emitted_ = 0;
+
+  const std::size_t n = devices_.size();
+  detectors_.assign(n, core::AttackDetector(config_.detector));
+  health_.assign(n, NodeHealth::kHealthy);
+  next_probe_.assign(n, sim::SimTime::infinity());
+  rank_snap_.assign(n, 0);
+  hot_snap_.assign(n, 0);
+  node_reads_.assign(n, 0);
+  node_writes_.assign(n, 0);
+  node_errors_.assign(n, 0);
+  node_depth_.assign(n, 0);
+  for (auto& ops : node_ops_) ops.clear();
+  for (auto& frontier : shard_frontier_) frontier = start;
+  pending_.clear();
+  next_pending_.clear();
+  running_ = true;
+}
+
+bool ShardedClusterEngine::step() {
+  if (!running_ || cursor_ >= end_) return false;
+  const sim::SimTime t0 = cursor_;
+  fire_actions_due(t0);
+
+  // Clamp the epoch to the next timeline action so control changes
+  // (attack on/off) always land exactly on a barrier.
+  sim::SimTime t1 = sim::min(end_, t0 + config_.epoch);
+  if (next_action_ < actions_.size()) {
+    const sim::SimTime at = actions_[next_action_].at;
+    if (at > t0 && at < t1) t1 = at;
+  }
+
+  snapshot_control_state();
+  begin_epoch();
+  schedule_probes(t0, t1);
+  generate_and_route(t0, t1);
+
+  if (ops_emitted_ > 0) {
+    execute_wave();
+    combine_wave0();
+    while (!next_pending_.empty()) {
+      pending_.swap(next_pending_);
+      next_pending_.clear();
+      execute_wave();
+      combine_failover_wave();
+    }
+  }
+  barrier_control();
+  account_epoch_slo();
+  cursor_ = t1;
+  return cursor_ < end_;
+}
+
+EngineReport ShardedClusterEngine::finish() {
+  // Trailing actions (e.g. attack off after the last epoch), same
+  // frontier rule as the serial runner.
+  while (next_action_ < actions_.size() && actions_[next_action_].at < end_) {
+    TimelineAction& action = actions_[next_action_++];
+    if (action.fn) action.fn(sim::max(action.at, frontier_));
+  }
+  running_ = false;
+  EngineReport report;
+  report.traffic = traffic_;
+  report.stats = stats_;
+  report.max_node_depth = max_node_depth_;
+  return report;
+}
+
+void ShardedClusterEngine::fire_actions_due(sim::SimTime now) {
+  while (next_action_ < actions_.size() && actions_[next_action_].at <= now) {
+    TimelineAction& action = actions_[next_action_++];
+    if (action.fn) action.fn(sim::max(action.at, frontier_));
+  }
+}
+
+void ShardedClusterEngine::snapshot_control_state() {
+  const std::size_t n = devices_.size();
+  const bool hedging = config_.balancer.hedge_threshold.ns() > 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    rank_snap_[i] = health_rank(health_[i]);
+    if (hedging) {
+      hot_snap_[i] =
+          detectors_[i].recent_latency_s() > hedge_threshold_s_ ? 1 : 0;
+    }
+  }
+}
+
+void ShardedClusterEngine::begin_epoch() {
+  req_arrival_.clear();
+  req_lba_.clear();
+  req_is_read_.clear();
+  req_hedged_.clear();
+  req_ok_.clear();
+  req_complete_.clear();
+  req_t_.clear();
+  req_attempts_.clear();
+  req_next_cand_.clear();
+  req_ncand_.clear();
+  req_nlegs_.clear();
+  req_cand_.clear();
+  leg_ok_.clear();
+  leg_complete_.clear();
+  probe_node_.clear();
+  probe_issue_.clear();
+  probe_complete_.clear();
+  probe_ok_.clear();
+  pending_.clear();
+  next_pending_.clear();
+  std::fill(node_depth_.begin(), node_depth_.end(), 0);
+  op_seq_ = 0;
+  ops_emitted_ = 0;
+}
+
+void ShardedClusterEngine::emit(NodeId node, std::uint8_t kind,
+                                std::uint32_t req, std::uint16_t leg,
+                                sim::SimTime issue) {
+  node_ops_[node].push_back(Op{issue, op_seq_++, req, leg, kind});
+  ++ops_emitted_;
+  if (++node_depth_[node] > max_node_depth_) {
+    max_node_depth_ = node_depth_[node];
+  }
+}
+
+void ShardedClusterEngine::schedule_probes(sim::SimTime t0, sim::SimTime t1) {
+  const std::size_t n = devices_.size();
+  for (std::size_t id = 0; id < n; ++id) {
+    if (health_[id] != NodeHealth::kDrained) continue;
+    const sim::SimTime due = sim::max(next_probe_[id], t0);
+    if (due >= t1) continue;
+    ++stats_.probes;
+    const auto p = static_cast<std::uint32_t>(probe_node_.size());
+    probe_node_.push_back(static_cast<NodeId>(id));
+    probe_issue_.push_back(due);
+    probe_complete_.push_back(due);
+    probe_ok_.push_back(0);
+    emit(static_cast<NodeId>(id), kProbe, p, 0, due);
+  }
+}
+
+void ShardedClusterEngine::generate_and_route(sim::SimTime t0,
+                                              sim::SimTime t1) {
+  (void)t0;
+  while (next_arrival_ < t1) {
+    const sim::SimTime arrival = next_arrival_;
+    next_arrival_ = arrival + sim::Duration::from_seconds(
+                                  rng_.exponential(mean_gap_s_));
+    const std::uint64_t key = zipf_->next(rng_);
+    const bool is_read = rng_.bernoulli(config_.traffic.read_fraction);
+
+    const auto r = static_cast<std::uint32_t>(req_arrival_.size());
+    req_arrival_.push_back(arrival);
+    req_lba_.push_back((mix64(key) % config_.balancer.objects) *
+                       config_.balancer.object_sectors);
+    req_is_read_.push_back(is_read ? 1 : 0);
+    req_hedged_.push_back(0);
+    req_ok_.push_back(0);
+    req_complete_.push_back(arrival);
+    req_t_.push_back(arrival);
+    req_attempts_.push_back(0);
+    req_next_cand_.push_back(0);
+    req_ncand_.push_back(0);
+    req_nlegs_.push_back(0);
+    req_cand_.resize(req_cand_.size() + leg_stride_);
+    leg_ok_.resize(leg_ok_.size() + leg_stride_, 0);
+    leg_complete_.resize(leg_complete_.size() + leg_stride_,
+                         sim::SimTime::zero());
+
+    ++traffic_.requests;
+    placement_.replicas(key, replica_scratch_);
+    refill_retry_tokens();
+    if (is_read) {
+      ++traffic_.reads;
+      route_read(r);
+    } else {
+      ++traffic_.writes;
+      route_write(r);
+    }
+  }
+}
+
+void ShardedClusterEngine::route_read(std::uint32_t r) {
+  ++stats_.reads;
+  // Stable three-bucket ordering against the epoch-start health
+  // snapshot (healthy, degraded, drained; fail-static like the serial
+  // balancer — a fully-drained set is still attempted).
+  for (std::size_t i = 1; i < replica_scratch_.size(); ++i) {
+    const NodeId id = replica_scratch_[i];
+    const std::uint8_t rank = rank_snap_[id];
+    std::size_t j = i;
+    while (j > 0 && rank_snap_[replica_scratch_[j - 1]] > rank) {
+      replica_scratch_[j] = replica_scratch_[j - 1];
+      --j;
+    }
+    replica_scratch_[j] = id;
+  }
+  const std::size_t base = static_cast<std::size_t>(r) * leg_stride_;
+  const auto ncand = static_cast<std::uint16_t>(replica_scratch_.size());
+  for (std::size_t i = 0; i < replica_scratch_.size(); ++i) {
+    req_cand_[base + i] = replica_scratch_[i];
+  }
+  req_ncand_[r] = ncand;
+
+  const sim::SimTime arrival = req_arrival_[r];
+  bool hedged = false;
+  if (config_.balancer.hedge_threshold.ns() > 0 && ncand >= 2) {
+    const NodeId primary = req_cand_[base];
+    const NodeId backup = req_cand_[base + 1];
+    hedged = hot_snap_[primary] != 0 && rank_snap_[backup] != kDrainedRank;
+  }
+  if (hedged) {
+    ++stats_.hedged_reads;
+    req_hedged_[r] = 1;
+    req_attempts_[r] = 2;
+    req_next_cand_[r] = 2;
+    emit(req_cand_[base], kRead, r, 0, arrival);
+    emit(req_cand_[base + 1], kRead, r, 1, arrival);
+  } else {
+    req_attempts_[r] = 1;
+    req_next_cand_[r] = 1;
+    emit(req_cand_[base], kRead, r, 0, arrival);
+  }
+}
+
+void ShardedClusterEngine::route_write(std::uint32_t r) {
+  ++stats_.writes;
+  std::size_t in_rotation = 0;
+  for (const NodeId id : replica_scratch_) {
+    if (health_[id] != NodeHealth::kDrained) ++in_rotation;
+  }
+  // Skip drained replicas only while the in-rotation members can still
+  // make quorum (fail-static on the write path, same as the balancer).
+  const bool skip_drained = in_rotation >= write_quorum_;
+
+  const sim::SimTime arrival = req_arrival_[r];
+  std::uint16_t legs = 0;
+  for (const NodeId id : replica_scratch_) {
+    if (skip_drained && health_[id] == NodeHealth::kDrained) continue;
+    emit(id, kWrite, r, legs++, arrival);
+  }
+  req_nlegs_[r] = legs;
+}
+
+void ShardedClusterEngine::execute_wave() {
+  const std::size_t n = devices_.size();
+  if (!pool_ || shard_count_ == 1 || ops_emitted_ < config_.min_ops_to_shard) {
+    execute_nodes(0, n, 0);
+  } else {
+    pool_->run_indexed(shard_count_, wave_fn_);
+  }
+  for (const sim::SimTime f : shard_frontier_) {
+    frontier_ = sim::max(frontier_, f);
+  }
+  ops_emitted_ = 0;
+}
+
+void ShardedClusterEngine::execute_nodes(std::size_t node_lo,
+                                         std::size_t node_hi,
+                                         std::size_t shard_slot) {
+  sim::SimTime frontier = shard_frontier_[shard_slot];
+  const std::span<std::byte> read_buf(shard_read_buf_[shard_slot]);
+  const std::size_t object_bytes =
+      static_cast<std::size_t>(config_.balancer.object_sectors) *
+      storage::kBlockSectorSize;
+  const std::size_t probe_bytes =
+      static_cast<std::size_t>(config_.balancer.probe_sectors) *
+      storage::kBlockSectorSize;
+
+  for (std::size_t node = node_lo; node < node_hi; ++node) {
+    std::vector<Op>& ops = node_ops_[node];
+    if (ops.empty()) continue;
+    // The device is synchronous virtual-time state: ops must hit it in
+    // the canonical (issue, seq) order so results are independent of
+    // which wave/shard produced them.
+    if (ops.size() > 1) {
+      std::sort(ops.begin(), ops.end(), [](const Op& a, const Op& b) {
+        return a.issue == b.issue ? a.seq < b.seq : a.issue < b.issue;
+      });
+    }
+    storage::BlockDevice& device = *devices_[node];
+    core::AttackDetector& detector = detectors_[node];
+    for (const Op& op : ops) {
+      storage::BlockIo io;
+      if (op.kind == kWrite) {
+        ++node_writes_[node];
+        io = device.write(op.issue, req_lba_[op.req],
+                          config_.balancer.object_sectors, write_buf_);
+      } else if (op.kind == kRead) {
+        ++node_reads_[node];
+        io = device.read(op.issue, req_lba_[op.req],
+                         config_.balancer.object_sectors,
+                         read_buf.first(object_bytes));
+      } else {
+        // Probe the raw device without feeding the detector: health
+        // checks must not skew serving stats (matches Balancer).
+        io = device.read(op.issue, 0, config_.balancer.probe_sectors,
+                         read_buf.first(probe_bytes));
+      }
+      if (op.kind == kProbe) {
+        probe_ok_[op.req] = io.ok() ? 1 : 0;
+        probe_complete_[op.req] = io.complete;
+      } else {
+        if (io.ok()) {
+          detector.record_ok(io.complete, (io.complete - op.issue).seconds());
+        } else {
+          detector.record_error(io.complete);
+          ++node_errors_[node];
+        }
+        const std::size_t slot =
+            static_cast<std::size_t>(op.req) * leg_stride_ + op.leg;
+        leg_ok_[slot] = io.ok() ? 1 : 0;
+        leg_complete_[slot] = io.complete;
+      }
+      frontier = sim::max(frontier, io.complete);
+    }
+    ops.clear();
+  }
+  shard_frontier_[shard_slot] = frontier;
+}
+
+void ShardedClusterEngine::fail_read(std::uint32_t r) {
+  ++stats_.failed_reads;
+  req_ok_[r] = 0;
+  req_complete_[r] = sim::min(req_t_[r], deadline_of(r));
+}
+
+void ShardedClusterEngine::try_emit_failover(std::uint32_t r) {
+  const std::uint16_t i = req_next_cand_[r];
+  if (i >= req_ncand_[r] || req_t_[r] >= deadline_of(r)) {
+    fail_read(r);
+    return;
+  }
+  if (req_attempts_[r] > 0 && !spend_retry_token()) {
+    ++stats_.retries_denied;
+    fail_read(r);
+    return;
+  }
+  const NodeId node = req_cand_[static_cast<std::size_t>(r) * leg_stride_ + i];
+  req_next_cand_[r] = i + 1;
+  ++req_attempts_[r];
+  emit(node, kRead, r, 0, req_t_[r]);
+  next_pending_.push_back(r);
+}
+
+void ShardedClusterEngine::combine_wave0() {
+  const std::size_t nreq = req_arrival_.size();
+  for (std::uint32_t r = 0; r < nreq; ++r) {
+    if (!req_is_read_[r]) {
+      combine_write(r);
+      continue;
+    }
+    const sim::SimTime deadline = deadline_of(r);
+    const std::size_t base = static_cast<std::size_t>(r) * leg_stride_;
+    if (req_hedged_[r]) {
+      const bool k0 = leg_ok_[base] != 0;
+      const bool k1 = leg_ok_[base + 1] != 0;
+      const sim::SimTime c0 = leg_complete_[base];
+      const sim::SimTime c1 = leg_complete_[base + 1];
+      const bool ok0 = k0 && c0 <= deadline;
+      const bool ok1 = k1 && c1 <= deadline;
+      if (ok0 || ok1) {
+        req_ok_[r] = 1;
+        req_complete_[r] = ok0 && (!ok1 || c0 <= c1) ? c0 : c1;
+        if (!ok0 || (ok1 && c1 < c0)) ++stats_.hedge_wins;
+        continue;
+      }
+      if ((k0 && c0 > deadline) || (k1 && c1 > deadline)) {
+        ++stats_.deadline_misses;
+      }
+      // Both hedge legs failed: fail over from the third replica,
+      // starting when the earlier leg reported.
+      req_t_[r] = sim::min(c0, c1);
+      try_emit_failover(r);
+      continue;
+    }
+    const bool k0 = leg_ok_[base] != 0;
+    const sim::SimTime c0 = leg_complete_[base];
+    if (k0 && c0 <= deadline) {
+      req_ok_[r] = 1;
+      req_complete_[r] = c0;
+    } else if (k0) {
+      // The data arrived late; any retry would start later still.
+      ++stats_.deadline_misses;
+      fail_read(r);
+    } else {
+      req_t_[r] = c0;
+      try_emit_failover(r);
+    }
+  }
+}
+
+void ShardedClusterEngine::combine_failover_wave() {
+  for (const std::uint32_t r : pending_) {
+    const sim::SimTime deadline = deadline_of(r);
+    const std::size_t base = static_cast<std::size_t>(r) * leg_stride_;
+    const bool ok = leg_ok_[base] != 0;
+    const sim::SimTime complete = leg_complete_[base];
+    if (ok && complete <= deadline) {
+      req_ok_[r] = 1;
+      req_complete_[r] = complete;
+      if (req_attempts_[r] > 1) ++stats_.read_failovers;
+    } else if (ok) {
+      ++stats_.deadline_misses;
+      fail_read(r);
+    } else {
+      req_t_[r] = complete;
+      try_emit_failover(r);
+    }
+  }
+}
+
+void ShardedClusterEngine::combine_write(std::uint32_t r) {
+  const sim::SimTime deadline = deadline_of(r);
+  const std::size_t base = static_cast<std::size_t>(r) * leg_stride_;
+  std::vector<sim::SimTime>& acks = ack_scratch_;
+  acks.clear();
+  sim::SimTime latest = req_arrival_[r];
+  for (std::uint16_t leg = 0; leg < req_nlegs_[r]; ++leg) {
+    const bool ok = leg_ok_[base + leg] != 0;
+    const sim::SimTime complete = leg_complete_[base + leg];
+    if (ok && complete <= deadline) {
+      acks.push_back(complete);
+    } else if (ok) {
+      ++stats_.deadline_misses;
+    }
+    latest = sim::max(latest, sim::min(complete, deadline));
+  }
+  if (acks.size() >= write_quorum_) {
+    std::sort(acks.begin(), acks.end());
+    req_ok_[r] = 1;
+    req_complete_[r] = acks[write_quorum_ - 1];
+    return;
+  }
+  ++stats_.quorum_losses;
+  ++stats_.failed_writes;
+  req_ok_[r] = 0;
+  req_complete_[r] = latest;
+}
+
+void ShardedClusterEngine::barrier_control() {
+  // Probe results first: a node readmitted this epoch must not be
+  // re-drained by the alert its probe just acknowledged.
+  const std::size_t nprobes = probe_node_.size();
+  for (std::size_t p = 0; p < nprobes; ++p) {
+    const NodeId id = probe_node_[p];
+    if (probe_ok_[p] != 0 && (probe_complete_[p] - probe_issue_[p]) <=
+                                 config_.balancer.probe_ok_latency) {
+      health_[id] = NodeHealth::kHealthy;
+      next_probe_[id] = sim::SimTime::infinity();
+      detectors_[id].acknowledge();
+      ++stats_.readmits;
+    } else {
+      next_probe_[id] = probe_issue_[p] + config_.balancer.probe_interval;
+    }
+  }
+  // Detector -> health control action (the drain/degrade half of the
+  // Balancer's react()), applied once per barrier.
+  const std::size_t n = devices_.size();
+  for (std::size_t id = 0; id < n; ++id) {
+    if (!detectors_[id].alerted()) continue;
+    if (health_[id] != NodeHealth::kHealthy) continue;
+    if (config_.balancer.auto_drain) {
+      health_[id] = NodeHealth::kDrained;
+      ++stats_.drains;
+      next_probe_[id] =
+          detectors_[id].alert_time() + config_.balancer.probe_interval;
+    } else {
+      health_[id] = NodeHealth::kDegraded;
+      ++stats_.degrades;
+    }
+  }
+}
+
+void ShardedClusterEngine::account_epoch_slo() {
+  const std::size_t nreq = req_arrival_.size();
+  for (std::size_t r = 0; r < nreq; ++r) {
+    if (req_ok_[r] != 0) {
+      slo_->record_success(req_arrival_[r], req_complete_[r] - req_arrival_[r]);
+    } else {
+      slo_->record_failure(req_arrival_[r]);
+    }
+  }
+}
+
+}  // namespace deepnote::cluster

@@ -1,0 +1,226 @@
+// Sharded, epoch-synchronized cluster simulation engine.
+//
+// The PR5 composition (Balancer + TrafficRunner) walks one global serial
+// request stream and re-scans every node's probe timer per request —
+// fine at 15 nodes, interactive-hostile at 1000. This engine rebuilds
+// the cluster core for throughput:
+//
+//  * Time is sliced into fixed epochs. Cluster-wide control state
+//    (node health, routing ranks, hedge heat, attack on/off) is frozen
+//    at each epoch barrier, so everything inside an epoch is
+//    embarrassingly parallel per node.
+//  * Traffic is generated in per-epoch batches (one merged Poisson
+//    stream, alias-method Zipf keys) straight into reused flat arrays —
+//    the steady-state loop performs zero heap allocations.
+//  * Node state is structure-of-arrays: health, probe timers, detector
+//    objects, and per-node op counters live in flat vectors indexed by
+//    NodeId, not in per-node heap objects.
+//  * Replica I/O executes in waves: wave 0 issues every request's
+//    primary legs (plus hedges and write fan-out), later waves issue
+//    failover legs whose start times depend on earlier completions.
+//    Within a wave, node groups (shards) advance in parallel on the
+//    sim::TaskPool; each node executes its ops in a fixed (issue, seq)
+//    order, so results are bit-identical at ANY shard/job count — the
+//    partition only decides which thread does the work, never what the
+//    work is.
+//
+// Control-loop semantics mirror the Balancer: health-ranked candidate
+// order, hedged reads, a token-bucket retry budget, majority write
+// quorum, detector-driven drain and probe/readmit — evaluated against
+// the epoch-start snapshot instead of per-request, which is the (small,
+// deliberate) fidelity trade that buys the parallelism.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/balancer.h"
+#include "cluster/slo.h"
+#include "cluster/traffic.h"
+#include "sim/task_pool.h"
+
+namespace deepnote::cluster {
+
+struct EngineConfig {
+  /// Routing/quorum/probe knobs; shares the Balancer's config type so
+  /// experiments can run either engine from one description.
+  BalancerConfig balancer;
+  /// Arrival rate, duration, read mix, keyspace. `clients` is ignored:
+  /// the engine generates one merged open-loop Poisson stream.
+  TrafficConfig traffic;
+  /// Per-node health monitor.
+  core::DetectorConfig detector = ClusterConfig::fleet_detector();
+  /// Epoch length: the control loop's reaction quantum. Smaller epochs
+  /// track the serial balancer more closely; larger epochs amortize the
+  /// barrier. Timeline actions always land exactly on a boundary (epochs
+  /// are clamped to pending action times).
+  sim::Duration epoch = sim::Duration::from_millis(50.0);
+  /// Worker threads for wave execution. 0 = $DEEPNOTE_JOBS / all cores,
+  /// 1 = fully inline (no pool). Results are identical at any value.
+  unsigned jobs = 1;
+  /// Waves smaller than this run inline even when a pool exists: at
+  /// small grids the barrier costs more than the work. 0 forces
+  /// sharding (used by the cross-thread determinism tests).
+  std::size_t min_ops_to_shard = 2048;
+  /// Optional pre-built alias table shared across runs (the 1M-key
+  /// table costs one O(n) build; benches reuse it between iterations).
+  /// Must match traffic.keyspace / traffic.zipf_theta when set.
+  std::shared_ptr<const ZipfAliasSampler> zipf;
+};
+
+struct EngineReport {
+  TrafficReport traffic;
+  BalancerStats stats;
+  /// Deepest per-node op queue seen in any epoch (load-skew telemetry).
+  std::uint64_t max_node_depth = 0;
+};
+
+class ShardedClusterEngine {
+ public:
+  /// Routes over `devices` (non-owning, id order must match `topology`).
+  /// Detectors and health state live inside the engine.
+  ShardedClusterEngine(ClusterTopology topology,
+                       std::vector<storage::BlockDevice*> devices,
+                       EngineConfig config);
+
+  ShardedClusterEngine(const ShardedClusterEngine&) = delete;
+  ShardedClusterEngine& operator=(const ShardedClusterEngine&) = delete;
+
+  const EngineConfig& config() const { return config_; }
+  const PlacementMap& placement() const { return placement_; }
+  const BalancerStats& stats() const { return stats_; }
+  unsigned shards() const { return shard_count_; }
+
+  /// One-shot: the full traffic duration starting at `start`, recording
+  /// every request into `slo`. Actions must be sorted by `at`; they fire
+  /// at epoch boundaries, no earlier than the latest completion already
+  /// handed out (same frontier rule as the serial runner).
+  EngineReport run(sim::SimTime start, SloTracker& slo,
+                   std::vector<TimelineAction> actions = {});
+
+  /// Stepping API (tests and future front-ends pump epochs manually).
+  void start_run(sim::SimTime start, SloTracker& slo,
+                 std::vector<TimelineAction> actions = {});
+  /// Simulate one epoch; false once the traffic duration is exhausted.
+  bool step();
+  EngineReport finish();
+
+  NodeHealth health(NodeId id) const { return health_[id]; }
+  const core::AttackDetector& detector(NodeId id) const {
+    return detectors_[id];
+  }
+
+ private:
+  struct Op {
+    sim::SimTime issue;
+    std::uint32_t seq;   ///< emission order; tie-break for equal issue
+    std::uint32_t req;   ///< request index (probe index for kProbe)
+    std::uint16_t leg;   ///< completion slot within the request
+    std::uint8_t kind;   ///< kRead / kWrite / kProbe
+  };
+  static constexpr std::uint8_t kRead = 0;
+  static constexpr std::uint8_t kWrite = 1;
+  static constexpr std::uint8_t kProbe = 2;
+
+  sim::SimTime deadline_of(std::uint32_t r) const;
+  bool spend_retry_token();
+  void refill_retry_tokens();
+
+  void fire_actions_due(sim::SimTime now);
+  void snapshot_control_state();
+  void begin_epoch();
+  void schedule_probes(sim::SimTime t0, sim::SimTime t1);
+  void generate_and_route(sim::SimTime t0, sim::SimTime t1);
+  void route_read(std::uint32_t r);
+  void route_write(std::uint32_t r);
+  void emit(NodeId node, std::uint8_t kind, std::uint32_t req,
+            std::uint16_t leg, sim::SimTime issue);
+
+  void execute_wave();
+  void execute_nodes(std::size_t node_lo, std::size_t node_hi,
+                     std::size_t shard_slot);
+  void combine_wave0();
+  void combine_failover_wave();
+  void try_emit_failover(std::uint32_t r);
+  void fail_read(std::uint32_t r);
+  void combine_write(std::uint32_t r);
+  void barrier_control();
+  void account_epoch_slo();
+
+  // --- construction-time state ------------------------------------------
+  ClusterTopology topology_;
+  std::vector<storage::BlockDevice*> devices_;
+  EngineConfig config_;
+  PlacementMap placement_;
+  std::size_t write_quorum_;
+  std::size_t leg_stride_;  ///< completion slots per request
+  std::shared_ptr<const ZipfAliasSampler> zipf_;
+  double mean_gap_s_;
+  double hedge_threshold_s_;
+
+  unsigned shard_count_;
+  std::size_t nodes_per_shard_;
+  std::unique_ptr<sim::TaskPool> pool_;
+  std::function<void(std::size_t)> wave_fn_;  ///< built once; no per-wave alloc
+
+  // --- per-node SoA state (indexed by NodeId) ---------------------------
+  std::vector<core::AttackDetector> detectors_;
+  std::vector<NodeHealth> health_;
+  std::vector<sim::SimTime> next_probe_;
+  std::vector<std::uint8_t> rank_snap_;  ///< epoch-start health rank
+  std::vector<std::uint8_t> hot_snap_;   ///< epoch-start hedge heat
+  std::vector<std::uint64_t> node_reads_;
+  std::vector<std::uint64_t> node_writes_;
+  std::vector<std::uint64_t> node_errors_;
+  std::vector<std::uint32_t> node_depth_;  ///< ops queued this epoch
+  std::vector<std::vector<Op>> node_ops_;  ///< per-node wave queues
+
+  // --- per-epoch request/completion arenas (reused, never shrunk) -------
+  std::vector<sim::SimTime> req_arrival_;
+  std::vector<std::uint64_t> req_lba_;
+  std::vector<std::uint8_t> req_is_read_;
+  std::vector<std::uint8_t> req_hedged_;
+  std::vector<std::uint8_t> req_ok_;
+  std::vector<sim::SimTime> req_complete_;
+  std::vector<sim::SimTime> req_t_;  ///< failure-path time cursor
+  std::vector<std::uint32_t> req_attempts_;
+  std::vector<std::uint16_t> req_next_cand_;
+  std::vector<std::uint16_t> req_ncand_;   ///< ranked candidates (reads)
+  std::vector<std::uint16_t> req_nlegs_;   ///< emitted legs (writes)
+  std::vector<NodeId> req_cand_;           ///< leg_stride_ per request
+  std::vector<std::uint8_t> leg_ok_;       ///< leg_stride_ per request
+  std::vector<sim::SimTime> leg_complete_;
+  std::vector<NodeId> probe_node_;
+  std::vector<sim::SimTime> probe_issue_;
+  std::vector<sim::SimTime> probe_complete_;
+  std::vector<std::uint8_t> probe_ok_;
+  std::vector<std::uint32_t> pending_;       ///< reads awaiting this wave
+  std::vector<std::uint32_t> next_pending_;  ///< reads emitted for next wave
+  std::vector<NodeId> replica_scratch_;
+  std::vector<sim::SimTime> ack_scratch_;
+  std::vector<std::vector<std::byte>> shard_read_buf_;  ///< one per shard
+  std::vector<std::byte> write_buf_;
+  std::vector<sim::SimTime> shard_frontier_;
+
+  // --- run state --------------------------------------------------------
+  bool running_ = false;
+  sim::Rng rng_{0};
+  sim::SimTime next_arrival_ = sim::SimTime::zero();
+  SloTracker* slo_ = nullptr;
+  std::vector<TimelineAction> actions_;
+  std::size_t next_action_ = 0;
+  sim::SimTime start_ = sim::SimTime::zero();
+  sim::SimTime end_ = sim::SimTime::zero();
+  sim::SimTime cursor_ = sim::SimTime::zero();
+  sim::SimTime frontier_ = sim::SimTime::zero();
+  double retry_tokens_ = 0.0;
+  std::uint32_t op_seq_ = 0;
+  std::size_t ops_emitted_ = 0;
+  BalancerStats stats_;
+  TrafficReport traffic_;
+  std::uint64_t max_node_depth_ = 0;
+};
+
+}  // namespace deepnote::cluster

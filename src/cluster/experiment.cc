@@ -22,53 +22,63 @@ ClusterExperimentConfig cluster_experiment_config(double scale) {
 
 namespace {
 
-ClusterTrialRow run_cell(const ClusterExperimentConfig& config,
-                         PlacementPolicy policy,
-                         std::optional<double> distance_m,
-                         std::uint64_t cell_seed) {
-  ClusterConfig cluster_config;
-  cluster_config.scenario = config.scenario;
-  cluster_config.topology = config.topology;
-  cluster_config.seed = sim::trial_seed(cell_seed, 0);
-  Cluster cluster(cluster_config);
-
-  BalancerConfig balancer_config = config.balancer;
-  balancer_config.policy = policy;
-  balancer_config.replication = config.replication;
-  Balancer balancer(cluster, balancer_config);
-
-  TrafficConfig traffic_config = config.traffic;
-  traffic_config.duration =
-      config.warmup + config.attack_window + config.cooldown;
-  traffic_config.seed = sim::trial_seed(cell_seed, 1);
-  TrafficRunner traffic(balancer, traffic_config);
-
-  const sim::SimTime start = sim::SimTime::zero();
-  const sim::SimTime attack_on = start + config.warmup;
-  const sim::SimTime attack_off = attack_on + config.attack_window;
-
-  SloTracker slo(start);
-  slo.set_focus(attack_on, attack_off);
-
+/// Everything a cell needs before choosing an execution engine: the
+/// cluster, the attack timeline, the focus-tracking SLO, and resolved
+/// balancer/traffic configs.
+struct CellSetup {
+  Cluster cluster;
+  BalancerConfig balancer;
+  TrafficConfig traffic;
+  SloTracker slo;
   std::vector<TimelineAction> actions;
-  if (distance_m.has_value()) {
-    core::AttackConfig attack;
-    attack.frequency_hz = config.frequency_hz;
-    attack.spl_air_db = config.spl_air_db;
-    attack.distance_m = *distance_m;
-    attack.start = attack_on;
-    attack.end = attack_off;
-    const std::size_t pod = config.attacked_pod;
-    actions.push_back({attack_on, [&cluster, pod, attack](sim::SimTime t) {
-                         cluster.apply_attack(pod, t, attack);
-                       }});
-    actions.push_back({attack_off, [&cluster, pod](sim::SimTime t) {
-                         cluster.stop_attack(pod, t);
-                       }});
+
+  CellSetup(const ClusterExperimentConfig& config, PlacementPolicy policy,
+            std::optional<double> distance_m, std::uint64_t cell_seed)
+      : cluster(make_cluster_config(config, cell_seed)),
+        balancer(config.balancer),
+        traffic(config.traffic),
+        slo(sim::SimTime::zero()) {
+    balancer.policy = policy;
+    balancer.replication = config.replication;
+    traffic.duration = config.warmup + config.attack_window + config.cooldown;
+    traffic.seed = sim::trial_seed(cell_seed, 1);
+
+    const sim::SimTime attack_on = sim::SimTime::zero() + config.warmup;
+    const sim::SimTime attack_off = attack_on + config.attack_window;
+    slo.set_focus(attack_on, attack_off);
+
+    if (distance_m.has_value()) {
+      core::AttackConfig attack;
+      attack.frequency_hz = config.frequency_hz;
+      attack.spl_air_db = config.spl_air_db;
+      attack.distance_m = *distance_m;
+      attack.start = attack_on;
+      attack.end = attack_off;
+      const std::size_t pod = config.attacked_pod;
+      Cluster* target = &cluster;
+      actions.push_back({attack_on, [target, pod, attack](sim::SimTime t) {
+                           target->apply_attack(pod, t, attack);
+                         }});
+      actions.push_back({attack_off, [target, pod](sim::SimTime t) {
+                           target->stop_attack(pod, t);
+                         }});
+    }
   }
 
-  const TrafficReport report = traffic.run(start, slo, std::move(actions));
+  static ClusterConfig make_cluster_config(
+      const ClusterExperimentConfig& config, std::uint64_t cell_seed) {
+    ClusterConfig cluster_config;
+    cluster_config.scenario = config.scenario;
+    cluster_config.topology = config.topology;
+    cluster_config.seed = sim::trial_seed(cell_seed, 0);
+    return cluster_config;
+  }
+};
 
+ClusterTrialRow make_row(PlacementPolicy policy,
+                         std::optional<double> distance_m,
+                         const TrafficReport& report, const SloTracker& slo,
+                         const BalancerStats& stats) {
   ClusterTrialRow row;
   row.policy = policy;
   row.distance_m = distance_m;
@@ -79,7 +89,6 @@ ClusterTrialRow run_cell(const ClusterExperimentConfig& config,
   row.p50_ms = slo.p50().millis();
   row.p99_ms = slo.p99().millis();
   row.p999_ms = slo.p999().millis();
-  const BalancerStats& stats = balancer.stats();
   row.read_failovers = stats.read_failovers;
   row.hedged_reads = stats.hedged_reads;
   row.drains = stats.drains;
@@ -88,6 +97,42 @@ ClusterTrialRow run_cell(const ClusterExperimentConfig& config,
 }
 
 }  // namespace
+
+ClusterTrialRow run_cluster_cell(const ClusterExperimentConfig& config,
+                                 PlacementPolicy policy,
+                                 std::optional<double> distance_m,
+                                 std::uint64_t cell_seed,
+                                 std::shared_ptr<const ZipfAliasSampler> zipf,
+                                 unsigned engine_jobs) {
+  CellSetup cell(config, policy, distance_m, cell_seed);
+
+  EngineConfig engine_config;
+  engine_config.balancer = cell.balancer;
+  engine_config.traffic = cell.traffic;
+  engine_config.detector = cell.cluster.config().detector;
+  engine_config.jobs = engine_jobs;
+  engine_config.zipf = std::move(zipf);
+  ShardedClusterEngine engine(cell.cluster.topology(),
+                              cell.cluster.device_pointers(),
+                              std::move(engine_config));
+
+  const EngineReport report = engine.run(sim::SimTime::zero(), cell.slo,
+                                         std::move(cell.actions));
+  return make_row(policy, distance_m, report.traffic, cell.slo, report.stats);
+}
+
+ClusterTrialRow run_cluster_cell_serial(const ClusterExperimentConfig& config,
+                                        PlacementPolicy policy,
+                                        std::optional<double> distance_m,
+                                        std::uint64_t cell_seed) {
+  CellSetup cell(config, policy, distance_m, cell_seed);
+
+  Balancer balancer(cell.cluster, cell.balancer);
+  TrafficRunner traffic(balancer, cell.traffic);
+  const TrafficReport report =
+      traffic.run(sim::SimTime::zero(), cell.slo, std::move(cell.actions));
+  return make_row(policy, distance_m, report, cell.slo, balancer.stats());
+}
 
 std::vector<ClusterTrialRow> run_cluster_experiment(
     const ClusterExperimentConfig& config) {
@@ -102,10 +147,14 @@ std::vector<ClusterTrialRow> run_cluster_experiment(
       grid.push_back({policy, distance});
     }
   }
+  // One alias table serves every cell: it depends only on
+  // (keyspace, theta), which the grid never varies.
+  const auto zipf = std::make_shared<const ZipfAliasSampler>(
+      config.traffic.keyspace, config.traffic.zipf_theta);
   return sim::run_trials<ClusterTrialRow>(
       grid.size(), config.jobs, [&](std::size_t i) {
-        return run_cell(config, grid[i].policy, grid[i].distance_m,
-                        sim::trial_seed(config.seed, i));
+        return run_cluster_cell(config, grid[i].policy, grid[i].distance_m,
+                                sim::trial_seed(config.seed, i), zipf);
       });
 }
 

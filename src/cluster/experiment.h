@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cluster/balancer.h"
+#include "cluster/engine.h"
 #include "cluster/node.h"
 #include "cluster/traffic.h"
 #include "sim/table.h"
@@ -34,8 +35,8 @@ struct ClusterExperimentConfig {
       PlacementPolicy::kRackAware,
   };
   /// Attacker distances swept; nullopt = no-attack baseline row.
-  std::vector<std::optional<double>> distances_m = {std::nullopt, 0.01, 0.10,
-                                                    0.25};
+  std::vector<std::optional<double>> distances_m = {
+      std::nullopt, 0.01, 0.05, 0.10, 0.25, 0.50};
   double frequency_hz = 650.0;
   double spl_air_db = 140.0;
   std::size_t attacked_pod = 0;
@@ -74,6 +75,27 @@ struct ClusterTrialRow {
   std::uint64_t drains = 0;
   std::uint64_t readmits = 0;
 };
+
+/// One grid cell on the sharded epoch engine (the default path —
+/// run_cluster_experiment fans these across the trial pool). `zipf`
+/// optionally shares a pre-built alias table across cells/iterations;
+/// `engine_jobs` is the engine's internal wave parallelism (1 = inline,
+/// the right setting when cells already fan across the trial pool).
+ClusterTrialRow run_cluster_cell(const ClusterExperimentConfig& config,
+                                 PlacementPolicy policy,
+                                 std::optional<double> distance_m,
+                                 std::uint64_t cell_seed,
+                                 std::shared_ptr<const ZipfAliasSampler> zipf =
+                                     nullptr,
+                                 unsigned engine_jobs = 1);
+
+/// The same cell on the PR5 serial composition (Balancer +
+/// TrafficRunner, one request at a time). Kept as the reference the
+/// engine's speedup is measured against in bench_json.
+ClusterTrialRow run_cluster_cell_serial(const ClusterExperimentConfig& config,
+                                        PlacementPolicy policy,
+                                        std::optional<double> distance_m,
+                                        std::uint64_t cell_seed);
 
 /// Run the full grid; rows in (policy-major, distance-minor) order.
 std::vector<ClusterTrialRow> run_cluster_experiment(

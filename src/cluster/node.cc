@@ -97,7 +97,6 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
   if (topo.pods == 0 || topo.bays_per_pod == 0) {
     throw std::invalid_argument("cluster: empty topology");
   }
-  pods_.reserve(topo.pods);
   nodes_.reserve(topo.nodes());
   for (std::size_t pod = 0; pod < topo.pods; ++pod) {
     core::RackConfig rack;
@@ -107,11 +106,10 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
     rack.os_device = config_.os_device;
     // Traffic serving is timing/availability-only: no backing bytes.
     rack.retain_data = false;
-    pods_.push_back(std::make_unique<core::RackTestbed>(rack));
+    pods_.emplace_back(rack);
     for (std::size_t bay = 0; bay < topo.bays_per_pod; ++bay) {
-      nodes_.push_back(std::make_unique<ClusterNode>(
-          topo.node_id(pod, bay), pod, bay, pods_.back()->device(bay),
-          config_.detector));
+      nodes_.emplace_back(topo.node_id(pod, bay), pod, bay,
+                          pods_.back().device(bay), config_.detector);
     }
   }
 }
@@ -119,22 +117,29 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
 std::vector<ClusterNode*> Cluster::node_pointers() {
   std::vector<ClusterNode*> out;
   out.reserve(nodes_.size());
-  for (auto& node : nodes_) out.push_back(node.get());
+  for (auto& node : nodes_) out.push_back(&node);
+  return out;
+}
+
+std::vector<storage::BlockDevice*> Cluster::device_pointers() {
+  std::vector<storage::BlockDevice*> out;
+  out.reserve(nodes_.size());
+  for (auto& node : nodes_) out.push_back(&node.device());
   return out;
 }
 
 void Cluster::apply_attack(std::size_t pod, sim::SimTime now,
                            const core::AttackConfig& attack) {
-  pods_.at(pod)->apply_attack(now, attack);
+  pods_.at(pod).apply_attack(now, attack);
 }
 
 void Cluster::stop_attack(std::size_t pod, sim::SimTime now) {
-  pods_.at(pod)->stop_attack(now);
+  pods_.at(pod).stop_attack(now);
 }
 
 std::size_t Cluster::parked_nodes() const {
   std::size_t n = 0;
-  for (const auto& pod : pods_) n += pod->parked_bays();
+  for (const auto& pod : pods_) n += pod.parked_bays();
   return n;
 }
 

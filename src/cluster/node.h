@@ -12,7 +12,7 @@
 // retrying a hung drive for minutes.
 #pragma once
 
-#include <memory>
+#include <deque>
 #include <optional>
 #include <vector>
 
@@ -46,6 +46,10 @@ class ClusterNode {
 
   ClusterNode(const ClusterNode&) = delete;
   ClusterNode& operator=(const ClusterNode&) = delete;
+  /// Move-constructible so a Cluster can hold its nodes in one flat
+  /// vector (reserved up front; never reallocated) instead of a
+  /// unique_ptr per node.
+  ClusterNode(ClusterNode&&) = default;
 
   NodeId id() const { return id_; }
   std::size_t pod() const { return pod_; }
@@ -109,12 +113,15 @@ class Cluster {
   const ClusterConfig& config() const { return config_; }
   const ClusterTopology& topology() const { return config_.topology; }
   std::size_t num_nodes() const { return nodes_.size(); }
-  ClusterNode& node(NodeId id) { return *nodes_.at(id); }
-  const ClusterNode& node(NodeId id) const { return *nodes_.at(id); }
-  core::RackTestbed& pod(std::size_t pod) { return *pods_.at(pod); }
+  ClusterNode& node(NodeId id) { return nodes_.at(id); }
+  const ClusterNode& node(NodeId id) const { return nodes_.at(id); }
+  core::RackTestbed& pod(std::size_t pod) { return pods_.at(pod); }
 
   /// Non-owning node pointers in id order (what a Balancer routes over).
   std::vector<ClusterNode*> node_pointers();
+  /// Non-owning raw block devices in id order (what the sharded engine
+  /// drives; detectors/health live in the engine's flat arrays).
+  std::vector<storage::BlockDevice*> device_pointers();
 
   /// Insonify / silence one pod (all its bays couple to the same field).
   void apply_attack(std::size_t pod, sim::SimTime now,
@@ -126,8 +133,11 @@ class Cluster {
 
  private:
   ClusterConfig config_;
-  std::vector<std::unique_ptr<core::RackTestbed>> pods_;
-  std::vector<std::unique_ptr<ClusterNode>> nodes_;
+  // Flat storage: pods in a deque (stable addresses, no per-pod heap
+  // indirection), nodes in one contiguous vector indexed by NodeId — the
+  // hot per-request lookups walk an array, not a pointer table.
+  std::deque<core::RackTestbed> pods_;
+  std::vector<ClusterNode> nodes_;
 };
 
 }  // namespace deepnote::cluster

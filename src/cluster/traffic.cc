@@ -44,6 +44,68 @@ std::uint64_t ZipfGenerator::next(sim::Rng& rng) const {
   return rank >= n_ ? n_ - 1 : rank;
 }
 
+ZipfAliasSampler::ZipfAliasSampler(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  if (n_ == 0) throw std::invalid_argument("zipf: empty keyspace");
+  if (n_ > 0xffffffffull) {
+    throw std::invalid_argument("zipf: alias table caps at 2^32 ranks");
+  }
+  if (theta_ <= 0.0 || theta_ >= 1.0) {
+    throw std::invalid_argument("zipf: theta must be in (0, 1)");
+  }
+  // One pass for the normalizer, one to split buckets into under/over
+  // full, one to pair them up (Vose). All index order, fully
+  // deterministic.
+  std::vector<double> weight(n_);
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i < n_; ++i) {
+    weight[i] = 1.0 / std::pow(static_cast<double>(i + 1), theta_);
+    sum += weight[i];
+  }
+  zetan_ = sum;
+  accept_.assign(n_, 1.0);
+  alias_.assign(n_, 0);
+  // Scale so the average bucket holds exactly 1.0 of probability mass.
+  const double scale = static_cast<double>(n_) / sum;
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n_);
+  large.reserve(n_);
+  for (std::uint64_t i = 0; i < n_; ++i) {
+    weight[i] *= scale;
+    if (weight[i] < 1.0) {
+      small.push_back(static_cast<std::uint32_t>(i));
+    } else {
+      large.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    const std::uint32_t l = large.back();
+    small.pop_back();
+    accept_[s] = weight[s];
+    alias_[s] = l;
+    weight[l] -= 1.0 - weight[s];
+    if (weight[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers (floating-point dust): their buckets are full.
+  for (const std::uint32_t i : large) accept_[i] = 1.0;
+  for (const std::uint32_t i : small) accept_[i] = 1.0;
+}
+
+std::uint64_t ZipfAliasSampler::next(sim::Rng& rng) const {
+  const std::uint64_t bucket = rng.next_u64() % n_;
+  const double coin = rng.next_double();
+  return coin < accept_[bucket] ? bucket : alias_[bucket];
+}
+
+double ZipfAliasSampler::probability(std::uint64_t rank) const {
+  return 1.0 / (std::pow(static_cast<double>(rank + 1), theta_) * zetan_);
+}
+
 TrafficRunner::TrafficRunner(Balancer& balancer, TrafficConfig config)
     : balancer_(balancer), config_(config) {
   if (config_.clients == 0) {

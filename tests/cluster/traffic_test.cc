@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -54,6 +55,81 @@ TEST(Zipf, StaysInRangeAndRejectsBadConfig) {
   for (int i = 0; i < 5000; ++i) EXPECT_LT(zipf.next(rng), 10u);
   EXPECT_THROW(ZipfGenerator(0, 0.99), std::invalid_argument);
   EXPECT_THROW(ZipfGenerator(10, 1.0), std::invalid_argument);
+}
+
+TEST(ZipfAlias, ExactProbabilitiesSumToOneAndDecay) {
+  const ZipfAliasSampler zipf(1000, 0.99);
+  double sum = 0.0;
+  for (std::uint64_t rank = 0; rank < 1000; ++rank) {
+    sum += zipf.probability(rank);
+    if (rank > 0) EXPECT_LT(zipf.probability(rank), zipf.probability(rank - 1));
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfAlias, MatchesTheExactDistribution) {
+  // The alias table must reproduce its own exact pmf: bucket each of a
+  // large sample run and compare against n * p(rank) within 5 sigma of
+  // the binomial noise floor.
+  constexpr std::uint64_t kN = 500;
+  constexpr double kTheta = 0.99;
+  constexpr int kSamples = 200000;
+  const ZipfAliasSampler zipf(kN, kTheta);
+  sim::Rng rng(0xa11a5);
+  std::vector<std::uint64_t> counts(kN, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    const std::uint64_t rank = zipf.next(rng);
+    ASSERT_LT(rank, kN);
+    ++counts[rank];
+  }
+  for (std::uint64_t rank = 0; rank < kN; ++rank) {
+    const double expected = kSamples * zipf.probability(rank);
+    const double sigma = std::sqrt(expected);
+    EXPECT_NEAR(static_cast<double>(counts[rank]), expected,
+                5.0 * sigma + 1.0)
+        << "rank " << rank;
+  }
+}
+
+TEST(ZipfAlias, AgreesWithTheApproximateGenerator) {
+  // The YCSB generator is an approximation of the same law; over coarse
+  // buckets the two samplers must tell the same popularity story (the
+  // alias sampler is the refinement, not a different distribution).
+  constexpr std::uint64_t kN = 1000;
+  constexpr double kTheta = 0.99;
+  constexpr int kSamples = 100000;
+  const ZipfAliasSampler alias(kN, kTheta);
+  const ZipfGenerator approx(kN, kTheta);
+  sim::Rng rng_a(77);
+  sim::Rng rng_b(78);
+  // Log-spaced buckets: [0,1), [1,10), [10,100), [100,1000).
+  auto bucket_of = [](std::uint64_t rank) {
+    if (rank < 1) return 0;
+    if (rank < 10) return 1;
+    if (rank < 100) return 2;
+    return 3;
+  };
+  double share_a[4] = {0, 0, 0, 0};
+  double share_b[4] = {0, 0, 0, 0};
+  for (int i = 0; i < kSamples; ++i) {
+    ++share_a[bucket_of(alias.next(rng_a))];
+    ++share_b[bucket_of(approx.next(rng_b))];
+  }
+  for (int b = 0; b < 4; ++b) {
+    share_a[b] /= kSamples;
+    share_b[b] /= kSamples;
+    EXPECT_NEAR(share_a[b], share_b[b], 0.02) << "bucket " << b;
+  }
+}
+
+TEST(ZipfAlias, DeterministicAndRejectsBadConfig) {
+  const ZipfAliasSampler zipf(100, 0.7);
+  sim::Rng a(123);
+  sim::Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(zipf.next(a), zipf.next(b));
+  EXPECT_THROW(ZipfAliasSampler(0, 0.99), std::invalid_argument);
+  EXPECT_THROW(ZipfAliasSampler(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(ZipfAliasSampler(10, 1.0), std::invalid_argument);
 }
 
 TEST(Traffic, OpenLoopArrivalCountTracksTheRate) {

@@ -8,8 +8,12 @@
 // when the candidate rate drops below the reference by more than the
 // threshold fraction (higher is better). Every entry under "end_to_end"
 // present in both files is compared; entries only one side has are
-// reported but never fail the gate. Exit code 1 with a readable
-// per-suite diff when anything regresses, 0 otherwise.
+// reported but never fail the gate. An end-to-end entry in the
+// candidate that carries a "min_speedup" field is additionally gated on
+// its own recorded baseline: candidate current/baseline must reach that
+// floor (this is how the 1000-node cluster engine enforces >= 10x over
+// the serial composition). Exit code 1 with a readable per-suite diff
+// when anything regresses, 0 otherwise.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -36,9 +40,15 @@ std::string read_file(const std::string& path) {
   return os.str();
 }
 
+struct EndToEndEntry {
+  double current = 0.0;  // trials/s
+  std::optional<double> baseline;
+  std::optional<double> min_speedup;
+};
+
 struct BenchFile {
-  std::map<std::string, double> suites;      // name -> current ns/op
-  std::map<std::string, double> end_to_end;  // entry -> current trials/s
+  std::map<std::string, double> suites;  // name -> current ns/op
+  std::map<std::string, EndToEndEntry> end_to_end;
 };
 
 BenchFile load(const std::string& path) {
@@ -58,10 +68,19 @@ BenchFile load(const std::string& path) {
   }
   if (const JsonValue* e2e = root.find("end_to_end")) {
     for (const auto& [name, entry] : e2e->object) {
-      if (const JsonValue* t = entry.find("current_trials_per_s");
-          t != nullptr && t->is_number()) {
-        f.end_to_end[name] = t->number;
+      const JsonValue* t = entry.find("current_trials_per_s");
+      if (t == nullptr || !t->is_number()) continue;
+      EndToEndEntry e;
+      e.current = t->number;
+      if (const JsonValue* b = entry.find("baseline_trials_per_s");
+          b != nullptr && b->is_number()) {
+        e.baseline = b->number;
       }
+      if (const JsonValue* m = entry.find("min_speedup");
+          m != nullptr && m->is_number()) {
+        e.min_speedup = m->number;
+      }
+      f.end_to_end[name] = e;
     }
   }
   return f;
@@ -119,8 +138,9 @@ int main(int argc, char** argv) {
         std::printf("%-44s %14s %14.1f %9s\n", name.c_str(), "NEW", ns, "-");
       }
     }
-    for (const auto& [name, ref_rate] : ref.end_to_end) {
+    for (const auto& [name, ref_entry] : ref.end_to_end) {
       const std::string label = "end_to_end." + name;
+      const double ref_rate = ref_entry.current;
       const auto it = cand.end_to_end.find(name);
       if (it == cand.end_to_end.end()) {
         std::printf("%-44s %12.3f/s %14s %9s\n", label.c_str(), ref_rate,
@@ -129,19 +149,35 @@ int main(int argc, char** argv) {
       }
       ++compared;
       const double delta =
-          ref_rate > 0 ? (it->second - ref_rate) / ref_rate : 0.0;
+          ref_rate > 0 ? (it->second.current - ref_rate) / ref_rate : 0.0;
       const bool regressed = delta < -threshold;  // higher is better here
       std::printf("%-44s %12.3f/s %12.3f/s %+8.1f%%%s\n", label.c_str(),
-                  ref_rate, it->second, delta * 100.0,
+                  ref_rate, it->second.current, delta * 100.0,
                   regressed ? "  << REGRESSION" : "");
       if (regressed) ++regressions;
     }
-    for (const auto& [name, rate] : cand.end_to_end) {
+    for (const auto& [name, entry] : cand.end_to_end) {
       if (ref.end_to_end.find(name) == ref.end_to_end.end()) {
         const std::string label = "end_to_end." + name;
-        std::printf("%-44s %14s %12.3f/s %9s\n", label.c_str(), "NEW", rate,
-                    "-");
+        std::printf("%-44s %14s %12.3f/s %9s\n", label.c_str(), "NEW",
+                    entry.current, "-");
       }
+    }
+    // Speedup floors travel with the candidate file: an entry that
+    // records both its own baseline and a min_speedup must clear it.
+    for (const auto& [name, entry] : cand.end_to_end) {
+      if (!entry.min_speedup.has_value() || !entry.baseline.has_value() ||
+          *entry.baseline <= 0) {
+        continue;
+      }
+      ++compared;
+      const double speedup = entry.current / *entry.baseline;
+      const bool regressed = speedup < *entry.min_speedup;
+      std::printf("%-44s %13.2fx %12.2fx%s\n",
+                  ("end_to_end." + name + ".speedup").c_str(),
+                  *entry.min_speedup, speedup,
+                  regressed ? "  << BELOW FLOOR" : "");
+      if (regressed) ++regressions;
     }
     if (compared == 0) {
       std::fprintf(stderr, "bench_compare: no overlapping suites to compare\n");
