@@ -21,6 +21,11 @@
 //                      same workload; the serial rate is recorded as the
 //                      entry's baseline and the engine is gated at
 //                      >= 10x (bench_compare enforces min_speedup).
+//   --serving1k        run the same 1000-node attacked cell with the
+//                      serving front-end enabled AND with immediate
+//                      dispatch; the immediate rate is the baseline and
+//                      serving is gated at >= 0.2x of it (the pipeline
+//                      may cost at most ~5x per request).
 //   --out <file>       output path (default: BENCH_PR5.json).
 //
 // The emitted file is the input format of tools/bench_compare.
@@ -275,6 +280,104 @@ EndToEnd run_cluster_1k() {
   return e;
 }
 
+/// The serving-mode twin of the 1000-node cell: same topology, same
+/// attacked workload, but every node fronted by the bounded-FIFO
+/// request pipeline with closed-loop clients. The immediate-dispatch
+/// engine on the identical workload is measured alongside as the
+/// baseline, so the recorded "speedup" is serving's relative throughput
+/// (it is < 1 by construction — the pipeline does strictly more work
+/// per request). min_speedup floors that overhead: the serving path
+/// must stay within ~5x of immediate dispatch.
+EndToEnd run_cluster_serving_1k() {
+  using namespace deepnote;
+  const cluster::ClusterTopology topo{.pods = 200, .bays_per_pod = 5};
+
+  cluster::BalancerConfig balancer_config;
+  balancer_config.policy = cluster::PlacementPolicy::kCrossPod;
+  balancer_config.objects = 20000;
+
+  cluster::TrafficConfig traffic;
+  traffic.arrival_rate_per_s = 400.0;
+  traffic.duration = sim::Duration::from_seconds(3.0);
+  traffic.keyspace = 1000000;
+  traffic.seed = 0xbeef;
+
+  core::AttackConfig attack;
+  attack.frequency_hz = 650.0;
+  attack.spl_air_db = 140.0;
+  attack.distance_m = 0.01;
+  attack.start = sim::SimTime::from_seconds(0.5);
+  attack.end = sim::SimTime::from_seconds(2.5);
+
+  const auto zipf = std::make_shared<const cluster::ZipfAliasSampler>(
+      traffic.keyspace, traffic.zipf_theta);
+
+  auto make_cluster = [&]() {
+    cluster::ClusterConfig config;
+    config.topology = topo;
+    config.seed = 0x1234;
+    return std::make_unique<cluster::Cluster>(config);
+  };
+  auto make_actions = [&](cluster::Cluster* c) {
+    std::vector<cluster::TimelineAction> actions;
+    actions.push_back({attack.start, [c, attack](sim::SimTime t) {
+                         c->apply_attack(0, t, attack);
+                       }});
+    actions.push_back(
+        {attack.end, [c](sim::SimTime t) { c->stop_attack(0, t); }});
+    return actions;
+  };
+  auto run_engine = [&](bool serving_on, double& best_wall,
+                        std::uint64_t& requests) {
+    for (int rep = 0; rep < 3; ++rep) {  // rep 0 is the warm-up
+      auto cl = make_cluster();
+      cluster::EngineConfig config;
+      config.balancer = balancer_config;
+      config.traffic = traffic;
+      config.zipf = zipf;
+      config.jobs = 0;  // $DEEPNOTE_JOBS
+      if (serving_on) {
+        config.serving.enabled = true;
+        config.serving.server.queue_limit = 8;
+        config.serving.clients = 64;
+      }
+      cluster::ShardedClusterEngine engine(cl->topology(),
+                                           cl->device_pointers(), config);
+      cluster::SloTracker slo(sim::SimTime::zero());
+      slo.set_focus(attack.start, attack.end);
+      auto actions = make_actions(cl.get());
+      const auto t0 = std::chrono::steady_clock::now();
+      const cluster::EngineReport report =
+          engine.run(sim::SimTime::zero(), slo, std::move(actions));
+      const auto t1 = std::chrono::steady_clock::now();
+      const double wall = std::chrono::duration<double>(t1 - t0).count();
+      if (rep == 1 || (rep > 1 && wall < best_wall)) {
+        best_wall = wall;
+        requests = report.traffic.requests;
+      }
+    }
+  };
+
+  double serving_wall = 0.0;
+  std::uint64_t serving_requests = 0;
+  run_engine(true, serving_wall, serving_requests);
+
+  double immediate_wall = 0.0;
+  std::uint64_t immediate_requests = 0;
+  run_engine(false, immediate_wall, immediate_requests);
+
+  EndToEnd e;
+  e.trials = 1;
+  e.wall_s = serving_wall;
+  e.trials_per_s = serving_wall > 0 ? 1.0 / serving_wall : 0.0;
+  e.total_ops = serving_requests;
+  e.measured_baseline_per_s =
+      immediate_wall > 0 ? std::optional<double>(1.0 / immediate_wall)
+                         : std::nullopt;
+  e.min_speedup = 0.2;
+  return e;
+}
+
 void emit_number_or_null(std::ostream& os, std::optional<double> v) {
   if (v.has_value()) {
     char buf[64];
@@ -294,6 +397,7 @@ int main(int argc, char** argv) {
   bool with_table2 = false;
   bool with_cluster = false;
   bool with_cluster_1k = false;
+  bool with_serving_1k = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -315,11 +419,13 @@ int main(int argc, char** argv) {
       with_cluster = true;
     } else if (arg == "--cluster1k") {
       with_cluster_1k = true;
+    } else if (arg == "--serving1k") {
+      with_serving_1k = true;
     } else {
       std::fprintf(stderr,
                    "usage: bench_json --micro <gbench.json> [--baseline "
                    "<file>] [--table2] [--cluster] [--cluster1k] "
-                   "[--out <file>]\n");
+                   "[--serving1k] [--out <file>]\n");
       return 2;
     }
   }
@@ -345,6 +451,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "bench_json: running 1000-node engine-vs-serial cell...\n");
       end_to_end.emplace_back("cluster_availability_1k", run_cluster_1k());
+    }
+    if (with_serving_1k) {
+      std::fprintf(stderr,
+                   "bench_json: running 1000-node serving-vs-immediate "
+                   "cell...\n");
+      end_to_end.emplace_back("cluster_serving_1k", run_cluster_serving_1k());
     }
 
     const std::map<std::string, double> current =

@@ -99,6 +99,27 @@ ShardedClusterEngine::ShardedClusterEngine(
                     std::byte{0x5a});
   shard_frontier_.assign(shard_count_, sim::SimTime::zero());
   node_ops_.resize(n);
+
+  if (config_.serving.enabled) {
+    if (config_.serving.closed_loop) {
+      if (config_.serving.clients == 0) {
+        throw std::invalid_argument("engine: closed loop needs clients");
+      }
+      if (config_.serving.shed_backoff.ns() <= 0) {
+        throw std::invalid_argument("engine: shed backoff must be positive");
+      }
+    }
+    // Listener contexts live in a vector sized once here, so the
+    // pointers handed to the servers stay valid for the engine's life.
+    listeners_.resize(n);
+    for (std::size_t id = 0; id < n; ++id) {
+      listeners_[id] = NodeListener{this, static_cast<NodeId>(id)};
+      servers_.emplace_back(*devices_[id], config_.serving.server);
+      servers_.back().set_listener(&listeners_[id], &serve_sink);
+    }
+    shard_qwait_.resize(shard_count_);
+    shard_service_.resize(shard_count_);
+  }
 }
 
 sim::SimTime ShardedClusterEngine::deadline_of(std::uint32_t r) const {
@@ -155,6 +176,36 @@ void ShardedClusterEngine::start_run(sim::SimTime start, SloTracker& slo,
   for (auto& frontier : shard_frontier_) frontier = start;
   pending_.clear();
   next_pending_.clear();
+  // The two wave lists swap roles every failover wave. If the last run
+  // ended after an odd number of swaps, restore the canonical
+  // orientation (a free exchange — both are empty) so a warm replay
+  // hands each vector the exact role sequence that sized it.
+  if (wave_lists_flipped_) {
+    pending_.swap(next_pending_);
+    wave_lists_flipped_ = false;
+  }
+
+  if (serving()) {
+    for (auto& server : servers_) server.reset();
+    for (auto& hist : shard_qwait_) hist.reset();
+    for (auto& hist : shard_service_) hist.reset();
+    qwait_hist_.reset();
+    service_hist_.reset();
+    depth_timeline_.clear();
+    // One sample per epoch, plus the action-clamped extras.
+    depth_timeline_.reserve(
+        static_cast<std::size_t>(config_.traffic.duration.ns() /
+                                 config_.epoch.ns()) +
+        actions_.size() + 2);
+    shed_requests_ = 0;
+    timed_out_requests_ = 0;
+    error_requests_ = 0;
+    if (config_.serving.closed_loop) {
+      clients_.reset(config_.traffic, config_.serving.clients,
+                     config_.serving.shed_backoff,
+                     config_.serving.max_shed_retries, start);
+    }
+  }
   running_ = true;
 }
 
@@ -174,22 +225,48 @@ bool ShardedClusterEngine::step() {
   snapshot_control_state();
   begin_epoch();
   schedule_probes(t0, t1);
-  generate_and_route(t0, t1);
 
-  if (ops_emitted_ > 0) {
-    execute_wave();
-    combine_wave0();
-    while (!next_pending_.empty()) {
-      pending_.swap(next_pending_);
-      next_pending_.clear();
-      execute_wave();
-      combine_failover_wave();
+  if (serving() && config_.serving.closed_loop) {
+    // Closed-loop rounds within the epoch: issue every due client
+    // request, run it to completion, and let the completions schedule
+    // the follow-ups (think gaps, shed backoffs) — which may land
+    // before the barrier and start another round. Round boundaries are
+    // global, so results stay byte-identical at any shard count.
+    std::size_t round_lo = 0;
+    for (;;) {
+      issue_scratch_.clear();
+      clients_.collect_due(t1, *zipf_, issue_scratch_);
+      for (const ClientIssue& issue : issue_scratch_) {
+        const std::uint32_t r =
+            push_request(issue.at, issue.key, issue.is_read);
+        req_client_[r] = issue.client;
+      }
+      if (ops_emitted_ == 0) break;
+      run_waves(round_lo);
+      settle_clients(round_lo);
+      round_lo = req_arrival_.size();
     }
+  } else {
+    generate_and_route(t0, t1);
+    if (ops_emitted_ > 0) run_waves(0);
   }
   barrier_control();
   account_epoch_slo();
+  if (serving()) sample_epoch_depth(t1);
   cursor_ = t1;
   return cursor_ < end_;
+}
+
+void ShardedClusterEngine::run_waves(std::size_t first_req) {
+  execute_wave();
+  combine_wave0(first_req);
+  while (!next_pending_.empty()) {
+    pending_.swap(next_pending_);
+    wave_lists_flipped_ = !wave_lists_flipped_;
+    next_pending_.clear();
+    execute_wave();
+    combine_failover_wave();
+  }
 }
 
 EngineReport ShardedClusterEngine::finish() {
@@ -204,6 +281,29 @@ EngineReport ShardedClusterEngine::finish() {
   report.traffic = traffic_;
   report.stats = stats_;
   report.max_node_depth = max_node_depth_;
+  if (serving()) {
+    ServingReport& s = report.serving;
+    for (const auto& server : servers_) {
+      const serving::NodeServerStats& st = server.stats();
+      s.legs_submitted += st.submitted;
+      s.legs_served += st.served;
+      s.legs_failed += st.failed;
+      s.legs_timed_out += st.timed_out;
+      s.legs_shed += st.shed;
+      s.max_queue_depth = std::max(s.max_queue_depth, st.max_depth);
+    }
+    s.shed_requests = shed_requests_;
+    s.timed_out_requests = timed_out_requests_;
+    s.error_requests = error_requests_;
+    s.client_retries = config_.serving.closed_loop ? clients_.retries() : 0;
+    // Shard index order; bucket sums are order-independent anyway.
+    for (const auto& hist : shard_qwait_) qwait_hist_.merge(hist);
+    for (const auto& hist : shard_service_) service_hist_.merge(hist);
+    s.queue_wait_p50_ms = qwait_hist_.quantile(0.50).millis();
+    s.queue_wait_p99_ms = qwait_hist_.quantile(0.99).millis();
+    s.service_p50_ms = service_hist_.quantile(0.50).millis();
+    s.service_p99_ms = service_hist_.quantile(0.99).millis();
+  }
   return report;
 }
 
@@ -239,8 +339,11 @@ void ShardedClusterEngine::begin_epoch() {
   req_ncand_.clear();
   req_nlegs_.clear();
   req_cand_.clear();
+  req_fail_kind_.clear();
+  req_client_.clear();
   leg_ok_.clear();
   leg_complete_.clear();
+  leg_outcome_.clear();
   probe_node_.clear();
   probe_issue_.clear();
   probe_complete_.clear();
@@ -287,36 +390,47 @@ void ShardedClusterEngine::generate_and_route(sim::SimTime t0,
                                   rng_.exponential(mean_gap_s_));
     const std::uint64_t key = zipf_->next(rng_);
     const bool is_read = rng_.bernoulli(config_.traffic.read_fraction);
-
-    const auto r = static_cast<std::uint32_t>(req_arrival_.size());
-    req_arrival_.push_back(arrival);
-    req_lba_.push_back((mix64(key) % config_.balancer.objects) *
-                       config_.balancer.object_sectors);
-    req_is_read_.push_back(is_read ? 1 : 0);
-    req_hedged_.push_back(0);
-    req_ok_.push_back(0);
-    req_complete_.push_back(arrival);
-    req_t_.push_back(arrival);
-    req_attempts_.push_back(0);
-    req_next_cand_.push_back(0);
-    req_ncand_.push_back(0);
-    req_nlegs_.push_back(0);
-    req_cand_.resize(req_cand_.size() + leg_stride_);
-    leg_ok_.resize(leg_ok_.size() + leg_stride_, 0);
-    leg_complete_.resize(leg_complete_.size() + leg_stride_,
-                         sim::SimTime::zero());
-
-    ++traffic_.requests;
-    placement_.replicas(key, replica_scratch_);
-    refill_retry_tokens();
-    if (is_read) {
-      ++traffic_.reads;
-      route_read(r);
-    } else {
-      ++traffic_.writes;
-      route_write(r);
-    }
+    push_request(arrival, key, is_read);
   }
+}
+
+std::uint32_t ShardedClusterEngine::push_request(sim::SimTime arrival,
+                                                std::uint64_t key,
+                                                bool is_read) {
+  const auto r = static_cast<std::uint32_t>(req_arrival_.size());
+  req_arrival_.push_back(arrival);
+  req_lba_.push_back((mix64(key) % config_.balancer.objects) *
+                     config_.balancer.object_sectors);
+  req_is_read_.push_back(is_read ? 1 : 0);
+  req_hedged_.push_back(0);
+  req_ok_.push_back(0);
+  req_complete_.push_back(arrival);
+  req_t_.push_back(arrival);
+  req_attempts_.push_back(0);
+  req_next_cand_.push_back(0);
+  req_ncand_.push_back(0);
+  req_nlegs_.push_back(0);
+  req_cand_.resize(req_cand_.size() + leg_stride_);
+  leg_ok_.resize(leg_ok_.size() + leg_stride_, 0);
+  leg_complete_.resize(leg_complete_.size() + leg_stride_,
+                       sim::SimTime::zero());
+  if (serving()) {
+    req_fail_kind_.push_back(0);
+    req_client_.push_back(0);
+    leg_outcome_.resize(leg_outcome_.size() + leg_stride_, 0);
+  }
+
+  ++traffic_.requests;
+  placement_.replicas(key, replica_scratch_);
+  refill_retry_tokens();
+  if (is_read) {
+    ++traffic_.reads;
+    route_read(r);
+  } else {
+    ++traffic_.writes;
+    route_write(r);
+  }
+  return r;
 }
 
 void ShardedClusterEngine::route_read(std::uint32_t r) {
@@ -419,6 +533,42 @@ void ShardedClusterEngine::execute_nodes(std::size_t node_lo,
     }
     storage::BlockDevice& device = *devices_[node];
     core::AttackDetector& detector = detectors_[node];
+    if (serving()) {
+      // Serving pipeline: legs are submitted in canonical order and the
+      // queue drains them through admission/deadline/device; the
+      // listener (serve_sink) fills the leg arrays and detector as each
+      // completes. Probes still bypass the queue — a health check must
+      // not skew the serving stats, and must not be shed by overload.
+      serving::NodeServer& server = servers_[node];
+      for (const Op& op : ops) {
+        if (op.kind == kProbe) {
+          const storage::BlockIo io =
+              device.read(op.issue, 0, config_.balancer.probe_sectors,
+                          read_buf.first(probe_bytes));
+          probe_ok_[op.req] = io.ok() ? 1 : 0;
+          probe_complete_[op.req] = io.complete;
+          frontier = sim::max(frontier, io.complete);
+          continue;
+        }
+        const std::uint64_t slot =
+            static_cast<std::uint64_t>(op.req) * leg_stride_ + op.leg;
+        if (op.kind == kWrite) {
+          ++node_writes_[node];
+          server.submit(op.issue, storage::DiskOpKind::kWrite,
+                        req_lba_[op.req], config_.balancer.object_sectors,
+                        write_buf_, {}, deadline_of(op.req), slot);
+        } else {
+          ++node_reads_[node];
+          server.submit(op.issue, storage::DiskOpKind::kRead,
+                        req_lba_[op.req], config_.balancer.object_sectors, {},
+                        read_buf.first(object_bytes), deadline_of(op.req),
+                        slot);
+        }
+      }
+      frontier = sim::max(frontier, server.drain());
+      ops.clear();
+      continue;
+    }
     for (const Op& op : ops) {
       storage::BlockIo io;
       if (op.kind == kWrite) {
@@ -458,6 +608,76 @@ void ShardedClusterEngine::execute_nodes(std::size_t node_lo,
   shard_frontier_[shard_slot] = frontier;
 }
 
+void ShardedClusterEngine::serve_sink(void* listener,
+                                      const serving::ServeResult& result) {
+  const auto* ctx = static_cast<const NodeListener*>(listener);
+  ctx->engine->record_serving_result(ctx->node, result);
+}
+
+void ShardedClusterEngine::record_serving_result(
+    NodeId node, const serving::ServeResult& result) {
+  // Runs on the shard that owns `node` during its drain: every array it
+  // touches (leg slots of this node's ops, detector, shard histograms)
+  // is owner-exclusive, and the merge order downstream is fixed.
+  const auto slot = static_cast<std::size_t>(result.tag);
+  leg_ok_[slot] = result.outcome == OutcomeKind::kServed ? 1 : 0;
+  leg_complete_[slot] = result.complete;
+  leg_outcome_[slot] = static_cast<std::uint8_t>(result.outcome);
+  const std::size_t shard = node / nodes_per_shard_;
+  switch (result.outcome) {
+    case OutcomeKind::kServed:
+      // The detector watches the drive, so feed it device service time
+      // (start -> complete), the same signal immediate mode feeds —
+      // drain decisions must not shift just because queueing is modeled.
+      detectors_[node].record_ok(
+          result.complete, (result.complete - result.service_start).seconds());
+      shard_qwait_[shard].add(result.service_start - result.arrival);
+      shard_service_[shard].add(result.complete - result.service_start);
+      break;
+    case OutcomeKind::kFailed:
+      detectors_[node].record_error(result.complete);
+      ++node_errors_[node];
+      shard_qwait_[shard].add(result.service_start - result.arrival);
+      shard_service_[shard].add(result.complete - result.service_start);
+      break;
+    case OutcomeKind::kTimedOut:
+      // Spent its whole life in line: all queue wait, no service.
+      shard_qwait_[shard].add(result.complete - result.arrival);
+      break;
+    case OutcomeKind::kShed:
+      break;
+  }
+}
+
+void ShardedClusterEngine::note_fail_kind(std::uint32_t r,
+                                          std::uint8_t slot_outcome) {
+  // OutcomeKind values are ordered by classification priority
+  // (shed > timed out > failed), so "dominant cause" is just max.
+  if (slot_outcome > req_fail_kind_[r]) req_fail_kind_[r] = slot_outcome;
+}
+
+OutcomeKind ShardedClusterEngine::request_outcome(std::uint32_t r) const {
+  if (req_ok_[r] != 0) return OutcomeKind::kServed;
+  const std::uint8_t kind = req_fail_kind_[r];
+  return kind == 0 ? OutcomeKind::kFailed : static_cast<OutcomeKind>(kind);
+}
+
+void ShardedClusterEngine::settle_clients(std::size_t first_req) {
+  const std::size_t nreq = req_arrival_.size();
+  for (std::size_t r = first_req; r < nreq; ++r) {
+    clients_.complete(req_client_[r], req_complete_[r],
+                      request_outcome(static_cast<std::uint32_t>(r)));
+  }
+}
+
+void ShardedClusterEngine::sample_epoch_depth(sim::SimTime t1) {
+  std::uint64_t depth = 0;
+  for (auto& server : servers_) {
+    depth = std::max(depth, server.take_epoch_max_depth());
+  }
+  depth_timeline_.push_back(DepthSample{t1, depth});
+}
+
 void ShardedClusterEngine::fail_read(std::uint32_t r) {
   ++stats_.failed_reads;
   req_ok_[r] = 0;
@@ -482,9 +702,11 @@ void ShardedClusterEngine::try_emit_failover(std::uint32_t r) {
   next_pending_.push_back(r);
 }
 
-void ShardedClusterEngine::combine_wave0() {
+void ShardedClusterEngine::combine_wave0(std::size_t first_req) {
   const std::size_t nreq = req_arrival_.size();
-  for (std::uint32_t r = 0; r < nreq; ++r) {
+  const bool classify = serving();
+  for (std::uint32_t r = static_cast<std::uint32_t>(first_req); r < nreq;
+       ++r) {
     if (!req_is_read_[r]) {
       combine_write(r);
       continue;
@@ -507,6 +729,12 @@ void ShardedClusterEngine::combine_wave0() {
       if ((k0 && c0 > deadline) || (k1 && c1 > deadline)) {
         ++stats_.deadline_misses;
       }
+      if (classify) {
+        note_fail_kind(r, k0 ? static_cast<std::uint8_t>(OutcomeKind::kTimedOut)
+                             : leg_outcome_[base]);
+        note_fail_kind(r, k1 ? static_cast<std::uint8_t>(OutcomeKind::kTimedOut)
+                             : leg_outcome_[base + 1]);
+      }
       // Both hedge legs failed: fail over from the third replica,
       // starting when the earlier leg reported.
       req_t_[r] = sim::min(c0, c1);
@@ -521,8 +749,12 @@ void ShardedClusterEngine::combine_wave0() {
     } else if (k0) {
       // The data arrived late; any retry would start later still.
       ++stats_.deadline_misses;
+      if (classify) {
+        note_fail_kind(r, static_cast<std::uint8_t>(OutcomeKind::kTimedOut));
+      }
       fail_read(r);
     } else {
+      if (classify) note_fail_kind(r, leg_outcome_[base]);
       req_t_[r] = c0;
       try_emit_failover(r);
     }
@@ -530,6 +762,7 @@ void ShardedClusterEngine::combine_wave0() {
 }
 
 void ShardedClusterEngine::combine_failover_wave() {
+  const bool classify = serving();
   for (const std::uint32_t r : pending_) {
     const sim::SimTime deadline = deadline_of(r);
     const std::size_t base = static_cast<std::size_t>(r) * leg_stride_;
@@ -541,8 +774,12 @@ void ShardedClusterEngine::combine_failover_wave() {
       if (req_attempts_[r] > 1) ++stats_.read_failovers;
     } else if (ok) {
       ++stats_.deadline_misses;
+      if (classify) {
+        note_fail_kind(r, static_cast<std::uint8_t>(OutcomeKind::kTimedOut));
+      }
       fail_read(r);
     } else {
+      if (classify) note_fail_kind(r, leg_outcome_[base]);
       req_t_[r] = complete;
       try_emit_failover(r);
     }
@@ -555,6 +792,7 @@ void ShardedClusterEngine::combine_write(std::uint32_t r) {
   std::vector<sim::SimTime>& acks = ack_scratch_;
   acks.clear();
   sim::SimTime latest = req_arrival_[r];
+  const bool classify = serving();
   for (std::uint16_t leg = 0; leg < req_nlegs_[r]; ++leg) {
     const bool ok = leg_ok_[base + leg] != 0;
     const sim::SimTime complete = leg_complete_[base + leg];
@@ -562,6 +800,11 @@ void ShardedClusterEngine::combine_write(std::uint32_t r) {
       acks.push_back(complete);
     } else if (ok) {
       ++stats_.deadline_misses;
+      if (classify) {
+        note_fail_kind(r, static_cast<std::uint8_t>(OutcomeKind::kTimedOut));
+      }
+    } else if (classify) {
+      note_fail_kind(r, leg_outcome_[base + leg]);
     }
     latest = sim::max(latest, sim::min(complete, deadline));
   }
@@ -613,11 +856,27 @@ void ShardedClusterEngine::barrier_control() {
 
 void ShardedClusterEngine::account_epoch_slo() {
   const std::size_t nreq = req_arrival_.size();
+  if (!serving()) {
+    for (std::size_t r = 0; r < nreq; ++r) {
+      if (req_ok_[r] != 0) {
+        slo_->record_success(req_arrival_[r],
+                             req_complete_[r] - req_arrival_[r]);
+      } else {
+        slo_->record_failure(req_arrival_[r]);
+      }
+    }
+    return;
+  }
   for (std::size_t r = 0; r < nreq; ++r) {
-    if (req_ok_[r] != 0) {
-      slo_->record_success(req_arrival_[r], req_complete_[r] - req_arrival_[r]);
-    } else {
-      slo_->record_failure(req_arrival_[r]);
+    const OutcomeKind outcome =
+        request_outcome(static_cast<std::uint32_t>(r));
+    slo_->record_outcome(req_arrival_[r], outcome,
+                         req_complete_[r] - req_arrival_[r]);
+    switch (outcome) {
+      case OutcomeKind::kServed: break;
+      case OutcomeKind::kFailed: ++error_requests_; break;
+      case OutcomeKind::kTimedOut: ++timed_out_requests_; break;
+      case OutcomeKind::kShed: ++shed_requests_; break;
     }
   }
 }

@@ -29,19 +29,76 @@
 // quorum, detector-driven drain and probe/readmit — evaluated against
 // the epoch-start snapshot instead of per-request, which is the (small,
 // deliberate) fidelity trade that buys the parallelism.
+//
+// Serving mode (EngineConfig::serving.enabled) swaps the per-node op
+// execution from immediate dispatch to a NodeServer pipeline: every
+// non-probe leg goes through a bounded FIFO queue with admission
+// control and per-request deadlines in front of the device, with
+// completions scheduled on a per-node event queue. Backlog
+// (busy_until_) persists across waves and epochs, so head-of-line
+// blocking during an attack is visible as queue wait. Traffic can run
+// closed-loop: a fixed client population issues, waits, thinks, and
+// retries shed requests with backoff — offered load sags under
+// overload instead of silently dropping. Probes bypass the queue
+// (health checks must not skew serving stats, matching the Balancer).
+// Everything else — epoch barriers, wave structure, SoA arenas,
+// byte-identical results at any DEEPNOTE_JOBS — is unchanged, and the
+// immediate path remains the reference composition.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
 
 #include "cluster/balancer.h"
+#include "cluster/serving/node_server.h"
 #include "cluster/slo.h"
 #include "cluster/traffic.h"
 #include "sim/task_pool.h"
 
 namespace deepnote::cluster {
+
+/// Knobs for the serving op-execution mode. Defaults are off: the
+/// engine behaves exactly as the immediate-dispatch reference.
+struct ServingModeConfig {
+  bool enabled = false;
+  /// Per-node queue limit and shed policy.
+  serving::ServerConfig server;
+  /// Closed-loop arrivals: a fixed client population (think mean =
+  /// clients / arrival_rate) instead of the merged open-loop stream.
+  /// Off, the open-loop generator is reused verbatim — same RNG stream,
+  /// same arrivals as immediate mode.
+  bool closed_loop = true;
+  std::size_t clients = 64;
+  /// Backoff before a shed request is re-issued (linear in attempts).
+  sim::Duration shed_backoff = sim::Duration::from_millis(5.0);
+  std::uint32_t max_shed_retries = 3;
+};
+
+/// Serving-mode telemetry: per-leg terminal states from the node
+/// pipelines, request-level failure classification, the queue-wait vs.
+/// service-time latency decomposition, and retry-storm counters.
+struct ServingReport {
+  std::uint64_t legs_submitted = 0;
+  std::uint64_t legs_served = 0;
+  std::uint64_t legs_failed = 0;
+  std::uint64_t legs_timed_out = 0;
+  std::uint64_t legs_shed = 0;
+  /// Failed requests classified by dominant cause (shed > timeout >
+  /// device error; a shed leg anywhere in the request marks it shed).
+  std::uint64_t shed_requests = 0;
+  std::uint64_t timed_out_requests = 0;
+  std::uint64_t error_requests = 0;
+  /// Closed-loop shed re-issues (0 in open-loop serving).
+  std::uint64_t client_retries = 0;
+  std::uint64_t max_queue_depth = 0;
+  double queue_wait_p50_ms = 0.0;
+  double queue_wait_p99_ms = 0.0;
+  double service_p50_ms = 0.0;
+  double service_p99_ms = 0.0;
+};
 
 struct EngineConfig {
   /// Routing/quorum/probe knobs; shares the Balancer's config type so
@@ -68,6 +125,8 @@ struct EngineConfig {
   /// table costs one O(n) build; benches reuse it between iterations).
   /// Must match traffic.keyspace / traffic.zipf_theta when set.
   std::shared_ptr<const ZipfAliasSampler> zipf;
+  /// Async serving front-end (queueing, admission, closed-loop clients).
+  ServingModeConfig serving;
 };
 
 struct EngineReport {
@@ -75,6 +134,8 @@ struct EngineReport {
   BalancerStats stats;
   /// Deepest per-node op queue seen in any epoch (load-skew telemetry).
   std::uint64_t max_node_depth = 0;
+  /// Populated only in serving mode.
+  ServingReport serving;
 };
 
 class ShardedClusterEngine {
@@ -112,6 +173,24 @@ class ShardedClusterEngine {
     return detectors_[id];
   }
 
+  /// One queue-depth sample per epoch: the max depth any node's serving
+  /// queue reached during it (empty outside serving mode).
+  struct DepthSample {
+    sim::SimTime at = sim::SimTime::zero();  ///< epoch end
+    std::uint64_t depth = 0;
+  };
+  const std::vector<DepthSample>& depth_timeline() const {
+    return depth_timeline_;
+  }
+  /// Merged serving histograms; valid after finish().
+  const sim::LatencyHistogram& queue_wait_histogram() const {
+    return qwait_hist_;
+  }
+  const sim::LatencyHistogram& service_histogram() const {
+    return service_hist_;
+  }
+  const serving::NodeServer& server(NodeId id) const { return servers_[id]; }
+
  private:
   struct Op {
     sim::SimTime issue;
@@ -127,12 +206,15 @@ class ShardedClusterEngine {
   sim::SimTime deadline_of(std::uint32_t r) const;
   bool spend_retry_token();
   void refill_retry_tokens();
+  bool serving() const { return config_.serving.enabled; }
 
   void fire_actions_due(sim::SimTime now);
   void snapshot_control_state();
   void begin_epoch();
   void schedule_probes(sim::SimTime t0, sim::SimTime t1);
   void generate_and_route(sim::SimTime t0, sim::SimTime t1);
+  std::uint32_t push_request(sim::SimTime arrival, std::uint64_t key,
+                             bool is_read);
   void route_read(std::uint32_t r);
   void route_write(std::uint32_t r);
   void emit(NodeId node, std::uint8_t kind, std::uint32_t req,
@@ -141,13 +223,22 @@ class ShardedClusterEngine {
   void execute_wave();
   void execute_nodes(std::size_t node_lo, std::size_t node_hi,
                      std::size_t shard_slot);
-  void combine_wave0();
+  void run_waves(std::size_t first_req);
+  void combine_wave0(std::size_t first_req);
   void combine_failover_wave();
   void try_emit_failover(std::uint32_t r);
   void fail_read(std::uint32_t r);
   void combine_write(std::uint32_t r);
   void barrier_control();
   void account_epoch_slo();
+
+  // --- serving mode -----------------------------------------------------
+  static void serve_sink(void* listener, const serving::ServeResult& result);
+  void record_serving_result(NodeId node, const serving::ServeResult& result);
+  void note_fail_kind(std::uint32_t r, std::uint8_t slot_outcome);
+  OutcomeKind request_outcome(std::uint32_t r) const;
+  void settle_clients(std::size_t first_req);
+  void sample_epoch_depth(sim::SimTime t1);
 
   // --- construction-time state ------------------------------------------
   ClusterTopology topology_;
@@ -176,6 +267,14 @@ class ShardedClusterEngine {
   std::vector<std::uint64_t> node_errors_;
   std::vector<std::uint32_t> node_depth_;  ///< ops queued this epoch
   std::vector<std::vector<Op>> node_ops_;  ///< per-node wave queues
+  /// Serving mode only: one queued pipeline per node (deque — servers
+  /// are immovable), plus a stable (engine, node) listener context each.
+  struct NodeListener {
+    ShardedClusterEngine* engine = nullptr;
+    NodeId node = 0;
+  };
+  std::deque<serving::NodeServer> servers_;
+  std::vector<NodeListener> listeners_;
 
   // --- per-epoch request/completion arenas (reused, never shrunk) -------
   std::vector<sim::SimTime> req_arrival_;
@@ -190,14 +289,18 @@ class ShardedClusterEngine {
   std::vector<std::uint16_t> req_ncand_;   ///< ranked candidates (reads)
   std::vector<std::uint16_t> req_nlegs_;   ///< emitted legs (writes)
   std::vector<NodeId> req_cand_;           ///< leg_stride_ per request
+  std::vector<std::uint8_t> req_fail_kind_;  ///< OutcomeKind; serving mode
+  std::vector<std::uint32_t> req_client_;    ///< closed-loop issuer
   std::vector<std::uint8_t> leg_ok_;       ///< leg_stride_ per request
   std::vector<sim::SimTime> leg_complete_;
+  std::vector<std::uint8_t> leg_outcome_;  ///< OutcomeKind; serving mode
   std::vector<NodeId> probe_node_;
   std::vector<sim::SimTime> probe_issue_;
   std::vector<sim::SimTime> probe_complete_;
   std::vector<std::uint8_t> probe_ok_;
   std::vector<std::uint32_t> pending_;       ///< reads awaiting this wave
   std::vector<std::uint32_t> next_pending_;  ///< reads emitted for next wave
+  bool wave_lists_flipped_ = false;  ///< parity of pending_ role swaps
   std::vector<NodeId> replica_scratch_;
   std::vector<sim::SimTime> ack_scratch_;
   std::vector<std::vector<std::byte>> shard_read_buf_;  ///< one per shard
@@ -221,6 +324,19 @@ class ShardedClusterEngine {
   BalancerStats stats_;
   TrafficReport traffic_;
   std::uint64_t max_node_depth_ = 0;
+
+  // --- serving-mode run state -------------------------------------------
+  ClosedLoopPopulation clients_;
+  std::vector<ClientIssue> issue_scratch_;
+  /// Owner-exclusive: a shard's listener callbacks only touch its slot.
+  std::vector<sim::LatencyHistogram> shard_qwait_;
+  std::vector<sim::LatencyHistogram> shard_service_;
+  sim::LatencyHistogram qwait_hist_;    ///< merged at finish()
+  sim::LatencyHistogram service_hist_;  ///< merged at finish()
+  std::vector<DepthSample> depth_timeline_;
+  std::uint64_t shed_requests_ = 0;
+  std::uint64_t timed_out_requests_ = 0;
+  std::uint64_t error_requests_ = 0;
 };
 
 }  // namespace deepnote::cluster

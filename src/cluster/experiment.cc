@@ -32,7 +32,11 @@ struct CellSetup {
   SloTracker slo;
   std::vector<TimelineAction> actions;
 
-  CellSetup(const ClusterExperimentConfig& config, PlacementPolicy policy,
+  /// Works for both experiment config types (they share the relevant
+  /// field names: topology/scenario, balancer/traffic, the attack shape
+  /// and the warmup/attack/cooldown timeline).
+  template <typename ConfigT>
+  CellSetup(const ConfigT& config, PlacementPolicy policy,
             std::optional<double> distance_m, std::uint64_t cell_seed)
       : cluster(make_cluster_config(config, cell_seed)),
         balancer(config.balancer),
@@ -65,8 +69,9 @@ struct CellSetup {
     }
   }
 
+  template <typename ConfigT>
   static ClusterConfig make_cluster_config(
-      const ClusterExperimentConfig& config, std::uint64_t cell_seed) {
+      const ConfigT& config, std::uint64_t cell_seed) {
     ClusterConfig cluster_config;
     cluster_config.scenario = config.scenario;
     cluster_config.topology = config.topology;
@@ -156,6 +161,152 @@ std::vector<ClusterTrialRow> run_cluster_experiment(
         return run_cluster_cell(config, grid[i].policy, grid[i].distance_m,
                                 sim::trial_seed(config.seed, i), zipf);
       });
+}
+
+ServingExperimentConfig serving_experiment_config(double scale) {
+  ServingExperimentConfig config;
+  // Same offered rate as the availability experiment; the closed-loop
+  // population converts it into a think mean (clients / rate), so the
+  // no-load arrival process matches and every deviation under attack is
+  // backpressure signal.
+  config.traffic.arrival_rate_per_s = 400.0;
+  config.warmup = sim::Duration::from_seconds(10.0 * scale);
+  config.attack_window = sim::Duration::from_seconds(40.0 * scale);
+  config.cooldown = sim::Duration::from_seconds(10.0 * scale);
+  return config;
+}
+
+ServingTrialRow run_serving_cell(const ServingExperimentConfig& config,
+                                 std::size_t queue_limit,
+                                 serving::AdmissionPolicy admission,
+                                 std::optional<double> distance_m,
+                                 std::uint64_t cell_seed,
+                                 std::shared_ptr<const ZipfAliasSampler> zipf,
+                                 unsigned engine_jobs) {
+  CellSetup cell(config, config.policy, distance_m, cell_seed);
+
+  EngineConfig engine_config;
+  engine_config.balancer = cell.balancer;
+  engine_config.traffic = cell.traffic;
+  engine_config.detector = cell.cluster.config().detector;
+  engine_config.jobs = engine_jobs;
+  engine_config.zipf = std::move(zipf);
+  engine_config.serving = config.serving;
+  engine_config.serving.enabled = true;
+  engine_config.serving.server.queue_limit = queue_limit;
+  engine_config.serving.server.admission = admission;
+  ShardedClusterEngine engine(cell.cluster.topology(),
+                              cell.cluster.device_pointers(),
+                              std::move(engine_config));
+
+  const EngineReport report = engine.run(sim::SimTime::zero(), cell.slo,
+                                         std::move(cell.actions));
+
+  const sim::SimTime attack_on = sim::SimTime::zero() + config.warmup;
+  const sim::SimTime attack_off = attack_on + config.attack_window;
+
+  ServingTrialRow row;
+  row.queue_limit = queue_limit;
+  row.admission = admission;
+  row.distance_m = distance_m;
+  row.requests = report.traffic.requests;
+  row.availability = cell.slo.availability();
+  row.attack_availability = cell.slo.focus_availability();
+  row.p50_ms = cell.slo.p50().millis();
+  row.p99_ms = cell.slo.p99().millis();
+  row.queue_wait_p99_ms = report.serving.queue_wait_p99_ms;
+  row.service_p99_ms = report.serving.service_p99_ms;
+  row.shed_requests = report.serving.shed_requests;
+  row.timed_out_requests = report.serving.timed_out_requests;
+  row.legs_shed = report.serving.legs_shed;
+  row.legs_timed_out = report.serving.legs_timed_out;
+  row.attack_shed = cell.slo.focus_outcome_count(OutcomeKind::kShed);
+  row.attack_timed_out = cell.slo.focus_outcome_count(OutcomeKind::kTimedOut);
+  row.client_retries = report.serving.client_retries;
+  row.max_queue_depth = report.serving.max_queue_depth;
+  for (const ShardedClusterEngine::DepthSample& sample :
+       engine.depth_timeline()) {
+    // Epochs are clamped to the attack boundaries, so the window's
+    // samples are exactly those ending in (on, off].
+    if (sample.at > attack_on && sample.at <= attack_off) {
+      row.attack_max_queue_depth =
+          std::max(row.attack_max_queue_depth, sample.depth);
+    }
+  }
+  row.read_failovers = report.stats.read_failovers;
+  row.drains = report.stats.drains;
+  return row;
+}
+
+std::vector<ServingTrialRow> run_serving_experiment(
+    const ServingExperimentConfig& config) {
+  struct Cell {
+    std::size_t queue_limit;
+    serving::AdmissionPolicy admission;
+    std::optional<double> distance_m;
+  };
+  std::vector<Cell> grid;
+  grid.reserve(config.queue_limits.size() * config.admissions.size() *
+               config.distances_m.size());
+  for (const std::size_t queue_limit : config.queue_limits) {
+    for (const serving::AdmissionPolicy admission : config.admissions) {
+      for (const auto& distance : config.distances_m) {
+        grid.push_back({queue_limit, admission, distance});
+      }
+    }
+  }
+  const auto zipf = std::make_shared<const ZipfAliasSampler>(
+      config.traffic.keyspace, config.traffic.zipf_theta);
+  return sim::run_trials<ServingTrialRow>(
+      grid.size(), config.jobs, [&](std::size_t i) {
+        return run_serving_cell(config, grid[i].queue_limit,
+                                grid[i].admission, grid[i].distance_m,
+                                sim::trial_seed(config.seed, i), zipf);
+      });
+}
+
+sim::Table build_cluster_serving_table(
+    const ServingExperimentConfig& config,
+    const std::vector<ServingTrialRow>& rows) {
+  sim::Table table(
+      "Serving behavior under a single-pod " +
+      sim::format_fixed(config.frequency_hz, 0) + " Hz / " +
+      sim::format_fixed(config.spl_air_db, 0) + " dB attack (" +
+      std::to_string(config.topology.pods) + " pods x " +
+      std::to_string(config.topology.bays_per_pod) + " bays, " +
+      placement_name(config.policy) + " R=" +
+      std::to_string(config.replication) + ", closed loop)");
+  table.set_columns({"Queue", "Admission", "Distance (cm)", "Avail %",
+                     "Attack avail %", "p50 ms", "p99 ms", "QWait p99 ms",
+                     "Svc p99 ms", "Shed", "Timed out", "Shed legs",
+                     "T/o legs", "Retries", "Max depth", "Atk depth",
+                     "Failovers", "Drains"});
+  for (const ServingTrialRow& row : rows) {
+    table.row()
+        .cell(static_cast<std::int64_t>(row.queue_limit))
+        .cell(serving::admission_name(row.admission));
+    if (row.distance_m.has_value()) {
+      table.cell(*row.distance_m * 100.0, 0);
+    } else {
+      table.dash();
+    }
+    table.cell(row.availability * 100.0, 3)
+        .cell(row.attack_availability * 100.0, 3)
+        .cell(row.p50_ms, 2)
+        .cell(row.p99_ms, 2)
+        .cell(row.queue_wait_p99_ms, 2)
+        .cell(row.service_p99_ms, 2)
+        .cell(static_cast<std::int64_t>(row.shed_requests))
+        .cell(static_cast<std::int64_t>(row.timed_out_requests))
+        .cell(static_cast<std::int64_t>(row.legs_shed))
+        .cell(static_cast<std::int64_t>(row.legs_timed_out))
+        .cell(static_cast<std::int64_t>(row.client_retries))
+        .cell(static_cast<std::int64_t>(row.max_queue_depth))
+        .cell(static_cast<std::int64_t>(row.attack_max_queue_depth))
+        .cell(static_cast<std::int64_t>(row.read_failovers))
+        .cell(static_cast<std::int64_t>(row.drains));
+  }
+  return table;
 }
 
 sim::Table build_cluster_availability_table(

@@ -97,7 +97,6 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
   if (topo.pods == 0 || topo.bays_per_pod == 0) {
     throw std::invalid_argument("cluster: empty topology");
   }
-  nodes_.reserve(topo.nodes());
   for (std::size_t pod = 0; pod < topo.pods; ++pod) {
     core::RackConfig rack;
     rack.scenario = config_.scenario;

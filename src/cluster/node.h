@@ -44,12 +44,14 @@ class ClusterNode {
               storage::BlockDevice& device,
               core::DetectorConfig detector = {});
 
+  // Pinned: the device reference and the detector's identity make a
+  // moved-from node a landmine (a vector reallocation would silently
+  // route I/O through dead state), so nodes live in containers with
+  // stable addresses (Cluster uses a deque) instead of being movable.
   ClusterNode(const ClusterNode&) = delete;
   ClusterNode& operator=(const ClusterNode&) = delete;
-  /// Move-constructible so a Cluster can hold its nodes in one flat
-  /// vector (reserved up front; never reallocated) instead of a
-  /// unique_ptr per node.
-  ClusterNode(ClusterNode&&) = default;
+  ClusterNode(ClusterNode&&) = delete;
+  ClusterNode& operator=(ClusterNode&&) = delete;
 
   NodeId id() const { return id_; }
   std::size_t pod() const { return pod_; }
@@ -133,11 +135,12 @@ class Cluster {
 
  private:
   ClusterConfig config_;
-  // Flat storage: pods in a deque (stable addresses, no per-pod heap
-  // indirection), nodes in one contiguous vector indexed by NodeId — the
-  // hot per-request lookups walk an array, not a pointer table.
+  // Deques, not vectors: both types are immovable (nodes hold device
+  // references, pods own acoustic state), and deque::emplace_back never
+  // relocates existing elements. Hot per-request paths route over
+  // node_pointers()/device_pointers() arrays, not through these.
   std::deque<core::RackTestbed> pods_;
-  std::vector<ClusterNode> nodes_;
+  std::deque<ClusterNode> nodes_;
 };
 
 }  // namespace deepnote::cluster

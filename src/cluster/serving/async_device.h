@@ -1,0 +1,69 @@
+// Async submit/complete facade over the synchronous virtual-time
+// BlockDevice interface.
+//
+// The block-device layer is call/return: an operation takes the caller's
+// SimTime and reports its completion time. A serving front-end wants the
+// opposite shape — submit now, get called back when the device is done —
+// so overlapping in-flight requests, queue growth, and cancellation
+// become expressible. This adapter bridges the two: submit() executes
+// the device command at its virtual start time (the device model advances
+// its own mechanical state) and schedules the completion callback on an
+// event queue at the command's completion time. Everything in between is
+// queue time the caller can observe.
+//
+// Completion callbacks are function pointer + context (not std::function)
+// and the scheduled closure fits EventFn's inline buffer, so a warm
+// submit/complete cycle performs zero heap allocations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sim/event_queue.h"
+#include "storage/block_device.h"
+
+namespace deepnote::cluster::serving {
+
+class AsyncBlockDevice {
+ public:
+  /// Called at the command's virtual completion time. `token` is the
+  /// submitter's request handle, passed through untouched.
+  using Completion = void (*)(void* ctx, std::uint32_t token,
+                              storage::BlockIo io);
+
+  /// Does not own either; both must outlive the adapter.
+  AsyncBlockDevice(storage::BlockDevice& device, sim::EventQueue& events)
+      : device_(device), events_(events) {}
+
+  AsyncBlockDevice(const AsyncBlockDevice&) = delete;
+  AsyncBlockDevice& operator=(const AsyncBlockDevice&) = delete;
+
+  storage::BlockDevice& device() { return device_; }
+
+  /// Start a command at `start` and schedule `fn(ctx, token, io)` at its
+  /// completion time. Reads fill `out`; writes take `in`.
+  void submit(storage::DiskOpKind kind, sim::SimTime start, std::uint64_t lba,
+              std::uint32_t sector_count, std::span<const std::byte> in,
+              std::span<std::byte> out, void* ctx, std::uint32_t token,
+              Completion fn) {
+    storage::BlockIo io;
+    switch (kind) {
+      case storage::DiskOpKind::kRead:
+        io = device_.read(start, lba, sector_count, out);
+        break;
+      case storage::DiskOpKind::kWrite:
+        io = device_.write(start, lba, sector_count, in);
+        break;
+      case storage::DiskOpKind::kFlush:
+        io = device_.flush(start);
+        break;
+    }
+    events_.schedule(io.complete, [ctx, token, io, fn] { fn(ctx, token, io); });
+  }
+
+ private:
+  storage::BlockDevice& device_;
+  sim::EventQueue& events_;
+};
+
+}  // namespace deepnote::cluster::serving

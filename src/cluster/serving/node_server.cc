@@ -1,0 +1,178 @@
+#include "cluster/serving/node_server.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace deepnote::cluster::serving {
+
+const char* admission_name(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kRejectNew: return "reject-new";
+    case AdmissionPolicy::kDropOldest: return "drop-oldest";
+  }
+  return "?";
+}
+
+NodeServer::NodeServer(storage::BlockDevice& device, ServerConfig config)
+    : device_(device), config_(config), async_(device_, events_) {
+  if (config_.queue_limit == 0) {
+    throw std::invalid_argument("node server: queue limit must be positive");
+  }
+  wait_.assign(config_.queue_limit, 0);
+}
+
+void NodeServer::set_listener(void* listener, CompletionSink sink) {
+  listener_ = listener;
+  sink_ = sink;
+}
+
+void NodeServer::reset() {
+  // drain() leaves the queue empty, but a caller abandoning a run
+  // mid-flight must not leak pending events into the next one.
+  while (!events_.empty()) (void)events_.pop();
+  free_.resize(ctxs_.size());
+  for (std::uint32_t i = 0; i < free_.size(); ++i) free_[i] = i;
+  wait_head_ = 0;
+  waiting_ = 0;
+  in_service_ = false;
+  service_start_ = sim::SimTime::zero();
+  busy_until_ = sim::SimTime::zero();
+  frontier_ = sim::SimTime::zero();
+  epoch_max_depth_ = 0;
+  stats_ = {};
+}
+
+std::uint32_t NodeServer::acquire_ctx() {
+  if (free_.empty()) {
+    ctxs_.emplace_back();
+    return static_cast<std::uint32_t>(ctxs_.size() - 1);
+  }
+  const std::uint32_t idx = free_.back();
+  free_.pop_back();
+  return idx;
+}
+
+void NodeServer::release_ctx(std::uint32_t idx) { free_.push_back(idx); }
+
+void NodeServer::submit(sim::SimTime arrival, storage::DiskOpKind kind,
+                        std::uint64_t lba, std::uint32_t sector_count,
+                        std::span<const std::byte> in,
+                        std::span<std::byte> out, sim::SimTime deadline,
+                        std::uint64_t tag) {
+  const std::uint32_t idx = acquire_ctx();
+  Ctx& ctx = ctxs_[idx];
+  ctx.tag = tag;
+  ctx.lba = lba;
+  ctx.arrival = arrival;
+  ctx.deadline = deadline;
+  ctx.in = in.data();
+  ctx.in_size = in.size();
+  ctx.out = out.data();
+  ctx.out_size = out.size();
+  ctx.sector_count = sector_count;
+  ctx.kind = kind;
+  // Admission runs inside the event so arrivals and completions are
+  // processed in one merged virtual-time order regardless of the order
+  // and batching of submit() calls.
+  events_.schedule(arrival, [this, idx] { on_arrival(idx); });
+}
+
+void NodeServer::note_depth() {
+  const std::uint64_t d = depth();
+  stats_.max_depth = std::max(stats_.max_depth, d);
+  epoch_max_depth_ = std::max(epoch_max_depth_, d);
+}
+
+void NodeServer::on_arrival(std::uint32_t idx) {
+  const sim::SimTime now = ctxs_[idx].arrival;
+  ++stats_.submitted;
+  if (depth() >= config_.queue_limit) {
+    if (config_.admission == AdmissionPolicy::kDropOldest && waiting_ > 0) {
+      // Evict the head of the line: the newcomer is the request the
+      // client still cares most about.
+      const std::uint32_t oldest = wait_[wait_head_];
+      wait_head_ = (wait_head_ + 1) % wait_.size();
+      --waiting_;
+      finish(oldest, OutcomeKind::kShed, now, now);
+    } else {
+      finish(idx, OutcomeKind::kShed, now, now);
+      return;
+    }
+  }
+  wait_[(wait_head_ + waiting_) % wait_.size()] = idx;
+  ++waiting_;
+  note_depth();
+  if (!in_service_) start_next(now);
+}
+
+void NodeServer::start_next(sim::SimTime now) {
+  while (waiting_ > 0) {
+    const std::uint32_t idx = wait_[wait_head_];
+    wait_head_ = (wait_head_ + 1) % wait_.size();
+    --waiting_;
+    Ctx& ctx = ctxs_[idx];
+    const sim::SimTime start = sim::max(now, busy_until_);
+    if (start >= ctx.deadline) {
+      // The client gave up while this request waited; don't burn drive
+      // time serving a response nobody is listening for.
+      finish(idx, OutcomeKind::kTimedOut, ctx.deadline, ctx.deadline);
+      continue;
+    }
+    in_service_ = true;
+    service_start_ = start;
+    async_.submit(ctx.kind, start, ctx.lba, ctx.sector_count,
+                  std::span<const std::byte>(ctx.in, ctx.in_size),
+                  std::span<std::byte>(ctx.out, ctx.out_size), this, idx,
+                  &NodeServer::on_device_complete);
+    return;
+  }
+}
+
+void NodeServer::on_device_complete(void* self, std::uint32_t idx,
+                                    storage::BlockIo io) {
+  auto* server = static_cast<NodeServer*>(self);
+  server->in_service_ = false;
+  server->busy_until_ = io.complete;
+  server->finish(idx,
+                 io.ok() ? OutcomeKind::kServed : OutcomeKind::kFailed,
+                 server->service_start_, io.complete);
+  server->start_next(io.complete);
+}
+
+void NodeServer::finish(std::uint32_t idx, OutcomeKind outcome,
+                        sim::SimTime start, sim::SimTime complete) {
+  switch (outcome) {
+    case OutcomeKind::kServed: ++stats_.served; break;
+    case OutcomeKind::kFailed: ++stats_.failed; break;
+    case OutcomeKind::kTimedOut: ++stats_.timed_out; break;
+    case OutcomeKind::kShed: ++stats_.shed; break;
+  }
+  frontier_ = sim::max(frontier_, complete);
+  if (sink_ != nullptr) {
+    const Ctx& ctx = ctxs_[idx];
+    ServeResult result;
+    result.tag = ctx.tag;
+    result.outcome = outcome;
+    result.arrival = ctx.arrival;
+    result.service_start = start;
+    result.complete = complete;
+    sink_(listener_, result);
+  }
+  release_ctx(idx);
+}
+
+sim::SimTime NodeServer::drain() {
+  while (!events_.empty()) {
+    sim::EventQueue::Fired fired = events_.pop();
+    fired.fn();
+  }
+  return frontier_;
+}
+
+std::uint64_t NodeServer::take_epoch_max_depth() {
+  const std::uint64_t d = epoch_max_depth_;
+  epoch_max_depth_ = depth();
+  return d;
+}
+
+}  // namespace deepnote::cluster::serving

@@ -1,0 +1,160 @@
+// Per-node request pipeline: a bounded FIFO queue with admission
+// control and per-request deadlines in front of one block device.
+//
+// The immediate-dispatch cluster paths hand every op to the device the
+// moment it is routed, so a node under acoustic attack serves each
+// command in isolation — queue growth, head-of-line blocking, and load
+// shedding are invisible by construction. NodeServer models the part of
+// a storage server that actually breaks first under interference:
+//
+//  * Requests arrive through submit() and are admitted by an arrival
+//    event in virtual-time order, so admission decisions interleave
+//    correctly with completions.
+//  * The device is a single server: one command in flight, the rest wait
+//    in a bounded FIFO ring. `busy_until_` persists across submission
+//    batches, so backlog carries over epochs.
+//  * Admission control sheds when depth (waiting + in service) would
+//    exceed the limit: kRejectNew bounces the newcomer, kDropOldest
+//    evicts the head of the queue in its favor.
+//  * A request still queued when its deadline passes is timed out at
+//    dequeue without touching the device (the client has already given
+//    up; spending drive time on it would be pure goodput loss).
+//
+// Every admitted request terminates in exactly one of {served, failed,
+// timed out, shed} and reports through a single completion sink with its
+// arrival / service-start / completion times — the decomposition of
+// latency into queue wait and service time falls out of the callback.
+//
+// Request contexts are pooled through a free list and completion
+// closures fit the event queue's inline buffer: a warm server performs
+// zero heap allocations (enforced by cluster_serving_alloc_test).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cluster/serving/async_device.h"
+#include "cluster/slo.h"
+#include "sim/event_queue.h"
+#include "storage/block_device.h"
+
+namespace deepnote::cluster::serving {
+
+enum class AdmissionPolicy : std::uint8_t {
+  kRejectNew,   ///< full queue bounces the arriving request
+  kDropOldest,  ///< full queue evicts its head in favor of the arrival
+};
+
+const char* admission_name(AdmissionPolicy policy);
+
+struct ServerConfig {
+  /// Maximum depth (waiting + in service) before admission sheds.
+  std::size_t queue_limit = 32;
+  AdmissionPolicy admission = AdmissionPolicy::kRejectNew;
+};
+
+/// Terminal report for one request. For kServed/kFailed the device ran
+/// the command ([service_start, complete] is device time); kTimedOut
+/// expired in queue (complete = deadline, no device time); kShed was
+/// refused at admission (complete = the shed decision time).
+struct ServeResult {
+  std::uint64_t tag = 0;  ///< caller's handle, passed through untouched
+  OutcomeKind outcome = OutcomeKind::kFailed;
+  sim::SimTime arrival = sim::SimTime::zero();
+  sim::SimTime service_start = sim::SimTime::zero();
+  sim::SimTime complete = sim::SimTime::zero();
+};
+
+struct NodeServerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t served = 0;     ///< device completed ok
+  std::uint64_t failed = 0;     ///< device error
+  std::uint64_t timed_out = 0;  ///< deadline expired in queue
+  std::uint64_t shed = 0;       ///< refused by admission control
+  std::uint64_t max_depth = 0;  ///< run high-water queue depth
+};
+
+class NodeServer {
+ public:
+  /// Invoked exactly once per submitted request, in virtual-time
+  /// completion order.
+  using CompletionSink = void (*)(void* listener, const ServeResult& result);
+
+  /// Does not own the device. Queue state starts empty and idle.
+  NodeServer(storage::BlockDevice& device, ServerConfig config);
+
+  NodeServer(const NodeServer&) = delete;
+  NodeServer& operator=(const NodeServer&) = delete;
+
+  const ServerConfig& config() const { return config_; }
+  void set_listener(void* listener, CompletionSink sink);
+
+  /// Forget all queue/backlog state and stats; pooled contexts and the
+  /// event slab are retained so the next run stays allocation-free.
+  void reset();
+
+  /// Enqueue one request arriving at `arrival`. Reads fill `out`; writes
+  /// take `in`. The arrival is processed (admission included) when
+  /// drain() reaches its virtual time; `tag` comes back in the result.
+  void submit(sim::SimTime arrival, storage::DiskOpKind kind,
+              std::uint64_t lba, std::uint32_t sector_count,
+              std::span<const std::byte> in, std::span<std::byte> out,
+              sim::SimTime deadline, std::uint64_t tag);
+
+  /// Run arrivals/completions until the pipeline is idle. Returns the
+  /// latest completion time handed to the sink so far. The queue empties
+  /// but `busy_until_` persists: backlog delays the next batch.
+  sim::SimTime drain();
+
+  std::size_t depth() const { return waiting_ + (in_service_ ? 1u : 0u); }
+  sim::SimTime busy_until() const { return busy_until_; }
+  const NodeServerStats& stats() const { return stats_; }
+  /// Depth high-water since the last call (epoch-resolution telemetry).
+  std::uint64_t take_epoch_max_depth();
+
+ private:
+  struct Ctx {
+    std::uint64_t tag = 0;
+    std::uint64_t lba = 0;
+    sim::SimTime arrival = sim::SimTime::zero();
+    sim::SimTime deadline = sim::SimTime::zero();
+    const std::byte* in = nullptr;
+    std::byte* out = nullptr;
+    std::size_t in_size = 0;
+    std::size_t out_size = 0;
+    std::uint32_t sector_count = 0;
+    storage::DiskOpKind kind = storage::DiskOpKind::kRead;
+  };
+
+  std::uint32_t acquire_ctx();
+  void release_ctx(std::uint32_t idx);
+  void on_arrival(std::uint32_t idx);
+  void start_next(sim::SimTime now);
+  static void on_device_complete(void* self, std::uint32_t idx,
+                                 storage::BlockIo io);
+  void finish(std::uint32_t idx, OutcomeKind outcome, sim::SimTime start,
+              sim::SimTime complete);
+  void note_depth();
+
+  storage::BlockDevice& device_;
+  ServerConfig config_;
+  sim::EventQueue events_;
+  AsyncBlockDevice async_;
+
+  std::vector<Ctx> ctxs_;
+  std::vector<std::uint32_t> free_;
+  std::vector<std::uint32_t> wait_;  ///< FIFO ring, capacity queue_limit
+  std::size_t wait_head_ = 0;
+  std::size_t waiting_ = 0;
+  bool in_service_ = false;
+  sim::SimTime service_start_ = sim::SimTime::zero();  ///< of the op in flight
+  sim::SimTime busy_until_ = sim::SimTime::zero();
+  sim::SimTime frontier_ = sim::SimTime::zero();
+  std::uint64_t epoch_max_depth_ = 0;
+  NodeServerStats stats_;
+  void* listener_ = nullptr;
+  CompletionSink sink_ = nullptr;
+};
+
+}  // namespace deepnote::cluster::serving

@@ -4,6 +4,16 @@
 
 namespace deepnote::cluster {
 
+const char* outcome_name(OutcomeKind kind) {
+  switch (kind) {
+    case OutcomeKind::kServed: return "served";
+    case OutcomeKind::kFailed: return "failed";
+    case OutcomeKind::kTimedOut: return "timed-out";
+    case OutcomeKind::kShed: return "shed";
+  }
+  return "?";
+}
+
 SloTracker::SloTracker(sim::SimTime start, SloConfig config)
     : start_(start), config_(config) {
   if (config_.window.ns() <= 0) {
@@ -49,12 +59,22 @@ void SloTracker::account(sim::SimTime arrival, bool ok) {
 }
 
 void SloTracker::record_success(sim::SimTime arrival, sim::Duration latency) {
-  account(arrival, true);
-  latencies_.add(latency);
+  record_outcome(arrival, OutcomeKind::kServed, latency);
 }
 
 void SloTracker::record_failure(sim::SimTime arrival) {
-  account(arrival, false);
+  record_outcome(arrival, OutcomeKind::kFailed);
+}
+
+void SloTracker::record_outcome(sim::SimTime arrival, OutcomeKind kind,
+                                sim::Duration latency) {
+  const bool ok = kind == OutcomeKind::kServed;
+  account(arrival, ok);
+  ++kind_[static_cast<std::size_t>(kind)];
+  if (arrival >= focus_begin_ && arrival < focus_end_) {
+    ++focus_kind_[static_cast<std::size_t>(kind)];
+  }
+  if (ok) latencies_.add(latency);
 }
 
 double SloTracker::availability() const {

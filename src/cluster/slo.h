@@ -16,6 +16,18 @@
 
 namespace deepnote::cluster {
 
+/// Terminal state of a request (or of one replica leg inside the serving
+/// pipeline). Every admitted request ends in exactly one of these.
+enum class OutcomeKind : std::uint8_t {
+  kServed = 0,    ///< completed successfully within its deadline
+  kFailed = 1,    ///< device/storage error
+  kTimedOut = 2,  ///< deadline expired (in queue or completed too late)
+  kShed = 3,      ///< rejected by admission control before service
+};
+inline constexpr std::size_t kNumOutcomeKinds = 4;
+
+const char* outcome_name(OutcomeKind kind);
+
 struct SloConfig {
   sim::Duration window = sim::Duration::from_seconds(1.0);
   /// Availability objective the error budget is measured against.
@@ -32,6 +44,12 @@ class SloTracker {
 
   void record_success(sim::SimTime arrival, sim::Duration latency);
   void record_failure(sim::SimTime arrival);
+  /// Serving-path recording: like record_success/record_failure (kServed
+  /// is a success, everything else a failure) but also keeps per-kind
+  /// counts so shed/timeout totals survive into reports. `latency` is
+  /// only read for kServed.
+  void record_outcome(sim::SimTime arrival, OutcomeKind kind,
+                      sim::Duration latency = sim::Duration::zero());
 
   struct Window {
     std::uint64_t ok = 0;
@@ -53,6 +71,15 @@ class SloTracker {
   /// Availability over the focus interval (1.0 when it saw no traffic).
   double focus_availability() const;
   std::uint64_t focus_total() const { return focus_ok_ + focus_fail_; }
+
+  /// Per-kind totals (only populated through record_outcome; the plain
+  /// success/failure entry points count as kServed / kFailed).
+  std::uint64_t outcome_count(OutcomeKind kind) const {
+    return kind_[static_cast<std::size_t>(kind)];
+  }
+  std::uint64_t focus_outcome_count(OutcomeKind kind) const {
+    return focus_kind_[static_cast<std::size_t>(kind)];
+  }
 
   const sim::LatencyHistogram& latencies() const { return latencies_; }
   sim::Duration p50() const { return latencies_.quantile(0.50); }
@@ -77,6 +104,8 @@ class SloTracker {
   sim::SimTime focus_end_ = sim::SimTime::infinity();
   std::uint64_t focus_ok_ = 0;
   std::uint64_t focus_fail_ = 0;
+  std::uint64_t kind_[kNumOutcomeKinds] = {};
+  std::uint64_t focus_kind_[kNumOutcomeKinds] = {};
   sim::LatencyHistogram latencies_;
 };
 

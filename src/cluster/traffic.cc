@@ -1,5 +1,6 @@
 #include "cluster/traffic.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <stdexcept>
@@ -104,6 +105,71 @@ std::uint64_t ZipfAliasSampler::next(sim::Rng& rng) const {
 
 double ZipfAliasSampler::probability(std::uint64_t rank) const {
   return 1.0 / (std::pow(static_cast<double>(rank + 1), theta_) * zetan_);
+}
+
+void ClosedLoopPopulation::reset(const TrafficConfig& traffic,
+                                 std::size_t clients,
+                                 sim::Duration shed_backoff,
+                                 std::uint32_t max_shed_retries,
+                                 sim::SimTime start) {
+  if (clients == 0) {
+    throw std::invalid_argument("closed loop: needs at least one client");
+  }
+  if (traffic.arrival_rate_per_s <= 0.0) {
+    throw std::invalid_argument("closed loop: arrival rate must be positive");
+  }
+  if (shed_backoff.ns() <= 0) {
+    throw std::invalid_argument("closed loop: shed backoff must be positive");
+  }
+  think_mean_s_ = static_cast<double>(clients) / traffic.arrival_rate_per_s;
+  read_fraction_ = traffic.read_fraction;
+  shed_backoff_ = shed_backoff;
+  max_shed_retries_ = max_shed_retries;
+  retries_ = 0;
+  clients_.assign(clients, Client{});
+  sim::Rng master(traffic.seed);
+  for (Client& c : clients_) {
+    c.rng = master.fork();
+    c.next_issue = start + sim::Duration::from_seconds(
+                               c.rng.exponential(think_mean_s_));
+  }
+}
+
+void ClosedLoopPopulation::collect_due(sim::SimTime horizon,
+                                       const ZipfAliasSampler& zipf,
+                                       std::vector<ClientIssue>& out) {
+  for (std::uint32_t i = 0; i < clients_.size(); ++i) {
+    Client& c = clients_[i];
+    if (c.next_issue >= horizon) continue;
+    if (c.has_retry == 0) {
+      c.key = zipf.next(c.rng);
+      c.is_read = c.rng.bernoulli(read_fraction_) ? 1 : 0;
+      c.attempts = 0;
+    }
+    out.push_back(ClientIssue{c.next_issue, i, c.key, c.is_read != 0});
+    c.next_issue = sim::SimTime::infinity();  // in flight
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ClientIssue& a, const ClientIssue& b) {
+              return a.at == b.at ? a.client < b.client : a.at < b.at;
+            });
+}
+
+void ClosedLoopPopulation::complete(std::uint32_t client, sim::SimTime when,
+                                    OutcomeKind outcome) {
+  Client& c = clients_[client];
+  if (outcome == OutcomeKind::kShed && c.attempts < max_shed_retries_) {
+    ++c.attempts;
+    ++retries_;
+    c.has_retry = 1;
+    c.next_issue = when + sim::Duration::from_seconds(
+                              shed_backoff_.seconds() *
+                              static_cast<double>(c.attempts));
+    return;
+  }
+  c.has_retry = 0;
+  c.next_issue = when + sim::Duration::from_seconds(
+                            c.rng.exponential(think_mean_s_));
 }
 
 TrafficRunner::TrafficRunner(Balancer& balancer, TrafficConfig config)

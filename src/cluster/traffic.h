@@ -93,6 +93,71 @@ struct TrafficReport {
   std::uint64_t writes = 0;
 };
 
+/// One request issue from a closed-loop client (already keyed and typed;
+/// the drawing happened against the issuing client's own RNG stream).
+struct ClientIssue {
+  sim::SimTime at = sim::SimTime::zero();
+  std::uint32_t client = 0;
+  std::uint64_t key = 0;
+  bool is_read = true;
+};
+
+/// A fixed population of closed-loop clients: each client issues one
+/// request, waits for its outcome, then thinks for an exponential gap
+/// before the next — so when the service slows down, offered load drops
+/// with it (backpressure), instead of the open-loop regime where
+/// arrivals keep coming at the configured rate.
+///
+/// Shed responses are the explicit backpressure signal: the client
+/// retries the same key after a backoff (linear in the attempt count) up
+/// to a retry cap — which is exactly the retry-storm amplification loop
+/// the serving experiment measures.
+///
+/// Deterministic: every client owns a forked RNG stream and draws its
+/// key/read-coin at issue time, so the request sequence depends only on
+/// (seed, outcome timeline), never on batching.
+class ClosedLoopPopulation {
+ public:
+  ClosedLoopPopulation() = default;
+
+  /// (Re)seed `clients` streams from `traffic.seed`. Per-client think
+  /// mean is clients / arrival_rate, so the aggregate no-load offered
+  /// rate matches the open-loop configuration.
+  void reset(const TrafficConfig& traffic, std::size_t clients,
+             sim::Duration shed_backoff, std::uint32_t max_shed_retries,
+             sim::SimTime start);
+
+  /// Append every client whose next issue falls before `horizon` to
+  /// `out` (sorted by (at, client)) and mark them in flight. Their keys
+  /// are drawn here, against each client's own stream.
+  void collect_due(sim::SimTime horizon, const ZipfAliasSampler& zipf,
+                   std::vector<ClientIssue>& out);
+
+  /// Report the outcome of `client`'s in-flight request at `when`.
+  void complete(std::uint32_t client, sim::SimTime when, OutcomeKind outcome);
+
+  std::size_t size() const { return clients_.size(); }
+  /// Shed-triggered re-issues across the run.
+  std::uint64_t retries() const { return retries_; }
+
+ private:
+  struct Client {
+    sim::Rng rng{0};
+    sim::SimTime next_issue = sim::SimTime::zero();
+    std::uint64_t key = 0;        ///< current key (kept for shed retries)
+    std::uint32_t attempts = 0;   ///< shed retries spent on `key`
+    std::uint8_t is_read = 1;
+    std::uint8_t has_retry = 0;   ///< next issue re-sends `key`
+  };
+
+  std::vector<Client> clients_;
+  double think_mean_s_ = 0.0;
+  double read_fraction_ = 1.0;
+  sim::Duration shed_backoff_ = sim::Duration::zero();
+  std::uint32_t max_shed_retries_ = 0;
+  std::uint64_t retries_ = 0;
+};
+
 class TrafficRunner {
  public:
   TrafficRunner(Balancer& balancer, TrafficConfig config);

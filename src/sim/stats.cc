@@ -71,7 +71,14 @@ void LatencyHistogram::merge(const LatencyHistogram& other) {
   sum_ns_ += other.sum_ns_;
 }
 
-void LatencyHistogram::reset() { *this = LatencyHistogram{}; }
+void LatencyHistogram::reset() {
+  // In place (not `*this = {}`): reset runs on warmed hot-path state and
+  // must not reallocate the bucket vector.
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  total_ = 0;
+  max_ns_ = 0;
+  sum_ns_ = 0.0;
+}
 
 Duration LatencyHistogram::quantile(double q) const {
   if (total_ == 0) return Duration::zero();

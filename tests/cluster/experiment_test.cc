@@ -125,5 +125,88 @@ TEST(ClusterExperiment, GoldenAvailabilityTable) {
       "cluster_availability.csv");
 }
 
+// --- serving (queueing) experiment --------------------------------------
+
+const std::vector<ServingTrialRow>& cached_serving_rows() {
+  static const std::vector<ServingTrialRow> rows =
+      run_serving_experiment(serving_experiment_config(kScale));
+  return rows;
+}
+
+const ServingTrialRow& find_serving_row(std::size_t queue_limit,
+                                        serving::AdmissionPolicy admission,
+                                        std::optional<double> distance_m) {
+  for (const ServingTrialRow& row : cached_serving_rows()) {
+    if (row.queue_limit == queue_limit && row.admission == admission &&
+        row.distance_m == distance_m) {
+      return row;
+    }
+  }
+  static ServingTrialRow missing;
+  ADD_FAILURE() << "serving row not found";
+  return missing;
+}
+
+TEST(ServingExperiment, BaselinesServeWithoutShedding) {
+  const ServingExperimentConfig config = serving_experiment_config(kScale);
+  for (const std::size_t queue_limit : config.queue_limits) {
+    for (const serving::AdmissionPolicy admission : config.admissions) {
+      const ServingTrialRow& row =
+          find_serving_row(queue_limit, admission, std::nullopt);
+      EXPECT_GE(row.availability, 0.999);
+      EXPECT_EQ(row.shed_requests + row.timed_out_requests, 0u);
+      EXPECT_GT(row.requests, 0u);
+    }
+  }
+}
+
+// The serving-mode headline: availability survives the attack (cross-pod
+// replication covers for the attacked pod), but the queueing telemetry
+// shows what the availability number hides — queues pinned at the
+// admission limit and legs shed or expiring on the attacked nodes.
+TEST(ServingExperiment, AttackStrainsTheQueuesNotTheHeadline) {
+  const ServingTrialRow& quiet = find_serving_row(
+      4, serving::AdmissionPolicy::kRejectNew, std::nullopt);
+  const ServingTrialRow& attacked =
+      find_serving_row(4, serving::AdmissionPolicy::kRejectNew, 0.01);
+
+  EXPECT_GE(attacked.attack_availability, 0.95);
+  EXPECT_GT(attacked.legs_shed + attacked.legs_timed_out,
+            quiet.legs_shed + quiet.legs_timed_out);
+  EXPECT_GE(attacked.attack_max_queue_depth, quiet.max_queue_depth);
+  EXPECT_GT(attacked.read_failovers, quiet.read_failovers);
+}
+
+// A deeper queue converts sheds into waiting: fewer refused legs, longer
+// queue-wait tail, at this load without hurting availability.
+TEST(ServingExperiment, QueueDepthTradesSheddingForWaiting) {
+  const ServingTrialRow& shallow =
+      find_serving_row(4, serving::AdmissionPolicy::kRejectNew, 0.01);
+  const ServingTrialRow& deep =
+      find_serving_row(32, serving::AdmissionPolicy::kRejectNew, 0.01);
+  EXPECT_LT(deep.legs_shed, shallow.legs_shed);
+  EXPECT_GE(deep.attack_availability, shallow.attack_availability - 0.01);
+}
+
+TEST(ServingExperiment, DeterministicAcrossJobCounts) {
+  ServingExperimentConfig config = serving_experiment_config(kScale);
+  config.jobs = 1;
+  const auto serial = run_serving_experiment(config);
+  config.jobs = 4;
+  const auto parallel = run_serving_experiment(config);
+  const std::string csv_serial =
+      build_cluster_serving_table(config, serial).to_csv();
+  const std::string csv_parallel =
+      build_cluster_serving_table(config, parallel).to_csv();
+  EXPECT_EQ(csv_serial, csv_parallel);
+}
+
+TEST(ServingExperiment, GoldenServingTable) {
+  const ServingExperimentConfig config = serving_experiment_config(kScale);
+  diff_against_golden(
+      build_cluster_serving_table(config, cached_serving_rows()),
+      "cluster_serving.csv");
+}
+
 }  // namespace
 }  // namespace deepnote::cluster

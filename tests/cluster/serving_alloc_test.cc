@@ -1,0 +1,92 @@
+// Allocation accounting for the serving-mode engine loop.
+//
+// The serving pipeline adds per-node event queues, pooled request
+// contexts, closed-loop client state, and the queue-wait / service-time
+// histograms to the hot path. The contract extends the immediate-mode
+// one (engine_alloc_test.cc): once a first run has warmed every arena —
+// context pools, event slabs, the FIFO rings, histogram buckets, the
+// depth timeline — a steady-state serving run performs ZERO heap
+// allocations. This binary overrides the global allocator to count, so
+// it must stay its own test executable.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "cluster/engine.h"
+#include "storage/mem_disk.h"
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace deepnote::cluster {
+namespace {
+
+// A warm serving engine re-running the identical closed-loop stream
+// must not touch the heap: arrivals, admission, queueing, device
+// completions, failure classification, client settle, and the depth /
+// histogram telemetry all recycle warmed state.
+TEST(ServingAllocTest, WarmServingRunIsAllocationFree) {
+  constexpr std::uint64_t kSectors = 16384;
+  const ClusterTopology topo{.pods = 3, .bays_per_pod = 2};
+
+  std::vector<std::unique_ptr<storage::MemDisk>> disks;
+  std::vector<storage::BlockDevice*> devices;
+  for (std::size_t i = 0; i < topo.nodes(); ++i) {
+    disks.push_back(std::make_unique<storage::MemDisk>(kSectors));
+    devices.push_back(disks.back().get());
+  }
+
+  EngineConfig config;
+  config.balancer.objects = 1000;
+  config.traffic.arrival_rate_per_s = 2000.0;
+  config.traffic.duration = sim::Duration::from_seconds(0.5);
+  config.traffic.keyspace = 1000;
+  config.jobs = 1;
+  config.serving.enabled = true;
+  config.serving.server.queue_limit = 8;
+  config.serving.clients = 32;
+  ShardedClusterEngine engine(topo, devices, config);
+
+  // Warm run: grows the engine arenas plus the serving state — context
+  // pools, event slabs, histograms — and faults in MemDisk chunks.
+  SloTracker slo(sim::SimTime::zero());
+  const EngineReport warm = engine.run(sim::SimTime::zero(), slo);
+  ASSERT_GT(warm.traffic.requests, 500u);
+  ASSERT_GT(warm.serving.legs_served, 0u);
+
+  // Identical replay (same seed, same devices): zero allocations across
+  // the full run — start_run's serving resets reuse capacity too.
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  const EngineReport measured = engine.run(sim::SimTime::zero(), slo);
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(measured.traffic.requests, warm.traffic.requests);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state serving loop allocated on the hot path";
+}
+
+}  // namespace
+}  // namespace deepnote::cluster
