@@ -24,8 +24,11 @@
 //   --serving1k        run the same 1000-node attacked cell with the
 //                      serving front-end enabled AND with immediate
 //                      dispatch; the immediate rate is the baseline and
-//                      serving is gated at >= 0.2x of it (the pipeline
-//                      may cost at most ~5x per request).
+//                      serving is gated at >= 0.5x of it (the pipeline
+//                      may cost at most ~2x per request).
+//   --serving10k       the 10,000-node scale-out of --serving1k (2000
+//                      pods x 5 bays, 640 clients, 4000 req/s — same
+//                      per-node load), gated at >= 0.4x of immediate.
 //   --out <file>       output path (default: BENCH_PR5.json).
 //
 // The emitted file is the input format of tools/bench_compare.
@@ -280,24 +283,27 @@ EndToEnd run_cluster_1k() {
   return e;
 }
 
-/// The serving-mode twin of the 1000-node cell: same topology, same
+/// The serving-mode twin of the availability cell: same topology, same
 /// attacked workload, but every node fronted by the bounded-FIFO
 /// request pipeline with closed-loop clients. The immediate-dispatch
 /// engine on the identical workload is measured alongside as the
 /// baseline, so the recorded "speedup" is serving's relative throughput
 /// (it is < 1 by construction — the pipeline does strictly more work
-/// per request). min_speedup floors that overhead: the serving path
-/// must stay within ~5x of immediate dispatch.
-EndToEnd run_cluster_serving_1k() {
+/// per request). min_speedup floors that overhead. `pods` scales the
+/// fleet (x 5 bays); arrival rate and client population scale with it
+/// so per-node load is constant across cell sizes.
+EndToEnd run_cluster_serving_cell(std::size_t pods, double rate_per_s,
+                                  std::size_t clients, int reps,
+                                  double min_speedup) {
   using namespace deepnote;
-  const cluster::ClusterTopology topo{.pods = 200, .bays_per_pod = 5};
+  const cluster::ClusterTopology topo{.pods = pods, .bays_per_pod = 5};
 
   cluster::BalancerConfig balancer_config;
   balancer_config.policy = cluster::PlacementPolicy::kCrossPod;
   balancer_config.objects = 20000;
 
   cluster::TrafficConfig traffic;
-  traffic.arrival_rate_per_s = 400.0;
+  traffic.arrival_rate_per_s = rate_per_s;
   traffic.duration = sim::Duration::from_seconds(3.0);
   traffic.keyspace = 1000000;
   traffic.seed = 0xbeef;
@@ -329,7 +335,7 @@ EndToEnd run_cluster_serving_1k() {
   };
   auto run_engine = [&](bool serving_on, double& best_wall,
                         std::uint64_t& requests) {
-    for (int rep = 0; rep < 3; ++rep) {  // rep 0 is the warm-up
+    for (int rep = 0; rep < reps; ++rep) {  // rep 0 is the warm-up
       auto cl = make_cluster();
       cluster::EngineConfig config;
       config.balancer = balancer_config;
@@ -339,7 +345,7 @@ EndToEnd run_cluster_serving_1k() {
       if (serving_on) {
         config.serving.enabled = true;
         config.serving.server.queue_limit = 8;
-        config.serving.clients = 64;
+        config.serving.clients = clients;
       }
       cluster::ShardedClusterEngine engine(cl->topology(),
                                            cl->device_pointers(), config);
@@ -374,8 +380,28 @@ EndToEnd run_cluster_serving_1k() {
   e.measured_baseline_per_s =
       immediate_wall > 0 ? std::optional<double>(1.0 / immediate_wall)
                          : std::nullopt;
-  e.min_speedup = 0.2;
+  e.min_speedup = min_speedup;
   return e;
+}
+
+/// 1000 nodes, 64 closed-loop clients at 400 req/s. The serving data
+/// plane must stay within 2x of immediate dispatch (>= 0.5x), a floor
+/// set from the measured ~0.7x with headroom for this host's noise.
+EndToEnd run_cluster_serving_1k() {
+  return run_cluster_serving_cell(/*pods=*/200, /*rate_per_s=*/400.0,
+                                  /*clients=*/64, /*reps=*/6,
+                                  /*min_speedup=*/0.5);
+}
+
+/// The scale-out cell: 10,000 nodes (2000 pods x 5 bays), 640 clients
+/// at 4000 req/s — per-node load identical to the 1k cell, so any
+/// super-linear cost in fleet size (reset walks, stats aggregation,
+/// depth sampling) shows up as a ratio drop relative to cluster_serving
+/// _1k. Fewer reps: the cell is ~10x the work of the 1k one.
+EndToEnd run_cluster_serving_10k() {
+  return run_cluster_serving_cell(/*pods=*/2000, /*rate_per_s=*/4000.0,
+                                  /*clients=*/640, /*reps=*/4,
+                                  /*min_speedup=*/0.4);
 }
 
 void emit_number_or_null(std::ostream& os, std::optional<double> v) {
@@ -398,6 +424,7 @@ int main(int argc, char** argv) {
   bool with_cluster = false;
   bool with_cluster_1k = false;
   bool with_serving_1k = false;
+  bool with_serving_10k = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -421,11 +448,13 @@ int main(int argc, char** argv) {
       with_cluster_1k = true;
     } else if (arg == "--serving1k") {
       with_serving_1k = true;
+    } else if (arg == "--serving10k") {
+      with_serving_10k = true;
     } else {
       std::fprintf(stderr,
                    "usage: bench_json --micro <gbench.json> [--baseline "
                    "<file>] [--table2] [--cluster] [--cluster1k] "
-                   "[--serving1k] [--out <file>]\n");
+                   "[--serving1k] [--serving10k] [--out <file>]\n");
       return 2;
     }
   }
@@ -457,6 +486,13 @@ int main(int argc, char** argv) {
                    "bench_json: running 1000-node serving-vs-immediate "
                    "cell...\n");
       end_to_end.emplace_back("cluster_serving_1k", run_cluster_serving_1k());
+    }
+    if (with_serving_10k) {
+      std::fprintf(stderr,
+                   "bench_json: running 10,000-node serving-vs-immediate "
+                   "cell...\n");
+      end_to_end.emplace_back("cluster_serving_10k",
+                              run_cluster_serving_10k());
     }
 
     const std::map<std::string, double> current =

@@ -583,4 +583,67 @@ static void BM_ClusterAvailability(benchmark::State& state) {
 }
 BENCHMARK(BM_ClusterAvailability);
 
+// The scale-out number: the same attacked availability trial on 10,000
+// nodes (2000 pods x 5 bays) with the serving data plane enabled —
+// bounded-FIFO queues, deadline timer wheels and 640 closed-loop
+// clients in front of every device. Arrival rate scales with the fleet
+// so per-node load matches BM_ClusterAvailability; what this measures
+// is whether any engine cost grows with fleet size rather than with
+// traffic (reset walks, stats aggregation, depth sampling all must
+// not). Fixture construction is excluded as above. Items are requests.
+static void BM_ClusterServing10k(benchmark::State& state) {
+  static const auto zipf =
+      std::make_shared<const cluster::ZipfAliasSampler>(1000000, 0.99);
+
+  core::AttackConfig attack;
+  attack.frequency_hz = 650.0;
+  attack.spl_air_db = 140.0;
+  attack.distance_m = 0.01;
+  attack.start = sim::SimTime::from_seconds(0.5);
+  attack.end = sim::SimTime::from_seconds(2.5);
+
+  std::int64_t requests = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    cluster::ClusterConfig cluster_config;
+    cluster_config.topology =
+        cluster::ClusterTopology{.pods = 2000, .bays_per_pod = 5};
+    cluster_config.seed = 0x1234;
+    cluster::Cluster cluster(cluster_config);
+
+    cluster::EngineConfig config;
+    config.balancer.policy = cluster::PlacementPolicy::kCrossPod;
+    config.balancer.objects = 20000;
+    config.traffic.arrival_rate_per_s = 4000.0;
+    config.traffic.duration = sim::Duration::from_seconds(3.0);
+    config.traffic.keyspace = 1000000;
+    config.traffic.seed = 0xbeef;
+    config.zipf = zipf;
+    config.jobs = 0;  // $DEEPNOTE_JOBS
+    config.serving.enabled = true;
+    config.serving.server.queue_limit = 8;
+    config.serving.clients = 640;
+    cluster::ShardedClusterEngine engine(cluster.topology(),
+                                         cluster.device_pointers(), config);
+
+    std::vector<cluster::TimelineAction> actions;
+    actions.push_back({attack.start, [&cluster, attack](sim::SimTime t) {
+                         cluster.apply_attack(0, t, attack);
+                       }});
+    actions.push_back({attack.end, [&cluster](sim::SimTime t) {
+                         cluster.stop_attack(0, t);
+                       }});
+    cluster::SloTracker slo(sim::SimTime::zero());
+    slo.set_focus(attack.start, attack.end);
+    state.ResumeTiming();
+
+    const cluster::EngineReport report =
+        engine.run(sim::SimTime::zero(), slo, std::move(actions));
+    benchmark::DoNotOptimize(report.serving.legs_served);
+    requests += static_cast<std::int64_t>(report.traffic.requests);
+  }
+  state.SetItemsProcessed(requests);
+}
+BENCHMARK(BM_ClusterServing10k);
+
 BENCHMARK_MAIN();

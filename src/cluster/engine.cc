@@ -83,10 +83,13 @@ ShardedClusterEngine::ShardedClusterEngine(
   }
   nodes_per_shard_ = (n + shard_count_ - 1) / shard_count_;
   wave_fn_ = [this](std::size_t shard) {
-    const std::size_t lo = shard * nodes_per_shard_;
-    const std::size_t hi = std::min(devices_.size(), lo + nodes_per_shard_);
-    execute_nodes(lo, hi, shard);
+    execute_nodes(shard, shard + 1, shard);
   };
+  node_shard_.resize(n);
+  for (std::size_t id = 0; id < n; ++id) {
+    node_shard_[id] = static_cast<std::uint32_t>(id / nodes_per_shard_);
+  }
+  shard_active_.resize(shard_count_);
 
   const std::size_t buf_sectors = std::max<std::size_t>(
       config_.balancer.object_sectors, config_.balancer.probe_sectors);
@@ -109,14 +112,20 @@ ShardedClusterEngine::ShardedClusterEngine(
         throw std::invalid_argument("engine: shed backoff must be positive");
       }
     }
-    // Listener contexts live in a vector sized once here, so the
-    // pointers handed to the servers stay valid for the engine's life.
-    listeners_.resize(n);
+    // Pre-size every pipeline's pools here, outside any timed run: the
+    // queue plus the in-flight command bounds live contexts, and the
+    // ring estimate covers a typical epoch batch (they grow on demand
+    // if a node runs hotter).
+    const std::size_t ctx_slots = config_.serving.server.queue_limit + 1;
+    servers_.reserve(n);
     for (std::size_t id = 0; id < n; ++id) {
-      listeners_[id] = NodeListener{this, static_cast<NodeId>(id)};
       servers_.emplace_back(*devices_[id], config_.serving.server);
-      servers_.back().set_listener(&listeners_[id], &serve_sink);
+      servers_.back().reserve(ctx_slots, 2 * ctx_slots);
     }
+    depth_dirty_.resize(n, 0);
+    shard_depth_dirty_.resize(shard_count_);
+    server_used_.resize(n, 0);
+    shard_used_.resize(shard_count_);
     shard_qwait_.resize(shard_count_);
     shard_service_.resize(shard_count_);
   }
@@ -173,6 +182,7 @@ void ShardedClusterEngine::start_run(sim::SimTime start, SloTracker& slo,
   node_errors_.assign(n, 0);
   node_depth_.assign(n, 0);
   for (auto& ops : node_ops_) ops.clear();
+  for (auto& active : shard_active_) active.clear();
   for (auto& frontier : shard_frontier_) frontier = start;
   pending_.clear();
   next_pending_.clear();
@@ -186,7 +196,17 @@ void ShardedClusterEngine::start_run(sim::SimTime start, SloTracker& slo,
   }
 
   if (serving()) {
-    for (auto& server : servers_) server.reset();
+    // Only servers the previous run actually submitted to hold state;
+    // the rest are still pristine (a fresh engine resets nothing).
+    for (auto& used : shard_used_) {
+      for (const NodeId node : used) {
+        servers_[node].reset();
+        server_used_[node] = 0;
+      }
+      used.clear();
+    }
+    std::fill(depth_dirty_.begin(), depth_dirty_.end(), 0);
+    for (auto& dirty : shard_depth_dirty_) dirty.clear();
     for (auto& hist : shard_qwait_) hist.reset();
     for (auto& hist : shard_service_) hist.reset();
     qwait_hist_.reset();
@@ -203,7 +223,7 @@ void ShardedClusterEngine::start_run(sim::SimTime start, SloTracker& slo,
     if (config_.serving.closed_loop) {
       clients_.reset(config_.traffic, config_.serving.clients,
                      config_.serving.shed_backoff,
-                     config_.serving.max_shed_retries, start);
+                     config_.serving.max_shed_retries, start, shard_count_);
     }
   }
   running_ = true;
@@ -283,14 +303,17 @@ EngineReport ShardedClusterEngine::finish() {
   report.max_node_depth = max_node_depth_;
   if (serving()) {
     ServingReport& s = report.serving;
-    for (const auto& server : servers_) {
-      const serving::NodeServerStats& st = server.stats();
-      s.legs_submitted += st.submitted;
-      s.legs_served += st.served;
-      s.legs_failed += st.failed;
-      s.legs_timed_out += st.timed_out;
-      s.legs_shed += st.shed;
-      s.max_queue_depth = std::max(s.max_queue_depth, st.max_depth);
+    // Shard index order for determinism; untouched servers are all-zero.
+    for (const auto& used : shard_used_) {
+      for (const NodeId node : used) {
+        const serving::NodeServerStats& st = servers_[node].stats();
+        s.legs_submitted += st.submitted;
+        s.legs_served += st.served;
+        s.legs_failed += st.failed;
+        s.legs_timed_out += st.timed_out;
+        s.legs_shed += st.shed;
+        s.max_queue_depth = std::max(s.max_queue_depth, st.max_depth);
+      }
     }
     s.shed_requests = shed_requests_;
     s.timed_out_requests = timed_out_requests_;
@@ -358,7 +381,9 @@ void ShardedClusterEngine::begin_epoch() {
 void ShardedClusterEngine::emit(NodeId node, std::uint8_t kind,
                                 std::uint32_t req, std::uint16_t leg,
                                 sim::SimTime issue) {
-  node_ops_[node].push_back(Op{issue, op_seq_++, req, leg, kind});
+  std::vector<Op>& ops = node_ops_[node];
+  if (ops.empty()) shard_active_[node_shard_[node]].push_back(node);
+  ops.push_back(Op{issue, op_seq_++, req, leg, kind});
   ++ops_emitted_;
   if (++node_depth_[node] > max_node_depth_) {
     max_node_depth_ = node_depth_[node];
@@ -496,9 +521,8 @@ void ShardedClusterEngine::route_write(std::uint32_t r) {
 }
 
 void ShardedClusterEngine::execute_wave() {
-  const std::size_t n = devices_.size();
   if (!pool_ || shard_count_ == 1 || ops_emitted_ < config_.min_ops_to_shard) {
-    execute_nodes(0, n, 0);
+    execute_nodes(0, shard_count_, 0);
   } else {
     pool_->run_indexed(shard_count_, wave_fn_);
   }
@@ -508,8 +532,8 @@ void ShardedClusterEngine::execute_wave() {
   ops_emitted_ = 0;
 }
 
-void ShardedClusterEngine::execute_nodes(std::size_t node_lo,
-                                         std::size_t node_hi,
+void ShardedClusterEngine::execute_nodes(std::size_t shard_lo,
+                                         std::size_t shard_hi,
                                          std::size_t shard_slot) {
   sim::SimTime frontier = shard_frontier_[shard_slot];
   const std::span<std::byte> read_buf(shard_read_buf_[shard_slot]);
@@ -520,102 +544,128 @@ void ShardedClusterEngine::execute_nodes(std::size_t node_lo,
       static_cast<std::size_t>(config_.balancer.probe_sectors) *
       storage::kBlockSectorSize;
 
-  for (std::size_t node = node_lo; node < node_hi; ++node) {
-    std::vector<Op>& ops = node_ops_[node];
-    if (ops.empty()) continue;
-    // The device is synchronous virtual-time state: ops must hit it in
-    // the canonical (issue, seq) order so results are independent of
-    // which wave/shard produced them.
-    if (ops.size() > 1) {
-      std::sort(ops.begin(), ops.end(), [](const Op& a, const Op& b) {
-        return a.issue == b.issue ? a.seq < b.seq : a.issue < b.issue;
-      });
-    }
-    storage::BlockDevice& device = *devices_[node];
-    core::AttackDetector& detector = detectors_[node];
-    if (serving()) {
-      // Serving pipeline: legs are submitted in canonical order and the
-      // queue drains them through admission/deadline/device; the
-      // listener (serve_sink) fills the leg arrays and detector as each
-      // completes. Probes still bypass the queue — a health check must
-      // not skew the serving stats, and must not be shed by overload.
-      serving::NodeServer& server = servers_[node];
-      for (const Op& op : ops) {
-        if (op.kind == kProbe) {
-          const storage::BlockIo io =
-              device.read(op.issue, 0, config_.balancer.probe_sectors,
-                          read_buf.first(probe_bytes));
-          probe_ok_[op.req] = io.ok() ? 1 : 0;
-          probe_complete_[op.req] = io.complete;
-          frontier = sim::max(frontier, io.complete);
-          continue;
+  // Only nodes this wave actually touched: at 10k nodes a closed-loop
+  // round emits to a handful of them, and a full-range scan would cost
+  // more than the I/O. Per-node results land in owner-exclusive slots,
+  // so list order (first-emission order) does not affect output.
+  const bool serve = serving();
+  for (std::size_t s = shard_lo; s < shard_hi; ++s) {
+    std::vector<NodeId>& active = shard_active_[s];
+    for (std::size_t ai = 0; ai < active.size(); ++ai) {
+      const NodeId node = active[ai];
+      if (serve && ai + 1 < active.size()) {
+        // Hide the next server's cold-miss latency behind this node's
+        // work: rounds touch a handful of servers scattered across a
+        // multi-megabyte fleet, so nearly every touch misses.
+        __builtin_prefetch(&servers_[active[ai + 1]]);
+      }
+      std::vector<Op>& ops = node_ops_[node];
+      // The device is synchronous virtual-time state: ops must hit it in
+      // the canonical (issue, seq) order so results are independent of
+      // which wave/shard produced them.
+      if (ops.size() > 1) {
+        std::sort(ops.begin(), ops.end(), [](const Op& a, const Op& b) {
+          return a.issue == b.issue ? a.seq < b.seq : a.issue < b.issue;
+        });
+      }
+      storage::BlockDevice& device = *devices_[node];
+      core::AttackDetector& detector = detectors_[node];
+      if (serving()) {
+        // Serving pipeline: legs are submitted in canonical order, the
+        // queue drains them through admission/deadline/device, and the
+        // completion ring is consumed in bulk into the leg arrays and
+        // detector. Probes still bypass the queue — a health check must
+        // not skew the serving stats, and must not be shed by overload.
+        serving::NodeServer& server = servers_[node];
+        bool submitted = false;
+        for (const Op& op : ops) {
+          if (op.kind == kProbe) {
+            const storage::BlockIo io =
+                device.read(op.issue, 0, config_.balancer.probe_sectors,
+                            read_buf.first(probe_bytes));
+            probe_ok_[op.req] = io.ok() ? 1 : 0;
+            probe_complete_[op.req] = io.complete;
+            frontier = sim::max(frontier, io.complete);
+            continue;
+          }
+          const std::uint64_t slot =
+              static_cast<std::uint64_t>(op.req) * leg_stride_ + op.leg;
+          if (op.kind == kWrite) {
+            ++node_writes_[node];
+            server.submit(op.issue, storage::DiskOpKind::kWrite,
+                          req_lba_[op.req], config_.balancer.object_sectors,
+                          write_buf_, {}, deadline_of(op.req), slot);
+          } else {
+            ++node_reads_[node];
+            server.submit(op.issue, storage::DiskOpKind::kRead,
+                          req_lba_[op.req], config_.balancer.object_sectors,
+                          {}, read_buf.first(object_bytes),
+                          deadline_of(op.req), slot);
+          }
+          submitted = true;
         }
-        const std::uint64_t slot =
-            static_cast<std::uint64_t>(op.req) * leg_stride_ + op.leg;
+        if (submitted) {
+          if (!depth_dirty_[node]) {
+            depth_dirty_[node] = 1;
+            shard_depth_dirty_[s].push_back(node);
+          }
+          if (!server_used_[node]) {
+            server_used_[node] = 1;
+            shard_used_[s].push_back(node);
+          }
+        }
+        frontier = sim::max(frontier, server.drain());
+        for (const serving::ServeResult& res : server.completions()) {
+          record_serving_result(node, s, res);
+        }
+        server.clear_completions();
+        ops.clear();
+        continue;
+      }
+      for (const Op& op : ops) {
+        storage::BlockIo io;
         if (op.kind == kWrite) {
           ++node_writes_[node];
-          server.submit(op.issue, storage::DiskOpKind::kWrite,
-                        req_lba_[op.req], config_.balancer.object_sectors,
-                        write_buf_, {}, deadline_of(op.req), slot);
-        } else {
+          io = device.write(op.issue, req_lba_[op.req],
+                            config_.balancer.object_sectors, write_buf_);
+        } else if (op.kind == kRead) {
           ++node_reads_[node];
-          server.submit(op.issue, storage::DiskOpKind::kRead,
-                        req_lba_[op.req], config_.balancer.object_sectors, {},
-                        read_buf.first(object_bytes), deadline_of(op.req),
-                        slot);
-        }
-      }
-      frontier = sim::max(frontier, server.drain());
-      ops.clear();
-      continue;
-    }
-    for (const Op& op : ops) {
-      storage::BlockIo io;
-      if (op.kind == kWrite) {
-        ++node_writes_[node];
-        io = device.write(op.issue, req_lba_[op.req],
-                          config_.balancer.object_sectors, write_buf_);
-      } else if (op.kind == kRead) {
-        ++node_reads_[node];
-        io = device.read(op.issue, req_lba_[op.req],
-                         config_.balancer.object_sectors,
-                         read_buf.first(object_bytes));
-      } else {
-        // Probe the raw device without feeding the detector: health
-        // checks must not skew serving stats (matches Balancer).
-        io = device.read(op.issue, 0, config_.balancer.probe_sectors,
-                         read_buf.first(probe_bytes));
-      }
-      if (op.kind == kProbe) {
-        probe_ok_[op.req] = io.ok() ? 1 : 0;
-        probe_complete_[op.req] = io.complete;
-      } else {
-        if (io.ok()) {
-          detector.record_ok(io.complete, (io.complete - op.issue).seconds());
+          io = device.read(op.issue, req_lba_[op.req],
+                           config_.balancer.object_sectors,
+                           read_buf.first(object_bytes));
         } else {
-          detector.record_error(io.complete);
-          ++node_errors_[node];
+          // Probe the raw device without feeding the detector: health
+          // checks must not skew serving stats (matches Balancer).
+          io = device.read(op.issue, 0, config_.balancer.probe_sectors,
+                           read_buf.first(probe_bytes));
         }
-        const std::size_t slot =
-            static_cast<std::size_t>(op.req) * leg_stride_ + op.leg;
-        leg_ok_[slot] = io.ok() ? 1 : 0;
-        leg_complete_[slot] = io.complete;
+        if (op.kind == kProbe) {
+          probe_ok_[op.req] = io.ok() ? 1 : 0;
+          probe_complete_[op.req] = io.complete;
+        } else {
+          if (io.ok()) {
+            detector.record_ok(io.complete,
+                               (io.complete - op.issue).seconds());
+          } else {
+            detector.record_error(io.complete);
+            ++node_errors_[node];
+          }
+          const std::size_t slot =
+              static_cast<std::size_t>(op.req) * leg_stride_ + op.leg;
+          leg_ok_[slot] = io.ok() ? 1 : 0;
+          leg_complete_[slot] = io.complete;
+        }
+        frontier = sim::max(frontier, io.complete);
       }
-      frontier = sim::max(frontier, io.complete);
+      ops.clear();
     }
-    ops.clear();
+    active.clear();
   }
   shard_frontier_[shard_slot] = frontier;
 }
 
-void ShardedClusterEngine::serve_sink(void* listener,
-                                      const serving::ServeResult& result) {
-  const auto* ctx = static_cast<const NodeListener*>(listener);
-  ctx->engine->record_serving_result(ctx->node, result);
-}
-
 void ShardedClusterEngine::record_serving_result(
-    NodeId node, const serving::ServeResult& result) {
+    NodeId node, std::size_t shard, const serving::ServeResult& result) {
   // Runs on the shard that owns `node` during its drain: every array it
   // touches (leg slots of this node's ops, detector, shard histograms)
   // is owner-exclusive, and the merge order downstream is fixed.
@@ -623,7 +673,6 @@ void ShardedClusterEngine::record_serving_result(
   leg_ok_[slot] = result.outcome == OutcomeKind::kServed ? 1 : 0;
   leg_complete_[slot] = result.complete;
   leg_outcome_[slot] = static_cast<std::uint8_t>(result.outcome);
-  const std::size_t shard = node / nodes_per_shard_;
   switch (result.outcome) {
     case OutcomeKind::kServed:
       // The detector watches the drive, so feed it device service time
@@ -671,9 +720,23 @@ void ShardedClusterEngine::settle_clients(std::size_t first_req) {
 }
 
 void ShardedClusterEngine::sample_epoch_depth(sim::SimTime t1) {
+  // Only servers that saw a submit this epoch (or still carry backlog)
+  // can have a nonzero epoch max: an idle server's take resets its
+  // high-water to its (zero) depth and nothing moves it after that. At
+  // 10k nodes the full scan would dwarf the epoch's actual work.
   std::uint64_t depth = 0;
-  for (auto& server : servers_) {
-    depth = std::max(depth, server.take_epoch_max_depth());
+  for (auto& dirty : shard_depth_dirty_) {
+    std::size_t keep = 0;
+    for (const NodeId node : dirty) {
+      serving::NodeServer& server = servers_[node];
+      depth = std::max(depth, server.take_epoch_max_depth());
+      if (server.depth() > 0) {
+        dirty[keep++] = node;  // backlog carries into the next epoch
+      } else {
+        depth_dirty_[node] = 0;
+      }
+    }
+    dirty.resize(keep);
   }
   depth_timeline_.push_back(DepthSample{t1, depth});
 }

@@ -33,10 +33,12 @@
 // Serving mode (EngineConfig::serving.enabled) swaps the per-node op
 // execution from immediate dispatch to a NodeServer pipeline: every
 // non-probe leg goes through a bounded FIFO queue with admission
-// control and per-request deadlines in front of the device, with
-// completions scheduled on a per-node event queue. Backlog
-// (busy_until_) persists across waves and epochs, so head-of-line
-// blocking during an attack is visible as queue wait. Traffic can run
+// control and timer-wheel per-request deadlines in front of the
+// device. A wave submits a node's whole batch into the server's staged
+// ring, drains it, then consumes the completion ring in bulk — no
+// per-op callbacks or event-queue round trips. Backlog (busy_until_)
+// persists across waves and epochs, so head-of-line blocking during an
+// attack is visible as queue wait. Traffic can run
 // closed-loop: a fixed client population issues, waits, thinks, and
 // retries shed requests with backoff — offered load sags under
 // overload instead of silently dropping. Probes bypass the queue
@@ -47,7 +49,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -221,7 +222,7 @@ class ShardedClusterEngine {
             std::uint16_t leg, sim::SimTime issue);
 
   void execute_wave();
-  void execute_nodes(std::size_t node_lo, std::size_t node_hi,
+  void execute_nodes(std::size_t shard_lo, std::size_t shard_hi,
                      std::size_t shard_slot);
   void run_waves(std::size_t first_req);
   void combine_wave0(std::size_t first_req);
@@ -233,8 +234,8 @@ class ShardedClusterEngine {
   void account_epoch_slo();
 
   // --- serving mode -----------------------------------------------------
-  static void serve_sink(void* listener, const serving::ServeResult& result);
-  void record_serving_result(NodeId node, const serving::ServeResult& result);
+  void record_serving_result(NodeId node, std::size_t shard,
+                             const serving::ServeResult& result);
   void note_fail_kind(std::uint32_t r, std::uint8_t slot_outcome);
   OutcomeKind request_outcome(std::uint32_t r) const;
   void settle_clients(std::size_t first_req);
@@ -267,14 +268,28 @@ class ShardedClusterEngine {
   std::vector<std::uint64_t> node_errors_;
   std::vector<std::uint32_t> node_depth_;  ///< ops queued this epoch
   std::vector<std::vector<Op>> node_ops_;  ///< per-node wave queues
-  /// Serving mode only: one queued pipeline per node (deque — servers
-  /// are immovable), plus a stable (engine, node) listener context each.
-  struct NodeListener {
-    ShardedClusterEngine* engine = nullptr;
-    NodeId node = 0;
-  };
-  std::deque<serving::NodeServer> servers_;
-  std::vector<NodeListener> listeners_;
+  std::vector<std::uint32_t> node_shard_;  ///< owning shard, precomputed
+  /// Nodes with queued ops this wave, one list per shard: a wave at 10k
+  /// nodes touches only the nodes traffic actually hit instead of
+  /// scanning every queue. Filled by emit() on empty -> nonempty,
+  /// consumed and cleared by execute_nodes().
+  std::vector<std::vector<NodeId>> shard_active_;
+  /// Serving mode only: one queued pipeline per node, contiguous so a
+  /// wave walking its active nodes streams through adjacent objects.
+  std::vector<serving::NodeServer> servers_;
+  /// Serving mode only: nodes whose server saw a submit this epoch or
+  /// still holds backlog — the only ones sample_epoch_depth() must
+  /// visit. Flag-deduped, per-shard (owner-exclusive during waves),
+  /// compacted at each sample.
+  std::vector<std::uint8_t> depth_dirty_;
+  std::vector<std::vector<NodeId>> shard_depth_dirty_;
+  /// Serving mode only: servers submitted to at least once this run —
+  /// the only ones whose stats need aggregating at finish() and whose
+  /// state needs resetting at the next start_run(). Every other server
+  /// is still pristine, so a run over a lightly-touched 10k fleet never
+  /// walks the whole fleet. Flag-deduped, per-shard during waves.
+  std::vector<std::uint8_t> server_used_;
+  std::vector<std::vector<NodeId>> shard_used_;
 
   // --- per-epoch request/completion arenas (reused, never shrunk) -------
   std::vector<sim::SimTime> req_arrival_;

@@ -1,9 +1,14 @@
 #include "cluster/serving/node_server.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace deepnote::cluster::serving {
+
+namespace {
+constexpr std::int64_t kNoEvent = std::numeric_limits<std::int64_t>::max();
+}  // namespace
 
 const char* admission_name(AdmissionPolicy policy) {
   switch (policy) {
@@ -14,45 +19,97 @@ const char* admission_name(AdmissionPolicy policy) {
 }
 
 NodeServer::NodeServer(storage::BlockDevice& device, ServerConfig config)
-    : device_(device), config_(config), async_(device_, events_) {
+    : device_(device), config_(config) {
   if (config_.queue_limit == 0) {
     throw std::invalid_argument("node server: queue limit must be positive");
   }
-  wait_.assign(config_.queue_limit, 0);
-}
-
-void NodeServer::set_listener(void* listener, CompletionSink sink) {
-  listener_ = listener;
-  sink_ = sink;
 }
 
 void NodeServer::reset() {
-  // drain() leaves the queue empty, but a caller abandoning a run
-  // mid-flight must not leak pending events into the next one.
-  while (!events_.empty()) (void)events_.pop();
-  free_.resize(ctxs_.size());
-  for (std::uint32_t i = 0; i < free_.size(); ++i) free_[i] = i;
-  wait_head_ = 0;
+  wheel_.reset();
+  if (waiting_ > 0 || in_service_ || !arrivals_.empty()) {
+    // Abandoned mid-pipeline: reclaim every context wholesale. When the
+    // last batch drained to idle (the engine's normal shape) all
+    // contexts are already back on the free list and this is skipped,
+    // so resetting a 10k-server fleet stays O(fleet), not O(pool).
+    free_head_ = kNil;
+    for (std::uint32_t i = 0; i < hot_.size(); ++i) {
+      hot_[i].qnext = free_head_;
+      free_head_ = i;
+    }
+  }
+  arrivals_.clear();
+  arrivals_sorted_ = true;
+  have_last_arrival_ = false;
+  wait_head_ = wait_tail_ = kNil;
   waiting_ = 0;
   in_service_ = false;
+  inflight_ = kNil;
   service_start_ = sim::SimTime::zero();
   busy_until_ = sim::SimTime::zero();
   frontier_ = sim::SimTime::zero();
   epoch_max_depth_ = 0;
   stats_ = {};
+  completions_.clear();
+}
+
+void NodeServer::reserve(std::size_t slots, std::size_t ring) {
+  hot_.reserve(slots);
+  while (hot_.size() < slots) {
+    hot_.emplace_back();
+    hot_.back().qnext = free_head_;
+    free_head_ = static_cast<std::uint32_t>(hot_.size() - 1);
+  }
+  cold_.resize(hot_.size());
+  wheel_.reserve(slots);
+  arrivals_.reserve(ring);
+  completions_.reserve(ring);
+  expired_.reserve(slots);
 }
 
 std::uint32_t NodeServer::acquire_ctx() {
-  if (free_.empty()) {
-    ctxs_.emplace_back();
-    return static_cast<std::uint32_t>(ctxs_.size() - 1);
+  if (free_head_ == kNil) {
+    hot_.emplace_back();
+    cold_.emplace_back();
+    return static_cast<std::uint32_t>(hot_.size() - 1);
   }
-  const std::uint32_t idx = free_.back();
-  free_.pop_back();
+  const std::uint32_t idx = free_head_;
+  free_head_ = hot_[idx].qnext;
   return idx;
 }
 
-void NodeServer::release_ctx(std::uint32_t idx) { free_.push_back(idx); }
+void NodeServer::release_ctx(std::uint32_t idx) {
+  hot_[idx].qnext = free_head_;
+  free_head_ = idx;
+}
+
+void NodeServer::push_wait(std::uint32_t idx) {
+  HotCtx& ctx = hot_[idx];
+  ctx.qnext = kNil;
+  ctx.qprev = wait_tail_;
+  if (wait_tail_ != kNil) {
+    hot_[wait_tail_].qnext = idx;
+  } else {
+    wait_head_ = idx;
+  }
+  wait_tail_ = idx;
+  ++waiting_;
+}
+
+void NodeServer::unlink_wait(std::uint32_t idx) {
+  HotCtx& ctx = hot_[idx];
+  if (ctx.qprev != kNil) {
+    hot_[ctx.qprev].qnext = ctx.qnext;
+  } else {
+    wait_head_ = ctx.qnext;
+  }
+  if (ctx.qnext != kNil) {
+    hot_[ctx.qnext].qprev = ctx.qprev;
+  } else {
+    wait_tail_ = ctx.qprev;
+  }
+  --waiting_;
+}
 
 void NodeServer::submit(sim::SimTime arrival, storage::DiskOpKind kind,
                         std::uint64_t lba, std::uint32_t sector_count,
@@ -60,21 +117,31 @@ void NodeServer::submit(sim::SimTime arrival, storage::DiskOpKind kind,
                         std::span<std::byte> out, sim::SimTime deadline,
                         std::uint64_t tag) {
   const std::uint32_t idx = acquire_ctx();
-  Ctx& ctx = ctxs_[idx];
-  ctx.tag = tag;
-  ctx.lba = lba;
-  ctx.arrival = arrival;
-  ctx.deadline = deadline;
-  ctx.in = in.data();
-  ctx.in_size = in.size();
-  ctx.out = out.data();
-  ctx.out_size = out.size();
-  ctx.sector_count = sector_count;
-  ctx.kind = kind;
-  // Admission runs inside the event so arrivals and completions are
-  // processed in one merged virtual-time order regardless of the order
-  // and batching of submit() calls.
-  events_.schedule(arrival, [this, idx] { on_arrival(idx); });
+  HotCtx& hot = hot_[idx];
+  hot.arrival_ns = arrival.ns();
+  hot.deadline_ns = deadline.ns();
+  hot.tag = tag;
+  hot.lba = lba;
+  hot.timer = sim::TimerWheel::kInvalidTimer;
+  hot.sector_count = sector_count;
+  hot.kind = kind;
+  ColdCtx& cold = cold_[idx];
+  cold.in = in.data();
+  cold.in_size = in.size();
+  cold.out = out.data();
+  cold.out_size = out.size();
+  // The engine submits each batch in canonical (issue, seq) order, so
+  // the staged ring is normally already sorted; track the invariant so
+  // drain() only pays for a sort when a caller actually broke it.
+  if (!have_last_arrival_) {
+    last_arrival_ns_ = arrival.ns();
+    have_last_arrival_ = true;
+  } else if (arrival.ns() < last_arrival_ns_) {
+    arrivals_sorted_ = false;
+  } else {
+    last_arrival_ns_ = arrival.ns();
+  }
+  arrivals_.push_back(idx);
 }
 
 void NodeServer::note_depth() {
@@ -83,60 +150,112 @@ void NodeServer::note_depth() {
   epoch_max_depth_ = std::max(epoch_max_depth_, d);
 }
 
+void NodeServer::fire_timeouts(std::int64_t t_ns) {
+  if (waiting_ == 0) return;  // no queued request, no armed deadline
+  expired_.clear();
+  wheel_.advance(sim::SimTime{t_ns}, expired_);
+  for (const sim::TimerWheel::Expired& e : expired_) {
+    const auto idx = static_cast<std::uint32_t>(e.payload);
+    // Still waiting by construction: service start cancels the timer.
+    unlink_wait(idx);
+    hot_[idx].timer = sim::TimerWheel::kInvalidTimer;
+    finish(idx, OutcomeKind::kTimedOut, e.deadline, e.deadline);
+  }
+}
+
 void NodeServer::on_arrival(std::uint32_t idx) {
-  const sim::SimTime now = ctxs_[idx].arrival;
+  HotCtx& ctx = hot_[idx];
+  const sim::SimTime now{ctx.arrival_ns};
   ++stats_.submitted;
+  if (!in_service_ && waiting_ == 0) {
+    // Idle server (the common case off-attack): the wait-queue push and
+    // the timer arm/cancel pair would be undone immediately by
+    // start_next, so skip them. Stamps, outcomes and depth telemetry
+    // match the queued path exactly.
+    stats_.max_depth = std::max(stats_.max_depth, std::uint64_t{1});
+    epoch_max_depth_ = std::max(epoch_max_depth_, std::uint64_t{1});
+    const sim::SimTime start = sim::max(now, busy_until_);
+    if (start.ns() >= ctx.deadline_ns) {
+      const sim::SimTime deadline{ctx.deadline_ns};
+      finish(idx, OutcomeKind::kTimedOut, deadline, deadline);
+      return;
+    }
+    start_service(idx, start);
+    return;
+  }
   if (depth() >= config_.queue_limit) {
     if (config_.admission == AdmissionPolicy::kDropOldest && waiting_ > 0) {
       // Evict the head of the line: the newcomer is the request the
       // client still cares most about.
-      const std::uint32_t oldest = wait_[wait_head_];
-      wait_head_ = (wait_head_ + 1) % wait_.size();
-      --waiting_;
+      const std::uint32_t oldest = wait_head_;
+      unlink_wait(oldest);
+      wheel_.cancel(hot_[oldest].timer);
       finish(oldest, OutcomeKind::kShed, now, now);
     } else {
       finish(idx, OutcomeKind::kShed, now, now);
       return;
     }
   }
-  wait_[(wait_head_ + waiting_) % wait_.size()] = idx;
-  ++waiting_;
+  push_wait(idx);
+  ctx.timer = wheel_.schedule(sim::SimTime{ctx.deadline_ns}, idx);
   note_depth();
   if (!in_service_) start_next(now);
 }
 
 void NodeServer::start_next(sim::SimTime now) {
   while (waiting_ > 0) {
-    const std::uint32_t idx = wait_[wait_head_];
-    wait_head_ = (wait_head_ + 1) % wait_.size();
-    --waiting_;
-    Ctx& ctx = ctxs_[idx];
+    const std::uint32_t idx = wait_head_;
+    unlink_wait(idx);
+    HotCtx& ctx = hot_[idx];
+    wheel_.cancel(ctx.timer);
+    ctx.timer = sim::TimerWheel::kInvalidTimer;
     const sim::SimTime start = sim::max(now, busy_until_);
-    if (start >= ctx.deadline) {
-      // The client gave up while this request waited; don't burn drive
-      // time serving a response nobody is listening for.
-      finish(idx, OutcomeKind::kTimedOut, ctx.deadline, ctx.deadline);
+    if (start.ns() >= ctx.deadline_ns) {
+      // Backstop for cross-batch time travel: backlog from a previous
+      // drain already covers this request's whole deadline window, so
+      // the wheel (which only advances within the batch) never saw it
+      // expire. Same stamps as a wheel timeout.
+      const sim::SimTime deadline{ctx.deadline_ns};
+      finish(idx, OutcomeKind::kTimedOut, deadline, deadline);
       continue;
     }
-    in_service_ = true;
-    service_start_ = start;
-    async_.submit(ctx.kind, start, ctx.lba, ctx.sector_count,
-                  std::span<const std::byte>(ctx.in, ctx.in_size),
-                  std::span<std::byte>(ctx.out, ctx.out_size), this, idx,
-                  &NodeServer::on_device_complete);
+    start_service(idx, start);
     return;
   }
 }
 
-void NodeServer::on_device_complete(void* self, std::uint32_t idx,
-                                    storage::BlockIo io) {
-  auto* server = static_cast<NodeServer*>(self);
-  server->in_service_ = false;
-  server->busy_until_ = io.complete;
-  server->finish(idx,
-                 io.ok() ? OutcomeKind::kServed : OutcomeKind::kFailed,
-                 server->service_start_, io.complete);
-  server->start_next(io.complete);
+void NodeServer::start_service(std::uint32_t idx, sim::SimTime start) {
+  in_service_ = true;
+  inflight_ = idx;
+  service_start_ = start;
+  const HotCtx& ctx = hot_[idx];
+  const ColdCtx& cold = cold_[idx];
+  storage::BlockIo io;
+  switch (ctx.kind) {
+    case storage::DiskOpKind::kRead:
+      io = device_.read(start, ctx.lba, ctx.sector_count,
+                        std::span<std::byte>(cold.out, cold.out_size));
+      break;
+    case storage::DiskOpKind::kWrite:
+      io = device_.write(start, ctx.lba, ctx.sector_count,
+                         std::span<const std::byte>(cold.in, cold.in_size));
+      break;
+    case storage::DiskOpKind::kFlush:
+      io = device_.flush(start);
+      break;
+  }
+  inflight_complete_ns_ = io.complete.ns();
+  inflight_ok_ = io.ok();
+}
+
+void NodeServer::complete_inflight() {
+  const std::uint32_t idx = inflight_;
+  in_service_ = false;
+  inflight_ = kNil;
+  busy_until_ = sim::SimTime{inflight_complete_ns_};
+  finish(idx, inflight_ok_ ? OutcomeKind::kServed : OutcomeKind::kFailed,
+         service_start_, busy_until_);
+  start_next(busy_until_);
 }
 
 void NodeServer::finish(std::uint32_t idx, OutcomeKind outcome,
@@ -148,24 +267,44 @@ void NodeServer::finish(std::uint32_t idx, OutcomeKind outcome,
     case OutcomeKind::kShed: ++stats_.shed; break;
   }
   frontier_ = sim::max(frontier_, complete);
-  if (sink_ != nullptr) {
-    const Ctx& ctx = ctxs_[idx];
-    ServeResult result;
-    result.tag = ctx.tag;
-    result.outcome = outcome;
-    result.arrival = ctx.arrival;
-    result.service_start = start;
-    result.complete = complete;
-    sink_(listener_, result);
-  }
+  const HotCtx& ctx = hot_[idx];
+  completions_.push_back(ServeResult{ctx.tag, outcome,
+                                     sim::SimTime{ctx.arrival_ns}, start,
+                                     complete});
   release_ctx(idx);
 }
 
 sim::SimTime NodeServer::drain() {
-  while (!events_.empty()) {
-    sim::EventQueue::Fired fired = events_.pop();
-    fired.fn();
+  if (!arrivals_sorted_) {
+    std::stable_sort(arrivals_.begin(), arrivals_.end(),
+                     [this](std::uint32_t a, std::uint32_t b) {
+                       return hot_[a].arrival_ns < hot_[b].arrival_ns;
+                     });
+    arrivals_sorted_ = true;
   }
+  // Three-way merge in virtual time: staged arrivals x the in-flight
+  // completion x wheel deadlines. Deadlines at or before an event fire
+  // first; arrivals win arrival/completion ties (they were staged
+  // before the completion existed — the order the event queue this ring
+  // replaced would have produced).
+  std::size_t ai = 0;
+  const std::size_t n_arrivals = arrivals_.size();
+  for (;;) {
+    const std::int64_t next_arrival =
+        ai < n_arrivals ? hot_[arrivals_[ai]].arrival_ns : kNoEvent;
+    const std::int64_t next_complete =
+        in_service_ ? inflight_complete_ns_ : kNoEvent;
+    if (next_arrival == kNoEvent && next_complete == kNoEvent) break;
+    if (next_complete < next_arrival) {
+      fire_timeouts(next_complete);
+      complete_inflight();
+    } else {
+      fire_timeouts(next_arrival);
+      on_arrival(arrivals_[ai++]);
+    }
+  }
+  arrivals_.clear();
+  have_last_arrival_ = false;
   return frontier_;
 }
 

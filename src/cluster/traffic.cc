@@ -107,11 +107,22 @@ double ZipfAliasSampler::probability(std::uint64_t rank) const {
   return 1.0 / (std::pow(static_cast<double>(rank + 1), theta_) * zetan_);
 }
 
+void ClosedLoopPopulation::push_pending(std::uint32_t client,
+                                        sim::SimTime at) {
+  std::vector<Pending>& heap = shard_heaps_[client / clients_per_shard_];
+  heap.push_back(Pending{at.ns(), client});
+  std::push_heap(heap.begin(), heap.end(),
+                 [](const Pending& a, const Pending& b) {
+                   return a.at_ns == b.at_ns ? a.client > b.client
+                                             : a.at_ns > b.at_ns;
+                 });
+}
+
 void ClosedLoopPopulation::reset(const TrafficConfig& traffic,
                                  std::size_t clients,
                                  sim::Duration shed_backoff,
                                  std::uint32_t max_shed_retries,
-                                 sim::SimTime start) {
+                                 sim::SimTime start, std::size_t shards) {
   if (clients == 0) {
     throw std::invalid_argument("closed loop: needs at least one client");
   }
@@ -121,35 +132,59 @@ void ClosedLoopPopulation::reset(const TrafficConfig& traffic,
   if (shed_backoff.ns() <= 0) {
     throw std::invalid_argument("closed loop: shed backoff must be positive");
   }
+  if (shards == 0) shards = 1;
+  if (shards > clients) shards = clients;
   think_mean_s_ = static_cast<double>(clients) / traffic.arrival_rate_per_s;
   read_fraction_ = traffic.read_fraction;
   shed_backoff_ = shed_backoff;
   max_shed_retries_ = max_shed_retries;
   retries_ = 0;
   clients_.assign(clients, Client{});
+  clients_per_shard_ = (clients + shards - 1) / shards;
+  shard_heaps_.assign(shards, {});
+  for (std::vector<Pending>& heap : shard_heaps_) {
+    heap.reserve(clients_per_shard_);
+  }
   sim::Rng master(traffic.seed);
-  for (Client& c : clients_) {
+  for (std::uint32_t i = 0; i < clients_.size(); ++i) {
+    Client& c = clients_[i];
     c.rng = master.fork();
-    c.next_issue = start + sim::Duration::from_seconds(
-                               c.rng.exponential(think_mean_s_));
+    push_pending(i, start + sim::Duration::from_seconds(
+                               c.rng.exponential(think_mean_s_)));
   }
 }
 
 void ClosedLoopPopulation::collect_due(sim::SimTime horizon,
                                        const ZipfAliasSampler& zipf,
                                        std::vector<ClientIssue>& out) {
-  for (std::uint32_t i = 0; i < clients_.size(); ++i) {
-    Client& c = clients_[i];
-    if (c.next_issue >= horizon) continue;
-    if (c.has_retry == 0) {
-      c.key = zipf.next(c.rng);
-      c.is_read = c.rng.bernoulli(read_fraction_) ? 1 : 0;
-      c.attempts = 0;
+  const std::size_t first = out.size();
+  const std::int64_t horizon_ns = horizon.ns();
+  const auto later = [](const Pending& a, const Pending& b) {
+    return a.at_ns == b.at_ns ? a.client > b.client : a.at_ns > b.at_ns;
+  };
+  for (std::vector<Pending>& heap : shard_heaps_) {
+    while (!heap.empty() && heap.front().at_ns < horizon_ns) {
+      const Pending due = heap.front();
+      std::pop_heap(heap.begin(), heap.end(), later);
+      heap.pop_back();
+      Client& c = clients_[due.client];
+      if (c.has_retry == 0) {
+        // Drawn against the client's own forked stream, so the order
+        // shards (or clients within one) are visited cannot matter.
+        c.key = zipf.next(c.rng);
+        c.is_read = c.rng.bernoulli(read_fraction_) ? 1 : 0;
+        c.attempts = 0;
+      }
+      out.push_back(ClientIssue{sim::SimTime{due.at_ns}, due.client, c.key,
+                                c.is_read != 0});
+      // The client is now in flight: it re-enters its heap at complete().
     }
-    out.push_back(ClientIssue{c.next_issue, i, c.key, c.is_read != 0});
-    c.next_issue = sim::SimTime::infinity();  // in flight
   }
-  std::sort(out.begin(), out.end(),
+  // Each shard popped in (at, client) order; merging the streams is a
+  // sort of the (typically tiny) due set. (at, client) pairs are unique,
+  // so the merged order — and every byte downstream — is independent of
+  // the shard layout.
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end(),
             [](const ClientIssue& a, const ClientIssue& b) {
               return a.at == b.at ? a.client < b.client : a.at < b.at;
             });
@@ -162,14 +197,14 @@ void ClosedLoopPopulation::complete(std::uint32_t client, sim::SimTime when,
     ++c.attempts;
     ++retries_;
     c.has_retry = 1;
-    c.next_issue = when + sim::Duration::from_seconds(
-                              shed_backoff_.seconds() *
-                              static_cast<double>(c.attempts));
+    push_pending(client, when + sim::Duration::from_seconds(
+                             shed_backoff_.seconds() *
+                             static_cast<double>(c.attempts)));
     return;
   }
   c.has_retry = 0;
-  c.next_issue = when + sim::Duration::from_seconds(
-                            c.rng.exponential(think_mean_s_));
+  push_pending(client, when + sim::Duration::from_seconds(
+                           c.rng.exponential(think_mean_s_)));
 }
 
 TrafficRunner::TrafficRunner(Balancer& balancer, TrafficConfig config)

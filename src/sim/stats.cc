@@ -55,13 +55,6 @@ std::int64_t LatencyHistogram::bucket_mid_ns(int bucket) {
   return static_cast<std::int64_t>(std::pow(10.0, lg));
 }
 
-void LatencyHistogram::add_ns(std::int64_t ns) {
-  ++buckets_[static_cast<std::size_t>(bucket_for(ns))];
-  ++total_;
-  max_ns_ = std::max(max_ns_, ns);
-  sum_ns_ += static_cast<double>(ns);
-}
-
 void LatencyHistogram::merge(const LatencyHistogram& other) {
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     buckets_[i] += other.buckets_[i];

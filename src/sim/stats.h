@@ -1,6 +1,7 @@
 // Streaming statistics used by the workload runners and experiment harness.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -42,7 +43,20 @@ class LatencyHistogram {
   LatencyHistogram();
 
   void add(Duration d) { add_ns(d.ns()); }
-  void add_ns(std::int64_t ns);
+  void add_ns(std::int64_t ns) {
+    // Exact-match memo of the last bucket lookup: latency samples repeat
+    // heavily (identical device service times, zero queue waits), and a
+    // repeat skips the log10 in bucket_for while landing in the same
+    // bucket by construction.
+    if (ns != memo_ns_) {
+      memo_ns_ = ns;
+      memo_bucket_ = bucket_for(ns);
+    }
+    ++buckets_[static_cast<std::size_t>(memo_bucket_)];
+    ++total_;
+    max_ns_ = std::max(max_ns_, ns);
+    sum_ns_ += static_cast<double>(ns);
+  }
   void merge(const LatencyHistogram& other);
   void reset();
 
@@ -66,6 +80,9 @@ class LatencyHistogram {
   std::size_t total_ = 0;
   std::int64_t max_ns_ = 0;
   double sum_ns_ = 0.0;
+  // bucket_for(-1) clamps to bucket 0, so this seed pair is consistent.
+  std::int64_t memo_ns_ = -1;
+  int memo_bucket_ = 0;
 };
 
 /// Throughput accounting over an interval of simulated time.

@@ -1,0 +1,256 @@
+#include "sim/timer_wheel.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace deepnote::sim {
+
+TimerWheel::TimerWheel(Duration tick, SimTime origin) {
+  if (tick.ns() <= 0) {
+    throw std::invalid_argument("timer wheel: tick must be positive");
+  }
+  tick_shift_ = 64 - std::countl_zero(
+                         static_cast<std::uint64_t>(tick.ns()) - 1);
+  if (tick_shift_ < 1) tick_shift_ = 1;
+  // reset() takes the O(1) fast path on an empty wheel, so the bucket
+  // arrays must be initialized here, not there.
+  for (std::uint32_t& head : heads_) head = kNil;
+  for (std::uint64_t& occ : occupancy_) occ = 0;
+  reset(origin);
+}
+
+void TimerWheel::reset(SimTime origin) {
+  origin_ns_ = origin.ns();
+  now_ns_ = origin.ns();
+  cur_tick_ = 0;
+  next_seq_ = 0;
+  scratch_.clear();
+  if (pending_ == 0) {
+    // Every bucket is already empty and every slab node already on the
+    // free list: rewind the clock and stop. This keeps resetting a
+    // fleet of thousands of (mostly idle) wheels O(1) each instead of
+    // O(buckets) — the common case for an engine warm replay.
+    return;
+  }
+  pending_ = 0;
+  for (std::uint32_t& head : heads_) head = kNil;
+  for (std::uint64_t& occ : occupancy_) occ = 0;
+  free_head_ = kNil;
+  for (std::uint32_t id = 0; id < nodes_.size(); ++id) {
+    nodes_[id].bucket = kFreeBucket;
+    nodes_[id].next = free_head_;
+    free_head_ = id;
+  }
+}
+
+void TimerWheel::reserve(std::size_t slots) {
+  nodes_.reserve(slots);
+  scratch_.reserve(slots);
+  while (nodes_.size() < slots) {
+    Node node;
+    node.bucket = kFreeBucket;
+    node.next = free_head_;
+    nodes_.push_back(node);
+    free_head_ = static_cast<std::uint32_t>(nodes_.size() - 1);
+  }
+}
+
+std::uint32_t TimerWheel::acquire_node() {
+  if (free_head_ == kNil) {
+    nodes_.emplace_back();
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+  }
+  const std::uint32_t id = free_head_;
+  free_head_ = nodes_[id].next;
+  return id;
+}
+
+void TimerWheel::release_node(std::uint32_t id) {
+  nodes_[id].bucket = kFreeBucket;
+  nodes_[id].next = free_head_;
+  free_head_ = id;
+}
+
+void TimerWheel::link(std::uint32_t bucket, std::uint32_t id) {
+  Node& node = nodes_[id];
+  node.bucket = bucket;
+  node.prev = kNil;
+  node.next = heads_[bucket];
+  if (node.next != kNil) nodes_[node.next].prev = id;
+  heads_[bucket] = id;
+  if (bucket < kOverdueBucket) {
+    occupancy_[bucket >> kLevelBits] |= std::uint64_t{1}
+                                        << (bucket & (kSlots - 1));
+  }
+}
+
+void TimerWheel::unlink(std::uint32_t id) {
+  Node& node = nodes_[id];
+  assert(node.bucket != kFreeBucket && "timer already fired or cancelled");
+  if (node.prev != kNil) {
+    nodes_[node.prev].next = node.next;
+  } else {
+    heads_[node.bucket] = node.next;
+  }
+  if (node.next != kNil) nodes_[node.next].prev = node.prev;
+  if (node.bucket < kOverdueBucket && heads_[node.bucket] == kNil) {
+    occupancy_[node.bucket >> kLevelBits] &=
+        ~(std::uint64_t{1} << (node.bucket & (kSlots - 1)));
+  }
+  node.bucket = kFreeBucket;
+}
+
+void TimerWheel::place(std::uint32_t id, std::int64_t tick) {
+  assert(tick >= cur_tick_);
+  // Level = highest differing bit between the tick and the cursor, so
+  // the slot always lands in the cursor's aligned window at that level,
+  // strictly after the per-level cursor — buckets never wrap, and
+  // next_pending_tick's >=cursor masks see every pending timer.
+  int level = 0;
+  if (tick != cur_tick_) {
+    const int bit = 63 - std::countl_zero(
+                             static_cast<std::uint64_t>(tick ^ cur_tick_));
+    level = bit / kLevelBits;
+    if (level >= kLevels) {
+      throw std::invalid_argument("timer wheel: deadline beyond horizon");
+    }
+  }
+  const int slot =
+      static_cast<int>((tick >> (kLevelBits * level)) & (kSlots - 1));
+  link(static_cast<std::uint32_t>(level * kSlots + slot), id);
+}
+
+TimerWheel::TimerId TimerWheel::schedule(SimTime deadline,
+                                         std::uint64_t payload) {
+  if (deadline.ns() > now_ns_) {
+    const std::int64_t tick = tick_of(deadline.ns());
+    if ((tick ^ cur_tick_) >> (kLevelBits * kLevels) != 0) {
+      throw std::invalid_argument("timer wheel: deadline beyond horizon");
+    }
+  }
+  const std::uint32_t id = acquire_node();
+  Node& node = nodes_[id];
+  node.deadline_ns = deadline.ns();
+  node.seq = next_seq_++;
+  node.payload = payload;
+  if (deadline.ns() <= now_ns_) {
+    // Already due: fires (at its own past deadline) on the next advance.
+    link(kOverdueBucket, id);
+  } else {
+    place(id, tick_of(deadline.ns()));
+  }
+  ++pending_;
+  return id;
+}
+
+void TimerWheel::cancel(TimerId id) {
+  unlink(id);
+  release_node(id);
+  --pending_;
+}
+
+std::int64_t TimerWheel::next_pending_tick() const {
+  {
+    const int c = static_cast<int>(cur_tick_ & (kSlots - 1));
+    const std::uint64_t m = occupancy_[0] & (~std::uint64_t{0} << c);
+    if (m != 0) return (cur_tick_ & ~std::int64_t{kSlots - 1}) +
+                       std::countr_zero(m);
+  }
+  for (int level = 1; level < kLevels; ++level) {
+    const std::int64_t index = cur_tick_ >> (kLevelBits * level);
+    const int c = static_cast<int>(index & (kSlots - 1));
+    const std::uint64_t m = occupancy_[level] & (~std::uint64_t{0} << c);
+    if (m != 0) {
+      const std::int64_t base = index & ~std::int64_t{kSlots - 1};
+      return (base + std::countr_zero(m)) << (kLevelBits * level);
+    }
+  }
+  return -1;
+}
+
+void TimerWheel::jump_to(std::int64_t tick) {
+  const std::int64_t old = cur_tick_;
+  cur_tick_ = tick;
+  // Highest level whose window index moved; every level at or below it
+  // moved too, so cascade each new per-level cursor bucket top-down.
+  int top = 0;
+  for (int level = kLevels - 1; level >= 1; --level) {
+    if ((old >> (kLevelBits * level)) != (tick >> (kLevelBits * level))) {
+      top = level;
+      break;
+    }
+  }
+  for (int level = top; level >= 1; --level) {
+    const int slot =
+        static_cast<int>((tick >> (kLevelBits * level)) & (kSlots - 1));
+    const std::uint32_t bucket =
+        static_cast<std::uint32_t>(level * kSlots + slot);
+    std::uint32_t id = heads_[bucket];
+    heads_[bucket] = kNil;
+    occupancy_[level] &= ~(std::uint64_t{1} << slot);
+    while (id != kNil) {
+      const std::uint32_t next = nodes_[id].next;
+      // Every tick in a cascaded cursor bucket is >= the new cursor and
+      // within the bucket's span, so place() strictly descends levels.
+      place(id, tick_of(nodes_[id].deadline_ns));
+      id = next;
+    }
+  }
+}
+
+void TimerWheel::advance(SimTime t, std::vector<Expired>& out) {
+  std::int64_t t_ns = t.ns();
+  if (t_ns < now_ns_) t_ns = now_ns_;  // monotone clock; past is a no-op
+  const std::int64_t target_tick = tick_of(t_ns);
+  scratch_.clear();
+  // Overdue timers were scheduled at deadline <= now <= t: all fire.
+  while (heads_[kOverdueBucket] != kNil) {
+    const std::uint32_t id = heads_[kOverdueBucket];
+    unlink(id);
+    scratch_.push_back(id);
+  }
+  for (;;) {
+    const std::int64_t nt = next_pending_tick();
+    if (nt < 0 || nt > target_tick) break;
+    if (nt > cur_tick_) jump_to(nt);
+    // Walk the level-0 cursor bucket. It is the only bucket that can mix
+    // due and not-yet-due timers (when it is the target tick itself).
+    const std::uint32_t bucket = static_cast<std::uint32_t>(
+        cur_tick_ & (kSlots - 1));
+    std::uint32_t id = heads_[bucket];
+    bool kept = false;
+    while (id != kNil) {
+      const std::uint32_t next = nodes_[id].next;
+      if (nodes_[id].deadline_ns <= t_ns) {
+        unlink(id);
+        scratch_.push_back(id);
+      } else {
+        kept = true;
+      }
+      id = next;
+    }
+    // Anything kept sits at the target tick with a deadline beyond t;
+    // every other pending timer is at a later tick.
+    if (kept) break;
+  }
+  if (cur_tick_ < target_tick) jump_to(target_tick);
+  now_ns_ = t_ns;
+  std::sort(scratch_.begin(), scratch_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              if (nodes_[a].deadline_ns != nodes_[b].deadline_ns) {
+                return nodes_[a].deadline_ns < nodes_[b].deadline_ns;
+              }
+              return nodes_[a].seq < nodes_[b].seq;
+            });
+  for (const std::uint32_t id : scratch_) {
+    out.push_back(Expired{SimTime{nodes_[id].deadline_ns},
+                          nodes_[id].payload});
+    release_node(id);
+    --pending_;
+  }
+  scratch_.clear();
+}
+
+}  // namespace deepnote::sim

@@ -1,5 +1,5 @@
-// Property suite for the serving pipeline (NodeServer over an async
-// block device), TEST_P over seeds.
+// Property suite for the serving pipeline (NodeServer's staged-ring /
+// timer-wheel data plane), TEST_P over seeds.
 //
 // Each seed builds a random scenario — queue limit, admission policy,
 // device latency, deadline tightness, fault injection, batch boundaries
@@ -9,10 +9,11 @@
 //  * conservation: every submitted request terminates in EXACTLY one of
 //    {served, failed, timed out, shed}; no request is lost or reported
 //    twice (tags are unique and cover the submission set);
-//  * ordering: the completion sink fires in non-decreasing virtual time,
-//    and requests that reach the device are serviced in FIFO admission
-//    order — (arrival time, submission seq) — on non-overlapping
-//    single-server busy intervals;
+//  * ordering: the completion ring is filled in non-decreasing virtual
+//    time (timeouts included — the wheel retires them at their deadline
+//    instant), and requests that reach the device are serviced in FIFO
+//    admission order — (arrival time, submission seq) — on
+//    non-overlapping single-server busy intervals;
 //  * bounds: queue depth never exceeds the admission limit, and the
 //    pipeline is empty after drain();
 //  * sanity of the per-outcome timestamps (the queue-wait / service-time
@@ -42,14 +43,6 @@ struct Submission {
   sim::SimTime arrival = sim::SimTime::zero();
   sim::SimTime deadline = sim::SimTime::zero();
   bool is_read = false;
-};
-
-/// Everything the sink saw, in callback order.
-struct Recorder {
-  std::vector<ServeResult> results;
-  static void sink(void* self, const ServeResult& result) {
-    static_cast<Recorder*>(self)->results.push_back(result);
-  }
 };
 
 Scenario make_scenario(sim::Rng& rng) {
@@ -98,9 +91,14 @@ std::vector<ServeResult> run_stream(const std::vector<Submission>& stream,
                                     sim::Rng rng, NodeServer& server,
                                     double drain_prob,
                                     NodeServerStats* stats_out = nullptr) {
-  Recorder recorder;
-  recorder.results.reserve(stream.size());
-  server.set_listener(&recorder, &Recorder::sink);
+  std::vector<ServeResult> results;
+  results.reserve(stream.size());
+  const auto consume = [&] {
+    server.drain();
+    results.insert(results.end(), server.completions().begin(),
+                   server.completions().end());
+    server.clear_completions();
+  };
 
   std::vector<std::byte> buf(storage::kBlockSectorSize);
   for (std::size_t i = 0; i < stream.size(); ++i) {
@@ -112,12 +110,12 @@ std::vector<ServeResult> run_stream(const std::vector<Submission>& stream,
       server.submit(sub.arrival, storage::DiskOpKind::kWrite, i % 64, 1,
                     std::span<const std::byte>(buf), {}, sub.deadline, i);
     }
-    if (rng.bernoulli(drain_prob)) server.drain();
+    if (rng.bernoulli(drain_prob)) consume();
   }
-  server.drain();
+  consume();
   EXPECT_EQ(server.depth(), 0u) << "pipeline not empty after drain";
   if (stats_out != nullptr) *stats_out = server.stats();
-  return recorder.results;
+  return results;
 }
 
 class ServingProperty : public ::testing::TestWithParam<std::uint64_t> {};
@@ -174,21 +172,15 @@ TEST_P(ServingProperty, CompletionOrderAndSingleServerService) {
       run_stream(stream, rng.fork(), server, 0.0);
   ASSERT_EQ(results.size(), stream.size());
 
-  // The sink fires in virtual-time order for every outcome whose
-  // `complete` IS its processing time (served/failed at device
-  // completion, shed at the admission decision). Timed-out results are
-  // the deliberate exception: they surface at dequeue but are stamped
-  // back to their deadline, so they may lag the frontier — never lead
-  // it.
+  // The ring fills in virtual-time order for EVERY outcome: served /
+  // failed at device completion, shed at the admission decision, and
+  // timed out at the deadline instant — the timer wheel retires an
+  // expired request the moment its deadline passes rather than when it
+  // would have reached the head of the line.
   std::int64_t frontier_ns = 0;
   for (std::size_t i = 0; i < results.size(); ++i) {
-    if (results[i].outcome == OutcomeKind::kTimedOut) {
-      EXPECT_LE(results[i].complete.ns(), frontier_ns)
-          << "timed-out result led the completion frontier at " << i;
-      continue;
-    }
     EXPECT_GE(results[i].complete.ns(), frontier_ns)
-        << "sink went backwards in time at result " << i;
+        << "completion ring went backwards in time at result " << i;
     frontier_ns = results[i].complete.ns();
   }
 

@@ -12,8 +12,12 @@
 // candidate that carries a "min_speedup" field is additionally gated on
 // its own recorded baseline: candidate current/baseline must reach that
 // floor (this is how the 1000-node cluster engine enforces >= 10x over
-// the serial composition). Exit code 1 with a readable per-suite diff
-// when anything regresses, 0 otherwise.
+// the serial composition). The per-suite table is sorted worst delta
+// first so the regression (or near-miss) is always the first row; the
+// exit-1 failure message names every offending suite. Entries present
+// in only one file sort to the bottom. Exit code 1 when anything
+// regresses, 0 otherwise.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -114,28 +118,42 @@ int main(int argc, char** argv) {
     const BenchFile ref = load(paths[0]);
     const BenchFile cand = load(paths[1]);
 
-    int regressions = 0;
+    // One row per comparison. `badness` is the sort key — the fraction
+    // by which the candidate is worse than what it is held against
+    // (positive = worse), so the table leads with the entries closest
+    // to (or past) the gate regardless of which metric they use.
+    struct Row {
+      std::string name;
+      std::string ref_col;
+      std::string cand_col;
+      std::string delta_col;
+      double badness = 0.0;
+      bool comparable = false;  // one-sided rows sort last, never fail
+      bool regressed = false;
+    };
+    std::vector<Row> rows;
+    auto fmt = [](const char* f, double v) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), f, v);
+      return std::string(buf);
+    };
+
     int compared = 0;
-    std::printf("%-44s %14s %14s %9s\n", "suite", "ref ns/op", "cand ns/op",
-                "delta");
     for (const auto& [name, ref_ns] : ref.suites) {
       const auto it = cand.suites.find(name);
       if (it == cand.suites.end()) {
-        std::printf("%-44s %14.1f %14s %9s\n", name.c_str(), ref_ns, "MISSING",
-                    "-");
+        rows.push_back({name, fmt("%.1f", ref_ns), "MISSING", "-"});
         continue;
       }
       ++compared;
       const double delta = ref_ns > 0 ? (it->second - ref_ns) / ref_ns : 0.0;
-      const bool regressed = delta > threshold;
-      std::printf("%-44s %14.1f %14.1f %+8.1f%%%s\n", name.c_str(), ref_ns,
-                  it->second, delta * 100.0,
-                  regressed ? "  << REGRESSION" : "");
-      if (regressed) ++regressions;
+      rows.push_back({name, fmt("%.1f", ref_ns), fmt("%.1f", it->second),
+                      fmt("%+.1f%%", delta * 100.0), delta, true,
+                      delta > threshold});
     }
     for (const auto& [name, ns] : cand.suites) {
       if (ref.suites.find(name) == ref.suites.end()) {
-        std::printf("%-44s %14s %14.1f %9s\n", name.c_str(), "NEW", ns, "-");
+        rows.push_back({name, "NEW", fmt("%.1f", ns), "-"});
       }
     }
     for (const auto& [name, ref_entry] : ref.end_to_end) {
@@ -143,28 +161,28 @@ int main(int argc, char** argv) {
       const double ref_rate = ref_entry.current;
       const auto it = cand.end_to_end.find(name);
       if (it == cand.end_to_end.end()) {
-        std::printf("%-44s %12.3f/s %14s %9s\n", label.c_str(), ref_rate,
-                    "MISSING", "-");
+        rows.push_back({label, fmt("%.3f/s", ref_rate), "MISSING", "-"});
         continue;
       }
       ++compared;
       const double delta =
           ref_rate > 0 ? (it->second.current - ref_rate) / ref_rate : 0.0;
-      const bool regressed = delta < -threshold;  // higher is better here
-      std::printf("%-44s %12.3f/s %12.3f/s %+8.1f%%%s\n", label.c_str(),
-                  ref_rate, it->second.current, delta * 100.0,
-                  regressed ? "  << REGRESSION" : "");
-      if (regressed) ++regressions;
+      // Higher is better for rates: badness is the drop.
+      rows.push_back({label, fmt("%.3f/s", ref_rate),
+                      fmt("%.3f/s", it->second.current),
+                      fmt("%+.1f%%", delta * 100.0), -delta, true,
+                      delta < -threshold});
     }
     for (const auto& [name, entry] : cand.end_to_end) {
       if (ref.end_to_end.find(name) == ref.end_to_end.end()) {
-        const std::string label = "end_to_end." + name;
-        std::printf("%-44s %14s %12.3f/s %9s\n", label.c_str(), "NEW",
-                    entry.current, "-");
+        rows.push_back({"end_to_end." + name, "NEW",
+                        fmt("%.3f/s", entry.current), "-"});
       }
     }
     // Speedup floors travel with the candidate file: an entry that
     // records both its own baseline and a min_speedup must clear it.
+    // Badness is the shortfall against the floor, so a floor check that
+    // barely passes still sorts near the top.
     for (const auto& [name, entry] : cand.end_to_end) {
       if (!entry.min_speedup.has_value() || !entry.baseline.has_value() ||
           *entry.baseline <= 0) {
@@ -172,20 +190,39 @@ int main(int argc, char** argv) {
       }
       ++compared;
       const double speedup = entry.current / *entry.baseline;
-      const bool regressed = speedup < *entry.min_speedup;
-      std::printf("%-44s %13.2fx %12.2fx%s\n",
-                  ("end_to_end." + name + ".speedup").c_str(),
-                  *entry.min_speedup, speedup,
-                  regressed ? "  << BELOW FLOOR" : "");
-      if (regressed) ++regressions;
+      const double floor = *entry.min_speedup;
+      rows.push_back({"end_to_end." + name + ".speedup", fmt("%.2fx", floor),
+                      fmt("%.2fx", speedup),
+                      fmt("%+.1f%%", (speedup / floor - 1.0) * 100.0),
+                      floor > 0 ? 1.0 - speedup / floor : 0.0, true,
+                      speedup < floor});
     }
     if (compared == 0) {
       std::fprintf(stderr, "bench_compare: no overlapping suites to compare\n");
       return 2;
     }
-    if (regressions > 0) {
-      std::printf("\n%d regression(s) beyond %.0f%% threshold\n", regressions,
-                  threshold * 100.0);
+
+    std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+      if (a.comparable != b.comparable) return a.comparable;  // one-sided last
+      return a.badness > b.badness;  // worst first
+    });
+    std::printf("%-44s %14s %14s %9s\n", "suite (worst delta first)", "ref",
+                "cand", "delta");
+    std::vector<std::string> offenders;
+    for (const Row& r : rows) {
+      std::printf("%-44s %14s %14s %9s%s\n", r.name.c_str(), r.ref_col.c_str(),
+                  r.cand_col.c_str(), r.delta_col.c_str(),
+                  r.regressed ? "  << FAIL" : "");
+      if (r.regressed) offenders.push_back(r.name);
+    }
+    if (!offenders.empty()) {
+      std::string list;
+      for (const std::string& name : offenders) {
+        if (!list.empty()) list += ", ";
+        list += name;
+      }
+      std::printf("\n%zu regression(s) beyond %.0f%% threshold: %s\n",
+                  offenders.size(), threshold * 100.0, list.c_str());
       return 1;
     }
     std::printf("\nno regressions beyond %.0f%% threshold (%d compared)\n",
