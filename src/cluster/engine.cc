@@ -103,20 +103,32 @@ ShardedClusterEngine::ShardedClusterEngine(
   shard_frontier_.assign(shard_count_, sim::SimTime::zero());
   node_ops_.resize(n);
 
+  chaos_down_.assign(n, 0);
+  chaos_flap_.assign(n, 0);
+  chaos_touched_.assign(n, 0);
+
   if (config_.serving.enabled) {
     if (config_.serving.closed_loop) {
       if (config_.serving.clients == 0) {
         throw std::invalid_argument("engine: closed loop needs clients");
       }
-      if (config_.serving.shed_backoff.ns() <= 0) {
-        throw std::invalid_argument("engine: shed backoff must be positive");
+      if (config_.serving.backoff.base.ns() <= 0) {
+        throw std::invalid_argument("engine: backoff base must be positive");
+      }
+      if (config_.serving.backoff.jitter < 0.0 ||
+          config_.serving.backoff.jitter > 1.0) {
+        throw std::invalid_argument("engine: backoff jitter must be in [0, 1]");
       }
     }
     // Pre-size every pipeline's pools here, outside any timed run: the
     // queue plus the in-flight command bounds live contexts, and the
     // ring estimate covers a typical epoch batch (they grow on demand
-    // if a node runs hotter).
-    const std::size_t ctx_slots = config_.serving.server.queue_limit + 1;
+    // if a node runs hotter). Deep queues (the overload study runs
+    // hundreds of slots) cap the up-front reservation — ~64 B per slot
+    // per node is real memory at 10k nodes — and grow only where
+    // traffic actually lands.
+    const std::size_t ctx_slots =
+        std::min<std::size_t>(config_.serving.server.queue_limit + 1, 33);
     servers_.reserve(n);
     for (std::size_t id = 0; id < n; ++id) {
       servers_.emplace_back(*devices_[id], config_.serving.server);
@@ -195,6 +207,23 @@ void ShardedClusterEngine::start_run(sim::SimTime start, SloTracker& slo,
     wave_lists_flipped_ = false;
   }
 
+  // Clear chaos left over from the previous run's schedule (O(touched)).
+  for (const NodeId node : chaos_touched_list_) {
+    chaos_down_[node] = 0;
+    chaos_flap_[node] = 0;
+    chaos_touched_[node] = 0;
+    if (serving()) servers_[node].set_service_scale(1.0);
+  }
+  chaos_touched_list_.clear();
+
+  breakers_.reset(n, shard_count_, nodes_per_shard_, config_.breaker);
+  brownout_.reset(config_.brownout);
+  retry_budget_ = resilience::RetryBudget(config_.serving.retry_budget);
+  retry_budget_.reset();
+  brownout_shed_ = 0;
+  epoch_misses_ = 0;
+  epoch_brownout_shed_ = 0;
+
   if (serving()) {
     // Only servers the previous run actually submitted to hold state;
     // the rest are still pristine (a fresh engine resets nothing).
@@ -222,8 +251,10 @@ void ShardedClusterEngine::start_run(sim::SimTime start, SloTracker& slo,
     error_requests_ = 0;
     if (config_.serving.closed_loop) {
       clients_.reset(config_.traffic, config_.serving.clients,
-                     config_.serving.shed_backoff,
-                     config_.serving.max_shed_retries, start, shard_count_);
+                     config_.serving.backoff,
+                     config_.serving.retry_budget.enabled ? &retry_budget_
+                                                          : nullptr,
+                     start, shard_count_);
     }
   }
   running_ = true;
@@ -249,20 +280,42 @@ bool ShardedClusterEngine::step() {
   if (serving() && config_.serving.closed_loop) {
     // Closed-loop rounds within the epoch: issue every due client
     // request, run it to completion, and let the completions schedule
-    // the follow-ups (think gaps, shed backoffs) — which may land
+    // the follow-ups (think gaps, retry backoffs) — which may land
     // before the barrier and start another round. Round boundaries are
     // global, so results stay byte-identical at any shard count.
+    const bool browning = brownout_.enabled();
     std::size_t round_lo = 0;
     for (;;) {
       issue_scratch_.clear();
       clients_.collect_due(t1, *zipf_, issue_scratch_);
+      if (issue_scratch_.empty()) break;
       for (const ClientIssue& issue : issue_scratch_) {
+        if (browning &&
+            brownout_.should_shed(brownout_.class_of(issue.client))) {
+          // Shed at issue, before routing: the request costs nothing
+          // downstream. The client sees a shed (and may retry through
+          // its backoff), the SLO charges it like any other shed.
+          ++traffic_.requests;
+          if (issue.is_read) {
+            ++traffic_.reads;
+          } else {
+            ++traffic_.writes;
+          }
+          slo_->record_outcome(issue.at, OutcomeKind::kShed);
+          ++brownout_shed_;
+          ++epoch_brownout_shed_;
+          ++shed_requests_;
+          clients_.complete(issue.client, issue.at, OutcomeKind::kShed);
+          continue;
+        }
         const std::uint32_t r =
             push_request(issue.at, issue.key, issue.is_read);
         req_client_[r] = issue.client;
       }
-      if (ops_emitted_ == 0) break;
-      run_waves(round_lo);
+      // A fully browned-out round emits nothing; the rescheduled
+      // retries (strictly later — backoff base is positive) either land
+      // before t1 and start another round or wait for the next epoch.
+      if (ops_emitted_ > 0) run_waves(round_lo);
       settle_clients(round_lo);
       round_lo = req_arrival_.size();
     }
@@ -270,9 +323,15 @@ bool ShardedClusterEngine::step() {
     generate_and_route(t0, t1);
     if (ops_emitted_ > 0) run_waves(0);
   }
-  barrier_control();
+  barrier_control(t1);
   account_epoch_slo();
-  if (serving()) sample_epoch_depth(t1);
+  if (serving()) {
+    sample_epoch_depth(t1);
+    if (brownout_.enabled()) {
+      brownout_.update(req_arrival_.size() + epoch_brownout_shed_,
+                       epoch_misses_, depth_timeline_.back().depth);
+    }
+  }
   cursor_ = t1;
   return cursor_ < end_;
 }
@@ -312,6 +371,7 @@ EngineReport ShardedClusterEngine::finish() {
         s.legs_failed += st.failed;
         s.legs_timed_out += st.timed_out;
         s.legs_shed += st.shed;
+        s.legs_cancelled += st.cancelled;
         s.max_queue_depth = std::max(s.max_queue_depth, st.max_depth);
       }
     }
@@ -319,6 +379,13 @@ EngineReport ShardedClusterEngine::finish() {
     s.timed_out_requests = timed_out_requests_;
     s.error_requests = error_requests_;
     s.client_retries = config_.serving.closed_loop ? clients_.retries() : 0;
+    s.retry_budget_spent = retry_budget_.spent();
+    s.retry_budget_denied = retry_budget_.denied();
+    s.brownout_shed = brownout_shed_;
+    s.brownout_escalations = brownout_.escalations();
+    const resilience::BreakerBankStats breaker_stats = breakers_.stats();
+    s.breaker_opens = breaker_stats.opens + breaker_stats.reopens;
+    s.breaker_short_circuits = breaker_stats.short_circuits;
     // Shard index order; bucket sums are order-independent anyway.
     for (const auto& hist : shard_qwait_) qwait_hist_.merge(hist);
     for (const auto& hist : shard_service_) service_hist_.merge(hist);
@@ -340,8 +407,17 @@ void ShardedClusterEngine::fire_actions_due(sim::SimTime now) {
 void ShardedClusterEngine::snapshot_control_state() {
   const std::size_t n = devices_.size();
   const bool hedging = config_.balancer.hedge_threshold.ns() > 0;
+  const bool breaking = serving() && breakers_.enabled();
   for (std::size_t i = 0; i < n; ++i) {
     rank_snap_[i] = health_rank(health_[i]);
+    if (breaking &&
+        breakers_.state(static_cast<NodeId>(i)) ==
+            resilience::BreakerState::kOpen) {
+      // An open breaker routes like a drained node: the router prefers
+      // any other replica, and legs that still land here (all replicas
+      // open) are short-circuited at execution.
+      rank_snap_[i] = kDrainedRank;
+    }
     if (hedging) {
       hot_snap_[i] =
           detectors_[i].recent_latency_s() > hedge_threshold_s_ ? 1 : 0;
@@ -364,6 +440,7 @@ void ShardedClusterEngine::begin_epoch() {
   req_cand_.clear();
   req_fail_kind_.clear();
   req_client_.clear();
+  req_hedge_cancel_.clear();
   leg_ok_.clear();
   leg_complete_.clear();
   leg_outcome_.clear();
@@ -376,6 +453,8 @@ void ShardedClusterEngine::begin_epoch() {
   std::fill(node_depth_.begin(), node_depth_.end(), 0);
   op_seq_ = 0;
   ops_emitted_ = 0;
+  epoch_misses_ = 0;
+  epoch_brownout_shed_ = 0;
 }
 
 void ShardedClusterEngine::emit(NodeId node, std::uint8_t kind,
@@ -442,6 +521,7 @@ std::uint32_t ShardedClusterEngine::push_request(sim::SimTime arrival,
   if (serving()) {
     req_fail_kind_.push_back(0);
     req_client_.push_back(0);
+    req_hedge_cancel_.push_back(sim::SimTime::infinity());
     leg_outcome_.resize(leg_outcome_.size() + leg_stride_, 0);
   }
 
@@ -490,6 +570,16 @@ void ShardedClusterEngine::route_read(std::uint32_t r) {
   if (hedged) {
     ++stats_.hedged_reads;
     req_hedged_[r] = 1;
+    if (serving()) {
+      // Serving mode defers the backup leg to the next wave so its
+      // submit can carry a cancel fuse derived from the primary's
+      // outcome (a won hedge frees the loser's queue slot). Wave 0 runs
+      // only the primary; combine_wave0 emits leg 1.
+      req_attempts_[r] = 1;
+      req_next_cand_[r] = 1;
+      emit(req_cand_[base], kRead, r, 0, arrival);
+      return;
+    }
     req_attempts_[r] = 2;
     req_next_cand_[r] = 2;
     emit(req_cand_[base], kRead, r, 0, arrival);
@@ -570,6 +660,12 @@ void ShardedClusterEngine::execute_nodes(std::size_t shard_lo,
       }
       storage::BlockDevice& device = *devices_[node];
       core::AttackDetector& detector = detectors_[node];
+      // Chaos crash: the node answers nothing. Legs fail instantly (the
+      // connection refuses), feeding the detector exactly like a device
+      // error; probes fail so a drained crashed node stays drained.
+      // chaos_down_ only mutates at barriers, so the flag is stable for
+      // the whole wave.
+      const bool crashed = chaos_down_[node] > 0;
       if (serving()) {
         // Serving pipeline: legs are submitted in canonical order, the
         // queue drains them through admission/deadline/device, and the
@@ -577,9 +673,16 @@ void ShardedClusterEngine::execute_nodes(std::size_t shard_lo,
         // detector. Probes still bypass the queue — a health check must
         // not skew the serving stats, and must not be shed by overload.
         serving::NodeServer& server = servers_[node];
+        const bool breaking = breakers_.enabled();
         bool submitted = false;
         for (const Op& op : ops) {
           if (op.kind == kProbe) {
+            if (crashed) {
+              probe_ok_[op.req] = 0;
+              probe_complete_[op.req] = op.issue;
+              frontier = sim::max(frontier, op.issue);
+              continue;
+            }
             const storage::BlockIo io =
                 device.read(op.issue, 0, config_.balancer.probe_sectors,
                             read_buf.first(probe_bytes));
@@ -590,6 +693,26 @@ void ShardedClusterEngine::execute_nodes(std::size_t shard_lo,
           }
           const std::uint64_t slot =
               static_cast<std::uint64_t>(op.req) * leg_stride_ + op.leg;
+          if (crashed) {
+            detector.record_error(op.issue);
+            ++node_errors_[node];
+            leg_ok_[slot] = 0;
+            leg_complete_[slot] = op.issue;
+            leg_outcome_[slot] =
+                static_cast<std::uint8_t>(OutcomeKind::kFailed);
+            frontier = sim::max(frontier, op.issue);
+            continue;
+          }
+          if (breaking && !breakers_.allow(s, node)) {
+            // Short-circuit: the breaker refuses the leg without
+            // touching the server or the detector — the whole point is
+            // to stop spending queue slots on a node that keeps failing.
+            leg_ok_[slot] = 0;
+            leg_complete_[slot] = op.issue;
+            leg_outcome_[slot] = static_cast<std::uint8_t>(OutcomeKind::kShed);
+            frontier = sim::max(frontier, op.issue);
+            continue;
+          }
           if (op.kind == kWrite) {
             ++node_writes_[node];
             server.submit(op.issue, storage::DiskOpKind::kWrite,
@@ -597,10 +720,16 @@ void ShardedClusterEngine::execute_nodes(std::size_t shard_lo,
                           write_buf_, {}, deadline_of(op.req), slot);
           } else {
             ++node_reads_[node];
+            // A deferred hedge backup carries its cancel fuse (the
+            // primary's winning completion time); everything else never
+            // cancels.
+            const sim::SimTime cancel_at =
+                op.leg == 1 ? req_hedge_cancel_[op.req]
+                            : sim::SimTime::infinity();
             server.submit(op.issue, storage::DiskOpKind::kRead,
                           req_lba_[op.req], config_.balancer.object_sectors,
                           {}, read_buf.first(object_bytes),
-                          deadline_of(op.req), slot);
+                          deadline_of(op.req), slot, cancel_at);
           }
           submitted = true;
         }
@@ -623,6 +752,21 @@ void ShardedClusterEngine::execute_nodes(std::size_t shard_lo,
         continue;
       }
       for (const Op& op : ops) {
+        if (crashed) {
+          if (op.kind == kProbe) {
+            probe_ok_[op.req] = 0;
+            probe_complete_[op.req] = op.issue;
+          } else {
+            detector.record_error(op.issue);
+            ++node_errors_[node];
+            const std::size_t slot =
+                static_cast<std::size_t>(op.req) * leg_stride_ + op.leg;
+            leg_ok_[slot] = 0;
+            leg_complete_[slot] = op.issue;
+          }
+          frontier = sim::max(frontier, op.issue);
+          continue;
+        }
         storage::BlockIo io;
         if (op.kind == kWrite) {
           ++node_writes_[node];
@@ -695,6 +839,21 @@ void ShardedClusterEngine::record_serving_result(
       break;
     case OutcomeKind::kShed:
       break;
+    case OutcomeKind::kCancelled:
+      // A hedge leg its sibling already won: not a health signal, not a
+      // latency sample — it only frees the queue slot.
+      break;
+  }
+  if (breakers_.enabled()) {
+    // Served = success; device error or in-queue expiry = failure (both
+    // mean the node is not delivering within the deadline). Sheds and
+    // cancels say nothing about the node itself.
+    if (result.outcome == OutcomeKind::kServed) {
+      breakers_.record(shard, node, true);
+    } else if (result.outcome == OutcomeKind::kFailed ||
+               result.outcome == OutcomeKind::kTimedOut) {
+      breakers_.record(shard, node, false);
+    }
   }
 }
 
@@ -702,6 +861,12 @@ void ShardedClusterEngine::note_fail_kind(std::uint32_t r,
                                           std::uint8_t slot_outcome) {
   // OutcomeKind values are ordered by classification priority
   // (shed > timed out > failed), so "dominant cause" is just max.
+  // kCancelled sits above kShed numerically but is *not* a failure
+  // cause — a cancelled hedge leg means the sibling won — so it never
+  // participates in the classification.
+  if (slot_outcome == static_cast<std::uint8_t>(OutcomeKind::kCancelled)) {
+    return;
+  }
   if (slot_outcome > req_fail_kind_[r]) req_fail_kind_[r] = slot_outcome;
 }
 
@@ -777,6 +942,24 @@ void ShardedClusterEngine::combine_wave0(std::size_t first_req) {
     const sim::SimTime deadline = deadline_of(r);
     const std::size_t base = static_cast<std::size_t>(r) * leg_stride_;
     if (req_hedged_[r]) {
+      if (classify) {
+        // Deferred backup leg: the primary has run, so the cancel fuse
+        // is known — a timely primary win cancels the backup the moment
+        // it would be pointless, a primary miss lets it run clean. The
+        // backup still *issues* at arrival (the hedger did not wait for
+        // the primary verdict; the engine merely learned it first), so
+        // its queueing starts where a real hedge's would.
+        const bool k0 = leg_ok_[base] != 0;
+        const sim::SimTime c0 = leg_complete_[base];
+        req_hedge_cancel_[r] = k0 && c0 <= deadline
+                                   ? c0
+                                   : sim::SimTime::infinity();
+        req_attempts_[r] = 2;
+        req_next_cand_[r] = 2;
+        emit(req_cand_[base + 1], kRead, r, 1, req_arrival_[r]);
+        next_pending_.push_back(r);
+        continue;
+      }
       const bool k0 = leg_ok_[base] != 0;
       const bool k1 = leg_ok_[base + 1] != 0;
       const sim::SimTime c0 = leg_complete_[base];
@@ -829,6 +1012,34 @@ void ShardedClusterEngine::combine_failover_wave() {
   for (const std::uint32_t r : pending_) {
     const sim::SimTime deadline = deadline_of(r);
     const std::size_t base = static_cast<std::size_t>(r) * leg_stride_;
+    if (classify && req_hedged_[r] == 1) {
+      // Deferred hedge: both legs have now run — the same two-leg
+      // combine immediate mode does in wave 0. Mark the hedge settled
+      // so a further failover of this request takes the single-leg path.
+      req_hedged_[r] = 2;
+      const bool k0 = leg_ok_[base] != 0;
+      const bool k1 = leg_ok_[base + 1] != 0;
+      const sim::SimTime c0 = leg_complete_[base];
+      const sim::SimTime c1 = leg_complete_[base + 1];
+      const bool ok0 = k0 && c0 <= deadline;
+      const bool ok1 = k1 && c1 <= deadline;
+      if (ok0 || ok1) {
+        req_ok_[r] = 1;
+        req_complete_[r] = ok0 && (!ok1 || c0 <= c1) ? c0 : c1;
+        if (!ok0 || (ok1 && c1 < c0)) ++stats_.hedge_wins;
+        continue;
+      }
+      if ((k0 && c0 > deadline) || (k1 && c1 > deadline)) {
+        ++stats_.deadline_misses;
+      }
+      note_fail_kind(r, k0 ? static_cast<std::uint8_t>(OutcomeKind::kTimedOut)
+                           : leg_outcome_[base]);
+      note_fail_kind(r, k1 ? static_cast<std::uint8_t>(OutcomeKind::kTimedOut)
+                           : leg_outcome_[base + 1]);
+      req_t_[r] = sim::min(c0, c1);
+      try_emit_failover(r);
+      continue;
+    }
     const bool ok = leg_ok_[base] != 0;
     const sim::SimTime complete = leg_complete_[base];
     if (ok && complete <= deadline) {
@@ -883,7 +1094,7 @@ void ShardedClusterEngine::combine_write(std::uint32_t r) {
   req_complete_[r] = latest;
 }
 
-void ShardedClusterEngine::barrier_control() {
+void ShardedClusterEngine::barrier_control(sim::SimTime t1) {
   // Probe results first: a node readmitted this epoch must not be
   // re-drained by the alert its probe just acknowledged.
   const std::size_t nprobes = probe_node_.size();
@@ -900,10 +1111,23 @@ void ShardedClusterEngine::barrier_control() {
     }
   }
   // Detector -> health control action (the drain/degrade half of the
-  // Balancer's react()), applied once per barrier.
+  // Balancer's react()), applied once per barrier. Chaos flap windows
+  // override the detector verdict: kForceDown drains a healthy node as
+  // if a (false-positive) alert fired, kSuppress swallows real alerts
+  // (false negative) so traffic keeps hitting the sick node.
   const std::size_t n = devices_.size();
   for (std::size_t id = 0; id < n; ++id) {
+    const auto flap = static_cast<resilience::ChaosFlapMode>(chaos_flap_[id]);
+    if (flap == resilience::ChaosFlapMode::kForceDown) {
+      if (health_[id] == NodeHealth::kHealthy) {
+        health_[id] = NodeHealth::kDrained;
+        ++stats_.drains;
+        next_probe_[id] = t1 + config_.balancer.probe_interval;
+      }
+      continue;
+    }
     if (!detectors_[id].alerted()) continue;
+    if (flap == resilience::ChaosFlapMode::kSuppress) continue;
     if (health_[id] != NodeHealth::kHealthy) continue;
     if (config_.balancer.auto_drain) {
       health_[id] = NodeHealth::kDrained;
@@ -915,6 +1139,10 @@ void ShardedClusterEngine::barrier_control() {
       ++stats_.degrades;
     }
   }
+  // Breaker transitions happen only here, at the single-threaded
+  // barrier: wave shards record outcomes into owner-exclusive epoch
+  // counters, and this settles them into open/half-open/closed state.
+  if (breakers_.enabled()) breakers_.update(t1);
 }
 
 void ShardedClusterEngine::account_epoch_slo() {
@@ -938,10 +1166,42 @@ void ShardedClusterEngine::account_epoch_slo() {
     switch (outcome) {
       case OutcomeKind::kServed: break;
       case OutcomeKind::kFailed: ++error_requests_; break;
-      case OutcomeKind::kTimedOut: ++timed_out_requests_; break;
+      case OutcomeKind::kTimedOut:
+        ++timed_out_requests_;
+        ++epoch_misses_;  // feeds the brownout deadline-miss EWMA
+        break;
       case OutcomeKind::kShed: ++shed_requests_; break;
+      case OutcomeKind::kCancelled: break;  // unreachable for requests
     }
   }
+}
+
+void ShardedClusterEngine::chaos_touch(NodeId node) {
+  if (chaos_touched_[node]) return;
+  chaos_touched_[node] = 1;
+  chaos_touched_list_.push_back(node);
+}
+
+void ShardedClusterEngine::chaos_node_down(NodeId node, bool down) {
+  chaos_touch(node);
+  // A counter, not a flag: overlapping crash windows from independent
+  // schedules compose — the node recovers when the last window closes.
+  if (down) {
+    ++chaos_down_[node];
+  } else if (chaos_down_[node] > 0) {
+    --chaos_down_[node];
+  }
+}
+
+void ShardedClusterEngine::chaos_set_flap(NodeId node,
+                                          resilience::ChaosFlapMode mode) {
+  chaos_touch(node);
+  chaos_flap_[node] = static_cast<std::uint8_t>(mode);
+}
+
+void ShardedClusterEngine::chaos_set_service_scale(NodeId node, double scale) {
+  chaos_touch(node);
+  if (serving()) servers_[node].set_service_scale(scale);
 }
 
 }  // namespace deepnote::cluster

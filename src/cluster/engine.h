@@ -54,6 +54,10 @@
 #include <vector>
 
 #include "cluster/balancer.h"
+#include "cluster/resilience/breaker.h"
+#include "cluster/resilience/brownout.h"
+#include "cluster/resilience/chaos.h"
+#include "cluster/resilience/retry.h"
 #include "cluster/serving/node_server.h"
 #include "cluster/slo.h"
 #include "cluster/traffic.h"
@@ -73,9 +77,14 @@ struct ServingModeConfig {
   /// same arrivals as immediate mode.
   bool closed_loop = true;
   std::size_t clients = 64;
-  /// Backoff before a shed request is re-issued (linear in attempts).
-  sim::Duration shed_backoff = sim::Duration::from_millis(5.0);
-  std::uint32_t max_shed_retries = 3;
+  /// Client retry shaping: backoff kind/base/cap, deterministic
+  /// per-client jitter, retry cap, and whether device failures and
+  /// deadline misses retry too (sheds always do).
+  resilience::BackoffConfig backoff;
+  /// Cluster-wide token-bucket retry budget (balancer-style): fresh
+  /// issues earn fractional tokens, every retry spends one; an empty
+  /// bucket denies the retry outright. Off by default.
+  resilience::RetryBudgetConfig retry_budget;
 };
 
 /// Serving-mode telemetry: per-leg terminal states from the node
@@ -87,13 +96,24 @@ struct ServingReport {
   std::uint64_t legs_failed = 0;
   std::uint64_t legs_timed_out = 0;
   std::uint64_t legs_shed = 0;
+  std::uint64_t legs_cancelled = 0;  ///< hedge legs stopped by the winner
   /// Failed requests classified by dominant cause (shed > timeout >
   /// device error; a shed leg anywhere in the request marks it shed).
   std::uint64_t shed_requests = 0;
   std::uint64_t timed_out_requests = 0;
   std::uint64_t error_requests = 0;
-  /// Closed-loop shed re-issues (0 in open-loop serving).
+  /// Closed-loop retry re-issues (0 in open-loop serving).
   std::uint64_t client_retries = 0;
+  /// Retry-budget accounting (zero when the budget is disabled).
+  std::uint64_t retry_budget_spent = 0;
+  std::uint64_t retry_budget_denied = 0;
+  /// Brownout controller: requests shed by priority class, and how many
+  /// times the shed level escalated.
+  std::uint64_t brownout_shed = 0;
+  std::uint64_t brownout_escalations = 0;
+  /// Circuit breakers: closed->open trips and legs denied while open.
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_short_circuits = 0;
   std::uint64_t max_queue_depth = 0;
   double queue_wait_p50_ms = 0.0;
   double queue_wait_p99_ms = 0.0;
@@ -128,6 +148,14 @@ struct EngineConfig {
   std::shared_ptr<const ZipfAliasSampler> zipf;
   /// Async serving front-end (queueing, admission, closed-loop clients).
   ServingModeConfig serving;
+  /// Per-replica circuit breakers (serving mode; transitions at epoch
+  /// barriers, open nodes ranked behind drained for routing and denied
+  /// legs fail over instantly).
+  resilience::BreakerConfig breaker;
+  /// Brownout controller: shed low-priority traffic classes when the
+  /// deadline-miss EWMA or queue depth crosses thresholds (serving
+  /// closed-loop mode).
+  resilience::BrownoutConfig brownout;
 };
 
 struct EngineReport {
@@ -173,6 +201,28 @@ class ShardedClusterEngine {
   const core::AttackDetector& detector(NodeId id) const {
     return detectors_[id];
   }
+
+  // --- chaos-injection hooks --------------------------------------------
+  // Called from TimelineActions only, i.e. at single-threaded epoch
+  // barriers; never during waves. State persists across epochs and is
+  // cleared at the next start_run().
+
+  /// Crash (`down` true) or restart (`down` false) a node. Counted, so
+  /// overlapping crash windows compose: the node is up again only when
+  /// every crash has matched its restart. Legs and probes to a down node
+  /// fail instantly at issue (and feed the failure detector).
+  void chaos_node_down(NodeId node, bool down);
+  /// Override the failure detector: kForceDown drains a healthy node
+  /// every barrier (false positive), kSuppress masks real alerts (false
+  /// negative), kNone restores normal behavior.
+  void chaos_set_flap(NodeId node, resilience::ChaosFlapMode mode);
+  /// Inflate a node's device service spans (serving mode). 1.0 restores
+  /// normal service; last call wins.
+  void chaos_set_service_scale(NodeId node, double scale);
+
+  const resilience::BreakerBank& breakers() const { return breakers_; }
+  const resilience::BrownoutController& brownout() const { return brownout_; }
+  const resilience::RetryBudget& retry_budget() const { return retry_budget_; }
 
   /// One queue-depth sample per epoch: the max depth any node's serving
   /// queue reached during it (empty outside serving mode).
@@ -230,8 +280,9 @@ class ShardedClusterEngine {
   void try_emit_failover(std::uint32_t r);
   void fail_read(std::uint32_t r);
   void combine_write(std::uint32_t r);
-  void barrier_control();
+  void barrier_control(sim::SimTime t1);
   void account_epoch_slo();
+  void chaos_touch(NodeId node);
 
   // --- serving mode -----------------------------------------------------
   void record_serving_result(NodeId node, std::size_t shard,
@@ -290,6 +341,13 @@ class ShardedClusterEngine {
   /// walks the whole fleet. Flag-deduped, per-shard during waves.
   std::vector<std::uint8_t> server_used_;
   std::vector<std::vector<NodeId>> shard_used_;
+  /// Chaos state (always sized; zero cost when no chaos is scheduled).
+  /// Mutated only at barriers; waves read it like any other epoch-start
+  /// control snapshot.
+  std::vector<std::uint16_t> chaos_down_;  ///< overlapping crash count
+  std::vector<std::uint8_t> chaos_flap_;   ///< resilience::ChaosFlapMode
+  std::vector<std::uint8_t> chaos_touched_;
+  std::vector<NodeId> chaos_touched_list_;  ///< O(touched) reset at start_run
 
   // --- per-epoch request/completion arenas (reused, never shrunk) -------
   std::vector<sim::SimTime> req_arrival_;
@@ -306,6 +364,10 @@ class ShardedClusterEngine {
   std::vector<NodeId> req_cand_;           ///< leg_stride_ per request
   std::vector<std::uint8_t> req_fail_kind_;  ///< OutcomeKind; serving mode
   std::vector<std::uint32_t> req_client_;    ///< closed-loop issuer
+  /// Serving hedges: the backup leg's cancel time (the primary's win
+  /// instant, or infinity when the primary lost). Written by
+  /// combine_wave0, read by execute_nodes when submitting leg 1.
+  std::vector<sim::SimTime> req_hedge_cancel_;
   std::vector<std::uint8_t> leg_ok_;       ///< leg_stride_ per request
   std::vector<sim::SimTime> leg_complete_;
   std::vector<std::uint8_t> leg_outcome_;  ///< OutcomeKind; serving mode
@@ -352,6 +414,15 @@ class ShardedClusterEngine {
   std::uint64_t shed_requests_ = 0;
   std::uint64_t timed_out_requests_ = 0;
   std::uint64_t error_requests_ = 0;
+
+  // --- resilience state -------------------------------------------------
+  resilience::BreakerBank breakers_;
+  resilience::BrownoutController brownout_;
+  resilience::RetryBudget retry_budget_;
+  std::uint64_t brownout_shed_ = 0;
+  /// Per-epoch brownout inputs, reset in begin_epoch().
+  std::uint64_t epoch_misses_ = 0;
+  std::uint64_t epoch_brownout_shed_ = 0;
 };
 
 }  // namespace deepnote::cluster

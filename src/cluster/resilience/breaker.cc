@@ -1,0 +1,145 @@
+#include "cluster/resilience/breaker.h"
+
+#include <algorithm>
+
+namespace deepnote::cluster::resilience {
+
+const char* breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+void BreakerBank::reset(std::size_t nodes, std::size_t shards,
+                        std::size_t nodes_per_shard,
+                        const BreakerConfig& config) {
+  config_ = config;
+  nodes_per_shard_ = nodes_per_shard == 0 ? 1 : nodes_per_shard;
+  state_.assign(nodes, static_cast<std::uint8_t>(BreakerState::kClosed));
+  epoch_ok_.assign(nodes, 0);
+  epoch_fail_.assign(nodes, 0);
+  probes_admitted_.assign(nodes, 0);
+  open_until_ns_.assign(nodes, 0);
+  touched_.assign(nodes, 0);
+  shard_touched_.resize(std::max<std::size_t>(shards, 1));
+  for (auto& list : shard_touched_) list.clear();
+  tracked_flag_.assign(nodes, 0);
+  tracked_.clear();
+  shard_short_circuits_.assign(std::max<std::size_t>(shards, 1), 0);
+  opens_ = reopens_ = closes_ = 0;
+}
+
+bool BreakerBank::allow(std::size_t shard, std::size_t node) {
+  switch (static_cast<BreakerState>(state_[node])) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      ++shard_short_circuits_[shard];
+      return false;
+    case BreakerState::kHalfOpen:
+      if (probes_admitted_[node] < config_.half_open_probes) {
+        ++probes_admitted_[node];
+        return true;
+      }
+      ++shard_short_circuits_[shard];
+      return false;
+  }
+  return true;
+}
+
+void BreakerBank::record(std::size_t shard, std::size_t node, bool ok) {
+  if (ok) {
+    ++epoch_ok_[node];
+  } else {
+    ++epoch_fail_[node];
+  }
+  if (!touched_[node]) {
+    touched_[node] = 1;
+    shard_touched_[shard].push_back(static_cast<std::uint32_t>(node));
+  }
+}
+
+void BreakerBank::track(std::size_t node) {
+  if (!tracked_flag_[node]) {
+    tracked_flag_[node] = 1;
+    tracked_.push_back(static_cast<std::uint32_t>(node));
+  }
+}
+
+void BreakerBank::update(sim::SimTime now) {
+  // Closed -> open decisions come from this epoch's touched set (only
+  // nodes with traffic can trip); the rest of the machine runs over the
+  // tracked open/half-open set so cooldowns expire even without traffic.
+  for (auto& list : shard_touched_) {
+    for (const std::uint32_t node : list) {
+      touched_[node] = 0;
+      if (static_cast<BreakerState>(state_[node]) == BreakerState::kClosed) {
+        const std::uint32_t total = epoch_ok_[node] + epoch_fail_[node];
+        if (total >= config_.min_volume &&
+            static_cast<double>(epoch_fail_[node]) >=
+                config_.failure_threshold * static_cast<double>(total)) {
+          state_[node] = static_cast<std::uint8_t>(BreakerState::kOpen);
+          open_until_ns_[node] = (now + config_.open_cooldown).ns();
+          ++opens_;
+          track(node);
+        }
+        epoch_ok_[node] = 0;
+        epoch_fail_[node] = 0;
+      }
+      // Open/half-open nodes keep their counters for the tracked pass.
+    }
+    list.clear();
+  }
+  std::size_t keep = 0;
+  for (const std::uint32_t node : tracked_) {
+    switch (static_cast<BreakerState>(state_[node])) {
+      case BreakerState::kOpen:
+        if (now.ns() >= open_until_ns_[node]) {
+          state_[node] = static_cast<std::uint8_t>(BreakerState::kHalfOpen);
+          probes_admitted_[node] = 0;
+        }
+        epoch_ok_[node] = 0;
+        epoch_fail_[node] = 0;
+        tracked_[keep++] = node;
+        break;
+      case BreakerState::kHalfOpen:
+        if (epoch_fail_[node] > 0) {
+          // A probe failed: the node is still sick. Back to open.
+          state_[node] = static_cast<std::uint8_t>(BreakerState::kOpen);
+          open_until_ns_[node] = (now + config_.open_cooldown).ns();
+          ++reopens_;
+          tracked_[keep++] = node;
+        } else if (epoch_ok_[node] > 0) {
+          state_[node] = static_cast<std::uint8_t>(BreakerState::kClosed);
+          ++closes_;
+          tracked_flag_[node] = 0;  // dropped from the tracked set
+        } else {
+          probes_admitted_[node] = 0;  // no traffic: probe again next epoch
+          tracked_[keep++] = node;
+        }
+        epoch_ok_[node] = 0;
+        epoch_fail_[node] = 0;
+        break;
+      case BreakerState::kClosed:
+        tracked_flag_[node] = 0;
+        break;
+    }
+  }
+  tracked_.resize(keep);
+}
+
+BreakerBankStats BreakerBank::stats() const {
+  BreakerBankStats stats;
+  stats.opens = opens_;
+  stats.reopens = reopens_;
+  stats.closes = closes_;
+  for (const std::uint64_t count : shard_short_circuits_) {
+    stats.short_circuits += count;
+  }
+  return stats;
+}
+
+}  // namespace deepnote::cluster::resilience

@@ -1,0 +1,113 @@
+// Per-replica circuit breakers for the engine's serving mode.
+//
+// A node whose legs are failing (device errors, deadline expiries) keeps
+// absorbing new legs for a full failover round-trip each — queue slots,
+// wheel timers and wave work spent learning what the last epoch already
+// knew. A breaker short-circuits that: once a node's per-epoch leg
+// failure rate crosses the threshold (with a minimum volume so one
+// unlucky leg cannot trip it), the breaker opens and subsequent legs to
+// that node fail instantly at issue, letting the request fail over to
+// the next replica without queueing on the broken one. After a cooldown
+// the breaker goes half-open and admits a bounded number of probe legs;
+// one failure re-opens it, clean successes close it.
+//
+// Concurrency contract (matches the engine's epoch discipline): allow()
+// and record() run on wave shards but only ever touch state for nodes
+// the calling shard owns, so they need no synchronization; transitions
+// happen in update(), which the engine calls at the single-threaded
+// epoch barrier. State reads during waves see the epoch-start snapshot —
+// exactly the control-staleness the engine already accepts everywhere
+// else.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace deepnote::cluster::resilience {
+
+enum class BreakerState : std::uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+const char* breaker_state_name(BreakerState state);
+
+struct BreakerConfig {
+  bool enabled = false;
+  /// Open when (failed legs / total legs) in one epoch reaches this.
+  double failure_threshold = 0.5;
+  /// Minimum legs observed in the epoch before the rate is meaningful.
+  std::uint32_t min_volume = 8;
+  /// How long an open breaker blocks before probing (half-open).
+  sim::Duration open_cooldown = sim::Duration::from_seconds(1.0);
+  /// Legs admitted per epoch while half-open.
+  std::uint32_t half_open_probes = 2;
+};
+
+struct BreakerBankStats {
+  std::uint64_t opens = 0;     ///< closed -> open transitions
+  std::uint64_t reopens = 0;   ///< half-open probe failed
+  std::uint64_t closes = 0;    ///< half-open probes succeeded
+  std::uint64_t short_circuits = 0;  ///< legs denied by an open breaker
+};
+
+/// One breaker per node, flat SoA storage. The shard partition handed to
+/// reset() must match the engine's (node -> shard is node / nodes_per_shard)
+/// so per-shard touched lists stay owner-exclusive during waves.
+class BreakerBank {
+ public:
+  BreakerBank() = default;
+
+  /// Size for `nodes` and forget all state. No-op storage-wise when the
+  /// sizes already match (warm replays stay allocation-free).
+  void reset(std::size_t nodes, std::size_t shards,
+             std::size_t nodes_per_shard, const BreakerConfig& config);
+
+  bool enabled() const { return config_.enabled; }
+  const BreakerConfig& config() const { return config_; }
+  BreakerState state(std::size_t node) const {
+    return static_cast<BreakerState>(state_[node]);
+  }
+
+  /// Wave-side: may a leg be sent to `node` right now? Open breakers
+  /// deny (counted per shard); half-open breakers admit up to
+  /// `half_open_probes` legs per epoch. Owner-exclusive per node.
+  bool allow(std::size_t shard, std::size_t node);
+
+  /// Wave-side: terminal leg outcome on `node` (true = device served it
+  /// fine, false = device error or deadline expiry). Owner-exclusive.
+  void record(std::size_t shard, std::size_t node, bool ok);
+
+  /// Barrier-side: apply this epoch's counters, run the state machine,
+  /// clear epoch counters. `now` is the epoch end (cooldown clock).
+  void update(sim::SimTime now);
+
+  /// Aggregated counters (sums the per-shard denial counts; call from
+  /// single-threaded sections only).
+  BreakerBankStats stats() const;
+
+ private:
+  void track(std::size_t node);
+
+  BreakerConfig config_;
+  std::size_t nodes_per_shard_ = 1;
+  std::vector<std::uint8_t> state_;      ///< BreakerState per node
+  std::vector<std::uint32_t> epoch_ok_;  ///< legs served this epoch
+  std::vector<std::uint32_t> epoch_fail_;
+  std::vector<std::uint32_t> probes_admitted_;  ///< half-open, this epoch
+  std::vector<std::int64_t> open_until_ns_;
+  /// Nodes with any leg outcome this epoch, per shard (owner-exclusive
+  /// during waves), flag-deduped; consumed by update().
+  std::vector<std::uint8_t> touched_;
+  std::vector<std::vector<std::uint32_t>> shard_touched_;
+  /// Nodes currently open or half-open (cooldown/probe bookkeeping must
+  /// visit them even in epochs with no traffic). Flag-deduped.
+  std::vector<std::uint8_t> tracked_flag_;
+  std::vector<std::uint32_t> tracked_;
+  std::vector<std::uint64_t> shard_short_circuits_;
+  std::uint64_t opens_ = 0;
+  std::uint64_t reopens_ = 0;
+  std::uint64_t closes_ = 0;
+};
+
+}  // namespace deepnote::cluster::resilience

@@ -1,0 +1,104 @@
+// Brownout controller: graceful degradation by priority class.
+//
+// When the serving plane saturates, shedding *uniformly* (full queues
+// bouncing whoever arrives next) costs high-priority traffic exactly as
+// much as low-priority. A brownout controller makes the choice
+// explicit: requests carry a deterministic priority class, and when the
+// deadline-miss EWMA or the epoch queue depth crosses a threshold, the
+// controller escalates — shedding the lowest class first, then the next
+// — and de-escalates through a lower clear threshold (hysteresis, so
+// the shed level does not flap at the boundary).
+//
+// The controller is pure epoch-level control state: update() runs at
+// the single-threaded barrier, should_shed() during the (serial)
+// closed-loop issue rounds. Class assignment is a hash of the client
+// id, so a client's priority is stable for the whole run and identical
+// at any DEEPNOTE_JOBS.
+#pragma once
+
+#include <cstdint>
+
+namespace deepnote::cluster::resilience {
+
+struct BrownoutConfig {
+  bool enabled = false;
+  /// Number of priority classes; class 0 is shed first, the top class
+  /// (classes - 1) is never shed.
+  std::uint32_t classes = 4;
+  /// EWMA smoothing for the per-epoch deadline-miss fraction.
+  double ewma_alpha = 0.3;
+  /// Escalate (shed one more class) when the miss EWMA reaches this.
+  double shed_threshold = 0.2;
+  /// De-escalate when the miss EWMA falls below this (hysteresis).
+  double clear_threshold = 0.05;
+  /// Also escalate when the epoch max queue depth reaches this
+  /// (0 disables the depth signal).
+  std::uint64_t depth_threshold = 0;
+};
+
+class BrownoutController {
+ public:
+  BrownoutController() = default;
+
+  void reset(const BrownoutConfig& config) {
+    config_ = config;
+    if (config_.classes < 2) config_.classes = 2;
+    miss_ewma_ = 0.0;
+    shed_classes_ = 0;
+    escalations_ = 0;
+  }
+
+  bool enabled() const { return config_.enabled; }
+  const BrownoutConfig& config() const { return config_; }
+
+  /// Stable priority class for a client (0 = lowest priority).
+  std::uint32_t class_of(std::uint64_t client) const {
+    // splitmix64 finalizer: uniform spread over classes regardless of
+    // how client ids cluster.
+    std::uint64_t z = client + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return static_cast<std::uint32_t>(z % config_.classes);
+  }
+
+  /// Is this class currently browned out?
+  bool should_shed(std::uint32_t priority_class) const {
+    return priority_class < shed_classes_;
+  }
+
+  /// Barrier-side: feed one epoch's totals and move the shed level.
+  /// `requests` counts everything offered this epoch (including
+  /// brownout sheds), `misses` the deadline expiries among them.
+  void update(std::uint64_t requests, std::uint64_t misses,
+              std::uint64_t max_depth) {
+    if (requests > 0) {
+      const double miss_frac =
+          static_cast<double>(misses) / static_cast<double>(requests);
+      miss_ewma_ += config_.ewma_alpha * (miss_frac - miss_ewma_);
+    }
+    const bool depth_high = config_.depth_threshold > 0 &&
+                            max_depth >= config_.depth_threshold;
+    if (miss_ewma_ >= config_.shed_threshold || depth_high) {
+      if (shed_classes_ + 1 < config_.classes) {
+        ++shed_classes_;
+        ++escalations_;
+      }
+    } else if (miss_ewma_ < config_.clear_threshold && !depth_high &&
+               shed_classes_ > 0) {
+      --shed_classes_;
+    }
+  }
+
+  std::uint32_t shed_classes() const { return shed_classes_; }
+  double miss_ewma() const { return miss_ewma_; }
+  std::uint64_t escalations() const { return escalations_; }
+
+ private:
+  BrownoutConfig config_;
+  double miss_ewma_ = 0.0;
+  std::uint32_t shed_classes_ = 0;
+  std::uint64_t escalations_ = 0;
+};
+
+}  // namespace deepnote::cluster::resilience

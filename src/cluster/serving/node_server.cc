@@ -8,6 +8,9 @@ namespace deepnote::cluster::serving {
 
 namespace {
 constexpr std::int64_t kNoEvent = std::numeric_limits<std::int64_t>::max();
+/// Timer payload bit distinguishing a cancel timer from a deadline
+/// timer; the low 32 bits carry the ctx index either way.
+constexpr std::uint64_t kCancelPayloadBit = std::uint64_t{1} << 32;
 }  // namespace
 
 const char* admission_name(AdmissionPolicy policy) {
@@ -48,6 +51,7 @@ void NodeServer::reset() {
   service_start_ = sim::SimTime::zero();
   busy_until_ = sim::SimTime::zero();
   frontier_ = sim::SimTime::zero();
+  service_scale_ = 1.0;
   epoch_max_depth_ = 0;
   stats_ = {};
   completions_.clear();
@@ -115,14 +119,16 @@ void NodeServer::submit(sim::SimTime arrival, storage::DiskOpKind kind,
                         std::uint64_t lba, std::uint32_t sector_count,
                         std::span<const std::byte> in,
                         std::span<std::byte> out, sim::SimTime deadline,
-                        std::uint64_t tag) {
+                        std::uint64_t tag, sim::SimTime cancel_at) {
   const std::uint32_t idx = acquire_ctx();
   HotCtx& hot = hot_[idx];
   hot.arrival_ns = arrival.ns();
   hot.deadline_ns = deadline.ns();
+  hot.cancel_at_ns = cancel_at.ns();
   hot.tag = tag;
   hot.lba = lba;
   hot.timer = sim::TimerWheel::kInvalidTimer;
+  hot.cancel_timer = sim::TimerWheel::kInvalidTimer;
   hot.sector_count = sector_count;
   hot.kind = kind;
   ColdCtx& cold = cold_[idx];
@@ -151,15 +157,36 @@ void NodeServer::note_depth() {
 }
 
 void NodeServer::fire_timeouts(std::int64_t t_ns) {
-  if (waiting_ == 0) return;  // no queued request, no armed deadline
+  if (waiting_ == 0) return;  // no queued request, no armed timer
   expired_.clear();
   wheel_.advance(sim::SimTime{t_ns}, expired_);
   for (const sim::TimerWheel::Expired& e : expired_) {
     const auto idx = static_cast<std::uint32_t>(e.payload);
-    // Still waiting by construction: service start cancels the timer.
-    unlink_wait(idx);
-    hot_[idx].timer = sim::TimerWheel::kInvalidTimer;
-    finish(idx, OutcomeKind::kTimedOut, e.deadline, e.deadline);
+    HotCtx& ctx = hot_[idx];
+    if (e.payload & kCancelPayloadBit) {
+      // A request can have both its deadline and its cancel inside this
+      // advance window; whichever fired first already finished it and
+      // invalidated the other's timer field — skip the stale record.
+      if (ctx.cancel_timer == sim::TimerWheel::kInvalidTimer) continue;
+      ctx.cancel_timer = sim::TimerWheel::kInvalidTimer;
+      if (ctx.timer != sim::TimerWheel::kInvalidTimer) {
+        // The sibling deadline timer is unfired only if it lies beyond
+        // the advance window (a fired timer must not be cancel()ed).
+        if (ctx.deadline_ns > t_ns) wheel_.cancel(ctx.timer);
+        ctx.timer = sim::TimerWheel::kInvalidTimer;
+      }
+      unlink_wait(idx);
+      finish(idx, OutcomeKind::kCancelled, e.deadline, e.deadline);
+    } else {
+      if (ctx.timer == sim::TimerWheel::kInvalidTimer) continue;
+      ctx.timer = sim::TimerWheel::kInvalidTimer;
+      if (ctx.cancel_timer != sim::TimerWheel::kInvalidTimer) {
+        if (ctx.cancel_at_ns > t_ns) wheel_.cancel(ctx.cancel_timer);
+        ctx.cancel_timer = sim::TimerWheel::kInvalidTimer;
+      }
+      unlink_wait(idx);
+      finish(idx, OutcomeKind::kTimedOut, e.deadline, e.deadline);
+    }
   }
 }
 
@@ -175,9 +202,19 @@ void NodeServer::on_arrival(std::uint32_t idx) {
     stats_.max_depth = std::max(stats_.max_depth, std::uint64_t{1});
     epoch_max_depth_ = std::max(epoch_max_depth_, std::uint64_t{1});
     const sim::SimTime start = sim::max(now, busy_until_);
-    if (start.ns() >= ctx.deadline_ns) {
+    const bool deadline_due =
+        config_.drop_expired && start.ns() >= ctx.deadline_ns;
+    const bool cancel_due = ctx.cancel_at_ns <= start.ns();
+    // Both elapsed before service could start: the earlier event wins
+    // (ties to the deadline, matching wheel schedule order).
+    if (deadline_due && (!cancel_due || ctx.deadline_ns <= ctx.cancel_at_ns)) {
       const sim::SimTime deadline{ctx.deadline_ns};
       finish(idx, OutcomeKind::kTimedOut, deadline, deadline);
+      return;
+    }
+    if (cancel_due) {
+      const sim::SimTime cancel{ctx.cancel_at_ns};
+      finish(idx, OutcomeKind::kCancelled, cancel, cancel);
       return;
     }
     start_service(idx, start);
@@ -189,7 +226,7 @@ void NodeServer::on_arrival(std::uint32_t idx) {
       // client still cares most about.
       const std::uint32_t oldest = wait_head_;
       unlink_wait(oldest);
-      wheel_.cancel(hot_[oldest].timer);
+      disarm_timers(oldest);
       finish(oldest, OutcomeKind::kShed, now, now);
     } else {
       finish(idx, OutcomeKind::kShed, now, now);
@@ -197,26 +234,53 @@ void NodeServer::on_arrival(std::uint32_t idx) {
     }
   }
   push_wait(idx);
-  ctx.timer = wheel_.schedule(sim::SimTime{ctx.deadline_ns}, idx);
+  if (config_.drop_expired) {
+    ctx.timer = wheel_.schedule(sim::SimTime{ctx.deadline_ns}, idx);
+  }
+  if (ctx.cancel_at_ns != kNoEvent) {
+    ctx.cancel_timer =
+        wheel_.schedule(sim::SimTime{ctx.cancel_at_ns}, idx | kCancelPayloadBit);
+  }
   note_depth();
   if (!in_service_) start_next(now);
+}
+
+void NodeServer::disarm_timers(std::uint32_t idx) {
+  HotCtx& ctx = hot_[idx];
+  if (ctx.timer != sim::TimerWheel::kInvalidTimer) {
+    wheel_.cancel(ctx.timer);
+    ctx.timer = sim::TimerWheel::kInvalidTimer;
+  }
+  if (ctx.cancel_timer != sim::TimerWheel::kInvalidTimer) {
+    wheel_.cancel(ctx.cancel_timer);
+    ctx.cancel_timer = sim::TimerWheel::kInvalidTimer;
+  }
 }
 
 void NodeServer::start_next(sim::SimTime now) {
   while (waiting_ > 0) {
     const std::uint32_t idx = wait_head_;
     unlink_wait(idx);
+    disarm_timers(idx);
     HotCtx& ctx = hot_[idx];
-    wheel_.cancel(ctx.timer);
-    ctx.timer = sim::TimerWheel::kInvalidTimer;
     const sim::SimTime start = sim::max(now, busy_until_);
-    if (start.ns() >= ctx.deadline_ns) {
+    const bool deadline_due =
+        config_.drop_expired && start.ns() >= ctx.deadline_ns;
+    const bool cancel_due = ctx.cancel_at_ns <= start.ns();
+    if (deadline_due && (!cancel_due || ctx.deadline_ns <= ctx.cancel_at_ns)) {
       // Backstop for cross-batch time travel: backlog from a previous
       // drain already covers this request's whole deadline window, so
       // the wheel (which only advances within the batch) never saw it
       // expire. Same stamps as a wheel timeout.
       const sim::SimTime deadline{ctx.deadline_ns};
       finish(idx, OutcomeKind::kTimedOut, deadline, deadline);
+      continue;
+    }
+    if (cancel_due) {
+      // Same backstop for the cancel timer: the hedge sibling won inside
+      // the backlog window the wheel never advanced across.
+      const sim::SimTime cancel{ctx.cancel_at_ns};
+      finish(idx, OutcomeKind::kCancelled, cancel, cancel);
       continue;
     }
     start_service(idx, start);
@@ -244,7 +308,12 @@ void NodeServer::start_service(std::uint32_t idx, sim::SimTime start) {
       io = device_.flush(start);
       break;
   }
-  inflight_complete_ns_ = io.complete.ns();
+  std::int64_t complete_ns = io.complete.ns();
+  if (service_scale_ != 1.0 && !io.complete.is_infinite()) {
+    const double span = static_cast<double>(complete_ns - start.ns());
+    complete_ns = start.ns() + static_cast<std::int64_t>(span * service_scale_);
+  }
+  inflight_complete_ns_ = complete_ns;
   inflight_ok_ = io.ok();
 }
 
@@ -265,6 +334,7 @@ void NodeServer::finish(std::uint32_t idx, OutcomeKind outcome,
     case OutcomeKind::kFailed: ++stats_.failed; break;
     case OutcomeKind::kTimedOut: ++stats_.timed_out; break;
     case OutcomeKind::kShed: ++stats_.shed; break;
+    case OutcomeKind::kCancelled: ++stats_.cancelled; break;
   }
   frontier_ = sim::max(frontier_, complete);
   const HotCtx& ctx = hot_[idx];

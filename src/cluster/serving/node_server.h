@@ -26,7 +26,7 @@
 //    order like every other completion.
 //
 // Every admitted request terminates in exactly one of {served, failed,
-// timed out, shed} and is appended to a completion ring the caller
+// timed out, shed, cancelled} and is appended to a completion ring the caller
 // consumes in bulk after drain() — no per-op indirect calls — with its
 // arrival / service-start / completion times, so the decomposition of
 // latency into queue wait and service time falls out of the record.
@@ -61,12 +61,19 @@ struct ServerConfig {
   /// Maximum depth (waiting + in service) before admission sheds.
   std::size_t queue_limit = 32;
   AdmissionPolicy admission = AdmissionPolicy::kRejectNew;
+  /// Expire queued requests at their deadline (the sane default). When
+  /// false the server never arms deadline timers and happily burns
+  /// device time serving requests whose client already gave up — the
+  /// wasted-work ingredient of a metastable collapse, kept as an
+  /// explicit knob for the overload study.
+  bool drop_expired = true;
 };
 
 /// Terminal report for one request. For kServed/kFailed the device ran
 /// the command ([service_start, complete] is device time); kTimedOut
 /// expired in queue (complete = deadline, no device time); kShed was
-/// refused at admission (complete = the shed decision time).
+/// refused at admission (complete = the shed decision time); kCancelled
+/// left the queue at its cancel time (a hedge leg whose sibling won).
 struct ServeResult {
   std::uint64_t tag = 0;  ///< caller's handle, passed through untouched
   OutcomeKind outcome = OutcomeKind::kFailed;
@@ -81,6 +88,7 @@ struct NodeServerStats {
   std::uint64_t failed = 0;     ///< device error
   std::uint64_t timed_out = 0;  ///< deadline expired in queue
   std::uint64_t shed = 0;       ///< refused by admission control
+  std::uint64_t cancelled = 0;  ///< cancelled in queue (hedge sibling won)
   std::uint64_t max_depth = 0;  ///< run high-water queue depth
 };
 
@@ -111,10 +119,19 @@ class NodeServer {
   /// Stage one request arriving at `arrival`. Reads fill `out`; writes
   /// take `in`. The arrival is processed (admission included) when
   /// drain() reaches its virtual time; `tag` comes back in the result.
+  /// A finite `cancel_at` pre-arms cancellation: if the request is still
+  /// waiting in queue at that instant it leaves as kCancelled, freeing
+  /// its slot — how a won hedge stops its losing leg from consuming
+  /// capacity. Once service starts the request runs to completion.
   void submit(sim::SimTime arrival, storage::DiskOpKind kind,
               std::uint64_t lba, std::uint32_t sector_count,
               std::span<const std::byte> in, std::span<std::byte> out,
-              sim::SimTime deadline, std::uint64_t tag);
+              sim::SimTime deadline, std::uint64_t tag,
+              sim::SimTime cancel_at = sim::SimTime::infinity());
+
+  /// Multiply device service spans (complete - start) by `scale`; the
+  /// chaos injector's slow-node fault. 1.0 restores normal service.
+  void set_service_scale(double scale) { service_scale_ = scale; }
 
   /// Run the staged batch until the pipeline is idle, appending one
   /// ServeResult per terminated request to the completion ring in
@@ -144,11 +161,13 @@ class NodeServer {
   struct alignas(64) HotCtx {
     std::int64_t arrival_ns = 0;
     std::int64_t deadline_ns = 0;
+    std::int64_t cancel_at_ns = 0;  ///< SimTime::infinity() = no cancel
     std::uint64_t tag = 0;
     std::uint64_t lba = 0;
     std::uint32_t qnext = kNil;  ///< wait-queue / free-list link
     std::uint32_t qprev = kNil;
     sim::TimerWheel::TimerId timer = sim::TimerWheel::kInvalidTimer;
+    sim::TimerWheel::TimerId cancel_timer = sim::TimerWheel::kInvalidTimer;
     std::uint32_t sector_count = 0;
     storage::DiskOpKind kind = storage::DiskOpKind::kRead;
   };
@@ -166,6 +185,7 @@ class NodeServer {
   void release_ctx(std::uint32_t idx);
   void push_wait(std::uint32_t idx);
   void unlink_wait(std::uint32_t idx);
+  void disarm_timers(std::uint32_t idx);
   void fire_timeouts(std::int64_t t_ns);
   void on_arrival(std::uint32_t idx);
   void complete_inflight();
@@ -196,6 +216,7 @@ class NodeServer {
   sim::SimTime service_start_ = sim::SimTime::zero();  ///< of the op in flight
   sim::SimTime busy_until_ = sim::SimTime::zero();
   sim::SimTime frontier_ = sim::SimTime::zero();
+  double service_scale_ = 1.0;
   std::uint64_t epoch_max_depth_ = 0;
   NodeServerStats stats_;
 

@@ -10,6 +10,7 @@ const char* outcome_name(OutcomeKind kind) {
     case OutcomeKind::kFailed: return "failed";
     case OutcomeKind::kTimedOut: return "timed-out";
     case OutcomeKind::kShed: return "shed";
+    case OutcomeKind::kCancelled: return "cancelled";
   }
   return "?";
 }

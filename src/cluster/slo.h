@@ -23,8 +23,9 @@ enum class OutcomeKind : std::uint8_t {
   kFailed = 1,    ///< device/storage error
   kTimedOut = 2,  ///< deadline expired (in queue or completed too late)
   kShed = 3,      ///< rejected by admission control before service
+  kCancelled = 4, ///< hedge leg cancelled after the other leg won
 };
-inline constexpr std::size_t kNumOutcomeKinds = 4;
+inline constexpr std::size_t kNumOutcomeKinds = 5;
 
 const char* outcome_name(OutcomeKind kind);
 

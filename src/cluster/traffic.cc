@@ -109,19 +109,13 @@ double ZipfAliasSampler::probability(std::uint64_t rank) const {
 
 void ClosedLoopPopulation::push_pending(std::uint32_t client,
                                         sim::SimTime at) {
-  std::vector<Pending>& heap = shard_heaps_[client / clients_per_shard_];
-  heap.push_back(Pending{at.ns(), client});
-  std::push_heap(heap.begin(), heap.end(),
-                 [](const Pending& a, const Pending& b) {
-                   return a.at_ns == b.at_ns ? a.client > b.client
-                                             : a.at_ns > b.at_ns;
-                 });
+  shard_wheels_[client / clients_per_shard_].schedule(at, client);
 }
 
 void ClosedLoopPopulation::reset(const TrafficConfig& traffic,
                                  std::size_t clients,
-                                 sim::Duration shed_backoff,
-                                 std::uint32_t max_shed_retries,
+                                 const resilience::BackoffConfig& backoff,
+                                 resilience::RetryBudget* budget,
                                  sim::SimTime start, std::size_t shards) {
   if (clients == 0) {
     throw std::invalid_argument("closed loop: needs at least one client");
@@ -129,26 +123,43 @@ void ClosedLoopPopulation::reset(const TrafficConfig& traffic,
   if (traffic.arrival_rate_per_s <= 0.0) {
     throw std::invalid_argument("closed loop: arrival rate must be positive");
   }
-  if (shed_backoff.ns() <= 0) {
-    throw std::invalid_argument("closed loop: shed backoff must be positive");
+  if (backoff.base.ns() <= 0) {
+    // A zero delay would let a retry re-enter the very round that shed
+    // it — livelock fuel; the engine's round loop relies on every
+    // re-issue moving strictly forward in time.
+    throw std::invalid_argument("closed loop: backoff base must be positive");
+  }
+  if (backoff.jitter < 0.0 || backoff.jitter > 1.0) {
+    throw std::invalid_argument("closed loop: jitter must be in [0, 1]");
   }
   if (shards == 0) shards = 1;
   if (shards > clients) shards = clients;
   think_mean_s_ = static_cast<double>(clients) / traffic.arrival_rate_per_s;
   read_fraction_ = traffic.read_fraction;
-  shed_backoff_ = shed_backoff;
-  max_shed_retries_ = max_shed_retries;
+  backoff_ = backoff;
+  budget_ = budget;
   retries_ = 0;
   clients_.assign(clients, Client{});
   clients_per_shard_ = (clients + shards - 1) / shards;
-  shard_heaps_.assign(shards, {});
-  for (std::vector<Pending>& heap : shard_heaps_) {
-    heap.reserve(clients_per_shard_);
+  // Keep warm wheel slabs when the shard layout repeats; otherwise
+  // rebuild the vector (TimerWheel is movable, not copyable).
+  if (shard_wheels_.size() != shards) {
+    shard_wheels_.clear();
+    shard_wheels_.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) shard_wheels_.emplace_back();
+  }
+  for (sim::TimerWheel& wheel : shard_wheels_) {
+    wheel.reset(start);
+    wheel.reserve(clients_per_shard_);
   }
   sim::Rng master(traffic.seed);
   for (std::uint32_t i = 0; i < clients_.size(); ++i) {
     Client& c = clients_[i];
     c.rng = master.fork();
+    // Jitter draws must not consume the key stream: fork a private
+    // splitmix64 state per client off the traffic seed.
+    c.jitter_state =
+        traffic.seed ^ (0x9e3779b97f4a7c15ull * (std::uint64_t{i} + 1));
     push_pending(i, start + sim::Duration::from_seconds(
                                c.rng.exponential(think_mean_s_)));
   }
@@ -158,29 +169,28 @@ void ClosedLoopPopulation::collect_due(sim::SimTime horizon,
                                        const ZipfAliasSampler& zipf,
                                        std::vector<ClientIssue>& out) {
   const std::size_t first = out.size();
-  const std::int64_t horizon_ns = horizon.ns();
-  const auto later = [](const Pending& a, const Pending& b) {
-    return a.at_ns == b.at_ns ? a.client > b.client : a.at_ns > b.at_ns;
-  };
-  for (std::vector<Pending>& heap : shard_heaps_) {
-    while (!heap.empty() && heap.front().at_ns < horizon_ns) {
-      const Pending due = heap.front();
-      std::pop_heap(heap.begin(), heap.end(), later);
-      heap.pop_back();
-      Client& c = clients_[due.client];
+  // The wheel fires deadline <= t; collect_due's contract is strictly
+  // below the horizon, so harvest to horizon - 1ns.
+  const sim::SimTime limit{horizon.ns() - 1};
+  for (sim::TimerWheel& wheel : shard_wheels_) {
+    expired_.clear();
+    wheel.advance(limit, expired_);
+    for (const sim::TimerWheel::Expired& e : expired_) {
+      const auto client = static_cast<std::uint32_t>(e.payload);
+      Client& c = clients_[client];
       if (c.has_retry == 0) {
         // Drawn against the client's own forked stream, so the order
         // shards (or clients within one) are visited cannot matter.
         c.key = zipf.next(c.rng);
         c.is_read = c.rng.bernoulli(read_fraction_) ? 1 : 0;
         c.attempts = 0;
+        if (budget_ != nullptr) budget_->earn();
       }
-      out.push_back(ClientIssue{sim::SimTime{due.at_ns}, due.client, c.key,
-                                c.is_read != 0});
-      // The client is now in flight: it re-enters its heap at complete().
+      out.push_back(ClientIssue{e.deadline, client, c.key, c.is_read != 0});
+      // The client is now in flight: it re-enters its wheel at complete().
     }
   }
-  // Each shard popped in (at, client) order; merging the streams is a
+  // Each shard fires in (at, schedule) order; merging the streams is a
   // sort of the (typically tiny) due set. (at, client) pairs are unique,
   // so the merged order — and every byte downstream — is independent of
   // the shard layout.
@@ -193,13 +203,19 @@ void ClosedLoopPopulation::collect_due(sim::SimTime horizon,
 void ClosedLoopPopulation::complete(std::uint32_t client, sim::SimTime when,
                                     OutcomeKind outcome) {
   Client& c = clients_[client];
-  if (outcome == OutcomeKind::kShed && c.attempts < max_shed_retries_) {
+  const bool retryable =
+      outcome == OutcomeKind::kShed ||
+      (backoff_.retry_failures && (outcome == OutcomeKind::kFailed ||
+                                   outcome == OutcomeKind::kTimedOut));
+  if (retryable && c.attempts < backoff_.max_retries &&
+      (budget_ == nullptr || budget_->try_spend())) {
     ++c.attempts;
     ++retries_;
     c.has_retry = 1;
-    push_pending(client, when + sim::Duration::from_seconds(
-                             shed_backoff_.seconds() *
-                             static_cast<double>(c.attempts)));
+    push_pending(client,
+                 when + resilience::backoff_delay(
+                            backoff_, c.attempts,
+                            resilience::next_jitter_word(c.jitter_state)));
     return;
   }
   c.has_retry = 0;

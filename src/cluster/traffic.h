@@ -18,8 +18,10 @@
 #include <vector>
 
 #include "cluster/balancer.h"
+#include "cluster/resilience/retry.h"
 #include "cluster/slo.h"
 #include "sim/rng.h"
+#include "sim/timer_wheel.h"
 
 namespace deepnote::cluster {
 
@@ -108,22 +110,26 @@ struct ClientIssue {
 /// with it (backpressure), instead of the open-loop regime where
 /// arrivals keep coming at the configured rate.
 ///
-/// Shed responses are the explicit backpressure signal: the client
-/// retries the same key after a backoff (linear in the attempt count) up
-/// to a retry cap — which is exactly the retry-storm amplification loop
-/// the serving experiment measures.
+/// Failed outcomes feed the retry loop this layer exists to study: the
+/// client re-issues the same key after a BackoffConfig-shaped delay
+/// (fixed / linear / exponential, with deterministic per-client jitter)
+/// up to a retry cap, optionally gated by a cluster-wide RetryBudget —
+/// which is exactly the retry-storm amplification loop the overload
+/// experiment measures.
 ///
 /// Deterministic: every client owns a forked RNG stream and draws its
-/// key/read-coin at issue time, so the request sequence depends only on
+/// key/read-coin at issue time; backoff jitter comes from a separate
+/// per-client splitmix64 stream (so turning jitter on or off never
+/// perturbs key draws). The request sequence depends only on
 /// (seed, outcome timeline), never on batching.
 ///
 /// The population is sharded: clients are split into contiguous blocks,
-/// each owning a min-heap of (next_issue, client) for its idle members.
-/// collect_due pops only the due heads and merges the shard streams
-/// into canonical (at, client) order, so a round over a 10k-client
-/// population costs O(due log(clients/shard)) instead of a full scan.
-/// The merged order — and therefore every downstream byte — is
-/// identical at any shard count.
+/// each owning a timer wheel of (next_issue, client) for its idle
+/// members. collect_due harvests only the due timers and merges the
+/// shard streams into canonical (at, client) order, so a round over a
+/// 10k-client population costs O(due) instead of a full scan. The
+/// merged order — and therefore every downstream byte — is identical
+/// at any shard count.
 class ClosedLoopPopulation {
  public:
   ClosedLoopPopulation() = default;
@@ -132,10 +138,12 @@ class ClosedLoopPopulation {
   /// mean is clients / arrival_rate, so the aggregate no-load offered
   /// rate matches the open-loop configuration. `shards` only affects
   /// data layout (it follows the engine's shard count); results do not
-  /// depend on it.
+  /// depend on it. `budget`, when non-null, must outlive the population
+  /// and gates every retry (it is earned by fresh issues here too).
   void reset(const TrafficConfig& traffic, std::size_t clients,
-             sim::Duration shed_backoff, std::uint32_t max_shed_retries,
-             sim::SimTime start, std::size_t shards = 1);
+             const resilience::BackoffConfig& backoff,
+             resilience::RetryBudget* budget, sim::SimTime start,
+             std::size_t shards = 1);
 
   /// Append every client whose next issue falls before `horizon` to
   /// `out` (sorted by (at, client)) and mark them in flight. Their keys
@@ -147,33 +155,32 @@ class ClosedLoopPopulation {
   void complete(std::uint32_t client, sim::SimTime when, OutcomeKind outcome);
 
   std::size_t size() const { return clients_.size(); }
-  /// Shed-triggered re-issues across the run.
+  /// Retry re-issues across the run (budget-approved ones only).
   std::uint64_t retries() const { return retries_; }
+  const resilience::BackoffConfig& backoff() const { return backoff_; }
 
  private:
   struct Client {
     sim::Rng rng{0};
-    std::uint64_t key = 0;        ///< current key (kept for shed retries)
-    std::uint32_t attempts = 0;   ///< shed retries spent on `key`
+    std::uint64_t key = 0;      ///< current key (kept across retries)
+    std::uint64_t jitter_state = 0;  ///< private splitmix64 stream
+    std::uint32_t attempts = 0;      ///< retries spent on `key`
     std::uint8_t is_read = 1;
-    std::uint8_t has_retry = 0;   ///< next issue re-sends `key`
-  };
-
-  /// Idle client waiting to issue, heap-ordered by (at, client).
-  struct Pending {
-    std::int64_t at_ns = 0;
-    std::uint32_t client = 0;
+    std::uint8_t has_retry = 0;  ///< next issue re-sends `key`
   };
 
   void push_pending(std::uint32_t client, sim::SimTime at);
 
   std::vector<Client> clients_;
-  std::vector<std::vector<Pending>> shard_heaps_;
+  /// Per-shard timer wheel of idle clients keyed by next-issue time;
+  /// payload = client index. Harvested strictly below the round horizon.
+  std::vector<sim::TimerWheel> shard_wheels_;
+  std::vector<sim::TimerWheel::Expired> expired_;  ///< harvest scratch
   std::size_t clients_per_shard_ = 1;
   double think_mean_s_ = 0.0;
   double read_fraction_ = 1.0;
-  sim::Duration shed_backoff_ = sim::Duration::zero();
-  std::uint32_t max_shed_retries_ = 0;
+  resilience::BackoffConfig backoff_;
+  resilience::RetryBudget* budget_ = nullptr;
   std::uint64_t retries_ = 0;
 };
 

@@ -256,7 +256,7 @@ TEST(ServingEngine, OverloadProvokesRetryStorm) {
   config.serving.clients = 256;
   const ServingRunResult storm = run_attacked_serving_cell(config, 1, 2048);
 
-  config.serving.max_shed_retries = 0;
+  config.serving.backoff.max_retries = 0;
   const ServingRunResult no_retry = run_attacked_serving_cell(config, 1, 2048);
 
   EXPECT_GT(storm.serving.shed_requests, 0u)

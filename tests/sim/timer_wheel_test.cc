@@ -326,4 +326,109 @@ INSTANTIATE_TEST_SUITE_P(Seeds, TimerWheelPropertyTest,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
                                            55u, 89u, 144u, 233u));
 
+// Cancel-under-load: the hedge-cancellation path cancels most of what it
+// schedules (a healthy cluster wins most hedges), so the wheel spends its
+// life near a 90% cancel ratio with deep buckets. Batch-schedule bursts
+// into few distinct buckets, cancel the bulk in adversarial orders
+// (reverse = head-of-list each time, shuffled = arbitrary splices), then
+// verify the few survivors fire exactly, in order, with pending counts
+// honest at every step.
+class TimerWheelCancelLoadTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TimerWheelCancelLoadTest, HighCancelRatioKeepsTheWheelExact) {
+  Rng rng(GetParam());
+  TimerWheel wheel(Duration::from_micros(1 + rng.uniform_int(0, 100)));
+  std::vector<NaiveTimer> naive;
+  std::vector<std::pair<TimerWheel::TimerId, std::uint64_t>> live;
+  std::uint64_t next_seq = 0;
+  std::int64_t now = 0;
+  std::vector<TimerWheel::Expired> fired;
+
+  for (int round = 0; round < 60; ++round) {
+    // Burst: 64-256 timers into at most 8 distinct deadlines, so bucket
+    // lists get long and cancellation has to splice mid-list constantly.
+    const int burst = static_cast<int>(rng.uniform_int(64, 256));
+    std::int64_t deadlines[8];
+    for (std::int64_t& d : deadlines) {
+      d = now + rng.uniform_int(1, 50'000'000);
+    }
+    for (int i = 0; i < burst; ++i) {
+      const std::int64_t deadline = deadlines[rng.uniform_int(0, 7)];
+      const auto id = wheel.schedule(ns(deadline), next_seq);
+      naive.push_back(NaiveTimer{deadline, next_seq, next_seq});
+      live.emplace_back(id, next_seq);
+      ++next_seq;
+    }
+    // Cancel ~90% of everything live, in reverse (LIFO: always the
+    // bucket head) or shuffled order depending on the round.
+    std::vector<std::size_t> order(live.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    if (round % 2 == 0) {
+      std::reverse(order.begin(), order.end());
+    } else {
+      for (std::size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[static_cast<std::size_t>(
+                                    rng.uniform_int(0, static_cast<std::int64_t>(i) - 1))]);
+      }
+    }
+    std::vector<std::pair<TimerWheel::TimerId, std::uint64_t>> survivors;
+    for (const std::size_t pick : order) {
+      if (rng.next_double() < 0.9) {
+        const auto [id, seq] = live[pick];
+        wheel.cancel(id);
+        naive.erase(std::find_if(
+            naive.begin(), naive.end(),
+            [seq](const NaiveTimer& t) { return t.seq == seq; }));
+      } else {
+        survivors.push_back(live[pick]);
+      }
+    }
+    live = std::move(survivors);
+    ASSERT_EQ(wheel.pending(), naive.size()) << "round " << round;
+
+    // Advance past a random subset of the burst window and check the
+    // survivors fire in (deadline, schedule seq) order.
+    const std::int64_t target = now + rng.uniform_int(0, 60'000'000);
+    fired.clear();
+    wheel.advance(ns(target), fired);
+    std::vector<NaiveTimer> due;
+    for (const NaiveTimer& t : naive) {
+      if (t.deadline_ns <= target) due.push_back(t);
+    }
+    std::sort(due.begin(), due.end(),
+              [](const NaiveTimer& a, const NaiveTimer& b) {
+                if (a.deadline_ns != b.deadline_ns) {
+                  return a.deadline_ns < b.deadline_ns;
+                }
+                return a.seq < b.seq;
+              });
+    ASSERT_EQ(fired.size(), due.size()) << "round " << round;
+    for (std::size_t i = 0; i < due.size(); ++i) {
+      EXPECT_EQ(fired[i].payload, due[i].payload) << "round " << round;
+      EXPECT_EQ(fired[i].deadline.ns(), due[i].deadline_ns)
+          << "round " << round;
+    }
+    for (const NaiveTimer& t : due) {
+      live.erase(std::find_if(
+          live.begin(), live.end(),
+          [&](const auto& entry) { return entry.second == t.seq; }));
+      naive.erase(std::find_if(
+          naive.begin(), naive.end(),
+          [&](const NaiveTimer& n) { return n.seq == t.seq; }));
+    }
+    now = target;
+    ASSERT_EQ(wheel.pending(), naive.size()) << "round " << round;
+  }
+  // Drain: whatever survived every cancel wave still fires.
+  fired.clear();
+  wheel.advance(ns(now + 100'000'000'000), fired);
+  EXPECT_EQ(fired.size(), naive.size());
+  EXPECT_TRUE(wheel.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimerWheelCancelLoadTest,
+                         ::testing::Values(7u, 11u, 42u, 1729u, 0xc0ffeeu,
+                                           0xdeadu));
+
 }  // namespace

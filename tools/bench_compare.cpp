@@ -2,22 +2,31 @@
 // performance regressions.
 //
 //   bench_compare <reference.json> <candidate.json> [--threshold 0.15]
+//                 [--allow-missing]
 //
 // A suite regresses when candidate ns/op exceeds reference ns/op by more
 // than the threshold fraction; an end-to-end trials/sec entry regresses
 // when the candidate rate drops below the reference by more than the
 // threshold fraction (higher is better). Every entry under "end_to_end"
-// present in both files is compared; entries only one side has are
-// reported but never fail the gate. An end-to-end entry in the
-// candidate that carries a "min_speedup" field is additionally gated on
-// its own recorded baseline: candidate current/baseline must reach that
-// floor (this is how the 1000-node cluster engine enforces >= 10x over
-// the serial composition). The per-suite table is sorted worst delta
-// first so the regression (or near-miss) is always the first row; the
-// exit-1 failure message names every offending suite. Entries present
-// in only one file sort to the bottom. Exit code 1 when anything
-// regresses, 0 otherwise.
+// present in both files is compared. A suite or end-to-end entry the
+// reference has but the candidate DOESN'T is a failure — a benchmark
+// that silently stops running is indistinguishable from one that
+// regressed to nothing — unless --allow-missing restores the old
+// report-only behavior (CI smoke runs use it: the smoke invocation
+// deliberately skips the heavy cells). Candidate-only entries are
+// reported but never fail. An end-to-end entry in the candidate that
+// carries a "min_speedup" field is additionally gated on its own
+// recorded baseline: candidate current/baseline must reach that floor
+// (this is how the 1000-node cluster engine enforces >= 10x over the
+// serial composition). An entry with a "gates" object is gated on its
+// own "metrics" absolutely: each gated metric must stay inside
+// [min, max] — this is how overload_recovery_1k enforces the <= 30 s
+// recovery time regardless of host speed. The per-suite table is
+// sorted worst delta first so the regression (or near-miss) is always
+// the first row; the exit-1 failure message names every offending
+// suite. Exit code 1 when anything regresses, 0 otherwise.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -44,10 +53,17 @@ std::string read_file(const std::string& path) {
   return os.str();
 }
 
+struct MetricGate {
+  std::optional<double> min;
+  std::optional<double> max;
+};
+
 struct EndToEndEntry {
   double current = 0.0;  // trials/s
   std::optional<double> baseline;
   std::optional<double> min_speedup;
+  std::map<std::string, double> metrics;    // sim-time measurements
+  std::map<std::string, MetricGate> gates;  // absolute bounds on metrics
 };
 
 struct BenchFile {
@@ -84,6 +100,25 @@ BenchFile load(const std::string& path) {
           m != nullptr && m->is_number()) {
         e.min_speedup = m->number;
       }
+      if (const JsonValue* metrics = entry.find("metrics")) {
+        for (const auto& [metric, v] : metrics->object) {
+          if (v.is_number()) e.metrics[metric] = v.number;
+        }
+      }
+      if (const JsonValue* gates = entry.find("gates")) {
+        for (const auto& [metric, bounds] : gates->object) {
+          MetricGate gate;
+          if (const JsonValue* lo = bounds.find("min");
+              lo != nullptr && lo->is_number()) {
+            gate.min = lo->number;
+          }
+          if (const JsonValue* hi = bounds.find("max");
+              hi != nullptr && hi->is_number()) {
+            gate.max = hi->number;
+          }
+          e.gates[metric] = gate;
+        }
+      }
       f.end_to_end[name] = e;
     }
   }
@@ -95,6 +130,7 @@ BenchFile load(const std::string& path) {
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
   double threshold = 0.15;
+  bool allow_missing = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threshold") {
@@ -103,6 +139,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       threshold = std::atof(argv[++i]);
+    } else if (arg == "--allow-missing") {
+      allow_missing = true;
     } else {
       paths.push_back(arg);
     }
@@ -110,7 +148,7 @@ int main(int argc, char** argv) {
   if (paths.size() != 2) {
     std::fprintf(stderr,
                  "usage: bench_compare <reference.json> <candidate.json> "
-                 "[--threshold 0.15]\n");
+                 "[--threshold 0.15] [--allow-missing]\n");
     return 2;
   }
 
@@ -142,7 +180,11 @@ int main(int argc, char** argv) {
     for (const auto& [name, ref_ns] : ref.suites) {
       const auto it = cand.suites.find(name);
       if (it == cand.suites.end()) {
-        rows.push_back({name, fmt("%.1f", ref_ns), "MISSING", "-"});
+        // A vanished suite fails unless --allow-missing: silence is not
+        // evidence of health. Max badness so it leads the table.
+        rows.push_back({name, fmt("%.1f", ref_ns), "MISSING", "-",
+                        /*badness=*/1e9, /*comparable=*/!allow_missing,
+                        /*regressed=*/!allow_missing});
         continue;
       }
       ++compared;
@@ -161,7 +203,9 @@ int main(int argc, char** argv) {
       const double ref_rate = ref_entry.current;
       const auto it = cand.end_to_end.find(name);
       if (it == cand.end_to_end.end()) {
-        rows.push_back({label, fmt("%.3f/s", ref_rate), "MISSING", "-"});
+        rows.push_back({label, fmt("%.3f/s", ref_rate), "MISSING", "-",
+                        /*badness=*/1e9, /*comparable=*/!allow_missing,
+                        /*regressed=*/!allow_missing});
         continue;
       }
       ++compared;
@@ -196,6 +240,44 @@ int main(int argc, char** argv) {
                       fmt("%+.1f%%", (speedup / floor - 1.0) * 100.0),
                       floor > 0 ? 1.0 - speedup / floor : 0.0, true,
                       speedup < floor});
+    }
+    // Absolute metric gates travel with the candidate too: an entry
+    // that records "metrics" and "gates" must keep every gated metric
+    // inside [min, max]. These are sim-time measurements (e.g. seconds
+    // to recover from an overload), so no reference or threshold
+    // applies — the bound is the contract. Badness is the fractional
+    // distance past the bound (negative slack when inside it).
+    for (const auto& [name, entry] : cand.end_to_end) {
+      for (const auto& [metric, gate] : entry.gates) {
+        const std::string label = "end_to_end." + name + "." + metric;
+        const auto found = entry.metrics.find(metric);
+        if (found == entry.metrics.end()) {
+          rows.push_back({label, "gated", "NO METRIC", "-", /*badness=*/1e9,
+                          /*comparable=*/true, /*regressed=*/true});
+          ++compared;
+          continue;
+        }
+        const double value = found->second;
+        std::string bound;
+        double badness = 0.0;
+        bool regressed = false;
+        if (gate.max.has_value()) {
+          bound = fmt("<= %.4g", *gate.max);
+          const double scale = std::max(std::abs(*gate.max), 1.0);
+          badness = (value - *gate.max) / scale;
+          regressed = value > *gate.max;
+        }
+        if (gate.min.has_value()) {
+          if (!bound.empty()) bound += " ";
+          bound += fmt(">= %.4g", *gate.min);
+          const double scale = std::max(std::abs(*gate.min), 1.0);
+          badness = std::max(badness, (*gate.min - value) / scale);
+          regressed = regressed || value < *gate.min;
+        }
+        ++compared;
+        rows.push_back({label, bound, fmt("%.4g", value), "-", badness,
+                        /*comparable=*/true, regressed});
+      }
     }
     if (compared == 0) {
       std::fprintf(stderr, "bench_compare: no overlapping suites to compare\n");
