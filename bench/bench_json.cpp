@@ -37,6 +37,12 @@
 //   --overload10k      the 10,000-node scale-out of --overload1k at 60%
 //                      utilization (larger fleets sample their placement
 //                      tail deeper and need the headroom), same gate.
+//   --hybrid1k         run the 1000-node same-pod attacked availability
+//                      cell on pure-HDD nodes AND on flash-fronted
+//                      hybrid nodes, gated absolutely on sim-time
+//                      availability: the attack must drop the pure-HDD
+//                      fleet below 15% while the hybrid fleet stays at
+//                      or above 99% through the same attack.
 //   --out <file>       output path (default: BENCH_PR5.json).
 //
 // The emitted file is the input format of tools/bench_compare.
@@ -52,6 +58,7 @@
 #include <vector>
 
 #include "cluster/experiment.h"
+#include "cluster/hybrid_experiment.h"
 #include "cluster/overload_experiment.h"
 #include "core/attack.h"
 #include "core/range_test.h"
@@ -522,6 +529,69 @@ EndToEnd run_overload_recovery_10k() {
                                     /*load=*/0.6);
 }
 
+/// The hybrid-tiering cell at fleet scale: 1000 nodes (200 pods x 5
+/// bays), same-pod placement — every replica of every object inside the
+/// attacked pod, so placement cannot save the fleet and the node's own
+/// storage stack is all that matters. The identical attacked workload
+/// (650 Hz / 140 dB / 1 cm on pod 0 for 4 simulated seconds) runs once
+/// on pure-HDD nodes and once on flash-fronted hybrids. Judged on
+/// SIM-TIME availability, deterministic from the experiment seed at any
+/// DEEPNOTE_JOBS: the gates require the pure-HDD fleet to collapse
+/// below 15% inside the attack window while the hybrid fleet serves
+/// >= 99% through the same window (the ISSUE's acceptance bar). The
+/// pure-HDD wall rate is recorded as the baseline so the flash tier's
+/// host-side simulation cost stays visible, but no min_speedup gates it
+/// — the cell buys availability, not throughput.
+EndToEnd run_hybrid_availability_1k() {
+  using namespace deepnote;
+  cluster::HybridExperimentConfig config =
+      cluster::hybrid_experiment_config(/*scale=*/0.1);
+  config.topology = {.pods = 200, .bays_per_pod = 5};
+
+  const auto zipf = std::make_shared<const cluster::ZipfAliasSampler>(
+      config.traffic.keyspace, config.traffic.zipf_theta);
+  constexpr double kDistance = 0.01;
+  constexpr double kMultiplier = 1.0;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const cluster::HybridTrialRow hdd = cluster::run_hybrid_cell(
+      config, cluster::NodeType::kHdd, kDistance, kMultiplier,
+      sim::trial_seed(config.seed, 0), zipf, /*engine_jobs=*/0);
+  const auto t1 = std::chrono::steady_clock::now();
+  const cluster::HybridTrialRow hybrid = cluster::run_hybrid_cell(
+      config, cluster::NodeType::kHybrid, kDistance, kMultiplier,
+      sim::trial_seed(config.seed, 1), zipf, /*engine_jobs=*/0);
+  const auto t2 = std::chrono::steady_clock::now();
+
+  const double hdd_wall = std::chrono::duration<double>(t1 - t0).count();
+  const double hybrid_wall = std::chrono::duration<double>(t2 - t1).count();
+
+  EndToEnd e;
+  e.trials = 1;
+  e.wall_s = hybrid_wall;
+  e.trials_per_s = hybrid_wall > 0 ? 1.0 / hybrid_wall : 0.0;
+  e.total_ops = hybrid.requests;
+  e.measured_baseline_per_s =
+      hdd_wall > 0 ? std::optional<double>(1.0 / hdd_wall) : std::nullopt;
+  e.metrics = {
+      {"hdd_attack_availability", hdd.attack_availability},
+      {"hybrid_attack_availability", hybrid.attack_availability},
+      {"hybrid_availability", hybrid.availability},
+      {"absorbed_errors", static_cast<double>(hybrid.absorbed_errors)},
+      {"flash_only_ops", static_cast<double>(hybrid.flash_only_ops)},
+      {"drained_pages", static_cast<double>(hybrid.drained_pages)},
+      {"dirty_pages_left", static_cast<double>(hybrid.dirty_pages_left)},
+      {"media_wearout", static_cast<double>(hybrid.media_wearout)},
+  };
+  // The acceptance bar: the attack that drops the pure-HDD fleet below
+  // 15% leaves the hybrid fleet at >= 99% availability.
+  e.gates = {
+      {"hdd_attack_availability", /*min=*/std::nullopt, /*max=*/0.15},
+      {"hybrid_attack_availability", /*min=*/0.99, /*max=*/std::nullopt},
+  };
+  return e;
+}
+
 void emit_number_or_null(std::ostream& os, std::optional<double> v) {
   if (v.has_value()) {
     char buf[64];
@@ -545,6 +615,7 @@ int main(int argc, char** argv) {
   bool with_serving_10k = false;
   bool with_overload_1k = false;
   bool with_overload_10k = false;
+  bool with_hybrid_1k = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -574,12 +645,14 @@ int main(int argc, char** argv) {
       with_overload_1k = true;
     } else if (arg == "--overload10k") {
       with_overload_10k = true;
+    } else if (arg == "--hybrid1k") {
+      with_hybrid_1k = true;
     } else {
       std::fprintf(stderr,
                    "usage: bench_json --micro <gbench.json> [--baseline "
                    "<file>] [--table2] [--cluster] [--cluster1k] "
                    "[--serving1k] [--serving10k] [--overload1k] "
-                   "[--overload10k] [--out <file>]\n");
+                   "[--overload10k] [--hybrid1k] [--out <file>]\n");
       return 2;
     }
   }
@@ -632,6 +705,13 @@ int main(int argc, char** argv) {
                    "cell...\n");
       end_to_end.emplace_back("overload_recovery_10k",
                               run_overload_recovery_10k());
+    }
+    if (with_hybrid_1k) {
+      std::fprintf(stderr,
+                   "bench_json: running 1000-node hybrid-vs-HDD "
+                   "availability cell...\n");
+      end_to_end.emplace_back("hybrid_availability_1k",
+                              run_hybrid_availability_1k());
     }
 
     const std::map<std::string, double> current =

@@ -6,6 +6,14 @@
 
 namespace deepnote::cluster {
 
+const char* node_type_name(NodeType type) {
+  switch (type) {
+    case NodeType::kHdd: return "hdd";
+    case NodeType::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
 const char* health_name(NodeHealth health) {
   switch (health) {
     case NodeHealth::kHealthy: return "healthy";
@@ -107,8 +115,14 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
     rack.retain_data = false;
     pods_.emplace_back(rack);
     for (std::size_t bay = 0; bay < topo.bays_per_pod; ++bay) {
-      nodes_.emplace_back(topo.node_id(pod, bay), pod, bay,
-                          pods_.back().device(bay), config_.detector);
+      storage::BlockDevice* device = &pods_.back().device(bay);
+      if (config_.node_type == NodeType::kHybrid) {
+        // The flash tier fronts the bay's HDD; the node serves through it.
+        hybrids_.emplace_back(*device, config_.hybrid);
+        device = &hybrids_.back();
+      }
+      nodes_.emplace_back(topo.node_id(pod, bay), pod, bay, *device,
+                          config_.detector);
     }
   }
 }

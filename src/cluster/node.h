@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "cluster/hybrid.h"
 #include "cluster/placement.h"
 #include "core/detector.h"
 #include "core/rack.h"
@@ -96,6 +97,15 @@ class ClusterNode {
 /// instead of the desktop default that hangs a request for ~75 s.
 storage::OsDeviceConfig datacenter_os_device();
 
+/// What sits in each bay: the bare HDD behind datacenter OS timers, or
+/// that HDD fronted by an attack-aware flash tier (hybrid.h).
+enum class NodeType : std::uint8_t {
+  kHdd,
+  kHybrid,
+};
+
+const char* node_type_name(NodeType type);
+
 struct ClusterConfig {
   core::ScenarioId scenario = core::ScenarioId::kPlasticTower;
   ClusterTopology topology;  ///< pods x bays_per_pod
@@ -103,6 +113,8 @@ struct ClusterConfig {
   /// Per-node health monitor. Warms fast: a fleet baselines a node in
   /// dozens of ops, and the error-burst rule needs no warmup at all.
   core::DetectorConfig detector = fleet_detector();
+  NodeType node_type = NodeType::kHdd;
+  HybridConfig hybrid;  ///< flash tier, used when node_type == kHybrid
   std::uint64_t seed = 0xc1a5;
 
   static core::DetectorConfig fleet_detector();
@@ -118,6 +130,11 @@ class Cluster {
   ClusterNode& node(NodeId id) { return nodes_.at(id); }
   const ClusterNode& node(NodeId id) const { return nodes_.at(id); }
   core::RackTestbed& pod(std::size_t pod) { return pods_.at(pod); }
+  /// The node's flash tier; nullptr on a pure-HDD cluster.
+  const HybridDevice* hybrid(NodeId id) const {
+    return config_.node_type == NodeType::kHybrid ? &hybrids_.at(id)
+                                                  : nullptr;
+  }
 
   /// Non-owning node pointers in id order (what a Balancer routes over).
   std::vector<ClusterNode*> node_pointers();
@@ -140,6 +157,9 @@ class Cluster {
   // relocates existing elements. Hot per-request paths route over
   // node_pointers()/device_pointers() arrays, not through these.
   std::deque<core::RackTestbed> pods_;
+  /// One flash tier per node on hybrid clusters (id order; empty
+  /// otherwise). Immovable like everything else here.
+  std::deque<HybridDevice> hybrids_;
   std::deque<ClusterNode> nodes_;
 };
 

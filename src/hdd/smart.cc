@@ -47,6 +47,19 @@ std::string SmartLog::to_text() const {
   return os.str();
 }
 
+SmartAttribute media_wearout_attribute(double mean_erase_cycles,
+                                       std::uint32_t rated_erase_cycles) {
+  const double used =
+      mean_erase_cycles / std::max<std::uint32_t>(rated_erase_cycles, 1);
+  // Wearout counts down linearly with consumed endurance (Samsung/Intel
+  // style), bottoming out at 1 rather than 0 like the other attributes.
+  const int normalized =
+      std::clamp(100 - static_cast<int>(used * 100.0), 1, 100);
+  return SmartAttribute{kAttrMediaWearout, "Media_Wearout_Indicator",
+                        static_cast<std::uint64_t>(mean_erase_cycles + 0.5),
+                        normalized, 10};
+}
+
 SmartLog smart_log(const Hdd& drive) {
   const HddStats& s = drive.stats();
   const std::uint64_t ops = s.reads + s.writes + s.flushes;

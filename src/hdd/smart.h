@@ -37,10 +37,19 @@ struct SmartLog {
 /// Derive the SMART view from the drive's lifetime counters.
 SmartLog smart_log(const Hdd& drive);
 
+/// SSD-style wear-leveling health (attribute 177): the fraction of rated
+/// program/erase endurance consumed, from the flash tier's mean per-block
+/// erase count. Takes plain numbers so the HDD library stays independent
+/// of the flash model; the hybrid node (cluster/hybrid.h) feeds it from
+/// FlashDevice wear counters for its telemetry.
+SmartAttribute media_wearout_attribute(double mean_erase_cycles,
+                                       std::uint32_t rated_erase_cycles);
+
 /// Well-known attribute ids used by the log.
 inline constexpr int kAttrRawReadErrorRate = 1;
 inline constexpr int kAttrPowerOnIoCount = 9;
 inline constexpr int kAttrRetrySectorEvents = 13;
+inline constexpr int kAttrMediaWearout = 177;
 inline constexpr int kAttrCommandTimeout = 188;
 inline constexpr int kAttrLoadCycleCount = 193;
 inline constexpr int kAttrUncorrectableErrors = 187;

@@ -17,12 +17,15 @@ enum class BlockStatus {
   kIoError,  ///< the command ultimately failed (buffer I/O error)
 };
 
-/// The three command kinds a BlockDevice serves. Fault injectors select
+/// The command kinds a BlockDevice serves. Fault injectors select
 /// victims by kind (e.g. "fail writes only") and report failures by kind.
+/// kErase only does real work on erase-block media (flash); other
+/// devices treat it as a TRIM-like hint.
 enum class DiskOpKind : std::uint8_t {
   kRead,
   kWrite,
   kFlush,
+  kErase,
 };
 
 const char* disk_op_name(DiskOpKind kind);
@@ -32,13 +35,15 @@ namespace fault_ops {
 inline constexpr unsigned kReads = 1u << 0;
 inline constexpr unsigned kWrites = 1u << 1;
 inline constexpr unsigned kFlushes = 1u << 2;
-inline constexpr unsigned kAll = kReads | kWrites | kFlushes;
+inline constexpr unsigned kErases = 1u << 3;
+inline constexpr unsigned kAll = kReads | kWrites | kFlushes | kErases;
 
 constexpr unsigned mask_of(DiskOpKind kind) {
   switch (kind) {
     case DiskOpKind::kRead: return kReads;
     case DiskOpKind::kWrite: return kWrites;
     case DiskOpKind::kFlush: return kFlushes;
+    case DiskOpKind::kErase: return kErases;
   }
   return 0;
 }
@@ -75,6 +80,17 @@ class BlockDevice {
   /// Durability barrier: completes when previously acknowledged writes
   /// are persistent.
   virtual BlockIo flush(sim::SimTime now) = 0;
+
+  /// Erase-block command. Flash devices require it before re-programming
+  /// a block and charge the (long) erase latency; devices without erase
+  /// geometry treat it as an instant TRIM-like no-op, which keeps fault
+  /// injectors and stacking layers device-agnostic.
+  virtual BlockIo erase(sim::SimTime now, std::uint64_t lba,
+                        std::uint32_t sector_count) {
+    (void)lba;
+    (void)sector_count;
+    return BlockIo{BlockStatus::kOk, now};
+  }
 };
 
 inline constexpr std::uint32_t kBlockSectorSize = 512;

@@ -410,6 +410,7 @@ std::uint32_t ExtFs::alloc_block(sim::SimTime& t, Errno& err) {
         mark_dirty(sb_.block_bitmap_start + b);
         --free_blocks_;
         alloc_hint_ = static_cast<std::uint32_t>(block_no) + 1;
+        uncommitted_allocs_.insert(static_cast<std::uint32_t>(block_no));
         err = Errno::kOk;
         return static_cast<std::uint32_t>(block_no);
       }
@@ -430,6 +431,7 @@ Errno ExtFs::free_block(sim::SimTime& t, std::uint32_t block_no) {
   bit_set(cr.block->data.data(), block_no % kBitsPerBlock, false);
   mark_dirty(sb_.block_bitmap_start + b);
   ++free_blocks_;
+  uncommitted_allocs_.erase(block_no);
   return Errno::kOk;
 }
 

@@ -267,6 +267,17 @@ class ExtFs {
 
   std::unordered_map<std::uint32_t, CachedBlock> cache_;
   std::unordered_set<std::uint32_t> txn_blocks_;  ///< dirty metadata blocks
+  /// Blocks allocated since the last successful commit. The mappings
+  /// that reference them ride the running transaction; if one of their
+  /// data writebacks fails and the page is dropped, committing that
+  /// metadata would publish a file pointing at an unwritten (possibly
+  /// reused) block — the journal must abort instead. See writeback_page.
+  std::unordered_set<std::uint32_t> uncommitted_allocs_;
+  /// Set when a dropped data writeback hit a block in uncommitted_allocs_.
+  /// Like jbd2's sticky mapping error under data_err=abort, the violation
+  /// is surfaced at the next commit, which aborts instead of publishing
+  /// the mapping.
+  bool ordered_data_lost_ = false;
 
   struct DirtyPage {
     std::uint32_t ino;

@@ -744,6 +744,19 @@ Errno ExtFs::writeback_page(sim::SimTime& t, std::uint64_t key) {
   hot_page_ = nullptr;  // the hot pointer may reference the erased node
   dirty_pages_.erase(it);
   ++stats_.data_pages_written;
+  if (!io.ok() && uncommitted_allocs_.count(blk) != 0) {
+    // The dropped page's block was allocated under the still-running
+    // transaction, so the mapping that references it has not committed.
+    // Letting a later commit publish that metadata would expose a block
+    // whose data never reached the device — on a reused block, the
+    // previous file's content resurrects under the new name. Record the
+    // violation; the next commit finds it (jbd2 keeps such errors sticky
+    // on the mapping and checks them at commit) and aborts instead of
+    // publishing the mapping. (A failed overwrite of a long-committed
+    // block stays a plain buffer I/O error above — only the durability
+    // of the new bytes is lost, never the mapping's integrity.)
+    ordered_data_lost_ = true;
+  }
   return io.ok() ? Errno::kOk : Errno::kEIO;
 }
 
@@ -813,8 +826,16 @@ FsResult ExtFs::do_commit(sim::SimTime now) {
     abort_fs(errno_code(Errno::kEIO), t);
     return FsResult{Errno::kEIO, t};
   }
+  // A page backing a freshly-allocated block was dropped by an earlier
+  // writeback failure; committing now would publish its mapping anyway.
+  // See writeback_page.
+  if (ordered_data_lost_) {
+    abort_fs(errno_code(Errno::kEIO), t);
+    return FsResult{Errno::kEIO, t};
+  }
 
   if (txn_blocks_.empty()) {
+    uncommitted_allocs_.clear();
     last_commit_ = t;
     return FsResult{Errno::kOk, t};
   }
@@ -854,6 +875,7 @@ FsResult ExtFs::do_commit(sim::SimTime now) {
     return FsResult{Errno::kEIO, t};
   }
   txn_blocks_.clear();
+  uncommitted_allocs_.clear();
   ++stats_.commits;
   last_commit_ = t;
   return FsResult{Errno::kOk, t};

@@ -40,6 +40,12 @@ struct FaultPlan {
   /// The cut write fails; the device is dead afterwards until revive().
   std::optional<std::uint64_t> cut_at_write;
 
+  /// Power-cut at the Nth erase attempt (0-based). An interrupted erase
+  /// leaves the block in a seeded in-between state — either the old
+  /// contents survive (erase never bit) or a seeded garbage prefix is
+  /// burned over a now-cleared block — and the device goes dead.
+  std::optional<std::uint64_t> cut_at_erase;
+
   /// When cut: persist a seeded sector-aligned prefix of the cut write
   /// (0 <= prefix < sector_count) instead of dropping it whole.
   bool tear_cut_write = false;
@@ -60,7 +66,8 @@ struct FaultPlan {
   unsigned eio_ops = fault_ops::kAll;
 
   bool any_fault() const {
-    return cut_at_write.has_value() || eio_len > 0 || cache_window > 0;
+    return cut_at_write.has_value() || cut_at_erase.has_value() ||
+           eio_len > 0 || cache_window > 0;
   }
 };
 
@@ -79,6 +86,8 @@ class FaultyDisk final : public BlockDevice {
                 std::uint32_t sector_count,
                 std::span<const std::byte> in) override;
   BlockIo flush(sim::SimTime now) override;
+  BlockIo erase(sim::SimTime now, std::uint64_t lba,
+                std::uint32_t sector_count) override;
 
   /// True once the power cut fired; every command fails until revive().
   bool dead() const { return dead_; }
@@ -90,6 +99,9 @@ class FaultyDisk final : public BlockDevice {
   /// Write attempts seen so far (including failed ones) — the exhaustive
   /// explorer sizes its schedule space from a benign run's count.
   std::uint64_t writes_seen() const { return writes_seen_; }
+  /// Erase attempts seen so far — sizes the interrupted-erase schedule
+  /// space the same way writes_seen() sizes the write-cut space.
+  std::uint64_t erases_seen() const { return erases_seen_; }
   std::uint64_t ops_seen() const { return ops_seen_; }
   /// The first command the plan failed, for shrink reports.
   const std::optional<FailedOp>& first_failure() const {
@@ -116,6 +128,7 @@ class FaultyDisk final : public BlockDevice {
   sim::Rng rng_;
   bool dead_ = false;
   std::uint64_t writes_seen_ = 0;
+  std::uint64_t erases_seen_ = 0;
   std::uint64_t ops_seen_ = 0;
   std::uint64_t eio_matched_ = 0;
   std::deque<CachedWrite> cache_;

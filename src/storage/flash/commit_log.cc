@@ -1,0 +1,320 @@
+#include "storage/flash/commit_log.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+namespace deepnote::storage {
+namespace {
+
+// Tag types (top byte of the tag word). 0xFF is reserved: an erased
+// page reads back all-0xFF, so a tag starting 0xFF marks the end of the
+// programmed region.
+constexpr std::uint32_t kTagSet = 0x51;
+constexpr std::uint32_t kTagCrc = 0xCC;
+constexpr std::uint32_t kErasedWord = 0xFFFFFFFFu;
+
+std::uint32_t crc32(std::uint32_t seed, std::span<const std::byte> data) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (const std::byte b : data) {
+    crc = table[(crc ^ std::to_integer<std::uint32_t>(b)) & 0xFFu] ^
+          (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void put_u32(std::byte* at, std::uint32_t v) {
+  at[0] = static_cast<std::byte>(v & 0xFF);
+  at[1] = static_cast<std::byte>((v >> 8) & 0xFF);
+  at[2] = static_cast<std::byte>((v >> 16) & 0xFF);
+  at[3] = static_cast<std::byte>((v >> 24) & 0xFF);
+}
+
+std::uint32_t get_u32(const std::byte* at) {
+  return std::to_integer<std::uint32_t>(at[0]) |
+         std::to_integer<std::uint32_t>(at[1]) << 8 |
+         std::to_integer<std::uint32_t>(at[2]) << 16 |
+         std::to_integer<std::uint32_t>(at[3]) << 24;
+}
+
+std::uint32_t make_tag(std::uint32_t type, std::uint8_t id,
+                       std::uint32_t len) {
+  return type << 24 | static_cast<std::uint32_t>(id) << 16 | (len & 0xFFFF);
+}
+
+}  // namespace
+
+CommitLog::CommitLog(BlockDevice& device, CommitLogConfig config)
+    : device_(device), config_(config) {
+  if (config_.page_sectors == 0 || config_.block_sectors == 0 ||
+      config_.block_sectors % config_.page_sectors != 0 ||
+      pages_per_block() < 2) {
+    throw std::invalid_argument("commit log: bad block geometry");
+  }
+  attrs_.resize(256);
+  scan_state_.resize(256);
+  scratch_.resize(block_bytes());
+  read_buf_.resize(block_bytes());
+}
+
+std::span<const std::byte> CommitLog::get(std::uint8_t id) const {
+  const AttrSlot& slot = attrs_[id];
+  if (!slot.present) return {};
+  return std::span<const std::byte>(slot.value, slot.len);
+}
+
+void CommitLog::apply_one(std::vector<AttrSlot>& state, std::uint8_t id,
+                          std::span<const std::byte> value) {
+  AttrSlot& slot = state[id];
+  if (value.empty()) {  // zero-length set is a delete
+    slot.present = false;
+    slot.len = 0;
+    return;
+  }
+  slot.present = true;
+  slot.len = static_cast<std::uint8_t>(value.size());
+  std::memcpy(slot.value, value.data(), value.size());
+}
+
+std::uint32_t CommitLog::build_group(std::span<const SetAttr> ops,
+                                     std::uint32_t seed_crc,
+                                     std::uint32_t byte_offset,
+                                     std::uint32_t* group_crc) {
+  std::uint32_t pos = byte_offset;
+  for (const SetAttr& op : ops) {
+    const std::uint32_t len = static_cast<std::uint32_t>(op.value.size());
+    if (pos + 4 + len + 8 > block_bytes()) return 0;  // + room for CRC
+    put_u32(scratch_.data() + pos, make_tag(kTagSet, op.id, len));
+    if (len != 0) {
+      std::memcpy(scratch_.data() + pos + 4, op.value.data(), len);
+    }
+    pos += 4 + len;
+  }
+  put_u32(scratch_.data() + pos, make_tag(kTagCrc, 0, 4));
+  const std::uint32_t crc = crc32(
+      seed_crc, std::span<const std::byte>(scratch_.data() + byte_offset,
+                                           pos + 4 - byte_offset));
+  put_u32(scratch_.data() + pos + 4, crc);
+  pos += 8;
+  const std::uint32_t end =
+      (pos - byte_offset + page_bytes() - 1) / page_bytes() * page_bytes() +
+      byte_offset;
+  std::fill(scratch_.begin() + pos, scratch_.begin() + end, std::byte{0xFF});
+  *group_crc = crc;
+  return (end - byte_offset) / page_bytes();
+}
+
+BlockIo CommitLog::program_group(sim::SimTime now, std::uint32_t which,
+                                 std::uint32_t first_page,
+                                 std::uint32_t pages) {
+  const BlockIo io = device_.write(
+      now,
+      config_.block_lba[which] +
+          static_cast<std::uint64_t>(first_page) * config_.page_sectors,
+      pages * config_.page_sectors,
+      std::span<const std::byte>(scratch_.data(),
+                                 static_cast<std::size_t>(pages) *
+                                     page_bytes()));
+  if (io.ok()) stats_.pages_programmed += pages;
+  return io;
+}
+
+BlockIo CommitLog::commit(sim::SimTime now, std::span<const SetAttr> ops) {
+  if (!mounted_) return BlockIo{BlockStatus::kIoError, now};
+  for (const SetAttr& op : ops) {
+    if (op.value.size() > kMaxAttrLen) {
+      return BlockIo{BlockStatus::kIoError, now};
+    }
+  }
+  if (!needs_compact_) {
+    std::uint32_t group_crc = 0;
+    const std::uint32_t pages = build_group(ops, chain_crc_, 0, &group_crc);
+    if (pages != 0 && cursor_page_ + pages <= pages_per_block()) {
+      const BlockIo w = program_group(now, active_, cursor_page_, pages);
+      if (w.ok()) {
+        const BlockIo f = device_.flush(w.complete);
+        if (f.ok()) {
+          for (const SetAttr& op : ops) apply_one(attrs_, op.id, op.value);
+          cursor_page_ += pages;
+          chain_crc_ = group_crc;
+          ++stats_.commits;
+          return f;
+        }
+        now = f.complete;
+      } else {
+        now = w.complete;
+      }
+      // The append may have left partially-programmed pages we are not
+      // allowed to touch again; fall through to a pair flip.
+    }
+    needs_compact_ = true;
+  }
+  return compact(now, ops);
+}
+
+BlockIo CommitLog::compact(sim::SimTime now, std::span<const SetAttr> ops) {
+  const std::uint32_t target = 1 - active_;
+  // Overlay `ops` on the current state; nothing below mutates attrs_
+  // until the new block is durable.
+  scan_state_ = attrs_;
+  for (const SetAttr& op : ops) apply_one(scan_state_, op.id, op.value);
+  std::array<SetAttr, 256> all;
+  std::size_t n = 0;
+  for (std::uint32_t id = 0; id < 256; ++id) {
+    const AttrSlot& slot = scan_state_[id];
+    if (!slot.present) continue;
+    all[n++] = SetAttr{static_cast<std::uint8_t>(id),
+                       std::span<const std::byte>(slot.value, slot.len)};
+  }
+
+  const std::uint32_t new_rev = revision_ + 1;
+  put_u32(scratch_.data(), new_rev);
+  std::fill(scratch_.begin() + 4, scratch_.begin() + page_bytes(),
+            std::byte{0xFF});
+  const std::uint32_t seed =
+      crc32(0, std::span<const std::byte>(scratch_.data(), 4));
+  std::uint32_t group_crc = 0;
+  const std::uint32_t pages = build_group(
+      std::span<const SetAttr>(all.data(), n), seed, page_bytes(),
+      &group_crc);
+  if (pages == 0 || 1 + pages > pages_per_block()) {
+    return BlockIo{BlockStatus::kIoError, now};  // state exceeds a block
+  }
+
+  const BlockIo e =
+      device_.erase(now, config_.block_lba[target], config_.block_sectors);
+  if (!e.ok()) return e;
+  const BlockIo w = program_group(e.complete, target, 0, 1 + pages);
+  if (!w.ok()) return w;
+  const BlockIo f = device_.flush(w.complete);
+  if (!f.ok()) return f;
+
+  attrs_ = scan_state_;
+  active_ = target;
+  revision_ = new_rev;
+  cursor_page_ = 1 + pages;
+  chain_crc_ = group_crc;
+  needs_compact_ = false;
+  ++stats_.compactions;
+  ++stats_.commits;
+  return f;
+}
+
+CommitLog::ScanResult CommitLog::scan_block(sim::SimTime now,
+                                            std::uint32_t which,
+                                            std::vector<AttrSlot>* state) {
+  if (state) {
+    for (AttrSlot& slot : *state) slot.present = false;
+  }
+  ScanResult r;
+  const BlockIo io =
+      device_.read(now, config_.block_lba[which], config_.block_sectors,
+                   read_buf_);
+  r.complete = io.complete;
+  if (!io.ok()) return r;
+
+  const std::uint32_t rev = get_u32(read_buf_.data());
+  if (rev == kErasedWord) return r;
+  std::uint32_t chain =
+      crc32(0, std::span<const std::byte>(read_buf_.data(), 4));
+
+  std::uint32_t page = 1;
+  while (page < pages_per_block()) {
+    const std::uint32_t start = page * page_bytes();
+    // Pass 1: frame the group and verify its chained CRC.
+    std::uint32_t pos = start;
+    bool framed = false;
+    std::uint32_t crc_payload = 0;
+    while (pos + 4 <= block_bytes()) {
+      const std::uint32_t tag = get_u32(read_buf_.data() + pos);
+      if (tag == kErasedWord) break;  // end of programmed region
+      const std::uint32_t type = tag >> 24;
+      const std::uint32_t len = tag & 0xFFFF;
+      if (type == kTagSet) {
+        if (len > kMaxAttrLen || pos + 4 + len > block_bytes()) break;
+        pos += 4 + len;
+      } else if (type == kTagCrc) {
+        if (len != 4 || pos + 8 > block_bytes()) break;
+        crc_payload = pos + 4;
+        framed = true;
+        break;
+      } else {
+        break;  // foreign bytes
+      }
+    }
+    if (!framed) break;
+    const std::uint32_t stored = get_u32(read_buf_.data() + crc_payload);
+    const std::uint32_t computed = crc32(
+        chain, std::span<const std::byte>(read_buf_.data() + start,
+                                          crc_payload - start));
+    if (computed != stored) break;  // torn or stale commit: chain ends
+
+    if (state) {
+      // Pass 2: replay the verified entries.
+      std::uint32_t p = start;
+      while (p < crc_payload - 4) {
+        const std::uint32_t tag = get_u32(read_buf_.data() + p);
+        const std::uint32_t len = tag & 0xFFFF;
+        apply_one(*state, static_cast<std::uint8_t>((tag >> 16) & 0xFF),
+                  std::span<const std::byte>(read_buf_.data() + p + 4, len));
+        p += 4 + len;
+      }
+    }
+    chain = stored;
+    r.valid = true;
+    page = (crc_payload + 4 + page_bytes() - 1) / page_bytes();
+  }
+  r.revision = rev;
+  r.next_page = page;
+  r.chain_crc = chain;
+  return r;
+}
+
+BlockIo CommitLog::mount(sim::SimTime now) {
+  mounted_ = false;
+  needs_compact_ = false;
+  const ScanResult s0 = scan_block(now, 0, nullptr);
+  const ScanResult s1 = scan_block(s0.complete, 1, nullptr);
+  if (!s0.valid && !s1.valid) {
+    return BlockIo{BlockStatus::kIoError, s1.complete};
+  }
+  const std::uint32_t pick =
+      (s0.valid && (!s1.valid || s0.revision >= s1.revision)) ? 0 : 1;
+  const ScanResult s = scan_block(s1.complete, pick, &attrs_);
+  if (!s.valid) return BlockIo{BlockStatus::kIoError, s.complete};
+  active_ = pick;
+  revision_ = s.revision;
+  cursor_page_ = s.next_page;
+  chain_crc_ = s.chain_crc;
+  mounted_ = true;
+  return BlockIo{BlockStatus::kOk, s.complete};
+}
+
+BlockIo CommitLog::format(sim::SimTime now) {
+  mounted_ = false;
+  const BlockIo e =
+      device_.erase(now, config_.block_lba[1], config_.block_sectors);
+  if (!e.ok()) return e;
+  for (AttrSlot& slot : attrs_) slot.present = false;
+  revision_ = 0;
+  active_ = 1;  // compact() flips to block 0 under revision 1
+  needs_compact_ = false;
+  const BlockIo io = compact(e.complete, {});
+  if (!io.ok()) return io;
+  mounted_ = true;
+  return io;
+}
+
+}  // namespace deepnote::storage

@@ -1,0 +1,142 @@
+// littlefs-style copy-on-write metadata commit log over an erase-block
+// device.
+//
+// State is a small set of (id, value) attributes held in a metadata
+// *block pair*. Updates append tag+CRC framed commit groups to the
+// active block; when the block fills (or an append fails), the full
+// state is compacted into the other block under a bumped revision, and
+// the pair flips. Mount scans both blocks, replays every commit whose
+// CRC chain verifies, and adopts the valid block with the newer
+// revision — so a power cut (clean, torn, cache-reordered, or
+// mid-erase; see fault_harness.h) at ANY device operation leaves the
+// log in the state of some committed prefix: a commit either fully
+// applies or fully rolls back. This is the lfs_dir_commit_* shape: tag
+// entries, a commit CRC sealing the group, revision-count arbitration
+// between the pair.
+//
+// Wire format inside a block (byte offsets, little-endian):
+//   [0..4)  revision u32
+//   then commit groups, each starting at a program-page boundary:
+//     ([tag u32: type<<24 | id<<16 | len] [payload len bytes])*
+//     [tag kCrc, len 4] [crc u32]
+//     0xFF padding to the next page boundary
+// Each commit's CRC32 covers its own bytes [group start, crc payload)
+// seeded by the previous commit's CRC (the first group seeds from the
+// CRC of the revision word), chaining groups the way littlefs chains
+// ptags: stale or foreign bytes cannot splice into a valid history.
+//
+// The log pads every commit to whole program pages and never
+// re-programs a page between erases, honoring NAND discipline
+// (flash_device.h); it calls flush() before acknowledging so the
+// volatile-cache fault variant cannot reorder an ack past its bytes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/block_device.h"
+
+namespace deepnote::storage {
+
+struct CommitLogConfig {
+  /// LBAs of the metadata block pair (each one erase block).
+  std::uint64_t block_lba[2] = {0, 0};
+  std::uint32_t block_sectors = 0;  ///< erase-block size
+  std::uint32_t page_sectors = 0;   ///< program unit
+};
+
+/// One attribute update in a commit group.
+struct SetAttr {
+  std::uint8_t id = 0;
+  std::span<const std::byte> value;
+};
+
+inline constexpr std::uint32_t kMaxAttrLen = 32;
+
+struct CommitLogStats {
+  std::uint64_t commits = 0;      ///< acknowledged commit groups
+  std::uint64_t compactions = 0;  ///< pair flips (erase + full rewrite)
+  std::uint64_t pages_programmed = 0;
+};
+
+class CommitLog {
+ public:
+  /// Does not take ownership. Buffers are sized here; commit() and
+  /// mount() allocate nothing.
+  CommitLog(BlockDevice& device, CommitLogConfig config);
+
+  /// Fresh log: erase both blocks, seal revision 1 with an empty commit.
+  BlockIo format(sim::SimTime now);
+  /// Recover from whatever a crash left: scan the pair, replay the valid
+  /// chain with the newest revision. Fails only when neither block holds
+  /// a single valid commit (never formatted, or format itself was cut).
+  BlockIo mount(sim::SimTime now);
+
+  /// Atomically apply `ops`. On error nothing is applied; the next
+  /// commit retries through compaction of the surviving state.
+  BlockIo commit(sim::SimTime now, std::span<const SetAttr> ops);
+
+  bool mounted() const { return mounted_; }
+  std::uint32_t revision() const { return revision_; }
+  /// Value bytes for `id`, empty span when unset.
+  std::span<const std::byte> get(std::uint8_t id) const;
+  const CommitLogStats& stats() const { return stats_; }
+
+ private:
+  struct AttrSlot {
+    bool present = false;
+    std::uint8_t len = 0;
+    std::byte value[kMaxAttrLen];
+  };
+  struct ScanResult {
+    bool valid = false;           ///< at least one commit verified
+    std::uint32_t revision = 0;
+    std::uint32_t next_page = 0;  ///< append cursor after the valid tail
+    std::uint32_t chain_crc = 0;  ///< CRC seed for the next commit
+    sim::SimTime complete = sim::SimTime::zero();
+  };
+
+  std::uint32_t page_bytes() const {
+    return config_.page_sectors * kBlockSectorSize;
+  }
+  std::uint32_t block_bytes() const {
+    return config_.block_sectors * kBlockSectorSize;
+  }
+  std::uint32_t pages_per_block() const {
+    return config_.block_sectors / config_.page_sectors;
+  }
+
+  /// Serialize a commit group into scratch_ at `byte_offset` (a page
+  /// boundary), 0xFF-padded to whole pages; returns pages used, 0 when
+  /// the group cannot fit in a block.
+  std::uint32_t build_group(std::span<const SetAttr> ops,
+                            std::uint32_t seed_crc,
+                            std::uint32_t byte_offset,
+                            std::uint32_t* group_crc);
+  BlockIo program_group(sim::SimTime now, std::uint32_t which,
+                        std::uint32_t first_page, std::uint32_t pages);
+  BlockIo compact(sim::SimTime now, std::span<const SetAttr> ops);
+  /// Validate one block's commit chain; when `state` is non-null the
+  /// verified entries are replayed into it (it is reset first).
+  ScanResult scan_block(sim::SimTime now, std::uint32_t which,
+                        std::vector<AttrSlot>* state);
+  static void apply_one(std::vector<AttrSlot>& state, std::uint8_t id,
+                        std::span<const std::byte> value);
+
+  BlockDevice& device_;
+  CommitLogConfig config_;
+  CommitLogStats stats_;
+
+  bool mounted_ = false;
+  bool needs_compact_ = false;
+  std::uint32_t active_ = 0;  ///< index into config_.block_lba
+  std::uint32_t revision_ = 0;
+  std::uint32_t cursor_page_ = 0;  ///< next free page in the active block
+  std::uint32_t chain_crc_ = 0;
+  std::vector<AttrSlot> attrs_;       ///< 256 slots, id-indexed
+  std::vector<AttrSlot> scan_state_;  ///< scratch for mount()
+  std::vector<std::byte> scratch_;    ///< one block of build/program space
+  std::vector<std::byte> read_buf_;   ///< one block of scan space
+};
+
+}  // namespace deepnote::storage

@@ -1,0 +1,144 @@
+#include "storage/flash/flash_device.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace deepnote::storage {
+
+FlashDevice::FlashDevice(FlashConfig config) : config_(config) {
+  if (config_.page_sectors == 0 || config_.pages_per_block == 0 ||
+      config_.blocks == 0) {
+    throw std::invalid_argument("flash: empty geometry");
+  }
+  const std::uint64_t pages =
+      static_cast<std::uint64_t>(config_.blocks) * config_.pages_per_block;
+  programmed_.assign((pages + 63) / 64, 0);
+  erase_counts_.assign(config_.blocks, 0);
+  data_.resize(config_.retain_data ? config_.blocks : 0);
+}
+
+BlockIo FlashDevice::read(sim::SimTime now, std::uint64_t lba,
+                          std::uint32_t sector_count,
+                          std::span<std::byte> out) {
+  if (lba + sector_count > total_sectors()) {
+    return BlockIo{BlockStatus::kIoError, now};
+  }
+  const std::uint64_t first_page = lba / config_.page_sectors;
+  const std::uint64_t last_page =
+      (lba + sector_count - 1) / config_.page_sectors;
+  const std::uint64_t pages = last_page - first_page + 1;
+  stats_.page_reads += pages;
+  if (config_.retain_data) {
+    // Erased (and never-programmed) bytes read back 0xFF, NAND-style.
+    std::memset(out.data(), 0xFF,
+                static_cast<std::size_t>(sector_count) * kBlockSectorSize);
+    const std::uint32_t bsectors = block_sectors();
+    for (std::uint64_t s = 0; s < sector_count;) {
+      const std::uint64_t abs = lba + s;
+      const std::uint32_t block = static_cast<std::uint32_t>(abs / bsectors);
+      const std::uint64_t in_block = abs % bsectors;
+      const std::uint64_t run =
+          std::min<std::uint64_t>(sector_count - s, bsectors - in_block);
+      if (!data_[block].empty()) {
+        std::memcpy(out.data() + s * kBlockSectorSize,
+                    data_[block].data() + in_block * kBlockSectorSize,
+                    static_cast<std::size_t>(run) * kBlockSectorSize);
+      }
+      s += run;
+    }
+  }
+  return BlockIo{BlockStatus::kOk,
+                 now + config_.read_latency *
+                           static_cast<std::int64_t>(pages)};
+}
+
+BlockIo FlashDevice::write(sim::SimTime now, std::uint64_t lba,
+                           std::uint32_t sector_count,
+                           std::span<const std::byte> in) {
+  if (lba + sector_count > total_sectors()) {
+    return BlockIo{BlockStatus::kIoError, now};
+  }
+  const std::uint64_t first_page = lba / config_.page_sectors;
+  const std::uint64_t last_page =
+      (lba + sector_count - 1) / config_.page_sectors;
+  // NAND programming discipline: every touched page must still be in its
+  // erased state. Checked before any side effect so a refused program
+  // leaves the device untouched.
+  for (std::uint64_t page = first_page; page <= last_page; ++page) {
+    if (page_programmed(page)) {
+      ++stats_.discipline_errors;
+      return BlockIo{BlockStatus::kIoError, now};
+    }
+  }
+  for (std::uint64_t page = first_page; page <= last_page; ++page) {
+    set_page_programmed(page);
+  }
+  const std::uint64_t pages = last_page - first_page + 1;
+  stats_.page_programs += pages;
+  if (config_.retain_data) {
+    const std::uint32_t bsectors = block_sectors();
+    for (std::uint64_t s = 0; s < sector_count;) {
+      const std::uint64_t abs = lba + s;
+      const std::uint32_t block = static_cast<std::uint32_t>(abs / bsectors);
+      const std::uint64_t in_block = abs % bsectors;
+      const std::uint64_t run =
+          std::min<std::uint64_t>(sector_count - s, bsectors - in_block);
+      if (data_[block].empty()) {
+        data_[block].assign(
+            static_cast<std::size_t>(bsectors) * kBlockSectorSize,
+            std::byte{0xFF});
+      }
+      std::memcpy(data_[block].data() + in_block * kBlockSectorSize,
+                  in.data() + s * kBlockSectorSize,
+                  static_cast<std::size_t>(run) * kBlockSectorSize);
+      s += run;
+    }
+  }
+  return BlockIo{BlockStatus::kOk,
+                 now + config_.program_latency *
+                           static_cast<std::int64_t>(pages)};
+}
+
+BlockIo FlashDevice::flush(sim::SimTime now) {
+  return BlockIo{BlockStatus::kOk, now};
+}
+
+BlockIo FlashDevice::erase(sim::SimTime now, std::uint64_t lba,
+                           std::uint32_t sector_count) {
+  const std::uint32_t bsectors = block_sectors();
+  if (lba % bsectors != 0 || sector_count != bsectors ||
+      lba + sector_count > total_sectors()) {
+    ++stats_.discipline_errors;
+    return BlockIo{BlockStatus::kIoError, now};
+  }
+  const std::uint32_t block = static_cast<std::uint32_t>(lba / bsectors);
+  const std::uint64_t first_page =
+      static_cast<std::uint64_t>(block) * config_.pages_per_block;
+  for (std::uint64_t page = first_page;
+       page < first_page + config_.pages_per_block; ++page) {
+    programmed_[page >> 6] &= ~(1ull << (page & 63));
+  }
+  ++erase_counts_[block];
+  ++stats_.block_erases;
+  if (config_.retain_data && !data_[block].empty()) {
+    std::fill(data_[block].begin(), data_[block].end(), std::byte{0xFF});
+  }
+  return BlockIo{BlockStatus::kOk, now + config_.erase_latency};
+}
+
+std::uint32_t FlashDevice::min_erase_count() const {
+  return *std::min_element(erase_counts_.begin(), erase_counts_.end());
+}
+
+std::uint32_t FlashDevice::max_erase_count() const {
+  return *std::max_element(erase_counts_.begin(), erase_counts_.end());
+}
+
+double FlashDevice::mean_erase_count() const {
+  std::uint64_t total = 0;
+  for (const std::uint32_t c : erase_counts_) total += c;
+  return static_cast<double>(total) / static_cast<double>(config_.blocks);
+}
+
+}  // namespace deepnote::storage

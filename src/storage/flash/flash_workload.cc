@@ -1,0 +1,185 @@
+#include "storage/flash/flash_workload.h"
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+#include "storage/flash/commit_log.h"
+#include "storage/flash/flash_device.h"
+
+namespace deepnote::storage {
+namespace {
+
+using sim::SimTime;
+
+// Tiny geometry: 1 KiB pages, 4-page blocks. The metadata pair fills
+// after a handful of commits, so the workload spends most of its writes
+// inside compactions — the interesting window.
+FlashConfig small_flash() {
+  FlashConfig cfg;
+  cfg.page_sectors = 2;
+  cfg.pages_per_block = 4;
+  cfg.blocks = 8;
+  return cfg;
+}
+
+class FlashCommitLogWorkload final : public CrashWorkload {
+ public:
+  explicit FlashCommitLogWorkload(FlashLogWorkloadOptions options)
+      : options_(options) {}
+
+  void run(const FaultPlan& plan) override {
+    flash_ = std::make_unique<FlashDevice>(small_flash());
+    faulty_ = std::make_unique<FaultyDisk>(*flash_, plan);
+    log_ = std::make_unique<CommitLog>(*faulty_, log_config());
+
+    acked_.assign(256, {});
+    in_flight_.clear();
+    formatted_ = log_->format(SimTime::zero()).ok();
+    if (!formatted_) return;
+
+    // The op stream is a pure function of workload_seed: every schedule
+    // of this workload sees the same commits, so cut indices line up.
+    sim::Rng rng(options_.workload_seed);
+    for (std::uint32_t c = 0; c < options_.commits; ++c) {
+      const std::uint32_t nops = static_cast<std::uint32_t>(
+          rng.uniform_int(1, options_.max_ops_per_commit));
+      std::array<SetAttr, 16> ops;
+      // Ops point into member-owned buffers: check() reads the in-flight
+      // commit after run() returns.
+      for (std::uint32_t i = 0; i < nops; ++i) {
+        const std::uint8_t id = static_cast<std::uint8_t>(
+            rng.uniform_int(0, options_.attr_ids - 1));
+        in_flight_bufs_[i] = value_of(id, c);
+        ops[i] = SetAttr{id, in_flight_bufs_[i]};
+      }
+      in_flight_.assign(ops.begin(), ops.begin() + nops);
+      if (!log_->commit(SimTime::zero(),
+                        std::span<const SetAttr>(ops.data(), nops))
+               .ok()) {
+        // First error = the crash; the device is dead from here on.
+        return;
+      }
+      for (std::uint32_t i = 0; i < nops; ++i) {
+        acked_[ops[i].id].assign(ops[i].value.begin(), ops[i].value.end());
+      }
+      in_flight_.clear();
+    }
+    in_flight_.clear();
+  }
+
+  std::uint64_t faulted_writes() const override {
+    return faulty_->writes_seen();
+  }
+  std::uint64_t faulted_erases() const override {
+    return faulty_->erases_seen();
+  }
+
+  CheckResult check() override {
+    // Recovery runs on the raw flash: the crash killed the fault layer,
+    // not the chip.
+    CommitLog recovered(*flash_, log_config());
+    const bool mounted = recovered.mount(SimTime::zero()).ok();
+    if (!formatted_) {
+      // Format never acked: an unmountable pair is fine; a mountable one
+      // must be empty.
+      if (!mounted) return CheckResult::ok();
+      for (std::uint32_t id = 0; id < 256; ++id) {
+        if (!recovered.get(static_cast<std::uint8_t>(id)).empty()) {
+          return CheckResult::fail("unacked format left attribute " +
+                                   std::to_string(id));
+        }
+      }
+      return CheckResult::ok();
+    }
+    if (!mounted) {
+      return CheckResult::fail("acked format but mount failed");
+    }
+    if (matches(recovered, /*with_in_flight=*/false)) return CheckResult::ok();
+    if (!in_flight_.empty() && matches(recovered, /*with_in_flight=*/true)) {
+      return CheckResult::ok();
+    }
+    return CheckResult::fail(mismatch_detail(recovered));
+  }
+
+ private:
+  CommitLogConfig log_config() const {
+    CommitLogConfig cfg;
+    const std::uint32_t bsectors =
+        small_flash().page_sectors * small_flash().pages_per_block;
+    cfg.block_lba[0] = 0;
+    cfg.block_lba[1] = bsectors;
+    cfg.block_sectors = bsectors;
+    cfg.page_sectors = small_flash().page_sectors;
+    return cfg;
+  }
+
+  static std::vector<std::byte> value_of(std::uint8_t id, std::uint32_t c) {
+    const std::uint32_t len = 1 + (id + c * 7) % kMaxAttrLen;
+    std::vector<std::byte> v(len);
+    for (std::uint32_t k = 0; k < len; ++k) {
+      v[k] = static_cast<std::byte>((id * 37 + c * 11 + k) & 0xFF);
+    }
+    return v;
+  }
+
+  std::vector<std::byte> expected(std::uint8_t id,
+                                  bool with_in_flight) const {
+    std::vector<std::byte> want = acked_[id];
+    if (with_in_flight) {
+      for (const SetAttr& op : in_flight_) {
+        if (op.id == id) want.assign(op.value.begin(), op.value.end());
+      }
+    }
+    return want;
+  }
+
+  bool matches(const CommitLog& log, bool with_in_flight) const {
+    for (std::uint32_t id = 0; id < 256; ++id) {
+      const auto got = log.get(static_cast<std::uint8_t>(id));
+      const std::vector<std::byte> want =
+          expected(static_cast<std::uint8_t>(id), with_in_flight);
+      if (!std::equal(got.begin(), got.end(), want.begin(), want.end())) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::string mismatch_detail(const CommitLog& log) const {
+    for (std::uint32_t id = 0; id < 256; ++id) {
+      const auto got = log.get(static_cast<std::uint8_t>(id));
+      const std::vector<std::byte> want =
+          expected(static_cast<std::uint8_t>(id), false);
+      if (!std::equal(got.begin(), got.end(), want.begin(), want.end())) {
+        return "attribute " + std::to_string(id) + ": recovered " +
+               std::to_string(got.size()) + " bytes, acked " +
+               std::to_string(want.size()) +
+               " bytes (neither acked state nor acked+in-flight)";
+      }
+    }
+    return "recovered state matches neither candidate";
+  }
+
+  FlashLogWorkloadOptions options_;
+  std::unique_ptr<FlashDevice> flash_;
+  std::unique_ptr<FaultyDisk> faulty_;
+  std::unique_ptr<CommitLog> log_;
+  bool formatted_ = false;
+  std::vector<std::vector<std::byte>> acked_;  ///< id-indexed model
+  std::vector<SetAttr> in_flight_;
+  std::array<std::vector<std::byte>, 16> in_flight_bufs_;
+};
+
+}  // namespace
+
+WorkloadFactory flash_commitlog_workload(FlashLogWorkloadOptions options) {
+  return [options] {
+    return std::make_unique<FlashCommitLogWorkload>(options);
+  };
+}
+
+}  // namespace deepnote::storage

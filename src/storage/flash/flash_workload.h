@@ -1,0 +1,32 @@
+// CrashWorkload for the flash CoW metadata layer (commit_log.h), run
+// under the fault harness (fault_harness.h).
+//
+// The workload formats a commit log on a small-geometry NAND device and
+// streams attribute commits at it; the device is faulted with every
+// (cut, variant) schedule the harness enumerates — including the
+// interrupted-erase variant, which only erase-block media exercise.
+// Small geometry (short blocks) forces frequent compactions, so the
+// schedules cut inside the erase + rewrite + pair-flip window where CoW
+// bugs live.
+//
+// Post-crash oracle: a fresh mount over the raw flash must recover
+// EXACTLY the acknowledged state, or the acknowledged state plus the
+// single in-flight commit (atomic: all of its ops or none of them).
+#pragma once
+
+#include <cstdint>
+
+#include "storage/fault_harness.h"
+
+namespace deepnote::storage {
+
+struct FlashLogWorkloadOptions {
+  std::uint32_t commits = 48;  ///< attribute commits after format
+  std::uint32_t attr_ids = 6;  ///< distinct attribute ids in play
+  std::uint32_t max_ops_per_commit = 3;
+  std::uint64_t workload_seed = 0xf1a5ull;
+};
+
+WorkloadFactory flash_commitlog_workload(FlashLogWorkloadOptions options = {});
+
+}  // namespace deepnote::storage

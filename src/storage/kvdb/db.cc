@@ -96,6 +96,32 @@ Db::OpenResult Db::open(ExtFs& fs, sim::SimTime now, DbConfig config) {
       out.err = r.err;
       return false;
     }
+    // The open only proves the tail of the file (footer, filter, index)
+    // reached the disk. An I/O-error burst during writeback can land
+    // those pages while dropping data pages in the middle, leaving a
+    // file that opens cleanly and then fails mid-read — compact() hits
+    // the write error and goes fatal without a chance to clean up (and
+    // a power cut never gives it one). Inputs are unlinked only after
+    // every output opens, so a file that fails a full structural scan
+    // is always a redundant partial copy: its data is still in a .wal
+    // or in the surviving input SSTs. Delete it like an open-time
+    // EINVAL. A real disk error (EIO) still fails the open instead.
+    FsResult sc = r.reader->scan(t, [](std::string_view, const MemEntry&) {});
+    t = sc.done;
+    if (sc.err == Errno::kEINVAL) {
+      FsResult ul = fs.unlink(t, db->config_.root + "/" + f.name);
+      t = ul.done;
+      if (!ul.ok()) {
+        out.err = ul.err;
+        return false;
+      }
+      ++out.corrupt_ssts_removed;
+      return true;
+    }
+    if (!sc.ok()) {
+      out.err = sc.err;
+      return false;
+    }
     db->last_sequence_ =
         std::max(db->last_sequence_, r.reader->max_sequence());
     into.push_back({f.number, std::move(r.reader)});

@@ -79,6 +79,36 @@ TEST(SmartTest, ParkedDriveAccumulatesTimeouts) {
   EXPECT_GT(timeouts->raw_value, 9u);
 }
 
+// SMART 177 for the flash tier of a hybrid node: normalized health
+// counts down linearly with consumed program/erase endurance. Takes
+// plain numbers, so the HDD library stays independent of the flash
+// model — the hybrid layer feeds it from FlashDevice wear counters.
+TEST(SmartTest, MediaWearoutCountsDownWithEraseCycles) {
+  const SmartAttribute fresh = media_wearout_attribute(0.0, 3000);
+  EXPECT_EQ(fresh.id, kAttrMediaWearout);
+  EXPECT_EQ(fresh.name, "Media_Wearout_Indicator");
+  EXPECT_EQ(fresh.normalized, 100);
+  EXPECT_EQ(fresh.raw_value, 0u);
+  EXPECT_FALSE(fresh.failing_now());
+
+  const SmartAttribute half = media_wearout_attribute(1500.0, 3000);
+  EXPECT_EQ(half.normalized, 50);
+  EXPECT_EQ(half.raw_value, 1500u);
+  EXPECT_FALSE(half.failing_now());
+
+  // At and past rated endurance the scale bottoms out at 1 (never 0),
+  // and the attribute reads as failing against its threshold.
+  const SmartAttribute spent = media_wearout_attribute(3000.0, 3000);
+  EXPECT_EQ(spent.normalized, 1);
+  EXPECT_TRUE(spent.failing_now());
+  const SmartAttribute beyond = media_wearout_attribute(9000.0, 3000);
+  EXPECT_EQ(beyond.normalized, 1);
+
+  // A zero rating must not divide by zero.
+  const SmartAttribute unrated = media_wearout_attribute(10.0, 0);
+  EXPECT_GE(unrated.normalized, 1);
+}
+
 TEST(SmartTest, TextRenderingContainsAttributes) {
   core::ScenarioSpec spec =
       core::make_scenario(core::ScenarioId::kPlasticTower);

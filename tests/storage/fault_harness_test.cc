@@ -113,10 +113,10 @@ WorkloadFactory factory_of() {
 }
 
 TEST(FaultScheduleTest, IndexEncodesCutAndVariant) {
-  const FaultSchedule s = schedule_at(0x5eed, 4 * 9 + 2);
+  const FaultSchedule s = schedule_at(0x5eed, 5 * 9 + 2);
   EXPECT_EQ(s.cut_write, 9u);
   EXPECT_EQ(s.variant, FaultVariant::kReorder);
-  EXPECT_EQ(s.index, 38u);
+  EXPECT_EQ(s.index, 47u);
   const FaultPlan p = s.plan(8);
   ASSERT_TRUE(p.cut_at_write.has_value());
   EXPECT_EQ(*p.cut_at_write, 9u);
@@ -125,14 +125,14 @@ TEST(FaultScheduleTest, IndexEncodesCutAndVariant) {
 }
 
 TEST(FaultScheduleTest, PlanSeedsDifferPerIndexAndReplayExactly) {
-  const FaultPlan p1 = schedule_at(1, 4).plan(8);
-  const FaultPlan p2 = schedule_at(1, 8).plan(8);
+  const FaultPlan p1 = schedule_at(1, 5).plan(8);
+  const FaultPlan p2 = schedule_at(1, 10).plan(8);
   EXPECT_NE(p1.seed, p2.seed);
-  EXPECT_EQ(p1.seed, schedule_at(1, 4).plan(8).seed);
+  EXPECT_EQ(p1.seed, schedule_at(1, 5).plan(8).seed);
 }
 
 TEST(FaultScheduleTest, EioVariantHasNoCut) {
-  const FaultSchedule s = schedule_at(7, 4 * 3 + 3);
+  const FaultSchedule s = schedule_at(7, 5 * 3 + 3);
   EXPECT_EQ(s.variant, FaultVariant::kEio);
   const FaultPlan p = s.plan(8);
   EXPECT_FALSE(p.cut_at_write.has_value());
@@ -140,12 +140,25 @@ TEST(FaultScheduleTest, EioVariantHasNoCut) {
   EXPECT_EQ(p.eio_start, 3u);
 }
 
+TEST(FaultScheduleTest, EraseVariantCutsAtTheNthErase) {
+  const FaultSchedule s = schedule_at(7, 5 * 6 + 4);
+  EXPECT_EQ(s.variant, FaultVariant::kEraseInterrupt);
+  const FaultPlan p = s.plan(8);
+  EXPECT_FALSE(p.cut_at_write.has_value());
+  ASSERT_TRUE(p.cut_at_erase.has_value());
+  EXPECT_EQ(*p.cut_at_erase, 6u);
+  EXPECT_NE(s.describe().find("erase"), std::string::npos);
+}
+
 TEST(FaultHarnessTest, CorrectWorkloadSurvivesExhaustiveExploration) {
   const ExploreReport report =
       explore(factory_of<SectorLogWorkload>(), ExploreOptions{});
   EXPECT_TRUE(report.passed()) << report.summary();
   EXPECT_EQ(report.write_count, 10u);
-  EXPECT_EQ(report.schedules_run, 40u);  // 10 writes x 4 variants
+  // 10 writes x the 4 write-cut variants; the workload never erases, so
+  // no interrupted-erase schedules are enumerated.
+  EXPECT_EQ(report.erase_count, 0u);
+  EXPECT_EQ(report.schedules_run, 40u);
 }
 
 TEST(FaultHarnessTest, ExplorationIsDeterministicAcrossJobCounts) {

@@ -1,0 +1,156 @@
+// NAND flash device model tests: erase-block geometry, the
+// program-once-per-erase discipline, latency asymmetry, wear counters,
+// and the no-payload fleet mode.
+#include "storage/flash/flash_device.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace deepnote::storage {
+namespace {
+
+using sim::SimTime;
+
+// 1 KiB pages, 4-page blocks, 8 blocks: 64 sectors total.
+FlashConfig small_config() {
+  FlashConfig config;
+  config.page_sectors = 2;
+  config.pages_per_block = 4;
+  config.blocks = 8;
+  return config;
+}
+
+std::vector<std::byte> pattern(std::size_t sectors, std::uint8_t seed) {
+  std::vector<std::byte> out(sectors * kBlockSectorSize);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<std::byte>((seed + i * 7) & 0xFF);
+  }
+  return out;
+}
+
+TEST(FlashDeviceTest, GeometryExposesErasBlocks) {
+  FlashDevice flash(small_config());
+  EXPECT_EQ(flash.block_sectors(), 8u);
+  EXPECT_EQ(flash.total_sectors(), 64u);
+}
+
+TEST(FlashDeviceTest, LatencyAsymmetryReadProgramErase) {
+  const FlashConfig config = small_config();
+  FlashDevice flash(config);
+  std::vector<std::byte> buf = pattern(2, 1);
+
+  const BlockIo w = flash.write(SimTime::zero(), 0, 2, buf);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.complete, SimTime::zero() + config.program_latency);
+
+  const BlockIo r =
+      flash.read(SimTime::zero(), 0, 2, std::span<std::byte>(buf));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.complete, SimTime::zero() + config.read_latency);
+
+  const BlockIo e = flash.erase(SimTime::zero(), 0, flash.block_sectors());
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.complete, SimTime::zero() + config.erase_latency);
+
+  // Programs and erases are orders of magnitude apart from reads.
+  EXPECT_GT(config.program_latency.seconds(), config.read_latency.seconds());
+  EXPECT_GT(config.erase_latency.seconds(), config.program_latency.seconds());
+}
+
+TEST(FlashDeviceTest, MultiPageCommandsChargePerPage) {
+  const FlashConfig config = small_config();
+  FlashDevice flash(config);
+  std::vector<std::byte> buf = pattern(4, 2);
+  // Two pages in one command: twice the single-page latency.
+  const BlockIo w = flash.write(SimTime::zero(), 0, 4, buf);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.complete,
+            SimTime::zero() + config.program_latency * std::int64_t{2});
+  const BlockIo r =
+      flash.read(SimTime::zero(), 0, 4, std::span<std::byte>(buf));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.complete,
+            SimTime::zero() + config.read_latency * std::int64_t{2});
+}
+
+TEST(FlashDeviceTest, ReprogramWithoutEraseIsADisciplineError) {
+  FlashDevice flash(small_config());
+  std::vector<std::byte> buf = pattern(2, 3);
+  ASSERT_TRUE(flash.write(SimTime::zero(), 0, 2, buf).ok());
+  // Same page again without an erase: refused, not silently merged.
+  const BlockIo again = flash.write(SimTime::zero(), 0, 2, buf);
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(flash.stats().discipline_errors, 1u);
+  // A sibling page in the same block is still fine.
+  EXPECT_TRUE(flash.write(SimTime::zero(), 2, 2, buf).ok());
+  // After a whole-block erase the page programs again.
+  ASSERT_TRUE(flash.erase(SimTime::zero(), 0, flash.block_sectors()).ok());
+  EXPECT_TRUE(flash.write(SimTime::zero(), 0, 2, buf).ok());
+}
+
+TEST(FlashDeviceTest, EraseMustCoverExactlyOneAlignedBlock) {
+  FlashDevice flash(small_config());
+  // Misaligned start.
+  EXPECT_FALSE(flash.erase(SimTime::zero(), 2, flash.block_sectors()).ok());
+  // Partial block.
+  EXPECT_FALSE(flash.erase(SimTime::zero(), 0, 2).ok());
+  // Out of range.
+  EXPECT_FALSE(
+      flash.erase(SimTime::zero(), flash.total_sectors(),
+                  flash.block_sectors())
+          .ok());
+  EXPECT_EQ(flash.stats().discipline_errors, 3u);
+}
+
+TEST(FlashDeviceTest, ErasedBytesReadAllOnes) {
+  FlashDevice flash(small_config());
+  const std::vector<std::byte> in = pattern(2, 4);
+  std::vector<std::byte> out(in.size());
+  // Never-programmed pages read 0xFF.
+  ASSERT_TRUE(flash.read(SimTime::zero(), 0, 2, out).ok());
+  for (const std::byte b : out) EXPECT_EQ(b, std::byte{0xFF});
+  // Programmed bytes round-trip.
+  ASSERT_TRUE(flash.write(SimTime::zero(), 0, 2, in).ok());
+  ASSERT_TRUE(flash.read(SimTime::zero(), 0, 2, out).ok());
+  EXPECT_EQ(out, in);
+  // Erase restores the erased pattern.
+  ASSERT_TRUE(flash.erase(SimTime::zero(), 0, flash.block_sectors()).ok());
+  ASSERT_TRUE(flash.read(SimTime::zero(), 0, 2, out).ok());
+  for (const std::byte b : out) EXPECT_EQ(b, std::byte{0xFF});
+}
+
+TEST(FlashDeviceTest, PerBlockWearCounters) {
+  FlashDevice flash(small_config());
+  const std::uint32_t bs = flash.block_sectors();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(flash.erase(SimTime::zero(), 0, bs).ok());
+  }
+  ASSERT_TRUE(flash.erase(SimTime::zero(), bs, bs).ok());
+  EXPECT_EQ(flash.erase_count(0), 3u);
+  EXPECT_EQ(flash.erase_count(1), 1u);
+  EXPECT_EQ(flash.erase_count(2), 0u);
+  EXPECT_EQ(flash.min_erase_count(), 0u);
+  EXPECT_EQ(flash.max_erase_count(), 3u);
+  EXPECT_DOUBLE_EQ(flash.mean_erase_count(), 4.0 / 8.0);
+  EXPECT_EQ(flash.stats().block_erases, 4u);
+}
+
+TEST(FlashDeviceTest, FleetModeKeepsWearAndDisciplineWithoutPayload) {
+  FlashConfig config = small_config();
+  config.retain_data = false;
+  FlashDevice flash(config);
+  std::vector<std::byte> buf = pattern(2, 5);
+  ASSERT_TRUE(flash.write(SimTime::zero(), 0, 2, buf).ok());
+  // Discipline still enforced with no payload bytes behind it.
+  EXPECT_FALSE(flash.write(SimTime::zero(), 0, 2, buf).ok());
+  EXPECT_EQ(flash.stats().discipline_errors, 1u);
+  ASSERT_TRUE(flash.erase(SimTime::zero(), 0, flash.block_sectors()).ok());
+  EXPECT_TRUE(flash.write(SimTime::zero(), 0, 2, buf).ok());
+  EXPECT_EQ(flash.erase_count(0), 1u);
+  // Reads complete (timing path) without touching payload state.
+  EXPECT_TRUE(flash.read(SimTime::zero(), 0, 2, buf).ok());
+}
+
+}  // namespace
+}  // namespace deepnote::storage
