@@ -21,6 +21,9 @@ FlashDevice::FlashDevice(FlashConfig config) : config_(config) {
 BlockIo FlashDevice::read(sim::SimTime now, std::uint64_t lba,
                           std::uint32_t sector_count,
                           std::span<std::byte> out) {
+  // Empty transfers are a no-op; the last_page arithmetic below would
+  // underflow on sector_count == 0.
+  if (sector_count == 0) return BlockIo{BlockStatus::kOk, now};
   if (lba + sector_count > total_sectors()) {
     return BlockIo{BlockStatus::kIoError, now};
   }
@@ -56,6 +59,7 @@ BlockIo FlashDevice::read(sim::SimTime now, std::uint64_t lba,
 BlockIo FlashDevice::write(sim::SimTime now, std::uint64_t lba,
                            std::uint32_t sector_count,
                            std::span<const std::byte> in) {
+  if (sector_count == 0) return BlockIo{BlockStatus::kOk, now};
   if (lba + sector_count > total_sectors()) {
     return BlockIo{BlockStatus::kIoError, now};
   }

@@ -22,6 +22,7 @@ Ftl::Ftl(FlashDevice& device, FtlConfig config)
   free_count_ = blocks;
   page_buf_.resize(static_cast<std::size_t>(page_sectors()) *
                    kBlockSectorSize);
+  gc_buf_.resize(page_buf_.size());
 }
 
 std::uint32_t Ftl::pick_free_block() const {
@@ -72,14 +73,17 @@ bool Ftl::collect_garbage(sim::SimTime& now) {
     if (lp == kUnmapped) continue;
     const BlockIo r = device_.read(
         now, static_cast<std::uint64_t>(first + i) * page_sectors(),
-        page_sectors(), page_buf_);
+        page_sectors(), gc_buf_);
     if (!r.ok()) {
       ok = false;
       break;
     }
     now = r.complete;
-    invalidate(first + i);
-    ok = place_page(now, lp);
+    // No explicit invalidate here: place_page sees map_[lp] still
+    // pointing at first + i and invalidates it exactly once. Doing it
+    // here too would decrement the victim's valid count twice per
+    // relocated page and underflow it.
+    ok = place_page(now, lp, gc_buf_);
     if (ok) ++stats_.relocated_pages;
   }
   if (ok) {
@@ -120,12 +124,13 @@ bool Ftl::ensure_open_block(sim::SimTime& now) {
   return true;
 }
 
-bool Ftl::place_page(sim::SimTime& now, std::uint32_t lp) {
+bool Ftl::place_page(sim::SimTime& now, std::uint32_t lp,
+                     std::span<const std::byte> buf) {
   if (!ensure_open_block(now)) return false;
   const std::uint32_t phys = open_block_ * pages_per_block() + open_next_;
   const BlockIo w = device_.write(
       now, static_cast<std::uint64_t>(phys) * page_sectors(), page_sectors(),
-      page_buf_);
+      buf);
   if (!w.ok()) return false;
   now = w.complete;
   ++open_next_;
@@ -201,7 +206,7 @@ BlockIo Ftl::write(sim::SimTime now, std::uint64_t lba,
       std::memcpy(page_buf_.data(), in.data() + s * kBlockSectorSize,
                   page_buf_.size());
     }
-    if (!place_page(now, lp)) {
+    if (!place_page(now, lp, page_buf_)) {
       return BlockIo{BlockStatus::kIoError, now};
     }
     ++stats_.host_page_writes;

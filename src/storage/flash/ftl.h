@@ -87,8 +87,10 @@ class Ftl final : public BlockDevice {
   /// when the pool is low. Returns false only on device error.
   bool ensure_open_block(sim::SimTime& now);
   bool collect_garbage(sim::SimTime& now);
-  /// Program `page_buf_` as the new home of logical page `lp`.
-  bool place_page(sim::SimTime& now, std::uint32_t lp);
+  /// Program `buf` (one full page) as the new home of logical page
+  /// `lp`, invalidating its previous physical page if mapped.
+  bool place_page(sim::SimTime& now, std::uint32_t lp,
+                  std::span<const std::byte> buf);
   void invalidate(std::uint32_t phys);
 
   FlashDevice& device_;
@@ -104,7 +106,11 @@ class Ftl final : public BlockDevice {
   std::vector<std::uint32_t> rmap_;        ///< physical page -> logical page
   std::vector<std::uint16_t> valid_count_; ///< per block
   std::vector<BlockState> state_;          ///< per block
-  std::vector<std::byte> page_buf_;        ///< one-page RMW/GC scratch
+  std::vector<std::byte> page_buf_;        ///< one-page host RMW staging
+  /// GC relocation scratch. Separate from page_buf_: ensure_open_block
+  /// inside place_page can trigger GC while page_buf_ holds pending
+  /// host data, and relocation must not clobber it.
+  std::vector<std::byte> gc_buf_;
 };
 
 }  // namespace deepnote::storage

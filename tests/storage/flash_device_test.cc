@@ -120,6 +120,22 @@ TEST(FlashDeviceTest, ErasedBytesReadAllOnes) {
   for (const std::byte b : out) EXPECT_EQ(b, std::byte{0xFF});
 }
 
+TEST(FlashDeviceTest, ZeroSectorTransfersAreNoOps) {
+  FlashDevice flash(small_config());
+  std::vector<std::byte> buf;
+  // Regression: the page-range arithmetic underflowed on an empty
+  // transfer and walked the programmed bitmap far out of bounds.
+  const BlockIo r = flash.read(SimTime::zero(), 0, 0, buf);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.complete, SimTime::zero());
+  const BlockIo w = flash.write(SimTime::zero(), 0, 0, buf);
+  EXPECT_TRUE(w.ok());
+  EXPECT_EQ(w.complete, SimTime::zero());
+  EXPECT_EQ(flash.stats().page_reads, 0u);
+  EXPECT_EQ(flash.stats().page_programs, 0u);
+  EXPECT_EQ(flash.stats().discipline_errors, 0u);
+}
+
 TEST(FlashDeviceTest, PerBlockWearCounters) {
   FlashDevice flash(small_config());
   const std::uint32_t bs = flash.block_sectors();
